@@ -1,0 +1,38 @@
+# RASED build and experiment targets. Everything is plain `go` underneath;
+# the Makefile just names the common invocations.
+
+GO ?= go
+
+.PHONY: all build test race vet bench figures examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) build -o bin/ ./cmd/...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every figure of the paper's evaluation (EXPERIMENTS.md).
+figures: build
+	bin/rased-bench -fig all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/country_analysis
+	$(GO) run ./examples/roadtype_analysis
+	$(GO) run ./examples/timeseries_comparison
+	$(GO) run ./examples/sample_updates
+
+clean:
+	rm -rf bin

@@ -1,0 +1,70 @@
+package rased
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIEndToEnd builds the real binaries and drives the full operator
+// workflow: simulate artifacts → ingest from files → incremental append →
+// query → explain. Skipped under -short (it compiles the commands).
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI end-to-end in -short mode")
+	}
+	bin := t.TempDir()
+	build := exec.Command("go", "build", "-o", bin+string(os.PathSeparator), "./cmd/...")
+	build.Dir = "."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/...: %v\n%s", err, out)
+	}
+	run := func(name string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(filepath.Join(bin, name), args...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+		}
+		return string(out)
+	}
+
+	files := filepath.Join(t.TempDir(), "files")
+	dep := filepath.Join(t.TempDir(), "dep")
+
+	out := run("rased-simulate", "-dir", files, "-days", "35", "-updates", "120", "-history")
+	if !strings.Contains(out, "wrote 35 days") {
+		t.Fatalf("simulate output: %s", out)
+	}
+
+	out = run("rased-ingest", "-dir", dep, "-from-files", files,
+		"-history-file", filepath.Join(files, "history.osm"))
+	if !strings.Contains(out, "days ingested:     35") {
+		t.Fatalf("ingest output: %s", out)
+	}
+
+	// Publish more days and append incrementally.
+	run("rased-simulate", "-dir", files, "-days", "10", "-updates", "120",
+		"-start", "2021-02-05", "-seed", "99")
+	out = run("rased-ingest", "-dir", dep, "-from-files", files, "-append")
+	if !strings.Contains(out, "days ingested:     10") {
+		t.Fatalf("append output: %s", out)
+	}
+
+	out = run("rased-query", "-dir", dep, "-group-by", "country", "-limit", "3")
+	if !strings.Contains(out, "total") || !strings.Contains(out, "country") {
+		t.Fatalf("query output: %s", out)
+	}
+
+	out = run("rased-query", "-dir", dep, "-explain", "-from", "2021-01-05", "-to", "2021-02-10")
+	if !strings.Contains(out, "plan: window") {
+		t.Fatalf("explain output: %s", out)
+	}
+
+	out = run("rased-query", "-dir", dep, "-sample", "5")
+	if !strings.Contains(out, "changeset") {
+		t.Fatalf("sample output: %s", out)
+	}
+}

@@ -1,0 +1,241 @@
+// Command rased-query runs analysis and sample queries against a RASED
+// deployment from the command line.
+//
+// Examples:
+//
+//	rased-query -dir /tmp/rased -from 2020-01-01 -to 2020-12-31 \
+//	    -group-by country,element_type -limit 20
+//	rased-query -dir /tmp/rased -from 2020-06-01 -to 2020-06-30 \
+//	    -countries "United States" -sample 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"rased"
+	"rased/internal/core"
+	"rased/internal/geo"
+	"rased/internal/osm"
+	"rased/internal/roads"
+	"rased/internal/temporal"
+	"rased/internal/update"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rased-query: ")
+
+	var (
+		dir         = flag.String("dir", "", "deployment directory (required)")
+		from        = flag.String("from", "", "window start YYYY-MM-DD (default: coverage start)")
+		to          = flag.String("to", "", "window end YYYY-MM-DD (default: coverage end)")
+		countries   = flag.String("countries", "", "comma-separated country/zone filter")
+		elements    = flag.String("element-types", "", "comma-separated element type filter (node,way,relation)")
+		roadsF      = flag.String("road-types", "", "comma-separated road type filter")
+		updatesF    = flag.String("update-types", "", "comma-separated update type filter (create,delete,geometry,metadata)")
+		groupBy     = flag.String("group-by", "", "comma-separated group-by: country,element_type,road_type,update_type")
+		granularity = flag.String("granularity", "none", "date grouping: none,day,week,month,year")
+		percentage  = flag.Bool("percentage", false, "report percentage of road network size")
+		limit       = flag.Int("limit", 50, "max rows to print")
+		sampleN     = flag.Int("sample", 0, "instead of aggregating, print N sample updates")
+		seed        = flag.Int64("seed", 1, "sampling seed")
+		explain     = flag.Bool("explain", false, "print the level optimizer's plan instead of executing")
+	)
+	flag.Parse()
+	if *dir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	d, err := rased.Open(*dir, rased.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+
+	lo, hi, ok := d.Coverage()
+	if !ok {
+		log.Fatal("deployment is empty")
+	}
+	if *from != "" {
+		if lo, err = temporal.ParseDay(*from); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *to != "" {
+		if hi, err = temporal.ParseDay(*to); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	split := func(s string) []string {
+		if s == "" {
+			return nil
+		}
+		parts := strings.Split(s, ",")
+		for i := range parts {
+			parts[i] = strings.TrimSpace(parts[i])
+		}
+		return parts
+	}
+
+	if *sampleN > 0 {
+		runSample(d, lo, hi, split(*countries), split(*elements), split(*updatesF), split(*roadsF), *sampleN, *seed)
+		return
+	}
+
+	q := rased.Query{
+		From: lo, To: hi,
+		Countries:    split(*countries),
+		ElementTypes: split(*elements),
+		RoadTypes:    split(*roadsF),
+		UpdateTypes:  split(*updatesF),
+		Percentage:   *percentage,
+	}
+	for _, g := range split(*groupBy) {
+		switch g {
+		case "country":
+			q.GroupBy.Country = true
+		case "element_type":
+			q.GroupBy.ElementType = true
+		case "road_type":
+			q.GroupBy.RoadType = true
+		case "update_type":
+			q.GroupBy.UpdateType = true
+		default:
+			log.Fatalf("unknown group-by %q", g)
+		}
+	}
+	switch *granularity {
+	case "none":
+	case "day":
+		q.GroupBy.Date = core.ByDay
+	case "week":
+		q.GroupBy.Date = core.ByWeek
+	case "month":
+		q.GroupBy.Date = core.ByMonth
+	case "year":
+		q.GroupBy.Date = core.ByYear
+	default:
+		log.Fatalf("unknown granularity %q", *granularity)
+	}
+
+	if *explain {
+		ex, err := d.Explain(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ex.Print(os.Stdout)
+		return
+	}
+	res, err := d.Analyze(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printResult(res, q, *limit)
+}
+
+func printResult(res *rased.Result, q rased.Query, limit int) {
+	headers := []string{}
+	if q.GroupBy.Date != core.None {
+		headers = append(headers, "period")
+	}
+	if q.GroupBy.Country {
+		headers = append(headers, "country")
+	}
+	if q.GroupBy.ElementType {
+		headers = append(headers, "element")
+	}
+	if q.GroupBy.RoadType {
+		headers = append(headers, "road type")
+	}
+	if q.GroupBy.UpdateType {
+		headers = append(headers, "update")
+	}
+	for _, h := range headers {
+		fmt.Printf("%-24s", h)
+	}
+	fmt.Printf("%12s", "count")
+	if q.Percentage {
+		fmt.Printf("%12s", "pct")
+	}
+	fmt.Println()
+
+	for i, r := range res.Rows {
+		if i >= limit {
+			fmt.Printf("... %d more rows\n", len(res.Rows)-i)
+			break
+		}
+		if q.GroupBy.Date != core.None {
+			fmt.Printf("%-24s", r.Period)
+		}
+		if q.GroupBy.Country {
+			fmt.Printf("%-24s", r.Country)
+		}
+		if q.GroupBy.ElementType {
+			fmt.Printf("%-24s", r.ElementType)
+		}
+		if q.GroupBy.RoadType {
+			fmt.Printf("%-24s", r.RoadType)
+		}
+		if q.GroupBy.UpdateType {
+			fmt.Printf("%-24s", r.UpdateType)
+		}
+		fmt.Printf("%12d", r.Count)
+		if q.Percentage {
+			fmt.Printf("%11.4f%%", r.Percentage)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\ntotal %d updates in %.3f ms (%d cubes fetched, %d disk reads, %d cache hits)\n",
+		res.Total, float64(res.Stats.ElapsedNanos)/1e6,
+		res.Stats.CubesFetched, res.Stats.DiskReads, res.Stats.CacheHits)
+}
+
+func runSample(d *rased.Deployment, lo, hi temporal.Day, countries, elements, updateTypes, roadTypes []string, n int, seed int64) {
+	reg := geo.Default()
+	q := rased.SampleQuery{From: lo, To: hi, N: n, Seed: seed}
+	for _, name := range countries {
+		v, ok := reg.ByName(name)
+		if !ok {
+			log.Fatalf("unknown country %q", name)
+		}
+		q.Countries = append(q.Countries, v)
+	}
+	for _, name := range roadTypes {
+		v, ok := roads.ByName(name)
+		if !ok {
+			log.Fatalf("unknown road type %q", name)
+		}
+		q.RoadTypes = append(q.RoadTypes, v)
+	}
+	for _, name := range elements {
+		t, err := osm.ParseElementType(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		q.ElementTypes = append(q.ElementTypes, t)
+	}
+	for _, name := range updateTypes {
+		t, err := update.ParseType(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		q.UpdateTypes = append(q.UpdateTypes, t)
+	}
+	recs, err := d.Sample(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-12s%-12s%-24s%-20s%-12s%-10s%s\n",
+		"date", "element", "country", "road type", "update", "changeset", "location")
+	for _, r := range recs {
+		fmt.Printf("%-12s%-12s%-24s%-20s%-12s%-10d(%.4f, %.4f)\n",
+			r.Day, r.ElementType, reg.Name(int(r.Country)), roads.Name(int(r.RoadType)),
+			r.UpdateType, r.ChangesetID, r.Lat, r.Lon)
+	}
+}

@@ -1,0 +1,85 @@
+// Command rased-server serves a RASED deployment as the dashboard backend:
+// a JSON API plus a minimal HTML dashboard at /.
+//
+// Example:
+//
+//	rased-server -dir /tmp/rased -addr :8080
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rased"
+	"rased/internal/cache"
+	"rased/internal/core"
+	"rased/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rased-server: ")
+
+	var (
+		dir       = flag.String("dir", "", "deployment directory (required)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		slots     = flag.Int("cache", 512, "cube cache slots (0 disables caching)")
+		alpha     = flag.Float64("alpha", 0.4, "cache ratio for daily cubes")
+		beta      = flag.Float64("beta", 0.35, "cache ratio for weekly cubes")
+		gamma     = flag.Float64("gamma", 0.2, "cache ratio for monthly cubes")
+		theta     = flag.Float64("theta", 0.05, "cache ratio for yearly cubes")
+		noOpt     = flag.Bool("no-level-opt", false, "disable the level optimizer (debugging)")
+		accessLog = flag.Bool("access-log", true, "log every request")
+	)
+	flag.Parse()
+	if *dir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	d, err := rased.Open(*dir, core.Options{
+		CacheSlots:        *slots,
+		Allocation:        cache.Allocation{Alpha: *alpha, Beta: *beta, Gamma: *gamma, Theta: *theta},
+		LevelOptimization: !*noOpt,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+
+	if lo, hi, ok := d.Coverage(); ok {
+		log.Printf("serving %s (coverage %s .. %s) on %s", *dir, lo, hi, *addr)
+	} else {
+		log.Printf("serving empty deployment %s on %s", *dir, *addr)
+	}
+
+	handler := http.Handler(server.New(d))
+	if *accessLog {
+		handler = server.WithLogging(handler, slog.Default())
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
+
+	// Shut down cleanly on SIGINT/SIGTERM so the deployment closes properly.
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe() }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		log.Fatal(err)
+	case s := <-sig:
+		log.Printf("received %v, shutting down", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}
+}

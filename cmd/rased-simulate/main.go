@@ -1,0 +1,72 @@
+// Command rased-simulate writes a synthetic OSM world to disk as the file
+// artifacts RASED crawls: one OsmChange diff and one changeset-metadata file
+// per day, plus (optionally) a full-history dump. Feed the output directory
+// to rased-ingest -from-files, which is the same pipeline a deployment over
+// real planet.openstreetmap.org files would use.
+//
+// Example:
+//
+//	rased-simulate -dir /tmp/osm-files -days 90 -history
+//	rased-ingest -dir /tmp/rased -from-files /tmp/osm-files -history-file /tmp/osm-files/history.osm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"rased/internal/osmgen"
+	"rased/internal/temporal"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rased-simulate: ")
+
+	var (
+		dir       = flag.String("dir", "", "output directory for the artifacts (required)")
+		days      = flag.Int("days", 90, "days of history to simulate")
+		updates   = flag.Int("updates", 300, "mean updates per day")
+		seed      = flag.Int64("seed", 1, "world seed")
+		start     = flag.String("start", "2021-01-01", "first simulated day (YYYY-MM-DD)")
+		seedElems = flag.Int("seed-elements", 2000, "elements pre-created before day one")
+		history   = flag.Bool("history", false, "also write history.osm (full-history dump)")
+	)
+	flag.Parse()
+	if *dir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	startDay, err := temporal.ParseDay(*start)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	g := osmgen.New(osmgen.Config{
+		Seed:          *seed,
+		Start:         startDay,
+		UpdatesPerDay: *updates,
+		SeedElements:  *seedElems,
+	})
+	var nUpdates int
+	for i := 0; i < *days; i++ {
+		art := g.NextDay()
+		if err := art.WriteDayFiles(*dir); err != nil {
+			log.Fatal(err)
+		}
+		nUpdates += len(art.Change.Items)
+	}
+	fmt.Printf("wrote %d days (%d updates) to %s\n", *days, nUpdates, *dir)
+
+	if *history {
+		path, err := g.WriteHistoryFile(*dir, startDay-1, startDay+temporal.Day(*days))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote full history (%d element versions) to %s\n", g.HistoryLen(), path)
+	}
+}

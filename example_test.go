@@ -1,0 +1,73 @@
+package rased_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"rased"
+	"rased/internal/osmgen"
+	"rased/internal/update"
+)
+
+// Example_buildAndQuery shows the complete lifecycle: build a deployment from
+// a simulated OSM world, open it, and run the paper's country-analysis query.
+func Example_buildAndQuery() {
+	dir, err := os.MkdirTemp("", "rased-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Simulate and crawl 60 days of worldwide road-network edits.
+	if _, err := rased.Build(rased.BuildConfig{
+		Dir:  dir,
+		Days: 60,
+		Gen: osmgen.Config{
+			Seed:          1,
+			Start:         rased.NewDate(2021, time.January, 1),
+			UpdatesPerDay: 150,
+			SeedElements:  500,
+		},
+		MonthlyRefinement: true,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	d, err := rased.Open(dir, rased.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+
+	lo, hi, _ := d.Coverage()
+	res, err := d.Analyze(rased.Query{
+		From: lo, To: hi,
+		UpdateTypes: []string{"create", "geometry", "metadata"},
+		GroupBy:     rased.GroupBy{Country: true, ElementType: true},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("answered from %d cubes\n", res.Stats.CubesFetched)
+}
+
+// Example_sampleUpdates shows drilling from an aggregate down to concrete
+// updates via the sample warehouse and the changeset hash index.
+func Example_sampleUpdates() {
+	var d *rased.Deployment // opened with rased.Open
+
+	samples, err := d.Sample(rased.SampleQuery{
+		UpdateTypes: []update.Type{update.Delete},
+		N:           100, // the paper's default sample size
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range samples {
+		session, _ := d.ByChangeset(r.ChangesetID)
+		fmt.Printf("%s at (%f, %f): changeset %d touched %d road elements\n",
+			r.Day, r.Lat, r.Lon, r.ChangesetID, len(session))
+	}
+}

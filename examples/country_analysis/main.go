@@ -1,0 +1,113 @@
+// Country analysis — the paper's Example 1 (Figures 2-3): "find the number
+// of newly created or modified element types (node, way, relation) for each
+// country road network" over a year, rendered as the paper's table format
+// with per-element columns.
+//
+//	go run ./examples/country_analysis [-dir existing-deployment]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"rased"
+	"rased/internal/osmgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	dirFlag := flag.String("dir", "", "existing deployment directory (default: build a fresh one)")
+	flag.Parse()
+
+	dir := *dirFlag
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "rased-country")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+		log.Println("building a one-year deployment (use -dir to reuse an existing one)...")
+		if _, err := rased.Build(rased.BuildConfig{
+			Dir:  dir,
+			Days: 365,
+			Gen: osmgen.Config{
+				Seed:          7,
+				Start:         rased.NewDate(2021, time.January, 1),
+				UpdatesPerDay: 250,
+				SeedElements:  2000,
+			},
+			MonthlyRefinement: true,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	d, err := rased.Open(dir, rased.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+	lo, hi, _ := d.Coverage()
+
+	// The paper's SQL:
+	//   SELECT U.Country, U.ElementType, COUNT(*)
+	//   FROM UpdateList U
+	//   WHERE U.Date BETWEEN 2021-01-01 AND 2021-12-31
+	//     AND U.UpdateType IN [New, Update]
+	//   GROUP BY U.Country, U.ElementType
+	res, err := d.Analyze(rased.Query{
+		From: lo, To: hi,
+		UpdateTypes: []string{"create", "geometry", "metadata"},
+		GroupBy:     rased.GroupBy{Country: true, ElementType: true},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pivot into the Figure 3 table: one row per country, element columns.
+	type rowT struct {
+		all, node, way, rel uint64
+	}
+	table := map[string]*rowT{}
+	for _, r := range res.Rows {
+		t := table[r.Country]
+		if t == nil {
+			t = &rowT{}
+			table[r.Country] = t
+		}
+		t.all += r.Count
+		switch r.ElementType {
+		case "node":
+			t.node += r.Count
+		case "way":
+			t.way += r.Count
+		case "relation":
+			t.rel += r.Count
+		}
+	}
+	countries := make([]string, 0, len(table))
+	for c := range table {
+		countries = append(countries, c)
+	}
+	sort.Slice(countries, func(a, b int) bool {
+		return table[countries[a]].all > table[countries[b]].all
+	})
+
+	fmt.Printf("%-28s%12s%12s%12s%12s\n", "country", "All", "Ways", "Nodes", "Relations")
+	for i, c := range countries {
+		if i >= 20 {
+			fmt.Printf("... %d more countries\n", len(countries)-i)
+			break
+		}
+		t := table[c]
+		fmt.Printf("%-28s%12d%12d%12d%12d\n", c, t.all, t.way, t.node, t.rel)
+	}
+	fmt.Printf("\n%d countries, %.2f ms, %d cubes fetched (%d from disk)\n",
+		len(countries), float64(res.Stats.ElapsedNanos)/1e6,
+		res.Stats.CubesFetched, res.Stats.DiskReads)
+}

@@ -1,0 +1,86 @@
+// Road-type analysis — the paper's Example 2 (Figure 4): "find the number of
+// newly created or modified element types for each road type in USA since
+// 2018": a group-by over road type and element type with country and date
+// filters.
+//
+//	go run ./examples/roadtype_analysis [-dir existing-deployment] [-country name]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"rased"
+	"rased/internal/osmgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	dirFlag := flag.String("dir", "", "existing deployment directory (default: build a fresh one)")
+	country := flag.String("country", "United States", "country or zone to analyze")
+	flag.Parse()
+
+	dir := *dirFlag
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "rased-roadtype")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+		log.Println("building a 240-day deployment (use -dir to reuse an existing one)...")
+		if _, err := rased.Build(rased.BuildConfig{
+			Dir:  dir,
+			Days: 240,
+			Gen: osmgen.Config{
+				Seed:          11,
+				Start:         rased.NewDate(2021, time.January, 1),
+				UpdatesPerDay: 300,
+				SeedElements:  2000,
+			},
+			MonthlyRefinement: true,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	d, err := rased.Open(dir, rased.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+	lo, hi, _ := d.Coverage()
+
+	// The paper's SQL, with "since 2018" mapped to the second half of the
+	// deployment's coverage:
+	//   SELECT U.RoadType, U.ElementType, COUNT(*)
+	//   FROM UpdateList U
+	//   WHERE U.Date AFTER ... AND U.Country = USA
+	//     AND U.UpdateType IN [New, Update]
+	//   GROUP BY U.RoadType, U.ElementType
+	since := lo + (hi-lo)/2
+	res, err := d.Analyze(rased.Query{
+		From: since, To: hi,
+		Countries:   []string{*country},
+		UpdateTypes: []string{"create", "geometry", "metadata"},
+		GroupBy:     rased.GroupBy{RoadType: true, ElementType: true},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("road network updates in %s since %s:\n\n", *country, since)
+	fmt.Printf("%-28s%-12s%12s\n", "road type", "element", "updates")
+	for i, r := range res.Rows {
+		if i >= 30 {
+			fmt.Printf("... %d more rows\n", len(res.Rows)-i)
+			break
+		}
+		fmt.Printf("%-28s%-12s%12d\n", r.RoadType, r.ElementType, r.Count)
+	}
+	fmt.Printf("\ntotal %d updates, answered in %.2f ms\n",
+		res.Total, float64(res.Stats.ElapsedNanos)/1e6)
+}

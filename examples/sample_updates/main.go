@@ -1,0 +1,118 @@
+// Sample update queries — the paper's Section IV-B: drill down from an
+// aggregate to N concrete updates on the map, then follow one update's
+// ChangesetID to every edit in its session (the paper hands this to a
+// third-party changeset viewer).
+//
+//	go run ./examples/sample_updates [-dir existing-deployment]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"rased"
+	"rased/internal/geo"
+	"rased/internal/osmgen"
+	"rased/internal/roads"
+	"rased/internal/update"
+)
+
+func main() {
+	log.SetFlags(0)
+	dirFlag := flag.String("dir", "", "existing deployment directory (default: build a fresh one)")
+	flag.Parse()
+
+	dir := *dirFlag
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "rased-samples")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+		log.Println("building a 90-day deployment (use -dir to reuse an existing one)...")
+		if _, err := rased.Build(rased.BuildConfig{
+			Dir:  dir,
+			Days: 90,
+			Gen: osmgen.Config{
+				Seed:          31,
+				Start:         rased.NewDate(2021, time.March, 1),
+				UpdatesPerDay: 250,
+				SeedElements:  1500,
+			},
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	d, err := rased.Open(dir, rased.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+	lo, hi, _ := d.Coverage()
+	reg := geo.Default()
+
+	// Step 1: an analysis query surfaces a statistic worth investigating.
+	stats, err := d.Analyze(rased.Query{
+		From: lo, To: hi,
+		UpdateTypes: []string{"delete"},
+		GroupBy:     rased.GroupBy{Country: true},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Zone rollups (World, continents) appear in the ranking too; drill into
+	// the top leaf country, since samples are stored under leaf countries.
+	var top rased.Row
+	for _, r := range stats.Rows {
+		if v, ok := reg.ByName(r.Country); ok && reg.IsLeafCountry(v) {
+			top = r
+			break
+		}
+	}
+	if top.Country == "" {
+		log.Fatal("no deletions in the deployment")
+	}
+	fmt.Printf("most road deletions: %s (%d deletions)\n\n", top.Country, top.Count)
+
+	// Step 2: sample concrete deletions there to inspect on the map.
+	cval, _ := reg.ByName(top.Country)
+	samples, err := d.Sample(rased.SampleQuery{
+		From: lo, To: hi,
+		Countries:   []int{cval},
+		UpdateTypes: []update.Type{update.Delete},
+		N:           8,
+		Seed:        1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sample of %d deletions in %s:\n", len(samples), top.Country)
+	for _, r := range samples {
+		fmt.Printf("  %s  %-8s %-22s at (%8.4f, %9.4f)  changeset %d\n",
+			r.Day, r.ElementType, roads.Name(int(r.RoadType)), r.Lat, r.Lon, r.ChangesetID)
+	}
+	if len(samples) == 0 {
+		return
+	}
+
+	// Step 3: follow one sample's changeset — the full editing session.
+	cs := samples[0].ChangesetID
+	session, err := d.ByChangeset(cs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nchangeset %d contains %d road-network updates:\n", cs, len(session))
+	for i, r := range session {
+		if i >= 12 {
+			fmt.Printf("  ... %d more\n", len(session)-i)
+			break
+		}
+		fmt.Printf("  %-8s %-10s %-22s in %s\n",
+			r.ElementType, r.UpdateType, roads.Name(int(r.RoadType)), reg.Name(int(r.Country)))
+	}
+}

@@ -1,0 +1,3 @@
+module rased
+
+go 1.22

@@ -1,0 +1,426 @@
+package rased
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"rased/internal/core"
+	"rased/internal/crawl"
+	"rased/internal/cube"
+	"rased/internal/geo"
+	"rased/internal/osmxml"
+	"rased/internal/temporal"
+	"rased/internal/tindex"
+	"rased/internal/update"
+	"rased/internal/warehouse"
+)
+
+// FileBuildConfig parameterizes BuildFromFiles: a deployment built from
+// on-disk OSM artifacts instead of the in-process simulator. The artifacts
+// directory must hold one pair of files per day:
+//
+//	<YYYY-MM-DD>.osc             the day's OsmChange diff
+//	<YYYY-MM-DD>.changesets.xml  the day's changeset metadata
+//
+// (osmgen's DayArtifacts.WriteDayFiles emits exactly this layout; real OSM
+// daily diffs and changeset dumps convert to it 1:1.) Days must be
+// consecutive.
+type FileBuildConfig struct {
+	// Dir is the deployment directory to create.
+	Dir string
+	// ArtifactsDir holds the daily .osc / .changesets.xml pairs.
+	ArtifactsDir string
+	// HistoryFile optionally points at a full-history dump (<osm> document
+	// sorted by element). When set, every complete month is refined with the
+	// monthly crawler's four-way update classification, and Percentage(*)
+	// denominators come from the history; when empty, update types stay
+	// provisional and denominators are estimated from creates minus deletes.
+	HistoryFile string
+	// Schema overrides the cube schema (nil = the full paper-scale schema).
+	Schema *cube.Schema
+	// Levels is the index depth 1..4; 0 = 4.
+	Levels int
+	// SkipWarehouse skips the sample-update store.
+	SkipWarehouse bool
+}
+
+// dayFiles is one day's discovered artifact pair.
+type dayFiles struct {
+	day        temporal.Day
+	diffPath   string
+	changesets string
+}
+
+// discoverDays scans the artifacts directory and returns the day sequence.
+func discoverDays(dir string) ([]dayFiles, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("rased: read artifacts dir: %w", err)
+	}
+	var days []dayFiles
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".osc") {
+			continue
+		}
+		date := strings.TrimSuffix(name, ".osc")
+		d, err := temporal.ParseDay(date)
+		if err != nil {
+			return nil, fmt.Errorf("rased: artifact %q is not named <date>.osc: %w", name, err)
+		}
+		csPath := filepath.Join(dir, date+".changesets.xml")
+		if _, err := os.Stat(csPath); err != nil {
+			return nil, fmt.Errorf("rased: day %s has a diff but no changeset file: %w", date, err)
+		}
+		days = append(days, dayFiles{day: d, diffPath: filepath.Join(dir, name), changesets: csPath})
+	}
+	if len(days) == 0 {
+		return nil, fmt.Errorf("rased: no .osc artifacts in %s", dir)
+	}
+	sort.Slice(days, func(a, b int) bool { return days[a].day < days[b].day })
+	for i := 1; i < len(days); i++ {
+		if days[i].day != days[i-1].day+1 {
+			return nil, fmt.Errorf("rased: artifact days are not consecutive: %s then %s",
+				days[i-1].day, days[i].day)
+		}
+	}
+	return days, nil
+}
+
+// BuildFromFiles constructs a deployment from on-disk OSM artifacts.
+func BuildFromFiles(cfg FileBuildConfig) (*BuildReport, error) {
+	days, err := discoverDays(cfg.ArtifactsDir)
+	if err != nil {
+		return nil, err
+	}
+	schema := cfg.Schema
+	if schema == nil {
+		schema = cube.DefaultSchema()
+	}
+	levels := cfg.Levels
+	if levels == 0 {
+		levels = temporal.NumLevels
+	}
+	ix, err := tindex.Create(cfg.Dir, schema, levels)
+	if err != nil {
+		return nil, err
+	}
+	defer ix.Close()
+
+	var wh *warehouse.Store
+	if !cfg.SkipWarehouse {
+		wh, err = warehouse.Open(filepath.Join(cfg.Dir, warehouseFile))
+		if err != nil {
+			return nil, err
+		}
+		defer wh.Close()
+	}
+
+	reg := geo.Default()
+	ing := core.NewIngestor(ix)
+	csIdx := crawl.BuildChangesetIndex(nil)
+	var rep BuildReport
+	maxCountry, maxRoad := len(schema.Countries), len(schema.RoadTypes)
+
+	// Network-size estimator for the no-history path: live elements per
+	// country tracked as creates minus deletes.
+	netEst := make(map[int]int64)
+
+	var allDaily []update.Record
+	for _, df := range days {
+		recs, err := crawlDayFiles(df, csIdx, reg)
+		if err != nil {
+			return nil, err
+		}
+		kept := recs[:0]
+		for _, r := range recs {
+			if int(r.Country) < maxCountry && int(r.RoadType) < maxRoad {
+				kept = append(kept, r)
+			} else {
+				rep.DroppedRecords++
+			}
+		}
+		if err := ing.AppendDay(df.day, kept); err != nil {
+			return nil, err
+		}
+		rep.Records += len(kept)
+		allDaily = append(allDaily, kept...)
+		for _, r := range kept {
+			switch r.UpdateType {
+			case update.Create:
+				netEst[int(r.Country)]++
+				for _, z := range reg.ZonesOf(int(r.Country), r.Lat, r.Lon) {
+					netEst[z]++
+				}
+			case update.Delete:
+				netEst[int(r.Country)]--
+				for _, z := range reg.ZonesOf(int(r.Country), r.Lat, r.Lon) {
+					netEst[z]--
+				}
+			}
+		}
+	}
+	rep.Days = len(days)
+
+	lo, hi := days[0].day, days[len(days)-1].day
+	sizes := make(map[int]uint64)
+	if cfg.HistoryFile != "" {
+		refined, histSizes, err := refineFromHistory(cfg.HistoryFile, csIdx, reg, ing, lo, hi, maxCountry, maxRoad)
+		if err != nil {
+			return nil, err
+		}
+		// Warehouse: refined records for complete months, daily for the rest.
+		if wh != nil {
+			covered := make(map[temporal.Period]bool)
+			for m := range refined {
+				covered[m] = true
+				if err := wh.Add(refined[m]); err != nil {
+					return nil, err
+				}
+			}
+			for _, r := range allDaily {
+				if !covered[temporal.MonthPeriod(r.Day)] {
+					if err := wh.Add([]update.Record{r}); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		sizes = histSizes
+	} else {
+		if wh != nil {
+			if err := wh.Add(allDaily); err != nil {
+				return nil, err
+			}
+		}
+		for c, n := range netEst {
+			if n > 0 {
+				sizes[c] = uint64(n)
+			}
+		}
+	}
+
+	doc := netSizesDoc{Snapshots: []netSnapshot{{AsOf: int(hi), Sizes: sizes}}}
+	if err := writeJSON(filepath.Join(cfg.Dir, netSizesFile), doc); err != nil {
+		return nil, err
+	}
+	meta := deploymentMeta{Countries: maxCountry, RoadTypes: maxRoad, Levels: levels}
+	if err := writeJSON(filepath.Join(cfg.Dir, deploymentFile), meta); err != nil {
+		return nil, err
+	}
+	if err := ix.Sync(); err != nil {
+		return nil, err
+	}
+	rep.CubePages = ix.Store().NumPages()
+	rep.IndexBytes = ix.Store().SizeBytes()
+	if wh != nil {
+		if err := wh.Flush(); err != nil {
+			return nil, err
+		}
+		rep.WarehouseRecords = wh.Count()
+	}
+	return &rep, nil
+}
+
+// AppendFromFiles extends an existing deployment with newly published daily
+// artifacts: days already covered are skipped, the rest are crawled and
+// appended in order (with the usual end-of-period rollups), the warehouse
+// grows, and the network-size estimates advance by creates minus deletes.
+// This is the paper's production mode — a daily cron over freshly downloaded
+// diff and changeset files.
+func AppendFromFiles(dir, artifactsDir string) (*BuildReport, error) {
+	days, err := discoverDays(artifactsDir)
+	if err != nil {
+		return nil, err
+	}
+	var meta deploymentMeta
+	if err := readJSON(filepath.Join(dir, deploymentFile), &meta); err != nil {
+		return nil, fmt.Errorf("rased: open %s: %w", dir, err)
+	}
+	if meta.Countries <= 0 || meta.Countries > geo.Default().NumValues() ||
+		meta.RoadTypes <= 0 {
+		return nil, fmt.Errorf("rased: corrupt deployment metadata in %s", dir)
+	}
+	schema := cube.ScaledSchema(meta.Countries, meta.RoadTypes)
+	ix, err := tindex.Open(dir, schema)
+	if err != nil {
+		return nil, err
+	}
+	defer ix.Close()
+
+	var wh *warehouse.Store
+	whPath := filepath.Join(dir, warehouseFile)
+	if _, err := os.Stat(whPath); err == nil {
+		wh, err = warehouse.Open(whPath)
+		if err != nil {
+			return nil, err
+		}
+		defer wh.Close()
+	}
+
+	// Continue the network-size estimator from the latest snapshot.
+	var history netSizesDoc
+	sizes := make(map[int]uint64)
+	if doc, err := loadNetSizes(filepath.Join(dir, netSizesFile)); err == nil {
+		history = *doc
+		if n := len(history.Snapshots); n > 0 {
+			for k, v := range history.Snapshots[n-1].Sizes {
+				sizes[k] = v
+			}
+		}
+	}
+
+	reg := geo.Default()
+	ing := core.NewIngestor(ix)
+	csIdx := crawl.BuildChangesetIndex(nil)
+	var rep BuildReport
+	_, hi, covered := ix.Coverage()
+
+	for _, df := range days {
+		if covered && df.day <= hi {
+			continue // already ingested
+		}
+		recs, err := crawlDayFiles(df, csIdx, reg)
+		if err != nil {
+			return nil, err
+		}
+		kept := recs[:0]
+		for _, r := range recs {
+			if int(r.Country) < meta.Countries && int(r.RoadType) < meta.RoadTypes {
+				kept = append(kept, r)
+			} else {
+				rep.DroppedRecords++
+			}
+		}
+		if err := ing.AppendDay(df.day, kept); err != nil {
+			return nil, err
+		}
+		if wh != nil {
+			if err := wh.Add(kept); err != nil {
+				return nil, err
+			}
+		}
+		for _, r := range kept {
+			delta := int64(0)
+			switch r.UpdateType {
+			case update.Create:
+				delta = 1
+			case update.Delete:
+				delta = -1
+			}
+			if delta == 0 {
+				continue
+			}
+			applySizeDelta(sizes, int(r.Country), delta)
+			for _, z := range reg.ZonesOf(int(r.Country), r.Lat, r.Lon) {
+				applySizeDelta(sizes, z, delta)
+			}
+		}
+		rep.Records += len(kept)
+		rep.Days++
+	}
+
+	if rep.Days > 0 {
+		if _, newHi, ok := ix.Coverage(); ok {
+			history.Snapshots = append(history.Snapshots, netSnapshot{AsOf: int(newHi), Sizes: sizes})
+		}
+	}
+	if err := writeJSON(filepath.Join(dir, netSizesFile), history); err != nil {
+		return nil, err
+	}
+	if err := ix.Sync(); err != nil {
+		return nil, err
+	}
+	rep.CubePages = ix.Store().NumPages()
+	rep.IndexBytes = ix.Store().SizeBytes()
+	if wh != nil {
+		if err := wh.Flush(); err != nil {
+			return nil, err
+		}
+		rep.WarehouseRecords = wh.Count()
+	}
+	return &rep, nil
+}
+
+func applySizeDelta(sizes map[int]uint64, key int, delta int64) {
+	if delta > 0 {
+		sizes[key] += uint64(delta)
+	} else if sizes[key] > 0 {
+		sizes[key]--
+	}
+}
+
+// crawlDayFiles parses one day's artifact pair and runs the daily crawler.
+func crawlDayFiles(df dayFiles, csIdx crawl.ChangesetIndex, reg *geo.Registry) ([]update.Record, error) {
+	csF, err := os.Open(df.changesets)
+	if err != nil {
+		return nil, err
+	}
+	sets, err := osmxml.ReadChangesets(csF)
+	csF.Close()
+	if err != nil {
+		return nil, fmt.Errorf("rased: %s: %w", df.changesets, err)
+	}
+	csIdx.Add(sets)
+
+	diffF, err := os.Open(df.diffPath)
+	if err != nil {
+		return nil, err
+	}
+	ch, err := osmxml.ReadChange(diffF)
+	diffF.Close()
+	if err != nil {
+		return nil, fmt.Errorf("rased: %s: %w", df.diffPath, err)
+	}
+	recs, _, err := crawl.Daily(ch, csIdx, reg)
+	return recs, err
+}
+
+// refineFromHistory runs the monthly crawler over the history file, replaces
+// every complete month in the index, and computes network sizes as of hi.
+// Returns the refined records per replaced month.
+func refineFromHistory(path string, csIdx crawl.ChangesetIndex, reg *geo.Registry,
+	ing *core.Ingestor, lo, hi temporal.Day, maxCountry, maxRoad int) (map[temporal.Period][]update.Record, map[int]uint64, error) {
+
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	recs, _, err := crawl.Monthly(osmxml.NewHistoryReader(f), csIdx, reg, lo, hi)
+	f.Close()
+	if err != nil {
+		return nil, nil, fmt.Errorf("rased: monthly crawl of %s: %w", path, err)
+	}
+
+	byMonth := make(map[temporal.Period][]update.Record)
+	for _, r := range recs {
+		if int(r.Country) >= maxCountry || int(r.RoadType) >= maxRoad {
+			continue
+		}
+		byMonth[temporal.MonthPeriod(r.Day)] = append(byMonth[temporal.MonthPeriod(r.Day)], r)
+	}
+	refined := make(map[temporal.Period][]update.Record)
+	for m, mrecs := range byMonth {
+		if m.Start() < lo || m.End() > hi {
+			continue // incomplete month: keep the daily cubes
+		}
+		if err := ing.ReplaceMonth(m, mrecs); err != nil {
+			return nil, nil, err
+		}
+		refined[m] = mrecs
+	}
+
+	f, err = os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	sizes, err := crawl.NetworkSizes(osmxml.NewHistoryReader(f), csIdx, reg, hi)
+	f.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	return refined, sizes, nil
+}

@@ -1,0 +1,241 @@
+package rased
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"rased/internal/cube"
+	"rased/internal/geo"
+	"rased/internal/osmgen"
+	"rased/internal/temporal"
+)
+
+// writeArtifacts simulates days of OSM activity into a directory of daily
+// artifact files, optionally with a history dump.
+func writeArtifacts(t *testing.T, dir string, cfg osmgen.Config, days int, history bool) string {
+	t.Helper()
+	g := osmgen.New(cfg)
+	for i := 0; i < days; i++ {
+		art := g.NextDay()
+		if err := art.WriteDayFiles(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !history {
+		return ""
+	}
+	path, err := g.WriteHistoryFile(dir, cfg.Start-1, cfg.Start+temporal.Day(days))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func fileGenConfig() osmgen.Config {
+	return osmgen.Config{
+		Seed:          13,
+		Start:         NewDate(2021, time.February, 1),
+		UpdatesPerDay: 80,
+		SeedElements:  300,
+	}
+}
+
+func TestBuildFromFilesMatchesInProcessBuild(t *testing.T) {
+	const days = 60 // Feb + Mar 2021: two complete months
+	schema := cube.ScaledSchema(geo.Default().NumValues(), 30)
+
+	artDir := t.TempDir()
+	writeArtifacts(t, artDir, fileGenConfig(), days, false)
+
+	fileDep := t.TempDir()
+	repF, err := BuildFromFiles(FileBuildConfig{
+		Dir: fileDep, ArtifactsDir: artDir, Schema: schema,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	procDep := t.TempDir()
+	repP, err := Build(BuildConfig{
+		Dir: procDep, Days: days, Gen: fileGenConfig(), Schema: schema,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if repF.Records != repP.Records || repF.Days != repP.Days {
+		t.Errorf("reports differ: files %+v vs in-process %+v", repF, repP)
+	}
+
+	dF, err := Open(fileDep, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dF.Close()
+	dP, err := Open(procDep, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dP.Close()
+
+	lo, hi, _ := dF.Coverage()
+	q := Query{From: lo, To: hi, GroupBy: GroupBy{Country: true, UpdateType: true}}
+	rF, err := dF.Analyze(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rP, err := dP.Analyze(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rF.Total != rP.Total || len(rF.Rows) != len(rP.Rows) {
+		t.Fatalf("results differ: %d/%d rows, %d/%d total",
+			len(rF.Rows), len(rP.Rows), rF.Total, rP.Total)
+	}
+	for i := range rF.Rows {
+		if rF.Rows[i] != rP.Rows[i] {
+			t.Fatalf("row %d differs: %+v vs %+v", i, rF.Rows[i], rP.Rows[i])
+		}
+	}
+}
+
+func TestBuildFromFilesWithHistoryRefines(t *testing.T) {
+	const days = 60
+	schema := cube.ScaledSchema(geo.Default().NumValues(), 30)
+	artDir := t.TempDir()
+	hist := writeArtifacts(t, artDir, fileGenConfig(), days, true)
+
+	dep := t.TempDir()
+	rep, err := BuildFromFiles(FileBuildConfig{
+		Dir: dep, ArtifactsDir: artDir, HistoryFile: hist, Schema: schema,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WarehouseRecords == 0 {
+		t.Error("warehouse empty")
+	}
+
+	d, err := Open(dep, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	lo, hi, _ := d.Coverage()
+	res, err := d.Analyze(Query{From: lo, To: hi, GroupBy: GroupBy{UpdateType: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, r := range res.Rows {
+		seen[r.UpdateType] = true
+	}
+	if !seen["metadata"] {
+		t.Errorf("history refinement should classify metadata updates, rows: %+v", res.Rows)
+	}
+	// Percentage denominators came from the history.
+	us, _ := geo.Default().ByCode("US")
+	if d.Engine.NetworkSize(us) == 0 {
+		t.Error("network sizes missing after history crawl")
+	}
+}
+
+func TestAppendFromFiles(t *testing.T) {
+	schema := cube.ScaledSchema(geo.Default().NumValues(), 30)
+	cfg := fileGenConfig()
+
+	// Phase 1: 40 days of artifacts, built into a deployment.
+	artDir := t.TempDir()
+	g := osmgen.New(cfg)
+	for i := 0; i < 40; i++ {
+		if err := g.NextDay().WriteDayFiles(artDir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dep := t.TempDir()
+	rep1, err := BuildFromFiles(FileBuildConfig{Dir: dep, ArtifactsDir: artDir, Schema: schema})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: 20 more days published into the same artifacts directory.
+	for i := 0; i < 20; i++ {
+		if err := g.NextDay().WriteDayFiles(artDir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep2, err := AppendFromFiles(dep, artDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Days != 20 {
+		t.Errorf("append ingested %d days, want 20", rep2.Days)
+	}
+
+	d, err := Open(dep, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	lo, hi, _ := d.Coverage()
+	if int(hi-lo)+1 != 60 {
+		t.Errorf("coverage = %d days, want 60", int(hi-lo)+1)
+	}
+	res, err := d.Analyze(Query{From: lo, To: hi, Countries: []string{"World"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != uint64(rep1.Records+rep2.Records) {
+		t.Errorf("total %d != %d + %d", res.Total, rep1.Records, rep2.Records)
+	}
+	if d.Samples.Count() != rep1.Records+rep2.Records {
+		t.Errorf("warehouse %d != ingested %d", d.Samples.Count(), rep1.Records+rep2.Records)
+	}
+
+	// Re-running the append is a no-op (all days already covered).
+	rep3, err := AppendFromFiles(dep, artDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep3.Days != 0 || rep3.Records != 0 {
+		t.Errorf("idempotent append ingested %d days", rep3.Days)
+	}
+}
+
+func TestBuildFromFilesValidation(t *testing.T) {
+	if _, err := BuildFromFiles(FileBuildConfig{Dir: t.TempDir(), ArtifactsDir: t.TempDir()}); err == nil {
+		t.Error("empty artifacts dir should fail")
+	}
+
+	// Badly named artifact.
+	bad := t.TempDir()
+	os.WriteFile(filepath.Join(bad, "notadate.osc"), []byte("x"), 0o644)
+	if _, err := BuildFromFiles(FileBuildConfig{Dir: t.TempDir(), ArtifactsDir: bad}); err == nil {
+		t.Error("bad artifact name should fail")
+	}
+
+	// Diff without its changeset file.
+	lonely := t.TempDir()
+	os.WriteFile(filepath.Join(lonely, "2021-01-01.osc"), []byte("x"), 0o644)
+	if _, err := BuildFromFiles(FileBuildConfig{Dir: t.TempDir(), ArtifactsDir: lonely}); err == nil {
+		t.Error("missing changeset file should fail")
+	}
+
+	// Gap in the day sequence.
+	gap := t.TempDir()
+	g := osmgen.New(fileGenConfig())
+	a1 := g.NextDay()
+	g.NextDay() // skipped day
+	a3 := g.NextDay()
+	if err := a1.WriteDayFiles(gap); err != nil {
+		t.Fatal(err)
+	}
+	if err := a3.WriteDayFiles(gap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildFromFiles(FileBuildConfig{Dir: t.TempDir(), ArtifactsDir: gap}); err == nil {
+		t.Error("non-consecutive days should fail")
+	}
+}

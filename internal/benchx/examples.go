@@ -1,0 +1,115 @@
+package benchx
+
+import (
+	"fmt"
+	"io"
+
+	"rased/internal/core"
+	"rased/internal/temporal"
+)
+
+// Analyzer answers analysis queries; both *rased.Deployment and *core.Engine
+// satisfy it.
+type Analyzer interface {
+	Analyze(q core.Query) (*core.Result, error)
+}
+
+// ExamplesReport holds the results of the paper's three example analysis
+// queries (Section IV-A), whose visualizations are Figures 2-5.
+type ExamplesReport struct {
+	// Country is Example 1 / Figures 2-3: newly created or modified elements
+	// per country and element type over one year.
+	Country *core.Result
+	// RoadType is Example 2 / Figure 4: created or modified elements per road
+	// type and element type for one country since a date.
+	RoadType *core.Result
+	// TimeSeries is Example 3 / Figure 5: daily percentage of road network
+	// change for a set of countries.
+	TimeSeries *core.Result
+}
+
+// RunExamples executes the paper's example queries against an analyzer over
+// the window [lo, hi] (the paper's concrete years are mapped into the
+// deployment's coverage).
+func RunExamples(a Analyzer, lo, hi temporal.Day) (*ExamplesReport, error) {
+	rep := &ExamplesReport{}
+	var err error
+
+	// Example 1: SELECT Country, ElementType, COUNT(*) WHERE Date BETWEEN ...
+	// AND UpdateType IN [New, Update] GROUP BY Country, ElementType.
+	rep.Country, err = a.Analyze(core.Query{
+		From: lo, To: hi,
+		UpdateTypes: []string{"create", "geometry", "metadata"},
+		GroupBy:     core.GroupBy{Country: true, ElementType: true},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("benchx: country analysis: %w", err)
+	}
+
+	// Example 2: per road type for the United States since a date.
+	rep.RoadType, err = a.Analyze(core.Query{
+		From: lo + (hi-lo)/2, To: hi,
+		Countries:   []string{"United States"},
+		UpdateTypes: []string{"create", "geometry", "metadata"},
+		GroupBy:     core.GroupBy{RoadType: true, ElementType: true},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("benchx: road type analysis: %w", err)
+	}
+
+	// Example 3: daily percentage comparison for Germany, Singapore, Qatar.
+	rep.TimeSeries, err = a.Analyze(core.Query{
+		From: lo, To: hi,
+		Countries:  []string{"Germany", "Singapore", "Qatar"},
+		GroupBy:    core.GroupBy{Country: true, Date: core.ByDay},
+		Percentage: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("benchx: time series analysis: %w", err)
+	}
+	return rep, nil
+}
+
+// PrintExamples renders the report like the paper's figures: a country table
+// (Fig 3), a road-type table (Fig 4), and a time-series summary (Fig 5).
+func PrintExamples(w io.Writer, rep *ExamplesReport) {
+	fmt.Fprintln(w, "Example 1 (Figures 2-3): country analysis — top countries by updates")
+	fmt.Fprintf(w, "%-28s%-12s%12s\n", "country", "element", "updates")
+	for i, r := range rep.Country.Rows {
+		if i >= 15 {
+			fmt.Fprintf(w, "  ... %d more rows\n", len(rep.Country.Rows)-i)
+			break
+		}
+		fmt.Fprintf(w, "%-28s%-12s%12d\n", r.Country, r.ElementType, r.Count)
+	}
+	fmt.Fprintf(w, "total: %d  (%.2f ms, %d cubes, %d disk reads)\n\n",
+		rep.Country.Total, float64(rep.Country.Stats.ElapsedNanos)/1e6,
+		rep.Country.Stats.CubesFetched, rep.Country.Stats.DiskReads)
+
+	fmt.Fprintln(w, "Example 2 (Figure 4): road type analysis — United States")
+	fmt.Fprintf(w, "%-28s%-12s%12s\n", "road type", "element", "updates")
+	for i, r := range rep.RoadType.Rows {
+		if i >= 15 {
+			fmt.Fprintf(w, "  ... %d more rows\n", len(rep.RoadType.Rows)-i)
+			break
+		}
+		fmt.Fprintf(w, "%-28s%-12s%12d\n", r.RoadType, r.ElementType, r.Count)
+	}
+	fmt.Fprintf(w, "total: %d  (%.2f ms)\n\n",
+		rep.RoadType.Total, float64(rep.RoadType.Stats.ElapsedNanos)/1e6)
+
+	fmt.Fprintln(w, "Example 3 (Figure 5): comparative daily time series (percentage)")
+	byCountry := map[string]int{}
+	maxPct := map[string]float64{}
+	for _, r := range rep.TimeSeries.Rows {
+		byCountry[r.Country]++
+		if r.Percentage > maxPct[r.Country] {
+			maxPct[r.Country] = r.Percentage
+		}
+	}
+	for c, n := range byCountry {
+		fmt.Fprintf(w, "%-28s%6d daily points, peak %.4f%% of network\n", c, n, maxPct[c])
+	}
+	fmt.Fprintf(w, "total points: %d  (%.2f ms)\n",
+		len(rep.TimeSeries.Rows), float64(rep.TimeSeries.Stats.ElapsedNanos)/1e6)
+}

@@ -1,0 +1,198 @@
+// Package cache implements RASED's caching strategy (Section VII-A): given N
+// memory slots, the most recent αN daily, βN weekly, γN monthly, and θN
+// yearly cubes are pinned in memory, trading aggregation granularity against
+// time coverage. Queries over recent data are then answered partially or
+// fully without disk I/O.
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"rased/internal/cube"
+	"rased/internal/temporal"
+)
+
+// Allocation is the (α, β, γ, θ) split of cache slots across the four index
+// levels. The four ratios must be non-negative and sum to 1.
+type Allocation struct {
+	Alpha float64 // daily
+	Beta  float64 // weekly
+	Gamma float64 // monthly
+	Theta float64 // yearly
+}
+
+// DefaultAllocation is the paper's deployed setting: α=0.4, β=0.35, γ=0.2,
+// θ=0.05.
+var DefaultAllocation = Allocation{Alpha: 0.4, Beta: 0.35, Gamma: 0.2, Theta: 0.05}
+
+// Validate checks the allocation invariants.
+func (a Allocation) Validate() error {
+	for _, v := range []float64{a.Alpha, a.Beta, a.Gamma, a.Theta} {
+		if v < 0 {
+			return fmt.Errorf("cache: negative allocation ratio %v", a)
+		}
+	}
+	sum := a.Alpha + a.Beta + a.Gamma + a.Theta
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("cache: allocation ratios sum to %g, want 1", sum)
+	}
+	return nil
+}
+
+// SlotsFor returns the number of slots each level receives out of n.
+func (a Allocation) SlotsFor(n int) map[temporal.Level]int {
+	return map[temporal.Level]int{
+		temporal.Daily:   int(a.Alpha * float64(n)),
+		temporal.Weekly:  int(a.Beta * float64(n)),
+		temporal.Monthly: int(a.Gamma * float64(n)),
+		temporal.Yearly:  int(a.Theta * float64(n)),
+	}
+}
+
+// Stats is a snapshot of cache effectiveness counters.
+type Stats struct {
+	Hits   int64
+	Misses int64
+}
+
+// Source lists and fetches cubes; *tindex.Index satisfies it. Fetch fully
+// decodes a cube (used by Preload, which pays the cost once); FetchView
+// returns a lazy page view for the per-query path.
+type Source interface {
+	Periods(lvl temporal.Level) []temporal.Period
+	Fetch(p temporal.Period) (*cube.Cube, error)
+	FetchView(p temporal.Period) (cube.Reader, error)
+}
+
+// Cache pins recent cubes in memory per the allocation policy.
+type Cache struct {
+	slots int
+	alloc Allocation
+
+	mu      sync.RWMutex
+	entries map[temporal.Period]*cube.Cube
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// New returns an empty cache with n slots and the given allocation.
+func New(n int, alloc Allocation) (*Cache, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("cache: negative slot count %d", n)
+	}
+	if err := alloc.Validate(); err != nil {
+		return nil, err
+	}
+	return &Cache{
+		slots:   n,
+		alloc:   alloc,
+		entries: make(map[temporal.Period]*cube.Cube),
+	}, nil
+}
+
+// Slots returns the cache capacity in cubes.
+func (c *Cache) Slots() int { return c.slots }
+
+// Allocation returns the level split in use.
+func (c *Cache) Allocation() Allocation { return c.alloc }
+
+// Len returns the number of cubes currently pinned.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// Preload replaces the cache contents with the most recent cubes of each
+// level, αN/βN/γN/θN respectively, fetched from src. Levels with fewer
+// available cubes than their budget simply contribute what exists.
+func (c *Cache) Preload(src Source) error {
+	fresh := make(map[temporal.Period]*cube.Cube)
+	for lvl, budget := range c.alloc.SlotsFor(c.slots) {
+		if budget == 0 {
+			continue
+		}
+		periods := src.Periods(lvl)
+		if len(periods) > budget {
+			periods = periods[len(periods)-budget:] // most recent
+		}
+		for _, p := range periods {
+			cb, err := src.Fetch(p)
+			if err != nil {
+				return fmt.Errorf("cache: preload %v: %w", p, err)
+			}
+			fresh[p] = cb
+		}
+	}
+	c.mu.Lock()
+	c.entries = fresh
+	c.mu.Unlock()
+	return nil
+}
+
+// Get returns the cached cube for p, recording a hit or miss.
+func (c *Cache) Get(p temporal.Period) (*cube.Cube, bool) {
+	c.mu.RLock()
+	cb, ok := c.entries[p]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return cb, ok
+}
+
+// Contains reports whether p is cached without touching the hit/miss
+// counters; the level optimizer uses this to cost plans.
+func (c *Cache) Contains(p temporal.Period) bool {
+	c.mu.RLock()
+	_, ok := c.entries[p]
+	c.mu.RUnlock()
+	return ok
+}
+
+// Invalidate drops the cube for p (after a monthly rebuild refreshed it on
+// disk).
+func (c *Cache) Invalidate(p temporal.Period) {
+	c.mu.Lock()
+	delete(c.entries, p)
+	c.mu.Unlock()
+}
+
+// Stats returns hit/miss counters.
+func (c *Cache) Stats() Stats {
+	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+}
+
+// ResetStats zeroes the counters.
+func (c *Cache) ResetStats() {
+	c.hits.Store(0)
+	c.misses.Store(0)
+}
+
+// Fetcher serves cube fetches from the cache, falling back to the underlying
+// source on miss.
+type Fetcher struct {
+	Cache *Cache // may be nil: pure pass-through
+	Src   Source
+}
+
+// Fetch returns a readable cube for p: the pinned in-memory cube on hit, a
+// lazy page view from the source on miss.
+func (f Fetcher) Fetch(p temporal.Period) (cube.Reader, error) {
+	if f.Cache != nil {
+		if cb, ok := f.Cache.Get(p); ok {
+			return cb, nil
+		}
+	}
+	return f.Src.FetchView(p)
+}
+
+// Contains reports whether p would be served from memory.
+func (f Fetcher) Contains(p temporal.Period) bool {
+	return f.Cache != nil && f.Cache.Contains(p)
+}

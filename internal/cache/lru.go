@@ -1,0 +1,134 @@
+package cache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"rased/internal/cube"
+	"rased/internal/temporal"
+)
+
+// LRU is a demand-filled cube cache: cubes enter on first fetch and the least
+// recently used entry is evicted at capacity. It is the ablation counterpart
+// of the paper's statically preloaded recency cache (Section VII-A) — the
+// preload policy encodes the "recent data is hot" prior up front, while LRU
+// discovers the hot set from the query stream at the cost of cold misses.
+type LRU struct {
+	capacity int
+
+	mu      sync.Mutex
+	order   *list.List // front = most recently used; values are *lruEntry
+	entries map[temporal.Period]*list.Element
+
+	hits, misses int64
+}
+
+type lruEntry struct {
+	p  temporal.Period
+	cb cube.Reader
+}
+
+// NewLRU returns an empty LRU cache holding up to n cubes.
+func NewLRU(n int) (*LRU, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("cache: negative LRU capacity %d", n)
+	}
+	return &LRU{
+		capacity: n,
+		order:    list.New(),
+		entries:  make(map[temporal.Period]*list.Element),
+	}, nil
+}
+
+// Slots returns the cache capacity in cubes.
+func (l *LRU) Slots() int { return l.capacity }
+
+// Len returns the number of cubes currently held.
+func (l *LRU) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Get returns the cached cube for p, marking it most recently used.
+func (l *LRU) Get(p temporal.Period) (cube.Reader, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	el, ok := l.entries[p]
+	if !ok {
+		l.misses++
+		return nil, false
+	}
+	l.hits++
+	l.order.MoveToFront(el)
+	return el.Value.(*lruEntry).cb, true
+}
+
+// Put inserts a cube for p, evicting the least recently used entry when full.
+// A zero-capacity LRU stores nothing.
+func (l *LRU) Put(p temporal.Period, cb cube.Reader) {
+	if l.capacity == 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if el, ok := l.entries[p]; ok {
+		el.Value.(*lruEntry).cb = cb
+		l.order.MoveToFront(el)
+		return
+	}
+	l.entries[p] = l.order.PushFront(&lruEntry{p: p, cb: cb})
+	for l.order.Len() > l.capacity {
+		victim := l.order.Back()
+		l.order.Remove(victim)
+		delete(l.entries, victim.Value.(*lruEntry).p)
+	}
+}
+
+// Contains reports residency without touching the counters or recency order
+// (the level optimizer uses this to cost plans).
+func (l *LRU) Contains(p temporal.Period) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, ok := l.entries[p]
+	return ok
+}
+
+// Stats returns hit/miss counters.
+func (l *LRU) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{Hits: l.hits, Misses: l.misses}
+}
+
+// ResetStats zeroes the counters.
+func (l *LRU) ResetStats() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.hits, l.misses = 0, 0
+}
+
+// LRUFetcher serves cube fetches through an LRU cache, filling it on miss.
+type LRUFetcher struct {
+	LRU *LRU
+	Src Source
+}
+
+// Fetch returns a readable cube for p, caching misses.
+func (f LRUFetcher) Fetch(p temporal.Period) (cube.Reader, error) {
+	if cb, ok := f.LRU.Get(p); ok {
+		return cb, nil
+	}
+	cb, err := f.Src.FetchView(p)
+	if err != nil {
+		return nil, err
+	}
+	f.LRU.Put(p, cb)
+	return cb, nil
+}
+
+// Contains reports whether p would be served from memory.
+func (f LRUFetcher) Contains(p temporal.Period) bool {
+	return f.LRU.Contains(p)
+}

@@ -1,0 +1,106 @@
+package cache
+
+import (
+	"testing"
+	"time"
+
+	"rased/internal/temporal"
+)
+
+func day(i int) temporal.Period {
+	return temporal.DayPeriod(temporal.NewDay(2021, time.January, 1) + temporal.Day(i))
+}
+
+func TestLRUBasics(t *testing.T) {
+	l, err := NewLRU(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewLRU(-1); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	src := newFakeSource(30)
+
+	c0, _ := src.Fetch(day(0))
+	c1, _ := src.Fetch(day(1))
+	c2, _ := src.Fetch(day(2))
+
+	l.Put(day(0), c0)
+	l.Put(day(1), c1)
+	if l.Len() != 2 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	// Touch day 0 so day 1 becomes LRU; inserting day 2 evicts day 1.
+	if _, ok := l.Get(day(0)); !ok {
+		t.Fatal("day 0 should hit")
+	}
+	l.Put(day(2), c2)
+	if l.Contains(day(1)) {
+		t.Error("day 1 should be evicted")
+	}
+	if !l.Contains(day(0)) || !l.Contains(day(2)) {
+		t.Error("days 0 and 2 should be resident")
+	}
+	if _, ok := l.Get(day(1)); ok {
+		t.Error("evicted entry returned")
+	}
+	st := l.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	l.ResetStats()
+	if st := l.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("reset stats = %+v", st)
+	}
+
+	// Re-putting an existing key refreshes, not duplicates.
+	l.Put(day(0), c0)
+	if l.Len() != 2 {
+		t.Errorf("len after re-put = %d", l.Len())
+	}
+}
+
+func TestLRUZeroCapacity(t *testing.T) {
+	l, err := NewLRU(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := newFakeSource(5)
+	cb, _ := src.Fetch(day(0))
+	l.Put(day(0), cb)
+	if l.Len() != 0 {
+		t.Error("zero-capacity LRU stored an entry")
+	}
+}
+
+func TestLRUFetcher(t *testing.T) {
+	src := newFakeSource(30)
+	l, _ := NewLRU(8)
+	f := LRUFetcher{LRU: l, Src: src}
+
+	src.fetched = nil
+	if _, err := f.Fetch(day(3)); err != nil {
+		t.Fatal(err)
+	}
+	if len(src.fetched) != 1 {
+		t.Fatal("miss should hit the source")
+	}
+	if !f.Contains(day(3)) {
+		t.Error("fetched cube not cached")
+	}
+	if _, err := f.Fetch(day(3)); err != nil {
+		t.Fatal(err)
+	}
+	if len(src.fetched) != 1 {
+		t.Error("hit should not re-fetch")
+	}
+	// Fill beyond capacity: earliest entries evict, source re-fetched.
+	for i := 0; i < 10; i++ {
+		if _, err := f.Fetch(day(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Len() != 8 {
+		t.Errorf("len = %d, want capacity 8", l.Len())
+	}
+}

@@ -1,0 +1,844 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"rased/internal/cache"
+	"rased/internal/crawl"
+	"rased/internal/cube"
+	"rased/internal/geo"
+	"rased/internal/osm"
+	"rased/internal/osmgen"
+	"rased/internal/roads"
+	"rased/internal/temporal"
+	"rased/internal/tindex"
+	"rased/internal/update"
+)
+
+// The shared fixture: a generated world crawled and ingested once, with every
+// raw record kept for brute-force verification.
+type fixture struct {
+	dir    string
+	schema *cube.Schema
+	ix     *tindex.Index
+	recs   []update.Record
+	sizes  map[int]uint64
+	lo, hi temporal.Day
+}
+
+var (
+	fixOnce sync.Once
+	fix     *fixture
+	fixErr  error
+)
+
+const fixDays = 70
+
+func getFixture(t *testing.T) *fixture {
+	t.Helper()
+	fixOnce.Do(buildFixture)
+	if fixErr != nil {
+		t.Fatal(fixErr)
+	}
+	return fix
+}
+
+func buildFixture() {
+	dir, err := os.MkdirTemp("", "rased-core-test")
+	if err != nil {
+		fixErr = err
+		return
+	}
+	// Full country catalog (zones included), truncated road types to keep
+	// cube pages small.
+	schema := cube.ScaledSchema(geo.Default().NumValues(), 25)
+	ix, err := tindex.Create(dir, schema, 4)
+	if err != nil {
+		fixErr = err
+		return
+	}
+	g := osmgen.New(osmgen.Config{
+		Seed:          21,
+		Start:         temporal.NewDay(2021, time.January, 1),
+		UpdatesPerDay: 120,
+		SeedElements:  400,
+	})
+	csIdx := crawl.BuildChangesetIndex(g.Changesets())
+	ing := NewIngestor(ix)
+	reg := geo.Default()
+
+	f := &fixture{dir: dir, schema: schema, ix: ix}
+	f.lo = g.Day()
+	for i := 0; i < fixDays; i++ {
+		art := g.NextDay()
+		csIdx.Add(art.Changesets)
+		recs, _, err := crawl.Daily(art.Change, csIdx, reg)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		// Keep only records the schema can hold, mirroring ingestion.
+		for _, r := range recs {
+			if int(r.RoadType) < 25 {
+				f.recs = append(f.recs, r)
+			}
+		}
+		if err := ing.AppendDay(art.Day, recs); err != nil {
+			fixErr = err
+			return
+		}
+	}
+	f.hi = g.Day() - 1
+	f.sizes = g.NetworkSizes()
+	fix = f
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if fix != nil {
+		fix.ix.Close()
+		os.RemoveAll(fix.dir)
+	}
+	os.Exit(code)
+}
+
+// bruteForce recounts the raw UpdateList with cube semantics: each record
+// contributes one tuple per country value it rolls up into.
+func bruteForce(f *fixture, q Query) map[string]uint64 {
+	reg := geo.Default()
+	out := make(map[string]uint64)
+	inList := func(v string, list []string) bool {
+		if list == nil {
+			return true
+		}
+		for _, x := range list {
+			if x == v {
+				return true
+			}
+		}
+		return false
+	}
+	for _, r := range f.recs {
+		if r.Day < q.From || r.Day > q.To {
+			continue
+		}
+		if !inList(r.ElementType.String(), q.ElementTypes) {
+			continue
+		}
+		if !inList(roads.Name(int(r.RoadType)), q.RoadTypes) {
+			continue
+		}
+		if !inList(r.UpdateType.String(), q.UpdateTypes) {
+			continue
+		}
+		countryVals := []int{int(r.Country)}
+		if reg.IsLeafCountry(int(r.Country)) {
+			countryVals = append(countryVals, reg.ZonesOf(int(r.Country), r.Lat, r.Lon)...)
+		}
+		for _, cv := range countryVals {
+			if !inList(reg.Name(cv), q.Countries) {
+				continue
+			}
+			key := ""
+			if q.GroupBy.ElementType {
+				key += "e=" + r.ElementType.String() + ";"
+			}
+			if q.GroupBy.Country {
+				key += "c=" + reg.Name(cv) + ";"
+			}
+			if q.GroupBy.RoadType {
+				key += "r=" + roads.Name(int(r.RoadType)) + ";"
+			}
+			if q.GroupBy.UpdateType {
+				key += "u=" + r.UpdateType.String() + ";"
+			}
+			if q.GroupBy.Date != None {
+				key += "p=" + bucketLabel(q.GroupBy.Date, r.Day) + ";"
+			}
+			out[key] += 1
+		}
+	}
+	return out
+}
+
+func bucketLabel(g Granularity, d temporal.Day) string {
+	switch g {
+	case ByDay:
+		return temporal.DayPeriod(d).String()
+	case ByWeek:
+		if w, ok := temporal.WeekPeriod(d); ok {
+			return w.String()
+		}
+		m := temporal.MonthPeriod(d)
+		return temporal.Period{Level: temporal.Weekly, Index: m.Index*4 + 3}.String()
+	case ByMonth:
+		return temporal.MonthPeriod(d).String()
+	case ByYear:
+		return temporal.YearPeriod(d).String()
+	default:
+		return ""
+	}
+}
+
+func rowKeyOf(r Row) string {
+	key := ""
+	if r.ElementType != "" {
+		key += "e=" + r.ElementType + ";"
+	}
+	if r.Country != "" {
+		key += "c=" + r.Country + ";"
+	}
+	if r.RoadType != "" {
+		key += "r=" + r.RoadType + ";"
+	}
+	if r.UpdateType != "" {
+		key += "u=" + r.UpdateType + ";"
+	}
+	if r.Period != "" {
+		key += "p=" + r.Period + ";"
+	}
+	return key
+}
+
+func newEngine(t *testing.T, f *fixture, opts Options) *Engine {
+	t.Helper()
+	e, err := NewEngine(f.ix, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetNetworkSizes(f.sizes)
+	return e
+}
+
+func checkAgainstBruteForce(t *testing.T, f *fixture, e *Engine, q Query) *Result {
+	t.Helper()
+	res, err := e.Analyze(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteForce(f, q)
+	if len(res.Rows) != len(want) {
+		t.Errorf("rows = %d, brute force groups = %d", len(res.Rows), len(want))
+	}
+	for _, r := range res.Rows {
+		k := rowKeyOf(r)
+		if want[k] != r.Count {
+			t.Errorf("row %q = %d, brute force %d", k, r.Count, want[k])
+		}
+	}
+	return res
+}
+
+func TestAnalyzeNoGroupNoFilter(t *testing.T) {
+	f := getFixture(t)
+	e := newEngine(t, f, DefaultOptions())
+	checkAgainstBruteForce(t, f, e, Query{From: f.lo, To: f.hi})
+}
+
+func TestAnalyzeCountryAnalysisExample(t *testing.T) {
+	// Paper Example 1: newly created or modified elements per country and
+	// element type over a period.
+	f := getFixture(t)
+	e := newEngine(t, f, DefaultOptions())
+	res := checkAgainstBruteForce(t, f, e, Query{
+		From: f.lo, To: f.hi,
+		UpdateTypes: []string{"create", "geometry", "metadata"},
+		GroupBy:     GroupBy{Country: true, ElementType: true},
+	})
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Rows sorted by count descending.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].Count > res.Rows[i-1].Count {
+			t.Fatal("rows not sorted by count desc")
+		}
+	}
+}
+
+func TestAnalyzeRoadTypeExample(t *testing.T) {
+	// Paper Example 2: per road type and element type for one country.
+	f := getFixture(t)
+	e := newEngine(t, f, DefaultOptions())
+	checkAgainstBruteForce(t, f, e, Query{
+		From: f.lo + 10, To: f.hi,
+		Countries:   []string{"United States"},
+		UpdateTypes: []string{"create", "geometry", "metadata"},
+		GroupBy:     GroupBy{RoadType: true, ElementType: true},
+	})
+}
+
+func TestAnalyzeZoneQuery(t *testing.T) {
+	f := getFixture(t)
+	e := newEngine(t, f, DefaultOptions())
+	res := checkAgainstBruteForce(t, f, e, Query{
+		From: f.lo, To: f.hi,
+		Countries: []string{"Europe"},
+		GroupBy:   GroupBy{ElementType: true},
+	})
+	if res.Total == 0 {
+		t.Error("Europe zone rollup should be non-empty")
+	}
+	// World zone equals the unfiltered leaf total.
+	world, err := e.Analyze(Query{From: f.lo, To: f.hi, Countries: []string{"World"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if world.Total != uint64(len(filterWindow(f, f.lo, f.hi))) {
+		t.Errorf("world total = %d, records = %d", world.Total, len(filterWindow(f, f.lo, f.hi)))
+	}
+}
+
+func filterWindow(f *fixture, lo, hi temporal.Day) []update.Record {
+	var out []update.Record
+	for _, r := range f.recs {
+		if r.Day >= lo && r.Day <= hi && geo.Default().IsLeafCountry(int(r.Country)) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func TestAnalyzeTimeSeries(t *testing.T) {
+	// Paper Example 3: daily percentage per country.
+	f := getFixture(t)
+	e := newEngine(t, f, DefaultOptions())
+	q := Query{
+		From: f.lo, To: f.hi,
+		Countries:  []string{"United States", "Germany", "Singapore"},
+		GroupBy:    GroupBy{Country: true, Date: ByDay},
+		Percentage: true,
+	}
+	res := checkAgainstBruteForce(t, f, e, q)
+	for _, r := range res.Rows {
+		v, ok := geo.Default().ByName(r.Country)
+		if !ok {
+			t.Fatalf("unknown country in row: %q", r.Country)
+		}
+		denom := f.sizes[v]
+		if denom == 0 {
+			continue
+		}
+		want := float64(r.Count) / float64(denom) * 100
+		if r.Percentage != want {
+			t.Errorf("row %s %s pct = %f, want %f", r.Country, r.Period, r.Percentage, want)
+		}
+	}
+}
+
+func TestAnalyzeDateGranularities(t *testing.T) {
+	f := getFixture(t)
+	e := newEngine(t, f, DefaultOptions())
+	for _, g := range []Granularity{ByDay, ByWeek, ByMonth, ByYear} {
+		checkAgainstBruteForce(t, f, e, Query{
+			From: f.lo + 3, To: f.hi - 2, // partial edges
+			GroupBy: GroupBy{Date: g},
+		})
+	}
+}
+
+func TestAnalyzeVariantsAgree(t *testing.T) {
+	// RASED-F (flat), RASED-O (no cache), and full RASED must return
+	// identical rows; only their I/O profiles differ.
+	f := getFixture(t)
+	full := newEngine(t, f, DefaultOptions())
+	noCache := newEngine(t, f, Options{CacheSlots: 0, LevelOptimization: true})
+	flat := newEngine(t, f, Options{CacheSlots: 0, LevelOptimization: false})
+
+	q := Query{From: f.lo, To: f.hi, GroupBy: GroupBy{Country: true, UpdateType: true}}
+	rFull, err := full.Analyze(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rNoCache, err := noCache.Analyze(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rFlat, err := flat.Analyze(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rFull.Total != rNoCache.Total || rFull.Total != rFlat.Total {
+		t.Fatalf("totals differ: %d %d %d", rFull.Total, rNoCache.Total, rFlat.Total)
+	}
+	if len(rFull.Rows) != len(rFlat.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(rFull.Rows), len(rFlat.Rows))
+	}
+	for i := range rFull.Rows {
+		if rFull.Rows[i] != rFlat.Rows[i] || rFull.Rows[i] != rNoCache.Rows[i] {
+			t.Fatalf("row %d differs across variants", i)
+		}
+	}
+	// The flat variant reads every daily cube; the optimizer far fewer.
+	if rFlat.Stats.CubesFetched != fixDays {
+		t.Errorf("flat fetches = %d, want %d", rFlat.Stats.CubesFetched, fixDays)
+	}
+	if rNoCache.Stats.CubesFetched >= rFlat.Stats.CubesFetched/2 {
+		t.Errorf("optimizer fetches %d not much better than flat %d",
+			rNoCache.Stats.CubesFetched, rFlat.Stats.CubesFetched)
+	}
+	if rFull.Stats.CacheHits == 0 {
+		t.Error("full engine should hit the cache on a full-window query")
+	}
+	if rFull.Stats.DiskReads > rNoCache.Stats.DiskReads {
+		t.Error("cache should not increase disk reads")
+	}
+}
+
+func TestAnalyzeWindowClipping(t *testing.T) {
+	f := getFixture(t)
+	e := newEngine(t, f, DefaultOptions())
+	// Query extending beyond coverage is clipped, not an error.
+	res := checkAgainstBruteForce(t, f, e, Query{From: f.lo - 100, To: f.hi + 100})
+	if res.Total == 0 {
+		t.Error("clipped query should still return data")
+	}
+	// Disjoint window: empty result.
+	res2, err := e.Analyze(Query{From: f.hi + 10, To: f.hi + 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Total != 0 || len(res2.Rows) != 0 {
+		t.Error("disjoint window should be empty")
+	}
+	// Inverted window: error.
+	if _, err := e.Analyze(Query{From: f.hi, To: f.lo}); err == nil {
+		t.Error("inverted window should error")
+	}
+}
+
+func TestAnalyzeBadFilters(t *testing.T) {
+	f := getFixture(t)
+	e := newEngine(t, f, DefaultOptions())
+	cases := []Query{
+		{From: f.lo, To: f.hi, ElementTypes: []string{"polygon"}},
+		{From: f.lo, To: f.hi, Countries: []string{"Atlantis"}},
+		{From: f.lo, To: f.hi, RoadTypes: []string{"hyperlane"}},
+		{From: f.lo, To: f.hi, UpdateTypes: []string{"teleport"}},
+	}
+	for i, q := range cases {
+		if _, err := e.Analyze(q); err == nil {
+			t.Errorf("case %d: bad filter accepted", i)
+		}
+	}
+}
+
+func TestAnalyzeEmptyFilterListMatchesNothing(t *testing.T) {
+	f := getFixture(t)
+	e := newEngine(t, f, DefaultOptions())
+	res, err := e.Analyze(Query{From: f.lo, To: f.hi, Countries: []string{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 0 {
+		t.Errorf("empty IN list should match nothing, got %d", res.Total)
+	}
+}
+
+func TestPercentageDenominators(t *testing.T) {
+	f := getFixture(t)
+	e := newEngine(t, f, DefaultOptions())
+	reg := geo.Default()
+
+	// Ungrouped with country filter: denominator is the sum of the filter's
+	// sizes.
+	q := Query{From: f.lo, To: f.hi, Countries: []string{"United States", "Germany"}, Percentage: true}
+	res, err := e.Analyze(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	us, _ := reg.ByName("United States")
+	de, _ := reg.ByName("Germany")
+	denom := f.sizes[us] + f.sizes[de]
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	want := float64(res.Rows[0].Count) / float64(denom) * 100
+	if res.Rows[0].Percentage != want {
+		t.Errorf("pct = %f, want %f", res.Rows[0].Percentage, want)
+	}
+
+	// No filter: denominator is the world network size.
+	res2, err := e.Analyze(Query{From: f.lo, To: f.hi, Percentage: true, Countries: []string{"World"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res2
+}
+
+func TestCacheEffect(t *testing.T) {
+	f := getFixture(t)
+	e := newEngine(t, f, Options{CacheSlots: 256, Allocation: cache.Allocation{Alpha: 1}, LevelOptimization: true})
+	// Recent-window query: all daily cubes cached.
+	q := Query{From: f.hi - 9, To: f.hi}
+	res, err := e.Analyze(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.DiskReads != 0 {
+		t.Errorf("recent query disk reads = %d, want 0 (stats: %+v)", res.Stats.DiskReads, res.Stats)
+	}
+	if res.Stats.CacheHits != res.Stats.CubesFetched {
+		t.Errorf("all fetches should be hits: %+v", res.Stats)
+	}
+}
+
+func TestIngestorReplaceMonth(t *testing.T) {
+	// Build a private index, append a month with provisional types, then
+	// replace with refined types and check totals are preserved while the
+	// update-type split changes.
+	dir := t.TempDir()
+	schema := cube.ScaledSchema(geo.Default().NumValues(), 25)
+	ix, err := tindex.Create(dir, schema, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	ing := NewIngestor(ix)
+
+	lo := temporal.NewDay(2021, time.March, 1)
+	m := temporal.MonthPeriod(lo)
+	reg := geo.Default()
+	us, _ := reg.ByCode("US")
+	lat, lon := reg.RectOf(us).Center()
+	mkRec := func(d temporal.Day, ut update.Type) update.Record {
+		return update.Record{
+			ElementType: osm.Way, Day: d, Country: uint16(us), Lat: lat, Lon: lon,
+			RoadType: 5, UpdateType: ut, ChangesetID: 1,
+		}
+	}
+	var daily []update.Record
+	for d := m.Start(); d <= m.End(); d++ {
+		recs := []update.Record{mkRec(d, update.Create), mkRec(d, update.ProvisionalUpdate)}
+		daily = append(daily, recs...)
+		if err := ing.AppendDay(d, recs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, err := NewEngine(ix, Options{LevelOptimization: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := e.Analyze(Query{From: m.Start(), To: m.End(), Countries: []string{"United States"}, GroupBy: GroupBy{UpdateType: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before.Rows) != 2 {
+		t.Fatalf("before rows = %+v", before.Rows)
+	}
+
+	// Refined: every provisional update is actually a metadata update.
+	var refined []update.Record
+	for _, r := range daily {
+		if r.UpdateType == update.ProvisionalUpdate {
+			r.UpdateType = update.MetadataUpdate
+		}
+		refined = append(refined, r)
+	}
+	if err := ing.ReplaceMonth(m, refined); err != nil {
+		t.Fatal(err)
+	}
+	after, err := e.Analyze(Query{From: m.Start(), To: m.End(), Countries: []string{"United States"}, GroupBy: GroupBy{UpdateType: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Total != before.Total {
+		t.Errorf("refinement changed total: %d -> %d", before.Total, after.Total)
+	}
+	var sawMeta, sawGeom bool
+	for _, r := range after.Rows {
+		if r.UpdateType == "metadata" {
+			sawMeta = true
+		}
+		if r.UpdateType == "geometry" {
+			sawGeom = true
+		}
+	}
+	if !sawMeta || sawGeom {
+		t.Errorf("refined rows = %+v", after.Rows)
+	}
+
+	// Errors: wrong period level, out-of-month record.
+	if err := ing.ReplaceMonth(temporal.DayPeriod(lo), refined); err == nil {
+		t.Error("non-month period accepted")
+	}
+	bad := []update.Record{mkRec(m.End()+1, update.Create)}
+	if err := ing.ReplaceMonth(m, bad); err == nil {
+		t.Error("out-of-month record accepted")
+	}
+}
+
+func TestExplainMatchesExecution(t *testing.T) {
+	f := getFixture(t)
+	e := newEngine(t, f, DefaultOptions())
+	queries := []Query{
+		{From: f.lo, To: f.hi},
+		{From: f.lo + 3, To: f.hi - 4, GroupBy: GroupBy{Date: ByWeek}},
+		{From: f.lo, To: f.hi, GroupBy: GroupBy{Date: ByMonth}},
+	}
+	for i, q := range queries {
+		ex, err := e.Explain(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Analyze(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ex.Fetches != res.Stats.CubesFetched {
+			t.Errorf("query %d: explain fetches %d, actual %d", i, ex.Fetches, res.Stats.CubesFetched)
+		}
+		if ex.DiskReads != res.Stats.DiskReads {
+			t.Errorf("query %d: explain disk %d, actual %d", i, ex.DiskReads, res.Stats.DiskReads)
+		}
+		var buf bytes.Buffer
+		ex.Print(&buf)
+		if buf.Len() == 0 {
+			t.Error("empty explain output")
+		}
+	}
+	// Explain validates like Analyze.
+	if _, err := e.Explain(Query{From: f.hi, To: f.lo}); err == nil {
+		t.Error("inverted window accepted")
+	}
+	if _, err := e.Explain(Query{From: f.lo, To: f.hi, Countries: []string{"Narnia"}}); err == nil {
+		t.Error("unknown country accepted")
+	}
+	// Disjoint window explains as empty.
+	ex, err := e.Explain(Query{From: f.hi + 100, To: f.hi + 200})
+	if err != nil || !ex.Empty {
+		t.Errorf("disjoint window: %+v, %v", ex, err)
+	}
+	var buf bytes.Buffer
+	ex.Print(&buf)
+}
+
+func TestConcurrentAnalyze(t *testing.T) {
+	// The engine must serve concurrent queries safely (the dashboard is a
+	// multi-user web service). Run a mix of query shapes in parallel and
+	// verify each against its serial result.
+	f := getFixture(t)
+	e := newEngine(t, f, DefaultOptions())
+	queries := []Query{
+		{From: f.lo, To: f.hi, GroupBy: GroupBy{Country: true}},
+		{From: f.lo + 5, To: f.hi - 5, GroupBy: GroupBy{ElementType: true, Date: ByWeek}},
+		{From: f.lo, To: f.hi, Countries: []string{"Europe"}, GroupBy: GroupBy{UpdateType: true}},
+		{From: f.lo + 20, To: f.hi, GroupBy: GroupBy{RoadType: true}},
+	}
+	want := make([]*Result, len(queries))
+	for i, q := range queries {
+		res, err := e.Analyze(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				qi := (w + i) % len(queries)
+				res, err := e.Analyze(queries[qi])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Total != want[qi].Total || len(res.Rows) != len(want[qi].Rows) {
+					errs <- fmt.Errorf("query %d: concurrent result differs", qi)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestEngineOverEmptyIndex(t *testing.T) {
+	dir := t.TempDir()
+	ix, err := tindex.Create(dir, cube.ScaledSchema(10, 5), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	e, err := NewEngine(ix, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Analyze(Query{From: 0, To: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 0 || len(res.Rows) != 0 {
+		t.Errorf("empty index should return empty result: %+v", res)
+	}
+	ex, err := e.Explain(Query{From: 0, To: 100})
+	if err != nil || !ex.Empty {
+		t.Errorf("empty index explain: %+v, %v", ex, err)
+	}
+}
+
+func TestPercentageZeroDenominator(t *testing.T) {
+	// A country with updates but no recorded network size reports 0%, not
+	// NaN or Inf.
+	f := getFixture(t)
+	e, err := NewEngine(f.ix, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No SetNetworkSizes: all denominators are zero.
+	res, err := e.Analyze(Query{
+		From: f.lo, To: f.hi,
+		GroupBy:    GroupBy{Country: true},
+		Percentage: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if r.Percentage != 0 {
+			t.Fatalf("zero denominator should give 0%%, got %f for %s", r.Percentage, r.Country)
+		}
+	}
+}
+
+func TestPercentageUsesSnapshotHistory(t *testing.T) {
+	// Two snapshots: the network doubles between months. A percentage query
+	// grouped by month must divide each bucket by the size in effect then.
+	dir := t.TempDir()
+	schema := cube.ScaledSchema(geo.Default().NumValues(), 25)
+	ix, err := tindex.Create(dir, schema, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	ing := NewIngestor(ix)
+	reg := geo.Default()
+	us, _ := reg.ByCode("US")
+	lat, lon := reg.RectOf(us).Center()
+
+	jan := temporal.MonthPeriod(temporal.NewDay(2021, time.January, 1))
+	feb := temporal.MonthPeriod(temporal.NewDay(2021, time.February, 1))
+	for d := jan.Start(); d <= feb.End(); d++ {
+		recs := []update.Record{{
+			ElementType: osm.Way, Day: d, Country: uint16(us), Lat: lat, Lon: lon,
+			RoadType: 1, UpdateType: update.Create,
+		}}
+		if err := ing.AppendDay(d, recs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, err := NewEngine(ix, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AddNetworkSizeSnapshot(jan.End(), map[int]uint64{us: 100})
+	e.AddNetworkSizeSnapshot(feb.End(), map[int]uint64{us: 200})
+
+	res, err := e.Analyze(Query{
+		From: jan.Start(), To: feb.End(),
+		Countries:  []string{"United States"},
+		GroupBy:    GroupBy{Date: ByMonth},
+		Percentage: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %+v", res.Rows)
+	}
+	near := func(got, want float64) bool {
+		d := got - want
+		return d < 1e-9 && d > -1e-9
+	}
+	// January: 31 updates / size 100; February: 28 / size 200.
+	if got, want := res.Rows[0].Percentage, 31.0; !near(got, want) {
+		t.Errorf("January pct = %f, want %f", got, want)
+	}
+	if got, want := res.Rows[1].Percentage, 14.0; !near(got, want) {
+		t.Errorf("February pct = %f, want %f", got, want)
+	}
+	// Whole-window (ungrouped) query normalizes by the window-end snapshot.
+	res2, err := e.Analyze(Query{
+		From: jan.Start(), To: feb.End(),
+		Countries:  []string{"United States"},
+		Percentage: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res2.Rows[0].Percentage, 59.0/200*100; !near(got, want) {
+		t.Errorf("window pct = %f, want %f", got, want)
+	}
+	// AsOf accessors.
+	if e.NetworkSizeAsOf(us, jan.End()) != 100 || e.NetworkSize(us) != 200 {
+		t.Error("snapshot accessors wrong")
+	}
+}
+
+func TestRefreshCacheAfterAppend(t *testing.T) {
+	dir := t.TempDir()
+	schema := cube.ScaledSchema(10, 5)
+	ix, err := tindex.Create(dir, schema, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	ing := NewIngestor(ix)
+	day := temporal.NewDay(2021, time.May, 1)
+	rec := update.Record{ElementType: osm.Way, Day: day, Country: 1, RoadType: 1, UpdateType: update.Create}
+	if err := ing.AppendDay(day, []update.Record{rec}); err != nil {
+		t.Fatal(err)
+	}
+
+	e, err := NewEngine(ix, Options{CacheSlots: 16, Allocation: cache.Allocation{Alpha: 1}, LevelOptimization: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Cache().Contains(temporal.DayPeriod(day)) {
+		t.Fatal("day 1 should be preloaded")
+	}
+
+	// Append another day: it is not cached until RefreshCache runs.
+	rec2 := rec
+	rec2.Day = day + 1
+	if err := ing.AppendDay(day+1, []update.Record{rec2}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Cache().Contains(temporal.DayPeriod(day + 1)) {
+		t.Fatal("new day cached before refresh")
+	}
+	if err := e.RefreshCache(); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Cache().Contains(temporal.DayPeriod(day + 1)) {
+		t.Error("new day not cached after refresh")
+	}
+	res, err := e.Analyze(Query{From: day, To: day + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.DiskReads != 0 {
+		t.Errorf("refreshed cache should serve both days: %+v", res.Stats)
+	}
+}
+
+func TestGranularityStrings(t *testing.T) {
+	if None.String() != "none" || ByDay.String() != "day" || ByYear.String() != "year" {
+		t.Error("granularity names wrong")
+	}
+	if ByWeek.Level() != temporal.Weekly || ByMonth.Level() != temporal.Monthly {
+		t.Error("granularity levels wrong")
+	}
+}

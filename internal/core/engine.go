@@ -1,0 +1,453 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"rased/internal/cache"
+	"rased/internal/cube"
+	"rased/internal/geo"
+	"rased/internal/osm"
+	"rased/internal/plan"
+	"rased/internal/roads"
+	"rased/internal/temporal"
+	"rased/internal/tindex"
+	"rased/internal/update"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// CacheSlots is the number of cubes the cache pins in memory; 0 disables
+	// caching (the paper's RASED-O variant).
+	CacheSlots int
+	// Allocation splits the cache slots across levels; zero value means
+	// cache.DefaultAllocation.
+	Allocation cache.Allocation
+	// LevelOptimization enables the level optimizer; when false every query
+	// reads daily cubes only (with a 1-level index this is the paper's
+	// RASED-F variant).
+	LevelOptimization bool
+}
+
+// DefaultOptions is the full RASED configuration.
+func DefaultOptions() Options {
+	return Options{
+		CacheSlots:        512,
+		Allocation:        cache.DefaultAllocation,
+		LevelOptimization: true,
+	}
+}
+
+// Engine answers analysis queries against a hierarchical temporal index.
+type Engine struct {
+	ix      *tindex.Index
+	reg     *geo.Registry
+	cache   *cache.Cache // nil when caching is disabled
+	fetcher cache.Fetcher
+	opts    Options
+
+	mu        sync.RWMutex
+	snapshots []sizeSnapshot // network sizes over time, sorted by AsOf
+}
+
+// sizeSnapshot is the per-country road-network size as of one day; the
+// monthly crawler produces one per month, and Percentage(*) uses the snapshot
+// in effect at the query window's end.
+type sizeSnapshot struct {
+	asOf  temporal.Day
+	sizes map[int]uint64
+}
+
+// NewEngine builds an engine over an index. When opts.CacheSlots > 0 the
+// cache is preloaded with the most recent cubes per the allocation.
+func NewEngine(ix *tindex.Index, opts Options) (*Engine, error) {
+	e := &Engine{
+		ix:   ix,
+		reg:  geo.Default(),
+		opts: opts,
+	}
+	if opts.CacheSlots > 0 {
+		alloc := opts.Allocation
+		if alloc == (cache.Allocation{}) {
+			alloc = cache.DefaultAllocation
+		}
+		c, err := cache.New(opts.CacheSlots, alloc)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Preload(ix); err != nil {
+			return nil, err
+		}
+		e.cache = c
+	}
+	e.fetcher = cache.Fetcher{Cache: e.cache, Src: ix}
+	return e, nil
+}
+
+// Index returns the engine's underlying index.
+func (e *Engine) Index() *tindex.Index { return e.ix }
+
+// Cache returns the engine's cube cache, or nil when caching is disabled.
+func (e *Engine) Cache() *cache.Cache { return e.cache }
+
+// SetNetworkSizes installs a single per-country road-network size table used
+// as the Percentage(*) denominator for every window (produced by
+// crawl.NetworkSizes). It replaces any snapshot history.
+func (e *Engine) SetNetworkSizes(sizes map[int]uint64) {
+	e.mu.Lock()
+	e.snapshots = e.snapshots[:0]
+	e.mu.Unlock()
+	e.AddNetworkSizeSnapshot(1<<30, sizes)
+}
+
+// AddNetworkSizeSnapshot records the network sizes as of a day. Percentage
+// queries use the latest snapshot at or before the query window's end, so a
+// two-year-old window is normalized by the network as it was then.
+func (e *Engine) AddNetworkSizeSnapshot(asOf temporal.Day, sizes map[int]uint64) {
+	cp := make(map[int]uint64, len(sizes))
+	for k, v := range sizes {
+		cp[k] = v
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	i := sort.Search(len(e.snapshots), func(i int) bool { return e.snapshots[i].asOf >= asOf })
+	if i < len(e.snapshots) && e.snapshots[i].asOf == asOf {
+		e.snapshots[i].sizes = cp
+		return
+	}
+	e.snapshots = append(e.snapshots, sizeSnapshot{})
+	copy(e.snapshots[i+1:], e.snapshots[i:])
+	e.snapshots[i] = sizeSnapshot{asOf: asOf, sizes: cp}
+}
+
+// sizesAsOf returns the snapshot in effect on day d: the latest at or before
+// d, or the earliest available when d predates them all. Callers hold e.mu.
+func (e *Engine) sizesAsOf(d temporal.Day) map[int]uint64 {
+	if len(e.snapshots) == 0 {
+		return nil
+	}
+	i := sort.Search(len(e.snapshots), func(i int) bool { return e.snapshots[i].asOf > d })
+	if i == 0 {
+		return e.snapshots[0].sizes
+	}
+	return e.snapshots[i-1].sizes
+}
+
+// NetworkSize returns the latest stored road-network size of a country
+// catalog value.
+func (e *Engine) NetworkSize(country int) uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if len(e.snapshots) == 0 {
+		return 0
+	}
+	return e.snapshots[len(e.snapshots)-1].sizes[country]
+}
+
+// NetworkSizeAsOf returns the road-network size of a country in the snapshot
+// covering day d.
+func (e *Engine) NetworkSizeAsOf(country int, d temporal.Day) uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.sizesAsOf(d)[country]
+}
+
+// RefreshCache re-preloads the cache after index maintenance.
+func (e *Engine) RefreshCache() error {
+	if e.cache == nil {
+		return nil
+	}
+	return e.cache.Preload(e.ix)
+}
+
+// maxLevel returns the highest level the optimizer may use.
+func (e *Engine) maxLevel() temporal.Level {
+	if !e.opts.LevelOptimization {
+		return temporal.Daily
+	}
+	return temporal.Level(e.ix.Levels() - 1)
+}
+
+// clip restricts [from, to] to index coverage. ok is false when they do not
+// intersect.
+func (e *Engine) clip(from, to temporal.Day) (lo, hi temporal.Day, ok bool) {
+	cLo, cHi, has := e.ix.Coverage()
+	if !has {
+		return 0, 0, false
+	}
+	if from > cHi || to < cLo {
+		return 0, 0, false
+	}
+	if from < cLo {
+		from = cLo
+	}
+	if to > cHi {
+		to = cHi
+	}
+	return from, to, from <= to
+}
+
+// rowKey extends the cube group key with the optional date bucket.
+type rowKey struct {
+	k         cube.Key
+	p         temporal.Period // zero Period (Daily,0 means day 0) — use valid flag
+	hasPeriod bool
+}
+
+// Analyze executes an analysis query.
+func (e *Engine) Analyze(q Query) (*Result, error) {
+	start := time.Now()
+	if q.To < q.From {
+		return nil, fmt.Errorf("core: query window [%s, %s] is inverted", q.From, q.To)
+	}
+	filter, err := CompileFilter(&q, e.reg)
+	if err != nil {
+		return nil, err
+	}
+	gb := cubeGroupBy(q.GroupBy)
+
+	res := &Result{}
+	lo, hi, ok := e.clip(q.From, q.To)
+	if !ok {
+		res.Stats.ElapsedNanos = time.Since(start).Nanoseconds()
+		return res, nil
+	}
+
+	groups := make(map[rowKey]uint64)
+	if q.GroupBy.Date == None {
+		pl, err := e.planWindow(lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.aggregatePlan(pl, filter, gb, rowKey{}, groups, res); err != nil {
+			return nil, err
+		}
+	} else {
+		// Date-grouped query: one bucket per period at the requested
+		// granularity; each bucket is covered independently (partial edge
+		// buckets decompose into finer cubes).
+		lvl := q.GroupBy.Date.Level()
+		for _, b := range dateBuckets(lvl, lo, hi) {
+			bucket := rowKey{p: b.p, hasPeriod: true}
+			if b.lo == b.p.Start() && b.hi == b.p.End() && e.ix.Has(b.p) {
+				if err := e.aggregatePeriods(filter, gb, bucket, groups, res, b.p); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			pl, err := plan.Optimize(b.lo, b.hi, e.maxLevelBelow(lvl), e.ix, e.cacheView())
+			if err != nil {
+				return nil, err
+			}
+			if err := e.aggregatePlan(pl, filter, gb, bucket, groups, res); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	e.buildRows(res, groups, &q)
+	res.Stats.ElapsedNanos = time.Since(start).Nanoseconds()
+	return res, nil
+}
+
+// dateBucket is one time bucket of a date-grouped query: the labeling period
+// and the day range it aggregates (clipped to the query window).
+type dateBucket struct {
+	p      temporal.Period
+	lo, hi temporal.Day
+}
+
+// dateBuckets partitions [lo, hi] into buckets at the given level. Weekly
+// buckets fold each month's trailing days (29-31) into that month's fourth
+// week, so the bucketing is exhaustive.
+func dateBuckets(lvl temporal.Level, lo, hi temporal.Day) []dateBucket {
+	var out []dateBucket
+	if lvl != temporal.Weekly {
+		for _, p := range temporal.PeriodsBetween(lvl, lo, hi) {
+			b := dateBucket{p: p, lo: p.Start(), hi: p.End()}
+			if b.lo < lo {
+				b.lo = lo
+			}
+			if b.hi > hi {
+				b.hi = hi
+			}
+			out = append(out, b)
+		}
+		return out
+	}
+	for _, m := range temporal.PeriodsBetween(temporal.Monthly, lo, hi) {
+		for i, w := range m.Children() {
+			if i >= 4 {
+				break // trailing days belong to week 4
+			}
+			b := dateBucket{p: w, lo: w.Start(), hi: w.End()}
+			if i == 3 {
+				b.hi = m.End() // fold trailing days into week 4
+			}
+			if b.hi < lo || b.lo > hi {
+				continue
+			}
+			if b.lo < lo {
+				b.lo = lo
+			}
+			if b.hi > hi {
+				b.hi = hi
+			}
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// cacheView adapts the cache for the planner; nil when caching is off.
+func (e *Engine) cacheView() plan.CacheView {
+	if e.cache == nil {
+		return nil
+	}
+	return e.cache
+}
+
+// planWindow runs the level optimizer (or the flat plan) over [lo, hi].
+func (e *Engine) planWindow(lo, hi temporal.Day) (*plan.Plan, error) {
+	if !e.opts.LevelOptimization {
+		return plan.Flat(lo, hi, e.ix, e.cacheView())
+	}
+	return plan.Optimize(lo, hi, e.maxLevel(), e.ix, e.cacheView())
+}
+
+// maxLevelBelow caps the optimizer at strictly finer levels than lvl, so a
+// date-grouped bucket never reads a cube coarser than its own granularity.
+func (e *Engine) maxLevelBelow(lvl temporal.Level) temporal.Level {
+	max := e.maxLevel()
+	if lvl > temporal.Daily && lvl-1 < max {
+		max = lvl - 1
+	}
+	if !e.opts.LevelOptimization {
+		max = temporal.Daily
+	}
+	return max
+}
+
+// aggregatePlan fetches every period of a plan and folds it into groups under
+// the bucket's date key.
+func (e *Engine) aggregatePlan(pl *plan.Plan, f cube.Filter, gb cube.GroupBy,
+	bucket rowKey, groups map[rowKey]uint64, res *Result) error {
+	return e.aggregatePeriods(f, gb, bucket, groups, res, pl.Periods...)
+}
+
+func (e *Engine) aggregatePeriods(f cube.Filter, gb cube.GroupBy,
+	bucket rowKey, groups map[rowKey]uint64, res *Result, periods ...temporal.Period) error {
+	scratch := make(map[cube.Key]uint64)
+	for _, p := range periods {
+		cached := e.cache != nil && e.cache.Contains(p)
+		cb, err := e.fetcher.Fetch(p)
+		if err != nil {
+			return err
+		}
+		res.Stats.CubesFetched++
+		if cached {
+			res.Stats.CacheHits++
+		} else {
+			res.Stats.DiskReads++
+		}
+		for k := range scratch {
+			delete(scratch, k)
+		}
+		total := cb.AggregateInto(f, gb, scratch)
+		res.Total += total
+		for k, v := range scratch {
+			rk := bucket
+			rk.k = k
+			groups[rk] += v
+		}
+	}
+	return nil
+}
+
+// buildRows converts the group map into named, sorted rows, applying the
+// percentage transform when requested.
+func (e *Engine) buildRows(res *Result, groups map[rowKey]uint64, q *Query) {
+	rows := make([]Row, 0, len(groups))
+	for rk, count := range groups {
+		r := Row{Count: count}
+		if rk.k.Element >= 0 {
+			r.ElementType = osm.ElementType(rk.k.Element).String()
+		}
+		if rk.k.Country >= 0 {
+			r.Country = e.reg.Name(int(rk.k.Country))
+		}
+		if rk.k.RoadType >= 0 {
+			r.RoadType = roads.Name(int(rk.k.RoadType))
+		}
+		if rk.k.Update >= 0 {
+			r.UpdateType = update.Type(rk.k.Update).String()
+		}
+		if rk.hasPeriod {
+			r.Period = rk.p.String()
+		}
+		if q.Percentage {
+			r.Percentage = e.percentage(count, rk, q)
+		}
+		rows = append(rows, r)
+	}
+	sortRows(rows)
+	res.Rows = rows
+}
+
+// sortRows orders rows by period, count descending, then dimension names.
+func sortRows(rows []Row) {
+	sort.Slice(rows, func(a, b int) bool {
+		if rows[a].Period != rows[b].Period {
+			return rows[a].Period < rows[b].Period
+		}
+		if rows[a].Count != rows[b].Count {
+			return rows[a].Count > rows[b].Count
+		}
+		if rows[a].Country != rows[b].Country {
+			return rows[a].Country < rows[b].Country
+		}
+		if rows[a].ElementType != rows[b].ElementType {
+			return rows[a].ElementType < rows[b].ElementType
+		}
+		if rows[a].RoadType != rows[b].RoadType {
+			return rows[a].RoadType < rows[b].RoadType
+		}
+		return rows[a].UpdateType < rows[b].UpdateType
+	})
+}
+
+// percentage computes count as a percentage of the road network size of the
+// row's country (or of the filtered countries, or the whole world), using
+// the size snapshot in effect at the query window's end (or at the row's
+// bucket end for date-grouped queries).
+func (e *Engine) percentage(count uint64, rk rowKey, q *Query) float64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	asOf := q.To
+	if rk.hasPeriod {
+		asOf = rk.p.End()
+	}
+	sizes := e.sizesAsOf(asOf)
+	if sizes == nil {
+		return 0
+	}
+	var denom uint64
+	switch {
+	case rk.k.Country >= 0:
+		denom = sizes[int(rk.k.Country)]
+	case q.Countries != nil:
+		for _, n := range q.Countries {
+			if v, ok := e.reg.ByName(n); ok {
+				denom += sizes[v]
+			}
+		}
+	default:
+		denom = sizes[e.reg.WorldValue()]
+	}
+	if denom == 0 {
+		return 0
+	}
+	return float64(count) / float64(denom) * 100
+}

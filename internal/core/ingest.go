@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+
+	"rased/internal/cube"
+	"rased/internal/geo"
+	"rased/internal/temporal"
+	"rased/internal/tindex"
+	"rased/internal/update"
+)
+
+// Ingestor turns crawled UpdateList records into day cubes and maintains the
+// hierarchical index: the online half of the Storage and Indexing module
+// (Section VI-A).
+type Ingestor struct {
+	ix  *tindex.Index
+	reg *geo.Registry
+
+	dropped int
+}
+
+// NewIngestor wraps an index for ingestion.
+func NewIngestor(ix *tindex.Index) *Ingestor {
+	return &Ingestor{ix: ix, reg: geo.Default()}
+}
+
+// BuildDayCube aggregates one day's records into a cube, incrementing the
+// leaf country cell and each enclosing zone cell per record.
+func (in *Ingestor) BuildDayCube(day temporal.Day, recs []update.Record) (*cube.Cube, error) {
+	cb := cube.New(in.ix.Schema())
+	for i := range recs {
+		r := &recs[i]
+		if r.Day != day {
+			return nil, fmt.Errorf("core: record dated %v in day %v batch", r.Day, day)
+		}
+		var zones []int
+		if in.reg.IsLeafCountry(int(r.Country)) {
+			zones = in.reg.ZonesOf(int(r.Country), r.Lat, r.Lon)
+		}
+		if !cb.AddRecord(r, zones) {
+			in.dropped++
+		}
+	}
+	return cb, nil
+}
+
+// AppendDay builds and appends one day's cube (with end-of-period rollups).
+func (in *Ingestor) AppendDay(day temporal.Day, recs []update.Record) error {
+	cb, err := in.BuildDayCube(day, recs)
+	if err != nil {
+		return err
+	}
+	return in.ix.AppendDay(day, cb)
+}
+
+// ReplaceMonth is the monthly refinement (Section VI-A): the month's records,
+// now carrying the full four-way update type, are regrouped into day cubes
+// that overwrite the stored ones, and all ancestor cubes are rebuilt.
+func (in *Ingestor) ReplaceMonth(month temporal.Period, recs []update.Record) error {
+	if month.Level != temporal.Monthly {
+		return fmt.Errorf("core: ReplaceMonth needs a monthly period, got %v", month)
+	}
+	byDay := make(map[temporal.Day][]update.Record)
+	for _, r := range recs {
+		if !month.Contains(r.Day) {
+			return fmt.Errorf("core: record dated %v outside month %v", r.Day, month)
+		}
+		byDay[r.Day] = append(byDay[r.Day], r)
+	}
+	days := make(map[temporal.Day]*cube.Cube)
+	for d := month.Start(); d <= month.End(); d++ {
+		cb, err := in.BuildDayCube(d, byDay[d])
+		if err != nil {
+			return err
+		}
+		days[d] = cb
+	}
+	return in.ix.ReplaceDays(days)
+}
+
+// Dropped reports how many records fell outside the schema and were skipped
+// (only possible with scaled-down schemas).
+func (in *Ingestor) Dropped() int { return in.dropped }
+
+// Coverage returns the index's covered day range.
+func (in *Ingestor) Coverage() (lo, hi temporal.Day, ok bool) { return in.ix.Coverage() }
+
+// Sync persists the index.
+func (in *Ingestor) Sync() error { return in.ix.Sync() }

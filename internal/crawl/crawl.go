@@ -1,0 +1,240 @@
+// Package crawl implements RASED's Data Collection and Processing module
+// (Section V): the daily crawler that turns diff and changeset files into
+// UpdateList tuples with a provisional two-way update type, and the monthly
+// crawler that walks the full-history dump comparing consecutive element
+// versions to produce the full four-way classification (create, delete,
+// geometry update, metadata update).
+package crawl
+
+import (
+	"fmt"
+	"io"
+
+	"rased/internal/geo"
+	"rased/internal/osm"
+	"rased/internal/osmxml"
+	"rased/internal/roads"
+	"rased/internal/temporal"
+	"rased/internal/update"
+)
+
+// Stats summarizes one crawl: how many element updates were seen and why any
+// were dropped.
+type Stats struct {
+	Seen        int // element updates examined
+	Emitted     int // UpdateList records produced
+	NonRoad     int // dropped: not a road-network element
+	NoChangeset int // dropped: way/relation whose changeset metadata is missing
+	NoCountry   int // dropped: location resolves to no country
+}
+
+// ChangesetIndex resolves changeset IDs to their metadata, the lookup the
+// daily crawler performs to locate way and relation updates.
+type ChangesetIndex map[int64]osm.Changeset
+
+// BuildChangesetIndex indexes changesets by ID.
+func BuildChangesetIndex(sets []osm.Changeset) ChangesetIndex {
+	idx := make(ChangesetIndex, len(sets))
+	for _, cs := range sets {
+		idx[cs.ID] = cs
+	}
+	return idx
+}
+
+// Add inserts more changesets into the index.
+func (ci ChangesetIndex) Add(sets []osm.Changeset) {
+	for _, cs := range sets {
+		ci[cs.ID] = cs
+	}
+}
+
+// locate resolves the country and coordinates of one element update: nodes by
+// their own coordinates, ways and relations by the center of their
+// changeset's bounding box (Section V).
+func locate(e *osm.Element, csIdx ChangesetIndex, reg *geo.Registry, st *Stats) (country int, lat, lon float64, ok bool) {
+	if e.Type == osm.Node {
+		country, ok = reg.Resolve(e.Lat, e.Lon)
+		if !ok {
+			st.NoCountry++
+		}
+		return country, e.Lat, e.Lon, ok
+	}
+	cs, found := csIdx[e.ChangesetID]
+	if !found {
+		st.NoChangeset++
+		return 0, 0, 0, false
+	}
+	country, lat, lon, ok = reg.ResolveBBox(cs.MinLat, cs.MinLon, cs.MaxLat, cs.MaxLon)
+	if !ok {
+		st.NoCountry++
+	}
+	return country, lat, lon, ok
+}
+
+func record(e *osm.Element, ut update.Type, country int, lat, lon float64, roadType int) update.Record {
+	return update.Record{
+		ElementType: e.Type,
+		Day:         temporal.FromTime(e.Timestamp),
+		Country:     uint16(country),
+		Lat:         lat,
+		Lon:         lon,
+		RoadType:    uint16(roadType),
+		UpdateType:  ut,
+		ChangesetID: e.ChangesetID,
+	}
+}
+
+// Daily crawls one day's OsmChange diff together with its changeset metadata.
+// Created elements yield Create, deletions Delete, and modifications the
+// provisional update type that the monthly crawl later refines.
+func Daily(ch *osmxml.Change, csIdx ChangesetIndex, reg *geo.Registry) ([]update.Record, Stats, error) {
+	var out []update.Record
+	var st Stats
+	for _, item := range ch.Items {
+		e := item.Element
+		st.Seen++
+		if !roads.IsRoadElement(e.Tags) {
+			st.NonRoad++
+			continue
+		}
+		var ut update.Type
+		switch item.Action {
+		case osmxml.Create:
+			ut = update.Create
+		case osmxml.Modify:
+			ut = update.ProvisionalUpdate
+		case osmxml.Delete:
+			ut = update.Delete
+		default:
+			return nil, st, fmt.Errorf("crawl: unknown change action %v", item.Action)
+		}
+		country, lat, lon, ok := locate(e, csIdx, reg, &st)
+		if !ok {
+			continue
+		}
+		out = append(out, record(e, ut, country, lat, lon, roads.Classify(e.Tags)))
+		st.Emitted++
+	}
+	return out, st, nil
+}
+
+// Monthly walks a full-history dump (sorted by element type, id, version),
+// classifies every version transition, and returns the records whose date
+// falls in [from, to]. The history must start at version 1 for each element
+// so transitions are classifiable; dumping from the beginning of history and
+// windowing the output, as the real full-history file allows, satisfies this.
+func Monthly(hr *osmxml.HistoryReader, csIdx ChangesetIndex, reg *geo.Registry, from, to temporal.Day) ([]update.Record, Stats, error) {
+	var out []update.Record
+	var st Stats
+	var prev *osm.Element
+
+	emit := func(cur *osm.Element, ut update.Type, tags map[string]string) {
+		st.Seen++
+		if !roads.IsRoadElement(tags) {
+			st.NonRoad++
+			return
+		}
+		d := temporal.FromTime(cur.Timestamp)
+		if d < from || d > to {
+			return
+		}
+		// For deletions the final version may be stripped; locate nodes by
+		// the previous version's coordinates.
+		loc := cur
+		if ut == update.Delete && cur.Type == osm.Node && prev != nil {
+			loc = prev
+		}
+		country, lat, lon, ok := locate(loc, csIdx, reg, &st)
+		if !ok {
+			return
+		}
+		out = append(out, record(cur, ut, country, lat, lon, roads.Classify(tags)))
+		st.Emitted++
+	}
+
+	classify := func(cur *osm.Element) {
+		switch {
+		case prev == nil || prev.Key() != cur.Key():
+			// First version of a new element run.
+			if cur.Version != 1 {
+				// Windowed history without the element's prior version: the
+				// transition is unclassifiable; treat as geometry update, the
+				// same conservative choice the daily crawler makes.
+				emit(cur, update.ProvisionalUpdate, cur.Tags)
+				return
+			}
+			emit(cur, update.Create, cur.Tags)
+		case !cur.Visible:
+			tags := cur.Tags
+			if len(tags) == 0 {
+				tags = prev.Tags
+			}
+			emit(cur, update.Delete, tags)
+		case !osm.SameGeometry(prev, cur):
+			emit(cur, update.GeometryUpdate, cur.Tags)
+		default:
+			emit(cur, update.MetadataUpdate, cur.Tags)
+		}
+	}
+
+	for {
+		cur, err := hr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, st, err
+		}
+		classify(cur)
+		prev = cur
+	}
+	return out, st, nil
+}
+
+// NetworkSizes streams a full-history dump and returns the live road-network
+// size per country catalog value (leaf countries plus zone rollups) as of the
+// given day — the denominator of Percentage(*) queries. An element is live
+// when its latest version with timestamp ≤ asOf is visible and road-typed.
+func NetworkSizes(hr *osmxml.HistoryReader, csIdx ChangesetIndex, reg *geo.Registry, asOf temporal.Day) (map[int]uint64, error) {
+	sizes := make(map[int]uint64)
+	var last *osm.Element // latest version with timestamp <= asOf of the current element
+	var curKey osm.Key
+	haveKey := false
+
+	flush := func() {
+		if last == nil || !last.Visible || !roads.IsRoadElement(last.Tags) {
+			return
+		}
+		var st Stats
+		country, lat, lon, ok := locate(last, csIdx, reg, &st)
+		if !ok {
+			return
+		}
+		sizes[country]++
+		if reg.IsLeafCountry(country) {
+			for _, z := range reg.ZonesOf(country, lat, lon) {
+				sizes[z]++
+			}
+		}
+	}
+
+	for {
+		cur, err := hr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if haveKey && cur.Key() != curKey {
+			flush()
+			last = nil
+		}
+		curKey, haveKey = cur.Key(), true
+		if temporal.FromTime(cur.Timestamp) <= asOf {
+			last = cur
+		}
+	}
+	flush()
+	return sizes, nil
+}

@@ -1,0 +1,321 @@
+package crawl
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"rased/internal/geo"
+	"rased/internal/osm"
+	"rased/internal/osmgen"
+	"rased/internal/osmxml"
+	"rased/internal/temporal"
+	"rased/internal/update"
+)
+
+func ts(day temporal.Day, hour int) time.Time {
+	return day.Time().Add(time.Duration(hour) * time.Hour)
+}
+
+// handHistory builds a tiny history with known classifications.
+func handHistory(t *testing.T, reg *geo.Registry) (*bytes.Buffer, ChangesetIndex, temporal.Day) {
+	t.Helper()
+	day := temporal.NewDay(2021, time.May, 1)
+	us, _ := reg.ByCode("US")
+	lat, lon := reg.RectOf(us).Center()
+
+	cs := osm.Changeset{ID: 1, CreatedAt: ts(day, 1), MinLat: lat - 0.1, MinLon: lon - 0.1, MaxLat: lat + 0.1, MaxLon: lon + 0.1}
+	idx := BuildChangesetIndex([]osm.Changeset{cs})
+
+	mk := func(ver int, hour int, visible bool, refs []int64, tags map[string]string) *osm.Element {
+		return &osm.Element{
+			Type: osm.Way, ID: 10, Version: ver, Timestamp: ts(day, hour),
+			ChangesetID: 1, Visible: visible, NodeRefs: refs, Tags: tags,
+		}
+	}
+	els := []*osm.Element{
+		// v1: create. v2: geometry (refs change). v3: metadata (tag change).
+		// v4: delete.
+		mk(1, 1, true, []int64{1, 2}, map[string]string{"highway": "residential"}),
+		mk(2, 2, true, []int64{1, 2, 3}, map[string]string{"highway": "residential"}),
+		mk(3, 3, true, []int64{1, 2, 3}, map[string]string{"highway": "residential", "name": "Elm"}),
+		mk(4, 4, false, []int64{1, 2, 3}, map[string]string{"highway": "residential", "name": "Elm"}),
+		// A node: create then move (geometry).
+		{Type: osm.Node, ID: 20, Version: 1, Timestamp: ts(day, 1), ChangesetID: 1, Visible: true,
+			Lat: lat, Lon: lon, Tags: map[string]string{"highway": "stop"}},
+		{Type: osm.Node, ID: 20, Version: 2, Timestamp: ts(day, 2), ChangesetID: 1, Visible: true,
+			Lat: lat + 0.001, Lon: lon, Tags: map[string]string{"highway": "stop"}},
+		// A non-road element: ignored entirely.
+		{Type: osm.Node, ID: 30, Version: 1, Timestamp: ts(day, 1), ChangesetID: 1, Visible: true,
+			Lat: lat, Lon: lon, Tags: map[string]string{"amenity": "cafe"}},
+	}
+	var buf bytes.Buffer
+	hw, err := osmxml.NewHistoryWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range els {
+		if err := hw.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := hw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return &buf, idx, day
+}
+
+func TestMonthlyClassification(t *testing.T) {
+	reg := geo.Default()
+	buf, idx, day := handHistory(t, reg)
+	recs, st, err := Monthly(osmxml.NewHistoryReader(buf), idx, reg, day, day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NonRoad != 1 {
+		t.Errorf("NonRoad = %d, want 1", st.NonRoad)
+	}
+	if len(recs) != 6 {
+		t.Fatalf("records = %d, want 6", len(recs))
+	}
+	wantTypes := []update.Type{
+		update.Create, update.GeometryUpdate, update.MetadataUpdate, update.Delete, // way 10
+		update.Create, update.GeometryUpdate, // node 20
+	}
+	for i, want := range wantTypes {
+		if recs[i].UpdateType != want {
+			t.Errorf("record %d type = %v, want %v", i, recs[i].UpdateType, want)
+		}
+	}
+	us, _ := reg.ByCode("US")
+	for i, r := range recs {
+		if int(r.Country) != us {
+			t.Errorf("record %d country = %s, want US", i, reg.Name(int(r.Country)))
+		}
+		if r.Day != day {
+			t.Errorf("record %d day = %v", i, r.Day)
+		}
+		if r.ChangesetID != 1 {
+			t.Errorf("record %d changeset = %d", i, r.ChangesetID)
+		}
+	}
+}
+
+func TestMonthlyWindowFilters(t *testing.T) {
+	reg := geo.Default()
+	buf, idx, day := handHistory(t, reg)
+	// Window excludes the test day entirely.
+	recs, _, err := Monthly(osmxml.NewHistoryReader(buf), idx, reg, day+10, day+20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Errorf("out-of-window crawl produced %d records", len(recs))
+	}
+}
+
+func TestMonthlyWindowedHistoryFallsBack(t *testing.T) {
+	// History starting at version 3 (window cut): the first transition is
+	// unclassifiable and must fall back to the provisional update type.
+	reg := geo.Default()
+	day := temporal.NewDay(2021, time.May, 1)
+	us, _ := reg.ByCode("US")
+	lat, lon := reg.RectOf(us).Center()
+	var buf bytes.Buffer
+	hw, _ := osmxml.NewHistoryWriter(&buf)
+	hw.Add(&osm.Element{Type: osm.Node, ID: 5, Version: 3, Timestamp: ts(day, 1), ChangesetID: 9,
+		Visible: true, Lat: lat, Lon: lon, Tags: map[string]string{"highway": "stop"}})
+	hw.Close()
+	recs, _, err := Monthly(osmxml.NewHistoryReader(&buf), nil, reg, day, day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].UpdateType != update.ProvisionalUpdate {
+		t.Errorf("windowed first version: %+v", recs)
+	}
+}
+
+func TestDailyBasics(t *testing.T) {
+	reg := geo.Default()
+	day := temporal.NewDay(2021, time.June, 1)
+	de, _ := reg.ByCode("DE")
+	lat, lon := reg.RectOf(de).Center()
+	cs := osm.Changeset{ID: 7, MinLat: lat - 0.1, MinLon: lon - 0.1, MaxLat: lat + 0.1, MaxLon: lon + 0.1}
+	idx := BuildChangesetIndex(nil)
+	idx.Add([]osm.Changeset{cs})
+
+	ch := &osmxml.Change{Items: []osmxml.ChangeItem{
+		{Action: osmxml.Create, Element: &osm.Element{Type: osm.Node, ID: 1, Version: 1, Timestamp: ts(day, 1),
+			ChangesetID: 7, Visible: true, Lat: lat, Lon: lon, Tags: map[string]string{"highway": "crossing"}}},
+		{Action: osmxml.Modify, Element: &osm.Element{Type: osm.Way, ID: 2, Version: 4, Timestamp: ts(day, 2),
+			ChangesetID: 7, Visible: true, NodeRefs: []int64{1, 2}, Tags: map[string]string{"highway": "primary"}}},
+		{Action: osmxml.Delete, Element: &osm.Element{Type: osm.Way, ID: 3, Version: 2, Timestamp: ts(day, 3),
+			ChangesetID: 7, Visible: false, Tags: map[string]string{"highway": "service"}}},
+		// Way in an unknown changeset: dropped.
+		{Action: osmxml.Modify, Element: &osm.Element{Type: osm.Way, ID: 4, Version: 2, Timestamp: ts(day, 4),
+			ChangesetID: 999, Visible: true, Tags: map[string]string{"highway": "primary"}}},
+		// Non-road: dropped.
+		{Action: osmxml.Create, Element: &osm.Element{Type: osm.Node, ID: 5, Version: 1, Timestamp: ts(day, 5),
+			ChangesetID: 7, Visible: true, Lat: lat, Lon: lon, Tags: map[string]string{"shop": "bakery"}}},
+	}}
+
+	recs, st, err := Daily(ch, idx, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Seen != 5 || st.Emitted != 3 || st.NonRoad != 1 || st.NoChangeset != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	want := []update.Type{update.Create, update.ProvisionalUpdate, update.Delete}
+	for i, w := range want {
+		if recs[i].UpdateType != w {
+			t.Errorf("record %d type = %v, want %v", i, recs[i].UpdateType, w)
+		}
+		if int(recs[i].Country) != de {
+			t.Errorf("record %d country = %s", i, reg.Name(int(recs[i].Country)))
+		}
+	}
+	// The node keeps its own coordinates; the way takes the bbox center.
+	if recs[0].Lat != lat || recs[0].Lon != lon {
+		t.Error("node coordinates wrong")
+	}
+	if recs[1].Lat != lat || recs[1].Lon != lon {
+		t.Error("way should take changeset bbox center")
+	}
+}
+
+// TestDailyMonthlyAgreement: over a generated world, the monthly crawl of the
+// same window must see the same updates as the union of daily crawls, with
+// update types refined: creates and deletes match exactly, and daily
+// provisional updates split into geometry + metadata.
+func TestDailyMonthlyAgreement(t *testing.T) {
+	reg := geo.Default()
+	g := osmgen.New(osmgen.Config{Seed: 11, Start: temporal.NewDay(2021, time.March, 1), UpdatesPerDay: 150, SeedElements: 400})
+	csIdx := BuildChangesetIndex(g.Changesets())
+
+	var dailyRecs []update.Record
+	days := 14
+	for i := 0; i < days; i++ {
+		art := g.NextDay()
+		csIdx.Add(art.Changesets)
+		recs, _, err := Daily(art.Change, csIdx, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dailyRecs = append(dailyRecs, recs...)
+	}
+
+	from := temporal.NewDay(2021, time.March, 1)
+	to := from + temporal.Day(days-1)
+	var buf bytes.Buffer
+	if err := g.WriteHistory(&buf, from-1, to); err != nil { // include seeds for version-1 context
+		t.Fatal(err)
+	}
+	monthlyRecs, _, err := Monthly(osmxml.NewHistoryReader(&buf), csIdx, reg, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	count := func(recs []update.Record, ut ...update.Type) int {
+		n := 0
+		for _, r := range recs {
+			for _, u := range ut {
+				if r.UpdateType == u {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	if len(monthlyRecs) != len(dailyRecs) {
+		t.Errorf("monthly %d records, daily %d", len(monthlyRecs), len(dailyRecs))
+	}
+	if dc, mc := count(dailyRecs, update.Create), count(monthlyRecs, update.Create); dc != mc {
+		t.Errorf("creates: daily %d, monthly %d", dc, mc)
+	}
+	if dd, md := count(dailyRecs, update.Delete), count(monthlyRecs, update.Delete); dd != md {
+		t.Errorf("deletes: daily %d, monthly %d", dd, md)
+	}
+	prov := count(dailyRecs, update.ProvisionalUpdate)
+	refined := count(monthlyRecs, update.GeometryUpdate) + count(monthlyRecs, update.MetadataUpdate)
+	if prov != refined {
+		t.Errorf("modifications: daily provisional %d, monthly geometry+metadata %d", prov, refined)
+	}
+	if count(monthlyRecs, update.MetadataUpdate) == 0 {
+		t.Error("no metadata updates classified; generator emits ~40% metadata edits")
+	}
+	if count(monthlyRecs, update.GeometryUpdate) == 0 {
+		t.Error("no geometry updates classified")
+	}
+
+	// Per-day, per-country, per-element-type multisets must agree.
+	type key struct {
+		d temporal.Day
+		c uint16
+		e osm.ElementType
+	}
+	dm := make(map[key]int)
+	for _, r := range dailyRecs {
+		dm[key{r.Day, r.Country, r.ElementType}]++
+	}
+	for _, r := range monthlyRecs {
+		dm[key{r.Day, r.Country, r.ElementType}]--
+	}
+	for k, v := range dm {
+		if v != 0 {
+			t.Fatalf("daily/monthly disagree at %+v by %d", k, v)
+		}
+	}
+}
+
+func TestNetworkSizesMatchesGenerator(t *testing.T) {
+	reg := geo.Default()
+	g := osmgen.New(osmgen.Config{Seed: 4, Start: temporal.NewDay(2021, time.March, 1), UpdatesPerDay: 100, SeedElements: 300})
+	csIdx := BuildChangesetIndex(g.Changesets())
+	for i := 0; i < 5; i++ {
+		art := g.NextDay()
+		csIdx.Add(art.Changesets)
+	}
+	var buf bytes.Buffer
+	asOf := temporal.NewDay(2021, time.March, 5)
+	if err := g.WriteHistory(&buf, 0, asOf+1000); err != nil {
+		t.Fatal(err)
+	}
+	// History beyond asOf exists; sizes must reflect only versions <= asOf.
+	sizes, err := NetworkSizes(osmxml.NewHistoryReader(&buf), csIdx, reg, asOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var leaf uint64
+	for c, n := range sizes {
+		if reg.IsLeafCountry(c) {
+			leaf += n
+		}
+	}
+	if leaf == 0 {
+		t.Fatal("no live elements found")
+	}
+	if sizes[reg.WorldValue()] != leaf {
+		t.Errorf("world size %d != leaf sum %d", sizes[reg.WorldValue()], leaf)
+	}
+
+	// As of the final generated day, the live count matches the generator.
+	var buf2 bytes.Buffer
+	end := g.Day() - 1
+	if err := g.WriteHistory(&buf2, 0, end); err != nil {
+		t.Fatal(err)
+	}
+	sizes2, err := NetworkSizes(osmxml.NewHistoryReader(&buf2), csIdx, reg, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var leaf2 uint64
+	for c, n := range sizes2 {
+		if reg.IsLeafCountry(c) {
+			leaf2 += n
+		}
+	}
+	if int(leaf2) != g.LiveCount() {
+		t.Errorf("crawled live = %d, generator live = %d", leaf2, g.LiveCount())
+	}
+}

@@ -1,0 +1,368 @@
+package cube
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rased/internal/geo"
+	"rased/internal/osm"
+	"rased/internal/roads"
+	"rased/internal/temporal"
+	"rased/internal/update"
+)
+
+func testSchema() *Schema { return ScaledSchema(12, 8) }
+
+func randomCube(s *Schema, seed int64, n int) *Cube {
+	rng := rand.New(rand.NewSource(seed))
+	cb := New(s)
+	de, dc, dr, du := s.Dims()
+	for i := 0; i < n; i++ {
+		cb.Add(rng.Intn(de), rng.Intn(dc), rng.Intn(dr), rng.Intn(du), uint64(1+rng.Intn(5)))
+	}
+	return cb
+}
+
+func TestDefaultSchemaShape(t *testing.T) {
+	s := DefaultSchema()
+	e, c, r, u := s.Dims()
+	if e != 3 || u != 4 {
+		t.Errorf("dims = %d,%d,%d,%d", e, c, r, u)
+	}
+	if r != 150 {
+		t.Errorf("road types = %d, want 150", r)
+	}
+	if c < 300 {
+		t.Errorf("countries = %d, want >= 300", c)
+	}
+	// Paper: ~540K cells, ~4MB per cube.
+	if s.CellCount() < 500_000 {
+		t.Errorf("cell count = %d, want ~540K+", s.CellCount())
+	}
+	sz := PageSize(s)
+	if sz < 4<<20 || sz > 6<<20 {
+		t.Errorf("page size = %d bytes, want ~4-5 MB", sz)
+	}
+}
+
+func TestScaledSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized scaled schema should panic")
+		}
+	}()
+	ScaledSchema(100000, 5)
+}
+
+func TestAddAt(t *testing.T) {
+	cb := New(testSchema())
+	cb.Add(1, 2, 3, 1, 5)
+	cb.Add(1, 2, 3, 1, 2)
+	if got := cb.At(1, 2, 3, 1); got != 7 {
+		t.Errorf("At = %d, want 7", got)
+	}
+	if got := cb.At(0, 0, 0, 0); got != 0 {
+		t.Errorf("empty cell = %d", got)
+	}
+	if cb.Total() != 7 {
+		t.Errorf("Total = %d", cb.Total())
+	}
+	cb.Reset()
+	if cb.Total() != 0 {
+		t.Error("Reset did not zero")
+	}
+}
+
+func TestMergeProperties(t *testing.T) {
+	s := testSchema()
+	// Commutative, associative, identity — the laws the hierarchy rollup
+	// relies on.
+	f := func(a, b, c int64) bool {
+		ca := randomCube(s, a, 200)
+		cc := randomCube(s, c, 200)
+		cbb := randomCube(s, b, 200)
+
+		ab := ca.Clone()
+		if err := ab.Merge(cbb); err != nil {
+			return false
+		}
+		ba := cbb.Clone()
+		if err := ba.Merge(ca); err != nil {
+			return false
+		}
+		if !ab.Equal(ba) {
+			return false
+		}
+		// (a+b)+c == a+(b+c)
+		abc1 := ab.Clone()
+		abc1.Merge(cc)
+		bc := cbb.Clone()
+		bc.Merge(cc)
+		abc2 := ca.Clone()
+		abc2.Merge(bc)
+		if !abc1.Equal(abc2) {
+			return false
+		}
+		// a+0 == a
+		id := ca.Clone()
+		id.Merge(New(s))
+		return id.Equal(ca)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeIncompatible(t *testing.T) {
+	a := New(ScaledSchema(12, 8))
+	b := New(ScaledSchema(13, 8))
+	if err := a.Merge(b); err == nil {
+		t.Error("merging different schemas should fail")
+	}
+}
+
+func TestAddRecordAndZones(t *testing.T) {
+	s := DefaultSchema()
+	cb := New(s)
+	g := geo.Default()
+	us, _ := g.ByCode("US")
+	lat, lon := g.RectOf(us).Center()
+	rec := update.Record{
+		ElementType: osm.Way,
+		Day:         100,
+		Country:     uint16(us),
+		Lat:         lat, Lon: lon,
+		RoadType:   5,
+		UpdateType: update.Create,
+	}
+	zones := g.ZonesOf(us, lat, lon)
+	if !cb.AddRecord(&rec, zones) {
+		t.Fatal("AddRecord rejected a valid record")
+	}
+	if got := cb.At(int(osm.Way), us, 5, int(update.Create)); got != 1 {
+		t.Errorf("leaf cell = %d", got)
+	}
+	na := g.ContinentValue(geo.NorthAmerica)
+	if got := cb.At(int(osm.Way), na, 5, int(update.Create)); got != 1 {
+		t.Errorf("continent rollup = %d", got)
+	}
+	if got := cb.At(int(osm.Way), g.WorldValue(), 5, int(update.Create)); got != 1 {
+		t.Errorf("world rollup = %d", got)
+	}
+	// LeafTotal counts only the leaf increment.
+	if got := cb.LeafTotal(g.NumCountries()); got != 1 {
+		t.Errorf("LeafTotal = %d", got)
+	}
+	if got := cb.Total(); got != 4 { // leaf + continent + world + state
+		t.Errorf("Total = %d, want 4 (leaf + 3 zones)", got)
+	}
+}
+
+func TestAddRecordOutOfSchema(t *testing.T) {
+	cb := New(testSchema()) // only 12 country values
+	rec := update.Record{ElementType: osm.Node, Country: 500, RoadType: 1, UpdateType: update.Create}
+	if cb.AddRecord(&rec, nil) {
+		t.Error("out-of-schema record should be dropped")
+	}
+	if cb.Total() != 0 {
+		t.Error("dropped record must not change cells")
+	}
+}
+
+func TestAggregateMatchesBruteForce(t *testing.T) {
+	s := testSchema()
+	de, dc, dr, du := s.Dims()
+	rng := rand.New(rand.NewSource(5))
+	cb := randomCube(s, 17, 500)
+
+	for trial := 0; trial < 100; trial++ {
+		var f Filter
+		pick := func(dim int) []int {
+			if rng.Intn(2) == 0 {
+				return nil
+			}
+			var vs []int
+			for v := 0; v < dim; v++ {
+				if rng.Intn(3) == 0 {
+					vs = append(vs, v)
+				}
+			}
+			if vs == nil {
+				vs = []int{rng.Intn(dim)}
+			}
+			return vs
+		}
+		f.Elements = pick(de)
+		f.Countries = pick(dc)
+		f.RoadTypes = pick(dr)
+		f.UpdateTypes = pick(du)
+		g := GroupBy{
+			Element:  rng.Intn(2) == 0,
+			Country:  rng.Intn(2) == 0,
+			RoadType: rng.Intn(2) == 0,
+			Update:   rng.Intn(2) == 0,
+		}
+
+		got := make(map[Key]uint64)
+		total := cb.AggregateInto(f, g, got)
+
+		inSet := func(v int, set []int) bool {
+			if set == nil {
+				return true
+			}
+			for _, x := range set {
+				if x == v {
+					return true
+				}
+			}
+			return false
+		}
+		want := make(map[Key]uint64)
+		var wantTotal uint64
+		for e := 0; e < de; e++ {
+			for c := 0; c < dc; c++ {
+				for r := 0; r < dr; r++ {
+					for u := 0; u < du; u++ {
+						v := cb.At(e, c, r, u)
+						if v == 0 || !inSet(e, f.Elements) || !inSet(c, f.Countries) ||
+							!inSet(r, f.RoadTypes) || !inSet(u, f.UpdateTypes) {
+							continue
+						}
+						k := Key{-1, -1, -1, -1}
+						if g.Element {
+							k.Element = int16(e)
+						}
+						if g.Country {
+							k.Country = int16(c)
+						}
+						if g.RoadType {
+							k.RoadType = int16(r)
+						}
+						if g.Update {
+							k.Update = int16(u)
+						}
+						want[k] += v
+						wantTotal += v
+					}
+				}
+			}
+		}
+		if total != wantTotal {
+			t.Fatalf("trial %d: total = %d, want %d", trial, total, wantTotal)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d groups, want %d", trial, len(got), len(want))
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("trial %d: group %+v = %d, want %d", trial, k, got[k], v)
+			}
+		}
+	}
+}
+
+func TestAggregateFilterIgnoresOutOfRange(t *testing.T) {
+	cb := randomCube(testSchema(), 3, 100)
+	dst := make(map[Key]uint64)
+	total := cb.AggregateInto(Filter{Countries: []int{0, 9999, -1}}, GroupBy{}, dst)
+	dst2 := make(map[Key]uint64)
+	total2 := cb.AggregateInto(Filter{Countries: []int{0}}, GroupBy{}, dst2)
+	if total != total2 {
+		t.Errorf("out-of-range filter values changed the result: %d vs %d", total, total2)
+	}
+}
+
+func TestPageRoundTrip(t *testing.T) {
+	s := testSchema()
+	cb := randomCube(s, 9, 300)
+	p := temporal.Period{Level: temporal.Monthly, Index: 24265}
+	buf := MarshalPage(cb, p)
+	if len(buf) != PageSize(s) {
+		t.Errorf("page len = %d, want %d", len(buf), PageSize(s))
+	}
+	got, gp, err := UnmarshalPage(s, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp != p {
+		t.Errorf("period = %+v, want %+v", gp, p)
+	}
+	if !got.Equal(cb) {
+		t.Error("cells mismatch after round trip")
+	}
+}
+
+func TestPageCorruption(t *testing.T) {
+	s := testSchema()
+	cb := randomCube(s, 1, 50)
+	p := temporal.Period{Level: temporal.Daily, Index: 42}
+
+	fresh := func() []byte { return MarshalPage(cb, p) }
+
+	buf := fresh()
+	buf[0] = 'X'
+	if _, _, err := UnmarshalPage(s, buf); err == nil {
+		t.Error("bad magic accepted")
+	}
+	buf = fresh()
+	buf[8] = 99
+	if _, _, err := UnmarshalPage(s, buf); err == nil {
+		t.Error("bad version accepted")
+	}
+	buf = fresh()
+	buf[10] = 200
+	if _, _, err := UnmarshalPage(s, buf); err == nil {
+		t.Error("bad level accepted")
+	}
+	buf = fresh()
+	buf[pageHeaderSize+3] ^= 0xFF // torn payload
+	if _, _, err := UnmarshalPage(s, buf); err == nil {
+		t.Error("torn page accepted")
+	}
+	buf = fresh()
+	if _, _, err := UnmarshalPage(s, buf[:100]); err == nil {
+		t.Error("truncated page accepted")
+	}
+	if _, _, err := UnmarshalPage(ScaledSchema(13, 8), fresh()); err == nil {
+		t.Error("cross-schema read accepted")
+	}
+	if _, _, err := UnmarshalPage(s, buf[:10]); err == nil {
+		t.Error("tiny page accepted")
+	}
+}
+
+func TestPageRoundTripQuick(t *testing.T) {
+	s := testSchema()
+	f := func(seed int64, idx int32, lvl uint8) bool {
+		cb := randomCube(s, seed, 100)
+		p := temporal.Period{Level: temporal.Level(lvl % 4), Index: int(idx)}
+		got, gp, err := UnmarshalPage(s, MarshalPage(cb, p))
+		return err == nil && gp == p && got.Equal(cb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	a := ScaledSchema(12, 8)
+	b := ScaledSchema(12, 9)
+	c := ScaledSchema(13, 8)
+	if a.Fingerprint() == b.Fingerprint() || a.Fingerprint() == c.Fingerprint() {
+		t.Error("fingerprints should differ across geometries")
+	}
+	if a.Fingerprint() != ScaledSchema(12, 8).Fingerprint() {
+		t.Error("fingerprint should be deterministic")
+	}
+}
+
+func TestRoadsCatalogConsistency(t *testing.T) {
+	s := DefaultSchema()
+	if len(s.RoadTypes) != roads.Num() {
+		t.Error("schema road types out of sync with catalog")
+	}
+	if len(s.Countries) != geo.Default().NumValues() {
+		t.Error("schema countries out of sync with geo catalog")
+	}
+}

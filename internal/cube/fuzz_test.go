@@ -1,0 +1,33 @@
+package cube
+
+import (
+	"testing"
+
+	"rased/internal/temporal"
+)
+
+// FuzzUnmarshalPage: arbitrary bytes must never panic, and whatever passes
+// validation must agree between the eager and lazy decoders.
+func FuzzUnmarshalPage(f *testing.F) {
+	s := ScaledSchema(4, 3)
+	good := MarshalPage(New(s), temporal.Period{Level: temporal.Daily, Index: 1})
+	f.Add(good)
+	f.Add(good[:50])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cb, p1, err1 := UnmarshalPage(s, data)
+		view, p2, err2 := UnmarshalPageView(s, data, true)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("decoders disagree: eager=%v lazy=%v", err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		if p1 != p2 {
+			t.Fatalf("periods disagree: %v vs %v", p1, p2)
+		}
+		if !view.Materialize().Equal(cb) {
+			t.Fatal("cells disagree between decoders")
+		}
+	})
+}

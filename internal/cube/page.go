@@ -1,0 +1,96 @@
+package cube
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"rased/internal/temporal"
+)
+
+// Page layout (little endian):
+//
+//	offset  size  field
+//	0       8     magic "RASEDCB1"
+//	8       2     format version (1)
+//	10      1     temporal level
+//	11      5     reserved
+//	16      8     period index (int64)
+//	24      8     schema fingerprint
+//	32      4     cell count
+//	36      4     CRC-32 (IEEE) of the payload
+//	40      8*n   cells, uint64 each
+//	...           zero padding to PageSize
+const (
+	pageHeaderSize = 40
+	pageAlign      = 4096
+	pageVersion    = 1
+)
+
+var pageMagic = [8]byte{'R', 'A', 'S', 'E', 'D', 'C', 'B', '1'}
+
+// PageSize returns the fixed on-disk page size for cubes of schema s: header
+// plus payload, rounded up to a 4 KiB multiple (the paper stores each ~4 MB
+// cube in one disk page).
+func PageSize(s *Schema) int {
+	raw := pageHeaderSize + 8*s.CellCount()
+	return (raw + pageAlign - 1) / pageAlign * pageAlign
+}
+
+// MarshalPage serializes the cube and its period into a fixed-size page.
+func MarshalPage(cb *Cube, p temporal.Period) []byte {
+	buf := make([]byte, PageSize(cb.schema))
+	copy(buf[0:8], pageMagic[:])
+	binary.LittleEndian.PutUint16(buf[8:], pageVersion)
+	buf[10] = byte(p.Level)
+	binary.LittleEndian.PutUint64(buf[16:], uint64(int64(p.Index)))
+	binary.LittleEndian.PutUint64(buf[24:], cb.schema.Fingerprint())
+	binary.LittleEndian.PutUint32(buf[32:], uint32(len(cb.cells)))
+	payload := buf[pageHeaderSize : pageHeaderSize+8*len(cb.cells)]
+	for i, v := range cb.cells {
+		binary.LittleEndian.PutUint64(payload[8*i:], v)
+	}
+	binary.LittleEndian.PutUint32(buf[36:], crc32.ChecksumIEEE(payload))
+	return buf
+}
+
+// UnmarshalPage deserializes a page into a fresh cube with schema s,
+// validating magic, version, schema fingerprint, and payload checksum.
+func UnmarshalPage(s *Schema, buf []byte) (*Cube, temporal.Period, error) {
+	var p temporal.Period
+	if len(buf) < pageHeaderSize {
+		return nil, p, fmt.Errorf("cube: page too small (%d bytes)", len(buf))
+	}
+	var m [8]byte
+	copy(m[:], buf[0:8])
+	if m != pageMagic {
+		return nil, p, fmt.Errorf("cube: bad page magic %q", m[:])
+	}
+	if v := binary.LittleEndian.Uint16(buf[8:]); v != pageVersion {
+		return nil, p, fmt.Errorf("cube: unsupported page version %d", v)
+	}
+	p.Level = temporal.Level(buf[10])
+	if !p.Level.Valid() {
+		return nil, p, fmt.Errorf("cube: invalid page level %d", buf[10])
+	}
+	p.Index = int(int64(binary.LittleEndian.Uint64(buf[16:])))
+	if fp := binary.LittleEndian.Uint64(buf[24:]); fp != s.Fingerprint() {
+		return nil, p, fmt.Errorf("cube: page schema fingerprint %x does not match schema %x", fp, s.Fingerprint())
+	}
+	n := int(binary.LittleEndian.Uint32(buf[32:]))
+	if n != s.CellCount() {
+		return nil, p, fmt.Errorf("cube: page has %d cells, schema wants %d", n, s.CellCount())
+	}
+	if len(buf) < pageHeaderSize+8*n {
+		return nil, p, fmt.Errorf("cube: page truncated: %d bytes for %d cells", len(buf), n)
+	}
+	payload := buf[pageHeaderSize : pageHeaderSize+8*n]
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(buf[36:]); got != want {
+		return nil, p, fmt.Errorf("cube: page checksum mismatch (torn page?): got %08x want %08x", got, want)
+	}
+	cb := New(s)
+	for i := range cb.cells {
+		cb.cells[i] = binary.LittleEndian.Uint64(payload[8*i:])
+	}
+	return cb, p, nil
+}

@@ -1,0 +1,148 @@
+package cube
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"rased/internal/temporal"
+)
+
+// Reader is the read-only cube interface the query path consumes. Both the
+// fully-decoded Cube and the lazy PageView implement it.
+type Reader interface {
+	// Schema returns the cube's schema.
+	Schema() *Schema
+	// At returns the count at one coordinate.
+	At(e, c, r, u int) uint64
+	// AggregateInto sums the filtered sub-cube into dst keyed by the grouped
+	// dimensions, returning the filtered total.
+	AggregateInto(f Filter, g GroupBy, dst map[Key]uint64) uint64
+}
+
+var (
+	_ Reader = (*Cube)(nil)
+	_ Reader = (*PageView)(nil)
+)
+
+// PageView is a read-only cube over a serialized page that decodes cells on
+// demand. Analysis queries typically touch a tiny filtered sub-cube of the
+// ~540K cells, so skipping the full decode (and its multi-megabyte
+// allocation) keeps per-cube query cost proportional to the filter, not the
+// page.
+type PageView struct {
+	schema     *Schema
+	payload    []byte
+	se, sc, sr int
+}
+
+// UnmarshalPageView validates a page's header (and, when verify is set, its
+// checksum — a full-payload scan) and returns a lazy view plus the page's
+// period. The buffer must remain valid and unmodified for the view's
+// lifetime.
+func UnmarshalPageView(s *Schema, buf []byte, verify bool) (*PageView, temporal.Period, error) {
+	var p temporal.Period
+	if len(buf) < pageHeaderSize {
+		return nil, p, fmt.Errorf("cube: page too small (%d bytes)", len(buf))
+	}
+	var m [8]byte
+	copy(m[:], buf[0:8])
+	if m != pageMagic {
+		return nil, p, fmt.Errorf("cube: bad page magic %q", m[:])
+	}
+	if v := binary.LittleEndian.Uint16(buf[8:]); v != pageVersion {
+		return nil, p, fmt.Errorf("cube: unsupported page version %d", v)
+	}
+	p.Level = temporal.Level(buf[10])
+	if !p.Level.Valid() {
+		return nil, p, fmt.Errorf("cube: invalid page level %d", buf[10])
+	}
+	p.Index = int(int64(binary.LittleEndian.Uint64(buf[16:])))
+	if fp := binary.LittleEndian.Uint64(buf[24:]); fp != s.Fingerprint() {
+		return nil, p, fmt.Errorf("cube: page schema fingerprint %x does not match schema %x", fp, s.Fingerprint())
+	}
+	n := int(binary.LittleEndian.Uint32(buf[32:]))
+	if n != s.CellCount() {
+		return nil, p, fmt.Errorf("cube: page has %d cells, schema wants %d", n, s.CellCount())
+	}
+	if len(buf) < pageHeaderSize+8*n {
+		return nil, p, fmt.Errorf("cube: page truncated: %d bytes for %d cells", len(buf), n)
+	}
+	payload := buf[pageHeaderSize : pageHeaderSize+8*n]
+	if verify {
+		if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(buf[36:]); got != want {
+			return nil, p, fmt.Errorf("cube: page checksum mismatch (torn page?): got %08x want %08x", got, want)
+		}
+	}
+	_, c, r, u := s.Dims()
+	return &PageView{
+		schema:  s,
+		payload: payload,
+		se:      c * r * u,
+		sc:      r * u,
+		sr:      u,
+	}, p, nil
+}
+
+// Schema returns the view's schema.
+func (pv *PageView) Schema() *Schema { return pv.schema }
+
+// At returns the count at one coordinate.
+func (pv *PageView) At(e, c, r, u int) uint64 {
+	idx := e*pv.se + c*pv.sc + r*pv.sr + u
+	return binary.LittleEndian.Uint64(pv.payload[8*idx:])
+}
+
+// AggregateInto sums the filtered sub-cube into dst, decoding only the cells
+// the filter selects.
+func (pv *PageView) AggregateInto(f Filter, g GroupBy, dst map[Key]uint64) uint64 {
+	de, dc, dr, du := pv.schema.Dims()
+	var eBuf, cBuf, rBuf, uBuf [512]int
+	es := values(f.Elements, de, eBuf[:0])
+	cs := values(f.Countries, dc, cBuf[:0])
+	rs := values(f.RoadTypes, dr, rBuf[:0])
+	us := values(f.UpdateTypes, du, uBuf[:0])
+
+	var total uint64
+	key := Key{Element: -1, Country: -1, RoadType: -1, Update: -1}
+	for _, e := range es {
+		if g.Element {
+			key.Element = int16(e)
+		}
+		eBase := e * pv.se
+		for _, c := range cs {
+			if g.Country {
+				key.Country = int16(c)
+			}
+			cBase := eBase + c*pv.sc
+			for _, r := range rs {
+				if g.RoadType {
+					key.RoadType = int16(r)
+				}
+				rBase := (cBase + r*pv.sr) * 8
+				for _, u := range us {
+					v := binary.LittleEndian.Uint64(pv.payload[rBase+u*8:])
+					if v == 0 {
+						continue
+					}
+					if g.Update {
+						key.Update = int16(u)
+					}
+					dst[key] += v
+					total += v
+				}
+			}
+		}
+	}
+	return total
+}
+
+// Materialize decodes the view into a full Cube (used when a caller needs
+// Merge or mutation).
+func (pv *PageView) Materialize() *Cube {
+	cb := New(pv.schema)
+	for i := range cb.cells {
+		cb.cells[i] = binary.LittleEndian.Uint64(pv.payload[8*i:])
+	}
+	return cb
+}

@@ -1,0 +1,107 @@
+package cube
+
+import (
+	"math/rand"
+	"testing"
+
+	"rased/internal/temporal"
+)
+
+func TestPageViewMatchesCube(t *testing.T) {
+	s := testSchema()
+	cb := randomCube(s, 77, 500)
+	p := temporal.Period{Level: temporal.Weekly, Index: 12345}
+	buf := MarshalPage(cb, p)
+	view, gp, err := UnmarshalPageView(s, buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp != p {
+		t.Errorf("period = %v", gp)
+	}
+	de, dc, dr, du := s.Dims()
+	for e := 0; e < de; e++ {
+		for c := 0; c < dc; c++ {
+			for r := 0; r < dr; r++ {
+				for u := 0; u < du; u++ {
+					if view.At(e, c, r, u) != cb.At(e, c, r, u) {
+						t.Fatalf("At(%d,%d,%d,%d) differs", e, c, r, u)
+					}
+				}
+			}
+		}
+	}
+	if !view.Materialize().Equal(cb) {
+		t.Error("materialized view != original cube")
+	}
+}
+
+func TestPageViewAggregateMatchesCube(t *testing.T) {
+	s := testSchema()
+	cb := randomCube(s, 13, 400)
+	buf := MarshalPage(cb, temporal.Period{Level: temporal.Daily, Index: 7})
+	view, _, err := UnmarshalPageView(s, buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	de, dc, _, du := s.Dims()
+	for trial := 0; trial < 60; trial++ {
+		f := Filter{
+			Elements:    []int{rng.Intn(de)},
+			Countries:   []int{rng.Intn(dc), rng.Intn(dc)},
+			RoadTypes:   nil,
+			UpdateTypes: []int{rng.Intn(du)},
+		}
+		if trial%3 == 0 {
+			f = Filter{} // unfiltered
+		}
+		g := GroupBy{
+			Element:  rng.Intn(2) == 0,
+			Country:  rng.Intn(2) == 0,
+			RoadType: rng.Intn(2) == 0,
+			Update:   rng.Intn(2) == 0,
+		}
+		want := make(map[Key]uint64)
+		wantTotal := cb.AggregateInto(f, g, want)
+		got := make(map[Key]uint64)
+		gotTotal := view.AggregateInto(f, g, got)
+		if wantTotal != gotTotal || len(want) != len(got) {
+			t.Fatalf("trial %d: totals %d/%d groups %d/%d", trial, wantTotal, gotTotal, len(want), len(got))
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("trial %d: group %+v = %d, want %d", trial, k, got[k], v)
+			}
+		}
+	}
+}
+
+func TestPageViewVerifyFlag(t *testing.T) {
+	s := testSchema()
+	cb := randomCube(s, 5, 50)
+	buf := MarshalPage(cb, temporal.Period{Level: temporal.Daily, Index: 1})
+	buf[pageHeaderSize+9] ^= 0xFF // corrupt the payload
+
+	if _, _, err := UnmarshalPageView(s, buf, true); err == nil {
+		t.Error("verify=true must catch a torn page")
+	}
+	// verify=false skips the checksum (the caller opted out).
+	if _, _, err := UnmarshalPageView(s, buf, false); err != nil {
+		t.Errorf("verify=false should not run the checksum: %v", err)
+	}
+
+	// Header corruption is always caught.
+	buf = MarshalPage(cb, temporal.Period{Level: temporal.Daily, Index: 1})
+	buf[0] = 'X'
+	if _, _, err := UnmarshalPageView(s, buf, false); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, _, err := UnmarshalPageView(s, buf[:16], false); err == nil {
+		t.Error("truncated header accepted")
+	}
+	buf = MarshalPage(cb, temporal.Period{Level: temporal.Daily, Index: 1})
+	if _, _, err := UnmarshalPageView(ScaledSchema(13, 8), buf, false); err == nil {
+		t.Error("cross-schema view accepted")
+	}
+}

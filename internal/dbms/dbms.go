@@ -1,0 +1,269 @@
+// Package dbms is the baseline "traditional DBMS" of the paper's Section
+// VIII-C experiment: the UpdateList stored as a heap table behind an LRU
+// buffer pool, with analysis queries executed by a full sequential scan and
+// hash aggregation — the plan PostgreSQL falls back to when a query groups by
+// multiple attributes, which is why its latency is flat in the query window
+// and proportional to the relation size.
+//
+// The table answers exactly the same core.Query language as the RASED engine
+// (including country zone rollups), so Figure 10 compares identical
+// semantics.
+package dbms
+
+import (
+	"container/list"
+	"fmt"
+	"time"
+
+	"rased/internal/core"
+	"rased/internal/cube"
+	"rased/internal/geo"
+	"rased/internal/heap"
+	"rased/internal/osm"
+	"rased/internal/roads"
+	"rased/internal/temporal"
+	"rased/internal/update"
+)
+
+// BufPool is an LRU page cache, the stand-in for PostgreSQL's shared
+// buffers. The paper configures it with the same memory budget as RASED's
+// cube cache for fairness.
+type BufPool struct {
+	read     heap.ReadPageFunc
+	capacity int // pages
+
+	lru   *list.List // front = most recent; values are *frame
+	pages map[int]*list.Element
+
+	hits, misses int64
+}
+
+type frame struct {
+	page int
+	buf  []byte
+}
+
+// NewBufPool wraps a page reader with an LRU cache of capacityBytes.
+func NewBufPool(read heap.ReadPageFunc, capacityBytes int64) *BufPool {
+	capPages := int(capacityBytes / heap.PageSize)
+	if capPages < 1 {
+		capPages = 1
+	}
+	return &BufPool{
+		read:     read,
+		capacity: capPages,
+		lru:      list.New(),
+		pages:    make(map[int]*list.Element),
+	}
+}
+
+// ReadPage serves the page from the pool, faulting it in on miss and evicting
+// the least recently used frame when full.
+func (bp *BufPool) ReadPage(page int, buf []byte) error {
+	if el, ok := bp.pages[page]; ok {
+		bp.lru.MoveToFront(el)
+		copy(buf, el.Value.(*frame).buf)
+		bp.hits++
+		return nil
+	}
+	bp.misses++
+	if err := bp.read(page, buf); err != nil {
+		return err
+	}
+	f := &frame{page: page, buf: append([]byte(nil), buf...)}
+	bp.pages[page] = bp.lru.PushFront(f)
+	for bp.lru.Len() > bp.capacity {
+		victim := bp.lru.Back()
+		bp.lru.Remove(victim)
+		delete(bp.pages, victim.Value.(*frame).page)
+	}
+	return nil
+}
+
+// Stats returns pool hits and misses.
+func (bp *BufPool) Stats() (hits, misses int64) { return bp.hits, bp.misses }
+
+// Len returns the number of cached pages.
+func (bp *BufPool) Len() int { return bp.lru.Len() }
+
+// Table is the baseline UpdateList table.
+type Table struct {
+	h    *heap.Heap
+	pool *BufPool
+	reg  *geo.Registry
+}
+
+// OpenTable opens (or creates) the table at path with the given buffer pool
+// budget in bytes.
+func OpenTable(path string, bufBytes int64) (*Table, error) {
+	h, err := heap.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{h: h, reg: geo.Default()}
+	t.pool = NewBufPool(h.Store().ReadPage, bufBytes)
+	return t, nil
+}
+
+// Add appends records to the table.
+func (t *Table) Add(recs []update.Record) error {
+	for i := range recs {
+		if _, err := t.h.Append(&recs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Count returns the number of stored records.
+func (t *Table) Count() int { return t.h.Count() }
+
+// Heap exposes the underlying heap for I/O accounting.
+func (t *Table) Heap() *heap.Heap { return t.h }
+
+// Pool exposes the buffer pool for statistics.
+func (t *Table) Pool() *BufPool { return t.pool }
+
+// Flush persists buffered records.
+func (t *Table) Flush() error { return t.h.Flush() }
+
+// Close flushes and closes the table.
+func (t *Table) Close() error { return t.h.Close() }
+
+// groupKey mirrors the engine's row key: cube coordinates plus date bucket.
+type groupKey struct {
+	k         cube.Key
+	p         temporal.Period
+	hasPeriod bool
+}
+
+// aggState is the shared hash-aggregation executor: records stream in, rows
+// come out with exactly the RASED engine's semantics (country zone rollups,
+// date bucketing, canonical ordering).
+type aggState struct {
+	q      core.Query
+	reg    *geo.Registry
+	filter cube.Filter
+	groups map[groupKey]uint64
+	total  uint64
+}
+
+func newAggState(q core.Query, reg *geo.Registry) (*aggState, error) {
+	if q.To < q.From {
+		return nil, fmt.Errorf("dbms: query window [%s, %s] is inverted", q.From, q.To)
+	}
+	filter, err := core.CompileFilter(&q, reg)
+	if err != nil {
+		return nil, err
+	}
+	return &aggState{q: q, reg: reg, filter: filter, groups: make(map[groupKey]uint64)}, nil
+}
+
+func inSet(set []int, v int) bool {
+	if set == nil {
+		return true
+	}
+	for _, x := range set {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// add folds one record into the aggregate.
+func (a *aggState) add(r *update.Record) {
+	if r.Day < a.q.From || r.Day > a.q.To {
+		return
+	}
+	if !inSet(a.filter.Elements, int(r.ElementType)) ||
+		!inSet(a.filter.RoadTypes, int(r.RoadType)) ||
+		!inSet(a.filter.UpdateTypes, int(r.UpdateType)) {
+		return
+	}
+	countryVals := [5]int{int(r.Country)}
+	nVals := 1
+	if a.reg.IsLeafCountry(int(r.Country)) {
+		for _, z := range a.reg.ZonesOf(int(r.Country), r.Lat, r.Lon) {
+			countryVals[nVals] = z
+			nVals++
+		}
+	}
+	var gk groupKey
+	gk.k = cube.Key{Element: -1, Country: -1, RoadType: -1, Update: -1}
+	if a.q.GroupBy.ElementType {
+		gk.k.Element = int16(r.ElementType)
+	}
+	if a.q.GroupBy.RoadType {
+		gk.k.RoadType = int16(r.RoadType)
+	}
+	if a.q.GroupBy.UpdateType {
+		gk.k.Update = int16(r.UpdateType)
+	}
+	if p, ok := core.BucketPeriod(a.q.GroupBy.Date, r.Day); ok {
+		gk.p, gk.hasPeriod = p, true
+	}
+	for i := 0; i < nVals; i++ {
+		cv := countryVals[i]
+		if !inSet(a.filter.Countries, cv) {
+			continue
+		}
+		k := gk
+		if a.q.GroupBy.Country {
+			k.k.Country = int16(cv)
+		}
+		a.groups[k]++
+		a.total++
+	}
+}
+
+// finish materializes the sorted result rows.
+func (a *aggState) finish() *core.Result {
+	res := &core.Result{Total: a.total}
+	rows := make([]core.Row, 0, len(a.groups))
+	for gk, count := range a.groups {
+		row := core.Row{Count: count}
+		if gk.k.Element >= 0 {
+			row.ElementType = osm.ElementType(gk.k.Element).String()
+		}
+		if gk.k.Country >= 0 {
+			row.Country = a.reg.Name(int(gk.k.Country))
+		}
+		if gk.k.RoadType >= 0 {
+			row.RoadType = roads.Name(int(gk.k.RoadType))
+		}
+		if gk.k.Update >= 0 {
+			row.UpdateType = update.Type(gk.k.Update).String()
+		}
+		if gk.hasPeriod {
+			row.Period = gk.p.String()
+		}
+		rows = append(rows, row)
+	}
+	core.SortRows(rows)
+	res.Rows = rows
+	return res
+}
+
+// Analyze executes an analysis query by full scan + hash aggregation,
+// returning rows identical to the RASED engine's (Percentage is not
+// supported by the baseline; the experiments compare COUNT queries).
+func (t *Table) Analyze(q core.Query) (*core.Result, error) {
+	start := time.Now()
+	agg, err := newAggState(q, t.reg)
+	if err != nil {
+		return nil, err
+	}
+	missesBefore := t.pool.misses
+	err = t.h.Scan(t.pool.ReadPage, func(_ heap.Loc, r *update.Record) error {
+		agg.add(r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := agg.finish()
+	res.Stats.ElapsedNanos = time.Since(start).Nanoseconds()
+	res.Stats.DiskReads = int(t.pool.misses - missesBefore)
+	return res, nil
+}

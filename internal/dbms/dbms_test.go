@@ -1,0 +1,324 @@
+package dbms
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"rased/internal/core"
+	"rased/internal/geo"
+	"rased/internal/heap"
+	"rased/internal/osm"
+	"rased/internal/temporal"
+	"rased/internal/update"
+)
+
+func synth(n int, seed int64) []update.Record {
+	rng := rand.New(rand.NewSource(seed))
+	reg := geo.Default()
+	base := temporal.NewDay(2021, time.January, 1)
+	out := make([]update.Record, n)
+	for i := range out {
+		c := rng.Intn(reg.NumCountries())
+		rect := reg.RectOf(c)
+		out[i] = update.Record{
+			ElementType: osm.ElementType(rng.Intn(3)),
+			Day:         base + temporal.Day(rng.Intn(90)),
+			Country:     uint16(c),
+			Lat:         rect.MinLat + rng.Float64()*(rect.MaxLat-rect.MinLat),
+			Lon:         rect.MinLon + rng.Float64()*(rect.MaxLon-rect.MinLon),
+			RoadType:    uint16(rng.Intn(150)),
+			UpdateType:  update.Type(rng.Intn(4)),
+			ChangesetID: int64(rng.Intn(500)),
+		}
+	}
+	return out
+}
+
+func openTable(t *testing.T, bufBytes int64) *Table {
+	t.Helper()
+	tb, err := OpenTable(filepath.Join(t.TempDir(), "table.db"), bufBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tb.Close() })
+	return tb
+}
+
+func TestBufPoolLRU(t *testing.T) {
+	backing := make(map[int][]byte)
+	for i := 0; i < 10; i++ {
+		b := make([]byte, heap.PageSize)
+		b[0] = byte(i)
+		backing[i] = b
+	}
+	var physReads int
+	read := func(page int, buf []byte) error {
+		physReads++
+		copy(buf, backing[page])
+		return nil
+	}
+	bp := NewBufPool(read, 3*heap.PageSize)
+	buf := make([]byte, heap.PageSize)
+
+	// Fill: 0,1,2 -> three misses.
+	for i := 0; i < 3; i++ {
+		bp.ReadPage(i, buf)
+	}
+	if physReads != 3 {
+		t.Fatalf("physical reads = %d", physReads)
+	}
+	// Re-read 0: hit.
+	bp.ReadPage(0, buf)
+	if buf[0] != 0 {
+		t.Error("wrong page content from pool")
+	}
+	if h, m := bp.Stats(); h != 1 || m != 3 {
+		t.Errorf("stats = %d/%d", h, m)
+	}
+	// Insert 3: evicts LRU (page 1, since 0 was touched).
+	bp.ReadPage(3, buf)
+	physReads = 0
+	bp.ReadPage(1, buf) // miss again
+	if physReads != 1 {
+		t.Error("page 1 should have been evicted")
+	}
+	physReads = 0
+	bp.ReadPage(0, buf)
+	bp.ReadPage(3, buf)
+	if physReads != 0 {
+		t.Error("pages 0 and 3 should be resident")
+	}
+	if bp.Len() != 3 {
+		t.Errorf("pool len = %d, want 3", bp.Len())
+	}
+}
+
+func TestAnalyzeMatchesRASEDSemantics(t *testing.T) {
+	// The same brute-force expansion used in core's tests, applied to the
+	// DBMS: group by country+update type with filters.
+	tb := openTable(t, 1<<20)
+	recs := synth(4000, 9)
+	if err := tb.Add(recs); err != nil {
+		t.Fatal(err)
+	}
+	reg := geo.Default()
+	base := temporal.NewDay(2021, time.January, 1)
+	q := core.Query{
+		From: base + 10, To: base + 70,
+		UpdateTypes: []string{"create", "geometry"},
+		GroupBy:     core.GroupBy{Country: true, UpdateType: true},
+	}
+	res, err := tb.Analyze(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := make(map[string]uint64)
+	for _, r := range recs {
+		if r.Day < q.From || r.Day > q.To {
+			continue
+		}
+		if r.UpdateType != update.Create && r.UpdateType != update.GeometryUpdate {
+			continue
+		}
+		vals := []int{int(r.Country)}
+		vals = append(vals, reg.ZonesOf(int(r.Country), r.Lat, r.Lon)...)
+		for _, cv := range vals {
+			want[reg.Name(cv)+"|"+r.UpdateType.String()]++
+		}
+	}
+	if len(res.Rows) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(want))
+	}
+	var total uint64
+	for _, row := range res.Rows {
+		k := row.Country + "|" + row.UpdateType
+		if want[k] != row.Count {
+			t.Errorf("row %s = %d, want %d", k, row.Count, want[k])
+		}
+		total += row.Count
+	}
+	if res.Total != total {
+		t.Errorf("total = %d, rows sum = %d", res.Total, total)
+	}
+}
+
+func TestAnalyzeScanCostIndependentOfWindow(t *testing.T) {
+	// The paper's key observation: the DBMS scan cost does not shrink with
+	// the query window.
+	tb := openTable(t, 1<<16) // tiny pool: 8 pages
+	if err := tb.Add(synth(20000, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	base := temporal.NewDay(2021, time.January, 1)
+
+	small, err := tb.Analyze(core.Query{From: base, To: base + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := tb.Analyze(core.Query{From: base, To: base + 89})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Stats.DiskReads != large.Stats.DiskReads {
+		t.Errorf("scan reads differ with window: %d vs %d (should be full scans)",
+			small.Stats.DiskReads, large.Stats.DiskReads)
+	}
+	if small.Stats.DiskReads < tb.Heap().NumPages()-1 {
+		t.Errorf("reads = %d, want ~full scan of %d pages", small.Stats.DiskReads, tb.Heap().NumPages())
+	}
+	if large.Total <= small.Total {
+		t.Error("larger window should see more records")
+	}
+}
+
+func TestAnalyzeDateGrouping(t *testing.T) {
+	tb := openTable(t, 1<<20)
+	recs := synth(2000, 11)
+	if err := tb.Add(recs); err != nil {
+		t.Fatal(err)
+	}
+	base := temporal.NewDay(2021, time.January, 1)
+	res, err := tb.Analyze(core.Query{
+		From: base, To: base + 89,
+		GroupBy: core.GroupBy{Date: core.ByMonth},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 { // Jan, Feb, Mar
+		t.Fatalf("month rows = %d: %+v", len(res.Rows), res.Rows)
+	}
+	want := make(map[string]uint64)
+	for _, r := range recs {
+		p, _ := core.BucketPeriod(core.ByMonth, r.Day)
+		want[p.String()]++
+	}
+	reg := geo.Default()
+	for _, row := range res.Rows {
+		// Ungrouped-country query counts each record once per rollup value.
+		_ = reg
+		if row.Period == "" {
+			t.Error("missing period label")
+		}
+	}
+}
+
+func TestClusteredMatchesHeapTable(t *testing.T) {
+	recs := synth(5000, 20)
+	tb := openTable(t, 1<<20)
+	if err := tb.Add(recs); err != nil {
+		t.Fatal(err)
+	}
+	ct, err := BuildClustered(filepath.Join(t.TempDir(), "clustered.db"), recs, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ct.Close()
+
+	base := temporal.NewDay(2021, time.January, 1)
+	queries := []core.Query{
+		{From: base, To: base + 89, GroupBy: core.GroupBy{Country: true}},
+		{From: base + 20, To: base + 40, GroupBy: core.GroupBy{UpdateType: true, Date: core.ByWeek}},
+		{From: base + 89, To: base + 200},
+		{From: base - 50, To: base - 10}, // fully before the data
+	}
+	for i, q := range queries {
+		a, err := tb.Analyze(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ct.Analyze(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Total != b.Total || len(a.Rows) != len(b.Rows) {
+			t.Fatalf("query %d: clustered disagrees: %d/%d rows, %d/%d total",
+				i, len(b.Rows), len(a.Rows), b.Total, a.Total)
+		}
+		for j := range a.Rows {
+			if a.Rows[j] != b.Rows[j] {
+				t.Fatalf("query %d row %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestClusteredScanScalesWithWindow(t *testing.T) {
+	recs := synth(30000, 21)
+	ct, err := BuildClustered(filepath.Join(t.TempDir(), "c.db"), recs, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ct.Close()
+	base := temporal.NewDay(2021, time.January, 1)
+
+	small, err := ct.Analyze(core.Query{From: base, To: base + 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := ct.Analyze(core.Query{From: base, To: base + 89})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Stats.DiskReads*4 > large.Stats.DiskReads {
+		t.Errorf("clustered scan should scale with window: 5d=%d reads, 90d=%d reads",
+			small.Stats.DiskReads, large.Stats.DiskReads)
+	}
+}
+
+func TestOpenClustered(t *testing.T) {
+	recs := synth(3000, 22)
+	path := filepath.Join(t.TempDir(), "c.db")
+	ct, err := BuildClustered(path, recs, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct.Close()
+
+	ct2, err := OpenClustered(path, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ct2.Close()
+	if ct2.Count() != len(recs) {
+		t.Errorf("reopened count = %d", ct2.Count())
+	}
+	base := temporal.NewDay(2021, time.January, 1)
+	res, err := ct2.Analyze(core.Query{From: base, To: base + 89})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total == 0 {
+		t.Error("no data after reopen")
+	}
+
+	// A date-shuffled heap is rejected as not clustered.
+	tb, err := OpenTable(filepath.Join(t.TempDir(), "shuffled.db"), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Add(recs); err != nil { // synth order is random in Day
+		t.Fatal(err)
+	}
+	shufPath := tb.Heap().Store().Path()
+	tb.Close()
+	if _, err := OpenClustered(shufPath, 1<<20); err == nil {
+		t.Error("unclustered heap accepted")
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	tb := openTable(t, 1<<20)
+	if _, err := tb.Analyze(core.Query{From: 10, To: 5}); err == nil {
+		t.Error("inverted window accepted")
+	}
+	if _, err := tb.Analyze(core.Query{From: 1, To: 2, Countries: []string{"Narnia"}}); err == nil {
+		t.Error("unknown country accepted")
+	}
+}

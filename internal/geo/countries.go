@@ -1,0 +1,271 @@
+package geo
+
+// Continent enumerates the seven continental zones used as "selected zones of
+// interest" in the country dimension.
+type Continent int
+
+// Continents in catalog order.
+const (
+	Africa Continent = iota
+	Antarctica
+	Asia
+	Europe
+	NorthAmerica
+	Oceania
+	SouthAmerica
+	numContinents
+)
+
+// NumContinents is the number of continental zones.
+const NumContinents = int(numContinents)
+
+// String returns the continent's display name.
+func (c Continent) String() string {
+	switch c {
+	case Africa:
+		return "Africa"
+	case Antarctica:
+		return "Antarctica"
+	case Asia:
+		return "Asia"
+	case Europe:
+		return "Europe"
+	case NorthAmerica:
+		return "North America"
+	case Oceania:
+		return "Oceania"
+	case SouthAmerica:
+		return "South America"
+	default:
+		return "Unknown"
+	}
+}
+
+// Place describes one leaf country in the registry. Weight is a rough
+// relative land area used to size the country's rectangle in the synthetic
+// world layout; it does not need to be precise, only to give large countries
+// large boxes.
+type Place struct {
+	Code      string
+	Name      string
+	Continent Continent
+	Weight    int
+}
+
+// countries is the static registry of leaf countries (ISO 3166-1 inspired).
+// Order is the catalog order and therefore part of the on-disk cube format:
+// append only, never reorder.
+var countries = []Place{
+	{"AD", "Andorra", Europe, 1},
+	{"AE", "United Arab Emirates", Asia, 2},
+	{"AF", "Afghanistan", Asia, 4},
+	{"AG", "Antigua and Barbuda", NorthAmerica, 1},
+	{"AL", "Albania", Europe, 1},
+	{"AM", "Armenia", Asia, 1},
+	{"AO", "Angola", Africa, 6},
+	{"AQ", "Antarctic Territories", Antarctica, 10},
+	{"AR", "Argentina", SouthAmerica, 12},
+	{"AT", "Austria", Europe, 2},
+	{"AU", "Australia", Oceania, 24},
+	{"AZ", "Azerbaijan", Asia, 2},
+	{"BA", "Bosnia and Herzegovina", Europe, 1},
+	{"BB", "Barbados", NorthAmerica, 1},
+	{"BD", "Bangladesh", Asia, 2},
+	{"BE", "Belgium", Europe, 1},
+	{"BF", "Burkina Faso", Africa, 2},
+	{"BG", "Bulgaria", Europe, 2},
+	{"BH", "Bahrain", Asia, 1},
+	{"BI", "Burundi", Africa, 1},
+	{"BJ", "Benin", Africa, 1},
+	{"BN", "Brunei", Asia, 1},
+	{"BO", "Bolivia", SouthAmerica, 5},
+	{"BR", "Brazil", SouthAmerica, 27},
+	{"BS", "Bahamas", NorthAmerica, 1},
+	{"BT", "Bhutan", Asia, 1},
+	{"BW", "Botswana", Africa, 3},
+	{"BY", "Belarus", Europe, 2},
+	{"BZ", "Belize", NorthAmerica, 1},
+	{"CA", "Canada", NorthAmerica, 31},
+	{"CD", "DR Congo", Africa, 10},
+	{"CF", "Central African Republic", Africa, 3},
+	{"CG", "Republic of the Congo", Africa, 2},
+	{"CH", "Switzerland", Europe, 1},
+	{"CI", "Ivory Coast", Africa, 2},
+	{"CL", "Chile", SouthAmerica, 4},
+	{"CM", "Cameroon", Africa, 2},
+	{"CN", "China", Asia, 30},
+	{"CO", "Colombia", SouthAmerica, 5},
+	{"CR", "Costa Rica", NorthAmerica, 1},
+	{"CU", "Cuba", NorthAmerica, 1},
+	{"CV", "Cape Verde", Africa, 1},
+	{"CY", "Cyprus", Europe, 1},
+	{"CZ", "Czechia", Europe, 1},
+	{"DE", "Germany", Europe, 3},
+	{"DJ", "Djibouti", Africa, 1},
+	{"DK", "Denmark", Europe, 1},
+	{"DM", "Dominica", NorthAmerica, 1},
+	{"DO", "Dominican Republic", NorthAmerica, 1},
+	{"DZ", "Algeria", Africa, 10},
+	{"EC", "Ecuador", SouthAmerica, 2},
+	{"EE", "Estonia", Europe, 1},
+	{"EG", "Egypt", Africa, 5},
+	{"ER", "Eritrea", Africa, 1},
+	{"ES", "Spain", Europe, 3},
+	{"ET", "Ethiopia", Africa, 5},
+	{"FI", "Finland", Europe, 2},
+	{"FJ", "Fiji", Oceania, 1},
+	{"FM", "Micronesia", Oceania, 1},
+	{"FR", "France", Europe, 3},
+	{"GA", "Gabon", Africa, 1},
+	{"GB", "United Kingdom", Europe, 2},
+	{"GD", "Grenada", NorthAmerica, 1},
+	{"GE", "Georgia", Asia, 1},
+	{"GH", "Ghana", Africa, 2},
+	{"GL", "Greenland", NorthAmerica, 7},
+	{"GM", "Gambia", Africa, 1},
+	{"GN", "Guinea", Africa, 1},
+	{"GQ", "Equatorial Guinea", Africa, 1},
+	{"GR", "Greece", Europe, 1},
+	{"GT", "Guatemala", NorthAmerica, 1},
+	{"GW", "Guinea-Bissau", Africa, 1},
+	{"GY", "Guyana", SouthAmerica, 1},
+	{"HN", "Honduras", NorthAmerica, 1},
+	{"HR", "Croatia", Europe, 1},
+	{"HT", "Haiti", NorthAmerica, 1},
+	{"HU", "Hungary", Europe, 1},
+	{"ID", "Indonesia", Asia, 6},
+	{"IE", "Ireland", Europe, 1},
+	{"IL", "Israel", Asia, 1},
+	{"IN", "India", Asia, 10},
+	{"IQ", "Iraq", Asia, 2},
+	{"IR", "Iran", Asia, 5},
+	{"IS", "Iceland", Europe, 1},
+	{"IT", "Italy", Europe, 2},
+	{"JM", "Jamaica", NorthAmerica, 1},
+	{"JO", "Jordan", Asia, 1},
+	{"JP", "Japan", Asia, 2},
+	{"KE", "Kenya", Africa, 2},
+	{"KG", "Kyrgyzstan", Asia, 1},
+	{"KH", "Cambodia", Asia, 1},
+	{"KI", "Kiribati", Oceania, 1},
+	{"KM", "Comoros", Africa, 1},
+	{"KN", "Saint Kitts and Nevis", NorthAmerica, 1},
+	{"KP", "North Korea", Asia, 1},
+	{"KR", "South Korea", Asia, 1},
+	{"KW", "Kuwait", Asia, 1},
+	{"KZ", "Kazakhstan", Asia, 9},
+	{"LA", "Laos", Asia, 1},
+	{"LB", "Lebanon", Asia, 1},
+	{"LC", "Saint Lucia", NorthAmerica, 1},
+	{"LI", "Liechtenstein", Europe, 1},
+	{"LK", "Sri Lanka", Asia, 1},
+	{"LR", "Liberia", Africa, 1},
+	{"LS", "Lesotho", Africa, 1},
+	{"LT", "Lithuania", Europe, 1},
+	{"LU", "Luxembourg", Europe, 1},
+	{"LV", "Latvia", Europe, 1},
+	{"LY", "Libya", Africa, 6},
+	{"MA", "Morocco", Africa, 2},
+	{"MC", "Monaco", Europe, 1},
+	{"MD", "Moldova", Europe, 1},
+	{"ME", "Montenegro", Europe, 1},
+	{"MG", "Madagascar", Africa, 2},
+	{"MH", "Marshall Islands", Oceania, 1},
+	{"MK", "North Macedonia", Europe, 1},
+	{"ML", "Mali", Africa, 4},
+	{"MM", "Myanmar", Asia, 2},
+	{"MN", "Mongolia", Asia, 5},
+	{"MR", "Mauritania", Africa, 3},
+	{"MT", "Malta", Europe, 1},
+	{"MU", "Mauritius", Africa, 1},
+	{"MV", "Maldives", Asia, 1},
+	{"MW", "Malawi", Africa, 1},
+	{"MX", "Mexico", NorthAmerica, 6},
+	{"MY", "Malaysia", Asia, 1},
+	{"MZ", "Mozambique", Africa, 2},
+	{"NA", "Namibia", Africa, 3},
+	{"NE", "Niger", Africa, 4},
+	{"NG", "Nigeria", Africa, 3},
+	{"NI", "Nicaragua", NorthAmerica, 1},
+	{"NL", "Netherlands", Europe, 1},
+	{"NO", "Norway", Europe, 2},
+	{"NP", "Nepal", Asia, 1},
+	{"NR", "Nauru", Oceania, 1},
+	{"NZ", "New Zealand", Oceania, 1},
+	{"OM", "Oman", Asia, 1},
+	{"PA", "Panama", NorthAmerica, 1},
+	{"PE", "Peru", SouthAmerica, 4},
+	{"PG", "Papua New Guinea", Oceania, 2},
+	{"PH", "Philippines", Asia, 1},
+	{"PK", "Pakistan", Asia, 3},
+	{"PL", "Poland", Europe, 2},
+	{"PS", "Palestine", Asia, 1},
+	{"PT", "Portugal", Europe, 1},
+	{"PW", "Palau", Oceania, 1},
+	{"PY", "Paraguay", SouthAmerica, 1},
+	{"QA", "Qatar", Asia, 1},
+	{"RO", "Romania", Europe, 2},
+	{"RS", "Serbia", Europe, 1},
+	{"RU", "Russia", Europe, 54},
+	{"RW", "Rwanda", Africa, 1},
+	{"SA", "Saudi Arabia", Asia, 7},
+	{"SB", "Solomon Islands", Oceania, 1},
+	{"SC", "Seychelles", Africa, 1},
+	{"SD", "Sudan", Africa, 6},
+	{"SE", "Sweden", Europe, 2},
+	{"SG", "Singapore", Asia, 1},
+	{"SI", "Slovenia", Europe, 1},
+	{"SK", "Slovakia", Europe, 1},
+	{"SL", "Sierra Leone", Africa, 1},
+	{"SM", "San Marino", Europe, 1},
+	{"SN", "Senegal", Africa, 1},
+	{"SO", "Somalia", Africa, 2},
+	{"SR", "Suriname", SouthAmerica, 1},
+	{"SS", "South Sudan", Africa, 2},
+	{"ST", "Sao Tome and Principe", Africa, 1},
+	{"SV", "El Salvador", NorthAmerica, 1},
+	{"SY", "Syria", Asia, 1},
+	{"SZ", "Eswatini", Africa, 1},
+	{"TD", "Chad", Africa, 4},
+	{"TG", "Togo", Africa, 1},
+	{"TH", "Thailand", Asia, 2},
+	{"TJ", "Tajikistan", Asia, 1},
+	{"TL", "Timor-Leste", Asia, 1},
+	{"TM", "Turkmenistan", Asia, 2},
+	{"TN", "Tunisia", Africa, 1},
+	{"TO", "Tonga", Oceania, 1},
+	{"TR", "Turkey", Asia, 3},
+	{"TT", "Trinidad and Tobago", NorthAmerica, 1},
+	{"TV", "Tuvalu", Oceania, 1},
+	{"TW", "Taiwan", Asia, 1},
+	{"TZ", "Tanzania", Africa, 3},
+	{"UA", "Ukraine", Europe, 2},
+	{"UG", "Uganda", Africa, 1},
+	{"US", "United States", NorthAmerica, 31},
+	{"UY", "Uruguay", SouthAmerica, 1},
+	{"UZ", "Uzbekistan", Asia, 2},
+	{"VA", "Vatican City", Europe, 1},
+	{"VC", "Saint Vincent", NorthAmerica, 1},
+	{"VE", "Venezuela", SouthAmerica, 3},
+	{"VN", "Vietnam", Asia, 1},
+	{"VU", "Vanuatu", Oceania, 1},
+	{"WS", "Samoa", Oceania, 1},
+	{"YE", "Yemen", Asia, 2},
+	{"ZA", "South Africa", Africa, 4},
+	{"ZM", "Zambia", Africa, 3},
+	{"ZW", "Zimbabwe", Africa, 1},
+}
+
+// usStates lists the 50 US states plus DC, used as sub-national zones of
+// interest (the paper's "selected zones ... and US states").
+var usStates = []string{
+	"Alabama", "Alaska", "Arizona", "Arkansas", "California", "Colorado",
+	"Connecticut", "Delaware", "District of Columbia", "Florida", "Georgia (US)",
+	"Hawaii", "Idaho", "Illinois", "Indiana", "Iowa", "Kansas", "Kentucky",
+	"Louisiana", "Maine", "Maryland", "Massachusetts", "Michigan", "Minnesota",
+	"Mississippi", "Missouri", "Montana", "Nebraska", "Nevada", "New Hampshire",
+	"New Jersey", "New Mexico", "New York", "North Carolina", "North Dakota",
+	"Ohio", "Oklahoma", "Oregon", "Pennsylvania", "Rhode Island",
+	"South Carolina", "South Dakota", "Tennessee", "Texas", "Utah", "Vermont",
+	"Virginia", "Washington", "West Virginia", "Wisconsin", "Wyoming",
+}

@@ -1,0 +1,436 @@
+// Package geo provides RASED's geography substrate: a registry of countries
+// and zones of interest, a deterministic synthetic world layout, and the
+// point-to-country / bounding-box-to-country resolution used by the crawlers.
+//
+// The real RASED reverse-geocodes against country polygons. This repository
+// substitutes a deterministic tiling of the world: every country owns one
+// rectangle, sized by a rough area weight and packed row by row in continent
+// order. The substitution preserves everything the rest of the system
+// depends on — the cardinality of the country dimension, unambiguous
+// point-to-country mapping, and bbox-center resolution — while requiring no
+// external boundary data.
+package geo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// World bounds of the synthetic layout. Latitude is clipped to the habitable
+// band so rows have sensible heights.
+const (
+	WorldMinLat = -60.0
+	WorldMaxLat = 78.0
+	WorldMinLon = -180.0
+	WorldMaxLon = 180.0
+)
+
+// layoutRows is the number of equal-height latitude bands countries are
+// packed into.
+const layoutRows = 16
+
+// Rect is a latitude/longitude axis-aligned rectangle. Min bounds are
+// inclusive, max bounds exclusive (except at the world edge).
+type Rect struct {
+	MinLat, MinLon, MaxLat, MaxLon float64
+}
+
+// Contains reports whether the point lies inside r (max edges exclusive).
+func (r Rect) Contains(lat, lon float64) bool {
+	return lat >= r.MinLat && lat < r.MaxLat && lon >= r.MinLon && lon < r.MaxLon
+}
+
+// Center returns the rectangle's center point.
+func (r Rect) Center() (lat, lon float64) {
+	return (r.MinLat + r.MaxLat) / 2, (r.MinLon + r.MaxLon) / 2
+}
+
+// subdivisions lists sub-national zones of interest per parent country code.
+// Each parent country's rectangle is subdivided into a grid and the cells are
+// assigned to the listed zones in order.
+var subdivisions = map[string][]string{
+	"US": usStates,
+	"CA": {
+		"Alberta", "British Columbia", "Manitoba", "New Brunswick",
+		"Newfoundland and Labrador", "Northwest Territories", "Nova Scotia",
+		"Nunavut", "Ontario", "Prince Edward Island", "Quebec", "Saskatchewan",
+		"Yukon",
+	},
+	"AU": {
+		"New South Wales", "Queensland", "South Australia", "Tasmania",
+		"Victoria", "Western Australia", "Australian Capital Territory",
+		"Northern Territory",
+	},
+	"BR": {
+		"Acre", "Alagoas", "Amapa", "Amazonas", "Bahia", "Ceara",
+		"Distrito Federal", "Espirito Santo", "Goias", "Maranhao",
+		"Mato Grosso", "Mato Grosso do Sul", "Minas Gerais", "Para", "Paraiba",
+		"Parana", "Pernambuco", "Piaui", "Rio de Janeiro",
+		"Rio Grande do Norte", "Rio Grande do Sul", "Rondonia", "Roraima",
+		"Santa Catarina", "Sao Paulo", "Sergipe", "Tocantins",
+	},
+	"DE": {
+		"Baden-Wurttemberg", "Bavaria", "Berlin", "Brandenburg", "Bremen",
+		"Hamburg", "Hesse", "Lower Saxony", "Mecklenburg-Vorpommern",
+		"North Rhine-Westphalia", "Rhineland-Palatinate", "Saarland", "Saxony",
+		"Saxony-Anhalt", "Schleswig-Holstein", "Thuringia",
+	},
+}
+
+// WorldZone is the display name of the synthetic all-countries zone.
+const WorldZone = "World"
+
+// subdivision is one resolved sub-national zone: its catalog value index and
+// rectangle inside the parent country.
+type subdivision struct {
+	value int
+	rect  Rect
+}
+
+// Registry holds the country catalog, the synthetic world layout, and the
+// lookup structures for point and bbox resolution.
+//
+// Catalog value order (stable, part of the cube format):
+//
+//	[0, numCountries)                      leaf countries
+//	[numCountries, numCountries+7)         continents
+//	numCountries+7                         World
+//	[numCountries+8, NumValues())          sub-national zones, parent order
+type Registry struct {
+	places []Place
+	rects  []Rect // per leaf country
+
+	names  []string
+	byName map[string]int
+
+	rowHeight float64
+	rows      [layoutRows][]int // country indexes per latitude band, sorted by MinLon
+
+	continentRects [NumContinents]Rect
+	subs           map[int][]subdivision // leaf country index -> its zones
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the shared registry built from the static country table.
+// It is immutable after construction and safe for concurrent use.
+func Default() *Registry { return defaultRegistry }
+
+// NewRegistry builds a registry from the static country table, packing
+// country rectangles into the synthetic world.
+func NewRegistry() *Registry {
+	r := &Registry{
+		places: countries,
+		subs:   make(map[int][]subdivision),
+	}
+	r.layout()
+	r.buildCatalog()
+	r.buildSubdivisions()
+	return r
+}
+
+// layout packs every country into a rectangle: countries are ordered by
+// continent (so continental zones are roughly contiguous), then distributed
+// across equal-height latitude bands with longitudes proportional to weight.
+func (r *Registry) layout() {
+	order := make([]int, len(r.places))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		pa, pb := r.places[order[a]], r.places[order[b]]
+		if pa.Continent != pb.Continent {
+			return pa.Continent < pb.Continent
+		}
+		return pa.Code < pb.Code
+	})
+
+	total := 0
+	for _, p := range r.places {
+		total += p.Weight
+	}
+	r.rowHeight = (WorldMaxLat - WorldMinLat) / layoutRows
+	r.rects = make([]Rect, len(r.places))
+
+	// Pass 1: partition the ordered countries into latitude bands, advancing
+	// one band at a time when the cumulative weight passes the band boundary.
+	// Single-step advancement guarantees no band is left empty even when one
+	// country's weight spans several boundaries.
+	cum, row := 0, 0
+	for _, idx := range order {
+		if row < layoutRows-1 && len(r.rows[row]) > 0 &&
+			float64(cum) >= float64(total)*float64(row+1)/layoutRows {
+			row++
+		}
+		r.rows[row] = append(r.rows[row], idx)
+		cum += r.places[idx].Weight
+	}
+
+	// Pass 2: within each band, assign longitudes proportional to weight so
+	// every band tiles the full [-180, 180] span exactly.
+	for row := range r.rows {
+		band := r.rows[row]
+		if len(band) == 0 {
+			continue
+		}
+		rowTotal := 0
+		for _, idx := range band {
+			rowTotal += r.places[idx].Weight
+		}
+		minLat := WorldMinLat + float64(row)*r.rowHeight
+		maxLat := minLat + r.rowHeight
+		if row == layoutRows-1 {
+			maxLat = WorldMaxLat
+		}
+		pos := 0
+		for i, idx := range band {
+			rect := Rect{
+				MinLat: minLat,
+				MaxLat: maxLat,
+				MinLon: WorldMinLon + float64(pos)/float64(rowTotal)*(WorldMaxLon-WorldMinLon),
+				MaxLon: WorldMinLon + float64(pos+r.places[idx].Weight)/float64(rowTotal)*(WorldMaxLon-WorldMinLon),
+			}
+			if i == len(band)-1 {
+				rect.MaxLon = WorldMaxLon
+			}
+			r.rects[idx] = rect
+			pos += r.places[idx].Weight
+		}
+	}
+	// Continent rectangles are the union of member rectangles.
+	for c := 0; c < NumContinents; c++ {
+		r.continentRects[c] = Rect{MinLat: WorldMaxLat, MinLon: WorldMaxLon,
+			MaxLat: WorldMinLat, MaxLon: WorldMinLon}
+	}
+	for i, p := range r.places {
+		cr := &r.continentRects[p.Continent]
+		rc := r.rects[i]
+		if rc.MinLat < cr.MinLat {
+			cr.MinLat = rc.MinLat
+		}
+		if rc.MinLon < cr.MinLon {
+			cr.MinLon = rc.MinLon
+		}
+		if rc.MaxLat > cr.MaxLat {
+			cr.MaxLat = rc.MaxLat
+		}
+		if rc.MaxLon > cr.MaxLon {
+			cr.MaxLon = rc.MaxLon
+		}
+	}
+}
+
+func (r *Registry) buildCatalog() {
+	r.names = make([]string, 0, len(r.places)+NumContinents+1+128)
+	for _, p := range r.places {
+		r.names = append(r.names, p.Name)
+	}
+	for c := Continent(0); c < Continent(NumContinents); c++ {
+		r.names = append(r.names, c.String())
+	}
+	r.names = append(r.names, WorldZone)
+
+	// Sub-national zones, in sorted parent-code order for determinism.
+	parents := make([]string, 0, len(subdivisions))
+	for code := range subdivisions {
+		parents = append(parents, code)
+	}
+	sort.Strings(parents)
+	for _, code := range parents {
+		r.names = append(r.names, subdivisions[code]...)
+	}
+
+	r.byName = make(map[string]int, len(r.names))
+	for i, n := range r.names {
+		r.byName[n] = i
+	}
+}
+
+func (r *Registry) buildSubdivisions() {
+	parents := make([]string, 0, len(subdivisions))
+	for code := range subdivisions {
+		parents = append(parents, code)
+	}
+	sort.Strings(parents)
+
+	next := len(r.places) + NumContinents + 1
+	for _, code := range parents {
+		names := subdivisions[code]
+		ci, ok := r.countryByCode(code)
+		if !ok {
+			panic(fmt.Sprintf("geo: subdivision parent %q not in country table", code))
+		}
+		parent := r.rects[ci]
+		// Grid the parent rectangle: columns chosen so the grid is wide.
+		cols := (len(names) + 3) / 4
+		if cols < 1 {
+			cols = 1
+		}
+		rows := (len(names) + cols - 1) / cols
+		dLat := (parent.MaxLat - parent.MinLat) / float64(rows)
+		dLon := (parent.MaxLon - parent.MinLon) / float64(cols)
+		var subs []subdivision
+		for i := range names {
+			row, col := i/cols, i%cols
+			cell := Rect{
+				MinLat: parent.MinLat + float64(row)*dLat,
+				MaxLat: parent.MinLat + float64(row+1)*dLat,
+				MinLon: parent.MinLon + float64(col)*dLon,
+				MaxLon: parent.MinLon + float64(col+1)*dLon,
+			}
+			// Snap edge cells to the parent bounds so the grid tiles the
+			// parent exactly despite float rounding, and extend the final
+			// zone over any unassigned trailing cells of the last grid row.
+			if row == rows-1 {
+				cell.MaxLat = parent.MaxLat
+			}
+			if col == cols-1 || i == len(names)-1 {
+				cell.MaxLon = parent.MaxLon
+			}
+			subs = append(subs, subdivision{value: next, rect: cell})
+			next++
+		}
+		r.subs[ci] = subs
+	}
+}
+
+func (r *Registry) countryByCode(code string) (int, bool) {
+	for i, p := range r.places {
+		if p.Code == code {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// NumCountries returns the number of leaf countries.
+func (r *Registry) NumCountries() int { return len(r.places) }
+
+// NumValues returns the size of the full country dimension catalog
+// (countries + continents + World + sub-national zones).
+func (r *Registry) NumValues() int { return len(r.names) }
+
+// Names returns the full catalog in value order. The returned slice must not
+// be modified.
+func (r *Registry) Names() []string { return r.names }
+
+// Name returns the display name of catalog value v.
+func (r *Registry) Name(v int) string {
+	if v < 0 || v >= len(r.names) {
+		return fmt.Sprintf("country#%d", v)
+	}
+	return r.names[v]
+}
+
+// ByName resolves a catalog display name (country or zone) to its value.
+func (r *Registry) ByName(name string) (int, bool) {
+	v, ok := r.byName[name]
+	return v, ok
+}
+
+// ByCode resolves an ISO-style country code to its catalog value.
+func (r *Registry) ByCode(code string) (int, bool) {
+	return r.countryByCode(code)
+}
+
+// Place returns the static descriptor of leaf country v.
+func (r *Registry) Place(v int) Place { return r.places[v] }
+
+// RectOf returns the rectangle owned by catalog value v. For continents it is
+// the union of member rectangles; for World the whole world; for
+// sub-national zones their grid cell.
+func (r *Registry) RectOf(v int) Rect {
+	switch {
+	case v < len(r.places):
+		return r.rects[v]
+	case v < len(r.places)+NumContinents:
+		return r.continentRects[v-len(r.places)]
+	case v == len(r.places)+NumContinents:
+		return Rect{MinLat: WorldMinLat, MinLon: WorldMinLon, MaxLat: WorldMaxLat, MaxLon: WorldMaxLon}
+	default:
+		for _, subs := range r.subs {
+			for _, s := range subs {
+				if s.value == v {
+					return s.rect
+				}
+			}
+		}
+		return Rect{}
+	}
+}
+
+// IsLeafCountry reports whether catalog value v is a leaf country (as opposed
+// to a continent, World, or sub-national zone).
+func (r *Registry) IsLeafCountry(v int) bool { return v >= 0 && v < len(r.places) }
+
+// ContinentValue returns the catalog value of continent c.
+func (r *Registry) ContinentValue(c Continent) int { return len(r.places) + int(c) }
+
+// WorldValue returns the catalog value of the World zone.
+func (r *Registry) WorldValue() int { return len(r.places) + NumContinents }
+
+// Resolve maps a point to its leaf country. ok is false for points outside
+// the habitable world band.
+func (r *Registry) Resolve(lat, lon float64) (int, bool) {
+	if lat < WorldMinLat || lat >= WorldMaxLat || lon < WorldMinLon || lon > WorldMaxLon {
+		return 0, false
+	}
+	if lon == WorldMaxLon {
+		lon = WorldMaxLon - 1e-9
+	}
+	row := int((lat - WorldMinLat) / r.rowHeight)
+	if row >= layoutRows {
+		row = layoutRows - 1
+	}
+	band := r.rows[row]
+	i := sort.Search(len(band), func(i int) bool {
+		return r.rects[band[i]].MaxLon > lon
+	})
+	if i >= len(band) {
+		return 0, false
+	}
+	c := band[i]
+	if !r.rects[c].Contains(lat, lon) {
+		return 0, false
+	}
+	return c, true
+}
+
+// ZonesOf returns the catalog values of every zone containing the given point
+// of leaf country c: its continent, the World zone, and (when the parent has
+// subdivisions) the sub-national zone containing the point.
+func (r *Registry) ZonesOf(c int, lat, lon float64) []int {
+	zones := []int{
+		r.ContinentValue(r.places[c].Continent),
+		r.WorldValue(),
+	}
+	for _, s := range r.subs[c] {
+		if s.rect.Contains(lat, lon) {
+			zones = append(zones, s.value)
+			break
+		}
+	}
+	return zones
+}
+
+// ResolveBBox resolves a changeset bounding box the way the daily crawler
+// does: the box's center point is clamped into the world band and mapped to
+// its country; the returned coordinates are that center.
+func (r *Registry) ResolveBBox(minLat, minLon, maxLat, maxLon float64) (country int, lat, lon float64, ok bool) {
+	lat = (minLat + maxLat) / 2
+	lon = (minLon + maxLon) / 2
+	lat = clamp(lat, WorldMinLat, WorldMaxLat-1e-9)
+	lon = clamp(lon, WorldMinLon, WorldMaxLon-1e-9)
+	country, ok = r.Resolve(lat, lon)
+	return country, lat, lon, ok
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

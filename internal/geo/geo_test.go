@@ -1,0 +1,279 @@
+package geo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCatalogShape(t *testing.T) {
+	r := Default()
+	if n := r.NumCountries(); n < 190 {
+		t.Errorf("NumCountries = %d, want >= 190", n)
+	}
+	// Paper: "300+ values presenting all countries plus some selected zones".
+	if n := r.NumValues(); n < 300 {
+		t.Errorf("NumValues = %d, want >= 300", n)
+	}
+	if len(r.Names()) != r.NumValues() {
+		t.Errorf("Names len %d != NumValues %d", len(r.Names()), r.NumValues())
+	}
+	seen := make(map[string]bool)
+	for _, n := range r.Names() {
+		if seen[n] {
+			t.Errorf("duplicate catalog name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestByNameByCode(t *testing.T) {
+	r := Default()
+	us, ok := r.ByName("United States")
+	if !ok {
+		t.Fatal("United States not found")
+	}
+	us2, ok := r.ByCode("US")
+	if !ok || us != us2 {
+		t.Errorf("ByCode(US)=%d ok=%v, ByName=%d", us2, ok, us)
+	}
+	if !r.IsLeafCountry(us) {
+		t.Error("US should be a leaf country")
+	}
+	eu, ok := r.ByName("Europe")
+	if !ok {
+		t.Fatal("Europe not found")
+	}
+	if r.IsLeafCountry(eu) {
+		t.Error("Europe should not be a leaf country")
+	}
+	if eu != r.ContinentValue(Europe) {
+		t.Errorf("Europe value mismatch: %d vs %d", eu, r.ContinentValue(Europe))
+	}
+	if _, ok := r.ByName("Atlantis"); ok {
+		t.Error("Atlantis should not resolve")
+	}
+	mn, ok := r.ByName("Minnesota")
+	if !ok {
+		t.Fatal("Minnesota zone not found")
+	}
+	if r.IsLeafCountry(mn) {
+		t.Error("Minnesota should be a zone, not a leaf country")
+	}
+}
+
+// TestTilingComplete: every point in the world band resolves to exactly the
+// country whose rectangle contains it.
+func TestTilingComplete(t *testing.T) {
+	r := Default()
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20000; i++ {
+		lat := WorldMinLat + rng.Float64()*(WorldMaxLat-WorldMinLat)
+		lon := WorldMinLon + rng.Float64()*(WorldMaxLon-WorldMinLon)
+		c, ok := r.Resolve(lat, lon)
+		if !ok {
+			t.Fatalf("point (%f,%f) resolves to no country", lat, lon)
+		}
+		if !r.RectOf(c).Contains(lat, lon) {
+			t.Fatalf("point (%f,%f) resolved to %s whose rect %+v does not contain it",
+				lat, lon, r.Name(c), r.RectOf(c))
+		}
+	}
+}
+
+// TestTilingDisjoint: no two leaf country rectangles overlap.
+func TestTilingDisjoint(t *testing.T) {
+	r := Default()
+	n := r.NumCountries()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a, b := r.RectOf(i), r.RectOf(j)
+			if a.MinLat < b.MaxLat && b.MinLat < a.MaxLat &&
+				a.MinLon < b.MaxLon && b.MinLon < a.MaxLon {
+				t.Fatalf("rects overlap: %s %+v and %s %+v", r.Name(i), a, r.Name(j), b)
+			}
+		}
+	}
+}
+
+func TestResolveOutOfBand(t *testing.T) {
+	r := Default()
+	if _, ok := r.Resolve(-89, 0); ok {
+		t.Error("deep Antarctic latitude should not resolve")
+	}
+	if _, ok := r.Resolve(89, 0); ok {
+		t.Error("North Pole should not resolve")
+	}
+	if _, ok := r.Resolve(0, 500); ok {
+		t.Error("lon 500 should not resolve")
+	}
+}
+
+func TestResolveCenterConsistency(t *testing.T) {
+	r := Default()
+	for c := 0; c < r.NumCountries(); c++ {
+		lat, lon := r.RectOf(c).Center()
+		got, ok := r.Resolve(lat, lon)
+		if !ok || got != c {
+			t.Errorf("center of %s resolves to %s (ok=%v)", r.Name(c), r.Name(got), ok)
+		}
+	}
+}
+
+func TestZonesOf(t *testing.T) {
+	r := Default()
+	us, _ := r.ByCode("US")
+	lat, lon := r.RectOf(us).Center()
+	zones := r.ZonesOf(us, lat, lon)
+	if len(zones) != 3 {
+		t.Fatalf("US center zones = %d values %v, want 3 (continent, world, state)", len(zones), zones)
+	}
+	wantCont := r.ContinentValue(NorthAmerica)
+	if zones[0] != wantCont {
+		t.Errorf("zone[0] = %s, want North America", r.Name(zones[0]))
+	}
+	if zones[1] != r.WorldValue() {
+		t.Errorf("zone[1] = %s, want World", r.Name(zones[1]))
+	}
+	state := r.Name(zones[2])
+	found := false
+	for _, s := range usStates {
+		if s == state {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("zone[2] = %q is not a US state", state)
+	}
+
+	// A country without subdivisions gets continent + world only.
+	qa, _ := r.ByCode("QA")
+	lat, lon = r.RectOf(qa).Center()
+	zones = r.ZonesOf(qa, lat, lon)
+	if len(zones) != 2 {
+		t.Errorf("QA zones = %v, want 2", zones)
+	}
+}
+
+// TestSubdivisionsCoverParent: every point of a subdivided country maps to
+// exactly one sub-national zone.
+func TestSubdivisionsCoverParent(t *testing.T) {
+	r := Default()
+	rng := rand.New(rand.NewSource(1))
+	for _, code := range []string{"US", "CA", "BR", "DE", "AU"} {
+		c, ok := r.ByCode(code)
+		if !ok {
+			t.Fatalf("country %s missing", code)
+		}
+		rect := r.RectOf(c)
+		for i := 0; i < 500; i++ {
+			lat := rect.MinLat + rng.Float64()*(rect.MaxLat-rect.MinLat)
+			lon := rect.MinLon + rng.Float64()*(rect.MaxLon-rect.MinLon)
+			zones := r.ZonesOf(c, lat, lon)
+			if len(zones) != 3 {
+				t.Fatalf("%s point (%f,%f): zones = %v, want 3", code, lat, lon, zones)
+			}
+		}
+	}
+}
+
+func TestResolveBBox(t *testing.T) {
+	r := Default()
+	de, _ := r.ByCode("DE")
+	rect := r.RectOf(de)
+	clat, clon := rect.Center()
+	// A bbox centered inside Germany resolves to Germany with center coords.
+	c, lat, lon, ok := r.ResolveBBox(clat-0.1, clon-0.1, clat+0.1, clon+0.1)
+	if !ok || c != de {
+		t.Errorf("bbox in DE resolved to %s ok=%v", r.Name(c), ok)
+	}
+	if lat != clat || lon != clon {
+		t.Errorf("bbox center = (%f,%f), want (%f,%f)", lat, lon, clat, clon)
+	}
+	// A bbox whose center is out of band is clamped into the band.
+	_, lat, _, ok = r.ResolveBBox(85, 0, 89, 1)
+	if !ok {
+		t.Error("clamped bbox should resolve")
+	}
+	if lat >= WorldMaxLat {
+		t.Errorf("clamped lat = %f", lat)
+	}
+}
+
+func TestRectOfZones(t *testing.T) {
+	r := Default()
+	world := r.RectOf(r.WorldValue())
+	if world.MinLat != WorldMinLat || world.MaxLon != WorldMaxLon {
+		t.Errorf("world rect = %+v", world)
+	}
+	// Continent rect contains all member country rects.
+	for c := 0; c < r.NumCountries(); c++ {
+		cont := r.RectOf(r.ContinentValue(r.Place(c).Continent))
+		rc := r.RectOf(c)
+		if rc.MinLat < cont.MinLat || rc.MaxLat > cont.MaxLat ||
+			rc.MinLon < cont.MinLon || rc.MaxLon > cont.MaxLon {
+			t.Errorf("country %s rect %+v outside continent rect %+v", r.Name(c), rc, cont)
+		}
+	}
+}
+
+func TestResolveQuick(t *testing.T) {
+	r := Default()
+	f := func(a, b uint16) bool {
+		lat := WorldMinLat + (float64(a)/65536.0)*(WorldMaxLat-WorldMinLat)
+		lon := WorldMinLon + (float64(b)/65536.0)*(WorldMaxLon-WorldMinLon)
+		_, ok := r.Resolve(lat, lon)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNameOutOfRange(t *testing.T) {
+	r := Default()
+	if got := r.Name(-1); got == "" {
+		t.Error("Name(-1) should return placeholder")
+	}
+	if got := r.Name(1 << 20); got == "" {
+		t.Error("Name(big) should return placeholder")
+	}
+}
+
+// TestCatalogOrderIsStable pins known catalog positions. The catalog order is
+// part of the on-disk cube format: if this test fails, existing deployments
+// can no longer be read, so table entries must only ever be appended.
+func TestCatalogOrderIsStable(t *testing.T) {
+	r := Default()
+	pins := map[string]int{
+		"Andorra":       0, // first table entry
+		"United States": 185,
+		"Zimbabwe":      r.NumCountries() - 1,
+		"Africa":        r.NumCountries(),
+		"South America": r.NumCountries() + 6,
+		"World":         r.NumCountries() + 7,
+	}
+	for name, want := range pins {
+		got, ok := r.ByName(name)
+		if !ok || got != want {
+			t.Errorf("catalog position of %q = %d (ok=%v), want %d — the catalog order is part of the disk format",
+				name, got, ok, want)
+		}
+	}
+	if r.WorldValue() != r.NumCountries()+7 {
+		t.Errorf("WorldValue = %d", r.WorldValue())
+	}
+	// First subdivision block (AU) starts right after World.
+	if v, ok := r.ByName("New South Wales"); !ok || v != r.WorldValue()+1 {
+		t.Errorf("first subdivision at %d, want %d", v, r.WorldValue()+1)
+	}
+}
+
+func TestContinentString(t *testing.T) {
+	if Africa.String() != "Africa" || SouthAmerica.String() != "South America" {
+		t.Error("continent names wrong")
+	}
+	if Continent(99).String() != "Unknown" {
+		t.Error("invalid continent should be Unknown")
+	}
+}

@@ -1,0 +1,269 @@
+// Package heap implements a paged heap file of UpdateList records: the
+// storage layout shared by the sample-update warehouse (Section VI-B) and the
+// baseline DBMS table (Section VIII-C). Records are packed into fixed-size
+// slotted pages; readers can route page reads through a buffer pool by
+// supplying their own read function.
+package heap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"rased/internal/pagestore"
+	"rased/internal/update"
+)
+
+// PageSize is the heap page size in bytes.
+const PageSize = 8192
+
+// pageHeader is {record count uint32}.
+const pageHeaderSize = 4
+
+// RecordsPerPage is the slot capacity of one page.
+const RecordsPerPage = (PageSize - pageHeaderSize) / update.RecordSize
+
+// Loc addresses one record.
+type Loc struct {
+	Page int
+	Slot int
+}
+
+// ReadPageFunc reads one page into buf; callers may supply a buffered or
+// pooled implementation.
+type ReadPageFunc func(page int, buf []byte) error
+
+// Heap is an append-only record heap over a page store.
+type Heap struct {
+	store *pagestore.Store
+
+	tail     []byte // in-memory image of the last (partial) page
+	tailPage int
+	tailN    int
+	count    int
+}
+
+// Create opens (or reopens) a heap at path, scanning page headers to recover
+// the record count.
+func Create(path string) (*Heap, error) {
+	store, err := pagestore.Open(path, PageSize)
+	if err != nil {
+		return nil, err
+	}
+	h := &Heap{store: store, tail: make([]byte, PageSize), tailPage: store.NumPages()}
+	// Recover the count, and reopen a partial final page as the tail.
+	buf := make([]byte, PageSize)
+	for p := 0; p < store.NumPages(); p++ {
+		if err := store.ReadPage(p, buf); err != nil {
+			store.Close()
+			return nil, err
+		}
+		n := int(binary.LittleEndian.Uint32(buf))
+		if n > RecordsPerPage {
+			store.Close()
+			return nil, fmt.Errorf("heap: page %d claims %d records (max %d)", p, n, RecordsPerPage)
+		}
+		h.count += n
+		if p == store.NumPages()-1 && n < RecordsPerPage {
+			copy(h.tail, buf)
+			h.tailN = n
+			h.tailPage = p
+		}
+	}
+	store.ResetStats()
+	return h, nil
+}
+
+// Store exposes the underlying page store for I/O accounting.
+func (h *Heap) Store() *pagestore.Store { return h.store }
+
+// Count returns the number of records in the heap.
+func (h *Heap) Count() int { return h.count }
+
+// NumPages returns the number of pages including the unflushed tail.
+func (h *Heap) NumPages() int {
+	if h.tailN > 0 {
+		return h.tailPage + 1
+	}
+	return h.tailPage
+}
+
+// Append adds a record and returns its location. The tail page is flushed
+// when full.
+func (h *Heap) Append(r *update.Record) (Loc, error) {
+	loc := Loc{Page: h.tailPage, Slot: h.tailN}
+	off := pageHeaderSize + h.tailN*update.RecordSize
+	r.Marshal(h.tail[off:])
+	h.tailN++
+	h.count++
+	binary.LittleEndian.PutUint32(h.tail, uint32(h.tailN))
+	if h.tailN == RecordsPerPage {
+		if err := h.store.WritePage(h.tailPage, h.tail); err != nil {
+			return Loc{}, err
+		}
+		h.tailPage++
+		h.tailN = 0
+		for i := range h.tail {
+			h.tail[i] = 0
+		}
+	}
+	return loc, nil
+}
+
+// Flush writes the partial tail page (if any) and syncs the store.
+func (h *Heap) Flush() error {
+	if h.tailN > 0 {
+		if err := h.store.WritePage(h.tailPage, h.tail); err != nil {
+			return err
+		}
+	}
+	return h.store.Sync()
+}
+
+// readPage reads a page, serving the in-memory tail directly.
+func (h *Heap) readPage(read ReadPageFunc, page int, buf []byte) error {
+	if page == h.tailPage && h.tailN > 0 {
+		copy(buf, h.tail)
+		return nil
+	}
+	if read != nil {
+		return read(page, buf)
+	}
+	return h.store.ReadPage(page, buf)
+}
+
+// Get reads one record by location. A nil read function reads the store
+// directly.
+func (h *Heap) Get(read ReadPageFunc, loc Loc) (update.Record, error) {
+	var r update.Record
+	if loc.Page < 0 || loc.Page >= h.NumPages() {
+		return r, fmt.Errorf("heap: page %d out of range", loc.Page)
+	}
+	buf := make([]byte, PageSize)
+	if err := h.readPage(read, loc.Page, buf); err != nil {
+		return r, err
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	if loc.Slot < 0 || loc.Slot >= n {
+		return r, fmt.Errorf("heap: slot %d out of range (page %d has %d)", loc.Slot, loc.Page, n)
+	}
+	err := r.Unmarshal(buf[pageHeaderSize+loc.Slot*update.RecordSize:])
+	return r, err
+}
+
+// Scan streams every record in heap order. A nil read function reads the
+// store directly. The callback may stop the scan by returning ErrStop.
+func (h *Heap) Scan(read ReadPageFunc, fn func(Loc, *update.Record) error) error {
+	buf := make([]byte, PageSize)
+	var r update.Record
+	for p := 0; p < h.NumPages(); p++ {
+		if err := h.readPage(read, p, buf); err != nil {
+			return err
+		}
+		n := int(binary.LittleEndian.Uint32(buf))
+		if n > RecordsPerPage {
+			return fmt.Errorf("heap: page %d claims %d records", p, n)
+		}
+		for s := 0; s < n; s++ {
+			if err := r.Unmarshal(buf[pageHeaderSize+s*update.RecordSize:]); err != nil {
+				return fmt.Errorf("heap: page %d slot %d: %w", p, s, err)
+			}
+			if err := fn(Loc{p, s}, &r); err != nil {
+				if err == ErrStop {
+					return nil
+				}
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ErrStop terminates a Scan early without error.
+var ErrStop = fmt.Errorf("heap: stop scan")
+
+// ScanRange streams the records of pages [fromPage, toPage) in heap order.
+// A nil read function reads the store directly. ErrStop terminates early
+// without error.
+func (h *Heap) ScanRange(read ReadPageFunc, fromPage, toPage int, fn func(Loc, *update.Record) error) error {
+	if fromPage < 0 {
+		fromPage = 0
+	}
+	if toPage > h.NumPages() {
+		toPage = h.NumPages()
+	}
+	buf := make([]byte, PageSize)
+	var r update.Record
+	for p := fromPage; p < toPage; p++ {
+		if err := h.readPage(read, p, buf); err != nil {
+			return err
+		}
+		n := int(binary.LittleEndian.Uint32(buf))
+		if n > RecordsPerPage {
+			return fmt.Errorf("heap: page %d claims %d records", p, n)
+		}
+		for s := 0; s < n; s++ {
+			if err := r.Unmarshal(buf[pageHeaderSize+s*update.RecordSize:]); err != nil {
+				return fmt.Errorf("heap: page %d slot %d: %w", p, s, err)
+			}
+			if err := fn(Loc{p, s}, &r); err != nil {
+				if err == ErrStop {
+					return nil
+				}
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// GetMany visits the records at the given locations in page order, reading
+// each distinct page exactly once. The callback receives locations in
+// (page, slot) order, which may differ from the input order.
+func (h *Heap) GetMany(read ReadPageFunc, locs []Loc, fn func(Loc, *update.Record) error) error {
+	sorted := append([]Loc(nil), locs...)
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].Page != sorted[b].Page {
+			return sorted[a].Page < sorted[b].Page
+		}
+		return sorted[a].Slot < sorted[b].Slot
+	})
+	buf := make([]byte, PageSize)
+	curPage := -1
+	var n int
+	var r update.Record
+	for _, loc := range sorted {
+		if loc.Page != curPage {
+			if loc.Page < 0 || loc.Page >= h.NumPages() {
+				return fmt.Errorf("heap: page %d out of range", loc.Page)
+			}
+			if err := h.readPage(read, loc.Page, buf); err != nil {
+				return err
+			}
+			curPage = loc.Page
+			n = int(binary.LittleEndian.Uint32(buf))
+		}
+		if loc.Slot < 0 || loc.Slot >= n {
+			return fmt.Errorf("heap: slot %d out of range (page %d has %d)", loc.Slot, loc.Page, n)
+		}
+		if err := r.Unmarshal(buf[pageHeaderSize+loc.Slot*update.RecordSize:]); err != nil {
+			return fmt.Errorf("heap: page %d slot %d: %w", loc.Page, loc.Slot, err)
+		}
+		if err := fn(loc, &r); err != nil {
+			if err == ErrStop {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes and closes the heap.
+func (h *Heap) Close() error {
+	if err := h.Flush(); err != nil {
+		h.store.Close()
+		return err
+	}
+	return h.store.Close()
+}

@@ -1,0 +1,290 @@
+package heap
+
+import (
+	"path/filepath"
+	"testing"
+
+	"rased/internal/osm"
+	"rased/internal/temporal"
+	"rased/internal/update"
+)
+
+func mkRec(i int) update.Record {
+	return update.Record{
+		ElementType: osm.ElementType(i % 3),
+		Day:         temporal.Day(i),
+		Country:     uint16(i % 100),
+		Lat:         float64(i) / 10,
+		Lon:         -float64(i) / 10,
+		RoadType:    uint16(i % 50),
+		UpdateType:  update.Type(i % 4),
+		ChangesetID: int64(i * 7),
+	}
+}
+
+func create(t *testing.T) *Heap {
+	t.Helper()
+	h, err := Create(filepath.Join(t.TempDir(), "heap.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { h.Close() })
+	return h
+}
+
+func TestAppendGetScan(t *testing.T) {
+	h := create(t)
+	const n = RecordsPerPage*2 + 17 // spans full pages plus a partial tail
+	locs := make([]Loc, n)
+	for i := 0; i < n; i++ {
+		r := mkRec(i)
+		loc, err := h.Append(&r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		locs[i] = loc
+	}
+	if h.Count() != n {
+		t.Errorf("Count = %d, want %d", h.Count(), n)
+	}
+	if h.NumPages() != 3 {
+		t.Errorf("NumPages = %d, want 3", h.NumPages())
+	}
+	for i, loc := range locs {
+		got, err := h.Get(nil, loc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != mkRec(i) {
+			t.Errorf("record %d mismatch", i)
+		}
+	}
+	var scanned int
+	err := h.Scan(nil, func(loc Loc, r *update.Record) error {
+		if *r != mkRec(scanned) {
+			t.Errorf("scan record %d mismatch", scanned)
+		}
+		if loc != locs[scanned] {
+			t.Errorf("scan loc %d = %v, want %v", scanned, loc, locs[scanned])
+		}
+		scanned++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scanned != n {
+		t.Errorf("scanned %d, want %d", scanned, n)
+	}
+}
+
+func TestScanStop(t *testing.T) {
+	h := create(t)
+	for i := 0; i < 10; i++ {
+		r := mkRec(i)
+		h.Append(&r)
+	}
+	var seen int
+	err := h.Scan(nil, func(Loc, *update.Record) error {
+		seen++
+		if seen == 3 {
+			return ErrStop
+		}
+		return nil
+	})
+	if err != nil || seen != 3 {
+		t.Errorf("stop scan: seen=%d err=%v", seen, err)
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "heap.db")
+	h, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = RecordsPerPage + 5
+	for i := 0; i < n; i++ {
+		r := mkRec(i)
+		if _, err := h.Append(&r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	h2, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Close()
+	if h2.Count() != n {
+		t.Fatalf("reopened count = %d, want %d", h2.Count(), n)
+	}
+	// Appends continue into the partial tail page.
+	r := mkRec(n)
+	loc, err := h2.Append(&r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Page != 1 || loc.Slot != 5 {
+		t.Errorf("append after reopen at %v", loc)
+	}
+	got, err := h2.Get(nil, loc)
+	if err != nil || got != mkRec(n) {
+		t.Errorf("get after reopen: %v, %v", got, err)
+	}
+	// All earlier records intact.
+	i := 0
+	h2.Scan(nil, func(_ Loc, r *update.Record) error {
+		if *r != mkRec(i) {
+			t.Errorf("record %d corrupted after reopen", i)
+		}
+		i++
+		return nil
+	})
+	if i != n+1 {
+		t.Errorf("scan found %d records", i)
+	}
+}
+
+func TestGetBounds(t *testing.T) {
+	h := create(t)
+	r := mkRec(1)
+	h.Append(&r)
+	if _, err := h.Get(nil, Loc{Page: 5, Slot: 0}); err == nil {
+		t.Error("out-of-range page accepted")
+	}
+	if _, err := h.Get(nil, Loc{Page: 0, Slot: 99}); err == nil {
+		t.Error("out-of-range slot accepted")
+	}
+	if _, err := h.Get(nil, Loc{Page: -1, Slot: 0}); err == nil {
+		t.Error("negative page accepted")
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	h := create(t)
+	const n = RecordsPerPage*3 + 10
+	for i := 0; i < n; i++ {
+		r := mkRec(i)
+		h.Append(&r)
+	}
+	// Middle page only.
+	var got []Loc
+	if err := h.ScanRange(nil, 1, 2, func(loc Loc, r *update.Record) error {
+		got = append(got, loc)
+		if *r != mkRec(loc.Page*RecordsPerPage+loc.Slot) {
+			t.Errorf("record at %v wrong", loc)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != RecordsPerPage {
+		t.Errorf("scanned %d, want %d", len(got), RecordsPerPage)
+	}
+	// Out-of-range bounds clamp instead of failing.
+	count := 0
+	if err := h.ScanRange(nil, -5, 100, func(Loc, *update.Record) error {
+		count++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Errorf("clamped scan = %d, want %d", count, n)
+	}
+	// Early stop.
+	count = 0
+	h.ScanRange(nil, 0, 4, func(Loc, *update.Record) error {
+		count++
+		if count == 5 {
+			return ErrStop
+		}
+		return nil
+	})
+	if count != 5 {
+		t.Errorf("stop scan = %d", count)
+	}
+	// Empty range.
+	if err := h.ScanRange(nil, 2, 2, func(Loc, *update.Record) error {
+		t.Fatal("empty range visited a record")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetMany(t *testing.T) {
+	h := create(t)
+	const n = RecordsPerPage*2 + 8
+	for i := 0; i < n; i++ {
+		r := mkRec(i)
+		h.Append(&r)
+	}
+	// Unordered locations across pages come back in page order, each page
+	// read at most once.
+	locs := []Loc{
+		{Page: 2, Slot: 3},
+		{Page: 0, Slot: 10},
+		{Page: 1, Slot: 0},
+		{Page: 0, Slot: 2},
+	}
+	var visited []Loc
+	if err := h.GetMany(nil, locs, func(loc Loc, r *update.Record) error {
+		visited = append(visited, loc)
+		if *r != mkRec(loc.Page*RecordsPerPage+loc.Slot) {
+			t.Errorf("record at %v wrong", loc)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []Loc{{0, 2}, {0, 10}, {1, 0}, {2, 3}}
+	for i := range want {
+		if visited[i] != want[i] {
+			t.Fatalf("visit order %v, want %v", visited, want)
+		}
+	}
+	// Bounds errors.
+	if err := h.GetMany(nil, []Loc{{Page: 99, Slot: 0}}, nil); err == nil {
+		t.Error("out-of-range page accepted")
+	}
+	if err := h.GetMany(nil, []Loc{{Page: 0, Slot: RecordsPerPage + 1}}, func(Loc, *update.Record) error { return nil }); err == nil {
+		t.Error("out-of-range slot accepted")
+	}
+	// Early stop.
+	count := 0
+	if err := h.GetMany(nil, locs, func(Loc, *update.Record) error {
+		count++
+		return ErrStop
+	}); err != nil || count != 1 {
+		t.Errorf("stop: count=%d err=%v", count, err)
+	}
+}
+
+func TestCustomReadFunc(t *testing.T) {
+	h := create(t)
+	for i := 0; i < RecordsPerPage+3; i++ {
+		r := mkRec(i)
+		h.Append(&r)
+	}
+	if err := h.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var reads int
+	counting := func(page int, buf []byte) error {
+		reads++
+		return h.Store().ReadPage(page, buf)
+	}
+	if err := h.Scan(counting, func(Loc, *update.Record) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	// The tail page is served from memory, so only full pages hit the reader.
+	if reads != 1 {
+		t.Errorf("custom reader called %d times, want 1 (tail in memory)", reads)
+	}
+}

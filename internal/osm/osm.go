@@ -1,0 +1,194 @@
+// Package osm defines the OpenStreetMap conceptual data model used throughout
+// RASED: elements (nodes, ways, relations) with versions, tags, timestamps,
+// and changeset attribution, mirroring Section II-A of the paper.
+package osm
+
+import (
+	"fmt"
+	"time"
+)
+
+// ElementType distinguishes the three OSM element kinds.
+type ElementType int
+
+// The three OSM element types. The numeric values are part of the on-disk
+// cube format.
+const (
+	Node ElementType = iota
+	Way
+	Relation
+	numElementTypes
+)
+
+// NumElementTypes is the size of the element-type dimension.
+const NumElementTypes = int(numElementTypes)
+
+// String returns the lower-case OSM XML tag name of the element type.
+func (t ElementType) String() string {
+	switch t {
+	case Node:
+		return "node"
+	case Way:
+		return "way"
+	case Relation:
+		return "relation"
+	default:
+		return fmt.Sprintf("ElementType(%d)", int(t))
+	}
+}
+
+// Valid reports whether t is one of the three element types.
+func (t ElementType) Valid() bool { return t >= Node && t < numElementTypes }
+
+// ParseElementType parses an OSM XML element name.
+func ParseElementType(s string) (ElementType, error) {
+	switch s {
+	case "node":
+		return Node, nil
+	case "way":
+		return Way, nil
+	case "relation":
+		return Relation, nil
+	default:
+		return 0, fmt.Errorf("osm: unknown element type %q", s)
+	}
+}
+
+// ElementTypeNames returns the catalog of element type names in value order.
+func ElementTypeNames() []string { return []string{"node", "way", "relation"} }
+
+// Member is one member of a relation.
+type Member struct {
+	Type ElementType
+	Ref  int64
+	Role string
+}
+
+// Element is one version of an OSM element. Node elements carry coordinates;
+// way elements carry node references; relation elements carry members.
+type Element struct {
+	Type        ElementType
+	ID          int64
+	Version     int
+	Timestamp   time.Time
+	ChangesetID int64
+	UID         int64
+	User        string
+	Visible     bool
+
+	Lat, Lon float64  // nodes only
+	NodeRefs []int64  // ways only
+	Members  []Member // relations only
+
+	Tags map[string]string
+}
+
+// Key identifies an element across versions.
+type Key struct {
+	Type ElementType
+	ID   int64
+}
+
+// Key returns the element's identity.
+func (e *Element) Key() Key { return Key{e.Type, e.ID} }
+
+// Tag returns the value of tag k, or "".
+func (e *Element) Tag(k string) string { return e.Tags[k] }
+
+// SetTag sets tag k to v, allocating the map if needed.
+func (e *Element) SetTag(k, v string) {
+	if e.Tags == nil {
+		e.Tags = make(map[string]string)
+	}
+	e.Tags[k] = v
+}
+
+// SameGeometry reports whether two versions of the same element have
+// identical geometry: node coordinates, way node lists, or relation member
+// lists. A change in anything else is a metadata change. This is the
+// classification rule of the paper's monthly crawler (Section V).
+func SameGeometry(a, b *Element) bool {
+	if a.Type != b.Type {
+		return false
+	}
+	switch a.Type {
+	case Node:
+		return a.Lat == b.Lat && a.Lon == b.Lon
+	case Way:
+		if len(a.NodeRefs) != len(b.NodeRefs) {
+			return false
+		}
+		for i := range a.NodeRefs {
+			if a.NodeRefs[i] != b.NodeRefs[i] {
+				return false
+			}
+		}
+		return true
+	case Relation:
+		if len(a.Members) != len(b.Members) {
+			return false
+		}
+		for i := range a.Members {
+			if a.Members[i] != b.Members[i] {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// SameTags reports whether two element versions carry identical tag sets.
+func SameTags(a, b *Element) bool {
+	if len(a.Tags) != len(b.Tags) {
+		return false
+	}
+	for k, v := range a.Tags {
+		if b.Tags[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the element.
+func (e *Element) Clone() *Element {
+	c := *e
+	if e.NodeRefs != nil {
+		c.NodeRefs = append([]int64(nil), e.NodeRefs...)
+	}
+	if e.Members != nil {
+		c.Members = append([]Member(nil), e.Members...)
+	}
+	if e.Tags != nil {
+		c.Tags = make(map[string]string, len(e.Tags))
+		for k, v := range e.Tags {
+			c.Tags[k] = v
+		}
+	}
+	return &c
+}
+
+// Changeset is the metadata record of one OSM changeset: all updates
+// submitted by one user in one session, with the bounding box of the edits
+// (Section II-B).
+type Changeset struct {
+	ID         int64
+	CreatedAt  time.Time
+	ClosedAt   time.Time
+	User       string
+	UID        int64
+	NumChanges int
+	MinLat     float64
+	MinLon     float64
+	MaxLat     float64
+	MaxLon     float64
+	Tags       map[string]string
+}
+
+// Center returns the center point of the changeset bounding box; the daily
+// crawler assigns this location to way and relation updates.
+func (c *Changeset) Center() (lat, lon float64) {
+	return (c.MinLat + c.MaxLat) / 2, (c.MinLon + c.MaxLon) / 2
+}

@@ -1,0 +1,128 @@
+package osm
+
+import (
+	"testing"
+	"time"
+)
+
+func TestElementTypeStrings(t *testing.T) {
+	for _, c := range []struct {
+		t ElementType
+		s string
+	}{{Node, "node"}, {Way, "way"}, {Relation, "relation"}} {
+		if c.t.String() != c.s {
+			t.Errorf("%v.String() = %q", c.t, c.t.String())
+		}
+		got, err := ParseElementType(c.s)
+		if err != nil || got != c.t {
+			t.Errorf("ParseElementType(%q) = %v, %v", c.s, got, err)
+		}
+		if !c.t.Valid() {
+			t.Errorf("%v should be valid", c.t)
+		}
+	}
+	if _, err := ParseElementType("polygon"); err == nil {
+		t.Error("polygon should not parse")
+	}
+	if ElementType(7).Valid() {
+		t.Error("ElementType(7) invalid")
+	}
+	if len(ElementTypeNames()) != NumElementTypes {
+		t.Error("catalog size mismatch")
+	}
+}
+
+func TestSameGeometry(t *testing.T) {
+	n1 := &Element{Type: Node, ID: 1, Lat: 1, Lon: 2}
+	n2 := n1.Clone()
+	if !SameGeometry(n1, n2) {
+		t.Error("clone should have same geometry")
+	}
+	n2.Lat = 3
+	if SameGeometry(n1, n2) {
+		t.Error("moved node should differ")
+	}
+
+	w1 := &Element{Type: Way, ID: 1, NodeRefs: []int64{1, 2, 3}}
+	w2 := w1.Clone()
+	if !SameGeometry(w1, w2) {
+		t.Error("same refs should match")
+	}
+	w2.NodeRefs[1] = 9
+	if SameGeometry(w1, w2) {
+		t.Error("changed ref should differ")
+	}
+	w3 := w1.Clone()
+	w3.NodeRefs = w3.NodeRefs[:2]
+	if SameGeometry(w1, w3) {
+		t.Error("shorter way should differ")
+	}
+
+	r1 := &Element{Type: Relation, ID: 1, Members: []Member{{Way, 5, "outer"}}}
+	r2 := r1.Clone()
+	if !SameGeometry(r1, r2) {
+		t.Error("same members should match")
+	}
+	r2.Members[0].Role = "inner"
+	if SameGeometry(r1, r2) {
+		t.Error("changed role should differ")
+	}
+	if SameGeometry(n1, w1) {
+		t.Error("different types never match")
+	}
+}
+
+func TestSameTags(t *testing.T) {
+	a := &Element{Tags: map[string]string{"highway": "primary", "name": "A"}}
+	b := &Element{Tags: map[string]string{"highway": "primary", "name": "A"}}
+	if !SameTags(a, b) {
+		t.Error("identical tags should match")
+	}
+	b.SetTag("name", "B")
+	if SameTags(a, b) {
+		t.Error("changed value should differ")
+	}
+	c := &Element{Tags: map[string]string{"highway": "primary"}}
+	if SameTags(a, c) {
+		t.Error("missing tag should differ")
+	}
+	var empty1, empty2 Element
+	if !SameTags(&empty1, &empty2) {
+		t.Error("two untagged elements match")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	e := &Element{
+		Type: Way, ID: 4, Version: 2, Timestamp: time.Now(),
+		NodeRefs: []int64{1, 2}, Tags: map[string]string{"highway": "service"},
+	}
+	c := e.Clone()
+	c.NodeRefs[0] = 99
+	c.SetTag("highway", "track")
+	if e.NodeRefs[0] == 99 || e.Tags["highway"] == "track" {
+		t.Error("clone shares storage with original")
+	}
+	if e.Key() != c.Key() {
+		t.Error("clone should keep identity")
+	}
+}
+
+func TestSetTagNilMap(t *testing.T) {
+	var e Element
+	e.SetTag("highway", "path")
+	if e.Tag("highway") != "path" {
+		t.Error("SetTag on nil map failed")
+	}
+	if e.Tag("missing") != "" {
+		t.Error("missing tag should be empty")
+	}
+}
+
+func TestChangesetCenter(t *testing.T) {
+	cs := Changeset{MinLat: 10, MaxLat: 20, MinLon: -40, MaxLon: -20}
+	lat, lon := cs.Center()
+	if lat != 15 || lon != -30 {
+		t.Errorf("center = (%f, %f)", lat, lon)
+	}
+}

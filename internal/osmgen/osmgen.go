@@ -1,0 +1,601 @@
+// Package osmgen generates a deterministic synthetic OSM world: per-country
+// road networks that grow and churn day by day, emitted as the exact file
+// formats RASED crawls — daily OsmChange diffs, changeset metadata files, and
+// sorted full-history dumps.
+//
+// This package substitutes the real 3 TB OSM planet (see DESIGN.md). The
+// distributions are shaped after the paper's observations: country activity
+// is heavily skewed (United States, India, Germany, Brazil lead Figure 3),
+// way edits dominate node and relation edits, and modifications outnumber
+// creations. All output is a pure function of the Config, so experiments are
+// reproducible.
+package osmgen
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"rased/internal/geo"
+	"rased/internal/osm"
+	"rased/internal/osmxml"
+	"rased/internal/roads"
+	"rased/internal/temporal"
+)
+
+// Config parameterizes the synthetic world.
+type Config struct {
+	Seed          int64
+	Start         temporal.Day // first generated day
+	UpdatesPerDay int          // mean daily road-network updates
+	SeedElements  int          // elements pre-created before day one
+}
+
+// DefaultConfig returns a laptop-scale configuration.
+func DefaultConfig() Config {
+	return Config{
+		Seed:          1,
+		Start:         temporal.NewDay(2020, time.January, 1),
+		UpdatesPerDay: 400,
+		SeedElements:  2000,
+	}
+}
+
+// DayArtifacts is what OSM publishes for one day: the diff file and the
+// changeset metadata covering it.
+type DayArtifacts struct {
+	Day        temporal.Day
+	Change     *osmxml.Change
+	Changesets []osm.Changeset
+}
+
+// Generator produces the world. Not safe for concurrent use.
+type Generator struct {
+	cfg Config
+	rng *rand.Rand
+	reg *geo.Registry
+
+	day           temporal.Day
+	nextID        [osm.NumElementTypes]int64
+	nextChangeset int64
+	nextUID       int64
+
+	live      map[osm.Key]*osm.Element
+	home      map[osm.Key][2]float64 // element -> (lat, lon)
+	countryOf map[osm.Key]int
+	byCountry map[int]*liveSet // live keys per country, for session-local picks
+	nLive     int
+
+	history    []*osm.Element
+	changesets []osm.Changeset
+
+	countryCDF []float64 // cumulative country pick distribution
+	roadCDF    []float64 // cumulative road-type pick distribution over way types
+	nodeRoads  []int     // node-typed road feature values
+}
+
+// New builds a generator and pre-seeds the world with cfg.SeedElements
+// elements dated the day before cfg.Start.
+func New(cfg Config) *Generator {
+	g := &Generator{
+		cfg:           cfg,
+		rng:           rand.New(rand.NewSource(cfg.Seed)),
+		reg:           geo.Default(),
+		day:           cfg.Start,
+		nextChangeset: 1,
+		nextUID:       1,
+		live:          make(map[osm.Key]*osm.Element),
+		home:          make(map[osm.Key][2]float64),
+		countryOf:     make(map[osm.Key]int),
+		byCountry:     make(map[int]*liveSet),
+	}
+	for t := range g.nextID {
+		g.nextID[t] = 1
+	}
+	g.buildDistributions()
+	g.seedWorld()
+	return g
+}
+
+// buildDistributions derives the skewed country and road-type pick
+// distributions from the registry weights and a Zipf-like activity factor.
+func (g *Generator) buildDistributions() {
+	n := g.reg.NumCountries()
+	weights := make([]float64, n)
+	// Activity rank: a random permutation seeded by cfg.Seed, weighted
+	// 1/(rank+1) (Zipf) times the square root of the area weight, so large
+	// mapped countries dominate but small active ones still show up.
+	perm := g.rng.Perm(n)
+	for rank, c := range perm {
+		w := float64(g.reg.Place(c).Weight)
+		weights[c] = (1.0 / float64(rank+1)) * (1 + w/4)
+	}
+	g.countryCDF = cdf(weights)
+
+	// Way road types: principal classes and service/track dominate.
+	rw := make([]float64, roads.Num())
+	for v := 0; v < roads.Num(); v++ {
+		name := roads.Name(v)
+		switch {
+		case name == "residential":
+			rw[v] = 30
+		case name == "service" || name == "track" || name == "footway" || name == "path":
+			rw[v] = 12
+		case roads.Principal(v):
+			rw[v] = 6
+		case name == "unknown":
+			rw[v] = 0
+		default:
+			rw[v] = 0.5
+		}
+	}
+	g.roadCDF = cdf(rw)
+
+	for _, n := range []string{"traffic_signals", "crossing", "stop", "give_way", "bus_stop", "street_lamp", "turning_circle", "speed_camera"} {
+		if v, ok := roads.ByName(n); ok {
+			g.nodeRoads = append(g.nodeRoads, v)
+		}
+	}
+}
+
+func cdf(w []float64) []float64 {
+	out := make([]float64, len(w))
+	var sum float64
+	for i, v := range w {
+		sum += v
+		out[i] = sum
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+func pick(rng *rand.Rand, cdf []float64) int {
+	x := rng.Float64()
+	i := sort.SearchFloat64s(cdf, x)
+	if i >= len(cdf) {
+		i = len(cdf) - 1
+	}
+	return i
+}
+
+// seedWorld creates the initial elements, all stamped the day before Start so
+// day one's diffs reference an existing world.
+func (g *Generator) seedWorld() {
+	day := g.cfg.Start - 1
+	csID := g.newChangesetID()
+	var pts [][2]float64
+	for i := 0; i < g.cfg.SeedElements; i++ {
+		e := g.createElement(day, csID)
+		if lat, lon, ok := g.locationOf(e); ok {
+			pts = append(pts, [2]float64{lat, lon})
+		}
+	}
+	g.recordChangeset(csID, day, pts)
+}
+
+func (g *Generator) newChangesetID() int64 {
+	id := g.nextChangeset
+	g.nextChangeset++
+	return id
+}
+
+// timestampFor spreads updates across a day's 24 hours.
+func (g *Generator) timestampFor(d temporal.Day) time.Time {
+	return d.Time().Add(time.Duration(g.rng.Intn(86400)) * time.Second)
+}
+
+// pickType draws an element type: ways dominate, relations are rare.
+func (g *Generator) pickType() osm.ElementType {
+	x := g.rng.Float64()
+	switch {
+	case x < 0.55:
+		return osm.Way
+	case x < 0.99:
+		return osm.Node
+	default:
+		return osm.Relation
+	}
+}
+
+// createElement makes a brand-new element version 1 in a random country and
+// registers it live.
+func (g *Generator) createElement(day temporal.Day, csID int64) *osm.Element {
+	country := pick(g.rng, g.countryCDF)
+	rect := g.reg.RectOf(country)
+	lat := rect.MinLat + g.rng.Float64()*(rect.MaxLat-rect.MinLat)
+	lon := rect.MinLon + g.rng.Float64()*(rect.MaxLon-rect.MinLon)
+	return g.createElementAt(day, csID, lat, lon)
+}
+
+// createElementAt makes a new element at a fixed location.
+func (g *Generator) createElementAt(day temporal.Day, csID int64, lat, lon float64) *osm.Element {
+	t := g.pickType()
+	e := &osm.Element{
+		Type:        t,
+		ID:          g.nextID[t],
+		Version:     1,
+		Timestamp:   g.timestampFor(day),
+		ChangesetID: csID,
+		UID:         1 + g.rng.Int63n(500),
+		Visible:     true,
+	}
+	g.nextID[t]++
+	e.User = fmt.Sprintf("mapper%03d", e.UID)
+	switch t {
+	case osm.Node:
+		e.Lat, e.Lon = lat, lon
+		rt := g.nodeRoads[g.rng.Intn(len(g.nodeRoads))]
+		e.SetTag("highway", roads.Name(rt))
+	case osm.Way:
+		n := 2 + g.rng.Intn(8)
+		for i := 0; i < n; i++ {
+			e.NodeRefs = append(e.NodeRefs, 1+g.rng.Int63n(1<<40))
+		}
+		g.tagWay(e)
+	case osm.Relation:
+		n := 1 + g.rng.Intn(4)
+		for i := 0; i < n; i++ {
+			e.Members = append(e.Members, osm.Member{
+				Type: osm.Way, Ref: 1 + g.rng.Int63n(1<<40), Role: "",
+			})
+		}
+		e.SetTag("route", "road")
+		e.SetTag("ref", fmt.Sprintf("R-%d", e.ID))
+	}
+	g.registerLive(e, lat, lon)
+	g.history = append(g.history, e.Clone())
+	return e
+}
+
+// tagWay assigns a road type tag to a way per the skewed distribution.
+func (g *Generator) tagWay(e *osm.Element) {
+	rt := pick(g.rng, g.roadCDF)
+	name := roads.Name(rt)
+	// Refined values like "service:driveway" are expressed through their tag
+	// scheme.
+	switch {
+	case len(name) > 8 && name[:8] == "service:":
+		e.SetTag("highway", "service")
+		e.SetTag("service", name[8:])
+	case len(name) > 6 && name[:6] == "track:":
+		e.SetTag("highway", "track")
+		e.SetTag("tracktype", name[6:])
+	default:
+		e.SetTag("highway", name)
+	}
+	if g.rng.Intn(3) == 0 {
+		e.SetTag("name", fmt.Sprintf("Street %d", e.ID%10000))
+	}
+}
+
+// liveSet is a constant-time random-pick set of element keys.
+type liveSet struct {
+	keys []osm.Key
+	pos  map[osm.Key]int
+}
+
+func (s *liveSet) add(k osm.Key) {
+	if s.pos == nil {
+		s.pos = make(map[osm.Key]int)
+	}
+	s.pos[k] = len(s.keys)
+	s.keys = append(s.keys, k)
+}
+
+func (s *liveSet) remove(k osm.Key) {
+	p, ok := s.pos[k]
+	if !ok {
+		return
+	}
+	last := len(s.keys) - 1
+	s.keys[p] = s.keys[last]
+	s.pos[s.keys[p]] = p
+	s.keys = s.keys[:last]
+	delete(s.pos, k)
+}
+
+func (g *Generator) registerLive(e *osm.Element, lat, lon float64) {
+	k := e.Key()
+	g.live[k] = e
+	g.home[k] = [2]float64{lat, lon}
+	country, ok := g.reg.Resolve(lat, lon)
+	if !ok {
+		country = -1
+	}
+	g.countryOf[k] = country
+	set := g.byCountry[country]
+	if set == nil {
+		set = &liveSet{}
+		g.byCountry[country] = set
+	}
+	set.add(k)
+	g.nLive++
+}
+
+func (g *Generator) unregisterLive(k osm.Key) {
+	country, ok := g.countryOf[k]
+	if !ok {
+		return
+	}
+	g.byCountry[country].remove(k)
+	delete(g.countryOf, k)
+	delete(g.live, k)
+	delete(g.home, k)
+	g.nLive--
+}
+
+// pickLive returns a random live element, preferring the given country and
+// falling back to any country. Returns nil when the world is empty.
+func (g *Generator) pickLive(country int) *osm.Element {
+	if set := g.byCountry[country]; set != nil && len(set.keys) > 0 {
+		return g.live[set.keys[g.rng.Intn(len(set.keys))]]
+	}
+	if g.nLive == 0 {
+		return nil
+	}
+	// Fallback: resample countries until a populated one is found. The loop
+	// terminates because nLive > 0.
+	for {
+		c := pick(g.rng, g.countryCDF)
+		if set := g.byCountry[c]; set != nil && len(set.keys) > 0 {
+			return g.live[set.keys[g.rng.Intn(len(set.keys))]]
+		}
+	}
+}
+
+// modifyElement produces the next version of a live element. Roughly 60% of
+// modifications are geometric, the rest metadata-only.
+func (g *Generator) modifyElement(e *osm.Element, day temporal.Day, csID int64) *osm.Element {
+	nv := e.Clone()
+	nv.Version++
+	nv.Timestamp = g.timestampFor(day)
+	nv.ChangesetID = csID
+	nv.UID = 1 + g.rng.Int63n(500)
+	nv.User = fmt.Sprintf("mapper%03d", nv.UID)
+	if g.rng.Float64() < 0.6 {
+		// Geometry update.
+		switch nv.Type {
+		case osm.Node:
+			nv.Lat += (g.rng.Float64() - 0.5) * 0.001
+			nv.Lon += (g.rng.Float64() - 0.5) * 0.001
+		case osm.Way:
+			nv.NodeRefs = append(nv.NodeRefs, 1+g.rng.Int63n(1<<40))
+		case osm.Relation:
+			nv.Members = append(nv.Members, osm.Member{Type: osm.Way, Ref: 1 + g.rng.Int63n(1<<40)})
+		}
+	} else {
+		// Metadata update: touch a tag without changing geometry.
+		nv.SetTag("note", fmt.Sprintf("edit-%d", nv.Version))
+	}
+	g.live[nv.Key()] = nv
+	g.history = append(g.history, nv.Clone())
+	return nv
+}
+
+// deleteElement produces the final, invisible version of a live element.
+func (g *Generator) deleteElement(e *osm.Element, day temporal.Day, csID int64) *osm.Element {
+	nv := e.Clone()
+	nv.Version++
+	nv.Timestamp = g.timestampFor(day)
+	nv.ChangesetID = csID
+	nv.Visible = false
+	g.history = append(g.history, nv.Clone())
+	g.unregisterLive(e.Key())
+	return nv
+}
+
+func (g *Generator) recordChangeset(id int64, day temporal.Day, points [][2]float64) {
+	cs := osm.Changeset{
+		ID:         id,
+		CreatedAt:  day.Time().Add(time.Hour),
+		ClosedAt:   day.Time().Add(2 * time.Hour),
+		UID:        1 + g.rng.Int63n(500),
+		NumChanges: len(points),
+	}
+	cs.User = fmt.Sprintf("mapper%03d", cs.UID)
+	for i, pt := range points {
+		lat, lon := pt[0], pt[1]
+		if i == 0 {
+			cs.MinLat, cs.MaxLat = lat, lat
+			cs.MinLon, cs.MaxLon = lon, lon
+			continue
+		}
+		if lat < cs.MinLat {
+			cs.MinLat = lat
+		}
+		if lat > cs.MaxLat {
+			cs.MaxLat = lat
+		}
+		if lon < cs.MinLon {
+			cs.MinLon = lon
+		}
+		if lon > cs.MaxLon {
+			cs.MaxLon = lon
+		}
+	}
+	g.changesets = append(g.changesets, cs)
+}
+
+// locationOf returns the element's home point (nodes: their coordinates;
+// ways/relations: the point they were created around).
+func (g *Generator) locationOf(e *osm.Element) (lat, lon float64, ok bool) {
+	if e.Type == osm.Node {
+		return e.Lat, e.Lon, true
+	}
+	h, found := g.home[e.Key()]
+	if !found {
+		return 0, 0, false
+	}
+	return h[0], h[1], true
+}
+
+// Day returns the next day NextDay will generate.
+func (g *Generator) Day() temporal.Day { return g.day }
+
+// NextDay generates one day of world activity and returns its diff and
+// changesets. Sessions cluster updates in one country, the way real mappers
+// edit one area per changeset.
+func (g *Generator) NextDay() *DayArtifacts {
+	day := g.day
+	g.day++
+
+	n := g.cfg.UpdatesPerDay/2 + g.rng.Intn(g.cfg.UpdatesPerDay+1)
+	art := &DayArtifacts{Day: day, Change: &osmxml.Change{}}
+	csFrom := len(g.changesets)
+
+	for n > 0 {
+		session := 5 + g.rng.Intn(46)
+		if session > n {
+			session = n
+		}
+		n -= session
+		csID := g.newChangesetID()
+		// Session anchor: a country picked from the skewed distribution.
+		country := pick(g.rng, g.countryCDF)
+		rect := g.reg.RectOf(country)
+		var pts [][2]float64
+		addPt := func(e *osm.Element) {
+			if lat, lon, ok := g.locationOf(e); ok {
+				pts = append(pts, [2]float64{lat, lon})
+			}
+		}
+		for i := 0; i < session; i++ {
+			x := g.rng.Float64()
+			switch {
+			case x < 0.35 || g.nLive == 0:
+				lat := rect.MinLat + g.rng.Float64()*(rect.MaxLat-rect.MinLat)
+				lon := rect.MinLon + g.rng.Float64()*(rect.MaxLon-rect.MinLon)
+				e := g.createElementAt(day, csID, lat, lon)
+				addPt(e)
+				art.Change.Items = append(art.Change.Items, osmxml.ChangeItem{Action: osmxml.Create, Element: e.Clone()})
+			case x < 0.90:
+				e := g.pickLive(country)
+				nv := g.modifyElement(e, day, csID)
+				addPt(nv)
+				art.Change.Items = append(art.Change.Items, osmxml.ChangeItem{Action: osmxml.Modify, Element: nv.Clone()})
+			default:
+				e := g.pickLive(country)
+				addPt(e) // capture location before the delete drops it
+				nv := g.deleteElement(e, day, csID)
+				art.Change.Items = append(art.Change.Items, osmxml.ChangeItem{Action: osmxml.Delete, Element: nv.Clone()})
+			}
+		}
+		g.recordChangeset(csID, day, pts)
+	}
+	art.Changesets = append(art.Changesets, g.changesets[csFrom:]...)
+	return art
+}
+
+// Changesets returns every changeset generated so far (the monthly crawler
+// needs the full set to resolve way locations).
+func (g *Generator) Changesets() []osm.Changeset { return g.changesets }
+
+// WriteDayFiles writes one day's artifacts to dir using the naming scheme the
+// file-based ingestion path consumes: <date>.osc (the OsmChange diff) and
+// <date>.changesets.xml (the day's changeset metadata). It mirrors OSM's
+// published daily diff + changeset files.
+func (art *DayArtifacts) WriteDayFiles(dir string) error {
+	date := art.Day.String()
+	oscPath := filepath.Join(dir, date+".osc")
+	f, err := os.Create(oscPath)
+	if err != nil {
+		return err
+	}
+	if err := osmxml.WriteChange(f, art.Change); err != nil {
+		f.Close()
+		return fmt.Errorf("osmgen: write %s: %w", oscPath, err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	csPath := filepath.Join(dir, date+".changesets.xml")
+	f, err = os.Create(csPath)
+	if err != nil {
+		return err
+	}
+	if err := osmxml.WriteChangesets(f, art.Changesets); err != nil {
+		f.Close()
+		return fmt.Errorf("osmgen: write %s: %w", csPath, err)
+	}
+	return f.Close()
+}
+
+// WriteHistory writes a full-history dump of every element version generated
+// so far whose timestamp falls in [from, to], sorted by (type, id, version) —
+// the ordering the real planet full-history file uses and the monthly crawler
+// relies on for streaming.
+func (g *Generator) WriteHistory(w io.Writer, from, to temporal.Day) error {
+	var sel []*osm.Element
+	for _, e := range g.history {
+		d := temporal.FromTime(e.Timestamp)
+		if d >= from && d <= to {
+			sel = append(sel, e)
+		}
+	}
+	sort.Slice(sel, func(a, b int) bool {
+		ea, eb := sel[a], sel[b]
+		if ea.Type != eb.Type {
+			return ea.Type < eb.Type
+		}
+		if ea.ID != eb.ID {
+			return ea.ID < eb.ID
+		}
+		return ea.Version < eb.Version
+	})
+	hw, err := osmxml.NewHistoryWriter(w)
+	if err != nil {
+		return err
+	}
+	for _, e := range sel {
+		if err := hw.Add(e); err != nil {
+			return err
+		}
+	}
+	return hw.Close()
+}
+
+// WriteHistoryFile writes a full-history dump covering [from, to] into dir as
+// history.osm and returns its path.
+func (g *Generator) WriteHistoryFile(dir string, from, to temporal.Day) (string, error) {
+	path := filepath.Join(dir, "history.osm")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := g.WriteHistory(f, from, to); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
+}
+
+// HistoryLen returns the number of element versions generated so far.
+func (g *Generator) HistoryLen() int { return len(g.history) }
+
+// LiveCount returns the number of live (not deleted) elements.
+func (g *Generator) LiveCount() int { return g.nLive }
+
+// NetworkSizes returns the live road-network size per country catalog value
+// (leaf countries and zone rollups), the denominator of the paper's
+// Percentage(*) queries.
+func (g *Generator) NetworkSizes() map[int]uint64 {
+	sizes := make(map[int]uint64)
+	for k := range g.live {
+		c := g.countryOf[k]
+		if c < 0 {
+			continue
+		}
+		h := g.home[k]
+		sizes[c]++
+		for _, z := range g.reg.ZonesOf(c, h[0], h[1]) {
+			sizes[z]++
+		}
+	}
+	return sizes
+}

@@ -1,0 +1,270 @@
+package osmgen
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"rased/internal/geo"
+	"rased/internal/osm"
+	"rased/internal/osmxml"
+	"rased/internal/roads"
+	"rased/internal/temporal"
+)
+
+func smallConfig() Config {
+	return Config{
+		Seed:          7,
+		Start:         temporal.NewDay(2021, time.March, 1),
+		UpdatesPerDay: 120,
+		SeedElements:  300,
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g1 := New(smallConfig())
+	g2 := New(smallConfig())
+	for i := 0; i < 3; i++ {
+		a1 := g1.NextDay()
+		a2 := g2.NextDay()
+		if len(a1.Change.Items) != len(a2.Change.Items) {
+			t.Fatalf("day %d: item counts differ (%d vs %d)", i, len(a1.Change.Items), len(a2.Change.Items))
+		}
+		for j := range a1.Change.Items {
+			e1, e2 := a1.Change.Items[j].Element, a2.Change.Items[j].Element
+			if e1.Key() != e2.Key() || e1.Version != e2.Version || !e1.Timestamp.Equal(e2.Timestamp) {
+				t.Fatalf("day %d item %d differ: %+v vs %+v", i, j, e1, e2)
+			}
+		}
+		if len(a1.Changesets) != len(a2.Changesets) {
+			t.Fatalf("day %d: changeset counts differ", i)
+		}
+	}
+}
+
+func TestDayArtifactsWellFormed(t *testing.T) {
+	g := New(smallConfig())
+	art := g.NextDay()
+	if art.Day != smallConfig().Start {
+		t.Errorf("day = %v", art.Day)
+	}
+	if len(art.Change.Items) == 0 {
+		t.Fatal("empty day")
+	}
+	csIDs := make(map[int64]bool)
+	for _, cs := range art.Changesets {
+		csIDs[cs.ID] = true
+		if cs.NumChanges == 0 {
+			t.Error("changeset with zero changes")
+		}
+		if cs.MinLat > cs.MaxLat || cs.MinLon > cs.MaxLon {
+			t.Errorf("inverted bbox: %+v", cs)
+		}
+	}
+	for _, it := range art.Change.Items {
+		e := it.Element
+		if !csIDs[e.ChangesetID] {
+			t.Errorf("element %v references changeset %d not in day artifacts", e.Key(), e.ChangesetID)
+		}
+		if temporal.FromTime(e.Timestamp) != art.Day {
+			t.Errorf("element timestamp %v outside day %v", e.Timestamp, art.Day)
+		}
+		if !roads.IsRoadElement(e.Tags) && it.Action != osmxml.Delete {
+			t.Errorf("non-road element generated: %v %v", e.Key(), e.Tags)
+		}
+		switch it.Action {
+		case osmxml.Create:
+			if e.Version != 1 {
+				t.Errorf("created element has version %d", e.Version)
+			}
+			if !e.Visible {
+				t.Error("created element invisible")
+			}
+		case osmxml.Modify:
+			if e.Version < 2 {
+				t.Errorf("modified element has version %d", e.Version)
+			}
+		case osmxml.Delete:
+			if e.Visible {
+				t.Error("deleted element still visible")
+			}
+		}
+	}
+}
+
+func TestChangeXMLRoundTrips(t *testing.T) {
+	g := New(smallConfig())
+	art := g.NextDay()
+	var buf bytes.Buffer
+	if err := osmxml.WriteChange(&buf, art.Change); err != nil {
+		t.Fatal(err)
+	}
+	got, err := osmxml.ReadChange(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Items) != len(art.Change.Items) {
+		t.Errorf("round trip items = %d, want %d", len(got.Items), len(art.Change.Items))
+	}
+	var cbuf bytes.Buffer
+	if err := osmxml.WriteChangesets(&cbuf, art.Changesets); err != nil {
+		t.Fatal(err)
+	}
+	sets, err := osmxml.ReadChangesets(&cbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != len(art.Changesets) {
+		t.Errorf("round trip changesets = %d, want %d", len(sets), len(art.Changesets))
+	}
+}
+
+func TestHistoryConsistency(t *testing.T) {
+	g := New(smallConfig())
+	for i := 0; i < 5; i++ {
+		g.NextDay()
+	}
+	var buf bytes.Buffer
+	start := smallConfig().Start
+	if err := g.WriteHistory(&buf, start-1, start+10); err != nil {
+		t.Fatal(err)
+	}
+	hr := osmxml.NewHistoryReader(&buf)
+	versions := make(map[osm.Key][]int)
+	var prev *osm.Element
+	n := 0
+	for {
+		e, err := hr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+		if prev != nil {
+			// Sorted by (type, id, version).
+			if e.Type < prev.Type ||
+				(e.Type == prev.Type && e.ID < prev.ID) ||
+				(e.Type == prev.Type && e.ID == prev.ID && e.Version <= prev.Version) {
+				t.Fatalf("history not sorted: %v v%d after %v v%d", e.Key(), e.Version, prev.Key(), prev.Version)
+			}
+		}
+		versions[e.Key()] = append(versions[e.Key()], e.Version)
+		prev = e
+	}
+	if n != g.HistoryLen() {
+		t.Errorf("history dump has %d versions, generator made %d", n, g.HistoryLen())
+	}
+	// Versions per element are consecutive starting at 1.
+	for k, vs := range versions {
+		for i, v := range vs {
+			if v != i+1 {
+				t.Fatalf("element %v versions %v not consecutive", k, vs)
+			}
+		}
+	}
+}
+
+func TestCountrySkew(t *testing.T) {
+	g := New(Config{Seed: 3, Start: temporal.NewDay(2021, time.January, 1), UpdatesPerDay: 2000, SeedElements: 500})
+	counts := make(map[int]int)
+	reg := geo.Default()
+	for i := 0; i < 5; i++ {
+		art := g.NextDay()
+		byCS := make(map[int64]osm.Changeset)
+		for _, cs := range art.Changesets {
+			byCS[cs.ID] = cs
+		}
+		for _, it := range art.Change.Items {
+			e := it.Element
+			var lat, lon float64
+			if e.Type == osm.Node {
+				lat, lon = e.Lat, e.Lon
+			} else {
+				cs := byCS[e.ChangesetID]
+				lat, lon = cs.Center()
+			}
+			if c, ok := reg.Resolve(lat, lon); ok {
+				counts[c]++
+			}
+		}
+	}
+	if len(counts) < 20 {
+		t.Errorf("only %d countries active, want broad coverage", len(counts))
+	}
+	// Skew: the most active country should dominate the median country.
+	max := 0
+	for _, n := range counts {
+		if n > max {
+			max = n
+		}
+	}
+	if max < 200 {
+		t.Errorf("top country has %d updates; distribution looks flat", max)
+	}
+}
+
+func TestNetworkSizes(t *testing.T) {
+	g := New(smallConfig())
+	g.NextDay()
+	sizes := g.NetworkSizes()
+	reg := geo.Default()
+	var leafTotal uint64
+	for c, n := range sizes {
+		if reg.IsLeafCountry(c) {
+			leafTotal += n
+		}
+	}
+	if int(leafTotal) != g.LiveCount() {
+		t.Errorf("leaf network sizes sum to %d, live count is %d", leafTotal, g.LiveCount())
+	}
+	if sizes[reg.WorldValue()] != leafTotal {
+		t.Errorf("world zone size %d != leaf total %d", sizes[reg.WorldValue()], leafTotal)
+	}
+}
+
+func TestLiveSetShrinksOnDelete(t *testing.T) {
+	g := New(smallConfig())
+	before := g.LiveCount()
+	if before != smallConfig().SeedElements {
+		t.Fatalf("seed live = %d", before)
+	}
+	var creates, deletes int
+	for i := 0; i < 10; i++ {
+		art := g.NextDay()
+		for _, it := range art.Change.Items {
+			switch it.Action {
+			case osmxml.Create:
+				creates++
+			case osmxml.Delete:
+				deletes++
+			}
+		}
+	}
+	if got := g.LiveCount(); got != before+creates-deletes {
+		t.Errorf("live = %d, want %d + %d - %d", got, before, creates, deletes)
+	}
+	if deletes == 0 {
+		t.Error("no deletions generated in 10 days")
+	}
+}
+
+func TestChangesetsAccumulate(t *testing.T) {
+	g := New(smallConfig())
+	a1 := g.NextDay()
+	a2 := g.NextDay()
+	all := g.Changesets()
+	// Seed changeset + day changesets.
+	if len(all) != 1+len(a1.Changesets)+len(a2.Changesets) {
+		t.Errorf("changesets = %d, want %d", len(all), 1+len(a1.Changesets)+len(a2.Changesets))
+	}
+	seen := make(map[int64]bool)
+	for _, cs := range all {
+		if seen[cs.ID] {
+			t.Errorf("duplicate changeset id %d", cs.ID)
+		}
+		seen[cs.ID] = true
+	}
+}

@@ -1,0 +1,62 @@
+package osmxml
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// FuzzChangeReader: arbitrary input must never panic or loop; every element
+// that parses must carry a valid type.
+func FuzzChangeReader(f *testing.F) {
+	f.Add(`<osmChange version="0.6"><create><node id="1" version="1" timestamp="2021-01-01T00:00:00Z" changeset="1" lat="1" lon="2"/></create></osmChange>`)
+	f.Add(`<osmChange><delete><way id="9" version="2" timestamp="2021-01-01T00:00:00Z" changeset="3"><nd ref="1"/></way></delete></osmChange>`)
+	f.Add(`<osmChange><modify>`)
+	f.Add(`not xml at all`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, doc string) {
+		cr := NewChangeReader(strings.NewReader(doc))
+		for i := 0; i < 10000; i++ {
+			item, err := cr.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return
+			}
+			if !item.Element.Type.Valid() {
+				t.Fatalf("parsed element with invalid type %d", item.Element.Type)
+			}
+		}
+		t.Fatal("reader did not terminate after 10000 items")
+	})
+}
+
+// FuzzHistoryReader mirrors FuzzChangeReader for <osm> documents.
+func FuzzHistoryReader(f *testing.F) {
+	f.Add(`<osm><node id="1" version="1" timestamp="2021-01-01T00:00:00Z" changeset="1" lat="1" lon="2"/></osm>`)
+	f.Add(`<osm><relation id="1" version="1" timestamp="2021-01-01T00:00:00Z" changeset="1"><member type="way" ref="2" role="outer"/></relation></osm>`)
+	f.Add(`<osm`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		hr := NewHistoryReader(strings.NewReader(doc))
+		for i := 0; i < 10000; i++ {
+			e, err := hr.Next()
+			if err != nil {
+				return
+			}
+			if !e.Type.Valid() {
+				t.Fatalf("parsed element with invalid type %d", e.Type)
+			}
+		}
+		t.Fatal("reader did not terminate after 10000 elements")
+	})
+}
+
+// FuzzReadChangesets: arbitrary input must never panic.
+func FuzzReadChangesets(f *testing.F) {
+	f.Add(`<osm><changeset id="1" created_at="2021-01-01T00:00:00Z" min_lat="1" min_lon="2" max_lat="3" max_lon="4"/></osm>`)
+	f.Add(`<osm><changeset id="x"/></osm>`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		ReadChangesets(strings.NewReader(doc))
+	})
+}

@@ -1,0 +1,540 @@
+// Package osmxml reads and writes the OSM XML file formats RASED's crawlers
+// consume (Section II-B of the paper): OsmChange daily diff files, changeset
+// metadata files, and full-history dumps. Readers are streaming so that large
+// files never need to be held in memory; writers emit the same grammar the
+// real planet.openstreetmap.org artifacts use.
+package osmxml
+
+import (
+	"bufio"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"rased/internal/osm"
+)
+
+// TimeFormat is the timestamp layout used by OSM XML files.
+const TimeFormat = "2006-01-02T15:04:05Z"
+
+// ---------------------------------------------------------------------------
+// Element encoding (shared by diffs and history dumps).
+
+type xmlTag struct {
+	K string `xml:"k,attr"`
+	V string `xml:"v,attr"`
+}
+
+type xmlNd struct {
+	Ref int64 `xml:"ref,attr"`
+}
+
+type xmlMember struct {
+	Type string `xml:"type,attr"`
+	Ref  int64  `xml:"ref,attr"`
+	Role string `xml:"role,attr"`
+}
+
+type xmlElement struct {
+	XMLName   xml.Name
+	ID        int64       `xml:"id,attr"`
+	Version   int         `xml:"version,attr"`
+	Timestamp string      `xml:"timestamp,attr"`
+	Changeset int64       `xml:"changeset,attr"`
+	UID       int64       `xml:"uid,attr,omitempty"`
+	User      string      `xml:"user,attr,omitempty"`
+	Visible   *bool       `xml:"visible,attr"`
+	Lat       *float64    `xml:"lat,attr"`
+	Lon       *float64    `xml:"lon,attr"`
+	Nds       []xmlNd     `xml:"nd"`
+	Members   []xmlMember `xml:"member"`
+	Tags      []xmlTag    `xml:"tag"`
+}
+
+func toXML(e *osm.Element) xmlElement {
+	x := xmlElement{
+		XMLName:   xml.Name{Local: e.Type.String()},
+		ID:        e.ID,
+		Version:   e.Version,
+		Timestamp: e.Timestamp.UTC().Format(TimeFormat),
+		Changeset: e.ChangesetID,
+		UID:       e.UID,
+		User:      e.User,
+	}
+	v := e.Visible
+	x.Visible = &v
+	switch e.Type {
+	case osm.Node:
+		lat, lon := e.Lat, e.Lon
+		x.Lat, x.Lon = &lat, &lon
+	case osm.Way:
+		for _, ref := range e.NodeRefs {
+			x.Nds = append(x.Nds, xmlNd{Ref: ref})
+		}
+	case osm.Relation:
+		for _, m := range e.Members {
+			x.Members = append(x.Members, xmlMember{Type: m.Type.String(), Ref: m.Ref, Role: m.Role})
+		}
+	}
+	keys := make([]string, 0, len(e.Tags))
+	for k := range e.Tags {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		x.Tags = append(x.Tags, xmlTag{K: k, V: e.Tags[k]})
+	}
+	return x
+}
+
+func fromXML(x *xmlElement) (*osm.Element, error) {
+	t, err := osm.ParseElementType(x.XMLName.Local)
+	if err != nil {
+		return nil, err
+	}
+	e := &osm.Element{
+		Type:        t,
+		ID:          x.ID,
+		Version:     x.Version,
+		ChangesetID: x.Changeset,
+		UID:         x.UID,
+		User:        x.User,
+		Visible:     true,
+	}
+	if x.Visible != nil {
+		e.Visible = *x.Visible
+	}
+	if x.Timestamp != "" {
+		ts, err := time.Parse(TimeFormat, x.Timestamp)
+		if err != nil {
+			return nil, fmt.Errorf("osmxml: bad timestamp %q: %w", x.Timestamp, err)
+		}
+		e.Timestamp = ts
+	}
+	switch t {
+	case osm.Node:
+		if x.Lat != nil {
+			e.Lat = *x.Lat
+		}
+		if x.Lon != nil {
+			e.Lon = *x.Lon
+		}
+	case osm.Way:
+		for _, nd := range x.Nds {
+			e.NodeRefs = append(e.NodeRefs, nd.Ref)
+		}
+	case osm.Relation:
+		for _, m := range x.Members {
+			mt, err := osm.ParseElementType(m.Type)
+			if err != nil {
+				return nil, fmt.Errorf("osmxml: relation %d: %w", x.ID, err)
+			}
+			e.Members = append(e.Members, osm.Member{Type: mt, Ref: m.Ref, Role: m.Role})
+		}
+	}
+	for _, tg := range x.Tags {
+		e.SetTag(tg.K, tg.V)
+	}
+	return e, nil
+}
+
+// ---------------------------------------------------------------------------
+// OsmChange (diff) files.
+
+// ChangeAction is the operation an OsmChange block applies.
+type ChangeAction int
+
+// OsmChange actions.
+const (
+	Create ChangeAction = iota
+	Modify
+	Delete
+)
+
+// String returns the OsmChange XML block name for the action.
+func (a ChangeAction) String() string {
+	switch a {
+	case Create:
+		return "create"
+	case Modify:
+		return "modify"
+	case Delete:
+		return "delete"
+	default:
+		return fmt.Sprintf("ChangeAction(%d)", int(a))
+	}
+}
+
+// ChangeItem is one element together with the action applied to it.
+type ChangeItem struct {
+	Action  ChangeAction
+	Element *osm.Element
+}
+
+// Change is the parsed content of one OsmChange file.
+type Change struct {
+	Items []ChangeItem
+}
+
+// WriteChange serializes a Change as an OsmChange XML document. Consecutive
+// items with the same action share one action block, matching the real
+// planet diff files.
+func WriteChange(w io.Writer, ch *Change) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(xml.Header); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(`<osmChange version="0.6" generator="rased">` + "\n"); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(bw)
+	enc.Indent("", "  ")
+	for i := 0; i < len(ch.Items); {
+		action := ch.Items[i].Action
+		j := i
+		for j < len(ch.Items) && ch.Items[j].Action == action {
+			j++
+		}
+		start := xml.StartElement{Name: xml.Name{Local: action.String()}}
+		if err := enc.EncodeToken(start); err != nil {
+			return err
+		}
+		for ; i < j; i++ {
+			x := toXML(ch.Items[i].Element)
+			if err := enc.Encode(x); err != nil {
+				return err
+			}
+		}
+		if err := enc.EncodeToken(start.End()); err != nil {
+			return err
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString("\n</osmChange>\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ChangeReader streams ChangeItems from an OsmChange document.
+type ChangeReader struct {
+	dec    *xml.Decoder
+	action ChangeAction
+	inBody bool
+	done   bool
+}
+
+// NewChangeReader returns a streaming reader over an OsmChange document.
+func NewChangeReader(r io.Reader) *ChangeReader {
+	return &ChangeReader{dec: xml.NewDecoder(bufio.NewReader(r))}
+}
+
+// Next returns the next change item, or io.EOF when the document ends.
+func (cr *ChangeReader) Next() (ChangeItem, error) {
+	for {
+		if cr.done {
+			return ChangeItem{}, io.EOF
+		}
+		tok, err := cr.dec.Token()
+		if err == io.EOF {
+			cr.done = true
+			return ChangeItem{}, io.EOF
+		}
+		if err != nil {
+			return ChangeItem{}, fmt.Errorf("osmxml: read change: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			switch t.Name.Local {
+			case "osmChange":
+				// container
+			case "create":
+				cr.action, cr.inBody = Create, true
+			case "modify":
+				cr.action, cr.inBody = Modify, true
+			case "delete":
+				cr.action, cr.inBody = Delete, true
+			case "node", "way", "relation":
+				if !cr.inBody {
+					return ChangeItem{}, fmt.Errorf("osmxml: element %q outside action block", t.Name.Local)
+				}
+				var x xmlElement
+				if err := cr.dec.DecodeElement(&x, &t); err != nil {
+					return ChangeItem{}, fmt.Errorf("osmxml: decode %s: %w", t.Name.Local, err)
+				}
+				x.XMLName = t.Name
+				e, err := fromXML(&x)
+				if err != nil {
+					return ChangeItem{}, err
+				}
+				if cr.action == Delete {
+					e.Visible = false
+				}
+				return ChangeItem{Action: cr.action, Element: e}, nil
+			}
+		case xml.EndElement:
+			switch t.Name.Local {
+			case "create", "modify", "delete":
+				cr.inBody = false
+			case "osmChange":
+				cr.done = true
+				return ChangeItem{}, io.EOF
+			}
+		}
+	}
+}
+
+// ReadChange parses an entire OsmChange document.
+func ReadChange(r io.Reader) (*Change, error) {
+	cr := NewChangeReader(r)
+	var ch Change
+	for {
+		item, err := cr.Next()
+		if err == io.EOF {
+			return &ch, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		ch.Items = append(ch.Items, item)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// History / planet dumps.
+
+// HistoryWriter streams elements into an <osm> document (a full-history dump
+// when multiple versions per element are written).
+type HistoryWriter struct {
+	bw     *bufio.Writer
+	enc    *xml.Encoder
+	closed bool
+}
+
+// NewHistoryWriter starts an <osm> document on w.
+func NewHistoryWriter(w io.Writer) (*HistoryWriter, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(xml.Header); err != nil {
+		return nil, err
+	}
+	if _, err := bw.WriteString(`<osm version="0.6" generator="rased">` + "\n"); err != nil {
+		return nil, err
+	}
+	enc := xml.NewEncoder(bw)
+	enc.Indent("", "  ")
+	return &HistoryWriter{bw: bw, enc: enc}, nil
+}
+
+// Add appends one element version to the dump.
+func (hw *HistoryWriter) Add(e *osm.Element) error {
+	if hw.closed {
+		return fmt.Errorf("osmxml: write to closed history writer")
+	}
+	x := toXML(e)
+	return hw.enc.Encode(x)
+}
+
+// Close finishes the document. The writer is unusable afterwards.
+func (hw *HistoryWriter) Close() error {
+	if hw.closed {
+		return nil
+	}
+	hw.closed = true
+	if err := hw.enc.Flush(); err != nil {
+		return err
+	}
+	if _, err := hw.bw.WriteString("\n</osm>\n"); err != nil {
+		return err
+	}
+	return hw.bw.Flush()
+}
+
+// HistoryReader streams element versions from an <osm> document.
+type HistoryReader struct {
+	dec  *xml.Decoder
+	done bool
+}
+
+// NewHistoryReader returns a streaming reader over an <osm> document.
+func NewHistoryReader(r io.Reader) *HistoryReader {
+	return &HistoryReader{dec: xml.NewDecoder(bufio.NewReader(r))}
+}
+
+// Next returns the next element version, or io.EOF at the end.
+func (hr *HistoryReader) Next() (*osm.Element, error) {
+	for {
+		if hr.done {
+			return nil, io.EOF
+		}
+		tok, err := hr.dec.Token()
+		if err == io.EOF {
+			hr.done = true
+			return nil, io.EOF
+		}
+		if err != nil {
+			return nil, fmt.Errorf("osmxml: read history: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			switch t.Name.Local {
+			case "osm":
+				// container
+			case "node", "way", "relation":
+				var x xmlElement
+				if err := hr.dec.DecodeElement(&x, &t); err != nil {
+					return nil, fmt.Errorf("osmxml: decode %s: %w", t.Name.Local, err)
+				}
+				x.XMLName = t.Name
+				return fromXML(&x)
+			}
+		case xml.EndElement:
+			if t.Name.Local == "osm" {
+				hr.done = true
+				return nil, io.EOF
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Changeset metadata files.
+
+type xmlChangeset struct {
+	XMLName    xml.Name `xml:"changeset"`
+	ID         int64    `xml:"id,attr"`
+	CreatedAt  string   `xml:"created_at,attr"`
+	ClosedAt   string   `xml:"closed_at,attr,omitempty"`
+	User       string   `xml:"user,attr,omitempty"`
+	UID        int64    `xml:"uid,attr,omitempty"`
+	NumChanges int      `xml:"num_changes,attr"`
+	MinLat     string   `xml:"min_lat,attr,omitempty"`
+	MinLon     string   `xml:"min_lon,attr,omitempty"`
+	MaxLat     string   `xml:"max_lat,attr,omitempty"`
+	MaxLon     string   `xml:"max_lon,attr,omitempty"`
+	Tags       []xmlTag `xml:"tag"`
+}
+
+func fmtCoord(f float64) string { return strconv.FormatFloat(f, 'f', 7, 64) }
+
+// WriteChangesets serializes changeset metadata as an <osm> document, the
+// grammar of planet.openstreetmap.org changeset files.
+func WriteChangesets(w io.Writer, sets []osm.Changeset) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(xml.Header); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(`<osm version="0.6" generator="rased">` + "\n"); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(bw)
+	enc.Indent("", "  ")
+	for i := range sets {
+		cs := &sets[i]
+		x := xmlChangeset{
+			ID:         cs.ID,
+			CreatedAt:  cs.CreatedAt.UTC().Format(TimeFormat),
+			User:       cs.User,
+			UID:        cs.UID,
+			NumChanges: cs.NumChanges,
+			MinLat:     fmtCoord(cs.MinLat),
+			MinLon:     fmtCoord(cs.MinLon),
+			MaxLat:     fmtCoord(cs.MaxLat),
+			MaxLon:     fmtCoord(cs.MaxLon),
+		}
+		if !cs.ClosedAt.IsZero() {
+			x.ClosedAt = cs.ClosedAt.UTC().Format(TimeFormat)
+		}
+		keys := make([]string, 0, len(cs.Tags))
+		for k := range cs.Tags {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			x.Tags = append(x.Tags, xmlTag{K: k, V: cs.Tags[k]})
+		}
+		if err := enc.Encode(x); err != nil {
+			return err
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString("\n</osm>\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadChangesets parses a changeset metadata document.
+func ReadChangesets(r io.Reader) ([]osm.Changeset, error) {
+	dec := xml.NewDecoder(bufio.NewReader(r))
+	var out []osm.Changeset
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("osmxml: read changesets: %w", err)
+		}
+		start, ok := tok.(xml.StartElement)
+		if !ok || start.Name.Local != "changeset" {
+			continue
+		}
+		var x xmlChangeset
+		if err := dec.DecodeElement(&x, &start); err != nil {
+			return nil, fmt.Errorf("osmxml: decode changeset: %w", err)
+		}
+		cs := osm.Changeset{
+			ID:         x.ID,
+			User:       x.User,
+			UID:        x.UID,
+			NumChanges: x.NumChanges,
+		}
+		if x.CreatedAt != "" {
+			if cs.CreatedAt, err = time.Parse(TimeFormat, x.CreatedAt); err != nil {
+				return nil, fmt.Errorf("osmxml: changeset %d created_at: %w", x.ID, err)
+			}
+		}
+		if x.ClosedAt != "" {
+			if cs.ClosedAt, err = time.Parse(TimeFormat, x.ClosedAt); err != nil {
+				return nil, fmt.Errorf("osmxml: changeset %d closed_at: %w", x.ID, err)
+			}
+		}
+		parse := func(s string, dst *float64) error {
+			if s == "" {
+				return nil
+			}
+			f, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return fmt.Errorf("osmxml: changeset %d bbox: %w", x.ID, err)
+			}
+			*dst = f
+			return nil
+		}
+		if err := parse(x.MinLat, &cs.MinLat); err != nil {
+			return nil, err
+		}
+		if err := parse(x.MinLon, &cs.MinLon); err != nil {
+			return nil, err
+		}
+		if err := parse(x.MaxLat, &cs.MaxLat); err != nil {
+			return nil, err
+		}
+		if err := parse(x.MaxLon, &cs.MaxLon); err != nil {
+			return nil, err
+		}
+		for _, tg := range x.Tags {
+			if cs.Tags == nil {
+				cs.Tags = make(map[string]string)
+			}
+			cs.Tags[tg.K] = tg.V
+		}
+		out = append(out, cs)
+	}
+}

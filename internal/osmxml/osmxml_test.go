@@ -1,0 +1,320 @@
+package osmxml
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"rased/internal/osm"
+)
+
+func ts(s string) time.Time {
+	t, err := time.Parse(TimeFormat, s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func sampleElements() []*osm.Element {
+	return []*osm.Element{
+		{
+			Type: osm.Node, ID: 101, Version: 1, Timestamp: ts("2021-03-05T10:00:00Z"),
+			ChangesetID: 7, UID: 42, User: "mapper", Visible: true,
+			Lat: 44.97, Lon: -93.26,
+			Tags: map[string]string{"highway": "traffic_signals"},
+		},
+		{
+			Type: osm.Way, ID: 202, Version: 3, Timestamp: ts("2021-03-05T11:00:00Z"),
+			ChangesetID: 7, UID: 42, User: "mapper", Visible: true,
+			NodeRefs: []int64{101, 102, 103},
+			Tags:     map[string]string{"highway": "residential", "name": "Elm Street"},
+		},
+		{
+			Type: osm.Relation, ID: 303, Version: 2, Timestamp: ts("2021-03-05T12:00:00Z"),
+			ChangesetID: 8, UID: 43, User: "editor", Visible: true,
+			Members: []osm.Member{{Type: osm.Way, Ref: 202, Role: "outer"}, {Type: osm.Node, Ref: 101, Role: ""}},
+			Tags:    map[string]string{"route": "road", "ref": "I-94"},
+		},
+	}
+}
+
+func elementsEqual(t *testing.T, a, b *osm.Element) {
+	t.Helper()
+	if a.Type != b.Type || a.ID != b.ID || a.Version != b.Version ||
+		a.ChangesetID != b.ChangesetID || a.UID != b.UID || a.User != b.User ||
+		a.Visible != b.Visible || !a.Timestamp.Equal(b.Timestamp) {
+		t.Fatalf("header mismatch:\n%+v\n%+v", a, b)
+	}
+	if a.Type == osm.Node && (a.Lat != b.Lat || a.Lon != b.Lon) {
+		t.Fatalf("coords mismatch: %+v vs %+v", a, b)
+	}
+	if !reflect.DeepEqual(a.NodeRefs, b.NodeRefs) {
+		t.Fatalf("refs mismatch: %v vs %v", a.NodeRefs, b.NodeRefs)
+	}
+	if !reflect.DeepEqual(a.Members, b.Members) {
+		t.Fatalf("members mismatch: %v vs %v", a.Members, b.Members)
+	}
+	if !osm.SameTags(a, b) {
+		t.Fatalf("tags mismatch: %v vs %v", a.Tags, b.Tags)
+	}
+}
+
+func TestChangeRoundTrip(t *testing.T) {
+	els := sampleElements()
+	ch := &Change{Items: []ChangeItem{
+		{Create, els[0]},
+		{Create, els[1]},
+		{Modify, els[2]},
+		{Delete, els[0].Clone()},
+	}}
+	ch.Items[3].Element.Visible = false
+
+	var buf bytes.Buffer
+	if err := WriteChange(&buf, ch); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadChange(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Items) != len(ch.Items) {
+		t.Fatalf("items = %d, want %d", len(got.Items), len(ch.Items))
+	}
+	for i := range got.Items {
+		if got.Items[i].Action != ch.Items[i].Action {
+			t.Errorf("item %d action = %v, want %v", i, got.Items[i].Action, ch.Items[i].Action)
+		}
+		elementsEqual(t, ch.Items[i].Element, got.Items[i].Element)
+	}
+}
+
+func TestChangeDeleteForcesInvisible(t *testing.T) {
+	e := sampleElements()[0]
+	e.Visible = true // writer records what it is given
+	ch := &Change{Items: []ChangeItem{{Delete, e}}}
+	var buf bytes.Buffer
+	if err := WriteChange(&buf, ch); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadChange(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Items[0].Element.Visible {
+		t.Error("element in delete block should read back invisible")
+	}
+}
+
+func TestHistoryRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	hw, err := NewHistoryWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	els := sampleElements()
+	// History includes invisible (deleted) versions.
+	deleted := els[0].Clone()
+	deleted.Version = 2
+	deleted.Visible = false
+	all := append(els, deleted)
+	for _, e := range all {
+		if err := hw.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := hw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := hw.Close(); err != nil {
+		t.Fatal("double close should be nil:", err)
+	}
+	if err := hw.Add(els[0]); err == nil {
+		t.Error("Add after Close should fail")
+	}
+
+	hr := NewHistoryReader(&buf)
+	var got []*osm.Element
+	for {
+		e, err := hr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, e)
+	}
+	if len(got) != len(all) {
+		t.Fatalf("read %d elements, want %d", len(got), len(all))
+	}
+	for i := range got {
+		elementsEqual(t, all[i], got[i])
+	}
+}
+
+func TestChangesetsRoundTrip(t *testing.T) {
+	sets := []osm.Changeset{
+		{
+			ID: 7, CreatedAt: ts("2021-03-05T09:00:00Z"), ClosedAt: ts("2021-03-05T10:30:00Z"),
+			User: "mapper", UID: 42, NumChanges: 12,
+			MinLat: 44.9, MinLon: -93.3, MaxLat: 45.0, MaxLon: -93.2,
+			Tags: map[string]string{"comment": "fix elm street", "created_by": "JOSM"},
+		},
+		{
+			ID: 8, CreatedAt: ts("2021-03-05T09:10:00Z"),
+			User: "editor", UID: 43, NumChanges: 1,
+			MinLat: 1, MinLon: 2, MaxLat: 3, MaxLon: 4,
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteChangesets(&buf, sets); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadChangesets(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d changesets", len(got))
+	}
+	for i := range got {
+		a, b := sets[i], got[i]
+		if a.ID != b.ID || a.User != b.User || a.UID != b.UID || a.NumChanges != b.NumChanges ||
+			!a.CreatedAt.Equal(b.CreatedAt) || !a.ClosedAt.Equal(b.ClosedAt) {
+			t.Errorf("changeset %d header mismatch:\n%+v\n%+v", i, a, b)
+		}
+		if a.MinLat != b.MinLat || a.MinLon != b.MinLon || a.MaxLat != b.MaxLat || a.MaxLon != b.MaxLon {
+			t.Errorf("changeset %d bbox mismatch", i)
+		}
+		if !reflect.DeepEqual(a.Tags, b.Tags) {
+			t.Errorf("changeset %d tags mismatch: %v vs %v", i, a.Tags, b.Tags)
+		}
+	}
+}
+
+func TestTruncatedInputs(t *testing.T) {
+	full := func() string {
+		var buf bytes.Buffer
+		ch := &Change{Items: []ChangeItem{{Create, sampleElements()[0]}}}
+		if err := WriteChange(&buf, ch); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}()
+	// Cut the document mid-element: the reader must surface an error, not
+	// hang or silently succeed.
+	trunc := full[:len(full)/2]
+	cr := NewChangeReader(strings.NewReader(trunc))
+	var err error
+	for err == nil {
+		_, err = cr.Next()
+	}
+	if err == io.EOF {
+		// Acceptable only if the cut happened to fall between elements; for
+		// a mid-element cut we demand a real error.
+		if strings.Contains(trunc, "<node") && !strings.Contains(trunc, "</create>") {
+			t.Error("truncated change should yield an error")
+		}
+	}
+
+	if _, err := ReadChangesets(strings.NewReader(`<osm><changeset id="1" min_lat="abc"`)); err == nil {
+		t.Error("malformed changeset should error")
+	}
+	hr := NewHistoryReader(strings.NewReader(`<osm><node id="1" timestamp="bogus"/></osm>`))
+	if _, err := hr.Next(); err == nil {
+		t.Error("bad timestamp should error")
+	}
+}
+
+func TestElementOutsideActionBlock(t *testing.T) {
+	doc := `<osmChange version="0.6"><node id="1" version="1" timestamp="2021-01-01T00:00:00Z" changeset="1" lat="0" lon="0"/></osmChange>`
+	cr := NewChangeReader(strings.NewReader(doc))
+	if _, err := cr.Next(); err == nil {
+		t.Error("element outside action block should error")
+	}
+}
+
+func TestUnknownRelationMemberType(t *testing.T) {
+	doc := `<osm><relation id="1" version="1" timestamp="2021-01-01T00:00:00Z" changeset="1"><member type="turtle" ref="5" role=""/></relation></osm>`
+	hr := NewHistoryReader(strings.NewReader(doc))
+	if _, err := hr.Next(); err == nil {
+		t.Error("unknown member type should error")
+	}
+}
+
+// TestChangeRoundTripRandom fuzzes the codec with generated elements.
+func TestChangeRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	base := ts("2019-06-01T00:00:00Z")
+	randEl := func() *osm.Element {
+		e := &osm.Element{
+			ID:          rng.Int63n(1 << 40),
+			Version:     1 + rng.Intn(50),
+			Timestamp:   base.Add(time.Duration(rng.Intn(86400)) * time.Second),
+			ChangesetID: rng.Int63n(1 << 30),
+			UID:         rng.Int63n(1 << 20),
+			User:        "u" + string(rune('a'+rng.Intn(26))),
+			Visible:     rng.Intn(2) == 0,
+		}
+		switch rng.Intn(3) {
+		case 0:
+			e.Type = osm.Node
+			e.Lat = rng.Float64()*170 - 85
+			e.Lon = rng.Float64()*360 - 180
+		case 1:
+			e.Type = osm.Way
+			for i := 0; i < 1+rng.Intn(6); i++ {
+				e.NodeRefs = append(e.NodeRefs, rng.Int63n(1<<30))
+			}
+		default:
+			e.Type = osm.Relation
+			for i := 0; i < 1+rng.Intn(4); i++ {
+				e.Members = append(e.Members, osm.Member{
+					Type: osm.ElementType(rng.Intn(3)),
+					Ref:  rng.Int63n(1 << 30),
+					Role: []string{"", "outer", "inner", "via"}[rng.Intn(4)],
+				})
+			}
+		}
+		for i := 0; i < rng.Intn(4); i++ {
+			e.SetTag("k"+string(rune('0'+i)), "v"+string(rune('a'+rng.Intn(26))))
+		}
+		return e
+	}
+	for trial := 0; trial < 20; trial++ {
+		var items []ChangeItem
+		for i := 0; i < 1+rng.Intn(10); i++ {
+			items = append(items, ChangeItem{ChangeAction(rng.Intn(3)), randEl()})
+		}
+		var buf bytes.Buffer
+		if err := WriteChange(&buf, &Change{Items: items}); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadChange(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Items) != len(items) {
+			t.Fatalf("trial %d: %d items, want %d", trial, len(got.Items), len(items))
+		}
+		for i := range items {
+			want := items[i].Element
+			if items[i].Action == Delete {
+				want = want.Clone()
+				want.Visible = false
+			}
+			elementsEqual(t, want, got.Items[i].Element)
+		}
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if Create.String() != "create" || Modify.String() != "modify" || Delete.String() != "delete" {
+		t.Error("action names wrong")
+	}
+}

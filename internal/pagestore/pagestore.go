@@ -1,0 +1,184 @@
+// Package pagestore provides the fixed-size-page disk files underneath
+// RASED's index, warehouse, and the baseline DBMS. It counts page I/Os (the
+// paper reasons about index maintenance and query cost in I/Os) and can
+// inject a per-read latency to model a cold production disk on hardware whose
+// page cache would otherwise hide the cost difference the experiments
+// measure.
+package pagestore
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stats is a snapshot of I/O counters.
+type Stats struct {
+	Reads  int64
+	Writes int64
+}
+
+// Store is a file of fixed-size pages addressed by page number.
+type Store struct {
+	path     string
+	pageSize int
+
+	mu     sync.Mutex
+	f      *os.File
+	nPages int
+
+	reads   atomic.Int64
+	writes  atomic.Int64
+	latency atomic.Int64 // injected nanoseconds per page read
+}
+
+// Open opens (or creates) a page store at path. An existing file must be an
+// exact multiple of pageSize.
+func Open(path string, pageSize int) (*Store, error) {
+	if pageSize <= 0 {
+		return nil, fmt.Errorf("pagestore: invalid page size %d", pageSize)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pagestore: open %s: %w", path, err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pagestore: stat %s: %w", path, err)
+	}
+	if fi.Size()%int64(pageSize) != 0 {
+		f.Close()
+		return nil, fmt.Errorf("pagestore: %s size %d is not a multiple of page size %d", path, fi.Size(), pageSize)
+	}
+	return &Store{
+		path:     path,
+		pageSize: pageSize,
+		f:        f,
+		nPages:   int(fi.Size() / int64(pageSize)),
+	}, nil
+}
+
+// PageSize returns the store's page size in bytes.
+func (s *Store) PageSize() int { return s.pageSize }
+
+// NumPages returns the current number of pages.
+func (s *Store) NumPages() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nPages
+}
+
+// SizeBytes returns the store's size in bytes.
+func (s *Store) SizeBytes() int64 {
+	return int64(s.NumPages()) * int64(s.pageSize)
+}
+
+// SetReadLatency injects a fixed delay per page read, modeling a slower disk.
+// Zero (the default) disables injection.
+func (s *Store) SetReadLatency(d time.Duration) {
+	s.latency.Store(int64(d))
+}
+
+// ReadLatency returns the injected per-read latency.
+func (s *Store) ReadLatency() time.Duration {
+	return time.Duration(s.latency.Load())
+}
+
+// ReadPage reads page id into buf (which must be exactly one page long).
+func (s *Store) ReadPage(id int, buf []byte) error {
+	if len(buf) != s.pageSize {
+		return fmt.Errorf("pagestore: read buffer is %d bytes, page size is %d", len(buf), s.pageSize)
+	}
+	s.mu.Lock()
+	if id < 0 || id >= s.nPages {
+		n := s.nPages
+		s.mu.Unlock()
+		return fmt.Errorf("pagestore: read page %d out of range [0,%d)", id, n)
+	}
+	_, err := s.f.ReadAt(buf, int64(id)*int64(s.pageSize))
+	s.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("pagestore: read page %d: %w", id, err)
+	}
+	s.reads.Add(1)
+	if d := s.latency.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+	return nil
+}
+
+// WritePage writes buf (exactly one page) to page id. Writing to page
+// NumPages() extends the file by one page; writing further beyond the end is
+// an error.
+func (s *Store) WritePage(id int, buf []byte) error {
+	if len(buf) != s.pageSize {
+		return fmt.Errorf("pagestore: write buffer is %d bytes, page size is %d", len(buf), s.pageSize)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id < 0 || id > s.nPages {
+		return fmt.Errorf("pagestore: write page %d out of range [0,%d]", id, s.nPages)
+	}
+	if _, err := s.f.WriteAt(buf, int64(id)*int64(s.pageSize)); err != nil {
+		return fmt.Errorf("pagestore: write page %d: %w", id, err)
+	}
+	if id == s.nPages {
+		s.nPages++
+	}
+	s.writes.Add(1)
+	return nil
+}
+
+// Append writes buf as a new page and returns its id.
+func (s *Store) Append(buf []byte) (int, error) {
+	s.mu.Lock()
+	id := s.nPages
+	s.mu.Unlock()
+	// WritePage revalidates under the lock; a concurrent append may have
+	// taken this id, so retry on the narrow race.
+	for {
+		err := s.WritePage(id, buf)
+		if err == nil {
+			return id, nil
+		}
+		s.mu.Lock()
+		if id < s.nPages {
+			id = s.nPages
+			s.mu.Unlock()
+			continue
+		}
+		s.mu.Unlock()
+		return 0, err
+	}
+}
+
+// Stats returns a snapshot of the I/O counters.
+func (s *Store) Stats() Stats {
+	return Stats{Reads: s.reads.Load(), Writes: s.writes.Load()}
+}
+
+// ResetStats zeroes the I/O counters.
+func (s *Store) ResetStats() {
+	s.reads.Store(0)
+	s.writes.Store(0)
+}
+
+// Sync flushes the file to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Sync()
+}
+
+// Close closes the underlying file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close()
+}
+
+// Path returns the file path backing the store.
+func (s *Store) Path() string { return s.path }

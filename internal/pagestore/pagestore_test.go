@@ -1,0 +1,195 @@
+package pagestore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func open(t *testing.T, pageSize int) *Store {
+	t.Helper()
+	s, err := Open(filepath.Join(t.TempDir(), "pages.db"), pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func page(size int, fill byte) []byte {
+	b := make([]byte, size)
+	for i := range b {
+		b[i] = fill
+	}
+	return b
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	s := open(t, 4096)
+	for i := 0; i < 5; i++ {
+		if err := s.WritePage(i, page(4096, byte(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.NumPages() != 5 {
+		t.Errorf("NumPages = %d", s.NumPages())
+	}
+	if s.SizeBytes() != 5*4096 {
+		t.Errorf("SizeBytes = %d", s.SizeBytes())
+	}
+	buf := make([]byte, 4096)
+	for i := 0; i < 5; i++ {
+		if err := s.ReadPage(i, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, page(4096, byte(i+1))) {
+			t.Errorf("page %d content mismatch", i)
+		}
+	}
+	st := s.Stats()
+	if st.Reads != 5 || st.Writes != 5 {
+		t.Errorf("stats = %+v", st)
+	}
+	s.ResetStats()
+	if st := s.Stats(); st.Reads != 0 || st.Writes != 0 {
+		t.Errorf("stats after reset = %+v", st)
+	}
+}
+
+func TestBoundsChecking(t *testing.T) {
+	s := open(t, 1024)
+	buf := make([]byte, 1024)
+	if err := s.ReadPage(0, buf); err == nil {
+		t.Error("read of empty store should fail")
+	}
+	if err := s.WritePage(3, buf); err == nil {
+		t.Error("write far beyond end should fail")
+	}
+	if err := s.WritePage(-1, buf); err == nil {
+		t.Error("negative page should fail")
+	}
+	if err := s.ReadPage(0, make([]byte, 10)); err == nil {
+		t.Error("short buffer should fail")
+	}
+	if err := s.WritePage(0, make([]byte, 10)); err == nil {
+		t.Error("short write buffer should fail")
+	}
+}
+
+func TestAppend(t *testing.T) {
+	s := open(t, 512)
+	for i := 0; i < 3; i++ {
+		id, err := s.Append(page(512, byte(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != i {
+			t.Errorf("append id = %d, want %d", id, i)
+		}
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	s := open(t, 256)
+	const n = 50
+	var wg sync.WaitGroup
+	ids := make(chan int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id, err := s.Append(page(256, byte(i)))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ids <- id
+		}(i)
+	}
+	wg.Wait()
+	close(ids)
+	seen := make(map[int]bool)
+	for id := range ids {
+		if seen[id] {
+			t.Errorf("duplicate page id %d", id)
+		}
+		seen[id] = true
+	}
+	if s.NumPages() != n {
+		t.Errorf("NumPages = %d, want %d", s.NumPages(), n)
+	}
+}
+
+func TestReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.db")
+	s, err := Open(path, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WritePage(0, page(2048, 0xAB)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := Open(path, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.NumPages() != 1 {
+		t.Fatalf("reopened NumPages = %d", s2.NumPages())
+	}
+	buf := make([]byte, 2048)
+	if err := s2.ReadPage(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[100] != 0xAB {
+		t.Error("content lost across reopen")
+	}
+}
+
+func TestOpenRejectsMisalignedFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.db")
+	if err := os.WriteFile(path, make([]byte, 1000), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, 4096); err == nil {
+		t.Error("misaligned file should be rejected")
+	}
+	if _, err := Open(filepath.Join(dir, "x.db"), 0); err == nil {
+		t.Error("zero page size should be rejected")
+	}
+}
+
+func TestReadLatencyInjection(t *testing.T) {
+	s := open(t, 256)
+	if err := s.WritePage(0, page(256, 1)); err != nil {
+		t.Fatal(err)
+	}
+	s.SetReadLatency(5 * time.Millisecond)
+	if s.ReadLatency() != 5*time.Millisecond {
+		t.Error("latency not recorded")
+	}
+	buf := make([]byte, 256)
+	start := time.Now()
+	if err := s.ReadPage(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 4*time.Millisecond {
+		t.Errorf("injected latency not applied: read took %v", elapsed)
+	}
+	s.SetReadLatency(0)
+	start = time.Now()
+	s.ReadPage(0, buf)
+	if elapsed := time.Since(start); elapsed > 3*time.Millisecond {
+		t.Errorf("latency should be disabled, read took %v", elapsed)
+	}
+}

@@ -1,0 +1,163 @@
+// Package plan implements RASED's level optimization (Section VII-B): given
+// a query window [lo, hi], choose the mix of daily, weekly, monthly, and
+// yearly cubes that covers the window exactly while fetching the fewest cubes
+// from disk, taking into account which cubes the caching strategy already
+// holds in memory.
+//
+// Because RASED's hierarchy is a strict tree (a month is four fixed weeks
+// plus trailing days), the optimum is computed exactly by recursive
+// decomposition: a node fully inside the window costs min(itself, sum of its
+// children); a node partially covered must decompose.
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"rased/internal/temporal"
+)
+
+// Availability reports which periods have cubes on disk; *tindex.Index
+// satisfies it.
+type Availability interface {
+	Has(p temporal.Period) bool
+}
+
+// CacheView reports which periods are pinned in memory; *cache.Cache
+// satisfies it. A nil CacheView means nothing is cached.
+type CacheView interface {
+	Contains(p temporal.Period) bool
+}
+
+// Plan is an exact disjoint cover of a query window by index periods.
+type Plan struct {
+	Periods   []temporal.Period // chronological, disjoint, covering [Lo, Hi]
+	Lo, Hi    temporal.Day
+	DiskReads int // periods that must be fetched from disk
+	Fetches   int // len(Periods)
+}
+
+// cost orders candidate sub-plans: fewest disk reads first, then fewest
+// fetches (in-memory cubes still cost aggregation work).
+type cost struct {
+	disk    int
+	fetches int
+}
+
+func (a cost) less(b cost) bool {
+	if a.disk != b.disk {
+		return a.disk < b.disk
+	}
+	return a.fetches < b.fetches
+}
+
+// Optimize computes the minimal-cost exact cover of [lo, hi] using periods up
+// to maxLevel. Every day of the window must be available (callers clip the
+// window to index coverage first).
+func Optimize(lo, hi temporal.Day, maxLevel temporal.Level, avail Availability, cached CacheView) (*Plan, error) {
+	if hi < lo {
+		return nil, fmt.Errorf("plan: empty window [%v, %v]", lo, hi)
+	}
+	if !maxLevel.Valid() {
+		return nil, fmt.Errorf("plan: invalid max level %d", maxLevel)
+	}
+	p := &Plan{Lo: lo, Hi: hi}
+	var total cost
+	for _, y := range temporal.PeriodsBetween(temporal.Yearly, lo, hi) {
+		c, err := cover(y, lo, hi, maxLevel, avail, cached, &p.Periods)
+		if err != nil {
+			return nil, err
+		}
+		total.disk += c.disk
+		total.fetches += c.fetches
+	}
+	sort.Slice(p.Periods, func(a, b int) bool {
+		return p.Periods[a].Start() < p.Periods[b].Start()
+	})
+	p.DiskReads = total.disk
+	p.Fetches = total.fetches
+	return p, nil
+}
+
+// cover appends the optimal cover of node ∩ [lo, hi] to out and returns its
+// cost. node is known to overlap the window.
+func cover(node temporal.Period, lo, hi temporal.Day, maxLevel temporal.Level,
+	avail Availability, cached CacheView, out *[]temporal.Period) (cost, error) {
+
+	usable := node.Within(lo, hi) && node.Level <= maxLevel && avail.Has(node)
+	self := cost{disk: 1, fetches: 1}
+	if usable && cached != nil && cached.Contains(node) {
+		self.disk = 0
+	}
+
+	if node.Level == temporal.Daily {
+		if !avail.Has(node) {
+			return cost{}, fmt.Errorf("plan: day %v has no cube", node)
+		}
+		*out = append(*out, node)
+		return self, nil
+	}
+
+	// Cost of decomposing into children. Collected into a scratch slice so a
+	// cheaper self can discard it.
+	var childPeriods []temporal.Period
+	var childCost cost
+	for _, ch := range node.Children() {
+		if !ch.Overlaps(lo, hi) {
+			continue
+		}
+		c, err := cover(ch, lo, hi, maxLevel, avail, cached, &childPeriods)
+		if err != nil {
+			return cost{}, err
+		}
+		childCost.disk += c.disk
+		childCost.fetches += c.fetches
+	}
+
+	if usable && self.less(childCost) {
+		*out = append(*out, node)
+		return self, nil
+	}
+	*out = append(*out, childPeriods...)
+	return childCost, nil
+}
+
+// Flat returns the one-level plan that reads every daily cube of the window —
+// the paper's RASED-F baseline.
+func Flat(lo, hi temporal.Day, avail Availability, cached CacheView) (*Plan, error) {
+	return Optimize(lo, hi, temporal.Daily, avail, cached)
+}
+
+// CoverPeriod plans the intersection of an arbitrary period with a window,
+// used for time-series queries that group by a coarser granularity than the
+// available cubes at the window edges.
+func CoverPeriod(p temporal.Period, lo, hi temporal.Day, maxLevel temporal.Level,
+	avail Availability, cached CacheView) (*Plan, error) {
+	s, e := p.Start(), p.End()
+	if s < lo {
+		s = lo
+	}
+	if e > hi {
+		e = hi
+	}
+	return Optimize(s, e, maxLevel, avail, cached)
+}
+
+// Validate checks that the plan is an exact disjoint cover of its window.
+// Used by tests and available to callers as a sanity check.
+func (p *Plan) Validate() error {
+	next := p.Lo
+	for _, per := range p.Periods {
+		if per.Start() != next {
+			return fmt.Errorf("plan: gap or overlap at %v (period starts %v, want %v)", per, per.Start(), next)
+		}
+		next = per.End() + 1
+	}
+	if next != p.Hi+1 {
+		return fmt.Errorf("plan: cover stops at %v, want %v", next-1, p.Hi)
+	}
+	if p.Fetches != len(p.Periods) {
+		return fmt.Errorf("plan: fetches %d != %d periods", p.Fetches, len(p.Periods))
+	}
+	return nil
+}

@@ -1,0 +1,274 @@
+package plan
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"rased/internal/temporal"
+)
+
+// fakeAvail mirrors tindex availability: every day in [lo, hi] has a cube,
+// and every complete higher-level period up to maxLevel does too.
+type fakeAvail struct {
+	lo, hi   temporal.Day
+	maxLevel temporal.Level
+}
+
+func (f fakeAvail) Has(p temporal.Period) bool {
+	if p.Level > f.maxLevel {
+		return false
+	}
+	return p.Start() >= f.lo && p.End() <= f.hi
+}
+
+// fakeCache holds an explicit period set.
+type fakeCache map[temporal.Period]bool
+
+func (f fakeCache) Contains(p temporal.Period) bool { return f[p] }
+
+func TestPaperExample(t *testing.T) {
+	// The paper's running example: Jan 1, 2022 - Feb 15, 2022. Under RASED's
+	// month = 4 weeks + tail layout, the optimum without cache is 4 cubes:
+	// January, Feb week 1, Feb week 2, Feb 15.
+	avail := fakeAvail{temporal.NewDay(2020, time.January, 1), temporal.NewDay(2022, time.December, 31), temporal.Yearly}
+	lo := temporal.NewDay(2022, time.January, 1)
+	hi := temporal.NewDay(2022, time.February, 15)
+	p, err := Optimize(lo, hi, temporal.Yearly, avail, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Fetches != 4 || p.DiskReads != 4 {
+		t.Errorf("plan = %d fetches %d disk, want 4/4: %v", p.Fetches, p.DiskReads, p.Periods)
+	}
+	wantLevels := []temporal.Level{temporal.Monthly, temporal.Weekly, temporal.Weekly, temporal.Daily}
+	for i, per := range p.Periods {
+		if per.Level != wantLevels[i] {
+			t.Errorf("period %d = %v, want level %v", i, per, wantLevels[i])
+		}
+	}
+
+	// With the last 60 daily cubes cached (high-α cache) and nothing else,
+	// the all-days plan costs zero disk reads and wins — the paper's plan (a)
+	// discussion.
+	cached := fakeCache{}
+	for d := hi - 59; d <= hi; d++ {
+		cached[temporal.DayPeriod(d)] = true
+	}
+	p2, err := Optimize(lo, hi, temporal.Yearly, avail, cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.DiskReads != 0 {
+		t.Errorf("cached plan disk reads = %d, want 0: %v", p2.DiskReads, p2.Periods)
+	}
+	if p2.Fetches != int(hi-lo)+1 {
+		t.Errorf("cached plan fetches = %d, want all %d days", p2.Fetches, int(hi-lo)+1)
+	}
+	for _, per := range p2.Periods {
+		if per.Level != temporal.Daily {
+			t.Errorf("cached plan should be all daily, got %v", per)
+		}
+	}
+}
+
+func TestFullYearUsesYearCube(t *testing.T) {
+	avail := fakeAvail{temporal.NewDay(2018, time.January, 1), temporal.NewDay(2022, time.December, 31), temporal.Yearly}
+	lo := temporal.NewDay(2020, time.January, 1)
+	hi := temporal.NewDay(2021, time.December, 31)
+	p, err := Optimize(lo, hi, temporal.Yearly, avail, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Fetches != 2 {
+		t.Errorf("two full years should need 2 cubes, got %d: %v", p.Fetches, p.Periods)
+	}
+	for _, per := range p.Periods {
+		if per.Level != temporal.Yearly {
+			t.Errorf("expected yearly cube, got %v", per)
+		}
+	}
+}
+
+func TestMaxLevelRestriction(t *testing.T) {
+	avail := fakeAvail{temporal.NewDay(2020, time.January, 1), temporal.NewDay(2021, time.December, 31), temporal.Yearly}
+	lo := temporal.NewDay(2021, time.January, 1)
+	hi := temporal.NewDay(2021, time.December, 31)
+
+	p, err := Optimize(lo, hi, temporal.Monthly, avail, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Fetches != 12 {
+		t.Errorf("monthly-capped full year = %d cubes, want 12", p.Fetches)
+	}
+	flat, err := Flat(lo, hi, avail, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Fetches != 365 {
+		t.Errorf("flat plan = %d cubes, want 365", flat.Fetches)
+	}
+	for _, per := range flat.Periods {
+		if per.Level != temporal.Daily {
+			t.Errorf("flat plan must be daily, got %v", per)
+		}
+	}
+}
+
+func TestAvailabilityEdges(t *testing.T) {
+	// Index covering Jan 5 onward: week 1 and January lack cubes, so the
+	// plan decomposes them into days.
+	avail := fakeAvail{temporal.NewDay(2021, time.January, 5), temporal.NewDay(2021, time.December, 31), temporal.Yearly}
+	lo := temporal.NewDay(2021, time.January, 5)
+	hi := temporal.NewDay(2021, time.February, 28)
+	p, err := Optimize(lo, hi, temporal.Yearly, avail, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Jan 5-7 daily (week 1 incomplete), weeks 2-4, Jan 29-31 daily (tail),
+	// February monthly.
+	var daily, weekly, monthly int
+	for _, per := range p.Periods {
+		switch per.Level {
+		case temporal.Daily:
+			daily++
+		case temporal.Weekly:
+			weekly++
+		case temporal.Monthly:
+			monthly++
+		}
+	}
+	if daily != 6 || weekly != 3 || monthly != 1 {
+		t.Errorf("plan shape = %d daily, %d weekly, %d monthly: %v", daily, weekly, monthly, p.Periods)
+	}
+}
+
+func TestMissingDayErrors(t *testing.T) {
+	avail := fakeAvail{temporal.NewDay(2021, time.January, 1), temporal.NewDay(2021, time.January, 31), temporal.Yearly}
+	_, err := Optimize(temporal.NewDay(2021, time.January, 20), temporal.NewDay(2021, time.February, 10), temporal.Yearly, avail, nil)
+	if err == nil {
+		t.Error("window beyond coverage should error")
+	}
+	if _, err := Optimize(10, 5, temporal.Yearly, avail, nil); err == nil {
+		t.Error("inverted window should error")
+	}
+	if _, err := Optimize(10, 20, temporal.Level(9), avail, nil); err == nil {
+		t.Error("invalid level should error")
+	}
+}
+
+func TestCoverPeriodClips(t *testing.T) {
+	avail := fakeAvail{temporal.NewDay(2021, time.January, 1), temporal.NewDay(2021, time.December, 31), temporal.Yearly}
+	m := temporal.MonthPeriod(temporal.NewDay(2021, time.March, 1))
+	lo := temporal.NewDay(2021, time.March, 10)
+	hi := temporal.NewDay(2021, time.June, 30)
+	p, err := CoverPeriod(m, lo, hi, temporal.Yearly, avail, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Lo != lo || p.Hi != m.End() {
+		t.Errorf("clipped window = [%v, %v]", p.Lo, p.Hi)
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// bruteForceMinDisk computes the optimal disk cost independently: shortest
+// path over day boundaries where every available period inside the window is
+// an edge costing 0 (cached) or 1.
+func bruteForceMinDisk(lo, hi temporal.Day, maxLevel temporal.Level, avail Availability, cached CacheView) int {
+	n := int(hi-lo) + 1
+	const inf = 1 << 30
+	dist := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		dist[i] = inf
+	}
+	for i := 0; i < n; i++ {
+		if dist[i] == inf {
+			continue
+		}
+		d := lo + temporal.Day(i)
+		for lvl := temporal.Daily; lvl <= maxLevel; lvl++ {
+			p, ok := temporal.PeriodOf(lvl, d)
+			if !ok || p.Start() != d || p.End() > hi || !avail.Has(p) {
+				continue
+			}
+			c := 1
+			if cached != nil && cached.Contains(p) {
+				c = 0
+			}
+			j := int(p.End()-lo) + 1
+			if dist[i]+c < dist[j] {
+				dist[j] = dist[i] + c
+			}
+		}
+	}
+	return dist[n]
+}
+
+func TestOptimalityAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	covLo := temporal.NewDay(2019, time.January, 1)
+	covHi := temporal.NewDay(2022, time.December, 31)
+	avail := fakeAvail{covLo, covHi, temporal.Yearly}
+
+	for trial := 0; trial < 200; trial++ {
+		lo := covLo + temporal.Day(rng.Intn(1000))
+		hi := lo + temporal.Day(rng.Intn(450))
+		if hi > covHi {
+			hi = covHi
+		}
+		// Random cache: pin some recent days/weeks/months.
+		cached := fakeCache{}
+		for i := 0; i < rng.Intn(40); i++ {
+			d := lo + temporal.Day(rng.Intn(int(hi-lo)+1))
+			lvl := temporal.Level(rng.Intn(4))
+			if p, ok := temporal.PeriodOf(lvl, d); ok && avail.Has(p) {
+				cached[p] = true
+			}
+		}
+		got, err := Optimize(lo, hi, temporal.Yearly, avail, cached)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := bruteForceMinDisk(lo, hi, temporal.Yearly, avail, cached)
+		if got.DiskReads != want {
+			t.Fatalf("trial %d [%v, %v]: disk reads %d, brute force %d",
+				trial, lo, hi, got.DiskReads, want)
+		}
+	}
+}
+
+func TestPlanIsAlwaysExactCover(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	covLo := temporal.NewDay(2020, time.March, 10)
+	covHi := temporal.NewDay(2023, time.August, 20)
+	for _, maxLvl := range []temporal.Level{temporal.Daily, temporal.Weekly, temporal.Monthly, temporal.Yearly} {
+		avail := fakeAvail{covLo, covHi, maxLvl}
+		for trial := 0; trial < 100; trial++ {
+			lo := covLo + temporal.Day(rng.Intn(800))
+			hi := lo + temporal.Day(rng.Intn(500))
+			if hi > covHi {
+				hi = covHi
+			}
+			p, err := Optimize(lo, hi, maxLvl, avail, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatalf("maxLvl %v trial %d: %v", maxLvl, trial, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,231 @@
+// Package roads defines RASED's road-type dimension: a fixed catalog of 150
+// road types derived from the OSM highway tagging scheme, and the classifier
+// that maps an element's tags to one catalog value.
+//
+// The paper's cube has "150 possible road types, including highway,
+// residential, service, and truck roads". We reproduce that cardinality with
+// the real OSM highway=* values plus their common refinements (service=*
+// subtypes, tracktype grades, link roads, crossing/signal node types), since
+// the exact membership only determines which counter increments, while the
+// cardinality fixes the cube geometry.
+package roads
+
+import "strings"
+
+// Unknown is the catalog value for elements with no recognizable road type.
+const Unknown = 0
+
+// catalog is the fixed road-type dimension, value order is part of the
+// on-disk cube format: append only, never reorder. Index 0 is Unknown.
+var catalog = []string{
+	"unknown",
+	// Principal road classes.
+	"motorway", "trunk", "primary", "secondary", "tertiary", "unclassified",
+	"residential",
+	// Link roads.
+	"motorway_link", "trunk_link", "primary_link", "secondary_link",
+	"tertiary_link",
+	// Special road types.
+	"living_street", "service", "pedestrian", "track", "bus_guideway",
+	"escape", "raceway", "road", "busway",
+	// Non-car paths.
+	"footway", "bridleway", "steps", "corridor", "path", "cycleway",
+	"via_ferrata",
+	// Lifecycle.
+	"construction", "proposed", "abandoned", "disused", "razed", "planned",
+	// Service road refinements (highway=service + service=*).
+	"service:parking_aisle", "service:driveway", "service:alley",
+	"service:emergency_access", "service:drive-through", "service:slipway",
+	"service:layby", "service:bus", "service:irrigation", "service:yard",
+	"service:spur", "service:siding", "service:crossover",
+	// Track grades (highway=track + tracktype=*).
+	"track:grade1", "track:grade2", "track:grade3", "track:grade4",
+	"track:grade5",
+	// Footway refinements.
+	"footway:sidewalk", "footway:crossing", "footway:access_aisle",
+	"footway:traffic_island",
+	// Cycleway refinements.
+	"cycleway:lane", "cycleway:crossing", "cycleway:track",
+	// Path refinements.
+	"path:hiking", "path:mtb", "path:horse",
+	// Pedestrian areas.
+	"pedestrian:area", "pedestrian:square",
+	// Node-typed highway features (the paper counts node updates such as
+	// traffic lights and stop signs as road-network updates).
+	"bus_stop", "crossing", "elevator", "emergency_access_point",
+	"give_way", "milestone", "mini_roundabout", "motorway_junction",
+	"passing_place", "platform", "rest_area", "services", "speed_camera",
+	"speed_display", "stop", "street_lamp", "toll_gantry", "traffic_mirror",
+	"traffic_signals", "trailhead", "turning_circle", "turning_loop",
+	"emergency_bay", "ladder", "stile",
+	// Crossing refinements.
+	"crossing:zebra", "crossing:traffic_signals", "crossing:uncontrolled",
+	"crossing:island", "crossing:unmarked",
+	// Traffic calming features.
+	"traffic_calming:bump", "traffic_calming:hump", "traffic_calming:table",
+	"traffic_calming:cushion", "traffic_calming:chicane",
+	"traffic_calming:choker", "traffic_calming:island",
+	"traffic_calming:rumble_strip",
+	// Barriers on roads.
+	"barrier:gate", "barrier:bollard", "barrier:lift_gate", "barrier:block",
+	"barrier:cycle_barrier", "barrier:kerb", "barrier:entrance",
+	"barrier:cattle_grid", "barrier:toll_booth", "barrier:swing_gate",
+	// Junction-typed ways.
+	"junction:roundabout", "junction:circular", "junction:jughandle",
+	// Route relations (relation elements that model complex roads).
+	"route:road", "route:bus", "route:bicycle", "route:foot", "route:hiking",
+	"route:trolleybus", "route:detour", "route:mtb", "route:horse",
+	"route:motorcycle",
+	// Construction refinements.
+	"construction:motorway", "construction:trunk", "construction:primary",
+	"construction:secondary", "construction:tertiary",
+	"construction:residential", "construction:service",
+	"construction:footway", "construction:cycleway", "construction:track",
+	// Proposed refinements.
+	"proposed:motorway", "proposed:trunk", "proposed:primary",
+	"proposed:secondary", "proposed:residential",
+	// Regional/other.
+	"byway", "unsurfaced", "ford", "ice_road", "winter_road", "snowmobile",
+	"no", "access_ramp", "cyclestreet",
+}
+
+// Names returns the catalog in value order. The returned slice must not be
+// modified.
+func Names() []string { return catalog }
+
+// Num returns the number of road-type values.
+func Num() int { return len(catalog) }
+
+// Name returns the display name of value v, or "unknown" when out of range.
+func Name(v int) string {
+	if v < 0 || v >= len(catalog) {
+		return catalog[Unknown]
+	}
+	return catalog[v]
+}
+
+var byName = func() map[string]int {
+	m := make(map[string]int, len(catalog))
+	for i, n := range catalog {
+		m[n] = i
+	}
+	return m
+}()
+
+// ByName resolves a catalog name to its value.
+func ByName(name string) (int, bool) {
+	v, ok := byName[name]
+	return v, ok
+}
+
+// Classify maps an element's tags to a road-type value, applying the same
+// refinements the catalog encodes: highway=service + service=*,
+// highway=track + tracktype=*, crossing=*, etc. Elements with no road-typed
+// tag classify as Unknown.
+func Classify(tags map[string]string) int {
+	hw, hasHW := tags["highway"]
+	if hasHW {
+		switch hw {
+		case "service":
+			if s := tags["service"]; s != "" {
+				if v, ok := byName["service:"+s]; ok {
+					return v
+				}
+			}
+		case "track":
+			if g := tags["tracktype"]; g != "" {
+				if v, ok := byName["track:"+g]; ok {
+					return v
+				}
+			}
+		case "footway":
+			if f := tags["footway"]; f != "" {
+				if v, ok := byName["footway:"+f]; ok {
+					return v
+				}
+			}
+		case "cycleway":
+			if c := tags["cycleway"]; c != "" {
+				if v, ok := byName["cycleway:"+c]; ok {
+					return v
+				}
+			}
+		case "crossing":
+			if c := tags["crossing"]; c != "" {
+				if v, ok := byName["crossing:"+c]; ok {
+					return v
+				}
+			}
+		case "construction":
+			if c := tags["construction"]; c != "" {
+				if v, ok := byName["construction:"+c]; ok {
+					return v
+				}
+			}
+		case "proposed":
+			if p := tags["proposed"]; p != "" {
+				if v, ok := byName["proposed:"+p]; ok {
+					return v
+				}
+			}
+		case "path":
+			// path refinements keyed on the dominant designated use.
+			for _, use := range []string{"hiking", "mtb", "horse"} {
+				if tags[use] == "designated" || tags[use] == "yes" {
+					if v, ok := byName["path:"+use]; ok {
+						return v
+					}
+				}
+			}
+		}
+		if v, ok := byName[hw]; ok {
+			return v
+		}
+		return Unknown
+	}
+	if tc := tags["traffic_calming"]; tc != "" {
+		if v, ok := byName["traffic_calming:"+tc]; ok {
+			return v
+		}
+	}
+	if b := tags["barrier"]; b != "" {
+		if v, ok := byName["barrier:"+b]; ok {
+			return v
+		}
+	}
+	if j := tags["junction"]; j != "" {
+		if v, ok := byName["junction:"+j]; ok {
+			return v
+		}
+	}
+	if rt := tags["route"]; rt != "" {
+		if v, ok := byName["route:"+rt]; ok {
+			return v
+		}
+	}
+	return Unknown
+}
+
+// IsRoadElement reports whether the tags describe any road-network feature at
+// all, i.e. whether Classify would return a non-Unknown value or the element
+// carries a highway tag. The crawlers use this to filter the OSM update
+// stream down to road-network updates.
+func IsRoadElement(tags map[string]string) bool {
+	if _, ok := tags["highway"]; ok {
+		return true
+	}
+	return Classify(tags) != Unknown
+}
+
+// Principal reports whether the value is one of the principal car-road
+// classes (motorway through residential, including links). Used by example
+// workloads that restrict to "real" roads.
+func Principal(v int) bool {
+	n := Name(v)
+	switch n {
+	case "motorway", "trunk", "primary", "secondary", "tertiary",
+		"unclassified", "residential", "living_street":
+		return true
+	}
+	return strings.HasSuffix(n, "_link")
+}

@@ -1,0 +1,157 @@
+package roads
+
+import "testing"
+
+func TestCatalogSize(t *testing.T) {
+	// Paper: "150 possible road types".
+	if Num() != 150 {
+		t.Errorf("catalog size = %d, want 150", Num())
+	}
+}
+
+func TestCatalogUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, n := range Names() {
+		if seen[n] {
+			t.Errorf("duplicate road type %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestByNameRoundTrip(t *testing.T) {
+	for i, n := range Names() {
+		v, ok := ByName(n)
+		if !ok || v != i {
+			t.Errorf("ByName(%q) = %d,%v want %d", n, v, ok, i)
+		}
+		if Name(i) != n {
+			t.Errorf("Name(%d) = %q want %q", i, Name(i), n)
+		}
+	}
+	if Name(-1) != "unknown" || Name(10000) != "unknown" {
+		t.Error("out of range Name should be unknown")
+	}
+	if _, ok := ByName("hyperloop"); ok {
+		t.Error("hyperloop should not resolve")
+	}
+}
+
+func TestClassifyBasic(t *testing.T) {
+	cases := []struct {
+		tags map[string]string
+		want string
+	}{
+		{map[string]string{"highway": "motorway"}, "motorway"},
+		{map[string]string{"highway": "residential", "name": "Elm St"}, "residential"},
+		{map[string]string{"highway": "service", "service": "driveway"}, "service:driveway"},
+		{map[string]string{"highway": "service"}, "service"},
+		{map[string]string{"highway": "service", "service": "weird"}, "service"},
+		{map[string]string{"highway": "track", "tracktype": "grade2"}, "track:grade2"},
+		{map[string]string{"highway": "track"}, "track"},
+		{map[string]string{"highway": "footway", "footway": "sidewalk"}, "footway:sidewalk"},
+		{map[string]string{"highway": "cycleway", "cycleway": "lane"}, "cycleway:lane"},
+		{map[string]string{"highway": "crossing", "crossing": "zebra"}, "crossing:zebra"},
+		{map[string]string{"highway": "crossing"}, "crossing"},
+		{map[string]string{"highway": "construction", "construction": "primary"}, "construction:primary"},
+		{map[string]string{"highway": "proposed", "proposed": "trunk"}, "proposed:trunk"},
+		{map[string]string{"highway": "path", "hiking": "designated"}, "path:hiking"},
+		{map[string]string{"highway": "path"}, "path"},
+		{map[string]string{"highway": "traffic_signals"}, "traffic_signals"},
+		{map[string]string{"highway": "weird_value"}, "unknown"},
+		{map[string]string{"traffic_calming": "bump"}, "traffic_calming:bump"},
+		{map[string]string{"barrier": "gate"}, "barrier:gate"},
+		{map[string]string{"junction": "roundabout"}, "junction:roundabout"},
+		{map[string]string{"route": "road"}, "route:road"},
+		{map[string]string{"route": "train"}, "unknown"},
+		{map[string]string{"building": "yes"}, "unknown"},
+		{nil, "unknown"},
+	}
+	for _, c := range cases {
+		got := Name(Classify(c.tags))
+		if got != c.want {
+			t.Errorf("Classify(%v) = %q, want %q", c.tags, got, c.want)
+		}
+	}
+}
+
+func TestIsRoadElement(t *testing.T) {
+	if !IsRoadElement(map[string]string{"highway": "motorway"}) {
+		t.Error("motorway is a road element")
+	}
+	if !IsRoadElement(map[string]string{"highway": "strange"}) {
+		t.Error("any highway tag marks a road element")
+	}
+	if !IsRoadElement(map[string]string{"barrier": "gate"}) {
+		t.Error("road barrier is a road element")
+	}
+	if IsRoadElement(map[string]string{"building": "yes"}) {
+		t.Error("building is not a road element")
+	}
+	if IsRoadElement(nil) {
+		t.Error("untagged element is not a road element")
+	}
+}
+
+func TestPrincipal(t *testing.T) {
+	mw, _ := ByName("motorway")
+	if !Principal(mw) {
+		t.Error("motorway is principal")
+	}
+	link, _ := ByName("primary_link")
+	if !Principal(link) {
+		t.Error("primary_link is principal")
+	}
+	fw, _ := ByName("footway")
+	if Principal(fw) {
+		t.Error("footway is not principal")
+	}
+	if Principal(Unknown) {
+		t.Error("unknown is not principal")
+	}
+}
+
+func TestClassifyAllCatalogValuesReachable(t *testing.T) {
+	// Every plain (non-refined) catalog value is reachable via highway=<name>
+	// or its refinement scheme; spot check the refinement families.
+	families := map[string]string{
+		"service:alley":          "service",
+		"track:grade5":           "track",
+		"footway:crossing":       "footway",
+		"cycleway:track":         "cycleway",
+		"crossing:island":        "crossing",
+		"construction:cycleway":  "construction",
+		"proposed:residential":   "proposed",
+		"traffic_calming:island": "",
+		"barrier:kerb":           "",
+		"junction:circular":      "",
+		"route:bicycle":          "",
+	}
+	for full, hw := range families {
+		want, ok := ByName(full)
+		if !ok {
+			t.Fatalf("catalog missing %q", full)
+		}
+		i := indexByte(full, ':')
+		key, val := full[:i], full[i+1:]
+		if key == "track" {
+			key = "tracktype" // track grades are keyed on tracktype=*
+		}
+		tags := map[string]string{key: val}
+		if hw != "" {
+			tags = map[string]string{"highway": hw, key: val}
+		}
+		if got := Classify(tags); got != want {
+			t.Errorf("Classify(%v) = %q, want %q", tags, Name(got), full)
+		}
+	}
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,543 @@
+// Package server exposes a RASED deployment as the dashboard backend: a JSON
+// HTTP API for analysis queries, sample-update queries, changeset lookup, and
+// catalog metadata, plus a minimal embedded dashboard page. This is the
+// programmatic face of the paper's User Interface module; the visual
+// dashboard at rased.cs.umn.edu renders what these endpoints return.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"rased/internal/core"
+	"rased/internal/geo"
+	"rased/internal/osm"
+	"rased/internal/roads"
+	"rased/internal/temporal"
+	"rased/internal/update"
+	"rased/internal/warehouse"
+)
+
+// Backend is what the server needs from a deployment; *rased.Deployment
+// satisfies it.
+type Backend interface {
+	Analyze(q core.Query) (*core.Result, error)
+	Sample(q warehouse.SampleQuery) ([]update.Record, error)
+	ByChangeset(id int64) ([]update.Record, error)
+	Coverage() (lo, hi temporal.Day, ok bool)
+}
+
+// Server is the HTTP handler set.
+type Server struct {
+	backend Backend
+	mux     *http.ServeMux
+}
+
+// New builds a server over a backend.
+func New(b Backend) *Server {
+	s := &Server{backend: b, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /api/meta", s.handleMeta)
+	s.mux.HandleFunc("POST /api/analysis", s.handleAnalysis)
+	s.mux.HandleFunc("GET /api/analysis", s.handleAnalysisGet)
+	s.mux.HandleFunc("POST /api/samples", s.handleSamples)
+	s.mux.HandleFunc("GET /api/timelapse", s.handleTimelapse)
+	s.mux.HandleFunc("GET /api/changeset/{id}", s.handleChangeset)
+	s.mux.HandleFunc("GET /", s.handleDashboard)
+	return s
+}
+
+// ServeHTTP dispatches to the API mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// WithLogging wraps a handler with structured per-request access logging.
+func WithLogging(h http.Handler, logger *slog.Logger) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h.ServeHTTP(rec, r)
+		logger.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"elapsed_ms", float64(time.Since(start).Nanoseconds())/1e6,
+		)
+	})
+}
+
+// statusRecorder captures the response status for access logs.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// metaResponse describes the deployment: coverage and catalogs.
+type metaResponse struct {
+	CoverageFrom string   `json:"coverage_from,omitempty"`
+	CoverageTo   string   `json:"coverage_to,omitempty"`
+	Countries    []string `json:"countries"`
+	RoadTypes    []string `json:"road_types"`
+	ElementTypes []string `json:"element_types"`
+	UpdateTypes  []string `json:"update_types"`
+	Granularity  []string `json:"granularities"`
+}
+
+func (s *Server) handleMeta(w http.ResponseWriter, _ *http.Request) {
+	resp := metaResponse{
+		Countries:    geo.Default().Names(),
+		RoadTypes:    roads.Names(),
+		ElementTypes: osm.ElementTypeNames(),
+		UpdateTypes:  update.TypeNames(),
+		Granularity:  []string{"none", "day", "week", "month", "year"},
+	}
+	if lo, hi, ok := s.backend.Coverage(); ok {
+		resp.CoverageFrom = lo.String()
+		resp.CoverageTo = hi.String()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// AnalysisRequest is the JSON form of a core.Query.
+type AnalysisRequest struct {
+	From         string   `json:"from"`
+	To           string   `json:"to"`
+	ElementTypes []string `json:"element_types,omitempty"`
+	Countries    []string `json:"countries,omitempty"`
+	RoadTypes    []string `json:"road_types,omitempty"`
+	UpdateTypes  []string `json:"update_types,omitempty"`
+	GroupBy      []string `json:"group_by,omitempty"` // element_type, country, road_type, update_type
+	Granularity  string   `json:"granularity,omitempty"`
+	Percentage   bool     `json:"percentage,omitempty"`
+	Limit        int      `json:"limit,omitempty"`
+	// OrderBy re-sorts the rows on one column before the limit applies (the
+	// paper: "tabular format sorted on any column"): count, percentage,
+	// country, element_type, road_type, update_type, or period. Prefix with
+	// "-" for descending. Default: the engine's canonical order.
+	OrderBy string `json:"order_by,omitempty"`
+}
+
+// sortRowsBy re-orders rows on the requested column.
+func sortRowsBy(rows []core.Row, orderBy string) error {
+	desc := strings.HasPrefix(orderBy, "-")
+	col := strings.TrimPrefix(orderBy, "-")
+	var key func(r core.Row) (string, float64, bool) // (text, number, numeric?)
+	switch col {
+	case "count":
+		key = func(r core.Row) (string, float64, bool) { return "", float64(r.Count), true }
+	case "percentage":
+		key = func(r core.Row) (string, float64, bool) { return "", r.Percentage, true }
+	case "country":
+		key = func(r core.Row) (string, float64, bool) { return r.Country, 0, false }
+	case "element_type":
+		key = func(r core.Row) (string, float64, bool) { return r.ElementType, 0, false }
+	case "road_type":
+		key = func(r core.Row) (string, float64, bool) { return r.RoadType, 0, false }
+	case "update_type":
+		key = func(r core.Row) (string, float64, bool) { return r.UpdateType, 0, false }
+	case "period":
+		key = func(r core.Row) (string, float64, bool) { return r.Period, 0, false }
+	default:
+		return fmt.Errorf("unknown order_by column %q", col)
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		sa, na, numeric := key(rows[a])
+		sb, nb, _ := key(rows[b])
+		var less bool
+		if numeric {
+			less = na < nb
+		} else {
+			less = sa < sb
+		}
+		if desc {
+			return !less && (numeric && na != nb || !numeric && sa != sb)
+		}
+		return less
+	})
+	return nil
+}
+
+// ToQuery converts the request to a core.Query.
+func (r *AnalysisRequest) ToQuery() (core.Query, error) {
+	var q core.Query
+	var err error
+	if q.From, err = temporal.ParseDay(r.From); err != nil {
+		return q, fmt.Errorf("bad from: %w", err)
+	}
+	if q.To, err = temporal.ParseDay(r.To); err != nil {
+		return q, fmt.Errorf("bad to: %w", err)
+	}
+	q.ElementTypes = r.ElementTypes
+	q.Countries = r.Countries
+	q.RoadTypes = r.RoadTypes
+	q.UpdateTypes = r.UpdateTypes
+	q.Percentage = r.Percentage
+	for _, g := range r.GroupBy {
+		switch g {
+		case "element_type":
+			q.GroupBy.ElementType = true
+		case "country":
+			q.GroupBy.Country = true
+		case "road_type":
+			q.GroupBy.RoadType = true
+		case "update_type":
+			q.GroupBy.UpdateType = true
+		default:
+			return q, fmt.Errorf("unknown group_by %q", g)
+		}
+	}
+	switch r.Granularity {
+	case "", "none":
+		q.GroupBy.Date = core.None
+	case "day":
+		q.GroupBy.Date = core.ByDay
+	case "week":
+		q.GroupBy.Date = core.ByWeek
+	case "month":
+		q.GroupBy.Date = core.ByMonth
+	case "year":
+		q.GroupBy.Date = core.ByYear
+	default:
+		return q, fmt.Errorf("unknown granularity %q", r.Granularity)
+	}
+	return q, nil
+}
+
+func (s *Server) runAnalysis(w http.ResponseWriter, req AnalysisRequest) {
+	q, err := req.ToQuery()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.backend.Analyze(q)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.OrderBy != "" {
+		if err := sortRowsBy(res.Rows, req.OrderBy); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	if req.Limit > 0 && len(res.Rows) > req.Limit {
+		res.Rows = res.Rows[:req.Limit]
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleAnalysis(w http.ResponseWriter, r *http.Request) {
+	var req AnalysisRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	s.runAnalysis(w, req)
+}
+
+// handleAnalysisGet supports simple dashboard links:
+// /api/analysis?from=...&to=...&countries=a,b&group_by=country&granularity=day
+func (s *Server) handleAnalysisGet(w http.ResponseWriter, r *http.Request) {
+	qs := r.URL.Query()
+	split := func(key string) []string {
+		v := qs.Get(key)
+		if v == "" {
+			return nil
+		}
+		return strings.Split(v, ",")
+	}
+	req := AnalysisRequest{
+		From:         qs.Get("from"),
+		To:           qs.Get("to"),
+		ElementTypes: split("element_types"),
+		Countries:    split("countries"),
+		RoadTypes:    split("road_types"),
+		UpdateTypes:  split("update_types"),
+		GroupBy:      split("group_by"),
+		Granularity:  qs.Get("granularity"),
+		Percentage:   qs.Get("percentage") == "true",
+		OrderBy:      qs.Get("order_by"),
+	}
+	if lim := qs.Get("limit"); lim != "" {
+		n, err := strconv.Atoi(lim)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad limit: %w", err))
+			return
+		}
+		req.Limit = n
+	}
+	s.runAnalysis(w, req)
+}
+
+// SampleRequest is the JSON form of a warehouse.SampleQuery.
+type SampleRequest struct {
+	From         string   `json:"from,omitempty"`
+	To           string   `json:"to,omitempty"`
+	MinLat       *float64 `json:"min_lat,omitempty"`
+	MinLon       *float64 `json:"min_lon,omitempty"`
+	MaxLat       *float64 `json:"max_lat,omitempty"`
+	MaxLon       *float64 `json:"max_lon,omitempty"`
+	ElementTypes []string `json:"element_types,omitempty"`
+	UpdateTypes  []string `json:"update_types,omitempty"`
+	RoadTypes    []string `json:"road_types,omitempty"`
+	Countries    []string `json:"countries,omitempty"`
+	N            int      `json:"n,omitempty"`
+	Seed         int64    `json:"seed,omitempty"`
+}
+
+// SampleRecord is the JSON form of one sampled update.
+type SampleRecord struct {
+	ElementType string  `json:"element_type"`
+	Date        string  `json:"date"`
+	Country     string  `json:"country"`
+	Lat         float64 `json:"lat"`
+	Lon         float64 `json:"lon"`
+	RoadType    string  `json:"road_type"`
+	UpdateType  string  `json:"update_type"`
+	ChangesetID int64   `json:"changeset_id"`
+}
+
+func toSampleRecord(r update.Record) SampleRecord {
+	return SampleRecord{
+		ElementType: r.ElementType.String(),
+		Date:        r.Day.String(),
+		Country:     geo.Default().Name(int(r.Country)),
+		Lat:         r.Lat,
+		Lon:         r.Lon,
+		RoadType:    roads.Name(int(r.RoadType)),
+		UpdateType:  r.UpdateType.String(),
+		ChangesetID: r.ChangesetID,
+	}
+}
+
+// ToQuery converts the request to a warehouse.SampleQuery.
+func (r *SampleRequest) ToQuery() (warehouse.SampleQuery, error) {
+	var q warehouse.SampleQuery
+	var err error
+	if r.From != "" {
+		if q.From, err = temporal.ParseDay(r.From); err != nil {
+			return q, fmt.Errorf("bad from: %w", err)
+		}
+	}
+	if r.To != "" {
+		if q.To, err = temporal.ParseDay(r.To); err != nil {
+			return q, fmt.Errorf("bad to: %w", err)
+		}
+	}
+	if r.MinLat != nil && r.MinLon != nil && r.MaxLat != nil && r.MaxLon != nil {
+		q.Region = &geo.Rect{MinLat: *r.MinLat, MinLon: *r.MinLon, MaxLat: *r.MaxLat, MaxLon: *r.MaxLon}
+	}
+	for _, n := range r.ElementTypes {
+		t, err := osm.ParseElementType(n)
+		if err != nil {
+			return q, err
+		}
+		q.ElementTypes = append(q.ElementTypes, t)
+	}
+	for _, n := range r.UpdateTypes {
+		t, err := update.ParseType(n)
+		if err != nil {
+			return q, err
+		}
+		q.UpdateTypes = append(q.UpdateTypes, t)
+	}
+	for _, n := range r.RoadTypes {
+		v, ok := roads.ByName(n)
+		if !ok {
+			return q, fmt.Errorf("unknown road type %q", n)
+		}
+		q.RoadTypes = append(q.RoadTypes, v)
+	}
+	for _, n := range r.Countries {
+		v, ok := geo.Default().ByName(n)
+		if !ok {
+			return q, fmt.Errorf("unknown country %q", n)
+		}
+		q.Countries = append(q.Countries, v)
+	}
+	q.N = r.N
+	q.Seed = r.Seed
+	return q, nil
+}
+
+func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
+	var req SampleRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	q, err := req.ToQuery()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	recs, err := s.backend.Sample(q)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	out := make([]SampleRecord, len(recs))
+	for i, rec := range recs {
+		out[i] = toSampleRecord(rec)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"samples": out})
+}
+
+// TimelapseFrame is one frame of the dashboard's timelapse: the per-country
+// counts (or percentages) of one time bucket, ready to drive a choropleth.
+type TimelapseFrame struct {
+	Period    string             `json:"period"`
+	Countries map[string]float64 `json:"countries"`
+}
+
+// handleTimelapse renders the paper's timelapse visualization data: the road
+// network evolution as a frame per period, each frame a country → value map.
+// Query parameters match GET /api/analysis (granularity defaults to month).
+func (s *Server) handleTimelapse(w http.ResponseWriter, r *http.Request) {
+	qs := r.URL.Query()
+	split := func(key string) []string {
+		v := qs.Get(key)
+		if v == "" {
+			return nil
+		}
+		return strings.Split(v, ",")
+	}
+	gran := qs.Get("granularity")
+	if gran == "" || gran == "none" {
+		gran = "month"
+	}
+	req := AnalysisRequest{
+		From:         qs.Get("from"),
+		To:           qs.Get("to"),
+		ElementTypes: split("element_types"),
+		Countries:    split("countries"),
+		RoadTypes:    split("road_types"),
+		UpdateTypes:  split("update_types"),
+		GroupBy:      []string{"country"},
+		Granularity:  gran,
+		Percentage:   qs.Get("percentage") == "true",
+	}
+	q, err := req.ToQuery()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.backend.Analyze(q)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var frames []TimelapseFrame
+	index := map[string]int{}
+	for _, row := range res.Rows {
+		i, ok := index[row.Period]
+		if !ok {
+			i = len(frames)
+			index[row.Period] = i
+			frames = append(frames, TimelapseFrame{Period: row.Period, Countries: map[string]float64{}})
+		}
+		v := float64(row.Count)
+		if req.Percentage {
+			v = row.Percentage
+		}
+		frames[i].Countries[row.Country] = v
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"frames": frames})
+}
+
+func (s *Server) handleChangeset(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad changeset id: %w", err))
+		return
+	}
+	recs, err := s.backend.ByChangeset(id)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	out := make([]SampleRecord, len(recs))
+	for i, rec := range recs {
+		out[i] = toSampleRecord(rec)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"changeset": id, "updates": out})
+}
+
+// handleDashboard serves a minimal self-contained dashboard page that drives
+// the JSON API.
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, dashboardHTML)
+}
+
+const dashboardHTML = `<!DOCTYPE html>
+<html>
+<head><title>RASED — OSM Road Network Update Monitor</title>
+<style>
+body{font-family:sans-serif;margin:2em;max-width:70em}
+table{border-collapse:collapse;margin-top:1em}
+td,th{border:1px solid #ccc;padding:4px 10px;text-align:left}
+input,select{margin:2px}
+</style></head>
+<body>
+<h1>RASED</h1>
+<p>Scalable dashboard for monitoring road network updates in OSM (reproduction).</p>
+<form id="f">
+  From <input name="from" placeholder="2021-01-01">
+  To <input name="to" placeholder="2021-12-31">
+  Countries <input name="countries" placeholder="United States,Germany">
+  Group by <input name="group_by" placeholder="country,element_type">
+  Granularity <select name="granularity">
+    <option>none</option><option>day</option><option>week</option>
+    <option>month</option><option>year</option></select>
+  <button>Run</button>
+</form>
+<div id="stats"></div>
+<table id="out"></table>
+<script>
+document.getElementById('f').onsubmit = async (ev) => {
+  ev.preventDefault();
+  const fd = new FormData(ev.target);
+  const params = new URLSearchParams();
+  for (const [k, v] of fd.entries()) if (v) params.set(k, v);
+  params.set('limit', '100');
+  const res = await fetch('/api/analysis?' + params.toString());
+  const data = await res.json();
+  const tbl = document.getElementById('out');
+  tbl.innerHTML = '';
+  if (data.error) { tbl.innerHTML = '<tr><td>' + data.error + '</td></tr>'; return; }
+  document.getElementById('stats').textContent =
+    'total=' + data.total + ' cubes=' + data.stats.cubes_fetched +
+    ' disk=' + data.stats.disk_reads + ' elapsed=' + (data.stats.elapsed_nanos/1e6).toFixed(2) + 'ms';
+  const cols = ['period','country','element_type','road_type','update_type','count','percentage'];
+  tbl.innerHTML = '<tr>' + cols.map(c => '<th>' + c + '</th>').join('') + '</tr>' +
+    (data.rows||[]).map(r => '<tr>' + cols.map(c => '<td>' + (r[c]??'') + '</td>').join('') + '</tr>').join('');
+};
+</script>
+</body></html>
+`

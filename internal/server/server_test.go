@@ -1,0 +1,337 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rased/internal/core"
+	"rased/internal/geo"
+	"rased/internal/osm"
+	"rased/internal/temporal"
+	"rased/internal/update"
+	"rased/internal/warehouse"
+)
+
+// fakeBackend serves canned data.
+type fakeBackend struct {
+	lastQuery  core.Query
+	lastSample warehouse.SampleQuery
+	analyzeErr error
+}
+
+func (f *fakeBackend) Analyze(q core.Query) (*core.Result, error) {
+	f.lastQuery = q
+	if f.analyzeErr != nil {
+		return nil, f.analyzeErr
+	}
+	return &core.Result{
+		Rows:  []core.Row{{Country: "Germany", Count: 42}, {Country: "Qatar", Count: 7}},
+		Total: 49,
+	}, nil
+}
+
+func (f *fakeBackend) Sample(q warehouse.SampleQuery) ([]update.Record, error) {
+	f.lastSample = q
+	return []update.Record{{
+		ElementType: osm.Way, Day: temporal.NewDay(2021, time.March, 5),
+		Country: 3, Lat: 1, Lon: 2, RoadType: 5, UpdateType: update.Create, ChangesetID: 99,
+	}}, nil
+}
+
+func (f *fakeBackend) ByChangeset(id int64) ([]update.Record, error) {
+	if id == 404 {
+		return nil, nil
+	}
+	return []update.Record{{ChangesetID: id, UpdateType: update.Create}}, nil
+}
+
+func (f *fakeBackend) Coverage() (temporal.Day, temporal.Day, bool) {
+	return temporal.NewDay(2021, time.January, 1), temporal.NewDay(2021, time.December, 31), true
+}
+
+func newTestServer(t *testing.T) (*Server, *fakeBackend) {
+	t.Helper()
+	b := &fakeBackend{}
+	return New(b), b
+}
+
+func get(t *testing.T, s *Server, path string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil && rec.Code == http.StatusOK {
+		t.Fatalf("bad JSON from %s: %v", path, err)
+	}
+	return rec, body
+}
+
+func post(t *testing.T, s *Server, path string, payload any) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	raw, _ := json.Marshal(payload)
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(raw))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil && rec.Code == http.StatusOK {
+		t.Fatalf("bad JSON from %s: %v", path, err)
+	}
+	return rec, body
+}
+
+func TestMeta(t *testing.T) {
+	s, _ := newTestServer(t)
+	rec, body := get(t, s, "/api/meta")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if body["coverage_from"] != "2021-01-01" || body["coverage_to"] != "2021-12-31" {
+		t.Errorf("coverage = %v..%v", body["coverage_from"], body["coverage_to"])
+	}
+	if n := len(body["countries"].([]any)); n != geo.Default().NumValues() {
+		t.Errorf("countries = %d", n)
+	}
+	if n := len(body["road_types"].([]any)); n != 150 {
+		t.Errorf("road types = %d", n)
+	}
+}
+
+func TestAnalysisPost(t *testing.T) {
+	s, b := newTestServer(t)
+	rec, body := post(t, s, "/api/analysis", AnalysisRequest{
+		From: "2021-01-01", To: "2021-06-30",
+		Countries:   []string{"Germany", "Qatar"},
+		GroupBy:     []string{"country"},
+		Granularity: "day",
+		Percentage:  true,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if body["total"].(float64) != 49 {
+		t.Errorf("total = %v", body["total"])
+	}
+	if !b.lastQuery.GroupBy.Country || b.lastQuery.GroupBy.Date != core.ByDay || !b.lastQuery.Percentage {
+		t.Errorf("query not translated: %+v", b.lastQuery)
+	}
+	if b.lastQuery.From != temporal.NewDay(2021, time.January, 1) {
+		t.Errorf("from = %v", b.lastQuery.From)
+	}
+}
+
+func TestAnalysisGetWithLimit(t *testing.T) {
+	s, _ := newTestServer(t)
+	rec, body := get(t, s, "/api/analysis?from=2021-01-01&to=2021-02-01&group_by=country&limit=1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if n := len(body["rows"].([]any)); n != 1 {
+		t.Errorf("limited rows = %d", n)
+	}
+}
+
+func TestAnalysisValidation(t *testing.T) {
+	s, _ := newTestServer(t)
+	cases := []AnalysisRequest{
+		{From: "bad", To: "2021-01-01"},
+		{From: "2021-01-01", To: "bad"},
+		{From: "2021-01-01", To: "2021-02-01", GroupBy: []string{"color"}},
+		{From: "2021-01-01", To: "2021-02-01", Granularity: "fortnight"},
+	}
+	for i, c := range cases {
+		rec, _ := post(t, s, "/api/analysis", c)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("case %d: status = %d", i, rec.Code)
+		}
+	}
+	// Malformed JSON body.
+	req := httptest.NewRequest(http.MethodPost, "/api/analysis", bytes.NewReader([]byte("{")))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("malformed body: status = %d", rec.Code)
+	}
+}
+
+func TestAnalyzeErrorPropagates(t *testing.T) {
+	s, b := newTestServer(t)
+	b.analyzeErr = fmt.Errorf("boom")
+	rec, body := post(t, s, "/api/analysis", AnalysisRequest{From: "2021-01-01", To: "2021-02-01"})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("status = %d", rec.Code)
+	}
+	if body["error"] != "boom" {
+		t.Errorf("error = %v", body["error"])
+	}
+}
+
+func TestSamples(t *testing.T) {
+	s, b := newTestServer(t)
+	minLat, minLon, maxLat, maxLon := 0.0, 0.0, 10.0, 10.0
+	rec, body := post(t, s, "/api/samples", SampleRequest{
+		From: "2021-01-01", To: "2021-12-31",
+		MinLat: &minLat, MinLon: &minLon, MaxLat: &maxLat, MaxLon: &maxLon,
+		ElementTypes: []string{"way"},
+		UpdateTypes:  []string{"create"},
+		Countries:    []string{"Germany"},
+		RoadTypes:    []string{"residential"},
+		N:            10,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	samples := body["samples"].([]any)
+	if len(samples) != 1 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	first := samples[0].(map[string]any)
+	if first["element_type"] != "way" || first["changeset_id"].(float64) != 99 {
+		t.Errorf("sample = %v", first)
+	}
+	if b.lastSample.Region == nil || b.lastSample.N != 10 {
+		t.Errorf("sample query not translated: %+v", b.lastSample)
+	}
+	if len(b.lastSample.ElementTypes) != 1 || b.lastSample.ElementTypes[0] != osm.Way {
+		t.Errorf("element filter = %v", b.lastSample.ElementTypes)
+	}
+}
+
+func TestSamplesValidation(t *testing.T) {
+	s, _ := newTestServer(t)
+	cases := []SampleRequest{
+		{From: "nope"},
+		{ElementTypes: []string{"blob"}},
+		{UpdateTypes: []string{"warp"}},
+		{RoadTypes: []string{"skyway"}},
+		{Countries: []string{"Narnia"}},
+	}
+	for i, c := range cases {
+		rec, _ := post(t, s, "/api/samples", c)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("case %d: status = %d", i, rec.Code)
+		}
+	}
+}
+
+func TestOrderBy(t *testing.T) {
+	s, _ := newTestServer(t)
+	// Ascending count: Qatar (7) before Germany (42).
+	rec, body := get(t, s, "/api/analysis?from=2021-01-01&to=2021-02-01&group_by=country&order_by=count")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	rows := body["rows"].([]any)
+	first := rows[0].(map[string]any)
+	if first["country"] != "Qatar" {
+		t.Errorf("ascending count: first = %v", first["country"])
+	}
+	// Descending country name: Qatar before Germany.
+	_, body = get(t, s, "/api/analysis?from=2021-01-01&to=2021-02-01&group_by=country&order_by=-country")
+	rows = body["rows"].([]any)
+	if rows[0].(map[string]any)["country"] != "Qatar" {
+		t.Errorf("descending country: first = %v", rows[0])
+	}
+	// Unknown column rejected.
+	rec, _ = get(t, s, "/api/analysis?from=2021-01-01&to=2021-02-01&order_by=color")
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown order_by: status = %d", rec.Code)
+	}
+}
+
+func TestTimelapse(t *testing.T) {
+	s, b := newTestServer(t)
+	rec, body := get(t, s, "/api/timelapse?from=2021-01-01&to=2021-03-31&granularity=month")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if !b.lastQuery.GroupBy.Country || b.lastQuery.GroupBy.Date != core.ByMonth {
+		t.Errorf("timelapse query = %+v", b.lastQuery.GroupBy)
+	}
+	frames := body["frames"].([]any)
+	if len(frames) == 0 {
+		t.Fatal("no frames")
+	}
+	first := frames[0].(map[string]any)
+	countries := first["countries"].(map[string]any)
+	if countries["Germany"].(float64) != 42 {
+		t.Errorf("frame = %v", first)
+	}
+	// Default granularity is month, never "none".
+	rec, _ = get(t, s, "/api/timelapse?from=2021-01-01&to=2021-03-31")
+	if rec.Code != http.StatusOK || b.lastQuery.GroupBy.Date != core.ByMonth {
+		t.Errorf("default granularity: status %d, date %v", rec.Code, b.lastQuery.GroupBy.Date)
+	}
+	rec, _ = get(t, s, "/api/timelapse?from=bad&to=2021-03-31")
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad from: status %d", rec.Code)
+	}
+}
+
+func TestChangeset(t *testing.T) {
+	s, _ := newTestServer(t)
+	rec, body := get(t, s, "/api/changeset/123")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if body["changeset"].(float64) != 123 {
+		t.Errorf("changeset = %v", body["changeset"])
+	}
+	rec, _ = get(t, s, "/api/changeset/notanumber")
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad id: status = %d", rec.Code)
+	}
+}
+
+func TestWithLogging(t *testing.T) {
+	s, _ := newTestServer(t)
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	h := WithLogging(s, logger)
+
+	req := httptest.NewRequest(http.MethodGet, "/api/meta", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "path=/api/meta") || !strings.Contains(out, "status=200") {
+		t.Errorf("access log missing fields: %q", out)
+	}
+
+	// Error statuses are recorded too.
+	buf.Reset()
+	req = httptest.NewRequest(http.MethodGet, "/api/changeset/nan", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if !strings.Contains(buf.String(), "status=400") {
+		t.Errorf("error status not logged: %q", buf.String())
+	}
+}
+
+func TestDashboardPage(t *testing.T) {
+	s, _ := newTestServer(t)
+	req := httptest.NewRequest(http.MethodGet, "/", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if !bytes.Contains(rec.Body.Bytes(), []byte("RASED")) {
+		t.Error("dashboard page missing title")
+	}
+	req = httptest.NewRequest(http.MethodGet, "/nope", nil)
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unknown path: status = %d", rec.Code)
+	}
+}

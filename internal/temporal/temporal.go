@@ -1,0 +1,362 @@
+// Package temporal provides the calendar substrate for RASED's hierarchical
+// temporal index.
+//
+// Time is measured in whole days since the OSM epoch (2004-01-01, the launch
+// of OpenStreetMap). The hierarchy follows the paper's layout: a year is
+// twelve months; a month is four fixed seven-day weeks (days of month 1-7,
+// 8-14, 15-21, 22-28) plus zero to three trailing days (29-31) that attach
+// directly to the month. Weeks therefore never cross month boundaries and the
+// hierarchy forms a strict tree, which lets the level optimizer compute exact
+// minimal covers.
+package temporal
+
+import (
+	"fmt"
+	"time"
+)
+
+// Epoch is the first day RASED can represent: 2004-01-01 UTC.
+var Epoch = time.Date(2004, time.January, 1, 0, 0, 0, 0, time.UTC)
+
+// EpochYear is the calendar year of the epoch.
+const EpochYear = 2004
+
+// Day is a whole day counted from the epoch (Day 0 = 2004-01-01).
+type Day int
+
+// Level identifies one level of the temporal hierarchy.
+type Level int
+
+// Hierarchy levels, fine to coarse.
+const (
+	Daily Level = iota
+	Weekly
+	Monthly
+	Yearly
+	numLevels
+)
+
+// NumLevels is the number of levels in the full hierarchy.
+const NumLevels = int(numLevels)
+
+// String returns the lower-case level name.
+func (l Level) String() string {
+	switch l {
+	case Daily:
+		return "daily"
+	case Weekly:
+		return "weekly"
+	case Monthly:
+		return "monthly"
+	case Yearly:
+		return "yearly"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Valid reports whether l is one of the four hierarchy levels.
+func (l Level) Valid() bool { return l >= Daily && l < numLevels }
+
+// NewDay converts a calendar date to a Day. Dates before the epoch yield
+// negative days; callers that require valid index days should check d >= 0.
+func NewDay(year int, month time.Month, dom int) Day {
+	t := time.Date(year, month, dom, 0, 0, 0, 0, time.UTC)
+	return Day(t.Sub(Epoch) / (24 * time.Hour))
+}
+
+// FromTime converts a wall-clock time (any zone) to the Day containing it,
+// interpreted in UTC.
+func FromTime(t time.Time) Day {
+	t = t.UTC()
+	return NewDay(t.Year(), t.Month(), t.Day())
+}
+
+// Time returns the midnight UTC time at the start of d.
+func (d Day) Time() time.Time {
+	return Epoch.AddDate(0, 0, int(d))
+}
+
+// Date returns the calendar date of d.
+func (d Day) Date() (year int, month time.Month, dom int) {
+	return d.Time().Date()
+}
+
+// Year returns the calendar year containing d.
+func (d Day) Year() int {
+	y, _, _ := d.Date()
+	return y
+}
+
+// String formats d as YYYY-MM-DD.
+func (d Day) String() string {
+	return d.Time().Format("2006-01-02")
+}
+
+// ParseDay parses a YYYY-MM-DD date string into a Day.
+func ParseDay(s string) (Day, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return 0, fmt.Errorf("temporal: parse day %q: %w", s, err)
+	}
+	return FromTime(t), nil
+}
+
+// DaysInMonth returns the number of days in the given month.
+func DaysInMonth(year int, month time.Month) int {
+	// Day 0 of the next month is the last day of this month.
+	return time.Date(year, month+1, 0, 0, 0, 0, 0, time.UTC).Day()
+}
+
+// Period identifies one node of the temporal hierarchy: a specific day, week,
+// month, or year.
+//
+// Index encoding per level:
+//
+//	Daily:   the Day value.
+//	Weekly:  monthIndex*4 + week, week in 0..3.
+//	Monthly: year*12 + (month-1).
+//	Yearly:  the calendar year.
+type Period struct {
+	Level Level
+	Index int
+}
+
+// DayPeriod returns the daily period for d.
+func DayPeriod(d Day) Period { return Period{Daily, int(d)} }
+
+// WeekPeriod returns the weekly period containing d, or ok=false when d falls
+// in a month's trailing days (day of month 29-31), which belong to no week.
+func WeekPeriod(d Day) (Period, bool) {
+	y, m, dom := d.Date()
+	if dom > 28 {
+		return Period{}, false
+	}
+	mi := monthIndex(y, m)
+	return Period{Weekly, mi*4 + (dom-1)/7}, true
+}
+
+// MonthPeriod returns the monthly period containing d.
+func MonthPeriod(d Day) Period {
+	y, m, _ := d.Date()
+	return Period{Monthly, monthIndex(y, m)}
+}
+
+// YearPeriod returns the yearly period containing d.
+func YearPeriod(d Day) Period {
+	return Period{Yearly, d.Year()}
+}
+
+// PeriodOf returns the period at the given level containing d. For Weekly it
+// returns ok=false when d is a trailing day of its month.
+func PeriodOf(l Level, d Day) (Period, bool) {
+	switch l {
+	case Daily:
+		return DayPeriod(d), true
+	case Weekly:
+		return WeekPeriod(d)
+	case Monthly:
+		return MonthPeriod(d), true
+	case Yearly:
+		return YearPeriod(d), true
+	default:
+		return Period{}, false
+	}
+}
+
+func monthIndex(year int, month time.Month) int {
+	return year*12 + int(month) - 1
+}
+
+// monthOfIndex inverts monthIndex.
+func monthOfIndex(mi int) (year int, month time.Month) {
+	return mi / 12, time.Month(mi%12 + 1)
+}
+
+// Start returns the first day covered by p.
+func (p Period) Start() Day {
+	switch p.Level {
+	case Daily:
+		return Day(p.Index)
+	case Weekly:
+		y, m := monthOfIndex(p.Index / 4)
+		week := p.Index % 4
+		return NewDay(y, m, week*7+1)
+	case Monthly:
+		y, m := monthOfIndex(p.Index)
+		return NewDay(y, m, 1)
+	case Yearly:
+		return NewDay(p.Index, time.January, 1)
+	default:
+		panic(fmt.Sprintf("temporal: Start on invalid level %d", p.Level))
+	}
+}
+
+// End returns the last day covered by p (inclusive).
+func (p Period) End() Day {
+	switch p.Level {
+	case Daily:
+		return Day(p.Index)
+	case Weekly:
+		y, m := monthOfIndex(p.Index / 4)
+		week := p.Index % 4
+		return NewDay(y, m, week*7+7)
+	case Monthly:
+		y, m := monthOfIndex(p.Index)
+		return NewDay(y, m, DaysInMonth(y, m))
+	case Yearly:
+		return NewDay(p.Index, time.December, 31)
+	default:
+		panic(fmt.Sprintf("temporal: End on invalid level %d", p.Level))
+	}
+}
+
+// Len returns the number of days covered by p.
+func (p Period) Len() int { return int(p.End()-p.Start()) + 1 }
+
+// Contains reports whether d falls within p.
+func (p Period) Contains(d Day) bool {
+	return d >= p.Start() && d <= p.End()
+}
+
+// Within reports whether p lies entirely within [lo, hi].
+func (p Period) Within(lo, hi Day) bool {
+	return p.Start() >= lo && p.End() <= hi
+}
+
+// Overlaps reports whether p overlaps [lo, hi] at all.
+func (p Period) Overlaps(lo, hi Day) bool {
+	return p.Start() <= hi && p.End() >= lo
+}
+
+// Children returns p's direct children in the hierarchy, in chronological
+// order: a year yields its 12 months, a month its 4 weeks followed by its 0-3
+// trailing days, a week its 7 days, and a day has no children.
+func (p Period) Children() []Period {
+	switch p.Level {
+	case Daily:
+		return nil
+	case Weekly:
+		start := p.Start()
+		kids := make([]Period, 7)
+		for i := range kids {
+			kids[i] = DayPeriod(start + Day(i))
+		}
+		return kids
+	case Monthly:
+		kids := make([]Period, 0, 7)
+		for w := 0; w < 4; w++ {
+			kids = append(kids, Period{Weekly, p.Index*4 + w})
+		}
+		y, m := monthOfIndex(p.Index)
+		for dom := 29; dom <= DaysInMonth(y, m); dom++ {
+			kids = append(kids, DayPeriod(NewDay(y, m, dom)))
+		}
+		return kids
+	case Yearly:
+		kids := make([]Period, 12)
+		for i := range kids {
+			kids[i] = Period{Monthly, p.Index*12 + i}
+		}
+		return kids
+	default:
+		panic(fmt.Sprintf("temporal: Children on invalid level %d", p.Level))
+	}
+}
+
+// Parent returns the period directly above p in the hierarchy, or ok=false
+// for yearly periods (the root has no cube) and for trailing days, whose
+// parent is their month rather than a week.
+func (p Period) Parent() (Period, bool) {
+	switch p.Level {
+	case Daily:
+		d := Day(p.Index)
+		if w, ok := WeekPeriod(d); ok {
+			return w, true
+		}
+		return MonthPeriod(d), true
+	case Weekly:
+		return Period{Monthly, p.Index / 4}, true
+	case Monthly:
+		return Period{Yearly, p.Index / 12}, true
+	default:
+		return Period{}, false
+	}
+}
+
+// String renders the period in a human-readable form, e.g. "2021-03-15",
+// "2021-03/w2", "2021-03", "2021".
+func (p Period) String() string {
+	switch p.Level {
+	case Daily:
+		return Day(p.Index).String()
+	case Weekly:
+		y, m := monthOfIndex(p.Index / 4)
+		return fmt.Sprintf("%04d-%02d/w%d", y, int(m), p.Index%4+1)
+	case Monthly:
+		y, m := monthOfIndex(p.Index)
+		return fmt.Sprintf("%04d-%02d", y, int(m))
+	case Yearly:
+		return fmt.Sprintf("%04d", p.Index)
+	default:
+		return fmt.Sprintf("Period(%d,%d)", p.Level, p.Index)
+	}
+}
+
+// IsEndOfWeek reports whether d is the last day of a (4-per-month) week.
+func IsEndOfWeek(d Day) bool {
+	_, _, dom := d.Date()
+	return dom == 7 || dom == 14 || dom == 21 || dom == 28
+}
+
+// IsEndOfMonth reports whether d is the last day of its month.
+func IsEndOfMonth(d Day) bool {
+	y, m, dom := d.Date()
+	return dom == DaysInMonth(y, m)
+}
+
+// IsEndOfYear reports whether d is December 31.
+func IsEndOfYear(d Day) bool {
+	_, m, dom := d.Date()
+	return m == time.December && dom == 31
+}
+
+// PeriodsBetween returns all periods of level l that overlap [lo, hi], in
+// chronological order. For Weekly, only weeks (not trailing days) are
+// returned.
+func PeriodsBetween(l Level, lo, hi Day) []Period {
+	if hi < lo {
+		return nil
+	}
+	var out []Period
+	switch l {
+	case Daily:
+		out = make([]Period, 0, int(hi-lo)+1)
+		for d := lo; d <= hi; d++ {
+			out = append(out, DayPeriod(d))
+		}
+	case Weekly:
+		for d := lo; d <= hi; {
+			w, ok := WeekPeriod(d)
+			if !ok {
+				d++
+				continue
+			}
+			out = append(out, w)
+			d = w.End() + 1
+		}
+	case Monthly:
+		for d := lo; d <= hi; {
+			m := MonthPeriod(d)
+			out = append(out, m)
+			d = m.End() + 1
+		}
+	case Yearly:
+		for d := lo; d <= hi; {
+			y := YearPeriod(d)
+			out = append(out, y)
+			d = y.End() + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,306 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEpoch(t *testing.T) {
+	if got := Day(0).String(); got != "2004-01-01" {
+		t.Errorf("Day(0) = %s, want 2004-01-01", got)
+	}
+	if d := NewDay(2004, time.January, 1); d != 0 {
+		t.Errorf("NewDay(2004,1,1) = %d, want 0", d)
+	}
+}
+
+func TestDayRoundTrip(t *testing.T) {
+	f := func(n uint16) bool {
+		d := Day(n) // ~179 years of range
+		y, m, dom := d.Date()
+		return NewDay(y, m, dom) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseDay(t *testing.T) {
+	d, err := ParseDay("2021-07-15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.String() != "2021-07-15" {
+		t.Errorf("round trip = %s", d.String())
+	}
+	if _, err := ParseDay("not-a-date"); err == nil {
+		t.Error("ParseDay accepted garbage")
+	}
+}
+
+func TestDaysInMonth(t *testing.T) {
+	cases := []struct {
+		y    int
+		m    time.Month
+		want int
+	}{
+		{2021, time.January, 31},
+		{2021, time.February, 28},
+		{2020, time.February, 29}, // leap
+		{2000, time.February, 29}, // leap century
+		{2100, time.February, 28}, // non-leap century
+		{2021, time.April, 30},
+		{2021, time.December, 31},
+	}
+	for _, c := range cases {
+		if got := DaysInMonth(c.y, c.m); got != c.want {
+			t.Errorf("DaysInMonth(%d,%v) = %d, want %d", c.y, c.m, got, c.want)
+		}
+	}
+}
+
+func TestWeekPeriod(t *testing.T) {
+	// Day of month 1..7 is week 1; 28 is end of week 4; 29+ has no week.
+	d := NewDay(2021, time.March, 1)
+	w, ok := WeekPeriod(d)
+	if !ok {
+		t.Fatal("March 1 should have a week")
+	}
+	if w.Start() != d {
+		t.Errorf("week start = %s, want %s", w.Start(), d)
+	}
+	if w.End() != NewDay(2021, time.March, 7) {
+		t.Errorf("week end = %s", w.End())
+	}
+	if _, ok := WeekPeriod(NewDay(2021, time.March, 29)); ok {
+		t.Error("March 29 should be a trailing day")
+	}
+	if _, ok := WeekPeriod(NewDay(2021, time.March, 28)); !ok {
+		t.Error("March 28 should be in week 4")
+	}
+}
+
+func TestPeriodBounds(t *testing.T) {
+	m := MonthPeriod(NewDay(2021, time.February, 10))
+	if m.Start() != NewDay(2021, time.February, 1) || m.End() != NewDay(2021, time.February, 28) {
+		t.Errorf("Feb 2021 = [%s, %s]", m.Start(), m.End())
+	}
+	if m.Len() != 28 {
+		t.Errorf("Feb 2021 len = %d", m.Len())
+	}
+	y := YearPeriod(NewDay(2020, time.June, 6))
+	if y.Len() != 366 {
+		t.Errorf("2020 len = %d, want 366", y.Len())
+	}
+}
+
+// TestChildrenPartition verifies the fundamental tree law: the children of a
+// period exactly partition its day range, in order, with no gaps or overlaps.
+func TestChildrenPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		d := Day(rng.Intn(366 * 20))
+		for _, lvl := range []Level{Weekly, Monthly, Yearly} {
+			p, ok := PeriodOf(lvl, d)
+			if !ok {
+				continue
+			}
+			next := p.Start()
+			for _, c := range p.Children() {
+				if c.Start() != next {
+					t.Fatalf("%v children: gap/overlap at %v (start %s, want %s)", p, c, c.Start(), next)
+				}
+				next = c.End() + 1
+			}
+			if next != p.End()+1 {
+				t.Fatalf("%v children do not reach end: stopped at %s, want %s", p, next-1, p.End())
+			}
+		}
+	}
+}
+
+func TestMonthChildrenCount(t *testing.T) {
+	// A month has 4 weeks plus (days-28) trailing days.
+	feb21 := MonthPeriod(NewDay(2021, time.February, 1))
+	if got := len(feb21.Children()); got != 4 {
+		t.Errorf("Feb 2021 children = %d, want 4", got)
+	}
+	jan := MonthPeriod(NewDay(2021, time.January, 1))
+	if got := len(jan.Children()); got != 7 {
+		t.Errorf("Jan 2021 children = %d, want 7 (4 weeks + 3 days)", got)
+	}
+	feb20 := MonthPeriod(NewDay(2020, time.February, 1))
+	if got := len(feb20.Children()); got != 5 {
+		t.Errorf("Feb 2020 children = %d, want 5 (4 weeks + leap day)", got)
+	}
+}
+
+func TestParent(t *testing.T) {
+	// Regular day -> its week.
+	d := NewDay(2021, time.May, 10)
+	p, ok := DayPeriod(d).Parent()
+	if !ok || p.Level != Weekly || !p.Contains(d) {
+		t.Errorf("parent of %s = %v", d, p)
+	}
+	// Trailing day -> its month.
+	d = NewDay(2021, time.May, 30)
+	p, ok = DayPeriod(d).Parent()
+	if !ok || p.Level != Monthly || !p.Contains(d) {
+		t.Errorf("parent of trailing %s = %v", d, p)
+	}
+	// Week -> month, month -> year, year -> none.
+	w, _ := WeekPeriod(NewDay(2021, time.May, 10))
+	if p, ok = w.Parent(); !ok || p.Level != Monthly {
+		t.Errorf("parent of %v = %v", w, p)
+	}
+	m := MonthPeriod(d)
+	if p, ok = m.Parent(); !ok || p.Level != Yearly || p.Index != 2021 {
+		t.Errorf("parent of %v = %v", m, p)
+	}
+	if _, ok = YearPeriod(d).Parent(); ok {
+		t.Error("year should have no parent period")
+	}
+}
+
+// TestParentChildConsistency: every child of p has p as its parent.
+func TestParentChildConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		d := Day(rng.Intn(366 * 20))
+		for _, lvl := range []Level{Weekly, Monthly, Yearly} {
+			p, ok := PeriodOf(lvl, d)
+			if !ok {
+				continue
+			}
+			for _, c := range p.Children() {
+				got, ok := c.Parent()
+				if !ok || got != p {
+					t.Fatalf("parent of %v = %v, want %v", c, got, p)
+				}
+			}
+		}
+	}
+}
+
+func TestEndOfMarkers(t *testing.T) {
+	if !IsEndOfWeek(NewDay(2021, time.March, 7)) {
+		t.Error("Mar 7 ends week 1")
+	}
+	if IsEndOfWeek(NewDay(2021, time.March, 29)) {
+		t.Error("Mar 29 is a trailing day, not a week end")
+	}
+	if !IsEndOfMonth(NewDay(2021, time.February, 28)) {
+		t.Error("Feb 28 2021 ends the month")
+	}
+	if IsEndOfMonth(NewDay(2020, time.February, 28)) {
+		t.Error("Feb 28 2020 does not end the leap month")
+	}
+	if !IsEndOfYear(NewDay(2019, time.December, 31)) {
+		t.Error("Dec 31 ends the year")
+	}
+}
+
+func TestPeriodsBetween(t *testing.T) {
+	lo := NewDay(2021, time.January, 15)
+	hi := NewDay(2021, time.March, 10)
+	days := PeriodsBetween(Daily, lo, hi)
+	if len(days) != int(hi-lo)+1 {
+		t.Errorf("daily count = %d", len(days))
+	}
+	months := PeriodsBetween(Monthly, lo, hi)
+	if len(months) != 3 {
+		t.Errorf("monthly count = %d, want 3", len(months))
+	}
+	years := PeriodsBetween(Yearly, lo, hi)
+	if len(years) != 1 || years[0].Index != 2021 {
+		t.Errorf("yearly = %v", years)
+	}
+	weeks := PeriodsBetween(Weekly, lo, hi)
+	// Jan: weeks 3,4 (15-21, 22-28); Feb: 4 weeks; Mar: weeks 1,2 (1-7, 8-14 overlaps hi).
+	if len(weeks) != 8 {
+		t.Errorf("weekly count = %d, want 8: %v", len(weeks), weeks)
+	}
+	if got := PeriodsBetween(Daily, hi, lo); got != nil {
+		t.Errorf("reversed range should be nil, got %v", got)
+	}
+}
+
+// TestPeriodsBetweenCoverQuick: for any window, daily/monthly/yearly periods
+// returned by PeriodsBetween tile the window without gaps, and every weekly
+// period overlaps it.
+func TestPeriodsBetweenCoverQuick(t *testing.T) {
+	f := func(a uint16, span uint8) bool {
+		lo := Day(a)
+		hi := lo + Day(span)
+		for _, lvl := range []Level{Daily, Monthly, Yearly} {
+			ps := PeriodsBetween(lvl, lo, hi)
+			next := lo
+			for _, p := range ps {
+				if !p.Overlaps(lo, hi) {
+					return false
+				}
+				if p.Start() > next {
+					return false // gap
+				}
+				if p.End()+1 > next {
+					next = p.End() + 1
+				}
+			}
+			if next < hi+1 {
+				return false
+			}
+		}
+		for _, w := range PeriodsBetween(Weekly, lo, hi) {
+			if !w.Overlaps(lo, hi) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPeriodStrings(t *testing.T) {
+	d := NewDay(2021, time.March, 5)
+	if s := DayPeriod(d).String(); s != "2021-03-05" {
+		t.Errorf("day string = %s", s)
+	}
+	w, _ := WeekPeriod(d)
+	if s := w.String(); s != "2021-03/w1" {
+		t.Errorf("week string = %s", s)
+	}
+	if s := MonthPeriod(d).String(); s != "2021-03" {
+		t.Errorf("month string = %s", s)
+	}
+	if s := YearPeriod(d).String(); s != "2021" {
+		t.Errorf("year string = %s", s)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	want := map[Level]string{Daily: "daily", Weekly: "weekly", Monthly: "monthly", Yearly: "yearly"}
+	for l, s := range want {
+		if l.String() != s {
+			t.Errorf("%d.String() = %s, want %s", l, l.String(), s)
+		}
+		if !l.Valid() {
+			t.Errorf("%v should be valid", l)
+		}
+	}
+	if Level(9).Valid() {
+		t.Error("Level(9) should be invalid")
+	}
+}
+
+func TestFromTime(t *testing.T) {
+	// A timestamp late in the day in a non-UTC zone maps to the UTC day.
+	loc := time.FixedZone("X", -10*3600)
+	ts := time.Date(2021, time.June, 1, 20, 0, 0, 0, loc) // 2021-06-02 06:00 UTC
+	if d := FromTime(ts); d.String() != "2021-06-02" {
+		t.Errorf("FromTime = %s", d)
+	}
+}

@@ -1,0 +1,448 @@
+// Package tindex implements RASED's hierarchical temporal index (Section
+// VI-A): precomputed data cubes at daily, weekly, monthly, and yearly
+// granularity, each stored in one fixed-size disk page, maintained by daily
+// appends with end-of-period rollups and by monthly rebuilds when the monthly
+// crawler refines update types.
+//
+// The number of levels is configurable (1 = daily only, the paper's flat
+// RASED-F baseline; 4 = the full hierarchy) so the experiments of Figures 8
+// and 9 can compare variants.
+package tindex
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"rased/internal/cube"
+	"rased/internal/pagestore"
+	"rased/internal/temporal"
+)
+
+// sortPeriods orders same-level periods chronologically.
+func sortPeriods(ps []temporal.Period) {
+	sort.Slice(ps, func(a, b int) bool { return ps[a].Index < ps[b].Index })
+}
+
+const (
+	cubesFile = "cubes.db"
+	metaFile  = "index.json"
+)
+
+// Index is the on-disk hierarchical temporal index.
+type Index struct {
+	schema *cube.Schema
+	store  *pagestore.Store
+	dir    string
+	levels int
+
+	mu          sync.RWMutex
+	pages       map[temporal.Period]int
+	minDay      temporal.Day
+	maxDay      temporal.Day
+	empty       bool
+	verifyReads bool
+}
+
+type metaEntry struct {
+	Level int `json:"level"`
+	Index int `json:"index"`
+	Page  int `json:"page"`
+}
+
+type metaDoc struct {
+	SchemaFingerprint uint64      `json:"schema_fingerprint"`
+	Levels            int         `json:"levels"`
+	Empty             bool        `json:"empty"`
+	MinDay            int         `json:"min_day"`
+	MaxDay            int         `json:"max_day"`
+	Entries           []metaEntry `json:"entries"`
+}
+
+// Create initializes a new index in directory dir with the given schema and
+// number of levels (1..4). The directory must not already hold an index.
+func Create(dir string, schema *cube.Schema, levels int) (*Index, error) {
+	if levels < 1 || levels > temporal.NumLevels {
+		return nil, fmt.Errorf("tindex: levels must be 1..%d, got %d", temporal.NumLevels, levels)
+	}
+	if _, err := os.Stat(filepath.Join(dir, metaFile)); err == nil {
+		return nil, fmt.Errorf("tindex: index already exists in %s", dir)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("tindex: create dir: %w", err)
+	}
+	store, err := pagestore.Open(filepath.Join(dir, cubesFile), cube.PageSize(schema))
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		schema:      schema,
+		store:       store,
+		dir:         dir,
+		levels:      levels,
+		pages:       make(map[temporal.Period]int),
+		empty:       true,
+		verifyReads: true,
+	}
+	if err := ix.Sync(); err != nil {
+		store.Close()
+		return nil, err
+	}
+	return ix, nil
+}
+
+// Open loads an existing index from dir. The schema must match the one the
+// index was created with.
+func Open(dir string, schema *cube.Schema) (*Index, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, metaFile))
+	if err != nil {
+		return nil, fmt.Errorf("tindex: open %s: %w", dir, err)
+	}
+	var doc metaDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("tindex: corrupt meta in %s: %w", dir, err)
+	}
+	if doc.SchemaFingerprint != schema.Fingerprint() {
+		return nil, fmt.Errorf("tindex: schema fingerprint mismatch in %s", dir)
+	}
+	store, err := pagestore.Open(filepath.Join(dir, cubesFile), cube.PageSize(schema))
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		schema:      schema,
+		store:       store,
+		dir:         dir,
+		levels:      doc.Levels,
+		pages:       make(map[temporal.Period]int, len(doc.Entries)),
+		minDay:      temporal.Day(doc.MinDay),
+		maxDay:      temporal.Day(doc.MaxDay),
+		empty:       doc.Empty,
+		verifyReads: true,
+	}
+	for _, e := range doc.Entries {
+		lvl := temporal.Level(e.Level)
+		if !lvl.Valid() {
+			store.Close()
+			return nil, fmt.Errorf("tindex: corrupt meta: level %d", e.Level)
+		}
+		ix.pages[temporal.Period{Level: lvl, Index: e.Index}] = e.Page
+	}
+	return ix, nil
+}
+
+// Schema returns the index's cube schema.
+func (ix *Index) Schema() *cube.Schema { return ix.schema }
+
+// Levels returns the number of hierarchy levels in use.
+func (ix *Index) Levels() int { return ix.levels }
+
+// Store exposes the underlying page store (for I/O stats and latency
+// injection).
+func (ix *Index) Store() *pagestore.Store { return ix.store }
+
+// Coverage returns the inclusive day range the index covers; ok is false for
+// an empty index.
+func (ix *Index) Coverage() (lo, hi temporal.Day, ok bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if ix.empty {
+		return 0, 0, false
+	}
+	return ix.minDay, ix.maxDay, true
+}
+
+// NumCubes returns the number of cube pages per level.
+func (ix *Index) NumCubes() map[temporal.Level]int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make(map[temporal.Level]int, temporal.NumLevels)
+	for p := range ix.pages {
+		out[p.Level]++
+	}
+	return out
+}
+
+// Periods returns every period of the given level that has a cube, in
+// chronological order.
+func (ix *Index) Periods(lvl temporal.Level) []temporal.Period {
+	ix.mu.RLock()
+	out := make([]temporal.Period, 0, 64)
+	for p := range ix.pages {
+		if p.Level == lvl {
+			out = append(out, p)
+		}
+	}
+	ix.mu.RUnlock()
+	sortPeriods(out)
+	return out
+}
+
+// Has reports whether the index holds a cube for period p.
+func (ix *Index) Has(p temporal.Period) bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	_, ok := ix.pages[p]
+	return ok
+}
+
+// Fetch reads the cube for period p from disk (one page I/O).
+func (ix *Index) Fetch(p temporal.Period) (*cube.Cube, error) {
+	ix.mu.RLock()
+	page, ok := ix.pages[p]
+	ix.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("tindex: no cube for period %v", p)
+	}
+	buf := make([]byte, ix.store.PageSize())
+	if err := ix.store.ReadPage(page, buf); err != nil {
+		return nil, err
+	}
+	cb, got, err := cube.UnmarshalPage(ix.schema, buf)
+	if err != nil {
+		return nil, fmt.Errorf("tindex: period %v: %w", p, err)
+	}
+	if got != p {
+		return nil, fmt.Errorf("tindex: page for %v actually holds %v (directory corruption)", p, got)
+	}
+	return cb, nil
+}
+
+// FetchView reads the cube for period p as a lazy page view (one page I/O,
+// no full cell decode): the query path's fetch. The page checksum is always
+// verified unless disabled with SetVerifyReads.
+func (ix *Index) FetchView(p temporal.Period) (cube.Reader, error) {
+	ix.mu.RLock()
+	page, ok := ix.pages[p]
+	verify := ix.verifyReads
+	ix.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("tindex: no cube for period %v", p)
+	}
+	buf := make([]byte, ix.store.PageSize())
+	if err := ix.store.ReadPage(page, buf); err != nil {
+		return nil, err
+	}
+	view, got, err := cube.UnmarshalPageView(ix.schema, buf, verify)
+	if err != nil {
+		return nil, fmt.Errorf("tindex: period %v: %w", p, err)
+	}
+	if got != p {
+		return nil, fmt.Errorf("tindex: page for %v actually holds %v (directory corruption)", p, got)
+	}
+	return view, nil
+}
+
+// SetVerifyReads toggles checksum verification on the query fetch path
+// (enabled by default; maintenance paths always verify).
+func (ix *Index) SetVerifyReads(v bool) {
+	ix.mu.Lock()
+	ix.verifyReads = v
+	ix.mu.Unlock()
+}
+
+// Scrub re-reads every cube page, verifying checksums and that each page
+// holds the period the directory claims. It is the maintenance counterpart
+// of disabling per-read verification on the query path. Returns the number
+// of pages checked; the error identifies the first bad page.
+func (ix *Index) Scrub() (checked int, err error) {
+	ix.mu.RLock()
+	dir := make(map[temporal.Period]int, len(ix.pages))
+	for p, page := range ix.pages {
+		dir[p] = page
+	}
+	ix.mu.RUnlock()
+
+	buf := make([]byte, ix.store.PageSize())
+	for p, page := range dir {
+		if err := ix.store.ReadPage(page, buf); err != nil {
+			return checked, fmt.Errorf("tindex: scrub %v: %w", p, err)
+		}
+		if _, got, err := cube.UnmarshalPageView(ix.schema, buf, true); err != nil {
+			return checked, fmt.Errorf("tindex: scrub %v (page %d): %w", p, page, err)
+		} else if got != p {
+			return checked, fmt.Errorf("tindex: scrub: page %d holds %v, directory says %v", page, got, p)
+		}
+		checked++
+	}
+	return checked, nil
+}
+
+// writeCube stores cb under period p, reusing the period's existing page when
+// present and appending a new page otherwise.
+func (ix *Index) writeCube(p temporal.Period, cb *cube.Cube) error {
+	buf := cube.MarshalPage(cb, p)
+	ix.mu.Lock()
+	page, exists := ix.pages[p]
+	ix.mu.Unlock()
+	if exists {
+		return ix.store.WritePage(page, buf)
+	}
+	page, err := ix.store.Append(buf)
+	if err != nil {
+		return err
+	}
+	ix.mu.Lock()
+	ix.pages[p] = page
+	ix.mu.Unlock()
+	return nil
+}
+
+// rollup builds the cube for period p by reading and merging its children
+// (which must all exist), then writes it.
+func (ix *Index) rollup(p temporal.Period) error {
+	sum := cube.New(ix.schema)
+	for _, c := range p.Children() {
+		child, err := ix.Fetch(c)
+		if err != nil {
+			return fmt.Errorf("tindex: rollup %v: %w", p, err)
+		}
+		if err := sum.Merge(child); err != nil {
+			return fmt.Errorf("tindex: rollup %v: %w", p, err)
+		}
+	}
+	return ix.writeCube(p, sum)
+}
+
+// AppendDay ingests one day's cube. Days must be appended in strictly
+// consecutive order. When the day closes a week, month, or year (and the
+// index has the corresponding level), the parent cubes are rolled up, exactly
+// as the paper's daily maintenance does.
+func (ix *Index) AppendDay(d temporal.Day, dayCube *cube.Cube) error {
+	ix.mu.RLock()
+	empty, maxDay := ix.empty, ix.maxDay
+	ix.mu.RUnlock()
+	if !empty && d != maxDay+1 {
+		return fmt.Errorf("tindex: non-consecutive append: have up to %v, got %v", maxDay, d)
+	}
+	if err := ix.writeCube(temporal.DayPeriod(d), dayCube); err != nil {
+		return err
+	}
+	ix.mu.Lock()
+	if ix.empty {
+		ix.minDay = d
+		ix.empty = false
+	}
+	ix.maxDay = d
+	ix.mu.Unlock()
+	return ix.maybeRollup(d)
+}
+
+// maybeRollup performs the end-of-period rollups for day d. A parent is only
+// built when the index fully covers it (relevant for deployments that start
+// mid-week or mid-year).
+func (ix *Index) maybeRollup(d temporal.Day) error {
+	covers := func(p temporal.Period) bool {
+		ix.mu.RLock()
+		defer ix.mu.RUnlock()
+		return p.Start() >= ix.minDay
+	}
+	if ix.levels >= 2 && temporal.IsEndOfWeek(d) {
+		if w, ok := temporal.WeekPeriod(d); ok && covers(w) {
+			if err := ix.rollup(w); err != nil {
+				return err
+			}
+		}
+	}
+	if ix.levels >= 3 && temporal.IsEndOfMonth(d) {
+		if m := temporal.MonthPeriod(d); covers(m) {
+			if err := ix.rollup(m); err != nil {
+				return err
+			}
+		}
+	}
+	if ix.levels >= 4 && temporal.IsEndOfYear(d) {
+		if y := temporal.YearPeriod(d); covers(y) {
+			if err := ix.rollup(y); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReplaceDays is the monthly-rebuild path (Section VI-A, "Index Maintenance
+// with Monthly Updates"): the given day cubes overwrite the stored ones, and
+// every complete week, month, and year touched is rebuilt from its children.
+// Days must already be covered by the index.
+func (ix *Index) ReplaceDays(days map[temporal.Day]*cube.Cube) error {
+	ix.mu.RLock()
+	lo, hi, empty := ix.minDay, ix.maxDay, ix.empty
+	ix.mu.RUnlock()
+	touched := make(map[temporal.Period]bool)
+	for d, cb := range days {
+		if empty || d < lo || d > hi {
+			return fmt.Errorf("tindex: ReplaceDays: day %v outside coverage", d)
+		}
+		if err := ix.writeCube(temporal.DayPeriod(d), cb); err != nil {
+			return err
+		}
+		p := temporal.DayPeriod(d)
+		for {
+			parent, ok := p.Parent()
+			if !ok {
+				break
+			}
+			touched[parent] = true
+			p = parent
+		}
+	}
+	// Rebuild fine-to-coarse so parents read refreshed children.
+	for _, lvl := range []temporal.Level{temporal.Weekly, temporal.Monthly, temporal.Yearly} {
+		if int(lvl) >= ix.levels {
+			break
+		}
+		for p := range touched {
+			if p.Level != lvl {
+				continue
+			}
+			if ix.Has(p) {
+				if err := ix.rollup(p); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Sync persists the directory and flushes the page store.
+func (ix *Index) Sync() error {
+	ix.mu.RLock()
+	doc := metaDoc{
+		SchemaFingerprint: ix.schema.Fingerprint(),
+		Levels:            ix.levels,
+		Empty:             ix.empty,
+		MinDay:            int(ix.minDay),
+		MaxDay:            int(ix.maxDay),
+		Entries:           make([]metaEntry, 0, len(ix.pages)),
+	}
+	for p, page := range ix.pages {
+		doc.Entries = append(doc.Entries, metaEntry{Level: int(p.Level), Index: p.Index, Page: page})
+	}
+	ix.mu.RUnlock()
+	raw, err := json.Marshal(&doc)
+	if err != nil {
+		return fmt.Errorf("tindex: marshal meta: %w", err)
+	}
+	tmp := filepath.Join(ix.dir, metaFile+".tmp")
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return fmt.Errorf("tindex: write meta: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(ix.dir, metaFile)); err != nil {
+		return fmt.Errorf("tindex: install meta: %w", err)
+	}
+	return ix.store.Sync()
+}
+
+// Close syncs and releases the index.
+func (ix *Index) Close() error {
+	if err := ix.Sync(); err != nil {
+		ix.store.Close()
+		return err
+	}
+	return ix.store.Close()
+}

@@ -1,0 +1,32 @@
+package update
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRecordUnmarshal: arbitrary bytes must never panic, and anything that
+// unmarshals cleanly must re-marshal to the same bytes (the codec is
+// canonical).
+func FuzzRecordUnmarshal(f *testing.F) {
+	var seed Record
+	var buf [RecordSize]byte
+	seed.Marshal(buf[:])
+	f.Add(buf[:])
+	f.Add(make([]byte, RecordSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < RecordSize {
+			return
+		}
+		data = data[:RecordSize]
+		var r Record
+		if err := r.Unmarshal(data); err != nil {
+			return
+		}
+		var out [RecordSize]byte
+		r.Marshal(out[:])
+		if !bytes.Equal(out[:], data) {
+			t.Fatalf("re-marshal differs:\n in %x\nout %x", data, out[:])
+		}
+	})
+}

@@ -1,0 +1,204 @@
+// Package update defines the UpdateList relation at the heart of RASED: the
+// eight-attribute tuple ⟨ElementType, Date, Country, Latitude, Longitude,
+// RoadType, UpdateType, ChangesetID⟩ produced by the crawlers (Section V),
+// plus a compact binary spool format used to hand daily and monthly lists
+// from the Data Collection module to Storage and Indexing.
+package update
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"rased/internal/osm"
+	"rased/internal/temporal"
+)
+
+// Type is the UpdateType attribute. The paper's cube dimension has four kinds
+// of update operations.
+type Type int
+
+// The four update types. The numeric values are part of the on-disk cube
+// format.
+const (
+	Create Type = iota
+	Delete
+	GeometryUpdate
+	MetadataUpdate
+	numTypes
+)
+
+// ProvisionalUpdate is the value the daily crawler assigns to modifications:
+// from a diff file alone it can tell that an element changed but not whether
+// the change was geometric or metadata-only (Section V), so modifications
+// land in the GeometryUpdate slot until the monthly crawler rebuilds the
+// month with the full four-way classification.
+const ProvisionalUpdate = GeometryUpdate
+
+// NumTypes is the size of the update-type dimension.
+const NumTypes = int(numTypes)
+
+// String returns the update type's display name.
+func (t Type) String() string {
+	switch t {
+	case Create:
+		return "create"
+	case Delete:
+		return "delete"
+	case GeometryUpdate:
+		return "geometry"
+	case MetadataUpdate:
+		return "metadata"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Valid reports whether t is one of the four update types.
+func (t Type) Valid() bool { return t >= Create && t < numTypes }
+
+// TypeNames returns the update-type catalog in value order.
+func TypeNames() []string { return []string{"create", "delete", "geometry", "metadata"} }
+
+// ParseType resolves an update-type display name.
+func ParseType(s string) (Type, error) {
+	for i, n := range TypeNames() {
+		if n == s {
+			return Type(i), nil
+		}
+	}
+	return 0, fmt.Errorf("update: unknown update type %q", s)
+}
+
+// Record is one UpdateList tuple. Country and RoadType are catalog values
+// (indexes into geo.Registry and the roads catalog).
+type Record struct {
+	ElementType osm.ElementType
+	Day         temporal.Day
+	Country     uint16
+	Lat, Lon    float64
+	RoadType    uint16
+	UpdateType  Type
+	ChangesetID int64
+}
+
+// RecordSize is the fixed encoded size of one record in bytes.
+const RecordSize = 34
+
+// magic identifies a spooled UpdateList file.
+var magic = [8]byte{'R', 'A', 'S', 'E', 'D', 'U', 'L', '1'}
+
+// Marshal encodes r into buf, which must be at least RecordSize bytes.
+func (r *Record) Marshal(buf []byte) {
+	binary.LittleEndian.PutUint32(buf[0:], uint32(int32(r.Day)))
+	binary.LittleEndian.PutUint64(buf[4:], uint64(r.ChangesetID))
+	binary.LittleEndian.PutUint64(buf[12:], math.Float64bits(r.Lat))
+	binary.LittleEndian.PutUint64(buf[20:], math.Float64bits(r.Lon))
+	binary.LittleEndian.PutUint16(buf[28:], r.Country)
+	binary.LittleEndian.PutUint16(buf[30:], r.RoadType)
+	buf[32] = byte(r.ElementType)
+	buf[33] = byte(r.UpdateType)
+}
+
+// Unmarshal decodes r from buf and validates the enum fields.
+func (r *Record) Unmarshal(buf []byte) error {
+	r.Day = temporal.Day(int32(binary.LittleEndian.Uint32(buf[0:])))
+	r.ChangesetID = int64(binary.LittleEndian.Uint64(buf[4:]))
+	r.Lat = math.Float64frombits(binary.LittleEndian.Uint64(buf[12:]))
+	r.Lon = math.Float64frombits(binary.LittleEndian.Uint64(buf[20:]))
+	r.Country = binary.LittleEndian.Uint16(buf[28:])
+	r.RoadType = binary.LittleEndian.Uint16(buf[30:])
+	r.ElementType = osm.ElementType(buf[32])
+	r.UpdateType = Type(buf[33])
+	if !r.ElementType.Valid() {
+		return fmt.Errorf("update: corrupt record: element type %d", buf[32])
+	}
+	if !r.UpdateType.Valid() {
+		return fmt.Errorf("update: corrupt record: update type %d", buf[33])
+	}
+	return nil
+}
+
+// ListWriter spools records to an UpdateList file.
+type ListWriter struct {
+	bw  *bufio.Writer
+	n   int
+	buf [RecordSize]byte
+}
+
+// NewListWriter writes the file header and returns a writer.
+func NewListWriter(w io.Writer) (*ListWriter, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, fmt.Errorf("update: write header: %w", err)
+	}
+	return &ListWriter{bw: bw}, nil
+}
+
+// Add appends one record.
+func (lw *ListWriter) Add(r *Record) error {
+	r.Marshal(lw.buf[:])
+	if _, err := lw.bw.Write(lw.buf[:]); err != nil {
+		return fmt.Errorf("update: write record: %w", err)
+	}
+	lw.n++
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (lw *ListWriter) Count() int { return lw.n }
+
+// Flush writes buffered records through to the underlying writer.
+func (lw *ListWriter) Flush() error { return lw.bw.Flush() }
+
+// ListReader streams records from an UpdateList file.
+type ListReader struct {
+	br  *bufio.Reader
+	buf [RecordSize]byte
+}
+
+// NewListReader validates the header and returns a reader.
+func NewListReader(r io.Reader) (*ListReader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("update: read header: %w", err)
+	}
+	if hdr != magic {
+		return nil, fmt.Errorf("update: not an UpdateList file (magic %q)", hdr[:])
+	}
+	return &ListReader{br: br}, nil
+}
+
+// Next returns the next record, or io.EOF at the end of the list. A
+// truncated final record yields io.ErrUnexpectedEOF.
+func (lr *ListReader) Next() (Record, error) {
+	var r Record
+	if _, err := io.ReadFull(lr.br, lr.buf[:]); err != nil {
+		if err == io.EOF {
+			return r, io.EOF
+		}
+		return r, fmt.Errorf("update: read record: %w", err)
+	}
+	if err := r.Unmarshal(lr.buf[:]); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// ReadAll drains a reader into a slice.
+func (lr *ListReader) ReadAll() ([]Record, error) {
+	var out []Record
+	for {
+		r, err := lr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+}

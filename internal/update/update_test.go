@@ -1,0 +1,163 @@
+package update
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rased/internal/osm"
+	"rased/internal/temporal"
+)
+
+func TestTypeStrings(t *testing.T) {
+	names := TypeNames()
+	if len(names) != NumTypes {
+		t.Fatalf("TypeNames len = %d", len(names))
+	}
+	for i, n := range names {
+		if Type(i).String() != n {
+			t.Errorf("Type(%d).String() = %q, want %q", i, Type(i).String(), n)
+		}
+		got, err := ParseType(n)
+		if err != nil || got != Type(i) {
+			t.Errorf("ParseType(%q) = %v, %v", n, got, err)
+		}
+		if !Type(i).Valid() {
+			t.Errorf("Type(%d) should be valid", i)
+		}
+	}
+	if Type(9).Valid() {
+		t.Error("Type(9) should be invalid")
+	}
+	if _, err := ParseType("teleport"); err == nil {
+		t.Error("bad type name should error")
+	}
+	if ProvisionalUpdate != GeometryUpdate {
+		t.Error("provisional update convention changed")
+	}
+}
+
+func TestRecordMarshalRoundTrip(t *testing.T) {
+	f := func(day int32, cs int64, lat, lon float64, country, road uint16, et, ut uint8) bool {
+		in := Record{
+			ElementType: osm.ElementType(et % 3),
+			Day:         temporal.Day(day),
+			Country:     country,
+			Lat:         lat,
+			Lon:         lon,
+			RoadType:    road,
+			UpdateType:  Type(ut % 4),
+			ChangesetID: cs,
+		}
+		var buf [RecordSize]byte
+		in.Marshal(buf[:])
+		var out Record
+		if err := out.Unmarshal(buf[:]); err != nil {
+			return false
+		}
+		return in == out
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalRejectsCorruptEnums(t *testing.T) {
+	r := Record{ElementType: osm.Node, UpdateType: Create}
+	var buf [RecordSize]byte
+	r.Marshal(buf[:])
+	buf[32] = 77
+	var out Record
+	if err := out.Unmarshal(buf[:]); err == nil {
+		t.Error("bad element type should error")
+	}
+	r.Marshal(buf[:])
+	buf[33] = 200
+	if err := out.Unmarshal(buf[:]); err == nil {
+		t.Error("bad update type should error")
+	}
+}
+
+func TestListRoundTrip(t *testing.T) {
+	recs := []Record{
+		{ElementType: osm.Node, Day: 100, Country: 5, Lat: 1.5, Lon: -2.5, RoadType: 7, UpdateType: Create, ChangesetID: 42},
+		{ElementType: osm.Way, Day: 101, Country: 9, Lat: 10, Lon: 20, RoadType: 3, UpdateType: GeometryUpdate, ChangesetID: 43},
+		{ElementType: osm.Relation, Day: 102, Country: 0, Lat: 0, Lon: 0, RoadType: 0, UpdateType: Delete, ChangesetID: 0},
+	}
+	var buf bytes.Buffer
+	lw, err := NewListWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if err := lw.Add(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lw.Count() != len(recs) {
+		t.Errorf("Count = %d", lw.Count())
+	}
+	if err := lw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	lr, err := NewListReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := lr.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i := range got {
+		if got[i] != recs[i] {
+			t.Errorf("record %d: %+v != %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestListReaderBadMagic(t *testing.T) {
+	if _, err := NewListReader(strings.NewReader("NOTMAGIC-and-more")); err == nil {
+		t.Error("bad magic should error")
+	}
+	if _, err := NewListReader(strings.NewReader("RA")); err == nil {
+		t.Error("short header should error")
+	}
+}
+
+func TestListReaderTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	lw, _ := NewListWriter(&buf)
+	r := Record{ElementType: osm.Node, UpdateType: Create}
+	if err := lw.Add(&r); err != nil {
+		t.Fatal(err)
+	}
+	lw.Flush()
+	data := buf.Bytes()[:buf.Len()-5] // cut the record short
+	lr, err := NewListReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lr.Next(); err == nil || err == io.EOF {
+		t.Errorf("truncated record: err = %v, want unexpected EOF", err)
+	}
+}
+
+func TestEmptyList(t *testing.T) {
+	var buf bytes.Buffer
+	lw, _ := NewListWriter(&buf)
+	lw.Flush()
+	lr, err := NewListReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := lr.ReadAll()
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty list: %v, %v", got, err)
+	}
+}

@@ -1,0 +1,251 @@
+// Package warehouse implements RASED's sample-update store (Sections IV-B
+// and VI-B): the whole UpdateList dumped into a table with (a) a hash index
+// on ChangesetID, to pull up the concrete change behind a statistic, and (b)
+// a spatial grid index on (latitude, longitude), to visualize a sample of N
+// updates on the map for any region and filter.
+package warehouse
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rased/internal/geo"
+	"rased/internal/heap"
+	"rased/internal/osm"
+	"rased/internal/temporal"
+	"rased/internal/update"
+)
+
+// GridRes is the spatial index resolution: the world band is divided into
+// GridRes × GridRes cells.
+const GridRes = 64
+
+// DefaultSampleN is the paper's default sample size.
+const DefaultSampleN = 100
+
+// Store is the on-disk UpdateList table plus its two indexes. The heap file
+// is the durable truth; both indexes are rebuilt by a single scan at open.
+type Store struct {
+	h           *heap.Heap
+	byChangeset map[int64][]heap.Loc
+	grid        [GridRes * GridRes][]heap.Loc
+}
+
+// Open opens (or creates) the warehouse at path and rebuilds its indexes.
+func Open(path string) (*Store, error) {
+	h, err := heap.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{h: h, byChangeset: make(map[int64][]heap.Loc)}
+	err = h.Scan(nil, func(loc heap.Loc, r *update.Record) error {
+		s.indexRecord(loc, r)
+		return nil
+	})
+	if err != nil {
+		h.Close()
+		return nil, fmt.Errorf("warehouse: rebuild indexes: %w", err)
+	}
+	return s, nil
+}
+
+func (s *Store) indexRecord(loc heap.Loc, r *update.Record) {
+	s.byChangeset[r.ChangesetID] = append(s.byChangeset[r.ChangesetID], loc)
+	s.grid[cellOf(r.Lat, r.Lon)] = append(s.grid[cellOf(r.Lat, r.Lon)], loc)
+}
+
+// cellOf maps a coordinate to its grid cell, clamping to the world band.
+func cellOf(lat, lon float64) int {
+	row := int((lat - geo.WorldMinLat) / (geo.WorldMaxLat - geo.WorldMinLat) * GridRes)
+	col := int((lon - geo.WorldMinLon) / (geo.WorldMaxLon - geo.WorldMinLon) * GridRes)
+	if row < 0 {
+		row = 0
+	}
+	if row >= GridRes {
+		row = GridRes - 1
+	}
+	if col < 0 {
+		col = 0
+	}
+	if col >= GridRes {
+		col = GridRes - 1
+	}
+	return row*GridRes + col
+}
+
+// Add appends records, indexing them as they land.
+func (s *Store) Add(recs []update.Record) error {
+	for i := range recs {
+		loc, err := s.h.Append(&recs[i])
+		if err != nil {
+			return err
+		}
+		s.indexRecord(loc, &recs[i])
+	}
+	return nil
+}
+
+// Count returns the number of stored records.
+func (s *Store) Count() int { return s.h.Count() }
+
+// Heap exposes the underlying heap (for I/O accounting in experiments).
+func (s *Store) Heap() *heap.Heap { return s.h }
+
+// Flush persists buffered records.
+func (s *Store) Flush() error { return s.h.Flush() }
+
+// Close flushes and closes the store.
+func (s *Store) Close() error { return s.h.Close() }
+
+// ByChangeset returns every stored update belonging to a changeset, via the
+// hash index.
+func (s *Store) ByChangeset(id int64) ([]update.Record, error) {
+	return s.fetch(s.byChangeset[id])
+}
+
+// fetch reads records for a loc list, reading each page once.
+func (s *Store) fetch(locs []heap.Loc) ([]update.Record, error) {
+	out := make([]update.Record, 0, len(locs))
+	err := s.h.GetMany(nil, locs, func(_ heap.Loc, r *update.Record) error {
+		out = append(out, *r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SampleQuery selects which updates may be sampled. Nil slices and zero
+// bounds mean unrestricted; coordinates are the catalog values used in
+// records.
+type SampleQuery struct {
+	Region       *geo.Rect
+	From, To     temporal.Day // inclusive; both zero = all time
+	ElementTypes []osm.ElementType
+	UpdateTypes  []update.Type
+	RoadTypes    []int
+	Countries    []int
+	N            int   // sample size; 0 = DefaultSampleN
+	Seed         int64 // sampling seed, for reproducible demos
+}
+
+func (q *SampleQuery) matches(r *update.Record) bool {
+	if q.From != 0 || q.To != 0 {
+		if r.Day < q.From || r.Day > q.To {
+			return false
+		}
+	}
+	if q.Region != nil && !q.Region.Contains(r.Lat, r.Lon) {
+		return false
+	}
+	if q.ElementTypes != nil && !containsET(q.ElementTypes, r.ElementType) {
+		return false
+	}
+	if q.UpdateTypes != nil && !containsUT(q.UpdateTypes, r.UpdateType) {
+		return false
+	}
+	if q.RoadTypes != nil && !containsInt(q.RoadTypes, int(r.RoadType)) {
+		return false
+	}
+	if q.Countries != nil && !containsInt(q.Countries, int(r.Country)) {
+		return false
+	}
+	return true
+}
+
+func containsET(s []osm.ElementType, v osm.ElementType) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func containsUT(s []update.Type, v update.Type) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Sample returns up to N matching updates, reservoir-sampled uniformly from
+// the matching population. Candidate locations come from the spatial grid
+// cells overlapping the region, so the scan touches only relevant pages.
+func (s *Store) Sample(q SampleQuery) ([]update.Record, error) {
+	n := q.N
+	if n <= 0 {
+		n = DefaultSampleN
+	}
+	rng := rand.New(rand.NewSource(q.Seed))
+
+	// Candidate cells.
+	var cells []int
+	if q.Region == nil {
+		cells = make([]int, GridRes*GridRes)
+		for i := range cells {
+			cells[i] = i
+		}
+	} else {
+		r0, c0 := cellOf(q.Region.MinLat, q.Region.MinLon)/GridRes, cellOf(q.Region.MinLat, q.Region.MinLon)%GridRes
+		r1, c1 := cellOf(q.Region.MaxLat, q.Region.MaxLon)/GridRes, cellOf(q.Region.MaxLat, q.Region.MaxLon)%GridRes
+		for row := r0; row <= r1; row++ {
+			for col := c0; col <= c1; col++ {
+				cells = append(cells, row*GridRes+col)
+			}
+		}
+	}
+
+	// Gather the candidate locations.
+	var locs []heap.Loc
+	for _, c := range cells {
+		locs = append(locs, s.grid[c]...)
+	}
+
+	// Reservoir-sample matching records, reading each page once. The
+	// reservoir grows on demand so an oversized N cannot over-allocate.
+	capHint := n
+	if capHint > 4096 {
+		capHint = 4096
+	}
+	reservoir := make([]update.Record, 0, capHint)
+	seen := 0
+	err := s.h.GetMany(nil, locs, func(_ heap.Loc, rec *update.Record) error {
+		if !q.matches(rec) {
+			return nil
+		}
+		seen++
+		if len(reservoir) < n {
+			reservoir = append(reservoir, *rec)
+		} else if j := rng.Intn(seen); j < n {
+			reservoir[j] = *rec
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return reservoir, nil
+}
+
+// CellStats returns the number of indexed updates per grid cell, a cheap
+// heat-map the dashboard renders before any sampling.
+func (s *Store) CellStats() [GridRes * GridRes]int {
+	var out [GridRes * GridRes]int
+	for i := range s.grid {
+		out[i] = len(s.grid[i])
+	}
+	return out
+}

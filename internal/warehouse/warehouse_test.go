@@ -1,0 +1,289 @@
+package warehouse
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"rased/internal/geo"
+	"rased/internal/osm"
+	"rased/internal/temporal"
+	"rased/internal/update"
+)
+
+func open(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(filepath.Join(t.TempDir(), "wh.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// synth builds n records spread across countries and days.
+func synth(n int, seed int64) []update.Record {
+	rng := rand.New(rand.NewSource(seed))
+	reg := geo.Default()
+	base := temporal.NewDay(2021, time.January, 1)
+	out := make([]update.Record, n)
+	for i := range out {
+		c := rng.Intn(reg.NumCountries())
+		rect := reg.RectOf(c)
+		lat := rect.MinLat + rng.Float64()*(rect.MaxLat-rect.MinLat)
+		lon := rect.MinLon + rng.Float64()*(rect.MaxLon-rect.MinLon)
+		out[i] = update.Record{
+			ElementType: osm.ElementType(rng.Intn(3)),
+			Day:         base + temporal.Day(rng.Intn(60)),
+			Country:     uint16(c),
+			Lat:         lat,
+			Lon:         lon,
+			RoadType:    uint16(rng.Intn(150)),
+			UpdateType:  update.Type(rng.Intn(4)),
+			ChangesetID: int64(rng.Intn(200)),
+		}
+	}
+	return out
+}
+
+func TestByChangesetMatchesScan(t *testing.T) {
+	s := open(t)
+	recs := synth(3000, 1)
+	if err := s.Add(recs); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != len(recs) {
+		t.Errorf("count = %d", s.Count())
+	}
+	want := make(map[int64]int)
+	for _, r := range recs {
+		want[r.ChangesetID]++
+	}
+	for cs, n := range want {
+		got, err := s.ByChangeset(cs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != n {
+			t.Errorf("changeset %d: %d records, want %d", cs, len(got), n)
+		}
+		for _, r := range got {
+			if r.ChangesetID != cs {
+				t.Errorf("wrong record in changeset %d result", cs)
+			}
+		}
+	}
+	if got, _ := s.ByChangeset(99999); len(got) != 0 {
+		t.Error("missing changeset should return empty")
+	}
+}
+
+func TestSampleRespectsPredicate(t *testing.T) {
+	s := open(t)
+	recs := synth(5000, 2)
+	if err := s.Add(recs); err != nil {
+		t.Fatal(err)
+	}
+	reg := geo.Default()
+	us, _ := reg.ByCode("US")
+	rect := reg.RectOf(us)
+	base := temporal.NewDay(2021, time.January, 1)
+
+	q := SampleQuery{
+		Region:       &rect,
+		From:         base + 10,
+		To:           base + 40,
+		ElementTypes: []osm.ElementType{osm.Way},
+		UpdateTypes:  []update.Type{update.Create, update.GeometryUpdate},
+		N:            50,
+		Seed:         7,
+	}
+	got, err := s.Sample(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count the true matching population.
+	pop := 0
+	for i := range recs {
+		if q.matches(&recs[i]) {
+			pop++
+		}
+	}
+	wantLen := 50
+	if pop < 50 {
+		wantLen = pop
+	}
+	if len(got) != wantLen {
+		t.Errorf("sample = %d, want %d (population %d)", len(got), wantLen, pop)
+	}
+	for _, r := range got {
+		if !q.matches(&r) {
+			t.Errorf("sampled record violates predicate: %+v", r)
+		}
+	}
+}
+
+func TestSampleDefaults(t *testing.T) {
+	s := open(t)
+	if err := s.Add(synth(500, 3)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Sample(SampleQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != DefaultSampleN {
+		t.Errorf("default sample = %d, want %d", len(got), DefaultSampleN)
+	}
+}
+
+func TestSampleReproducible(t *testing.T) {
+	s := open(t)
+	if err := s.Add(synth(2000, 4)); err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Sample(SampleQuery{N: 20, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Sample(SampleQuery{N: 20, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("sample sizes differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different samples")
+		}
+	}
+}
+
+func TestSampleUniformity(t *testing.T) {
+	// With two equal subpopulations, a large sample should draw roughly
+	// equally from both.
+	s := open(t)
+	reg := geo.Default()
+	us, _ := reg.ByCode("US")
+	de, _ := reg.ByCode("DE")
+	var recs []update.Record
+	for i := 0; i < 1000; i++ {
+		for _, c := range []int{us, de} {
+			rect := reg.RectOf(c)
+			lat, lon := rect.Center()
+			recs = append(recs, update.Record{
+				ElementType: osm.Way, Day: 100, Country: uint16(c),
+				Lat: lat, Lon: lon, UpdateType: update.Create, ChangesetID: int64(i),
+			})
+		}
+	}
+	if err := s.Add(recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Sample(SampleQuery{N: 400, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nUS := 0
+	for _, r := range got {
+		if int(r.Country) == us {
+			nUS++
+		}
+	}
+	if nUS < 120 || nUS > 280 {
+		t.Errorf("US share = %d/400, want near 200 (uniform sampling)", nUS)
+	}
+}
+
+func TestPersistenceRebuildsIndexes(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wh.db")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := synth(1500, 6)
+	if err := s.Add(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Count() != len(recs) {
+		t.Fatalf("reopened count = %d", s2.Count())
+	}
+	got, err := s2.ByChangeset(recs[0].ChangesetID)
+	if err != nil || len(got) == 0 {
+		t.Errorf("hash index not rebuilt: %v, %d", err, len(got))
+	}
+	sample, err := s2.Sample(SampleQuery{N: 10, Seed: 1})
+	if err != nil || len(sample) != 10 {
+		t.Errorf("spatial index not rebuilt: %v, %d", err, len(sample))
+	}
+}
+
+// TestSampleRegionMatchesLinearScan: for random regions the grid-backed
+// candidate set must find exactly the records a linear scan finds.
+func TestSampleRegionMatchesLinearScan(t *testing.T) {
+	s := open(t)
+	recs := synth(4000, 12)
+	if err := s.Add(recs); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		lat0 := geo.WorldMinLat + rng.Float64()*(geo.WorldMaxLat-geo.WorldMinLat)
+		lon0 := geo.WorldMinLon + rng.Float64()*(geo.WorldMaxLon-geo.WorldMinLon)
+		region := geo.Rect{
+			MinLat: lat0, MaxLat: lat0 + rng.Float64()*40,
+			MinLon: lon0, MaxLon: lon0 + rng.Float64()*80,
+		}
+		q := SampleQuery{Region: &region, N: 1 << 20, Seed: 1}
+		got, err := s.Sample(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for i := range recs {
+			if q.matches(&recs[i]) {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("trial %d region %+v: sample population %d, linear scan %d",
+				trial, region, len(got), want)
+		}
+	}
+}
+
+func TestCellStats(t *testing.T) {
+	s := open(t)
+	if err := s.Add(synth(800, 8)); err != nil {
+		t.Fatal(err)
+	}
+	stats := s.CellStats()
+	total := 0
+	for _, n := range stats {
+		total += n
+	}
+	if total != 800 {
+		t.Errorf("cell stats sum = %d, want 800", total)
+	}
+}
+
+func TestCellOfClamps(t *testing.T) {
+	for _, pt := range [][2]float64{{-90, -200}, {90, 200}, {0, 0}, {geo.WorldMaxLat, geo.WorldMaxLon}} {
+		c := cellOf(pt[0], pt[1])
+		if c < 0 || c >= GridRes*GridRes {
+			t.Errorf("cellOf(%v) = %d out of range", pt, c)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package rased
+
+import (
+	"bytes"
+	"fmt"
+
+	"rased/internal/core"
+	"rased/internal/crawl"
+	"rased/internal/geo"
+	"rased/internal/osmgen"
+	"rased/internal/osmxml"
+	"rased/internal/temporal"
+	"rased/internal/update"
+	"rased/internal/warehouse"
+)
+
+// pipeline wires the crawlers to the index and warehouse, mirroring the
+// paper's operation: daily diff crawls feed the index immediately; when a
+// month closes (and refinement is on) the monthly crawler re-derives that
+// month from the full history and replaces its cubes, and only then does the
+// month's (now refined) UpdateList land in the warehouse.
+type pipeline struct {
+	reg    *geo.Registry
+	gen    *osmgen.Generator
+	ing    *core.Ingestor
+	wh     *warehouse.Store
+	refine bool
+
+	// Schema bounds: records outside a scaled-down schema are dropped before
+	// both the index and the warehouse, so the two stay consistent.
+	maxCountry, maxRoad int
+
+	csIdx        crawl.ChangesetIndex
+	pendingMonth []update.Record // daily records of the in-progress month
+	snapshots    []netSnapshot   // network sizes captured at each month end
+	report       BuildReport
+}
+
+// countOutOfSchema counts records that fall outside the schema bounds.
+func countOutOfSchema(recs []update.Record, maxCountry, maxRoad int) int {
+	n := 0
+	for _, r := range recs {
+		if int(r.Country) >= maxCountry || int(r.RoadType) >= maxRoad {
+			n++
+		}
+	}
+	return n
+}
+
+// inSchema filters a record batch to the cube schema, counting drops.
+func (p *pipeline) inSchema(recs []update.Record) []update.Record {
+	out := recs[:0]
+	for _, r := range recs {
+		if int(r.Country) < p.maxCountry && int(r.RoadType) < p.maxRoad {
+			out = append(out, r)
+		} else {
+			p.report.DroppedRecords++
+		}
+	}
+	return out
+}
+
+func (p *pipeline) run(days int) (*BuildReport, error) {
+	p.csIdx = crawl.BuildChangesetIndex(p.gen.Changesets())
+	for i := 0; i < days; i++ {
+		if err := p.oneDay(); err != nil {
+			return nil, err
+		}
+	}
+	// Flush the trailing partial month's daily records to the warehouse.
+	if p.wh != nil && len(p.pendingMonth) > 0 {
+		if err := p.wh.Add(p.pendingMonth); err != nil {
+			return nil, err
+		}
+	}
+	p.pendingMonth = nil
+	p.report.Days = days
+	return &p.report, nil
+}
+
+// oneDay crawls and ingests one generated day, running the monthly
+// refinement when the day closes a month.
+func (p *pipeline) oneDay() error {
+	art := p.gen.NextDay()
+	p.csIdx.Add(art.Changesets)
+	recs, _, err := crawl.Daily(art.Change, p.csIdx, p.reg)
+	if err != nil {
+		return err
+	}
+	recs = p.inSchema(recs)
+	if err := p.ing.AppendDay(art.Day, recs); err != nil {
+		return err
+	}
+	p.report.Records += len(recs)
+	p.pendingMonth = append(p.pendingMonth, recs...)
+
+	if !temporal.IsEndOfMonth(art.Day) {
+		return nil
+	}
+	// Month end: snapshot the network size for historical Percentage(*)
+	// denominators, then refine if configured.
+	p.snapshots = append(p.snapshots, netSnapshot{AsOf: int(art.Day), Sizes: p.gen.NetworkSizes()})
+	month := temporal.MonthPeriod(art.Day)
+	coverLo, _, _ := p.ing.Coverage()
+	fullMonth := month.Start() >= coverLo
+
+	if p.refine && fullMonth {
+		refined, err := p.crawlMonth(month)
+		if err != nil {
+			return err
+		}
+		if err := p.ing.ReplaceMonth(month, refined); err != nil {
+			return err
+		}
+		if p.wh != nil {
+			if err := p.wh.Add(refined); err != nil {
+				return err
+			}
+		}
+		p.pendingMonth = p.pendingMonth[:0]
+		return nil
+	}
+	if p.wh != nil {
+		if err := p.wh.Add(p.pendingMonth); err != nil {
+			return err
+		}
+	}
+	p.pendingMonth = p.pendingMonth[:0]
+	return nil
+}
+
+// crawlMonth runs the monthly crawler over the generator's full history,
+// windowed to the month.
+func (p *pipeline) crawlMonth(month temporal.Period) ([]update.Record, error) {
+	var buf bytes.Buffer
+	// The full history from the beginning guarantees every element run
+	// starts at version 1, so transitions are classifiable.
+	if err := p.gen.WriteHistory(&buf, 0, month.End()); err != nil {
+		return nil, err
+	}
+	recs, _, err := crawl.Monthly(osmxml.NewHistoryReader(&buf), p.csIdx, p.reg, month.Start(), month.End())
+	if err != nil {
+		return nil, fmt.Errorf("rased: monthly crawl of %v: %w", month, err)
+	}
+	// The refined list replaces the daily one entirely: its drops replace the
+	// daily drops rather than adding to them.
+	p.report.DroppedRecords -= countOutOfSchema(recs, p.maxCountry, p.maxRoad)
+	return p.inSchema(recs), nil
+}

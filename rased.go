@@ -1,0 +1,346 @@
+// Package rased is a reproduction of RASED, the scalable dashboard for
+// monitoring road-network updates in OpenStreetMap (Musleh & Mokbel, ICDE
+// 2022). It assembles the system's modules — data collection, storage and
+// indexing, and query execution — into deployments a dashboard can serve:
+//
+//   - Build simulates an OSM world (or, with a custom pipeline, consumes real
+//     OsmChange/changeset/history files), crawls it daily and monthly, and
+//     bulk-loads the hierarchical temporal index and the sample warehouse.
+//   - Open attaches an Engine (level optimizer + cube cache) and the
+//     sample-update store to an existing deployment directory.
+//
+// Analysis queries over 15+ years of update history answer in milliseconds
+// because they only touch precomputed cubes; see DESIGN.md for the full
+// architecture.
+package rased
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rased/internal/core"
+	"rased/internal/cube"
+	"rased/internal/geo"
+	"rased/internal/osmgen"
+	"rased/internal/roads"
+	"rased/internal/temporal"
+	"rased/internal/tindex"
+	"rased/internal/update"
+	"rased/internal/warehouse"
+)
+
+// Re-exported query types: the public query API is the core engine's.
+type (
+	// Query is a RASED analysis query (SELECT ... FROM UpdateList ...).
+	Query = core.Query
+	// GroupBy selects the grouped dimensions of a Query.
+	GroupBy = core.GroupBy
+	// Result is an executed analysis query.
+	Result = core.Result
+	// Row is one result line.
+	Row = core.Row
+	// Options configures the engine (cache size, allocation, optimizer).
+	Options = core.Options
+	// SampleQuery selects updates for map sampling.
+	SampleQuery = warehouse.SampleQuery
+	// Day is a calendar day (days since 2004-01-01).
+	Day = temporal.Day
+)
+
+// Date grouping granularities, re-exported.
+const (
+	None    = core.None
+	ByDay   = core.ByDay
+	ByWeek  = core.ByWeek
+	ByMonth = core.ByMonth
+	ByYear  = core.ByYear
+)
+
+// NewDate builds a Day from a calendar date; see temporal.NewDay.
+var NewDate = temporal.NewDay
+
+// ParseDate parses YYYY-MM-DD.
+var ParseDate = temporal.ParseDay
+
+// DefaultOptions is the full RASED configuration (cache + level optimizer).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+const (
+	deploymentFile = "deployment.json"
+	netSizesFile   = "netsizes.json"
+	warehouseFile  = "warehouse.db"
+)
+
+// deploymentMeta persists the schema geometry and index shape.
+type deploymentMeta struct {
+	Countries int `json:"countries"`
+	RoadTypes int `json:"road_types"`
+	Levels    int `json:"levels"`
+}
+
+// netSnapshot is one persisted network-size snapshot.
+type netSnapshot struct {
+	AsOf  int            `json:"as_of"`
+	Sizes map[int]uint64 `json:"sizes"`
+}
+
+// netSizesDoc is the persisted Percentage(*) denominator history.
+type netSizesDoc struct {
+	Snapshots []netSnapshot `json:"snapshots"`
+}
+
+// loadNetSizes reads the snapshot history, accepting the legacy plain-map
+// format as a single snapshot.
+func loadNetSizes(path string) (*netSizesDoc, error) {
+	var doc netSizesDoc
+	if err := readJSON(path, &doc); err == nil && doc.Snapshots != nil {
+		return &doc, nil
+	}
+	var flat map[int]uint64
+	if err := readJSON(path, &flat); err != nil {
+		return nil, err
+	}
+	return &netSizesDoc{Snapshots: []netSnapshot{{AsOf: 1 << 30, Sizes: flat}}}, nil
+}
+
+// BuildConfig parameterizes Build.
+type BuildConfig struct {
+	// Dir is the deployment directory to create.
+	Dir string
+	// Days of history to simulate and ingest.
+	Days int
+	// Gen configures the synthetic OSM world; zero value = osmgen.DefaultConfig().
+	Gen osmgen.Config
+	// Schema overrides the cube schema; nil = the full paper-scale schema.
+	// Must be a prefix schema (cube.ScaledSchema) so it can be persisted.
+	Schema *cube.Schema
+	// Levels is the index depth 1..4; 0 = 4 (the full hierarchy).
+	Levels int
+	// MonthlyRefinement runs the monthly crawler at each month end,
+	// replacing provisional update types with the four-way classification.
+	MonthlyRefinement bool
+	// SkipWarehouse skips the sample-update store (benchmark deployments
+	// that only measure the index).
+	SkipWarehouse bool
+}
+
+// BuildReport summarizes a Build.
+type BuildReport struct {
+	Days             int
+	Records          int
+	WarehouseRecords int
+	DroppedRecords   int
+	CubePages        int
+	IndexBytes       int64
+}
+
+// Build generates a synthetic OSM world, crawls it, and bulk-loads a
+// deployment directory: the hierarchical temporal index, the sample
+// warehouse, and the network-size table.
+func Build(cfg BuildConfig) (*BuildReport, error) {
+	if cfg.Days <= 0 {
+		return nil, fmt.Errorf("rased: BuildConfig.Days must be positive")
+	}
+	if cfg.Gen == (osmgen.Config{}) {
+		cfg.Gen = osmgen.DefaultConfig()
+	}
+	schema := cfg.Schema
+	if schema == nil {
+		schema = cube.DefaultSchema()
+	}
+	levels := cfg.Levels
+	if levels == 0 {
+		levels = temporal.NumLevels
+	}
+
+	ix, err := tindex.Create(cfg.Dir, schema, levels)
+	if err != nil {
+		return nil, err
+	}
+	defer ix.Close()
+
+	var wh *warehouse.Store
+	if !cfg.SkipWarehouse {
+		wh, err = warehouse.Open(filepath.Join(cfg.Dir, warehouseFile))
+		if err != nil {
+			return nil, err
+		}
+		defer wh.Close()
+	}
+
+	pipe := &pipeline{
+		reg:        geo.Default(),
+		gen:        osmgen.New(cfg.Gen),
+		ing:        core.NewIngestor(ix),
+		wh:         wh,
+		refine:     cfg.MonthlyRefinement,
+		maxCountry: len(schema.Countries),
+		maxRoad:    len(schema.RoadTypes),
+	}
+	rep, err := pipe.run(cfg.Days)
+	if err != nil {
+		return nil, err
+	}
+
+	// Persist the network-size snapshot history (one per month end, plus the
+	// final state) and deployment metadata.
+	doc := netSizesDoc{Snapshots: pipe.snapshots}
+	doc.Snapshots = append(doc.Snapshots, netSnapshot{
+		AsOf:  int(pipe.gen.Day() - 1),
+		Sizes: pipe.gen.NetworkSizes(),
+	})
+	if err := writeJSON(filepath.Join(cfg.Dir, netSizesFile), doc); err != nil {
+		return nil, err
+	}
+	meta := deploymentMeta{
+		Countries: len(schema.Countries),
+		RoadTypes: len(schema.RoadTypes),
+		Levels:    levels,
+	}
+	if err := writeJSON(filepath.Join(cfg.Dir, deploymentFile), meta); err != nil {
+		return nil, err
+	}
+	if err := ix.Sync(); err != nil {
+		return nil, err
+	}
+	rep.CubePages = ix.Store().NumPages()
+	rep.IndexBytes = ix.Store().SizeBytes()
+	if wh != nil {
+		if err := wh.Flush(); err != nil {
+			return nil, err
+		}
+		rep.WarehouseRecords = wh.Count()
+	}
+	rep.DroppedRecords += pipe.ing.Dropped()
+	return rep, nil
+}
+
+func writeJSON(path string, v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, raw, 0o644)
+}
+
+func readJSON(path string, v any) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(raw, v)
+}
+
+// Deployment is an opened RASED instance.
+type Deployment struct {
+	Dir     string
+	Schema  *cube.Schema
+	Index   *tindex.Index
+	Engine  *core.Engine
+	Samples *warehouse.Store // nil when built with SkipWarehouse
+}
+
+// Open attaches an engine and the warehouse to a deployment directory.
+func Open(dir string, opts Options) (*Deployment, error) {
+	var meta deploymentMeta
+	if err := readJSON(filepath.Join(dir, deploymentFile), &meta); err != nil {
+		return nil, fmt.Errorf("rased: open %s: %w", dir, err)
+	}
+	if meta.Countries <= 0 || meta.Countries > geo.Default().NumValues() ||
+		meta.RoadTypes <= 0 || meta.RoadTypes > roads.Num() {
+		return nil, fmt.Errorf("rased: corrupt deployment metadata in %s: schema %dx%d exceeds catalogs",
+			dir, meta.Countries, meta.RoadTypes)
+	}
+	var schema *cube.Schema
+	if meta.Countries == geo.Default().NumValues() && meta.RoadTypes == roads.Num() {
+		schema = cube.DefaultSchema()
+	} else {
+		schema = cube.ScaledSchema(meta.Countries, meta.RoadTypes)
+	}
+	ix, err := tindex.Open(dir, schema)
+	if err != nil {
+		return nil, err
+	}
+	// Query-path fetches skip the per-read checksum: pages are verified when
+	// written and whenever maintenance re-reads them. (Matching PostgreSQL's
+	// default; flip with Deployment.Index.SetVerifyReads(true).)
+	ix.SetVerifyReads(false)
+	eng, err := core.NewEngine(ix, opts)
+	if err != nil {
+		ix.Close()
+		return nil, err
+	}
+	if doc, err := loadNetSizes(filepath.Join(dir, netSizesFile)); err == nil {
+		for _, s := range doc.Snapshots {
+			eng.AddNetworkSizeSnapshot(temporal.Day(s.AsOf), s.Sizes)
+		}
+	}
+	d := &Deployment{Dir: dir, Schema: schema, Index: ix, Engine: eng}
+	whPath := filepath.Join(dir, warehouseFile)
+	if _, err := os.Stat(whPath); err == nil {
+		wh, err := warehouse.Open(whPath)
+		if err != nil {
+			ix.Close()
+			return nil, err
+		}
+		d.Samples = wh
+	}
+	return d, nil
+}
+
+// Analyze executes an analysis query.
+func (d *Deployment) Analyze(q Query) (*Result, error) {
+	return d.Engine.Analyze(q)
+}
+
+// Explain plans an analysis query without executing it, showing the mix of
+// daily/weekly/monthly/yearly cubes the level optimizer picked and which of
+// them the cache already holds.
+func (d *Deployment) Explain(q Query) (*core.Explanation, error) {
+	return d.Engine.Explain(q)
+}
+
+// Sample returns up to N sample updates matching the query; an error when the
+// deployment has no warehouse.
+func (d *Deployment) Sample(q SampleQuery) ([]update.Record, error) {
+	if d.Samples == nil {
+		return nil, fmt.Errorf("rased: deployment %s has no sample warehouse", d.Dir)
+	}
+	return d.Samples.Sample(q)
+}
+
+// ByChangeset returns the stored updates of one changeset.
+func (d *Deployment) ByChangeset(id int64) ([]update.Record, error) {
+	if d.Samples == nil {
+		return nil, fmt.Errorf("rased: deployment %s has no sample warehouse", d.Dir)
+	}
+	return d.Samples.ByChangeset(id)
+}
+
+// Coverage returns the day range the deployment covers.
+func (d *Deployment) Coverage() (lo, hi Day, ok bool) {
+	return d.Index.Coverage()
+}
+
+// Scrub verifies every cube page's checksum and directory entry — the
+// offline maintenance that pairs with the query path's skipped per-read
+// verification. Returns the number of pages checked.
+func (d *Deployment) Scrub() (int, error) {
+	return d.Index.Scrub()
+}
+
+// Close releases the deployment.
+func (d *Deployment) Close() error {
+	var firstErr error
+	if d.Samples != nil {
+		if err := d.Samples.Close(); err != nil {
+			firstErr = err
+		}
+	}
+	if err := d.Index.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}

@@ -1,0 +1,124 @@
+package rased
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"rased/internal/server"
+)
+
+// TestServerOverRealDeployment exercises the HTTP API end to end against a
+// real deployment: meta, analysis (both verbs), samples, changeset lookup,
+// and the timelapse, all through the JSON wire format.
+func TestServerOverRealDeployment(t *testing.T) {
+	d := getDeployment(t, DefaultOptions())
+	ts := httptest.NewServer(server.New(d))
+	defer ts.Close()
+
+	getJSON := func(path string, out any) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp.StatusCode
+	}
+	postJSON := func(path string, body, out any) int {
+		t.Helper()
+		raw, _ := json.Marshal(body)
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		return resp.StatusCode
+	}
+
+	// Meta reflects the deployment's coverage.
+	var meta struct {
+		CoverageFrom string   `json:"coverage_from"`
+		CoverageTo   string   `json:"coverage_to"`
+		Countries    []string `json:"countries"`
+	}
+	if code := getJSON("/api/meta", &meta); code != http.StatusOK {
+		t.Fatalf("meta status %d", code)
+	}
+	lo, hi, _ := d.Coverage()
+	if meta.CoverageFrom != lo.String() || meta.CoverageTo != hi.String() {
+		t.Errorf("meta coverage %s..%s, want %s..%s", meta.CoverageFrom, meta.CoverageTo, lo, hi)
+	}
+
+	// Analysis over HTTP equals the library call.
+	req := server.AnalysisRequest{
+		From: lo.String(), To: hi.String(),
+		GroupBy: []string{"country", "element_type"},
+	}
+	var httpRes struct {
+		Rows  []Row  `json:"rows"`
+		Total uint64 `json:"total"`
+	}
+	if code := postJSON("/api/analysis", req, &httpRes); code != http.StatusOK {
+		t.Fatalf("analysis status %d", code)
+	}
+	libRes, err := d.Analyze(Query{From: lo, To: hi, GroupBy: GroupBy{Country: true, ElementType: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if httpRes.Total != libRes.Total || len(httpRes.Rows) != len(libRes.Rows) {
+		t.Fatalf("HTTP result differs: %d rows / %d vs %d rows / %d",
+			len(httpRes.Rows), httpRes.Total, len(libRes.Rows), libRes.Total)
+	}
+	for i := range httpRes.Rows {
+		if httpRes.Rows[i] != libRes.Rows[i] {
+			t.Fatalf("row %d differs over HTTP", i)
+		}
+	}
+
+	// Samples over HTTP, then follow one changeset.
+	var samples struct {
+		Samples []server.SampleRecord `json:"samples"`
+	}
+	if code := postJSON("/api/samples", server.SampleRequest{N: 5, Seed: 1}, &samples); code != http.StatusOK {
+		t.Fatalf("samples status %d", code)
+	}
+	if len(samples.Samples) != 5 {
+		t.Fatalf("samples = %d", len(samples.Samples))
+	}
+	var cs struct {
+		Updates []server.SampleRecord `json:"updates"`
+	}
+	path := fmt.Sprintf("/api/changeset/%d", samples.Samples[0].ChangesetID)
+	if code := getJSON(path, &cs); code != http.StatusOK {
+		t.Fatalf("changeset status %d", code)
+	}
+	if len(cs.Updates) == 0 {
+		t.Error("changeset lookup returned nothing")
+	}
+
+	// Timelapse frames cover the months of the window.
+	var tl struct {
+		Frames []server.TimelapseFrame `json:"frames"`
+	}
+	if code := getJSON("/api/timelapse?from="+lo.String()+"&to="+hi.String(), &tl); code != http.StatusOK {
+		t.Fatalf("timelapse status %d", code)
+	}
+	if len(tl.Frames) < 3 {
+		t.Errorf("timelapse frames = %d, want months of coverage", len(tl.Frames))
+	}
+	for _, f := range tl.Frames {
+		if len(f.Countries) == 0 {
+			t.Errorf("empty frame %s", f.Period)
+		}
+	}
+}
