@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench figures examples clean
+.PHONY: all build test check race vet bench figures examples clean
 
 all: build test
 
@@ -11,8 +11,15 @@ build:
 	$(GO) build ./...
 	$(GO) build -o bin/ ./cmd/...
 
-test:
+test: check
 	$(GO) test ./...
+
+# check vets the tree and race-tests the packages whose counters are hit from
+# concurrent request handling (the obs subsystem and everything it instruments
+# on the hot path).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/obs ./internal/cache ./internal/pagestore ./internal/server
 
 race:
 	$(GO) test -race ./...

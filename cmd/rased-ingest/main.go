@@ -17,6 +17,7 @@ import (
 	"rased"
 	"rased/internal/cube"
 	"rased/internal/geo"
+	"rased/internal/obs"
 	"rased/internal/osmgen"
 	"rased/internal/roads"
 	"rased/internal/temporal"
@@ -40,6 +41,7 @@ func main() {
 		fromFiles = flag.String("from-files", "", "ingest on-disk OSM artifacts from this directory (see rased-simulate) instead of simulating in-process")
 		histFile  = flag.String("history-file", "", "full-history dump for monthly refinement (with -from-files)")
 		appendNew = flag.Bool("append", false, "with -from-files: append newly published days to an existing deployment")
+		metrics   = flag.Bool("metrics", false, "dump the build's metrics snapshot (Prometheus text) to stderr on exit")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -52,11 +54,16 @@ func main() {
 		schema = cube.ScaledSchema(geo.Default().NumValues(), *roadTypes)
 	}
 
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+	}
+
 	var rep *rased.BuildReport
 	var err error
 	switch {
 	case *fromFiles != "" && *appendNew:
-		rep, err = rased.AppendFromFiles(*dir, *fromFiles)
+		rep, err = rased.AppendFromFilesObs(*dir, *fromFiles, reg)
 	case *fromFiles != "":
 		rep, err = rased.BuildFromFiles(rased.FileBuildConfig{
 			Dir:           *dir,
@@ -65,6 +72,7 @@ func main() {
 			Schema:        schema,
 			Levels:        *levels,
 			SkipWarehouse: *noWH,
+			Obs:           reg,
 		})
 	default:
 		var startDay temporal.Day
@@ -85,6 +93,7 @@ func main() {
 			Levels:            *levels,
 			MonthlyRefinement: *refine,
 			SkipWarehouse:     *noWH,
+			Obs:               reg,
 		})
 	}
 	if err != nil {
@@ -96,4 +105,7 @@ func main() {
 	fmt.Printf("  warehouse records: %d\n", rep.WarehouseRecords)
 	fmt.Printf("  dropped (schema):  %d\n", rep.DroppedRecords)
 	fmt.Printf("  cube pages:        %d (%.1f MB)\n", rep.CubePages, float64(rep.IndexBytes)/(1<<20))
+	if reg != nil {
+		reg.WritePrometheus(os.Stderr)
+	}
 }

@@ -44,6 +44,8 @@ func main() {
 		sampleN     = flag.Int("sample", 0, "instead of aggregating, print N sample updates")
 		seed        = flag.Int64("seed", 1, "sampling seed")
 		explain     = flag.Bool("explain", false, "print the level optimizer's plan instead of executing")
+		trace       = flag.Bool("trace", false, "print the executed plan, cache residency, page reads, and stage timings")
+		metrics     = flag.Bool("metrics", false, "dump the deployment's metrics snapshot (Prometheus text) to stderr on exit")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -56,6 +58,9 @@ func main() {
 		log.Fatal(err)
 	}
 	defer d.Close()
+	if *metrics {
+		defer d.Obs.WritePrometheus(os.Stderr)
+	}
 
 	lo, hi, ok := d.Coverage()
 	if !ok {
@@ -132,11 +137,16 @@ func main() {
 		ex.Print(os.Stdout)
 		return
 	}
+	q.Trace = *trace
 	res, err := d.Analyze(q)
 	if err != nil {
 		log.Fatal(err)
 	}
 	printResult(res, q, *limit)
+	if res.Trace != nil {
+		fmt.Println()
+		res.Trace.Print(os.Stdout)
+	}
 }
 
 func printResult(res *rased.Result, q rased.Query, limit int) {

@@ -36,7 +36,8 @@ func main() {
 		gamma     = flag.Float64("gamma", 0.2, "cache ratio for monthly cubes")
 		theta     = flag.Float64("theta", 0.05, "cache ratio for yearly cubes")
 		noOpt     = flag.Bool("no-level-opt", false, "disable the level optimizer (debugging)")
-		accessLog = flag.Bool("access-log", true, "log every request")
+		accessLog = flag.Bool("access-log", true, "log every request (Debug-level access log)")
+		metrics   = flag.Bool("metrics", false, "dump the metrics snapshot (Prometheus text) to stderr on shutdown")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -60,10 +61,15 @@ func main() {
 		log.Printf("serving empty deployment %s on %s", *dir, *addr)
 	}
 
-	handler := http.Handler(server.New(d))
+	// The server's middleware logs requests at Debug; -access-log runs the
+	// logger at that level so the lines show. Metrics are exported either
+	// way at /metrics and /api/stats.
+	level := slog.LevelInfo
 	if *accessLog {
-		handler = server.WithLogging(handler, slog.Default())
+		level = slog.LevelDebug
 	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	handler := http.Handler(server.New(d, server.WithRegistry(d.Obs), server.WithLogger(logger)))
 	srv := &http.Server{Addr: *addr, Handler: handler}
 
 	// Shut down cleanly on SIGINT/SIGTERM so the deployment closes properly.
@@ -80,6 +86,9 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Printf("shutdown: %v", err)
+		}
+		if *metrics {
+			d.Obs.WritePrometheus(os.Stderr)
 		}
 	}
 }

@@ -15,7 +15,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
+	"rased/internal/obs"
 	"rased/internal/osmgen"
 	"rased/internal/temporal"
 )
@@ -32,6 +34,7 @@ func main() {
 		start     = flag.String("start", "2021-01-01", "first simulated day (YYYY-MM-DD)")
 		seedElems = flag.Int("seed-elements", 2000, "elements pre-created before day one")
 		history   = flag.Bool("history", false, "also write history.osm (full-history dump)")
+		metrics   = flag.Bool("metrics", false, "dump generation metrics (Prometheus text) to stderr on exit")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -52,15 +55,28 @@ func main() {
 		UpdatesPerDay: *updates,
 		SeedElements:  *seedElems,
 	})
+	reg := obs.NewRegistry()
+	daysCtr := obs.NewCounter("rased_simulate_days_total", "Day artifact pairs written.")
+	updatesCtr := obs.NewCounter("rased_simulate_updates_total", "Simulated update records written.")
+	dayTiming := obs.NewHistogram("rased_simulate_day_seconds", "Wall time to generate and write one day.", obs.DefLatencyBuckets)
+	reg.MustRegister(daysCtr, updatesCtr, dayTiming)
+
 	var nUpdates int
 	for i := 0; i < *days; i++ {
+		t0 := time.Now()
 		art := g.NextDay()
 		if err := art.WriteDayFiles(*dir); err != nil {
 			log.Fatal(err)
 		}
+		dayTiming.Observe(time.Since(t0))
+		daysCtr.Inc()
+		updatesCtr.Add(int64(len(art.Change.Items)))
 		nUpdates += len(art.Change.Items)
 	}
 	fmt.Printf("wrote %d days (%d updates) to %s\n", *days, nUpdates, *dir)
+	if *metrics {
+		defer reg.WritePrometheus(os.Stderr)
+	}
 
 	if *history {
 		path, err := g.WriteHistoryFile(*dir, startDay-1, startDay+temporal.Day(*days))

@@ -11,6 +11,7 @@ import (
 	"rased/internal/crawl"
 	"rased/internal/cube"
 	"rased/internal/geo"
+	"rased/internal/obs"
 	"rased/internal/osmxml"
 	"rased/internal/temporal"
 	"rased/internal/tindex"
@@ -45,6 +46,9 @@ type FileBuildConfig struct {
 	Levels int
 	// SkipWarehouse skips the sample-update store.
 	SkipWarehouse bool
+	// Obs, when non-nil, receives the build's metrics (ingest throughput,
+	// index page I/O).
+	Obs *obs.Registry
 }
 
 // dayFiles is one day's discovered artifact pair.
@@ -124,6 +128,14 @@ func BuildFromFiles(cfg FileBuildConfig) (*BuildReport, error) {
 	csIdx := crawl.BuildChangesetIndex(nil)
 	var rep BuildReport
 	maxCountry, maxRoad := len(schema.Countries), len(schema.RoadTypes)
+	if cfg.Obs != nil {
+		cfg.Obs.MustRegister(ing.Metrics().All()...)
+		cfg.Obs.MustRegister(ix.Store().Metrics().All()...)
+		if wh != nil {
+			cfg.Obs.MustRegister(wh.Metrics().All()...)
+			cfg.Obs.MustRegister(wh.Heap().Store().Metrics().All()...)
+		}
+	}
 
 	// Network-size estimator for the no-history path: live elements per
 	// country tracked as creates minus deletes.
@@ -232,6 +244,16 @@ func BuildFromFiles(cfg FileBuildConfig) (*BuildReport, error) {
 // This is the paper's production mode — a daily cron over freshly downloaded
 // diff and changeset files.
 func AppendFromFiles(dir, artifactsDir string) (*BuildReport, error) {
+	return appendFromFiles(dir, artifactsDir, nil)
+}
+
+// AppendFromFilesObs is AppendFromFiles with the run's metrics (ingest
+// throughput, index page I/O) registered into reg.
+func AppendFromFilesObs(dir, artifactsDir string, reg *obs.Registry) (*BuildReport, error) {
+	return appendFromFiles(dir, artifactsDir, reg)
+}
+
+func appendFromFiles(dir, artifactsDir string, obsReg *obs.Registry) (*BuildReport, error) {
 	days, err := discoverDays(artifactsDir)
 	if err != nil {
 		return nil, err
@@ -277,6 +299,14 @@ func AppendFromFiles(dir, artifactsDir string) (*BuildReport, error) {
 	ing := core.NewIngestor(ix)
 	csIdx := crawl.BuildChangesetIndex(nil)
 	var rep BuildReport
+	if obsReg != nil {
+		obsReg.MustRegister(ing.Metrics().All()...)
+		obsReg.MustRegister(ix.Store().Metrics().All()...)
+		if wh != nil {
+			obsReg.MustRegister(wh.Metrics().All()...)
+			obsReg.MustRegister(wh.Heap().Store().Metrics().All()...)
+		}
+	}
 	_, hi, covered := ix.Coverage()
 
 	for _, df := range days {

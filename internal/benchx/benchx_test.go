@@ -3,6 +3,7 @@ package benchx
 import (
 	"bytes"
 	"os"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -105,10 +106,27 @@ func TestFig7Shape(t *testing.T) {
 		t.Errorf("6-month queries should need at least as many reads as 1-month: %v", small)
 	}
 
+	// Every sweep cell carries obs evidence covering all its queries, and
+	// the cached runs report a hit rate.
+	for _, p := range points {
+		if p.Ev.Queries != 30 {
+			t.Errorf("cell %d×%dmo evidence counted %d queries, want 30", p.CacheCubes, p.SpanMonths, p.Ev.Queries)
+		}
+		if p.Ev.HitRate < 0 {
+			t.Errorf("cached cell %d×%dmo has no hit rate", p.CacheCubes, p.SpanMonths)
+		}
+		if p.Ev.P99 < p.Ev.P50 {
+			t.Errorf("cell %d×%dmo: p99 %v below p50 %v", p.CacheCubes, p.SpanMonths, p.Ev.P99, p.Ev.P50)
+		}
+	}
+
 	var buf bytes.Buffer
 	PrintFig7(&buf, points)
 	if buf.Len() == 0 {
 		t.Error("empty fig7 output")
+	}
+	if !strings.Contains(buf.String(), "obs evidence") {
+		t.Error("fig7 output missing evidence table")
 	}
 }
 
@@ -185,11 +203,28 @@ func TestFig9Shape(t *testing.T) {
 	if get(3, VariantFlat).AvgLatency < get(1, VariantFlat).AvgLatency {
 		t.Error("flat latency should grow with the window")
 	}
+	// Evidence: only the cached variant reports a hit rate, and its page
+	// reads per query stay below the uncached optimizer's.
+	for _, y := range windows {
+		f, o, r := get(y, VariantFlat), get(y, VariantOpt), get(y, VariantFull)
+		if f.Ev.HitRate >= 0 || o.Ev.HitRate >= 0 {
+			t.Errorf("%dy: cacheless variants report hit rates %f %f", y, f.Ev.HitRate, o.Ev.HitRate)
+		}
+		if r.Ev.HitRate < 0 {
+			t.Errorf("%dy: cached variant has no hit rate", y)
+		}
+		if r.Ev.PagesPerQuery > o.Ev.PagesPerQuery {
+			t.Errorf("%dy: cache raised pages/query: %f > %f", y, r.Ev.PagesPerQuery, o.Ev.PagesPerQuery)
+		}
+	}
 
 	var buf bytes.Buffer
 	PrintFig9(&buf, points)
 	if buf.Len() == 0 {
 		t.Error("empty fig9 output")
+	}
+	if !strings.Contains(buf.String(), "obs evidence") {
+		t.Error("fig9 output missing evidence table")
 	}
 }
 
@@ -239,10 +274,24 @@ func TestFig10Shape(t *testing.T) {
 			c1.AvgLatency, get(1, "RASED").AvgLatency)
 	}
 
+	// Evidence rows exist for the RASED runs; the DBMS engines are outside
+	// the obs registry and print as no rows rather than zeros.
+	for _, y := range windows {
+		if get(y, "RASED").Ev.Queries != 2 {
+			t.Errorf("%dy: RASED evidence counted %d queries, want 2", y, get(y, "RASED").Ev.Queries)
+		}
+		if get(y, "DBMS").Ev.Queries != 0 {
+			t.Errorf("%dy: DBMS row unexpectedly carries evidence", y)
+		}
+	}
+
 	var buf bytes.Buffer
 	PrintFig10(&buf, points)
 	if buf.Len() == 0 {
 		t.Error("empty fig10 output")
+	}
+	if !strings.Contains(buf.String(), "obs evidence") {
+		t.Error("fig10 output missing evidence table")
 	}
 }
 

@@ -1,0 +1,91 @@
+package benchx
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"rased/internal/core"
+	"rased/internal/obs"
+)
+
+// Evidence corroborates one figure measurement with the engine's own obs
+// counters: over the run's queries, how often the cache answered, how many
+// index pages hit disk, and where the latency distribution actually sat.
+// Printed alongside each figure so averaged numbers come with receipts.
+type Evidence struct {
+	Label         string
+	Queries       int64         // queries the engine counted during the run
+	HitRate       float64       // cache hit fraction; < 0 when the variant has no cache
+	PagesPerQuery float64       // index page reads per query
+	P50, P99      time.Duration // from the engine's latency histogram
+}
+
+// evidenceProbe captures the engine's counters at the start of a measurement
+// run so finish can report the run's deltas.
+type evidenceProbe struct {
+	eng          *core.Engine
+	lat          obs.HistogramSnapshot
+	hits, misses int64
+	reads        int64
+}
+
+func startEvidence(eng *core.Engine) *evidenceProbe {
+	p := &evidenceProbe{eng: eng, lat: eng.Metrics().QueryLatency.Snapshot()}
+	if c := eng.Cache(); c != nil {
+		st := c.Stats()
+		p.hits, p.misses = st.Hits, st.Misses
+	}
+	p.reads = eng.Index().Store().Stats().Reads
+	return p
+}
+
+func (p *evidenceProbe) finish(label string) Evidence {
+	lat := p.eng.Metrics().QueryLatency.Snapshot().Sub(p.lat)
+	ev := Evidence{
+		Label:   label,
+		Queries: lat.Count,
+		HitRate: -1,
+		P50:     time.Duration(lat.Quantile(0.5) * float64(time.Second)),
+		P99:     time.Duration(lat.Quantile(0.99) * float64(time.Second)),
+	}
+	if reads := p.eng.Index().Store().Stats().Reads - p.reads; lat.Count > 0 {
+		ev.PagesPerQuery = float64(reads) / float64(lat.Count)
+	}
+	if c := p.eng.Cache(); c != nil {
+		st := c.Stats()
+		if h, m := st.Hits-p.hits, st.Misses-p.misses; h+m > 0 {
+			ev.HitRate = float64(h) / float64(h+m)
+		}
+	}
+	return ev
+}
+
+// printEvidence renders the evidence rows collected for a figure. Rows with
+// no counted queries (uninstrumented baselines) are skipped.
+func printEvidence(w io.Writer, evs []Evidence) {
+	n := 0
+	for _, e := range evs {
+		if e.Queries > 0 {
+			n++
+		}
+	}
+	if n == 0 {
+		return
+	}
+	fmt.Fprintln(w, "  obs evidence (engine counter deltas over each run):")
+	fmt.Fprintf(w, "  %-22s%10s%10s%13s%10s%10s\n",
+		"run", "queries", "hit rate", "pages/query", "p50 ms", "p99 ms")
+	for _, e := range evs {
+		if e.Queries == 0 {
+			continue
+		}
+		hr := "-"
+		if e.HitRate >= 0 {
+			hr = fmt.Sprintf("%.1f%%", e.HitRate*100)
+		}
+		fmt.Fprintf(w, "  %-22s%10d%10s%13.2f%10.3f%10.3f\n",
+			e.Label, e.Queries, hr, e.PagesPerQuery,
+			float64(e.P50)/1e6, float64(e.P99)/1e6)
+	}
+}

@@ -80,6 +80,7 @@ type Fig7Point struct {
 	SpanMonths int
 	AvgLatency time.Duration
 	AvgDisk    float64
+	Ev         Evidence
 }
 
 // Fig7 reproduces Figure 7: query response time while varying the cache size
@@ -98,6 +99,7 @@ func Fig7(ws *Workspace, cacheSizes, spanMonths []int, queries int, seed int64) 
 		}
 		for _, span := range spanMonths {
 			rng := rand.New(rand.NewSource(seed + int64(span)*1000))
+			probe := startEvidence(eng)
 			var disk int
 			avg, err := measure(queries, func() error {
 				lo, hi := ws.recentWindow(rng, span*30)
@@ -116,6 +118,7 @@ func Fig7(ws *Workspace, cacheSizes, spanMonths []int, queries int, seed int64) 
 				SpanMonths: span,
 				AvgLatency: avg,
 				AvgDisk:    float64(disk) / float64(queries),
+				Ev:         probe.finish(fmt.Sprintf("%d cubes x %d mo", slots, span)),
 			})
 		}
 	}
@@ -142,6 +145,11 @@ func PrintFig7(w io.Writer, points []Fig7Point) {
 		}
 		fmt.Fprintln(w)
 	}
+	evs := make([]Evidence, len(points))
+	for i, p := range points {
+		evs[i] = p.Ev
+	}
+	printEvidence(w, evs)
 }
 
 func spanSet(points []Fig7Point) []int {
@@ -249,6 +257,7 @@ type Fig9Point struct {
 	AvgLatency  time.Duration
 	AvgCubes    float64
 	AvgDisk     float64
+	Ev          Evidence
 }
 
 // Fig9 reproduces Figure 9: query time of the three RASED variants while
@@ -272,6 +281,7 @@ func Fig9(ws *Workspace, windowYears []int, queries int, seed int64) ([]Fig9Poin
 		for _, years := range windowYears {
 			rng := rand.New(rand.NewSource(seed + int64(years)))
 			lo := ws.windowStart(years)
+			probe := startEvidence(eng)
 			var cubes, disk int
 			avg, err := measure(queries, func() error {
 				res, err := eng.Analyze(ws.singleCellQuery(rng, lo, ws.Hi))
@@ -291,6 +301,7 @@ func Fig9(ws *Workspace, windowYears []int, queries int, seed int64) ([]Fig9Poin
 				AvgLatency:  avg,
 				AvgCubes:    float64(cubes) / float64(queries),
 				AvgDisk:     float64(disk) / float64(queries),
+				Ev:          probe.finish(fmt.Sprintf("%s x %d y", v.name, years)),
 			})
 		}
 	}
@@ -317,6 +328,11 @@ func PrintFig9(w io.Writer, points []Fig9Point) {
 			float64(m[VariantOpt].AvgLatency)/1e6,
 			float64(m[VariantFull].AvgLatency)/1e6)
 	}
+	evs := make([]Evidence, len(points))
+	for i, p := range points {
+		evs[i] = p.Ev
+	}
+	printEvidence(w, evs)
 }
 
 // ---------------------------------------------------------------------------
@@ -328,6 +344,7 @@ type Fig10Point struct {
 	Engine      string // "RASED" or "DBMS"
 	AvgLatency  time.Duration
 	AvgDisk     float64
+	Ev          Evidence
 }
 
 // Fig10 reproduces Figure 10: RASED against the scan-based DBMS baseline
@@ -349,6 +366,7 @@ func Fig10(ws *Workspace, windowYears []int, queries int, seed int64) ([]Fig10Po
 		rng := rand.New(rand.NewSource(seed + int64(years)))
 		lo := ws.windowStart(years)
 
+		probe := startEvidence(eng)
 		var disk int
 		avg, err := measure(queries, func() error {
 			res, err := eng.Analyze(ws.singleCellQuery(rng, lo, ws.Hi))
@@ -362,7 +380,8 @@ func Fig10(ws *Workspace, windowYears []int, queries int, seed int64) ([]Fig10Po
 			return nil, err
 		}
 		out = append(out, Fig10Point{WindowYears: years, Engine: "RASED",
-			AvgLatency: avg, AvgDisk: float64(disk) / float64(queries)})
+			AvgLatency: avg, AvgDisk: float64(disk) / float64(queries),
+			Ev: probe.finish(fmt.Sprintf("RASED x %d y", years))})
 
 		rng = rand.New(rand.NewSource(seed + int64(years)))
 		disk = 0
@@ -440,4 +459,9 @@ func PrintFig10(w io.Writer, points []Fig10Point) {
 			fmt.Fprintf(w, "%-8d%14.3f%14.3f%12.1fx\n", y, float64(r)/1e6, float64(d)/1e6, speedup)
 		}
 	}
+	evs := make([]Evidence, len(points))
+	for i, p := range points {
+		evs[i] = p.Ev
+	}
+	printEvidence(w, evs)
 }

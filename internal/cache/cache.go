@@ -8,7 +8,6 @@ package cache
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"rased/internal/cube"
 	"rased/internal/temporal"
@@ -74,8 +73,7 @@ type Cache struct {
 	mu      sync.RWMutex
 	entries map[temporal.Period]*cube.Cube
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	met *Metrics
 }
 
 // New returns an empty cache with n slots and the given allocation.
@@ -86,12 +84,17 @@ func New(n int, alloc Allocation) (*Cache, error) {
 	if err := alloc.Validate(); err != nil {
 		return nil, err
 	}
-	return &Cache{
+	c := &Cache{
 		slots:   n,
 		alloc:   alloc,
 		entries: make(map[temporal.Period]*cube.Cube),
-	}, nil
+	}
+	c.met = newMetrics("preload", c.Len)
+	return c, nil
 }
+
+// Metrics returns the cache's obs instruments for registry wiring.
+func (c *Cache) Metrics() *Metrics { return c.met }
 
 // Slots returns the cache capacity in cubes.
 func (c *Cache) Slots() int { return c.slots }
@@ -128,8 +131,16 @@ func (c *Cache) Preload(src Source) error {
 		}
 	}
 	c.mu.Lock()
+	old := c.entries
 	c.entries = fresh
 	c.mu.Unlock()
+	// Cubes that were resident and did not survive the re-preload were
+	// evicted by the recency policy.
+	for p := range old {
+		if _, kept := fresh[p]; !kept {
+			c.met.Evictions[p.Level].Inc()
+		}
+	}
 	return nil
 }
 
@@ -139,9 +150,9 @@ func (c *Cache) Get(p temporal.Period) (*cube.Cube, bool) {
 	cb, ok := c.entries[p]
 	c.mu.RUnlock()
 	if ok {
-		c.hits.Add(1)
+		c.met.Hits[p.Level].Inc()
 	} else {
-		c.misses.Add(1)
+		c.met.Misses[p.Level].Inc()
 	}
 	return cb, ok
 }
@@ -159,20 +170,19 @@ func (c *Cache) Contains(p temporal.Period) bool {
 // disk).
 func (c *Cache) Invalidate(p temporal.Period) {
 	c.mu.Lock()
+	_, present := c.entries[p]
 	delete(c.entries, p)
 	c.mu.Unlock()
+	if present {
+		c.met.Evictions[p.Level].Inc()
+	}
 }
 
-// Stats returns hit/miss counters.
-func (c *Cache) Stats() Stats {
-	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load()}
-}
+// Stats returns hit/miss counters summed across levels.
+func (c *Cache) Stats() Stats { return c.met.stats() }
 
-// ResetStats zeroes the counters.
-func (c *Cache) ResetStats() {
-	c.hits.Store(0)
-	c.misses.Store(0)
-}
+// ResetStats zeroes the hit/miss counters.
+func (c *Cache) ResetStats() { c.met.reset() }
 
 // Fetcher serves cube fetches from the cache, falling back to the underlying
 // source on miss.

@@ -21,7 +21,7 @@ type LRU struct {
 	order   *list.List // front = most recently used; values are *lruEntry
 	entries map[temporal.Period]*list.Element
 
-	hits, misses int64
+	met *Metrics
 }
 
 type lruEntry struct {
@@ -34,12 +34,17 @@ func NewLRU(n int) (*LRU, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("cache: negative LRU capacity %d", n)
 	}
-	return &LRU{
+	l := &LRU{
 		capacity: n,
 		order:    list.New(),
 		entries:  make(map[temporal.Period]*list.Element),
-	}, nil
+	}
+	l.met = newMetrics("lru", l.Len)
+	return l, nil
 }
+
+// Metrics returns the cache's obs instruments for registry wiring.
+func (l *LRU) Metrics() *Metrics { return l.met }
 
 // Slots returns the cache capacity in cubes.
 func (l *LRU) Slots() int { return l.capacity }
@@ -57,10 +62,10 @@ func (l *LRU) Get(p temporal.Period) (cube.Reader, bool) {
 	defer l.mu.Unlock()
 	el, ok := l.entries[p]
 	if !ok {
-		l.misses++
+		l.met.Misses[p.Level].Inc()
 		return nil, false
 	}
-	l.hits++
+	l.met.Hits[p.Level].Inc()
 	l.order.MoveToFront(el)
 	return el.Value.(*lruEntry).cb, true
 }
@@ -82,7 +87,9 @@ func (l *LRU) Put(p temporal.Period, cb cube.Reader) {
 	for l.order.Len() > l.capacity {
 		victim := l.order.Back()
 		l.order.Remove(victim)
-		delete(l.entries, victim.Value.(*lruEntry).p)
+		vp := victim.Value.(*lruEntry).p
+		delete(l.entries, vp)
+		l.met.Evictions[vp.Level].Inc()
 	}
 }
 
@@ -95,19 +102,11 @@ func (l *LRU) Contains(p temporal.Period) bool {
 	return ok
 }
 
-// Stats returns hit/miss counters.
-func (l *LRU) Stats() Stats {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return Stats{Hits: l.hits, Misses: l.misses}
-}
+// Stats returns hit/miss counters summed across levels.
+func (l *LRU) Stats() Stats { return l.met.stats() }
 
-// ResetStats zeroes the counters.
-func (l *LRU) ResetStats() {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.hits, l.misses = 0, 0
-}
+// ResetStats zeroes the hit/miss counters.
+func (l *LRU) ResetStats() { l.met.reset() }
 
 // LRUFetcher serves cube fetches through an LRU cache, filling it on miss.
 type LRUFetcher struct {

@@ -47,6 +47,7 @@ type Engine struct {
 	cache   *cache.Cache // nil when caching is disabled
 	fetcher cache.Fetcher
 	opts    Options
+	met     *EngineMetrics
 
 	mu        sync.RWMutex
 	snapshots []sizeSnapshot // network sizes over time, sorted by AsOf
@@ -67,6 +68,7 @@ func NewEngine(ix *tindex.Index, opts Options) (*Engine, error) {
 		ix:   ix,
 		reg:  geo.Default(),
 		opts: opts,
+		met:  newEngineMetrics(),
 	}
 	if opts.CacheSlots > 0 {
 		alloc := opts.Allocation
@@ -196,13 +198,36 @@ type rowKey struct {
 	hasPeriod bool
 }
 
-// Analyze executes an analysis query.
+// Analyze executes an analysis query. When q.Trace is set the result carries
+// a QueryTrace recording the executed plan, cache residency, page I/O, and
+// stage timings.
 func (e *Engine) Analyze(q Query) (*Result, error) {
 	start := time.Now()
+	var tb *traceBuilder // nil (all methods no-op) unless tracing is on
+	if q.Trace {
+		tb = e.newTraceBuilder()
+	}
+	res, err := e.analyze(q, tb)
+	if err != nil {
+		e.met.QueryErrors.Inc()
+		return nil, err
+	}
+	e.met.Queries.Inc()
+	res.Stats.ElapsedNanos = time.Since(start).Nanoseconds()
+	e.met.QueryLatency.Observe(time.Duration(res.Stats.ElapsedNanos))
+	tb.finish(e, res)
+	return res, nil
+}
+
+// analyze is the Analyze body; the wrapper owns timing, query metrics, and
+// trace finalization.
+func (e *Engine) analyze(q Query, tb *traceBuilder) (*Result, error) {
 	if q.To < q.From {
 		return nil, fmt.Errorf("core: query window [%s, %s] is inverted", q.From, q.To)
 	}
+	endStage := tb.stage("compile_filter")
 	filter, err := CompileFilter(&q, e.reg)
+	endStage()
 	if err != nil {
 		return nil, err
 	}
@@ -211,44 +236,55 @@ func (e *Engine) Analyze(q Query) (*Result, error) {
 	res := &Result{}
 	lo, hi, ok := e.clip(q.From, q.To)
 	if !ok {
-		res.Stats.ElapsedNanos = time.Since(start).Nanoseconds()
 		return res, nil
 	}
 
 	groups := make(map[rowKey]uint64)
 	if q.GroupBy.Date == None {
+		endStage = tb.stage("plan")
 		pl, err := e.planWindow(lo, hi)
+		endStage()
 		if err != nil {
 			return nil, err
 		}
-		if err := e.aggregatePlan(pl, filter, gb, rowKey{}, groups, res); err != nil {
+		endStage = tb.stage("aggregate")
+		err = e.aggregatePlan(pl, filter, gb, rowKey{}, groups, res, tb)
+		endStage()
+		if err != nil {
 			return nil, err
 		}
 	} else {
 		// Date-grouped query: one bucket per period at the requested
 		// granularity; each bucket is covered independently (partial edge
 		// buckets decompose into finer cubes).
+		endStage = tb.stage("aggregate")
 		lvl := q.GroupBy.Date.Level()
 		for _, b := range dateBuckets(lvl, lo, hi) {
 			bucket := rowKey{p: b.p, hasPeriod: true}
 			if b.lo == b.p.Start() && b.hi == b.p.End() && e.ix.Has(b.p) {
-				if err := e.aggregatePeriods(filter, gb, bucket, groups, res, b.p); err != nil {
+				if err := e.aggregatePeriods(filter, gb, bucket, groups, res, tb, b.p); err != nil {
+					endStage()
 					return nil, err
 				}
 				continue
 			}
 			pl, err := plan.Optimize(b.lo, b.hi, e.maxLevelBelow(lvl), e.ix, e.cacheView())
 			if err != nil {
+				endStage()
 				return nil, err
 			}
-			if err := e.aggregatePlan(pl, filter, gb, bucket, groups, res); err != nil {
+			e.met.PlanPeriods.ObserveValue(float64(len(pl.Periods)))
+			if err := e.aggregatePlan(pl, filter, gb, bucket, groups, res, tb); err != nil {
+				endStage()
 				return nil, err
 			}
 		}
+		endStage()
 	}
 
+	endStage = tb.stage("build_rows")
 	e.buildRows(res, groups, &q)
-	res.Stats.ElapsedNanos = time.Since(start).Nanoseconds()
+	endStage()
 	return res, nil
 }
 
@@ -311,10 +347,17 @@ func (e *Engine) cacheView() plan.CacheView {
 
 // planWindow runs the level optimizer (or the flat plan) over [lo, hi].
 func (e *Engine) planWindow(lo, hi temporal.Day) (*plan.Plan, error) {
+	var pl *plan.Plan
+	var err error
 	if !e.opts.LevelOptimization {
-		return plan.Flat(lo, hi, e.ix, e.cacheView())
+		pl, err = plan.Flat(lo, hi, e.ix, e.cacheView())
+	} else {
+		pl, err = plan.Optimize(lo, hi, e.maxLevel(), e.ix, e.cacheView())
 	}
-	return plan.Optimize(lo, hi, e.maxLevel(), e.ix, e.cacheView())
+	if err == nil {
+		e.met.PlanPeriods.ObserveValue(float64(len(pl.Periods)))
+	}
+	return pl, err
 }
 
 // maxLevelBelow caps the optimizer at strictly finer levels than lvl, so a
@@ -333,12 +376,12 @@ func (e *Engine) maxLevelBelow(lvl temporal.Level) temporal.Level {
 // aggregatePlan fetches every period of a plan and folds it into groups under
 // the bucket's date key.
 func (e *Engine) aggregatePlan(pl *plan.Plan, f cube.Filter, gb cube.GroupBy,
-	bucket rowKey, groups map[rowKey]uint64, res *Result) error {
-	return e.aggregatePeriods(f, gb, bucket, groups, res, pl.Periods...)
+	bucket rowKey, groups map[rowKey]uint64, res *Result, tb *traceBuilder) error {
+	return e.aggregatePeriods(f, gb, bucket, groups, res, tb, pl.Periods...)
 }
 
 func (e *Engine) aggregatePeriods(f cube.Filter, gb cube.GroupBy,
-	bucket rowKey, groups map[rowKey]uint64, res *Result, periods ...temporal.Period) error {
+	bucket rowKey, groups map[rowKey]uint64, res *Result, tb *traceBuilder, periods ...temporal.Period) error {
 	scratch := make(map[cube.Key]uint64)
 	for _, p := range periods {
 		cached := e.cache != nil && e.cache.Contains(p)
@@ -347,6 +390,8 @@ func (e *Engine) aggregatePeriods(f cube.Filter, gb cube.GroupBy,
 			return err
 		}
 		res.Stats.CubesFetched++
+		e.met.CubesRead[p.Level].Inc()
+		tb.addPeriod(bucket, p, cached)
 		if cached {
 			res.Stats.CacheHits++
 		} else {

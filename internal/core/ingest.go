@@ -2,13 +2,41 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"rased/internal/cube"
 	"rased/internal/geo"
+	"rased/internal/obs"
 	"rased/internal/temporal"
 	"rased/internal/tindex"
 	"rased/internal/update"
 )
+
+// IngestMetrics are the ingestion-side obs instruments. Records per second
+// falls out of rased_ingest_records_total over time (or the records counter
+// divided by the day-latency sum in a batch build).
+type IngestMetrics struct {
+	Days            *obs.Counter
+	Records         *obs.Counter
+	MonthsReplaced  *obs.Counter
+	DroppedOffCube  *obs.Counter
+	DayIngestTiming *obs.Histogram
+}
+
+func newIngestMetrics() *IngestMetrics {
+	return &IngestMetrics{
+		Days:            obs.NewCounter("rased_ingest_days_total", "Days appended to the index."),
+		Records:         obs.NewCounter("rased_ingest_records_total", "Update records ingested into day cubes."),
+		MonthsReplaced:  obs.NewCounter("rased_ingest_months_replaced_total", "Months rebuilt by the refinement crawl."),
+		DroppedOffCube:  obs.NewCounter("rased_ingest_dropped_total", "Records outside the cube schema, skipped."),
+		DayIngestTiming: obs.NewHistogram("rased_ingest_day_seconds", "Latency of appending one day (cube build + index maintenance).", nil),
+	}
+}
+
+// All returns the instruments for registry wiring.
+func (m *IngestMetrics) All() []obs.Metric {
+	return []obs.Metric{m.Days, m.Records, m.MonthsReplaced, m.DroppedOffCube, m.DayIngestTiming}
+}
 
 // Ingestor turns crawled UpdateList records into day cubes and maintains the
 // hierarchical index: the online half of the Storage and Indexing module
@@ -16,14 +44,18 @@ import (
 type Ingestor struct {
 	ix  *tindex.Index
 	reg *geo.Registry
+	met *IngestMetrics
 
 	dropped int
 }
 
 // NewIngestor wraps an index for ingestion.
 func NewIngestor(ix *tindex.Index) *Ingestor {
-	return &Ingestor{ix: ix, reg: geo.Default()}
+	return &Ingestor{ix: ix, reg: geo.Default(), met: newIngestMetrics()}
 }
+
+// Metrics returns the ingestor's obs instruments for registry wiring.
+func (in *Ingestor) Metrics() *IngestMetrics { return in.met }
 
 // BuildDayCube aggregates one day's records into a cube, incrementing the
 // leaf country cell and each enclosing zone cell per record.
@@ -40,6 +72,7 @@ func (in *Ingestor) BuildDayCube(day temporal.Day, recs []update.Record) (*cube.
 		}
 		if !cb.AddRecord(r, zones) {
 			in.dropped++
+			in.met.DroppedOffCube.Inc()
 		}
 	}
 	return cb, nil
@@ -47,11 +80,18 @@ func (in *Ingestor) BuildDayCube(day temporal.Day, recs []update.Record) (*cube.
 
 // AppendDay builds and appends one day's cube (with end-of-period rollups).
 func (in *Ingestor) AppendDay(day temporal.Day, recs []update.Record) error {
+	start := time.Now()
 	cb, err := in.BuildDayCube(day, recs)
 	if err != nil {
 		return err
 	}
-	return in.ix.AppendDay(day, cb)
+	if err := in.ix.AppendDay(day, cb); err != nil {
+		return err
+	}
+	in.met.Days.Inc()
+	in.met.Records.Add(int64(len(recs)))
+	in.met.DayIngestTiming.Observe(time.Since(start))
+	return nil
 }
 
 // ReplaceMonth is the monthly refinement (Section VI-A): the month's records,
@@ -76,7 +116,11 @@ func (in *Ingestor) ReplaceMonth(month temporal.Period, recs []update.Record) er
 		}
 		days[d] = cb
 	}
-	return in.ix.ReplaceDays(days)
+	if err := in.ix.ReplaceDays(days); err != nil {
+		return err
+	}
+	in.met.MonthsReplaced.Inc()
+	return nil
 }
 
 // Dropped reports how many records fell outside the schema and were skipped

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"rased/internal/obs"
+	"rased/internal/temporal"
+)
+
+// EngineMetrics are the engine's obs instruments: query throughput and
+// latency, the per-level cube read mix (the quantity the level optimizer
+// exists to shrink), and the optimizer's plan sizes.
+type EngineMetrics struct {
+	Queries      *obs.Counter
+	QueryErrors  *obs.Counter
+	QueryLatency *obs.Histogram
+	CubesRead    [temporal.NumLevels]*obs.Counter
+	PlanPeriods  *obs.Histogram
+}
+
+func newEngineMetrics() *EngineMetrics {
+	m := &EngineMetrics{
+		Queries:      obs.NewCounter("rased_queries_total", "Analysis queries served."),
+		QueryErrors:  obs.NewCounter("rased_query_errors_total", "Analysis queries that failed."),
+		QueryLatency: obs.NewHistogram("rased_query_latency_seconds", "End-to-end Analyze latency.", nil),
+		PlanPeriods:  obs.NewHistogram("rased_plan_periods", "Periods per optimizer plan.", obs.CountBuckets),
+	}
+	for i := 0; i < temporal.NumLevels; i++ {
+		m.CubesRead[i] = obs.NewCounter("rased_cubes_read_total", "Cubes read during query execution.",
+			obs.L("level", temporal.Level(i).String()))
+	}
+	return m
+}
+
+// All returns the instruments for registry wiring.
+func (m *EngineMetrics) All() []obs.Metric {
+	out := []obs.Metric{m.Queries, m.QueryErrors, m.QueryLatency, m.PlanPeriods}
+	for i := 0; i < temporal.NumLevels; i++ {
+		out = append(out, m.CubesRead[i])
+	}
+	return out
+}
+
+// Metrics returns the engine's obs instruments for registry wiring.
+func (e *Engine) Metrics() *EngineMetrics { return e.met }

@@ -92,6 +92,10 @@ type Query struct {
 
 	GroupBy    GroupBy
 	Percentage bool
+
+	// Trace requests a QueryTrace on the result (the executed plan, cache
+	// residency, page I/O, and stage timings).
+	Trace bool
 }
 
 // Row is one line of an analysis result. Dimension fields are empty when the
@@ -116,9 +120,10 @@ type ExecStats struct {
 
 // Result is an executed analysis query.
 type Result struct {
-	Rows  []Row     `json:"rows"`
-	Total uint64    `json:"total"`
-	Stats ExecStats `json:"stats"`
+	Rows  []Row       `json:"rows"`
+	Total uint64      `json:"total"`
+	Stats ExecStats   `json:"stats"`
+	Trace *QueryTrace `json:"trace,omitempty"` // present when Query.Trace was set
 }
 
 // CompileFilter resolves the query's name-based filters into cube

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"rased/internal/obs"
+	"rased/internal/temporal"
+)
+
+// QueryTrace is the execution record of one traced Analyze call: the cubes
+// actually read per bucket with their cache residency (the plan as executed,
+// not as predicted by Explain), the level mix, page I/O, and stage timings.
+// Requested with Query.Trace or the server's debug=trace parameter.
+type QueryTrace struct {
+	Buckets      []BucketPlan   `json:"buckets,omitempty"`
+	PlanLevels   map[string]int `json:"plan_levels,omitempty"` // level name -> cubes read
+	CubesFetched int            `json:"cubes_fetched"`
+	CacheHits    int            `json:"cache_hits"`
+	DiskReads    int            `json:"disk_reads"`
+	// PageReads is the index store's page counter delta across the query.
+	// Under concurrent Analyze calls it includes pages read by overlapping
+	// queries; it is exact when queries run one at a time (tests, CLI).
+	PageReads  int64       `json:"page_reads"`
+	Stages     []obs.Stage `json:"stages,omitempty"`
+	TotalNanos int64       `json:"total_nanos"`
+}
+
+// Print renders the trace for terminal use (rased-query -trace).
+func (t *QueryTrace) Print(w io.Writer) {
+	fmt.Fprintf(w, "trace: %d cubes (%d cached, %d from disk), %d page reads, %s total\n",
+		t.CubesFetched, t.CacheHits, t.DiskReads, t.PageReads,
+		time.Duration(t.TotalNanos))
+	for lvl := 0; lvl < temporal.NumLevels; lvl++ {
+		name := temporal.Level(lvl).String()
+		if n := t.PlanLevels[name]; n > 0 {
+			fmt.Fprintf(w, "  level %-8s ×%d\n", name, n)
+		}
+	}
+	for _, s := range t.Stages {
+		fmt.Fprintf(w, "  stage %-16s %s\n", s.Name, time.Duration(s.Nanos))
+	}
+}
+
+// traceBuilder accumulates a QueryTrace during one Analyze call. A nil
+// builder (tracing off) makes every method a no-op, so the execution path
+// threads it unconditionally.
+type traceBuilder struct {
+	tr          *obs.Trace
+	pagesBefore int64
+	buckets     []BucketPlan
+	bucketIdx   map[string]int
+	levels      map[string]int
+}
+
+func (e *Engine) newTraceBuilder() *traceBuilder {
+	return &traceBuilder{
+		tr:          obs.NewTrace(),
+		pagesBefore: e.ix.Store().Stats().Reads,
+		bucketIdx:   make(map[string]int),
+		levels:      make(map[string]int),
+	}
+}
+
+// stage times a named phase; call the returned closure at phase end.
+func (tb *traceBuilder) stage(name string) func() {
+	if tb == nil {
+		return func() {}
+	}
+	return tb.tr.StartStage(name)
+}
+
+// addPeriod records one executed cube fetch under its date bucket.
+func (tb *traceBuilder) addPeriod(bucket rowKey, p temporal.Period, cached bool) {
+	if tb == nil {
+		return
+	}
+	label := ""
+	if bucket.hasPeriod {
+		label = bucket.p.String()
+	}
+	i, ok := tb.bucketIdx[label]
+	if !ok {
+		i = len(tb.buckets)
+		tb.bucketIdx[label] = i
+		tb.buckets = append(tb.buckets, BucketPlan{Bucket: label})
+	}
+	tb.buckets[i].Periods = append(tb.buckets[i].Periods, PeriodPlan{
+		Period: p.String(),
+		Level:  p.Level.String(),
+		Cached: cached,
+	})
+	tb.levels[p.Level.String()]++
+}
+
+// finish attaches the completed trace to the result. Call after Stats (and
+// ElapsedNanos) are final.
+func (tb *traceBuilder) finish(e *Engine, res *Result) {
+	if tb == nil {
+		return
+	}
+	res.Trace = &QueryTrace{
+		Buckets:      tb.buckets,
+		PlanLevels:   tb.levels,
+		CubesFetched: res.Stats.CubesFetched,
+		CacheHits:    res.Stats.CacheHits,
+		DiskReads:    res.Stats.DiskReads,
+		PageReads:    e.ix.Store().Stats().Reads - tb.pagesBefore,
+		Stages:       tb.tr.Stages(),
+		TotalNanos:   res.Stats.ElapsedNanos,
+	}
+}

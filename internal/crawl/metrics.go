@@ -1,0 +1,39 @@
+package crawl
+
+import "rased/internal/obs"
+
+// Counters are the crawler's obs instruments. The crawl functions themselves
+// stay pure (they return Stats); the pipeline folds each crawl's Stats into
+// a Counters via Observe, so one set of series accumulates across days.
+type Counters struct {
+	Seen               *obs.Counter
+	Emitted            *obs.Counter
+	DroppedNonRoad     *obs.Counter
+	DroppedNoChangeset *obs.Counter
+	DroppedNoCountry   *obs.Counter
+}
+
+// NewCounters returns a fresh set of crawl counters.
+func NewCounters() *Counters {
+	return &Counters{
+		Seen:               obs.NewCounter("rased_crawl_seen_total", "Element updates examined by the crawlers."),
+		Emitted:            obs.NewCounter("rased_crawl_emitted_total", "UpdateList records produced by the crawlers."),
+		DroppedNonRoad:     obs.NewCounter("rased_crawl_dropped_total", "Updates dropped by the crawlers.", obs.L("reason", "non_road")),
+		DroppedNoChangeset: obs.NewCounter("rased_crawl_dropped_total", "Updates dropped by the crawlers.", obs.L("reason", "no_changeset")),
+		DroppedNoCountry:   obs.NewCounter("rased_crawl_dropped_total", "Updates dropped by the crawlers.", obs.L("reason", "no_country")),
+	}
+}
+
+// All returns the instruments for registry wiring.
+func (c *Counters) All() []obs.Metric {
+	return []obs.Metric{c.Seen, c.Emitted, c.DroppedNonRoad, c.DroppedNoChangeset, c.DroppedNoCountry}
+}
+
+// Observe folds one crawl's Stats into the counters.
+func (c *Counters) Observe(st Stats) {
+	c.Seen.Add(int64(st.Seen))
+	c.Emitted.Add(int64(st.Emitted))
+	c.DroppedNonRoad.Add(int64(st.NonRoad))
+	c.DroppedNoChangeset.Add(int64(st.NoChangeset))
+	c.DroppedNoCountry.Add(int64(st.NoCountry))
+}

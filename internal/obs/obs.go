@@ -1,0 +1,345 @@
+// Package obs is RASED's observability substrate: a dependency-free metrics
+// toolkit (atomic counters, gauges, lock-cheap histograms), a registry with a
+// JSON snapshot API and a Prometheus-text encoder, and a lightweight
+// per-query trace. The paper reasons about every design choice — the level
+// optimizer, the cache allocation, one-page cubes — in terms of disk I/Os
+// and latency; obs makes those quantities visible in a running deployment.
+//
+// Instruments are standalone objects owned by the component they measure
+// (the engine, the cache, each page store); wiring code registers them into
+// a Registry for export. Observing a metric is one or two atomic operations,
+// cheap enough to keep on every hot path.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Kind discriminates the metric types.
+type Kind uint8
+
+// Metric kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String returns the Prometheus type name.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Label is one name=value dimension of a metric.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Desc identifies a metric: its name, help text, and label set.
+type Desc struct {
+	Name   string
+	Help   string
+	Labels []Label
+}
+
+// id returns the unique series identity (name plus sorted labels).
+func (d Desc) id() string {
+	if len(d.Labels) == 0 {
+		return d.Name
+	}
+	ls := append([]Label(nil), d.Labels...)
+	sort.Slice(ls, func(a, b int) bool { return ls[a].Key < ls[b].Key })
+	var sb strings.Builder
+	sb.WriteString(d.Name)
+	for _, l := range ls {
+		sb.WriteByte('{')
+		sb.WriteString(l.Key)
+		sb.WriteByte('=')
+		sb.WriteString(l.Value)
+		sb.WriteByte('}')
+	}
+	return sb.String()
+}
+
+// Metric is anything the registry can snapshot and encode. All metric types
+// live in this package so the registry knows how to render each kind.
+type Metric interface {
+	Desc() Desc
+	Kind() Kind
+	snapshot() MetricSnapshot
+}
+
+// labelMap converts a label slice to the snapshot's map form.
+func labelMap(ls []Label) map[string]string {
+	if len(ls) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(ls))
+	for _, l := range ls {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+// ---------------------------------------------------------------------------
+// Counter
+
+// Counter is a monotonically increasing atomic int64.
+type Counter struct {
+	desc Desc
+	v    atomic.Int64
+}
+
+// NewCounter returns a counter metric.
+func NewCounter(name, help string, labels ...Label) *Counter {
+	return &Counter{desc: Desc{Name: name, Help: help, Labels: labels}}
+}
+
+// Desc returns the metric identity.
+func (c *Counter) Desc() Desc { return c.desc }
+
+// Kind returns KindCounter.
+func (c *Counter) Kind() Kind { return KindCounter }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (which must be non-negative for counter semantics; not checked
+// on the hot path).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Reset zeroes the counter (experiment harness use; production counters only
+// go up).
+func (c *Counter) Reset() { c.v.Store(0) }
+
+func (c *Counter) snapshot() MetricSnapshot {
+	return MetricSnapshot{
+		Name: c.desc.Name, Kind: c.Kind().String(), Help: c.desc.Help,
+		Labels: labelMap(c.desc.Labels), Value: float64(c.v.Load()),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+
+// Gauge is a settable atomic int64.
+type Gauge struct {
+	desc Desc
+	v    atomic.Int64
+}
+
+// NewGauge returns a gauge metric.
+func NewGauge(name, help string, labels ...Label) *Gauge {
+	return &Gauge{desc: Desc{Name: name, Help: help, Labels: labels}}
+}
+
+// Desc returns the metric identity.
+func (g *Gauge) Desc() Desc { return g.desc }
+
+// Kind returns KindGauge.
+func (g *Gauge) Kind() Kind { return KindGauge }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) snapshot() MetricSnapshot {
+	return MetricSnapshot{
+		Name: g.desc.Name, Kind: g.Kind().String(), Help: g.desc.Help,
+		Labels: labelMap(g.desc.Labels), Value: float64(g.v.Load()),
+	}
+}
+
+// GaugeFunc is a gauge whose value is computed at snapshot time (cache
+// residency, page counts — state another component already tracks).
+type GaugeFunc struct {
+	desc Desc
+	fn   func() float64
+}
+
+// NewGaugeFunc returns a computed gauge.
+func NewGaugeFunc(name, help string, fn func() float64, labels ...Label) *GaugeFunc {
+	return &GaugeFunc{desc: Desc{Name: name, Help: help, Labels: labels}, fn: fn}
+}
+
+// Desc returns the metric identity.
+func (g *GaugeFunc) Desc() Desc { return g.desc }
+
+// Kind returns KindGauge.
+func (g *GaugeFunc) Kind() Kind { return KindGauge }
+
+// Value invokes the gauge function.
+func (g *GaugeFunc) Value() float64 { return g.fn() }
+
+func (g *GaugeFunc) snapshot() MetricSnapshot {
+	return MetricSnapshot{
+		Name: g.desc.Name, Kind: g.Kind().String(), Help: g.desc.Help,
+		Labels: labelMap(g.desc.Labels), Value: g.fn(),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+// DefLatencyBuckets are the fixed latency buckets (seconds) spanning the
+// sub-millisecond cache hits through the multi-second flat scans of the
+// RASED-F baseline.
+var DefLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// CountBuckets suit size-like observations (plan periods, batch sizes).
+var CountBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// Histogram is a fixed-bucket histogram: one atomic add per observation on
+// the bucket, count, and sum — no locks on the observe path.
+type Histogram struct {
+	desc    Desc
+	bounds  []float64 // ascending upper bounds; an implicit +Inf follows
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram returns a histogram with the given upper bounds (seconds for
+// latencies); nil bounds default to DefLatencyBuckets.
+func NewHistogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if bounds == nil {
+		bounds = DefLatencyBuckets
+	}
+	return &Histogram{
+		desc:    Desc{Name: name, Help: help, Labels: labels},
+		bounds:  bounds,
+		buckets: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Desc returns the metric identity.
+func (h *Histogram) Desc() Desc { return h.desc }
+
+// Kind returns KindHistogram.
+func (h *Histogram) Kind() Kind { return KindHistogram }
+
+// Observe records a duration (converted to seconds).
+func (h *Histogram) Observe(d time.Duration) { h.ObserveValue(d.Seconds()) }
+
+// ObserveValue records a raw observation.
+func (h *Histogram) ObserveValue(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v, or the +Inf slot
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Snapshot captures the histogram state. Concurrent observations may tear
+// between buckets and the total — acceptable for monitoring reads.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.buckets)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+	}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+func (h *Histogram) snapshot() MetricSnapshot {
+	hs := h.Snapshot()
+	return MetricSnapshot{
+		Name: h.desc.Name, Kind: h.Kind().String(), Help: h.desc.Help,
+		Labels: labelMap(h.desc.Labels), Histogram: &hs,
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Counts are
+// per-bucket (not cumulative); Counts[len(Bounds)] is the +Inf overflow.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Sub returns the observations made between prev and s (for per-run deltas
+// in the experiment harness). The snapshots must share bucket bounds.
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{
+		Bounds: s.Bounds,
+		Counts: make([]int64, len(s.Counts)),
+		Count:  s.Count - prev.Count,
+		Sum:    s.Sum - prev.Sum,
+	}
+	for i := range s.Counts {
+		out.Counts[i] = s.Counts[i] - prev.Counts[i]
+	}
+	return out
+}
+
+// Quantile estimates the q-th quantile (0..1) by linear interpolation inside
+// the containing bucket, the standard Prometheus estimation. Observations in
+// the +Inf bucket clamp to the largest finite bound.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, c := range s.Counts {
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		if float64(cum+c) >= rank {
+			if i >= len(s.Bounds) {
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			hi := s.Bounds[i]
+			if c == 0 {
+				return hi
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}

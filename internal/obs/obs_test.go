@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	c := NewCounter("c_total", "help")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	c.Reset()
+	if got := c.Value(); got != 0 {
+		t.Fatalf("after reset counter = %d, want 0", got)
+	}
+
+	g := NewGauge("g", "help")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+
+	gf := NewGaugeFunc("gf", "help", func() float64 { return 3.5 })
+	if got := gf.Value(); got != 3.5 {
+		t.Fatalf("gauge func = %v, want 3.5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram("h_seconds", "help", []float64{0.001, 0.01, 0.1})
+	h.ObserveValue(0.0005) // bucket le=0.001
+	h.ObserveValue(0.001)  // le semantics: exactly the bound lands in its bucket
+	h.ObserveValue(0.05)   // le=0.1
+	h.ObserveValue(2)      // +Inf
+	s := h.Snapshot()
+	want := []int64{2, 0, 1, 1}
+	for i, c := range s.Counts {
+		if c != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, c, want[i], s.Counts)
+		}
+	}
+	if s.Count != 4 {
+		t.Fatalf("count = %d, want 4", s.Count)
+	}
+	if s.Sum < 2.05 || s.Sum > 2.06 {
+		t.Fatalf("sum = %v, want ~2.0515", s.Sum)
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	h := NewHistogram("h_seconds", "help", nil)
+	h.Observe(2 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("count = %d, want 1", s.Count)
+	}
+	// 2ms lands in the le=0.0025 bucket of DefLatencyBuckets.
+	idx := 4
+	if DefLatencyBuckets[idx] != 0.0025 {
+		t.Fatalf("bucket layout changed; update test")
+	}
+	if s.Counts[idx] != 1 {
+		t.Fatalf("2ms observation in wrong bucket: %v", s.Counts)
+	}
+}
+
+func TestHistogramSubAndQuantile(t *testing.T) {
+	h := NewHistogram("h_seconds", "help", []float64{0.01, 0.1, 1})
+	before := h.Snapshot()
+	for i := 0; i < 90; i++ {
+		h.ObserveValue(0.005) // le=0.01
+	}
+	for i := 0; i < 10; i++ {
+		h.ObserveValue(0.5) // le=1
+	}
+	d := h.Snapshot().Sub(before)
+	if d.Count != 100 {
+		t.Fatalf("delta count = %d, want 100", d.Count)
+	}
+	p50 := d.Quantile(0.5)
+	if p50 <= 0 || p50 > 0.01 {
+		t.Fatalf("p50 = %v, want within first bucket (0, 0.01]", p50)
+	}
+	p99 := d.Quantile(0.99)
+	if p99 <= 0.1 || p99 > 1 {
+		t.Fatalf("p99 = %v, want within last finite bucket (0.1, 1]", p99)
+	}
+	if q := (HistogramSnapshot{}).Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+}
+
+func TestRegistryDuplicate(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(NewCounter("a_total", "", L("x", "1"))); err != nil {
+		t.Fatal(err)
+	}
+	// Same name, different labels: fine.
+	if err := r.Register(NewCounter("a_total", "", L("x", "2"))); err != nil {
+		t.Fatal(err)
+	}
+	// Exact duplicate: rejected.
+	if err := r.Register(NewCounter("a_total", "", L("x", "1"))); err == nil {
+		t.Fatal("expected duplicate registration error")
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	c := NewCounter("rased_test_total", "a counter", L("level", "daily"))
+	c.Add(3)
+	h := NewHistogram("rased_lat_seconds", "a histogram", []float64{0.01, 0.1})
+	h.ObserveValue(0.005)
+	h.ObserveValue(0.05)
+	h.ObserveValue(5)
+	g := NewGauge("rased_g", "a gauge")
+	g.Set(9)
+	r.MustRegister(c, h, g)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE rased_test_total counter",
+		`rased_test_total{level="daily"} 3`,
+		"# TYPE rased_lat_seconds histogram",
+		`rased_lat_seconds_bucket{le="0.01"} 1`,
+		`rased_lat_seconds_bucket{le="0.1"} 2`,
+		`rased_lat_seconds_bucket{le="+Inf"} 3`,
+		"rased_lat_seconds_count 3",
+		"rased_g 9",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	c := NewCounter("b_total", "")
+	c.Inc()
+	r.MustRegister(c, NewHistogram("a_seconds", "", []float64{1}))
+	snaps := r.Snapshot()
+	if len(snaps) != 2 {
+		t.Fatalf("got %d snapshots, want 2", len(snaps))
+	}
+	// Sorted by name.
+	if snaps[0].Name != "a_seconds" || snaps[1].Name != "b_total" {
+		t.Fatalf("snapshot order: %s, %s", snaps[0].Name, snaps[1].Name)
+	}
+	b, err := json.Marshal(snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"histogram"`) {
+		t.Fatalf("JSON missing histogram field: %s", b)
+	}
+}
+
+func TestTrace(t *testing.T) {
+	tr := NewTrace()
+	done := tr.StartStage("plan")
+	done()
+	tr.StartStage("agg")()
+	st := tr.Stages()
+	if len(st) != 2 || st[0].Name != "plan" || st[1].Name != "agg" {
+		t.Fatalf("stages = %+v", st)
+	}
+
+	var nilTrace *Trace
+	nilTrace.StartStage("noop")() // must not panic
+	if nilTrace.Stages() != nil {
+		t.Fatal("nil trace should have no stages")
+	}
+}
+
+// TestConcurrency hammers every instrument from many goroutines while a
+// reader snapshots; run under -race via make check.
+func TestConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := NewCounter("c_total", "")
+	g := NewGauge("g", "")
+	h := NewHistogram("h_seconds", "", nil)
+	r.MustRegister(c, g, h)
+
+	const workers, iters = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Set(int64(i))
+				h.ObserveValue(float64(seed*i%100) / 1000)
+			}
+		}(w + 1)
+	}
+	// Concurrent readers.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sb strings.Builder
+			_ = r.WritePrometheus(&sb)
+			r.Snapshot()
+		}()
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*iters {
+		t.Fatalf("counter = %d, want %d", got, workers*iters)
+	}
+	s := h.Snapshot()
+	if s.Count != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", s.Count, workers*iters)
+	}
+	var sum int64
+	for _, b := range s.Counts {
+		sum += b
+	}
+	if sum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", sum, s.Count)
+	}
+}

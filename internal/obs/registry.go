@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry holds a set of metrics for export. Registration happens at wiring
+// time (deployment open, server construction); reads take a snapshot under a
+// short lock and render outside it.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []Metric
+	ids     map[string]struct{}
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{ids: make(map[string]struct{})}
+}
+
+// Register adds metrics, rejecting duplicates (same name and label set).
+func (r *Registry) Register(ms ...Metric) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, m := range ms {
+		id := m.Desc().id()
+		if _, dup := r.ids[id]; dup {
+			return fmt.Errorf("obs: duplicate metric %s", id)
+		}
+		r.ids[id] = struct{}{}
+		r.metrics = append(r.metrics, m)
+	}
+	return nil
+}
+
+// MustRegister is Register, panicking on duplicates — a wiring bug, caught at
+// construction in any test that builds the component.
+func (r *Registry) MustRegister(ms ...Metric) {
+	if err := r.Register(ms...); err != nil {
+		panic(err)
+	}
+}
+
+// MetricSnapshot is one metric's state at snapshot time, JSON-encodable for
+// the /api/stats endpoint.
+type MetricSnapshot struct {
+	Name      string             `json:"name"`
+	Kind      string             `json:"kind"`
+	Help      string             `json:"help,omitempty"`
+	Labels    map[string]string  `json:"labels,omitempty"`
+	Value     float64            `json:"value"`
+	Histogram *HistogramSnapshot `json:"histogram,omitempty"`
+}
+
+// Snapshot captures every registered metric, sorted by name then label
+// identity so output is deterministic.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	r.mu.Lock()
+	ms := make([]Metric, len(r.metrics))
+	copy(ms, r.metrics)
+	r.mu.Unlock()
+
+	sort.SliceStable(ms, func(a, b int) bool {
+		da, db := ms[a].Desc(), ms[b].Desc()
+		if da.Name != db.Name {
+			return da.Name < db.Name
+		}
+		return da.id() < db.id()
+	})
+	out := make([]MetricSnapshot, 0, len(ms))
+	for _, m := range ms {
+		out = append(out, m.snapshot())
+	}
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): # HELP / # TYPE headers once per metric family,
+// cumulative histogram buckets with le labels, _sum and _count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snaps := r.Snapshot()
+	var lastFamily string
+	for _, s := range snaps {
+		if s.Name != lastFamily {
+			if s.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, escapeHelp(s.Help)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
+				return err
+			}
+			lastFamily = s.Name
+		}
+		if err := writeSeries(w, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, s MetricSnapshot) error {
+	if s.Histogram == nil {
+		_, err := fmt.Fprintf(w, "%s%s %s\n", s.Name, formatLabels(s.Labels, "", ""), formatValue(s.Value))
+		return err
+	}
+	h := s.Histogram
+	var cum int64
+	for i, c := range h.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(h.Bounds) {
+			le = formatValue(h.Bounds[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.Name, formatLabels(s.Labels, "le", le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", s.Name, formatLabels(s.Labels, "", ""), formatValue(h.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, formatLabels(s.Labels, "", ""), h.Count)
+	return err
+}
+
+// formatLabels renders a {k="v",...} block, appending the extra pair (used
+// for histogram le) when extraKey is non-empty. Returns "" for no labels.
+func formatLabels(labels map[string]string, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(labels[k]))
+		sb.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(keys) > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(extraKey)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(extraVal))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}

@@ -1,0 +1,44 @@
+package obs
+
+import "time"
+
+// Stage is one timed phase of a traced operation.
+type Stage struct {
+	Name  string `json:"name"`
+	Nanos int64  `json:"nanos"`
+}
+
+// Trace collects stage timings for a single operation (one Analyze call).
+// It is not safe for concurrent use — each operation owns its trace. All
+// methods are nil-safe so instrumented code can thread an optional *Trace
+// without branching.
+type Trace struct {
+	stages []Stage
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// StartStage begins a named stage and returns the closure that ends it.
+// Typical use:
+//
+//	done := tr.StartStage("plan")
+//	... work ...
+//	done()
+func (t *Trace) StartStage(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() {
+		t.stages = append(t.stages, Stage{Name: name, Nanos: time.Since(start).Nanoseconds()})
+	}
+}
+
+// Stages returns the recorded stages in completion order.
+func (t *Trace) Stages() []Stage {
+	if t == nil {
+		return nil
+	}
+	return t.stages
+}

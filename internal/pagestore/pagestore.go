@@ -9,15 +9,34 @@ package pagestore
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"rased/internal/obs"
 )
 
 // Stats is a snapshot of I/O counters.
 type Stats struct {
 	Reads  int64
 	Writes int64
+}
+
+// Metrics are the store's obs instruments. They back the Stats() API: the
+// counters ARE the store's read/write counts, so polling Stats and scraping
+// /metrics always agree. Labeled by the store file's base name so the index,
+// warehouse heap, and DBMS table each export distinct series.
+type Metrics struct {
+	Reads       *obs.Counter
+	Writes      *obs.Counter
+	ReadLatency *obs.Histogram
+	Pages       *obs.GaugeFunc
+}
+
+// All returns the instruments for registry wiring.
+func (m *Metrics) All() []obs.Metric {
+	return []obs.Metric{m.Reads, m.Writes, m.ReadLatency, m.Pages}
 }
 
 // Store is a file of fixed-size pages addressed by page number.
@@ -29,8 +48,7 @@ type Store struct {
 	f      *os.File
 	nPages int
 
-	reads   atomic.Int64
-	writes  atomic.Int64
+	met     *Metrics
 	latency atomic.Int64 // injected nanoseconds per page read
 }
 
@@ -53,13 +71,24 @@ func Open(path string, pageSize int) (*Store, error) {
 		f.Close()
 		return nil, fmt.Errorf("pagestore: %s size %d is not a multiple of page size %d", path, fi.Size(), pageSize)
 	}
-	return &Store{
+	s := &Store{
 		path:     path,
 		pageSize: pageSize,
 		f:        f,
 		nPages:   int(fi.Size() / int64(pageSize)),
-	}, nil
+	}
+	lbl := obs.L("store", filepath.Base(path))
+	s.met = &Metrics{
+		Reads:       obs.NewCounter("rased_pagestore_reads_total", "Pages read from disk.", lbl),
+		Writes:      obs.NewCounter("rased_pagestore_writes_total", "Pages written to disk.", lbl),
+		ReadLatency: obs.NewHistogram("rased_pagestore_read_latency_seconds", "Page read latency including injected disk latency.", nil, lbl),
+		Pages:       obs.NewGaugeFunc("rased_pagestore_pages", "Current number of pages in the file.", func() float64 { return float64(s.NumPages()) }, lbl),
+	}
+	return s, nil
 }
+
+// Metrics returns the store's obs instruments for registry wiring.
+func (s *Store) Metrics() *Metrics { return s.met }
 
 // PageSize returns the store's page size in bytes.
 func (s *Store) PageSize() int { return s.pageSize }
@@ -92,6 +121,7 @@ func (s *Store) ReadPage(id int, buf []byte) error {
 	if len(buf) != s.pageSize {
 		return fmt.Errorf("pagestore: read buffer is %d bytes, page size is %d", len(buf), s.pageSize)
 	}
+	start := time.Now()
 	s.mu.Lock()
 	if id < 0 || id >= s.nPages {
 		n := s.nPages
@@ -103,10 +133,11 @@ func (s *Store) ReadPage(id int, buf []byte) error {
 	if err != nil {
 		return fmt.Errorf("pagestore: read page %d: %w", id, err)
 	}
-	s.reads.Add(1)
+	s.met.Reads.Inc()
 	if d := s.latency.Load(); d > 0 {
 		time.Sleep(time.Duration(d))
 	}
+	s.met.ReadLatency.Observe(time.Since(start))
 	return nil
 }
 
@@ -128,7 +159,7 @@ func (s *Store) WritePage(id int, buf []byte) error {
 	if id == s.nPages {
 		s.nPages++
 	}
-	s.writes.Add(1)
+	s.met.Writes.Inc()
 	return nil
 }
 
@@ -157,13 +188,13 @@ func (s *Store) Append(buf []byte) (int, error) {
 
 // Stats returns a snapshot of the I/O counters.
 func (s *Store) Stats() Stats {
-	return Stats{Reads: s.reads.Load(), Writes: s.writes.Load()}
+	return Stats{Reads: s.met.Reads.Value(), Writes: s.met.Writes.Value()}
 }
 
 // ResetStats zeroes the I/O counters.
 func (s *Store) ResetStats() {
-	s.reads.Store(0)
-	s.writes.Store(0)
+	s.met.Reads.Reset()
+	s.met.Writes.Reset()
 }
 
 // Sync flushes the file to stable storage.

@@ -1,0 +1,228 @@
+package server
+
+import (
+	"bytes"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rased/internal/cache"
+	"rased/internal/core"
+	"rased/internal/cube"
+	"rased/internal/obs"
+	"rased/internal/osm"
+	"rased/internal/temporal"
+	"rased/internal/tindex"
+	"rased/internal/update"
+	"rased/internal/warehouse"
+)
+
+func TestMetricsEndpoint(t *testing.T) {
+	s, _ := newTestServer(t)
+	// Generate some traffic so the HTTP counters exist.
+	get(t, s, "/api/meta")
+	get(t, s, "/api/meta")
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	out := rec.Body.String()
+	for _, want := range []string{
+		`rased_http_requests_total{code="200",method="GET",route="/api/meta"} 2`,
+		`rased_http_request_latency_seconds_bucket{route="/api/meta",le="+Inf"} 2`,
+		"# TYPE rased_http_requests_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	s, _ := newTestServer(t)
+	get(t, s, "/api/meta")
+	rec, body := get(t, s, "/api/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	metrics, ok := body["metrics"].([]any)
+	if !ok || len(metrics) == 0 {
+		t.Fatalf("stats carries no metrics: %v", body)
+	}
+	names := map[string]bool{}
+	for _, m := range metrics {
+		names[m.(map[string]any)["name"].(string)] = true
+	}
+	if !names["rased_http_requests_total"] || !names["rased_http_request_latency_seconds"] {
+		t.Errorf("HTTP metrics missing from stats: %v", names)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s, _ := newTestServer(t)
+	rec, body := get(t, s, "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if body["status"] != "ok" {
+		t.Errorf("status field = %v", body["status"])
+	}
+	if body["coverage_from"] != "2021-01-01" || body["coverage_to"] != "2021-12-31" {
+		t.Errorf("coverage = %v..%v", body["coverage_from"], body["coverage_to"])
+	}
+}
+
+func TestDebugTraceParam(t *testing.T) {
+	s, b := newTestServer(t)
+	rec, _ := get(t, s, "/api/analysis?from=2021-01-01&to=2021-02-01&debug=trace")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if !b.lastQuery.Trace {
+		t.Error("debug=trace did not request a trace")
+	}
+	rec, _ = get(t, s, "/api/analysis?from=2021-01-01&to=2021-02-01&debug=profile")
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown debug mode: status = %d", rec.Code)
+	}
+	rec, _ = get(t, s, "/api/analysis?from=2021-01-01&to=2021-02-01")
+	if rec.Code != http.StatusOK || b.lastQuery.Trace {
+		t.Errorf("untraced request: status %d, trace %v", rec.Code, b.lastQuery.Trace)
+	}
+}
+
+func TestAccessLogDebugLevel(t *testing.T) {
+	b := &fakeBackend{}
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	s := New(b, WithLogger(logger))
+	get(t, s, "/api/meta")
+	out := buf.String()
+	if !strings.Contains(out, "path=/api/meta") || !strings.Contains(out, "status=200") {
+		t.Errorf("access log missing fields: %q", out)
+	}
+
+	// At the default Info level the middleware stays quiet.
+	buf.Reset()
+	logger = slog.New(slog.NewTextHandler(&buf, nil))
+	s = New(b, WithLogger(logger))
+	get(t, s, "/api/meta")
+	if buf.Len() != 0 {
+		t.Errorf("Info-level logger emitted access log: %q", buf.String())
+	}
+}
+
+// engineBackend adapts a bare core.Engine to the server Backend for the
+// acceptance test; samples and changesets are out of scope.
+type engineBackend struct {
+	eng *core.Engine
+}
+
+func (b *engineBackend) Analyze(q core.Query) (*core.Result, error) { return b.eng.Analyze(q) }
+func (b *engineBackend) Sample(warehouse.SampleQuery) ([]update.Record, error) {
+	return nil, nil
+}
+func (b *engineBackend) ByChangeset(int64) ([]update.Record, error) { return nil, nil }
+func (b *engineBackend) Coverage() (temporal.Day, temporal.Day, bool) {
+	return b.eng.Index().Coverage()
+}
+
+// TestEngineMetricsThroughServer is the subsystem end to end: a real engine
+// behind the server, one shared registry, queries through the HTTP API, and
+// the engine/cache/pagestore series visible on one /metrics scrape.
+func TestEngineMetricsThroughServer(t *testing.T) {
+	dir := t.TempDir()
+	ix, err := tindex.Create(dir, cube.ScaledSchema(10, 5), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	ing := core.NewIngestor(ix)
+	day := temporal.NewDay(2021, time.June, 1)
+	for i := 0; i < 10; i++ {
+		d := day + temporal.Day(i)
+		recs := []update.Record{
+			{ElementType: osm.Way, Day: d, Country: 1, RoadType: 1, UpdateType: update.Create},
+			{ElementType: osm.Node, Day: d, Country: 2, RoadType: 2, UpdateType: update.Delete},
+		}
+		if err := ing.AppendDay(d, recs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng, err := core.NewEngine(ix, core.Options{
+		CacheSlots: 32, Allocation: cache.Allocation{Alpha: 1}, LevelOptimization: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	reg.MustRegister(eng.Metrics().All()...)
+	reg.MustRegister(eng.Cache().Metrics().All()...)
+	reg.MustRegister(ix.Store().Metrics().All()...)
+
+	s := New(&engineBackend{eng: eng}, WithRegistry(reg))
+	for i := 0; i < 3; i++ {
+		rec, _ := get(t, s, "/api/analysis?from=2021-06-01&to=2021-06-10")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("query %d: status = %d: %s", i, rec.Code, rec.Body.String())
+		}
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	out := rec.Body.String()
+	for _, want := range []string{
+		"rased_queries_total 3",
+		`rased_query_latency_seconds_bucket{le="+Inf"} 3`,
+		`rased_cache_hits_total{level="daily",policy="preload"}`,
+		`rased_cache_misses_total{level="daily",policy="preload"}`,
+		"rased_pagestore_reads_total{store=",
+		"rased_pagestore_writes_total{store=",
+		`rased_http_requests_total{code="200",method="GET",route="/api/analysis"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, out)
+		}
+	}
+
+	// The JSON view of the same registry carries the same families.
+	_, body := get(t, s, "/api/stats")
+	names := map[string]bool{}
+	for _, m := range body["metrics"].([]any) {
+		names[m.(map[string]any)["name"].(string)] = true
+	}
+	for _, want := range []string{
+		"rased_queries_total", "rased_query_latency_seconds",
+		"rased_cache_hits_total", "rased_pagestore_reads_total",
+	} {
+		if !names[want] {
+			t.Errorf("/api/stats missing %q: %v", want, names)
+		}
+	}
+
+	// debug=trace through the full stack returns the executed plan.
+	rec2, body2 := get(t, s, "/api/analysis?from=2021-06-01&to=2021-06-10&debug=trace")
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("traced query: status = %d", rec2.Code)
+	}
+	tr, ok := body2["trace"].(map[string]any)
+	if !ok {
+		t.Fatalf("traced response has no trace: %v", body2)
+	}
+	if tr["cubes_fetched"].(float64) == 0 {
+		t.Errorf("trace counted no cubes: %v", tr)
+	}
+	if _, ok := tr["plan_levels"].(map[string]any); !ok {
+		t.Errorf("trace has no level mix: %v", tr)
+	}
+}

@@ -13,10 +13,12 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"rased/internal/core"
 	"rased/internal/geo"
+	"rased/internal/obs"
 	"rased/internal/osm"
 	"rased/internal/roads"
 	"rased/internal/temporal"
@@ -37,27 +39,126 @@ type Backend interface {
 type Server struct {
 	backend Backend
 	mux     *http.ServeMux
+	reg     *obs.Registry
+	log     *slog.Logger
+
+	cMu       sync.Mutex
+	reqCounts map[reqKey]*obs.Counter
+	routeHist map[string]*obs.Histogram
+}
+
+// Option configures a Server at construction.
+type Option func(*Server)
+
+// WithRegistry exports an existing registry (typically rased's
+// Deployment.Obs) at /metrics and /api/stats, and registers the server's own
+// HTTP metrics into it so engine and transport metrics share one scrape.
+// Without this option the server keeps a private registry holding only the
+// HTTP metrics.
+func WithRegistry(reg *obs.Registry) Option {
+	return func(s *Server) { s.reg = reg }
+}
+
+// WithLogger sets the logger for request-scoped access logs. Requests are
+// logged at Debug so benchmarks and production defaults stay quiet; run the
+// logger at LevelDebug to see them.
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Server) { s.log = l }
 }
 
 // New builds a server over a backend.
-func New(b Backend) *Server {
-	s := &Server{backend: b, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /api/meta", s.handleMeta)
-	s.mux.HandleFunc("POST /api/analysis", s.handleAnalysis)
-	s.mux.HandleFunc("GET /api/analysis", s.handleAnalysisGet)
-	s.mux.HandleFunc("POST /api/samples", s.handleSamples)
-	s.mux.HandleFunc("GET /api/timelapse", s.handleTimelapse)
-	s.mux.HandleFunc("GET /api/changeset/{id}", s.handleChangeset)
-	s.mux.HandleFunc("GET /", s.handleDashboard)
+func New(b Backend, opts ...Option) *Server {
+	s := &Server{
+		backend:   b,
+		mux:       http.NewServeMux(),
+		reqCounts: make(map[reqKey]*obs.Counter),
+		routeHist: make(map[string]*obs.Histogram),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
+	}
+	if s.log == nil {
+		s.log = slog.Default()
+	}
+	s.handle("GET /api/meta", "/api/meta", s.handleMeta)
+	s.handle("POST /api/analysis", "/api/analysis", s.handleAnalysis)
+	s.handle("GET /api/analysis", "/api/analysis", s.handleAnalysisGet)
+	s.handle("POST /api/samples", "/api/samples", s.handleSamples)
+	s.handle("GET /api/timelapse", "/api/timelapse", s.handleTimelapse)
+	s.handle("GET /api/changeset/{id}", "/api/changeset/{id}", s.handleChangeset)
+	s.handle("GET /api/stats", "/api/stats", s.handleStats)
+	s.handle("GET /metrics", "/metrics", s.handleMetrics)
+	s.handle("GET /healthz", "/healthz", s.handleHealthz)
+	s.handle("GET /", "/", s.handleDashboard)
 	return s
 }
+
+// Registry returns the registry the server exports.
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // ServeHTTP dispatches to the API mux.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// WithLogging wraps a handler with structured per-request access logging.
+// reqKey identifies one rased_http_requests_total series.
+type reqKey struct {
+	route  string
+	method string
+	code   int
+}
+
+// handle registers a route wrapped in the instrumentation middleware: a
+// per-route latency histogram, per-(route,method,code) request counters, and
+// a Debug-level access log line. The route label is passed explicitly (not
+// derived from the pattern at request time) so GET and POST on one path
+// share a latency series.
+func (s *Server) handle(pattern, route string, h http.HandlerFunc) {
+	hist, ok := s.routeHist[route] // GET and POST on one path share the series
+	if !ok {
+		hist = obs.NewHistogram("rased_http_request_latency_seconds",
+			"HTTP request latency by route.", nil, obs.L("route", route))
+		s.reg.MustRegister(hist)
+		s.routeHist[route] = hist
+	}
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		elapsed := time.Since(start)
+		hist.Observe(elapsed)
+		s.requestCounter(route, r.Method, rec.status).Inc()
+		s.log.Debug("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"elapsed_ms", float64(elapsed.Nanoseconds())/1e6,
+		)
+	})
+}
+
+// requestCounter returns (lazily creating and registering) the counter for
+// one route/method/status combination.
+func (s *Server) requestCounter(route, method string, code int) *obs.Counter {
+	k := reqKey{route: route, method: method, code: code}
+	s.cMu.Lock()
+	defer s.cMu.Unlock()
+	c, ok := s.reqCounts[k]
+	if !ok {
+		c = obs.NewCounter("rased_http_requests_total", "HTTP requests served.",
+			obs.L("route", route), obs.L("method", method), obs.L("code", strconv.Itoa(code)))
+		s.reg.MustRegister(c)
+		s.reqCounts[k] = c
+	}
+	return c
+}
+
+// WithLogging wraps a handler with structured per-request access logging at
+// Info level. Deprecated in favor of the built-in middleware (see
+// WithLogger), kept for callers that wrap the server in extra handlers.
 func WithLogging(h http.Handler, logger *slog.Logger) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -70,6 +171,27 @@ func WithLogging(h http.Handler, logger *slog.Logger) http.Handler {
 			"elapsed_ms", float64(time.Since(start).Nanoseconds())/1e6,
 		)
 	})
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
+
+// handleStats serves the same snapshot as /metrics, JSON-encoded.
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"metrics": s.reg.Snapshot()})
+}
+
+// handleHealthz reports liveness plus the served coverage window.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	resp := map[string]any{"status": "ok"}
+	if lo, hi, ok := s.backend.Coverage(); ok {
+		resp["coverage_from"] = lo.String()
+		resp["coverage_to"] = hi.String()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // statusRecorder captures the response status for access logs.
@@ -136,6 +258,9 @@ type AnalysisRequest struct {
 	// country, element_type, road_type, update_type, or period. Prefix with
 	// "-" for descending. Default: the engine's canonical order.
 	OrderBy string `json:"order_by,omitempty"`
+	// Debug selects execution diagnostics: "trace" attaches the executed
+	// plan, cache residency, page I/O, and stage timings to the result.
+	Debug string `json:"debug,omitempty"`
 }
 
 // sortRowsBy re-orders rows on the requested column.
@@ -221,6 +346,13 @@ func (r *AnalysisRequest) ToQuery() (core.Query, error) {
 	default:
 		return q, fmt.Errorf("unknown granularity %q", r.Granularity)
 	}
+	switch r.Debug {
+	case "", "none":
+	case "trace":
+		q.Trace = true
+	default:
+		return q, fmt.Errorf("unknown debug mode %q", r.Debug)
+	}
 	return q, nil
 }
 
@@ -278,6 +410,7 @@ func (s *Server) handleAnalysisGet(w http.ResponseWriter, r *http.Request) {
 		Granularity:  qs.Get("granularity"),
 		Percentage:   qs.Get("percentage") == "true",
 		OrderBy:      qs.Get("order_by"),
+		Debug:        qs.Get("debug"),
 	}
 	if lim := qs.Get("limit"); lim != "" {
 		n, err := strconv.Atoi(lim)

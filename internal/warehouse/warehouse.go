@@ -8,9 +8,11 @@ package warehouse
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"rased/internal/geo"
 	"rased/internal/heap"
+	"rased/internal/obs"
 	"rased/internal/osm"
 	"rased/internal/temporal"
 	"rased/internal/update"
@@ -23,12 +25,34 @@ const GridRes = 64
 // DefaultSampleN is the paper's default sample size.
 const DefaultSampleN = 100
 
+// Metrics are the warehouse's obs instruments: sample-query latency and the
+// number of candidate records the grid scan examined (matching or not).
+type Metrics struct {
+	SampleQueries  *obs.Counter
+	SampleLatency  *obs.Histogram
+	RecordsScanned *obs.Counter
+}
+
+func newStoreMetrics() *Metrics {
+	return &Metrics{
+		SampleQueries:  obs.NewCounter("rased_warehouse_sample_queries_total", "Sample queries served."),
+		SampleLatency:  obs.NewHistogram("rased_warehouse_sample_latency_seconds", "End-to-end Sample latency.", nil),
+		RecordsScanned: obs.NewCounter("rased_warehouse_records_scanned_total", "Candidate records examined by sample queries."),
+	}
+}
+
+// All returns the instruments for registry wiring.
+func (m *Metrics) All() []obs.Metric {
+	return []obs.Metric{m.SampleQueries, m.SampleLatency, m.RecordsScanned}
+}
+
 // Store is the on-disk UpdateList table plus its two indexes. The heap file
 // is the durable truth; both indexes are rebuilt by a single scan at open.
 type Store struct {
 	h           *heap.Heap
 	byChangeset map[int64][]heap.Loc
 	grid        [GridRes * GridRes][]heap.Loc
+	met         *Metrics
 }
 
 // Open opens (or creates) the warehouse at path and rebuilds its indexes.
@@ -37,7 +61,7 @@ func Open(path string) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{h: h, byChangeset: make(map[int64][]heap.Loc)}
+	s := &Store{h: h, byChangeset: make(map[int64][]heap.Loc), met: newStoreMetrics()}
 	err = h.Scan(nil, func(loc heap.Loc, r *update.Record) error {
 		s.indexRecord(loc, r)
 		return nil
@@ -90,6 +114,9 @@ func (s *Store) Count() int { return s.h.Count() }
 
 // Heap exposes the underlying heap (for I/O accounting in experiments).
 func (s *Store) Heap() *heap.Heap { return s.h }
+
+// Metrics returns the store's obs instruments for registry wiring.
+func (s *Store) Metrics() *Metrics { return s.met }
 
 // Flush persists buffered records.
 func (s *Store) Flush() error { return s.h.Flush() }
@@ -185,6 +212,7 @@ func containsInt(s []int, v int) bool {
 // the matching population. Candidate locations come from the spatial grid
 // cells overlapping the region, so the scan touches only relevant pages.
 func (s *Store) Sample(q SampleQuery) ([]update.Record, error) {
+	start := time.Now()
 	n := q.N
 	if n <= 0 {
 		n = DefaultSampleN
@@ -222,7 +250,9 @@ func (s *Store) Sample(q SampleQuery) ([]update.Record, error) {
 	}
 	reservoir := make([]update.Record, 0, capHint)
 	seen := 0
+	scanned := 0
 	err := s.h.GetMany(nil, locs, func(_ heap.Loc, rec *update.Record) error {
+		scanned++
 		if !q.matches(rec) {
 			return nil
 		}
@@ -237,6 +267,9 @@ func (s *Store) Sample(q SampleQuery) ([]update.Record, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.met.SampleQueries.Inc()
+	s.met.RecordsScanned.Add(int64(scanned))
+	s.met.SampleLatency.Observe(time.Since(start))
 	return reservoir, nil
 }
 

@@ -30,6 +30,8 @@ type pipeline struct {
 	// both the index and the warehouse, so the two stay consistent.
 	maxCountry, maxRoad int
 
+	crawlCtr *crawl.Counters // accumulates each crawl's Stats
+
 	csIdx        crawl.ChangesetIndex
 	pendingMonth []update.Record // daily records of the in-progress month
 	snapshots    []netSnapshot   // network sizes captured at each month end
@@ -83,10 +85,11 @@ func (p *pipeline) run(days int) (*BuildReport, error) {
 func (p *pipeline) oneDay() error {
 	art := p.gen.NextDay()
 	p.csIdx.Add(art.Changesets)
-	recs, _, err := crawl.Daily(art.Change, p.csIdx, p.reg)
+	recs, st, err := crawl.Daily(art.Change, p.csIdx, p.reg)
 	if err != nil {
 		return err
 	}
+	p.crawlCtr.Observe(st)
 	recs = p.inSchema(recs)
 	if err := p.ing.AppendDay(art.Day, recs); err != nil {
 		return err
@@ -138,10 +141,11 @@ func (p *pipeline) crawlMonth(month temporal.Period) ([]update.Record, error) {
 	if err := p.gen.WriteHistory(&buf, 0, month.End()); err != nil {
 		return nil, err
 	}
-	recs, _, err := crawl.Monthly(osmxml.NewHistoryReader(&buf), p.csIdx, p.reg, month.Start(), month.End())
+	recs, st, err := crawl.Monthly(osmxml.NewHistoryReader(&buf), p.csIdx, p.reg, month.Start(), month.End())
 	if err != nil {
 		return nil, fmt.Errorf("rased: monthly crawl of %v: %w", month, err)
 	}
+	p.crawlCtr.Observe(st)
 	// The refined list replaces the daily one entirely: its drops replace the
 	// daily drops rather than adding to them.
 	p.report.DroppedRecords -= countOutOfSchema(recs, p.maxCountry, p.maxRoad)

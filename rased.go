@@ -21,8 +21,10 @@ import (
 	"path/filepath"
 
 	"rased/internal/core"
+	"rased/internal/crawl"
 	"rased/internal/cube"
 	"rased/internal/geo"
+	"rased/internal/obs"
 	"rased/internal/osmgen"
 	"rased/internal/roads"
 	"rased/internal/temporal"
@@ -124,6 +126,9 @@ type BuildConfig struct {
 	// SkipWarehouse skips the sample-update store (benchmark deployments
 	// that only measure the index).
 	SkipWarehouse bool
+	// Obs, when non-nil, receives the build pipeline's metrics (crawl
+	// counters, ingest throughput, index page writes).
+	Obs *obs.Registry
 }
 
 // BuildReport summarizes a Build.
@@ -178,6 +183,16 @@ func Build(cfg BuildConfig) (*BuildReport, error) {
 		refine:     cfg.MonthlyRefinement,
 		maxCountry: len(schema.Countries),
 		maxRoad:    len(schema.RoadTypes),
+		crawlCtr:   crawl.NewCounters(),
+	}
+	if cfg.Obs != nil {
+		cfg.Obs.MustRegister(pipe.crawlCtr.All()...)
+		cfg.Obs.MustRegister(pipe.ing.Metrics().All()...)
+		cfg.Obs.MustRegister(ix.Store().Metrics().All()...)
+		if wh != nil {
+			cfg.Obs.MustRegister(wh.Metrics().All()...)
+			cfg.Obs.MustRegister(wh.Heap().Store().Metrics().All()...)
+		}
 	}
 	rep, err := pipe.run(cfg.Days)
 	if err != nil {
@@ -240,6 +255,10 @@ type Deployment struct {
 	Index   *tindex.Index
 	Engine  *core.Engine
 	Samples *warehouse.Store // nil when built with SkipWarehouse
+	// Obs aggregates the deployment's metrics: engine query counters and
+	// latency, per-level cache hits/misses, page store I/O, and warehouse
+	// sampling. The server exports it at /metrics and /api/stats.
+	Obs *obs.Registry
 }
 
 // Open attaches an engine and the warehouse to a deployment directory.
@@ -277,7 +296,7 @@ func Open(dir string, opts Options) (*Deployment, error) {
 			eng.AddNetworkSizeSnapshot(temporal.Day(s.AsOf), s.Sizes)
 		}
 	}
-	d := &Deployment{Dir: dir, Schema: schema, Index: ix, Engine: eng}
+	d := &Deployment{Dir: dir, Schema: schema, Index: ix, Engine: eng, Obs: obs.NewRegistry()}
 	whPath := filepath.Join(dir, warehouseFile)
 	if _, err := os.Stat(whPath); err == nil {
 		wh, err := warehouse.Open(whPath)
@@ -286,6 +305,15 @@ func Open(dir string, opts Options) (*Deployment, error) {
 			return nil, err
 		}
 		d.Samples = wh
+	}
+	d.Obs.MustRegister(eng.Metrics().All()...)
+	if c := eng.Cache(); c != nil {
+		d.Obs.MustRegister(c.Metrics().All()...)
+	}
+	d.Obs.MustRegister(ix.Store().Metrics().All()...)
+	if d.Samples != nil {
+		d.Obs.MustRegister(d.Samples.Metrics().All()...)
+		d.Obs.MustRegister(d.Samples.Heap().Store().Metrics().All()...)
 	}
 	return d, nil
 }
