@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race vet bench figures examples clean
+.PHONY: all build test check race vet bench bench-smoke figures examples clean
 
 all: build test
 
@@ -19,7 +19,7 @@ test: check
 # on the hot path).
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/obs ./internal/cache ./internal/pagestore ./internal/server
+	$(GO) test -race ./internal/obs ./internal/exec ./internal/cache ./internal/pagestore ./internal/server
 
 race:
 	$(GO) test -race ./...
@@ -29,6 +29,11 @@ vet:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Shrunk concurrency experiment: a fast end-to-end sanity run of the exec
+# subsystem (parallel fetches, singleflight, admission) on a real workspace.
+bench-smoke: build
+	bin/rased-bench -fig conc -quick
 
 # Regenerate every figure of the paper's evaluation (EXPERIMENTS.md).
 figures: build

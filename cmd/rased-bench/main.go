@@ -8,6 +8,7 @@
 //	rased-bench -fig size      index size accounting (Section VI-A)
 //	rased-bench -fig alloc     cache allocation ablation (Section VII-A)
 //	rased-bench -fig evict     cache policy ablation: preload vs LRU
+//	rased-bench -fig conc      concurrent clients: serial vs parallel fetches
 //	rased-bench -fig examples  the example queries of Figures 2-5
 //	rased-bench -fig all       everything
 //
@@ -40,10 +41,12 @@ func main() {
 		queries = flag.Int("queries", 100, "queries per measured point")
 		latency = flag.Duration("latency", 200*time.Microsecond, "injected per-page disk latency")
 		seed    = flag.Int64("seed", 1, "workload seed")
+		workers = flag.Int("workers", 64, "fetch worker pool size for the concurrency experiment")
+		quick   = flag.Bool("quick", false, "shrink the concurrency sweep for a smoke run")
 	)
 	flag.Parse()
 
-	needWS := map[string]bool{"7": true, "9": true, "10": true, "size": true, "alloc": true, "evict": true, "all": true}[*fig]
+	needWS := map[string]bool{"7": true, "9": true, "10": true, "size": true, "alloc": true, "evict": true, "conc": true, "all": true}[*fig]
 	var ws *benchx.Workspace
 	if needWS {
 		cfg := benchx.DefaultWorkspaceConfig()
@@ -80,6 +83,8 @@ func main() {
 		runAlloc(ws, *queries, *seed)
 	case "evict":
 		runEvict(ws, *queries, *seed)
+	case "conc":
+		runConc(ws, *workers, *quick, *seed)
 	case "examples":
 		runExamples(*seed, *updates)
 	case "all":
@@ -96,6 +101,8 @@ func main() {
 		runAlloc(ws, *queries, *seed)
 		fmt.Println()
 		runEvict(ws, *queries, *seed)
+		fmt.Println()
+		runConc(ws, *workers, *quick, *seed)
 		fmt.Println()
 		runExamples(*seed, *updates)
 	default:
@@ -177,6 +184,28 @@ func runEvict(ws *benchx.Workspace, queries int, seed int64) {
 		log.Fatal(err)
 	}
 	benchx.PrintAblationEviction(os.Stdout, points)
+}
+
+func runConc(ws *benchx.Workspace, workers int, quick bool, seed int64) {
+	clients := []int{1, 2, 4, 8, 16, 32, 64}
+	perClient := 30
+	overloadPer := 20
+	if quick {
+		clients = []int{1, 4, 16}
+		perClient = 6
+		overloadPer = 5
+	}
+	points, err := benchx.FigConc(ws, clients, perClient, workers, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	benchx.PrintFigConc(os.Stdout, points)
+	fmt.Println()
+	over, err := benchx.OverloadConc(ws, workers, 4, 2, 48, overloadPer, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	benchx.PrintOverload(os.Stdout, over)
 }
 
 func runExamples(seed int64, updates int) {

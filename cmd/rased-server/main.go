@@ -14,6 +14,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -38,6 +39,12 @@ func main() {
 		noOpt     = flag.Bool("no-level-opt", false, "disable the level optimizer (debugging)")
 		accessLog = flag.Bool("access-log", true, "log every request (Debug-level access log)")
 		metrics   = flag.Bool("metrics", false, "dump the metrics snapshot (Prometheus text) to stderr on shutdown")
+
+		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "fetch worker pool size shared by all queries (<2 fetches serially)")
+		singleflight = flag.Bool("singleflight", true, "deduplicate identical concurrent cube fetches across queries")
+		maxInflight  = flag.Int("max-inflight", 0, "max concurrently executing queries (0 admits everything)")
+		queue        = flag.Int("queue", 0, "max queries queued for admission beyond -max-inflight; excess get 503")
+		queryTimeout = flag.Duration("query-timeout", 0, "per-query execution deadline (0 disables; timeouts get 504)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -49,6 +56,10 @@ func main() {
 		CacheSlots:        *slots,
 		Allocation:        cache.Allocation{Alpha: *alpha, Beta: *beta, Gamma: *gamma, Theta: *theta},
 		LevelOptimization: !*noOpt,
+		FetchWorkers:      *workers,
+		Singleflight:      *singleflight,
+		MaxInflight:       *maxInflight,
+		MaxQueue:          *queue,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -69,8 +80,23 @@ func main() {
 		level = slog.LevelDebug
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
-	handler := http.Handler(server.New(d, server.WithRegistry(d.Obs), server.WithLogger(logger)))
-	srv := &http.Server{Addr: *addr, Handler: handler}
+	handler := http.Handler(server.New(d,
+		server.WithRegistry(d.Obs),
+		server.WithLogger(logger),
+		server.WithQueryTimeout(*queryTimeout),
+	))
+	// Transport limits: slow or stalled clients must not pin goroutines (or
+	// admission slots) forever. The write timeout bounds the whole
+	// handler+response, so it sits above any per-query timeout.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
 
 	// Shut down cleanly on SIGINT/SIGTERM so the deployment closes properly.
 	done := make(chan error, 1)

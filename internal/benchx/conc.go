@@ -1,0 +1,302 @@
+package benchx
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"rased/internal/core"
+	"rased/internal/exec"
+)
+
+// ---------------------------------------------------------------------------
+// Concurrency experiment: throughput and tail latency under concurrent
+// dashboard clients, for the serial query path versus the exec subsystem's
+// parallel cube fetches, with and without cross-query singleflight.
+
+// ConcPoint is one (mode, client count) measurement.
+type ConcPoint struct {
+	Mode     string
+	Clients  int
+	QPS      float64
+	P50, P99 time.Duration
+	// SharedFetches is the run's total cube fetches answered by another
+	// query's concurrent identical read (0 outside singleflight mode).
+	SharedFetches int64
+}
+
+// concMode is one engine configuration of the sweep.
+type concMode struct {
+	name         string
+	workers      int
+	singleflight bool
+}
+
+// concSpanDays is the query window span. Three recency-skewed months keeps
+// plans at a realistic handful of cubes while concurrent clients overlap on
+// the hot recent periods — the case singleflight exists for.
+const concSpanDays = 90
+
+// concReadLatency is injected per page read for this experiment, overriding
+// the workspace default (200µs, tuned for the single-query figures). The
+// exec subsystem targets the disk-bound regime — a cold production store at
+// millisecond random reads — and on small CI machines the lighter default
+// leaves every mode CPU-bound, measuring the scheduler instead of the
+// fetch path.
+const concReadLatency = 2 * time.Millisecond
+
+// FigConc sweeps concurrent client counts over three engine configurations:
+// serial fetches (the pre-exec query path), parallel fetches sharing a
+// bounded worker pool, and parallel fetches plus cross-query singleflight.
+// Every client runs perClient queries from its own deterministic stream, so
+// all modes see identical workloads. The cache is disabled: the experiment
+// measures the disk path the exec subsystem parallelizes.
+func FigConc(ws *Workspace, clientCounts []int, perClient, workers int, seed int64) ([]ConcPoint, error) {
+	modes := []concMode{
+		{name: "serial", workers: 0},
+		{name: "parallel", workers: workers},
+		{name: "parallel+sf", workers: workers, singleflight: true},
+	}
+	prev := ws.Index.Store().ReadLatency()
+	ws.Index.Store().SetReadLatency(concReadLatency)
+	defer ws.Index.Store().SetReadLatency(prev)
+	var out []ConcPoint
+	for _, m := range modes {
+		eng, err := ws.newEngine(core.Options{
+			LevelOptimization: true,
+			FetchWorkers:      m.workers,
+			Singleflight:      m.singleflight,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, clients := range clientCounts {
+			pt, err := runConcClients(ws, eng, m.name, clients, perClient, seed)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, *pt)
+		}
+	}
+	return out, nil
+}
+
+// runConcClients drives `clients` goroutines of perClient queries each
+// against one engine and reports aggregate throughput and latency quantiles.
+func runConcClients(ws *Workspace, eng *core.Engine, mode string, clients, perClient int, seed int64) (*ConcPoint, error) {
+	lats := make([][]time.Duration, clients)
+	shared := make([]int64, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(c)*7919))
+			lats[c] = make([]time.Duration, 0, perClient)
+			for i := 0; i < perClient; i++ {
+				lo, hi := ws.recentWindow(rng, concSpanDays)
+				q := ws.singleCellQuery(rng, lo, hi)
+				t0 := time.Now()
+				res, err := eng.AnalyzeContext(context.Background(), q)
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				lats[c] = append(lats[c], time.Since(t0))
+				shared[c] += int64(res.Stats.SharedFetches)
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	var all []time.Duration
+	var sharedTotal int64
+	for c := 0; c < clients; c++ {
+		if errs[c] != nil {
+			return nil, fmt.Errorf("benchx: conc client %d: %w", c, errs[c])
+		}
+		all = append(all, lats[c]...)
+		sharedTotal += shared[c]
+	}
+	return &ConcPoint{
+		Mode:          mode,
+		Clients:       clients,
+		QPS:           float64(len(all)) / wall.Seconds(),
+		P50:           percentileDur(all, 0.5),
+		P99:           percentileDur(all, 0.99),
+		SharedFetches: sharedTotal,
+	}, nil
+}
+
+// percentileDur returns the q-quantile of the sample (nearest-rank).
+func percentileDur(durs []time.Duration, q float64) time.Duration {
+	if len(durs) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(durs))
+	copy(sorted, durs)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// PrintFigConc renders the sweep: one row per client count, QPS and p99 per
+// mode, plus the parallel modes' speedup over serial.
+func PrintFigConc(w io.Writer, points []ConcPoint) {
+	fmt.Fprintln(w, "Concurrency: throughput and tail latency vs dashboard clients")
+	byKey := map[string]map[int]ConcPoint{}
+	var clientSet []int
+	seen := map[int]bool{}
+	for _, p := range points {
+		if byKey[p.Mode] == nil {
+			byKey[p.Mode] = map[int]ConcPoint{}
+		}
+		byKey[p.Mode][p.Clients] = p
+		if !seen[p.Clients] {
+			seen[p.Clients] = true
+			clientSet = append(clientSet, p.Clients)
+		}
+	}
+	sort.Ints(clientSet)
+	modes := []string{"serial", "parallel", "parallel+sf"}
+	fmt.Fprintf(w, "%-8s", "clients")
+	for _, m := range modes {
+		fmt.Fprintf(w, "%16s%10s", m+" qps", "p99 ms")
+	}
+	fmt.Fprintf(w, "%10s%10s\n", "speedup", "shared")
+	for _, c := range clientSet {
+		fmt.Fprintf(w, "%-8d", c)
+		for _, m := range modes {
+			p := byKey[m][c]
+			fmt.Fprintf(w, "%16.1f%10.3f", p.QPS, float64(p.P99)/1e6)
+		}
+		speedup := 0.0
+		if s := byKey["serial"][c].QPS; s > 0 {
+			speedup = byKey["parallel+sf"][c].QPS / s
+		}
+		fmt.Fprintf(w, "%9.2fx%10d\n", speedup, byKey["parallel+sf"][c].SharedFetches)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Overload: admission control under more clients than the engine admits.
+
+// OverloadResult reports the overload run: an engine bounded to MaxInflight
+// concurrent queries (plus a short wait queue) facing many more clients.
+// Excess load is shed with exec.ErrRejected (the server's 503) instead of
+// queueing without bound, which keeps the accepted queries' tail latency
+// close to the uncontended engine's.
+type OverloadResult struct {
+	Workers     int
+	MaxInflight int
+	MaxQueue    int
+	Clients     int
+
+	Attempted int64
+	Completed int64
+	Rejected  int64
+
+	UncontendedP99 time.Duration // p99 with exactly MaxInflight clients
+	AcceptedP99    time.Duration // p99 of completed queries under overload
+}
+
+// OverloadConc measures admission control: the same engine configuration is
+// run uncontended (clients == MaxInflight, nothing queues) and overloaded
+// (clients >> MaxInflight), comparing the accepted queries' p99.
+func OverloadConc(ws *Workspace, workers, maxInflight, maxQueue, clients, perClient int, seed int64) (*OverloadResult, error) {
+	eng, err := ws.newEngine(core.Options{
+		LevelOptimization: true,
+		FetchWorkers:      workers,
+		Singleflight:      true,
+		MaxInflight:       maxInflight,
+		MaxQueue:          maxQueue,
+	})
+	if err != nil {
+		return nil, err
+	}
+	prev := ws.Index.Store().ReadLatency()
+	ws.Index.Store().SetReadLatency(concReadLatency)
+	defer ws.Index.Store().SetReadLatency(prev)
+	res := &OverloadResult{Workers: workers, MaxInflight: maxInflight, MaxQueue: maxQueue, Clients: clients}
+
+	uncontended, err := runOverloadClients(ws, eng, maxInflight, perClient, seed)
+	if err != nil {
+		return nil, err
+	}
+	res.UncontendedP99 = percentileDur(uncontended.lats, 0.99)
+
+	over, err := runOverloadClients(ws, eng, clients, perClient, seed)
+	if err != nil {
+		return nil, err
+	}
+	res.Attempted = over.attempted
+	res.Completed = int64(len(over.lats))
+	res.Rejected = over.rejected
+	res.AcceptedP99 = percentileDur(over.lats, 0.99)
+	return res, nil
+}
+
+// overloadRun aggregates one client storm.
+type overloadRun struct {
+	attempted, rejected int64
+	lats                []time.Duration
+}
+
+func runOverloadClients(ws *Workspace, eng *core.Engine, clients, perClient int, seed int64) (*overloadRun, error) {
+	lats := make([][]time.Duration, clients)
+	rejected := make([]int64, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(c)*104729))
+			for i := 0; i < perClient; i++ {
+				lo, hi := ws.recentWindow(rng, concSpanDays)
+				q := ws.singleCellQuery(rng, lo, hi)
+				t0 := time.Now()
+				_, err := eng.AnalyzeContext(context.Background(), q)
+				switch {
+				case errors.Is(err, exec.ErrRejected):
+					rejected[c]++
+				case err != nil:
+					errs[c] = err
+					return
+				default:
+					lats[c] = append(lats[c], time.Since(t0))
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	run := &overloadRun{}
+	for c := 0; c < clients; c++ {
+		if errs[c] != nil {
+			return nil, fmt.Errorf("benchx: overload client %d: %w", c, errs[c])
+		}
+		run.attempted += int64(perClient)
+		run.rejected += rejected[c]
+		run.lats = append(run.lats, lats[c]...)
+	}
+	return run, nil
+}
+
+// PrintOverload renders the overload result.
+func PrintOverload(w io.Writer, r *OverloadResult) {
+	fmt.Fprintln(w, "Overload: admission control (rejected queries get a retryable 503 at the server)")
+	fmt.Fprintf(w, "  engine: %d workers, max-inflight %d, queue %d; storm: %d clients\n",
+		r.Workers, r.MaxInflight, r.MaxQueue, r.Clients)
+	fmt.Fprintf(w, "  attempted %d, completed %d, rejected %d (%.1f%%)\n",
+		r.Attempted, r.Completed, r.Rejected, 100*float64(r.Rejected)/float64(r.Attempted))
+	fmt.Fprintf(w, "  p99 uncontended %.3f ms, p99 accepted under overload %.3f ms (%.2fx)\n",
+		float64(r.UncontendedP99)/1e6, float64(r.AcceptedP99)/1e6,
+		float64(r.AcceptedP99)/float64(r.UncontendedP99))
+}

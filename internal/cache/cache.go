@@ -6,6 +6,7 @@
 package cache
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -63,6 +64,14 @@ type Source interface {
 	Periods(lvl temporal.Level) []temporal.Period
 	Fetch(p temporal.Period) (*cube.Cube, error)
 	FetchView(p temporal.Period) (cube.Reader, error)
+}
+
+// CtxSource is implemented by sources whose view fetches honor a context
+// (*tindex.Index does); Fetcher.FetchCtx uses it when available so
+// cancellation reaches the disk read.
+type CtxSource interface {
+	Source
+	FetchViewCtx(ctx context.Context, p temporal.Period) (cube.Reader, error)
 }
 
 // Cache pins recent cubes in memory per the allocation policy.
@@ -194,10 +203,20 @@ type Fetcher struct {
 // Fetch returns a readable cube for p: the pinned in-memory cube on hit, a
 // lazy page view from the source on miss.
 func (f Fetcher) Fetch(p temporal.Period) (cube.Reader, error) {
+	return f.FetchCtx(context.Background(), p)
+}
+
+// FetchCtx is Fetch honoring a context on the miss path: when the source
+// supports cancellable reads (CtxSource), an expired ctx stops the disk work
+// instead of completing it. Cache hits ignore ctx — they cost no I/O.
+func (f Fetcher) FetchCtx(ctx context.Context, p temporal.Period) (cube.Reader, error) {
 	if f.Cache != nil {
 		if cb, ok := f.Cache.Get(p); ok {
 			return cb, nil
 		}
+	}
+	if cs, ok := f.Src.(CtxSource); ok {
+		return cs.FetchViewCtx(ctx, p)
 	}
 	return f.Src.FetchView(p)
 }

@@ -1,13 +1,17 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"rased/internal/cache"
 	"rased/internal/cube"
+	"rased/internal/exec"
 	"rased/internal/geo"
 	"rased/internal/osm"
 	"rased/internal/plan"
@@ -29,6 +33,18 @@ type Options struct {
 	// reads daily cubes only (with a 1-level index this is the paper's
 	// RASED-F variant).
 	LevelOptimization bool
+	// FetchWorkers bounds how many cube fetches run concurrently across all
+	// in-flight queries (the shared exec.Pool). 0 or 1 fetches serially.
+	FetchWorkers int
+	// Singleflight deduplicates identical concurrent cube fetches across
+	// queries: overlapping dashboards cost one disk pass per page.
+	Singleflight bool
+	// MaxInflight bounds concurrently executing queries (admission control);
+	// 0 admits everything.
+	MaxInflight int
+	// MaxQueue bounds queries waiting for admission when MaxInflight is
+	// reached; beyond it AnalyzeContext fails fast with exec.ErrRejected.
+	MaxQueue int
 }
 
 // DefaultOptions is the full RASED configuration.
@@ -37,17 +53,22 @@ func DefaultOptions() Options {
 		CacheSlots:        512,
 		Allocation:        cache.DefaultAllocation,
 		LevelOptimization: true,
+		FetchWorkers:      runtime.GOMAXPROCS(0),
+		Singleflight:      true,
 	}
 }
 
 // Engine answers analysis queries against a hierarchical temporal index.
 type Engine struct {
-	ix      *tindex.Index
-	reg     *geo.Registry
-	cache   *cache.Cache // nil when caching is disabled
-	fetcher cache.Fetcher
-	opts    Options
-	met     *EngineMetrics
+	ix    *tindex.Index
+	reg   *geo.Registry
+	cache *cache.Cache // nil when caching is disabled
+	opts  Options
+	met   *EngineMetrics
+
+	pool   *exec.Pool       // nil: serial fetches
+	flight *exec.Group      // nil: no cross-query fetch dedup
+	adm    *exec.Controller // nil: admit everything
 
 	mu        sync.RWMutex
 	snapshots []sizeSnapshot // network sizes over time, sorted by AsOf
@@ -84,7 +105,11 @@ func NewEngine(ix *tindex.Index, opts Options) (*Engine, error) {
 		}
 		e.cache = c
 	}
-	e.fetcher = cache.Fetcher{Cache: e.cache, Src: ix}
+	e.pool = exec.NewPool(opts.FetchWorkers)
+	if opts.Singleflight {
+		e.flight = exec.NewGroup()
+	}
+	e.adm = exec.NewController(opts.MaxInflight, opts.MaxQueue)
 	return e, nil
 }
 
@@ -202,12 +227,26 @@ type rowKey struct {
 // a QueryTrace recording the executed plan, cache residency, page I/O, and
 // stage timings.
 func (e *Engine) Analyze(q Query) (*Result, error) {
+	return e.AnalyzeContext(context.Background(), q)
+}
+
+// AnalyzeContext is Analyze under a context: the query first passes admission
+// control (a full queue fails fast with exec.ErrRejected; a context that ends
+// while queued returns its error), and cancellation mid-execution stops
+// further cube fetches and returns ctx.Err(). Admission wait is excluded from
+// the reported query latency.
+func (e *Engine) AnalyzeContext(ctx context.Context, q Query) (*Result, error) {
+	release, err := e.adm.Acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	start := time.Now()
 	var tb *traceBuilder // nil (all methods no-op) unless tracing is on
 	if q.Trace {
 		tb = e.newTraceBuilder()
 	}
-	res, err := e.analyze(q, tb)
+	res, err := e.analyze(ctx, q, tb)
 	if err != nil {
 		e.met.QueryErrors.Inc()
 		return nil, err
@@ -219,9 +258,9 @@ func (e *Engine) Analyze(q Query) (*Result, error) {
 	return res, nil
 }
 
-// analyze is the Analyze body; the wrapper owns timing, query metrics, and
-// trace finalization.
-func (e *Engine) analyze(q Query, tb *traceBuilder) (*Result, error) {
+// analyze is the Analyze body; the wrapper owns admission, timing, query
+// metrics, and trace finalization.
+func (e *Engine) analyze(ctx context.Context, q Query, tb *traceBuilder) (*Result, error) {
 	if q.To < q.From {
 		return nil, fmt.Errorf("core: query window [%s, %s] is inverted", q.From, q.To)
 	}
@@ -248,7 +287,7 @@ func (e *Engine) analyze(q Query, tb *traceBuilder) (*Result, error) {
 			return nil, err
 		}
 		endStage = tb.stage("aggregate")
-		err = e.aggregatePlan(pl, filter, gb, rowKey{}, groups, res, tb)
+		err = e.aggregatePlan(ctx, pl, filter, gb, rowKey{}, groups, res, tb)
 		endStage()
 		if err != nil {
 			return nil, err
@@ -262,7 +301,7 @@ func (e *Engine) analyze(q Query, tb *traceBuilder) (*Result, error) {
 		for _, b := range dateBuckets(lvl, lo, hi) {
 			bucket := rowKey{p: b.p, hasPeriod: true}
 			if b.lo == b.p.Start() && b.hi == b.p.End() && e.ix.Has(b.p) {
-				if err := e.aggregatePeriods(filter, gb, bucket, groups, res, tb, b.p); err != nil {
+				if err := e.aggregatePeriods(ctx, filter, gb, bucket, groups, res, tb, b.p); err != nil {
 					endStage()
 					return nil, err
 				}
@@ -274,7 +313,7 @@ func (e *Engine) analyze(q Query, tb *traceBuilder) (*Result, error) {
 				return nil, err
 			}
 			e.met.PlanPeriods.ObserveValue(float64(len(pl.Periods)))
-			if err := e.aggregatePlan(pl, filter, gb, bucket, groups, res, tb); err != nil {
+			if err := e.aggregatePlan(ctx, pl, filter, gb, bucket, groups, res, tb); err != nil {
 				endStage()
 				return nil, err
 			}
@@ -375,32 +414,54 @@ func (e *Engine) maxLevelBelow(lvl temporal.Level) temporal.Level {
 
 // aggregatePlan fetches every period of a plan and folds it into groups under
 // the bucket's date key.
-func (e *Engine) aggregatePlan(pl *plan.Plan, f cube.Filter, gb cube.GroupBy,
+func (e *Engine) aggregatePlan(ctx context.Context, pl *plan.Plan, f cube.Filter, gb cube.GroupBy,
 	bucket rowKey, groups map[rowKey]uint64, res *Result, tb *traceBuilder) error {
-	return e.aggregatePeriods(f, gb, bucket, groups, res, tb, pl.Periods...)
+	return e.aggregatePeriods(ctx, f, gb, bucket, groups, res, tb, pl.Periods...)
 }
 
-func (e *Engine) aggregatePeriods(f cube.Filter, gb cube.GroupBy,
+// fetchedCube is one resolved plan period: a readable cube plus how it was
+// obtained, recorded for stats and the query trace.
+type fetchedCube struct {
+	rd     cube.Reader
+	cached bool // served from the recency cache
+	shared bool // disk fetch deduplicated onto another query's read
+}
+
+// aggregatePeriods resolves the periods to readable cubes — fanning uncached
+// fetches across the shared worker pool — then folds them into groups
+// serially, in plan order, so stats, metrics, and traces stay deterministic.
+func (e *Engine) aggregatePeriods(ctx context.Context, f cube.Filter, gb cube.GroupBy,
 	bucket rowKey, groups map[rowKey]uint64, res *Result, tb *traceBuilder, periods ...temporal.Period) error {
-	scratch := make(map[cube.Key]uint64)
-	for _, p := range periods {
-		cached := e.cache != nil && e.cache.Contains(p)
-		cb, err := e.fetcher.Fetch(p)
+	fetched := make([]fetchedCube, len(periods))
+	err := e.pool.FanOut(ctx, len(periods), func(i int) error {
+		fc, err := e.fetchCube(ctx, periods[i])
 		if err != nil {
 			return err
 		}
+		fetched[i] = fc
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	scratch := make(map[cube.Key]uint64)
+	for i, p := range periods {
+		fc := fetched[i]
 		res.Stats.CubesFetched++
 		e.met.CubesRead[p.Level].Inc()
-		tb.addPeriod(bucket, p, cached)
-		if cached {
+		tb.addPeriod(bucket, p, fc.cached)
+		if fc.cached {
 			res.Stats.CacheHits++
 		} else {
 			res.Stats.DiskReads++
+			if fc.shared {
+				res.Stats.SharedFetches++
+			}
 		}
 		for k := range scratch {
 			delete(scratch, k)
 		}
-		total := cb.AggregateInto(f, gb, scratch)
+		total := fc.rd.AggregateInto(f, gb, scratch)
 		res.Total += total
 		for k, v := range scratch {
 			rk := bucket
@@ -409,6 +470,34 @@ func (e *Engine) aggregatePeriods(f cube.Filter, gb cube.GroupBy,
 		}
 	}
 	return nil
+}
+
+// fetchCube resolves one period to a readable cube: the pinned in-memory cube
+// on a cache hit, otherwise a lazy page view from the index. Concurrent
+// queries needing the same uncached cube share one disk read through the
+// singleflight group; the leader fetch runs detached from this query's
+// cancellation (one page read is bounded work, and waiters with live contexts
+// still want the result), while cancellation is enforced upstream by the pool
+// not scheduling further fetches.
+func (e *Engine) fetchCube(ctx context.Context, p temporal.Period) (fetchedCube, error) {
+	if e.cache != nil {
+		if cb, ok := e.cache.Get(p); ok {
+			return fetchedCube{rd: cb, cached: true}, nil
+		}
+	}
+	if e.flight == nil {
+		rd, err := e.ix.FetchViewCtx(ctx, p)
+		return fetchedCube{rd: rd}, err
+	}
+	key := strconv.Itoa(int(p.Level)) + "/" + strconv.Itoa(p.Index)
+	lctx := context.WithoutCancel(ctx)
+	v, shared, err := e.flight.Do(key, func() (any, error) {
+		return e.ix.FetchViewCtx(lctx, p)
+	})
+	if err != nil {
+		return fetchedCube{}, err
+	}
+	return fetchedCube{rd: v.(cube.Reader), shared: shared}, nil
 }
 
 // buildRows converts the group map into named, sorted rows, applying the

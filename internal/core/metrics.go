@@ -41,3 +41,20 @@ func (m *EngineMetrics) All() []obs.Metric {
 
 // Metrics returns the engine's obs instruments for registry wiring.
 func (e *Engine) Metrics() *EngineMetrics { return e.met }
+
+// ExecMetrics returns the instruments of the engine's concurrency substrate
+// (worker pool, singleflight, admission control); empty when all are
+// disabled.
+func (e *Engine) ExecMetrics() []obs.Metric {
+	var out []obs.Metric
+	if m := e.pool.Metrics(); m != nil {
+		out = append(out, m.All()...)
+	}
+	if m := e.flight.Metrics(); m != nil {
+		out = append(out, m.All()...)
+	}
+	if m := e.adm.Metrics(); m != nil {
+		out = append(out, m.All()...)
+	}
+	return out
+}

@@ -112,10 +112,14 @@ type Row struct {
 
 // ExecStats reports how a query was executed.
 type ExecStats struct {
-	CubesFetched int   `json:"cubes_fetched"`
-	DiskReads    int   `json:"disk_reads"` // planned cold fetches
-	CacheHits    int   `json:"cache_hits"`
-	ElapsedNanos int64 `json:"elapsed_nanos"`
+	CubesFetched int `json:"cubes_fetched"`
+	DiskReads    int `json:"disk_reads"` // planned cold fetches
+	CacheHits    int `json:"cache_hits"`
+	// SharedFetches is how many of the DiskReads were deduplicated onto a
+	// concurrent identical fetch by the singleflight layer, costing this
+	// query no disk pass of its own.
+	SharedFetches int   `json:"shared_fetches,omitempty"`
+	ElapsedNanos  int64 `json:"elapsed_nanos"`
 }
 
 // Result is an executed analysis query.

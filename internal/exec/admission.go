@@ -1,0 +1,108 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrRejected is returned when admission control sheds a query: the in-flight
+// limit is reached and the wait queue is full (or the caller's deadline
+// expired while queued). HTTP handlers map it to 503 with Retry-After.
+var ErrRejected = errors.New("exec: query rejected by admission control")
+
+// Controller bounds concurrent query execution: at most maxInflight queries
+// run at once, at most maxQueue more wait behind them, and everything beyond
+// that is rejected immediately. Waiting is deadline-aware — a queued query
+// whose context expires leaves the queue and is counted as shed load — so
+// overload degrades into fast 503s with bounded accepted-query latency
+// instead of a collapse where every request times out.
+type Controller struct {
+	slots    chan struct{}
+	maxQueue int64
+	queued   atomic.Int64
+	met      *AdmissionMetrics
+}
+
+// NewController returns a controller admitting maxInflight concurrent
+// queries with a wait queue of maxQueue. maxInflight < 1 returns nil: a nil
+// controller admits everything.
+func NewController(maxInflight, maxQueue int) *Controller {
+	if maxInflight < 1 {
+		return nil
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	c := &Controller{
+		slots:    make(chan struct{}, maxInflight),
+		maxQueue: int64(maxQueue),
+	}
+	c.met = newAdmissionMetrics(
+		func() float64 { return float64(len(c.slots)) },
+		func() float64 { return float64(c.queued.Load()) },
+	)
+	return c
+}
+
+// MaxInflight returns the in-flight bound (0 for a nil controller).
+func (c *Controller) MaxInflight() int {
+	if c == nil {
+		return 0
+	}
+	return cap(c.slots)
+}
+
+// MaxQueue returns the wait-queue bound.
+func (c *Controller) MaxQueue() int {
+	if c == nil {
+		return 0
+	}
+	return int(c.maxQueue)
+}
+
+// Metrics returns the controller's obs instruments for registry wiring (nil
+// for a nil controller).
+func (c *Controller) Metrics() *AdmissionMetrics {
+	if c == nil {
+		return nil
+	}
+	return c.met
+}
+
+// Acquire admits one query, returning the release to defer. A nil controller
+// admits immediately. Errors: ErrRejected when the queue is full, ctx.Err()
+// when the caller's context ends while queued (counted as shed load either
+// way).
+func (c *Controller) Acquire(ctx context.Context) (release func(), err error) {
+	if c == nil {
+		return func() {}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		c.met.Cancelled.Inc()
+		return nil, err
+	}
+	// Fast path: a free slot admits without queueing.
+	select {
+	case c.slots <- struct{}{}:
+		c.met.Admitted.Inc()
+		return c.release, nil
+	default:
+	}
+	if c.queued.Add(1) > c.maxQueue {
+		c.queued.Add(-1)
+		c.met.Rejected.Inc()
+		return nil, ErrRejected
+	}
+	defer c.queued.Add(-1)
+	select {
+	case c.slots <- struct{}{}:
+		c.met.Admitted.Inc()
+		return c.release, nil
+	case <-ctx.Done():
+		c.met.Cancelled.Inc()
+		return nil, ctx.Err()
+	}
+}
+
+func (c *Controller) release() { <-c.slots }

@@ -1,0 +1,134 @@
+// Package exec is RASED's concurrent query execution substrate. The paper
+// promises analysis answers "in milliseconds" for an interactive dashboard;
+// at production scale many viewers issue overlapping aggregate queries at
+// once, so the engine needs three things the serial query path lacks:
+//
+//   - a shared bounded worker pool (Pool) that fans a query plan's uncached
+//     cube fetches out in parallel while capping total fetch concurrency
+//     across all in-flight queries, so intra-query parallelism never turns
+//     into unbounded disk pressure;
+//   - a singleflight layer (Group) that deduplicates identical concurrent
+//     page reads across queries, so N dashboards asking about "last month"
+//     cost one disk pass;
+//   - an admission controller (Controller) that bounds in-flight queries and
+//     the wait queue behind them, shedding overload with a retryable
+//     rejection instead of collapsing under it.
+//
+// All three are context-aware: cancelling a request stops scheduling new
+// fetch work, aborts queue waits, and interrupts the page store's injected
+// disk latency, so per-request deadlines actually bound work done.
+package exec
+
+import (
+	"context"
+	"sync"
+)
+
+// Pool bounds the number of concurrently executing fetch tasks across every
+// query sharing it. It is a token semaphore rather than resident goroutines:
+// FanOut spawns one goroutine per task, but each must hold a worker token
+// while running, so at most Workers tasks touch the disk at once no matter
+// how many queries are in flight.
+type Pool struct {
+	tokens chan struct{}
+	met    *PoolMetrics
+}
+
+// NewPool returns a pool with n worker slots. n < 2 returns nil: a nil pool
+// is valid and means "run serially" (FanOut on a nil pool degrades to an
+// in-order loop with context checks).
+func NewPool(n int) *Pool {
+	if n < 2 {
+		return nil
+	}
+	p := &Pool{tokens: make(chan struct{}, n)}
+	p.met = newPoolMetrics(n, func() float64 { return float64(len(p.tokens)) })
+	return p
+}
+
+// Workers returns the pool's concurrency bound (0 for a nil pool).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 0
+	}
+	return cap(p.tokens)
+}
+
+// Metrics returns the pool's obs instruments for registry wiring (nil for a
+// nil pool).
+func (p *Pool) Metrics() *PoolMetrics {
+	if p == nil {
+		return nil
+	}
+	return p.met
+}
+
+// FanOut runs fn(0..n-1) with at most Workers tasks executing at once,
+// returning after every started task finished. The first task error cancels
+// the remaining unstarted tasks and is returned; if ctx is cancelled first,
+// no new tasks start and ctx's error is returned. Task functions writing to
+// distinct slots of a shared slice need no further synchronization: FanOut
+// establishes a happens-before edge between every task and its return.
+//
+// A nil pool (or n < 2) runs the tasks serially in the caller's goroutine,
+// still honoring ctx between tasks.
+func (p *Pool) FanOut(ctx context.Context, n int, fn func(i int) error) error {
+	if p == nil || n < 2 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	p.met.Fanout.ObserveValue(float64(n))
+
+	// Child context so the first failure stops scheduling; the parent's
+	// error, when set, wins over the derived cancellation.
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+schedule:
+	for i := 0; i < n; i++ {
+		select {
+		case p.tokens <- struct{}{}:
+		case <-fctx.Done():
+			break schedule
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-p.tokens }()
+			if fctx.Err() != nil {
+				return
+			}
+			if err := fn(i); err != nil {
+				fail(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,369 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsEveryTask(t *testing.T) {
+	p := NewPool(4)
+	const n = 100
+	var hits [n]atomic.Int32
+	if err := p.FanOut(context.Background(), n, func(i int) error {
+		hits[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatalf("FanOut: %v", err)
+	}
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("task %d ran %d times, want 1", i, got)
+		}
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	p := NewPool(workers)
+	var cur, peak atomic.Int32
+	err := p.FanOut(context.Background(), 50, func(int) error {
+		c := cur.Add(1)
+		for {
+			old := peak.Load()
+			if c <= old || peak.CompareAndSwap(old, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("FanOut: %v", err)
+	}
+	if got := peak.Load(); got > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", got, workers)
+	}
+}
+
+func TestPoolSharedAcrossCallers(t *testing.T) {
+	// Two concurrent FanOuts share one pool: their combined concurrency
+	// stays within the pool's bound.
+	const workers = 2
+	p := NewPool(workers)
+	var cur, peak atomic.Int32
+	task := func(int) error {
+		c := cur.Add(1)
+		for {
+			old := peak.Load()
+			if c <= old || peak.CompareAndSwap(old, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return nil
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.FanOut(context.Background(), 10, task); err != nil {
+				t.Errorf("FanOut: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", got, workers)
+	}
+}
+
+func TestPoolFirstErrorWins(t *testing.T) {
+	p := NewPool(2)
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	err := p.FanOut(context.Background(), 100, func(i int) error {
+		ran.Add(1)
+		if i == 3 {
+			return boom
+		}
+		time.Sleep(100 * time.Microsecond)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("FanOut error = %v, want %v", err, boom)
+	}
+	if got := ran.Load(); got == 100 {
+		t.Errorf("all 100 tasks ran despite early error (cancellation did not stop scheduling)")
+	}
+}
+
+func TestPoolCancellationStopsScheduling(t *testing.T) {
+	p := NewPool(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	errc := make(chan error, 1)
+	go func() {
+		errc <- p.FanOut(ctx, 1000, func(int) error {
+			ran.Add(1)
+			time.Sleep(time.Millisecond)
+			return nil
+		})
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	err := <-errc
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("FanOut error = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got >= 1000 {
+		t.Errorf("all tasks ran despite cancellation")
+	}
+}
+
+func TestPoolNilRunsSerially(t *testing.T) {
+	var p *Pool
+	var order []int
+	if err := p.FanOut(context.Background(), 5, func(i int) error {
+		order = append(order, i)
+		return nil
+	}); err != nil {
+		t.Fatalf("FanOut: %v", err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("nil pool ran out of order: %v", order)
+		}
+	}
+	if NewPool(1) != nil {
+		t.Error("NewPool(1) should be nil (serial)")
+	}
+}
+
+func TestSingleflightDeduplicates(t *testing.T) {
+	g := NewGroup()
+	var execs atomic.Int32
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	const waiters = 8
+	var wg sync.WaitGroup
+	var sharedCount atomic.Int32
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		v, shared, err := g.Do("k", func() (any, error) {
+			execs.Add(1)
+			close(started)
+			<-release
+			return 42, nil
+		})
+		if err != nil || v.(int) != 42 || shared {
+			panic(fmt.Sprintf("leader got v=%v shared=%v err=%v", v, shared, err))
+		}
+	}()
+	<-started
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, shared, err := g.Do("k", func() (any, error) {
+				execs.Add(1)
+				return 42, nil
+			})
+			if err != nil || v.(int) != 42 {
+				t.Errorf("waiter got v=%v err=%v", v, err)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+		}()
+	}
+	// Give the waiters a moment to join the in-flight call, then release.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	<-leaderDone
+
+	if got := execs.Load(); got != 1 {
+		t.Errorf("fn executed %d times, want 1", got)
+	}
+	if got := sharedCount.Load(); got != waiters {
+		t.Errorf("%d of %d waiters shared, want all", got, waiters)
+	}
+	if got := g.Metrics().Shared.Value(); got != int64(waiters) {
+		t.Errorf("shared counter = %d, want %d", got, waiters)
+	}
+}
+
+func TestSingleflightSequentialCallsRunFresh(t *testing.T) {
+	g := NewGroup()
+	var execs int
+	for i := 0; i < 3; i++ {
+		v, shared, err := g.Do("k", func() (any, error) {
+			execs++
+			return execs, nil
+		})
+		if err != nil || shared || v.(int) != i+1 {
+			t.Fatalf("call %d: v=%v shared=%v err=%v", i, v, shared, err)
+		}
+	}
+	if execs != 3 {
+		t.Fatalf("sequential calls executed %d times, want 3", execs)
+	}
+}
+
+func TestSingleflightErrorShared(t *testing.T) {
+	g := NewGroup()
+	boom := errors.New("boom")
+	_, _, err := g.Do("k", func() (any, error) { return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestAdmissionFastPath(t *testing.T) {
+	c := NewController(2, 4)
+	r1, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	r2, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if got := c.Metrics().InFlight.Value(); got != 2 {
+		t.Errorf("inflight = %v, want 2", got)
+	}
+	r1()
+	r2()
+	if got := c.Metrics().InFlight.Value(); got != 0 {
+		t.Errorf("inflight after release = %v, want 0", got)
+	}
+	if got := c.Metrics().Admitted.Value(); got != 2 {
+		t.Errorf("admitted = %d, want 2", got)
+	}
+}
+
+func TestAdmissionRejectsWhenQueueFull(t *testing.T) {
+	c := NewController(1, 0)
+	release, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if _, err := c.Acquire(context.Background()); !errors.Is(err, ErrRejected) {
+		t.Fatalf("second Acquire err = %v, want ErrRejected", err)
+	}
+	if got := c.Metrics().Rejected.Value(); got != 1 {
+		t.Errorf("rejected = %d, want 1", got)
+	}
+	release()
+	r2, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire after release: %v", err)
+	}
+	r2()
+}
+
+func TestAdmissionQueuesThenAdmits(t *testing.T) {
+	c := NewController(1, 2)
+	release, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	admitted := make(chan func(), 1)
+	go func() {
+		r, err := c.Acquire(context.Background())
+		if err != nil {
+			t.Errorf("queued Acquire: %v", err)
+		}
+		admitted <- r
+	}()
+	// The waiter must be queued, not admitted, while the slot is held.
+	time.Sleep(5 * time.Millisecond)
+	select {
+	case <-admitted:
+		t.Fatal("queued query admitted while slot held")
+	default:
+	}
+	release()
+	select {
+	case r := <-admitted:
+		r()
+	case <-time.After(time.Second):
+		t.Fatal("queued query never admitted after release")
+	}
+}
+
+func TestAdmissionDeadlineWhileQueued(t *testing.T) {
+	c := NewController(1, 2)
+	release, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := c.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued Acquire err = %v, want DeadlineExceeded", err)
+	}
+	if got := c.Metrics().Cancelled.Value(); got != 1 {
+		t.Errorf("cancelled = %d, want 1", got)
+	}
+	if got := c.Metrics().QueueDepth.Value(); got != 0 {
+		t.Errorf("queue depth after deadline = %v, want 0", got)
+	}
+}
+
+func TestAdmissionNilAdmitsEverything(t *testing.T) {
+	var c *Controller
+	for i := 0; i < 10; i++ {
+		r, err := c.Acquire(context.Background())
+		if err != nil {
+			t.Fatalf("nil controller rejected: %v", err)
+		}
+		r()
+	}
+	if NewController(0, 5) != nil {
+		t.Error("NewController(0, ...) should be nil")
+	}
+}
+
+func TestAdmissionOverloadStorm(t *testing.T) {
+	// Hammer a tiny controller from many goroutines: accounting must stay
+	// consistent (admitted + rejected + cancelled == attempts) and the
+	// in-flight gauge must end at zero.
+	c := NewController(2, 2)
+	const attempts = 200
+	var wg sync.WaitGroup
+	for i := 0; i < attempts; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := c.Acquire(context.Background())
+			if err != nil {
+				return
+			}
+			time.Sleep(100 * time.Microsecond)
+			r()
+		}()
+	}
+	wg.Wait()
+	m := c.Metrics()
+	if got := m.Admitted.Value() + m.Rejected.Value() + m.Cancelled.Value(); got != attempts {
+		t.Errorf("admitted+rejected+cancelled = %d, want %d", got, attempts)
+	}
+	if got := m.InFlight.Value(); got != 0 {
+		t.Errorf("inflight after storm = %v, want 0", got)
+	}
+	if m.Rejected.Value() == 0 {
+		t.Error("storm produced no rejections; controller not shedding")
+	}
+}

@@ -1,0 +1,79 @@
+package exec
+
+import "rased/internal/obs"
+
+// PoolMetrics are the worker pool's obs instruments.
+type PoolMetrics struct {
+	// Workers is the static concurrency bound.
+	Workers *obs.GaugeFunc
+	// Busy is the number of worker tokens currently held.
+	Busy *obs.GaugeFunc
+	// Fanout observes the task count of each parallel FanOut call — the
+	// realized intra-query fetch parallelism.
+	Fanout *obs.Histogram
+}
+
+func newPoolMetrics(n int, busy func() float64) *PoolMetrics {
+	return &PoolMetrics{
+		Workers: obs.NewGaugeFunc("rased_exec_workers", "Fetch worker pool size.",
+			func() float64 { return float64(n) }),
+		Busy: obs.NewGaugeFunc("rased_exec_workers_busy", "Fetch workers currently running tasks.", busy),
+		Fanout: obs.NewHistogram("rased_exec_fetch_fanout", "Cube fetches fanned out per parallel plan execution.",
+			obs.CountBuckets),
+	}
+}
+
+// All returns the instruments for registry wiring.
+func (m *PoolMetrics) All() []obs.Metric {
+	return []obs.Metric{m.Workers, m.Busy, m.Fanout}
+}
+
+// FlightMetrics are the singleflight group's obs instruments.
+type FlightMetrics struct {
+	// Leader counts calls that executed their function.
+	Leader *obs.Counter
+	// Shared counts calls answered by another caller's in-flight execution —
+	// disk reads the deduplication saved.
+	Shared *obs.Counter
+}
+
+func newFlightMetrics() *FlightMetrics {
+	return &FlightMetrics{
+		Leader: obs.NewCounter("rased_exec_singleflight_leader_total", "Singleflight calls that ran their fetch."),
+		Shared: obs.NewCounter("rased_exec_singleflight_shared_total", "Singleflight calls served by a concurrent identical fetch."),
+	}
+}
+
+// All returns the instruments for registry wiring.
+func (m *FlightMetrics) All() []obs.Metric {
+	return []obs.Metric{m.Leader, m.Shared}
+}
+
+// AdmissionMetrics are the admission controller's obs instruments.
+type AdmissionMetrics struct {
+	// InFlight is the number of admitted queries currently executing.
+	InFlight *obs.GaugeFunc
+	// QueueDepth is the number of queries waiting for admission.
+	QueueDepth *obs.GaugeFunc
+	// Admitted counts queries that acquired an execution slot.
+	Admitted *obs.Counter
+	// Rejected counts queries shed because the wait queue was full.
+	Rejected *obs.Counter
+	// Cancelled counts queries whose context ended before admission.
+	Cancelled *obs.Counter
+}
+
+func newAdmissionMetrics(inflight, queued func() float64) *AdmissionMetrics {
+	return &AdmissionMetrics{
+		InFlight:   obs.NewGaugeFunc("rased_exec_inflight", "Admitted queries currently executing.", inflight),
+		QueueDepth: obs.NewGaugeFunc("rased_exec_queue_depth", "Queries waiting for admission.", queued),
+		Admitted:   obs.NewCounter("rased_exec_admitted_total", "Queries admitted for execution."),
+		Rejected:   obs.NewCounter("rased_exec_rejected_total", "Queries rejected by admission control (queue full)."),
+		Cancelled:  obs.NewCounter("rased_exec_cancelled_total", "Queries whose context ended before admission."),
+	}
+}
+
+// All returns the instruments for registry wiring.
+func (m *AdmissionMetrics) All() []obs.Metric {
+	return []obs.Metric{m.InFlight, m.QueueDepth, m.Admitted, m.Rejected, m.Cancelled}
+}

@@ -1,0 +1,66 @@
+package exec
+
+import "sync"
+
+// Group deduplicates concurrent calls with the same key: the first caller
+// (the leader) runs fn, every caller that arrives while it runs waits for and
+// shares the leader's result. RASED keys cube fetches by period, so N
+// dashboards asking overlapping questions cost one disk pass per page instead
+// of N.
+//
+// Unlike a cache, a Group holds nothing once the call completes: the next
+// fetch after the leader returns runs afresh, so staleness is bounded by one
+// in-flight read.
+type Group struct {
+	mu  sync.Mutex
+	m   map[string]*flightCall
+	met *FlightMetrics
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// NewGroup returns an empty singleflight group.
+func NewGroup() *Group {
+	return &Group{m: make(map[string]*flightCall), met: newFlightMetrics()}
+}
+
+// Metrics returns the group's obs instruments for registry wiring (nil for a
+// nil group).
+func (g *Group) Metrics() *FlightMetrics {
+	if g == nil {
+		return nil
+	}
+	return g.met
+}
+
+// Do runs fn for key, or — if a call for key is already in flight — waits for
+// it and shares its result. shared reports whether the returned value came
+// from another caller's execution. Do never abandons a wait: the leader's
+// result arrives in bounded time (one page read on RASED's fetch path), so
+// cancellation is enforced by callers checking their context before calling,
+// not by tearing waiters away mid-flight.
+func (g *Group) Do(key string, fn func() (any, error)) (v any, shared bool, err error) {
+	g.mu.Lock()
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		g.met.Shared.Inc()
+		return c.val, true, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	g.met.Leader.Inc()
+	return c.val, false, c.err
+}

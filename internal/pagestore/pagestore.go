@@ -7,6 +7,7 @@
 package pagestore
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -118,24 +119,41 @@ func (s *Store) ReadLatency() time.Duration {
 
 // ReadPage reads page id into buf (which must be exactly one page long).
 func (s *Store) ReadPage(id int, buf []byte) error {
+	return s.ReadPageCtx(context.Background(), id, buf)
+}
+
+// ReadPageCtx reads page id into buf, honoring ctx: an already-cancelled
+// context reads nothing, and the injected disk latency aborts early when ctx
+// ends mid-sleep. The read itself runs outside the store mutex (pread is
+// position-less), so concurrent page reads proceed in parallel; the mutex
+// only guards the allocation snapshot.
+func (s *Store) ReadPageCtx(ctx context.Context, id int, buf []byte) error {
 	if len(buf) != s.pageSize {
 		return fmt.Errorf("pagestore: read buffer is %d bytes, page size is %d", len(buf), s.pageSize)
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	start := time.Now()
 	s.mu.Lock()
-	if id < 0 || id >= s.nPages {
-		n := s.nPages
-		s.mu.Unlock()
+	n := s.nPages
+	s.mu.Unlock()
+	if id < 0 || id >= n {
 		return fmt.Errorf("pagestore: read page %d out of range [0,%d)", id, n)
 	}
-	_, err := s.f.ReadAt(buf, int64(id)*int64(s.pageSize))
-	s.mu.Unlock()
-	if err != nil {
+	if _, err := s.f.ReadAt(buf, int64(id)*int64(s.pageSize)); err != nil {
 		return fmt.Errorf("pagestore: read page %d: %w", id, err)
 	}
 	s.met.Reads.Inc()
 	if d := s.latency.Load(); d > 0 {
-		time.Sleep(time.Duration(d))
+		t := time.NewTimer(time.Duration(d))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			s.met.ReadLatency.Observe(time.Since(start))
+			return ctx.Err()
+		}
 	}
 	s.met.ReadLatency.Observe(time.Since(start))
 	return nil
@@ -143,47 +161,47 @@ func (s *Store) ReadPage(id int, buf []byte) error {
 
 // WritePage writes buf (exactly one page) to page id. Writing to page
 // NumPages() extends the file by one page; writing further beyond the end is
-// an error.
+// an error. Allocation is decided under the mutex, but the write itself runs
+// outside it (pwrite), so writes do not stall concurrent reads. If an
+// extending write fails at the disk, the allocated page stays behind as a
+// hole whose checksum can never verify — the same torn state a crashed
+// in-place write leaves, handled by the same scrub path.
 func (s *Store) WritePage(id int, buf []byte) error {
 	if len(buf) != s.pageSize {
 		return fmt.Errorf("pagestore: write buffer is %d bytes, page size is %d", len(buf), s.pageSize)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if id < 0 || id > s.nPages {
-		return fmt.Errorf("pagestore: write page %d out of range [0,%d]", id, s.nPages)
-	}
-	if _, err := s.f.WriteAt(buf, int64(id)*int64(s.pageSize)); err != nil {
-		return fmt.Errorf("pagestore: write page %d: %w", id, err)
+		n := s.nPages
+		s.mu.Unlock()
+		return fmt.Errorf("pagestore: write page %d out of range [0,%d]", id, n)
 	}
 	if id == s.nPages {
 		s.nPages++
+	}
+	s.mu.Unlock()
+	if _, err := s.f.WriteAt(buf, int64(id)*int64(s.pageSize)); err != nil {
+		return fmt.Errorf("pagestore: write page %d: %w", id, err)
 	}
 	s.met.Writes.Inc()
 	return nil
 }
 
-// Append writes buf as a new page and returns its id.
+// Append writes buf as a new page and returns its id. The id is reserved
+// under the mutex, so concurrent appends never collide.
 func (s *Store) Append(buf []byte) (int, error) {
+	if len(buf) != s.pageSize {
+		return 0, fmt.Errorf("pagestore: write buffer is %d bytes, page size is %d", len(buf), s.pageSize)
+	}
 	s.mu.Lock()
 	id := s.nPages
+	s.nPages++
 	s.mu.Unlock()
-	// WritePage revalidates under the lock; a concurrent append may have
-	// taken this id, so retry on the narrow race.
-	for {
-		err := s.WritePage(id, buf)
-		if err == nil {
-			return id, nil
-		}
-		s.mu.Lock()
-		if id < s.nPages {
-			id = s.nPages
-			s.mu.Unlock()
-			continue
-		}
-		s.mu.Unlock()
-		return 0, err
+	if _, err := s.f.WriteAt(buf, int64(id)*int64(s.pageSize)); err != nil {
+		return 0, fmt.Errorf("pagestore: write page %d: %w", id, err)
 	}
+	s.met.Writes.Inc()
+	return id, nil
 }
 
 // Stats returns a snapshot of the I/O counters.

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
@@ -127,7 +128,9 @@ type engineBackend struct {
 	eng *core.Engine
 }
 
-func (b *engineBackend) Analyze(q core.Query) (*core.Result, error) { return b.eng.Analyze(q) }
+func (b *engineBackend) AnalyzeContext(ctx context.Context, q core.Query) (*core.Result, error) {
+	return b.eng.AnalyzeContext(ctx, q)
+}
 func (b *engineBackend) Sample(warehouse.SampleQuery) ([]update.Record, error) {
 	return nil, nil
 }

@@ -6,7 +6,9 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -17,6 +19,7 @@ import (
 	"time"
 
 	"rased/internal/core"
+	"rased/internal/exec"
 	"rased/internal/geo"
 	"rased/internal/obs"
 	"rased/internal/osm"
@@ -27,9 +30,11 @@ import (
 )
 
 // Backend is what the server needs from a deployment; *rased.Deployment
-// satisfies it.
+// satisfies it. Analysis runs under the request context so client disconnects
+// and per-query timeouts stop cube fetches, and so the engine's admission
+// control can shed load with exec.ErrRejected.
 type Backend interface {
-	Analyze(q core.Query) (*core.Result, error)
+	AnalyzeContext(ctx context.Context, q core.Query) (*core.Result, error)
 	Sample(q warehouse.SampleQuery) ([]update.Record, error)
 	ByChangeset(id int64) ([]update.Record, error)
 	Coverage() (lo, hi temporal.Day, ok bool)
@@ -37,10 +42,11 @@ type Backend interface {
 
 // Server is the HTTP handler set.
 type Server struct {
-	backend Backend
-	mux     *http.ServeMux
-	reg     *obs.Registry
-	log     *slog.Logger
+	backend      Backend
+	mux          *http.ServeMux
+	reg          *obs.Registry
+	log          *slog.Logger
+	queryTimeout time.Duration // 0: bound only by the request context
 
 	cMu       sync.Mutex
 	reqCounts map[reqKey]*obs.Counter
@@ -64,6 +70,14 @@ func WithRegistry(reg *obs.Registry) Option {
 // logger at LevelDebug to see them.
 func WithLogger(l *slog.Logger) Option {
 	return func(s *Server) { s.log = l }
+}
+
+// WithQueryTimeout bounds each analysis query's execution: the query context
+// is cancelled after d, returning 504 to the client while the engine stops
+// fetching cubes. Zero (the default) leaves queries bound only by the
+// request context (client disconnect, server write timeout).
+func WithQueryTimeout(d time.Duration) Option {
+	return func(s *Server) { s.queryTimeout = d }
 }
 
 // New builds a server over a backend.
@@ -356,15 +370,45 @@ func (r *AnalysisRequest) ToQuery() (core.Query, error) {
 	return q, nil
 }
 
-func (s *Server) runAnalysis(w http.ResponseWriter, req AnalysisRequest) {
+// analyze runs one query under the request context, bounded by the configured
+// query timeout.
+func (s *Server) analyze(r *http.Request, q core.Query) (*core.Result, error) {
+	ctx := r.Context()
+	if s.queryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.queryTimeout)
+		defer cancel()
+	}
+	return s.backend.AnalyzeContext(ctx, q)
+}
+
+// writeAnalysisErr maps analysis failures to HTTP statuses: admission
+// rejections are retryable overload (503 + Retry-After), timeouts are 504, a
+// vanished client gets the nginx-convention 499 (nobody reads it, but the
+// access log and request counters do), and anything else is a bad query.
+func writeAnalysisErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, exec.ErrRejected):
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeErr(w, http.StatusGatewayTimeout, err)
+	case errors.Is(err, context.Canceled):
+		writeErr(w, 499, err)
+	default:
+		writeErr(w, http.StatusBadRequest, err)
+	}
+}
+
+func (s *Server) runAnalysis(w http.ResponseWriter, r *http.Request, req AnalysisRequest) {
 	q, err := req.ToQuery()
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := s.backend.Analyze(q)
+	res, err := s.analyze(r, q)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeAnalysisErr(w, err)
 		return
 	}
 	if req.OrderBy != "" {
@@ -385,7 +429,7 @@ func (s *Server) handleAnalysis(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
-	s.runAnalysis(w, req)
+	s.runAnalysis(w, r, req)
 }
 
 // handleAnalysisGet supports simple dashboard links:
@@ -420,7 +464,7 @@ func (s *Server) handleAnalysisGet(w http.ResponseWriter, r *http.Request) {
 		}
 		req.Limit = n
 	}
-	s.runAnalysis(w, req)
+	s.runAnalysis(w, r, req)
 }
 
 // SampleRequest is the JSON form of a warehouse.SampleQuery.
@@ -576,9 +620,9 @@ func (s *Server) handleTimelapse(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := s.backend.Analyze(q)
+	res, err := s.analyze(r, q)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeAnalysisErr(w, err)
 		return
 	}
 	var frames []TimelapseFrame

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"log/slog"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"rased/internal/core"
+	"rased/internal/exec"
 	"rased/internal/geo"
 	"rased/internal/osm"
 	"rased/internal/temporal"
@@ -21,13 +23,15 @@ import (
 
 // fakeBackend serves canned data.
 type fakeBackend struct {
-	lastQuery  core.Query
-	lastSample warehouse.SampleQuery
-	analyzeErr error
+	lastQuery    core.Query
+	lastSample   warehouse.SampleQuery
+	lastDeadline time.Time
+	analyzeErr   error
 }
 
-func (f *fakeBackend) Analyze(q core.Query) (*core.Result, error) {
+func (f *fakeBackend) AnalyzeContext(ctx context.Context, q core.Query) (*core.Result, error) {
 	f.lastQuery = q
+	f.lastDeadline, _ = ctx.Deadline()
 	if f.analyzeErr != nil {
 		return nil, f.analyzeErr
 	}
@@ -170,6 +174,39 @@ func TestAnalyzeErrorPropagates(t *testing.T) {
 	}
 	if body["error"] != "boom" {
 		t.Errorf("error = %v", body["error"])
+	}
+}
+
+func TestOverloadMapsTo503(t *testing.T) {
+	s, b := newTestServer(t)
+	b.analyzeErr = exec.ErrRejected
+	rec, _ := post(t, s, "/api/analysis", AnalysisRequest{From: "2021-01-01", To: "2021-02-01"})
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "1" {
+		t.Errorf("Retry-After = %q, want \"1\"", ra)
+	}
+}
+
+func TestTimeoutMapsTo504(t *testing.T) {
+	s, b := newTestServer(t)
+	b.analyzeErr = context.DeadlineExceeded
+	rec, _ := post(t, s, "/api/analysis", AnalysisRequest{From: "2021-01-01", To: "2021-02-01"})
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Errorf("status = %d, want 504", rec.Code)
+	}
+}
+
+func TestQueryTimeoutReachesBackend(t *testing.T) {
+	b := &fakeBackend{}
+	s := New(b, WithQueryTimeout(30*time.Second))
+	rec, _ := post(t, s, "/api/analysis", AnalysisRequest{From: "2021-01-01", To: "2021-02-01"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if b.lastDeadline.IsZero() {
+		t.Error("backend context carried no deadline despite WithQueryTimeout")
 	}
 }
 

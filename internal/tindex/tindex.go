@@ -10,6 +10,7 @@
 package tindex
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -215,6 +216,13 @@ func (ix *Index) Fetch(p temporal.Period) (*cube.Cube, error) {
 // no full cell decode): the query path's fetch. The page checksum is always
 // verified unless disabled with SetVerifyReads.
 func (ix *Index) FetchView(p temporal.Period) (cube.Reader, error) {
+	return ix.FetchViewCtx(context.Background(), p)
+}
+
+// FetchViewCtx is FetchView honoring a context: cancellation aborts the page
+// read (including the store's injected disk latency) instead of completing
+// it.
+func (ix *Index) FetchViewCtx(ctx context.Context, p temporal.Period) (cube.Reader, error) {
 	ix.mu.RLock()
 	page, ok := ix.pages[p]
 	verify := ix.verifyReads
@@ -223,7 +231,7 @@ func (ix *Index) FetchView(p temporal.Period) (cube.Reader, error) {
 		return nil, fmt.Errorf("tindex: no cube for period %v", p)
 	}
 	buf := make([]byte, ix.store.PageSize())
-	if err := ix.store.ReadPage(page, buf); err != nil {
+	if err := ix.store.ReadPageCtx(ctx, page, buf); err != nil {
 		return nil, err
 	}
 	view, got, err := cube.UnmarshalPageView(ix.schema, buf, verify)

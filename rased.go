@@ -15,6 +15,7 @@
 package rased
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -307,6 +308,7 @@ func Open(dir string, opts Options) (*Deployment, error) {
 		d.Samples = wh
 	}
 	d.Obs.MustRegister(eng.Metrics().All()...)
+	d.Obs.MustRegister(eng.ExecMetrics()...)
 	if c := eng.Cache(); c != nil {
 		d.Obs.MustRegister(c.Metrics().All()...)
 	}
@@ -321,6 +323,13 @@ func Open(dir string, opts Options) (*Deployment, error) {
 // Analyze executes an analysis query.
 func (d *Deployment) Analyze(q Query) (*Result, error) {
 	return d.Engine.Analyze(q)
+}
+
+// AnalyzeContext executes an analysis query under a context: cancellation
+// stops further cube fetches, and when the engine runs admission control an
+// overloaded deployment fails fast with exec.ErrRejected.
+func (d *Deployment) AnalyzeContext(ctx context.Context, q Query) (*Result, error) {
+	return d.Engine.AnalyzeContext(ctx, q)
 }
 
 // Explain plans an analysis query without executing it, showing the mix of
