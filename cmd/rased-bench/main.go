@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -187,6 +188,7 @@ func runEvict(ws *benchx.Workspace, queries int, seed int64) {
 }
 
 func runConc(ws *benchx.Workspace, workers int, quick bool, seed int64) {
+	ctx := context.Background()
 	clients := []int{1, 2, 4, 8, 16, 32, 64}
 	perClient := 30
 	overloadPer := 20
@@ -195,13 +197,13 @@ func runConc(ws *benchx.Workspace, workers int, quick bool, seed int64) {
 		perClient = 6
 		overloadPer = 5
 	}
-	points, err := benchx.FigConc(ws, clients, perClient, workers, seed)
+	points, err := benchx.FigConc(ctx, ws, clients, perClient, workers, seed)
 	if err != nil {
 		log.Fatal(err)
 	}
 	benchx.PrintFigConc(os.Stdout, points)
 	fmt.Println()
-	over, err := benchx.OverloadConc(ws, workers, 4, 2, 48, overloadPer, seed)
+	over, err := benchx.OverloadConc(ctx, ws, workers, 4, 2, 48, overloadPer, seed)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,185 @@
+// Command rased-lint runs RASED's project-specific static analysis: the
+// rules that keep PR 1's observability wiring and PR 2's concurrency
+// contract true as the tree evolves (see DESIGN.md "Enforced invariants").
+//
+// Usage:
+//
+//	rased-lint [flags] [package-prefix ...]
+//
+// With no arguments the whole module is checked. Arguments narrow the run to
+// packages whose import path matches the prefix ("./..." and module-relative
+// forms like ./internal/core are accepted).
+//
+// Exit status: 0 clean, 1 findings remain after the allowlist, 2 usage or
+// load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rased/internal/analysis"
+	"rased/internal/analysis/rules"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		rootFlag  = flag.String("C", "", "module root to lint (default: nearest go.mod above the working directory)")
+		jsonOut   = flag.Bool("json", false, "emit findings as a JSON report on stdout")
+		allowFlag = flag.String("allow", "", "allowlist file of audited exceptions (default: <root>/.rased-lint.allow when present)")
+		ruleFlag  = flag.String("rules", "", "comma-separated rule IDs to run (default: all)")
+		list      = flag.Bool("list", false, "list the available rules and exit")
+	)
+	flag.Parse()
+
+	analyzers := rules.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name(), a.Doc())
+		}
+		return 0
+	}
+	if *ruleFlag != "" {
+		want := make(map[string]bool)
+		for _, r := range strings.Split(*ruleFlag, ",") {
+			want[strings.TrimSpace(r)] = true
+		}
+		var kept []analysis.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name()] {
+				kept = append(kept, a)
+				delete(want, a.Name())
+			}
+		}
+		for r := range want {
+			fmt.Fprintf(os.Stderr, "rased-lint: unknown rule %q (use -list)\n", r)
+			return 2
+		}
+		analyzers = kept
+	}
+
+	root := *rootFlag
+	if root == "" {
+		var err error
+		if root, err = findModuleRoot(); err != nil {
+			fmt.Fprintf(os.Stderr, "rased-lint: %v\n", err)
+			return 2
+		}
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rased-lint: %v\n", err)
+		return 2
+	}
+	pkgs, err := loadSelected(loader, flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rased-lint: %v\n", err)
+		return 2
+	}
+
+	findings, err := analysis.Run(loader.Fset(), pkgs, analyzers, root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rased-lint: %v\n", err)
+		return 2
+	}
+
+	allowPath := *allowFlag
+	if allowPath == "" {
+		allowPath = filepath.Join(root, ".rased-lint.allow")
+	}
+	allow, err := analysis.LoadAllowlist(allowPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rased-lint: %v\n", err)
+		return 2
+	}
+	kept, suppressed, stale := allow.Filter(findings)
+	for _, e := range stale {
+		fmt.Fprintf(os.Stderr, "rased-lint: stale allowlist entry (fixed upstream? remove it): %s %s %s\n", e.Rule, e.Path, e.Match)
+	}
+
+	if *jsonOut {
+		if err := analysis.WriteJSON(os.Stdout, loader.ModulePath, kept, len(suppressed)); err != nil {
+			fmt.Fprintf(os.Stderr, "rased-lint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range kept {
+			fmt.Println(f)
+		}
+		if len(kept) > 0 {
+			fmt.Fprintf(os.Stderr, "rased-lint: %d finding(s) in %d package(s)\n", len(kept), len(pkgs))
+		}
+	}
+	if len(kept) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks up from the working directory to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above the working directory (use -C)")
+		}
+		dir = parent
+	}
+}
+
+// loadSelected loads the module packages matching the argument prefixes (all
+// packages for no arguments or "./...").
+func loadSelected(loader *analysis.Loader, args []string) ([]*analysis.Package, error) {
+	var prefixes []string
+	for _, arg := range args {
+		if arg == "./..." || arg == "..." {
+			prefixes = nil
+			break
+		}
+		arg = strings.TrimSuffix(arg, "/...")
+		arg = strings.TrimPrefix(arg, "./")
+		arg = strings.TrimSuffix(arg, "/")
+		if arg == "." || arg == "" {
+			prefixes = nil
+			break
+		}
+		if !strings.HasPrefix(arg, loader.ModulePath) {
+			arg = loader.ModulePath + "/" + arg
+		}
+		prefixes = append(prefixes, arg)
+	}
+	if len(prefixes) == 0 {
+		return loader.LoadAll()
+	}
+	var out []*analysis.Package
+	for _, ip := range loader.Packages() {
+		for _, p := range prefixes {
+			if ip == p || strings.HasPrefix(ip, p+"/") {
+				pkg, err := loader.Load(ip)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, pkg)
+				break
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no packages match %v", args)
+	}
+	return out, nil
+}

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path"
+	"strings"
+)
+
+// AllowEntry is one audited exception: findings of Rule in files matching
+// Path (an exact module-relative path or a path.Match glob) whose message
+// contains Match (empty matches any message) are suppressed.
+type AllowEntry struct {
+	Rule  string
+	Path  string
+	Match string
+}
+
+// Allowlist is an ordered set of audited exceptions, parsed from a file of
+// lines in the form
+//
+//	<rule> <path-or-glob> [message substring]
+//
+// Blank lines and lines starting with '#' are ignored.
+type Allowlist struct {
+	Entries []AllowEntry
+}
+
+// ParseAllowlist parses the allowlist format.
+func ParseAllowlist(data string) (*Allowlist, error) {
+	al := &Allowlist{}
+	for i, line := range strings.Split(data, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("analysis: allowlist line %d: want `rule path [substring]`, got %q", i+1, line)
+		}
+		al.Entries = append(al.Entries, AllowEntry{
+			Rule:  fields[0],
+			Path:  fields[1],
+			Match: strings.Join(fields[2:], " "),
+		})
+	}
+	return al, nil
+}
+
+// LoadAllowlist reads and parses an allowlist file. A missing file yields an
+// empty allowlist.
+func LoadAllowlist(file string) (*Allowlist, error) {
+	data, err := os.ReadFile(file)
+	if os.IsNotExist(err) {
+		return &Allowlist{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	al, err := ParseAllowlist(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", file, err)
+	}
+	return al, nil
+}
+
+// Format renders the allowlist back to its file form; Format and
+// ParseAllowlist round-trip.
+func (al *Allowlist) Format() string {
+	var sb strings.Builder
+	for _, e := range al.Entries {
+		sb.WriteString(e.Rule)
+		sb.WriteByte(' ')
+		sb.WriteString(e.Path)
+		if e.Match != "" {
+			sb.WriteByte(' ')
+			sb.WriteString(e.Match)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// allows reports whether entry e suppresses finding f.
+func (e AllowEntry) allows(f Finding) bool {
+	if e.Rule != f.Rule {
+		return false
+	}
+	if e.Path != f.File {
+		if ok, err := path.Match(e.Path, f.File); err != nil || !ok {
+			return false
+		}
+	}
+	return e.Match == "" || strings.Contains(f.Message, e.Match)
+}
+
+// Filter splits findings into those that remain and those suppressed by the
+// allowlist. stale lists the entries that suppressed nothing — audited
+// exceptions whose underlying finding has since been fixed.
+func (al *Allowlist) Filter(fs []Finding) (kept, suppressed []Finding, stale []AllowEntry) {
+	used := make([]bool, len(al.Entries))
+	for _, f := range fs {
+		hit := false
+		for i, e := range al.Entries {
+			if e.allows(f) {
+				used[i] = true
+				hit = true
+			}
+		}
+		if hit {
+			suppressed = append(suppressed, f)
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	for i, e := range al.Entries {
+		if !used[i] {
+			stale = append(stale, e)
+		}
+	}
+	return kept, suppressed, stale
+}

@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"testing"
+)
+
+func TestAllowlistRoundTrip(t *testing.T) {
+	al := &Allowlist{Entries: []AllowEntry{
+		{Rule: "ctxflow", Path: "internal/benchx/conc.go"},
+		{Rule: "lockio", Path: "internal/*/store.go", Match: "time.Sleep"},
+		{Rule: "metricsreg", Path: "internal/server/server.go", Match: "already constructed elsewhere"},
+	}}
+	text := al.Format()
+	back, err := ParseAllowlist(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(al, back) {
+		t.Fatalf("round-trip mismatch:\n  in:  %+v\n  out: %+v", al.Entries, back.Entries)
+	}
+	if again := back.Format(); again != text {
+		t.Fatalf("format not stable:\n%q\n%q", text, again)
+	}
+}
+
+func TestAllowlistParseErrors(t *testing.T) {
+	if _, err := ParseAllowlist("onlyonefield\n"); err == nil {
+		t.Error("single-field line should fail to parse")
+	}
+	al, err := ParseAllowlist("# comment\n\n  \t\n")
+	if err != nil || len(al.Entries) != 0 {
+		t.Errorf("comments and blanks should parse to an empty list, got %v, %v", al.Entries, err)
+	}
+}
+
+func TestAllowlistFilter(t *testing.T) {
+	al := &Allowlist{Entries: []AllowEntry{
+		{Rule: "lockio", Path: "internal/pagestore/pagestore.go", Match: "Sync"},
+		{Rule: "errwrap", Path: "internal/*.go"}, // stale: matches nothing below
+	}}
+	findings := []Finding{
+		{Rule: "lockio", File: "internal/pagestore/pagestore.go", Line: 10, Message: "(*os.File).Sync while s.mu is held"},
+		{Rule: "lockio", File: "internal/pagestore/pagestore.go", Line: 20, Message: "channel send while s.mu is held"},
+		{Rule: "ctxflow", File: "internal/core/engine.go", Line: 5, Message: "context.Background() outside main"},
+	}
+	kept, suppressed, stale := al.Filter(findings)
+	if len(kept) != 2 || len(suppressed) != 1 {
+		t.Fatalf("kept %d suppressed %d, want 2/1", len(kept), len(suppressed))
+	}
+	if suppressed[0].Line != 10 {
+		t.Errorf("suppressed the wrong finding: %v", suppressed[0])
+	}
+	if len(stale) != 1 || stale[0].Rule != "errwrap" {
+		t.Errorf("stale = %v, want the errwrap entry", stale)
+	}
+}
+
+func TestLoadMissingAllowlist(t *testing.T) {
+	al, err := LoadAllowlist(filepath.Join(t.TempDir(), "nope"))
+	if err != nil || len(al.Entries) != 0 {
+		t.Fatalf("missing file should yield empty allowlist, got %v, %v", al, err)
+	}
+}
+
+// TestJSONSchema pins the -json output contract consumed by CI tooling.
+func TestJSONSchema(t *testing.T) {
+	var buf bytes.Buffer
+	findings := []Finding{{Rule: "lockio", File: "a.go", Line: 3, Col: 7, Message: "boom"}}
+	if err := WriteJSON(&buf, "rased", findings, 2); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Module     string `json:"module"`
+		Count      int    `json:"count"`
+		Suppressed int    `json:"suppressed"`
+		Findings   []struct {
+			Rule    string `json:"rule"`
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Col     int    `json:"col"`
+			Message string `json:"message"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Module != "rased" || rep.Count != 1 || rep.Suppressed != 2 {
+		t.Errorf("header fields wrong: %+v", rep)
+	}
+	if len(rep.Findings) != 1 || rep.Findings[0] != (struct {
+		Rule    string `json:"rule"`
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Col     int    `json:"col"`
+		Message string `json:"message"`
+	}{"lockio", "a.go", 3, 7, "boom"}) {
+		t.Errorf("findings wrong: %+v", rep.Findings)
+	}
+
+	// An empty run must still encode findings as [], not null.
+	buf.Reset()
+	if err := WriteJSON(&buf, "rased", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if string(raw["findings"]) != "[]" {
+		t.Errorf("empty findings encode as %s, want []", raw["findings"])
+	}
+}
+
+func TestExpectations(t *testing.T) {
+	src := `package p
+
+func f() {
+	g() // want "first" "second"
+	h() // plain comment
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := Expectations(fset, []*ast.File{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex) != 1 || ex[0].Line != 4 || !reflect.DeepEqual(ex[0].Want, []string{"first", "second"}) {
+		t.Fatalf("expectations = %+v", ex)
+	}
+	problems := CheckExpectations(ex, []Finding{{File: "p.go", Line: 4, Message: "has first and second inside"}})
+	if len(problems) != 0 {
+		t.Errorf("clean match reported problems: %v", problems)
+	}
+	problems = CheckExpectations(ex, []Finding{{File: "p.go", Line: 9, Message: "stray"}})
+	if len(problems) != 3 { // two missing wants + one unexpected finding
+		t.Errorf("got %d problems, want 3: %v", len(problems), problems)
+	}
+}
+
+func TestSortFindings(t *testing.T) {
+	fs := []Finding{
+		{File: "b.go", Line: 1, Col: 1, Rule: "x"},
+		{File: "a.go", Line: 9, Col: 2, Rule: "x"},
+		{File: "a.go", Line: 9, Col: 1, Rule: "y"},
+		{File: "a.go", Line: 2, Col: 5, Rule: "x"},
+	}
+	Sort(fs)
+	want := []string{"a.go:2", "a.go:9", "a.go:9", "b.go:1"}
+	for i, f := range fs {
+		if got := f.File + ":" + itoa(f.Line); got != want[i] {
+			t.Errorf("pos %d = %s, want %s", i, got, want[i])
+		}
+	}
+	if fs[1].Col != 1 || fs[2].Col != 2 {
+		t.Errorf("column tiebreak wrong: %+v", fs[1:3])
+	}
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }
+
+// TestLoaderModulePackage smoke-tests the module loader end to end on a real
+// package: obs has no module-internal deps and type-checks quickly.
+func TestLoaderModulePackage(t *testing.T) {
+	root := findRoot(t)
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.Load("rased/internal/obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Types.Name() != "obs" || len(pkg.Files) == 0 || len(pkg.Info.Uses) == 0 {
+		t.Fatalf("obs loaded without type info: %+v", pkg)
+	}
+	if _, err := l.Load("rased/not/there"); err == nil {
+		t.Error("unknown import path should fail")
+	}
+}
+
+func findRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod found")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,26 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Report is the JSON document emitted by rased-lint -json: the machine
+// interface for CI annotation tooling.
+type Report struct {
+	Module     string    `json:"module"`
+	Findings   []Finding `json:"findings"`
+	Count      int       `json:"count"`
+	Suppressed int       `json:"suppressed"`
+}
+
+// WriteJSON encodes a report of the given findings, pre-sorted by Sort.
+func WriteJSON(w io.Writer, module string, findings []Finding, suppressed int) error {
+	rep := Report{Module: module, Findings: findings, Count: len(findings), Suppressed: suppressed}
+	if rep.Findings == nil {
+		rep.Findings = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,249 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package under analysis.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks the module's packages without any external
+// tooling: module-internal imports are resolved by walking the module tree
+// (import path = module path + directory), and standard-library imports are
+// type-checked from $GOROOT source via go/importer. Test files are not
+// loaded — the rules guard production code paths.
+type Loader struct {
+	ModuleRoot string
+	ModulePath string
+
+	fset    *token.FileSet
+	std     types.Importer
+	dirs    map[string]string // import path -> directory, for module packages
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// skipDir reports whether a directory is excluded from the package walk.
+func skipDir(name string) bool {
+	return name == "testdata" || name == "vendor" || name == "bin" ||
+		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+// NewLoader scans the module rooted at moduleRoot. It disables cgo in the
+// process-global go/build context so the standard library type-checks from
+// its pure-Go fallbacks (the analyzed module itself uses no cgo).
+func NewLoader(moduleRoot string) (*Loader, error) {
+	abs, err := filepath.Abs(moduleRoot)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	build.Default.CgoEnabled = false
+	l := &Loader{
+		ModuleRoot: abs,
+		ModulePath: modPath,
+		fset:       token.NewFileSet(),
+		dirs:       make(map[string]string),
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}
+	l.std = importer.ForCompiler(l.fset, "source", nil)
+	if err := l.scan(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Fset returns the file set shared by every loaded package.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// modulePath extracts the module declaration from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("analysis: reading %s: %w", gomod, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module declaration in %s", gomod)
+}
+
+// scan walks the module tree recording every directory that holds at least
+// one buildable non-test Go file.
+func (l *Loader) scan() error {
+	return filepath.WalkDir(l.ModuleRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if path != l.ModuleRoot && skipDir(d.Name()) {
+			return filepath.SkipDir
+		}
+		files, err := l.sourceFiles(path)
+		if err != nil {
+			return err
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(l.ModuleRoot, path)
+		if err != nil {
+			return err
+		}
+		ip := l.ModulePath
+		if rel != "." {
+			ip = l.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		l.dirs[ip] = path
+		return nil
+	})
+}
+
+// sourceFiles lists the buildable, non-test Go files of a directory in
+// lexical order.
+func (l *Loader) sourceFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ok, err := build.Default.MatchFile(dir, name)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: matching %s: %w", filepath.Join(dir, name), err)
+		}
+		if ok {
+			out = append(out, filepath.Join(dir, name))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Packages returns the import paths of every module package found by the
+// scan, sorted.
+func (l *Loader) Packages() []string {
+	out := make([]string, 0, len(l.dirs))
+	for ip := range l.dirs {
+		out = append(out, ip)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LoadAll loads every module package, in import-path order.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var out []*Package
+	for _, ip := range l.Packages() {
+		pkg, err := l.Load(ip)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// Load parses and type-checks one module package by import path.
+func (l *Loader) Load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir, ok := l.dirs[path]
+	if !ok {
+		return nil, fmt.Errorf("analysis: package %s is not in module %s", path, l.ModulePath)
+	}
+	return l.LoadDir(dir, path)
+}
+
+// LoadDir parses and type-checks the package in dir under the given import
+// path. The directory does not have to be inside the module's buildable tree
+// — the rules tests use this to load fixture packages from testdata.
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	names, err := l.sourceFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no buildable Go files in %s", dir)
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: (*loaderImporter)(l)}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// loaderImporter resolves imports during type-checking: module packages
+// recurse through the loader, everything else goes to the source importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := l.dirs[path]; ok {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}

@@ -1,0 +1,75 @@
+package rules
+
+import (
+	"go/ast"
+
+	"rased/internal/analysis"
+)
+
+// DefaultPurePackages are the packages whose outputs must be pure functions
+// of their inputs: exec's serial in-plan-order merge reproduces identical
+// stats and traces only because planning and cube encoding are deterministic,
+// and the golden-page tests in cube/temporal depend on byte-stable encoding.
+var DefaultPurePackages = []string{
+	"rased/internal/cube",
+	"rased/internal/plan",
+	"rased/internal/temporal",
+}
+
+// Determinism bans nondeterminism sources — the wall clock and math/rand —
+// from the configured pure packages.
+type Determinism struct {
+	pure map[string]bool
+}
+
+// NewDeterminism returns the analyzer restricted to the given import paths
+// (DefaultPurePackages when empty).
+func NewDeterminism(pure ...string) *Determinism {
+	if len(pure) == 0 {
+		pure = DefaultPurePackages
+	}
+	d := &Determinism{pure: make(map[string]bool, len(pure))}
+	for _, p := range pure {
+		d.pure[p] = true
+	}
+	return d
+}
+
+// Name implements analysis.Analyzer.
+func (*Determinism) Name() string { return "determinism" }
+
+// Doc implements analysis.Analyzer.
+func (*Determinism) Doc() string {
+	return "no time.Now/math/rand in the pure planning and encoding packages"
+}
+
+// wallClockFuncs are the time package functions that read the clock or
+// introduce timing dependence.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+// Run implements analysis.Analyzer.
+func (d *Determinism) Run(pass *analysis.Pass) error {
+	if !d.pure[pass.Pkg.Path] {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Pkg.Info.Uses[id]
+			switch path := pkgPath(obj); {
+			case path == "math/rand" || path == "math/rand/v2":
+				pass.Reportf(id.Pos(), "math/rand use in pure package %s breaks plan/encoding reproducibility", pass.Pkg.Path)
+			case path == "time" && wallClockFuncs[obj.Name()]:
+				pass.Reportf(id.Pos(), "time.%s in pure package %s makes output depend on the wall clock", obj.Name(), pass.Pkg.Path)
+			}
+			return true
+		})
+	}
+	return nil
+}

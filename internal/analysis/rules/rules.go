@@ -1,0 +1,80 @@
+// Package rules ships RASED's project-specific analyzers. Each rule turns
+// one invariant from DESIGN.md's "Enforced invariants" section into a
+// machine-checked pass over the type-checked tree:
+//
+//	ctxflow     context flows end-to-end: no context.Background()/TODO()
+//	            outside main/tests/compat shims, and code holding a ctx must
+//	            call the FooCtx/FooContext variant of a callee when one exists
+//	lockio      no disk I/O, sleeps, or channel sends while a mutex is held
+//	metricsreg  obs instruments use unique constant rased_* names and flow
+//	            into a registry or a wiring accessor
+//	errwrap     fmt.Errorf with an error argument wraps it with %w
+//	determinism no wall clock or math/rand in the pure planning/encoding
+//	            packages the plan-order merge depends on
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"rased/internal/analysis"
+)
+
+// All returns a fresh instance of every shipped analyzer. Instances carry
+// per-run state (metricsreg accumulates names across packages), so each lint
+// run must use its own set.
+func All() []analysis.Analyzer {
+	return []analysis.Analyzer{
+		NewCtxflow(),
+		NewLockIO(),
+		NewMetricsReg(),
+		NewErrWrap(),
+		NewDeterminism(DefaultPurePackages...),
+	}
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes, or nil
+// for conversions, builtins, and calls of plain function-typed values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// sigHasContext reports whether any parameter of sig is a context.Context.
+func sigHasContext(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgPath returns the import path of the object's package ("" for universe
+// objects).
+func pkgPath(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}

@@ -1,0 +1,47 @@
+// Package ctxflowfix seeds every violation class the ctxflow rule detects,
+// plus the allowed patterns (compat shims, forwarding) it must not flag.
+package ctxflowfix
+
+import "context"
+
+type db struct{}
+
+// fetch is a documented compat shim: the whole body forwards to fetchCtx.
+// The context.Background() inside it is allowed.
+func (d *db) fetch(id int) error { return d.fetchCtx(context.Background(), id) }
+
+func (d *db) fetchCtx(ctx context.Context, id int) error {
+	_ = id
+	return ctx.Err()
+}
+
+func lookup(ctx context.Context, id int) error { return ctx.Err() }
+
+func lookupNoCtx(id int) error { return nil }
+
+func query(ctx context.Context, d *db) error {
+	if err := d.fetchCtx(ctx, 1); err != nil { // forwarding: ok
+		return err
+	}
+	if err := d.fetchCtx(context.Background(), 2); err != nil { // want "context.Background()"
+		return err
+	}
+	return d.fetch(3) // want "call fetchCtx"
+}
+
+func todoUser(d *db) error {
+	return d.fetchCtx(context.TODO(), 9) // want "context.TODO()"
+}
+
+func closureDrift(ctx context.Context, d *db) func() error {
+	return func() error {
+		return d.fetch(4) // want "call fetchCtx"
+	}
+}
+
+func packageLevelSibling(ctx context.Context) error {
+	if err := lookup(ctx, 1); err != nil {
+		return err
+	}
+	return lookupNoCtx(2) // no Ctx sibling: ok
+}

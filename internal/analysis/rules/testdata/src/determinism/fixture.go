@@ -1,0 +1,28 @@
+// Package determinismfix stands in for a pure planning package (the test
+// loads it under a pure import path) and seeds wall-clock and rand use.
+package determinismfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+func planSeed(n int) int {
+	return n * 31 // pure arithmetic: ok
+}
+
+func jitter(n int) int {
+	return n + rand.Intn(3) // want "math/rand"
+}
+
+func stampNow() int64 {
+	return time.Now().UnixNano() // want "time.Now"
+}
+
+func ageOf(t time.Time) time.Duration {
+	return time.Since(t) // want "time.Since"
+}
+
+func format(t time.Time) string {
+	return t.Format(time.RFC3339) // deterministic time formatting: ok
+}

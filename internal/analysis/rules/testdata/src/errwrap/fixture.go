@@ -1,0 +1,25 @@
+// Package errwrapfix seeds fmt.Errorf calls that sever error chains.
+package errwrapfix
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+func wrapped(p string) error {
+	return fmt.Errorf("open %s: %w", p, errBase) // ok
+}
+
+func severedVerb(err error) error {
+	return fmt.Errorf("query failed: %v", err) // want "without %w"
+}
+
+func severedString(p string, err error) error {
+	return fmt.Errorf("ingest %s: %s", p, err) // want "without %w"
+}
+
+func noErrorArgs(n int) error {
+	return fmt.Errorf("bad page count %d", n) // ok: nothing to wrap
+}

@@ -1,0 +1,50 @@
+// Package metricsregfix seeds the instrument-wiring bugs metricsreg detects:
+// duplicate names, dead series, bad names, discarded constructions.
+package metricsregfix
+
+import "rased/internal/obs"
+
+// Metrics follows the repo's wiring pattern: fields exposed through All().
+type Metrics struct {
+	Hits   *obs.Counter
+	Misses *obs.Counter
+	Orphan *obs.Counter
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{
+		Hits:   obs.NewCounter("rased_fix_hits_total", "Cache hits."),
+		Misses: obs.NewCounter("rased_fix_misses_total", "Cache misses."),
+		Orphan: obs.NewCounter("rased_fix_orphan_total", "Never wired."), // want "never registered"
+	}
+}
+
+// All exposes Hits and Misses but forgets Orphan.
+func (m *Metrics) All() []obs.Metric {
+	return []obs.Metric{m.Hits, m.Misses}
+}
+
+func wire(r *obs.Registry) error {
+	direct := obs.NewCounter("rased_fix_direct_total", "Registered directly below.")
+	if err := r.Register(direct); err != nil {
+		return err
+	}
+	r.MustRegister(obs.NewGauge("rased_fix_inline", "Inline registration is fine."))
+	return nil
+}
+
+func duplicate() *obs.Counter {
+	return obs.NewCounter("rased_fix_hits_total", "Same series name as newMetrics.") // want "already constructed"
+}
+
+func discard() {
+	obs.NewCounter("rased_fix_dropped_total", "Constructed and dropped.") // want "discarded"
+}
+
+func badName() *obs.Counter {
+	return obs.NewCounter("fix_CamelCase", "Bad charset and missing prefix.") // want "naming charset"
+}
+
+func dynamicName(name string) *obs.Counter {
+	return obs.NewCounter(name, "Uniqueness unauditable.") // want "not a constant"
+}

@@ -55,8 +55,9 @@ const concReadLatency = 2 * time.Millisecond
 // bounded worker pool, and parallel fetches plus cross-query singleflight.
 // Every client runs perClient queries from its own deterministic stream, so
 // all modes see identical workloads. The cache is disabled: the experiment
-// measures the disk path the exec subsystem parallelizes.
-func FigConc(ws *Workspace, clientCounts []int, perClient, workers int, seed int64) ([]ConcPoint, error) {
+// measures the disk path the exec subsystem parallelizes. Cancelling ctx
+// aborts the sweep between queries (and mid-read via the injected latency).
+func FigConc(ctx context.Context, ws *Workspace, clientCounts []int, perClient, workers int, seed int64) ([]ConcPoint, error) {
 	modes := []concMode{
 		{name: "serial", workers: 0},
 		{name: "parallel", workers: workers},
@@ -76,7 +77,7 @@ func FigConc(ws *Workspace, clientCounts []int, perClient, workers int, seed int
 			return nil, err
 		}
 		for _, clients := range clientCounts {
-			pt, err := runConcClients(ws, eng, m.name, clients, perClient, seed)
+			pt, err := runConcClients(ctx, ws, eng, m.name, clients, perClient, seed)
 			if err != nil {
 				return nil, err
 			}
@@ -88,7 +89,7 @@ func FigConc(ws *Workspace, clientCounts []int, perClient, workers int, seed int
 
 // runConcClients drives `clients` goroutines of perClient queries each
 // against one engine and reports aggregate throughput and latency quantiles.
-func runConcClients(ws *Workspace, eng *core.Engine, mode string, clients, perClient int, seed int64) (*ConcPoint, error) {
+func runConcClients(ctx context.Context, ws *Workspace, eng *core.Engine, mode string, clients, perClient int, seed int64) (*ConcPoint, error) {
 	lats := make([][]time.Duration, clients)
 	shared := make([]int64, clients)
 	errs := make([]error, clients)
@@ -104,7 +105,7 @@ func runConcClients(ws *Workspace, eng *core.Engine, mode string, clients, perCl
 				lo, hi := ws.recentWindow(rng, concSpanDays)
 				q := ws.singleCellQuery(rng, lo, hi)
 				t0 := time.Now()
-				res, err := eng.AnalyzeContext(context.Background(), q)
+				res, err := eng.AnalyzeContext(ctx, q)
 				if err != nil {
 					errs[c] = err
 					return
@@ -210,7 +211,7 @@ type OverloadResult struct {
 // OverloadConc measures admission control: the same engine configuration is
 // run uncontended (clients == MaxInflight, nothing queues) and overloaded
 // (clients >> MaxInflight), comparing the accepted queries' p99.
-func OverloadConc(ws *Workspace, workers, maxInflight, maxQueue, clients, perClient int, seed int64) (*OverloadResult, error) {
+func OverloadConc(ctx context.Context, ws *Workspace, workers, maxInflight, maxQueue, clients, perClient int, seed int64) (*OverloadResult, error) {
 	eng, err := ws.newEngine(core.Options{
 		LevelOptimization: true,
 		FetchWorkers:      workers,
@@ -226,13 +227,13 @@ func OverloadConc(ws *Workspace, workers, maxInflight, maxQueue, clients, perCli
 	defer ws.Index.Store().SetReadLatency(prev)
 	res := &OverloadResult{Workers: workers, MaxInflight: maxInflight, MaxQueue: maxQueue, Clients: clients}
 
-	uncontended, err := runOverloadClients(ws, eng, maxInflight, perClient, seed)
+	uncontended, err := runOverloadClients(ctx, ws, eng, maxInflight, perClient, seed)
 	if err != nil {
 		return nil, err
 	}
 	res.UncontendedP99 = percentileDur(uncontended.lats, 0.99)
 
-	over, err := runOverloadClients(ws, eng, clients, perClient, seed)
+	over, err := runOverloadClients(ctx, ws, eng, clients, perClient, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -249,7 +250,7 @@ type overloadRun struct {
 	lats                []time.Duration
 }
 
-func runOverloadClients(ws *Workspace, eng *core.Engine, clients, perClient int, seed int64) (*overloadRun, error) {
+func runOverloadClients(ctx context.Context, ws *Workspace, eng *core.Engine, clients, perClient int, seed int64) (*overloadRun, error) {
 	lats := make([][]time.Duration, clients)
 	rejected := make([]int64, clients)
 	errs := make([]error, clients)
@@ -263,7 +264,7 @@ func runOverloadClients(ws *Workspace, eng *core.Engine, clients, perClient int,
 				lo, hi := ws.recentWindow(rng, concSpanDays)
 				q := ws.singleCellQuery(rng, lo, hi)
 				t0 := time.Now()
-				_, err := eng.AnalyzeContext(context.Background(), q)
+				_, err := eng.AnalyzeContext(ctx, q)
 				switch {
 				case errors.Is(err, exec.ErrRejected):
 					rejected[c]++
