@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check ci lint race vet bench bench-smoke figures examples clean
+.PHONY: all build test check ci lint race vet bench bench-smoke bench-hotpath figures examples clean
 
 all: build test
 
@@ -19,12 +19,16 @@ test: check
 # under the race detector.
 check: vet lint race
 
-# ci is the full pipeline a hosted runner would execute.
+# ci is the full pipeline a hosted runner would execute. The quick hotpath
+# sweep smoke-tests the data-plane optimisations end to end (the full sweep
+# that regenerates BENCH_hotpath.json is the bench-hotpath target).
 ci: build vet lint race
 	$(GO) test ./...
+	bin/rased-bench -fig hotpath -quick
 
 # lint runs RASED's project-specific analyzers: context flow, lock-held I/O,
-# metric registration, error wrapping, and determinism of the pure packages.
+# metric registration, error wrapping, determinism of the pure packages, and
+# pool-value ownership (poolsafe).
 # Audited exceptions live in .rased-lint.allow (none at the moment).
 lint:
 	$(GO) run ./cmd/rased-lint
@@ -42,6 +46,12 @@ bench:
 # subsystem (parallel fetches, singleflight, admission) on a real workspace.
 bench-smoke: build
 	bin/rased-bench -fig conc -quick
+
+# Full data-plane hot-path sweep: micro kernels, eager-vs-pooled fetch, and
+# the client sweep behind the 2x-at-16-clients acceptance number. Writes the
+# committed BENCH_hotpath.json.
+bench-hotpath: build
+	bin/rased-bench -fig hotpath -out BENCH_hotpath.json
 
 # Regenerate every figure of the paper's evaluation (EXPERIMENTS.md).
 figures: build

@@ -9,6 +9,7 @@
 //	rased-bench -fig alloc     cache allocation ablation (Section VII-A)
 //	rased-bench -fig evict     cache policy ablation: preload vs LRU
 //	rased-bench -fig conc      concurrent clients: serial vs parallel fetches
+//	rased-bench -fig hotpath   data-plane hot path: kernels, pooling, sharding, coalescing
 //	rased-bench -fig examples  the example queries of Figures 2-5
 //	rased-bench -fig all       everything
 //
@@ -44,6 +45,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "workload seed")
 		workers = flag.Int("workers", 64, "fetch worker pool size for the concurrency experiment")
 		quick   = flag.Bool("quick", false, "shrink the concurrency sweep for a smoke run")
+		out     = flag.String("out", "", "also write the hotpath report as JSON to this path")
 	)
 	flag.Parse()
 
@@ -86,6 +88,8 @@ func main() {
 		runEvict(ws, *queries, *seed)
 	case "conc":
 		runConc(ws, *workers, *quick, *seed)
+	case "hotpath":
+		runHotpath(*updates, *workers, *quick, *seed, *out)
 	case "examples":
 		runExamples(*seed, *updates)
 	case "all":
@@ -104,6 +108,8 @@ func main() {
 		runEvict(ws, *queries, *seed)
 		fmt.Println()
 		runConc(ws, *workers, *quick, *seed)
+		fmt.Println()
+		runHotpath(*updates, *workers, *quick, *seed, *out)
 		fmt.Println()
 		runExamples(*seed, *updates)
 	default:
@@ -208,6 +214,44 @@ func runConc(ws *benchx.Workspace, workers int, quick bool, seed int64) {
 		log.Fatal(err)
 	}
 	benchx.PrintOverload(os.Stdout, over)
+}
+
+func runHotpath(updates, workers int, quick bool, seed int64, out string) {
+	// The hot-path experiment uses its own deployment: a wider schema whose
+	// cubes are closer to the paper's full-scale cell counts, so the
+	// aggregation kernels are measured against realistic per-cube work. The
+	// shared workspace's small cubes would understate the scalar path's cost.
+	cfg := benchx.DefaultWorkspaceConfig()
+	cfg.Years = 4
+	cfg.Countries = 80
+	cfg.RoadTypes = 30
+	cfg.UpdatesPerDay = updates
+	cfg.Seed = seed
+	clients := []int{1, 4, 16}
+	perClient := 64
+	if quick {
+		cfg.Years = 2
+		clients = []int{1, 4}
+		perClient = 8
+	}
+	log.Printf("building %d-year hotpath workspace (%d countries x %d road types)...",
+		cfg.Years, cfg.Countries, cfg.RoadTypes)
+	ws, err := benchx.NewWorkspace(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ws.Close()
+	rep, err := benchx.FigHotpath(context.Background(), ws, clients, perClient, workers, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	benchx.PrintHotpath(os.Stdout, rep)
+	if out != "" {
+		if err := benchx.WriteHotpathJSON(out, rep); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", out)
+	}
 }
 
 func runExamples(seed int64, updates int) {

@@ -45,6 +45,12 @@ func main() {
 		maxInflight  = flag.Int("max-inflight", 0, "max concurrently executing queries (0 admits everything)")
 		queue        = flag.Int("queue", 0, "max queries queued for admission beyond -max-inflight; excess get 503")
 		queryTimeout = flag.Duration("query-timeout", 0, "per-query execution deadline (0 disables; timeouts get 504)")
+
+		cachePolicy  = flag.String("cache-policy", "preload", "cube cache policy: preload, lru, or sharded")
+		cacheShards  = flag.Int("cache-shards", 0, "shard count for -cache-policy=sharded (0 picks from GOMAXPROCS, rounded to a power of two)")
+		pooledDecode = flag.Bool("pooled-decode", false, "decode cache misses into pooled cubes (requires -cache-policy=lru or sharded)")
+		coalesce     = flag.Bool("coalesce-reads", false, "read runs of adjacent cube pages with one I/O")
+		scalarAgg    = flag.Bool("scalar-agg", false, "disable the vectorized aggregation kernels (debugging)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -60,6 +66,11 @@ func main() {
 		Singleflight:      *singleflight,
 		MaxInflight:       *maxInflight,
 		MaxQueue:          *queue,
+		CachePolicy:       *cachePolicy,
+		CacheShards:       *cacheShards,
+		PooledDecode:      *pooledDecode,
+		CoalesceReads:     *coalesce,
+		ScalarKernels:     *scalarAgg,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -11,6 +11,8 @@
 //	errwrap     fmt.Errorf with an error argument wraps it with %w
 //	determinism no wall clock or math/rand in the pure planning/encoding
 //	            packages the plan-order merge depends on
+//	poolsafe    values obtained from a sync.Pool or the cube page pool are
+//	            put back, handed off, or returned — never silently dropped
 package rules
 
 import (
@@ -30,6 +32,7 @@ func All() []analysis.Analyzer {
 		NewMetricsReg(),
 		NewErrWrap(),
 		NewDeterminism(DefaultPurePackages...),
+		NewPoolsafe(),
 	}
 }
 

@@ -36,6 +36,7 @@ var fixturePaths = map[string]string{
 	"metricsreg":  "fix/metricsreg",
 	"errwrap":     "fix/errwrap",
 	"determinism": "rased/internal/plan",
+	"poolsafe":    "fix/poolsafe",
 }
 
 // loadFixture type-checks testdata/src/<name> under the mapped import path
@@ -84,7 +85,7 @@ func TestAnalyzersAgainstFixtures(t *testing.T) {
 // carries its documented rule ID, has a doc line, fires at least once on its
 // fixture, and attributes every finding to its own rule ID.
 func TestAnalyzerMetadata(t *testing.T) {
-	wantIDs := []string{"ctxflow", "lockio", "metricsreg", "errwrap", "determinism"}
+	wantIDs := []string{"ctxflow", "lockio", "metricsreg", "errwrap", "determinism", "poolsafe"}
 	all := All()
 	if len(all) != len(wantIDs) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(wantIDs))

@@ -1,0 +1,93 @@
+// Package poolsafefix seeds violations of the poolsafe rule: pooled values
+// obtained from a sync.Pool or the cube page pool must be put back, handed
+// off, or returned — never silently dropped.
+package poolsafefix
+
+import (
+	"sync"
+
+	"rased/internal/cube"
+)
+
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 64); return &b }}
+
+// leakSyncPool drops a sync.Pool value: `_ = b` does not discharge the
+// obligation.
+func leakSyncPool() {
+	b := bufPool.Get().(*[]byte) // want "never put back"
+	_ = b
+}
+
+// discardGet gets straight into the blank identifier.
+func discardGet() {
+	_ = bufPool.Get() // want "discarded"
+}
+
+// okDeferPut discharges by deferring the Put.
+func okDeferPut() int {
+	b := bufPool.Get().(*[]byte)
+	defer bufPool.Put(b)
+	return len(*b)
+}
+
+// leakCubeReceiverUse calls a method on the pooled cube but never releases
+// it: a receiver use is not a handoff.
+func leakCubeReceiverUse(pp *cube.PagePool) uint64 {
+	cb := pp.GetCube() // want "never put back"
+	cb.Reset()
+	return cb.Total()
+}
+
+// leakBufBuiltinUse reads the buffer through builtins only; len does not take
+// ownership.
+func leakBufBuiltinUse(pp *cube.PagePool) int {
+	b := pp.GetBuf() // want "never put back"
+	return len(*b) + cap(*b)
+}
+
+// okPutCube returns the cube to its pool.
+func okPutCube(pp *cube.PagePool) {
+	cb := pp.GetCube()
+	cb.Reset()
+	pp.PutCube(cb)
+}
+
+// okHandoff transfers ownership through a call.
+func okHandoff(pp *cube.PagePool, sink func(*cube.Cube)) {
+	cb := pp.GetCube()
+	sink(cb)
+}
+
+// okReturned transfers ownership to the caller.
+func okReturned(pp *cube.PagePool) *cube.Cube {
+	cb := pp.GetCube()
+	cb.Reset()
+	return cb
+}
+
+// okStored hands the cube to the map's owner.
+func okStored(pp *cube.PagePool, m map[int]*cube.Cube) {
+	cb := pp.GetCube()
+	m[0] = cb
+}
+
+// okSent hands the cube to the channel's consumer.
+func okSent(pp *cube.PagePool, ch chan *cube.Cube) {
+	cb := pp.GetCube()
+	ch <- cb
+}
+
+// okComposite places the cube in a literal the caller owns.
+func okComposite(pp *cube.PagePool) []*cube.Cube {
+	cb := pp.GetCube()
+	return []*cube.Cube{cb}
+}
+
+// leakInClosure creates the obligation inside a function literal; the drop is
+// caught there too.
+func leakInClosure() func() {
+	return func() {
+		b := bufPool.Get().(*[]byte) // want "never put back"
+		_ = b
+	}
+}

@@ -1,0 +1,386 @@
+package benchx
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"rased/internal/core"
+	"rased/internal/cube"
+	"rased/internal/temporal"
+)
+
+// ---------------------------------------------------------------------------
+// Hot-path experiment: the data-plane optimisations measured in isolation
+// (micro benchmarks) and end to end (a concurrent-client sweep comparing the
+// pre-optimisation engine configuration against the sharded/pooled/vectorized
+// one on an identical workload).
+
+// MicroResult is one micro benchmark measurement. Iters and TotalAllocs keep
+// the raw benchmark totals so a path that allocates nothing at all can still
+// be compared as a measured lower bound instead of a divide-by-zero.
+type MicroResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iters       int64   `json:"iters"`
+	TotalAllocs int64   `json:"total_allocs"`
+}
+
+// HotpathPoint is one (mode, client count) sweep measurement.
+type HotpathPoint struct {
+	Mode    string  `json:"mode"`
+	Clients int     `json:"clients"`
+	QPS     float64 `json:"qps"`
+	P50Ms   float64 `json:"p50_ms"`
+	P99Ms   float64 `json:"p99_ms"`
+}
+
+// HotpathSummary distills the acceptance numbers.
+type HotpathSummary struct {
+	// ThroughputX16 is the full hot path's QPS over the baseline's at the
+	// highest swept client count.
+	ThroughputX16 float64 `json:"throughput_x_16_clients"`
+	// Cache-miss fetch path: allocations per op, eager decode vs pooled.
+	MissAllocsBaseline int64   `json:"miss_fetch_allocs_baseline"`
+	MissAllocsPooled   int64   `json:"miss_fetch_allocs_pooled"`
+	MissBytesBaseline  int64   `json:"miss_fetch_bytes_baseline"`
+	MissBytesPooled    int64   `json:"miss_fetch_bytes_pooled"`
+	AllocReduction     float64 `json:"miss_fetch_alloc_reduction_x"`
+}
+
+// HotpathReport is the full experiment output.
+type HotpathReport struct {
+	Config struct {
+		Years     int    `json:"years"`
+		Countries int    `json:"countries"`
+		RoadTypes int    `json:"road_types"`
+		CubeCells int    `json:"cube_cells"`
+		PageBytes int    `json:"page_bytes"`
+		Clients   []int  `json:"clients"`
+		PerClient int    `json:"per_client"`
+		Latency   string `json:"read_latency"`
+	} `json:"config"`
+	Micro   []MicroResult  `json:"micro"`
+	Sweep   []HotpathPoint `json:"sweep"`
+	Summary HotpathSummary `json:"summary"`
+}
+
+// hotpathMode is one engine configuration of the sweep.
+type hotpathMode struct {
+	name string
+	opts core.Options
+}
+
+// hotpathModes returns the swept configurations. The baseline is the pre-PR
+// engine: preloaded cache, scalar aggregation, per-page reads. Each further
+// mode layers on hot-path machinery; the last is the full configuration.
+func hotpathModes(workers int) []hotpathMode {
+	base := core.Options{
+		CacheSlots:        512,
+		LevelOptimization: true,
+		FetchWorkers:      workers,
+		Singleflight:      true,
+	}
+	baseline := base
+	baseline.ScalarKernels = true
+
+	sharded := base
+	sharded.CachePolicy = "sharded"
+	sharded.ScalarKernels = true
+
+	full := base
+	full.CachePolicy = "sharded"
+	full.PooledDecode = true
+	full.CoalesceReads = true
+
+	return []hotpathMode{
+		{name: "baseline", opts: baseline},
+		{name: "sharded", opts: sharded},
+		{name: "sharded+pool+vec", opts: full},
+	}
+}
+
+// hotpathQuery draws one workload query: mostly group-by-country aggregations
+// over recency-skewed last-year windows (the dashboard's country table, the
+// paper's Figure 2 shape), some single-cell lookups, and every eighth query a
+// cold scan over an old misaligned window (exercising the miss path: pooled
+// decodes and coalesced daily runs).
+func (ws *Workspace) hotpathQuery(rng *rand.Rand, i int) core.Query {
+	if i%8 == 7 {
+		span := temporal.Day(30 + rng.Intn(30))
+		lo := ws.Lo + temporal.Day(rng.Intn(int(ws.Hi-ws.Lo-span)))
+		return core.Query{From: lo, To: lo + span, GroupBy: core.GroupBy{Country: true}}
+	}
+	if i%8 < 5 {
+		lo, hi := ws.recentWindow(rng, 365)
+		return core.Query{From: lo, To: hi, GroupBy: core.GroupBy{Country: true}}
+	}
+	lo, hi := ws.recentWindow(rng, 90)
+	return ws.singleCellQuery(rng, lo, hi)
+}
+
+// FigHotpath runs the hot-path experiment: micro benchmarks of the
+// aggregation kernels and fetch paths, then the concurrent-client sweep.
+func FigHotpath(ctx context.Context, ws *Workspace, clients []int, perClient, workers int, seed int64) (*HotpathReport, error) {
+	rep := &HotpathReport{}
+	rep.Config.Years = ws.Cfg.Years
+	rep.Config.Countries = ws.Cfg.Countries
+	rep.Config.RoadTypes = ws.Cfg.RoadTypes
+	rep.Config.CubeCells = ws.Schema.CellCount()
+	rep.Config.PageBytes = cube.PageSize(ws.Schema)
+	rep.Config.Clients = clients
+	rep.Config.PerClient = perClient
+	rep.Config.Latency = ws.Cfg.ReadLatency.String()
+
+	if err := hotpathMicro(ctx, ws, rep); err != nil {
+		return nil, err
+	}
+
+	for _, m := range hotpathModes(workers) {
+		eng, err := ws.newEngine(m.opts)
+		if err != nil {
+			return nil, err
+		}
+		// Untimed warmup: replay the widest client fan-out once so every mode
+		// is measured at steady state. The preload baseline starts with a full
+		// cache while the demand policies start empty; without this pass the
+		// sweep would time cache population instead of the hot path.
+		if _, err := runHotpathClients(ctx, ws, eng, m.name, maxInts(clients), perClient, seed); err != nil {
+			return nil, err
+		}
+		for _, c := range clients {
+			pt, err := runHotpathClients(ctx, ws, eng, m.name, c, perClient, seed)
+			if err != nil {
+				return nil, err
+			}
+			rep.Sweep = append(rep.Sweep, *pt)
+		}
+	}
+
+	rep.Summary = summarizeHotpath(rep)
+	return rep, nil
+}
+
+// runHotpathClients drives the mixed workload from `clients` goroutines.
+func runHotpathClients(ctx context.Context, ws *Workspace, eng *core.Engine, mode string, clients, perClient int, seed int64) (*HotpathPoint, error) {
+	lats := make([][]time.Duration, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(c)*7919))
+			lats[c] = make([]time.Duration, 0, perClient)
+			for i := 0; i < perClient; i++ {
+				q := ws.hotpathQuery(rng, i)
+				t0 := time.Now()
+				if _, err := eng.AnalyzeContext(ctx, q); err != nil {
+					errs[c] = err
+					return
+				}
+				lats[c] = append(lats[c], time.Since(t0))
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	var all []time.Duration
+	for c := 0; c < clients; c++ {
+		if errs[c] != nil {
+			return nil, fmt.Errorf("benchx: hotpath client %d: %w", c, errs[c])
+		}
+		all = append(all, lats[c]...)
+	}
+	return &HotpathPoint{
+		Mode:    mode,
+		Clients: clients,
+		QPS:     float64(len(all)) / wall.Seconds(),
+		P50Ms:   float64(percentileDur(all, 0.5)) / 1e6,
+		P99Ms:   float64(percentileDur(all, 0.99)) / 1e6,
+	}, nil
+}
+
+// hotpathMicro measures the kernels and fetch paths in isolation with the
+// testing benchmark driver: ns/op, allocs/op, B/op.
+func hotpathMicro(ctx context.Context, ws *Workspace, rep *HotpathReport) error {
+	// A populated cube at the workspace schema.
+	cb := cube.New(ws.Schema)
+	rng := rand.New(rand.NewSource(99))
+	de, dc, dr, du := ws.Schema.Dims()
+	for i := 0; i < 4*ws.Schema.CellCount(); i++ {
+		cb.Add(rng.Intn(de), rng.Intn(dc), rng.Intn(dr), rng.Intn(du), 1)
+	}
+	record := func(name string, r testing.BenchmarkResult) {
+		rep.Micro = append(rep.Micro, MicroResult{
+			Name:        name,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iters:       int64(r.N),
+			TotalAllocs: int64(r.MemAllocs),
+		})
+	}
+
+	dst := make(map[cube.Key]uint64)
+	for _, shape := range []struct {
+		name string
+		f    cube.Filter
+		g    cube.GroupBy
+	}{
+		{"agg-total", cube.Filter{}, cube.GroupBy{}},
+		{"agg-group-country", cube.Filter{}, cube.GroupBy{Country: true}},
+		{"agg-single-cell", cube.Filter{Elements: []int{1}, Countries: []int{2}, RoadTypes: []int{3}, UpdateTypes: []int{0}}, cube.GroupBy{}},
+	} {
+		f, g := shape.f, shape.g
+		record(shape.name+"/scalar", testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				clear(dst)
+				cb.AggregateInto(f, g, dst)
+			}
+		}))
+		ap := cube.CompileAgg(ws.Schema, f, g)
+		record(shape.name+"/kernel", testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				clear(dst)
+				cb.AggregatePlanInto(ap, dst)
+			}
+		}))
+	}
+
+	// The cache-miss fetch path, eager vs pooled, with latency injection off
+	// so the numbers isolate decode cost and allocation.
+	prev := ws.Index.Store().ReadLatency()
+	ws.Index.Store().SetReadLatency(0)
+	defer ws.Index.Store().SetReadLatency(prev)
+	p := temporal.DayPeriod(ws.Hi - 2)
+	if !ws.Index.Has(p) {
+		return fmt.Errorf("benchx: hotpath micro: no cube for %v", p)
+	}
+	record("miss-fetch/eager", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ws.Index.FetchViewCtx(ctx, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	record("miss-fetch/pooled", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pc, err := ws.Index.FetchPooledCtx(ctx, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ws.Index.ReleasePooled(pc)
+		}
+	}))
+	return nil
+}
+
+// summarizeHotpath extracts the acceptance numbers from the raw results.
+func summarizeHotpath(rep *HotpathReport) HotpathSummary {
+	var s HotpathSummary
+	maxClients := 0
+	for _, pt := range rep.Sweep {
+		if pt.Clients > maxClients {
+			maxClients = pt.Clients
+		}
+	}
+	var base, full float64
+	for _, pt := range rep.Sweep {
+		if pt.Clients != maxClients {
+			continue
+		}
+		switch pt.Mode {
+		case "baseline":
+			base = pt.QPS
+		case "sharded+pool+vec":
+			full = pt.QPS
+		}
+	}
+	if base > 0 {
+		s.ThroughputX16 = full / base
+	}
+	var eager, pooled MicroResult
+	for _, m := range rep.Micro {
+		switch m.Name {
+		case "miss-fetch/eager":
+			eager = m
+			s.MissAllocsBaseline = m.AllocsPerOp
+			s.MissBytesBaseline = m.BytesPerOp
+		case "miss-fetch/pooled":
+			pooled = m
+			s.MissAllocsPooled = m.AllocsPerOp
+			s.MissBytesPooled = m.BytesPerOp
+		}
+	}
+	// Compare per-op allocation rates from the raw benchmark totals. If the
+	// pooled path allocated literally nothing across its whole run, its rate
+	// is below 1/iters, so the ratio reported is the measured lower bound
+	// rather than infinity.
+	if eager.Iters > 0 && pooled.Iters > 0 && eager.TotalAllocs > 0 {
+		baseRate := float64(eager.TotalAllocs) / float64(eager.Iters)
+		pooledTotal := pooled.TotalAllocs
+		if pooledTotal == 0 {
+			pooledTotal = 1
+		}
+		s.AllocReduction = baseRate * float64(pooled.Iters) / float64(pooledTotal)
+	}
+	return s
+}
+
+// WriteHotpathJSON writes the report as pretty-printed JSON.
+func WriteHotpathJSON(path string, rep *HotpathReport) error {
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchx: marshal hotpath report: %w", err)
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		return fmt.Errorf("benchx: write hotpath report: %w", err)
+	}
+	return nil
+}
+
+// PrintHotpath renders the report.
+func PrintHotpath(w io.Writer, rep *HotpathReport) {
+	fmt.Fprintln(w, "Hot path: vectorized kernels, pooled decoding, sharded cache, coalesced reads")
+	fmt.Fprintf(w, "  schema: %d cells/cube, %d-byte pages; %d years\n",
+		rep.Config.CubeCells, rep.Config.PageBytes, rep.Config.Years)
+	fmt.Fprintln(w, "  micro:")
+	for _, m := range rep.Micro {
+		fmt.Fprintf(w, "    %-24s %12.0f ns/op %8d allocs/op %12d B/op\n",
+			m.Name, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp)
+	}
+	fmt.Fprintln(w, "  sweep:")
+	fmt.Fprintf(w, "    %-18s%8s%12s%10s%10s\n", "mode", "clients", "qps", "p50 ms", "p99 ms")
+	for _, pt := range rep.Sweep {
+		fmt.Fprintf(w, "    %-18s%8d%12.1f%10.3f%10.3f\n", pt.Mode, pt.Clients, pt.QPS, pt.P50Ms, pt.P99Ms)
+	}
+	fmt.Fprintf(w, "  summary: %.2fx throughput at %d clients; miss fetch %d -> %d allocs/op (%.0fx), %d -> %d B/op\n",
+		rep.Summary.ThroughputX16, maxInts(rep.Config.Clients),
+		rep.Summary.MissAllocsBaseline, rep.Summary.MissAllocsPooled, rep.Summary.AllocReduction,
+		rep.Summary.MissBytesBaseline, rep.Summary.MissBytesPooled)
+}
+
+func maxInts(xs []int) int {
+	out := 0
+	for _, x := range xs {
+		if x > out {
+			out = x
+		}
+	}
+	return out
+}

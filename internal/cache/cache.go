@@ -8,6 +8,7 @@ package cache
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 
 	"rased/internal/cube"
@@ -41,14 +42,45 @@ func (a Allocation) Validate() error {
 	return nil
 }
 
-// SlotsFor returns the number of slots each level receives out of n.
+// SlotsFor returns the number of slots each level receives out of n. Every
+// slot is assigned: each level gets the floor of its exact share and the
+// remainder is distributed by largest fractional part, ties broken
+// daily-first (finer levels are the hotter working set), so the split is
+// deterministic and the per-level counts always sum to n.
 func (a Allocation) SlotsFor(n int) map[temporal.Level]int {
-	return map[temporal.Level]int{
-		temporal.Daily:   int(a.Alpha * float64(n)),
-		temporal.Weekly:  int(a.Beta * float64(n)),
-		temporal.Monthly: int(a.Gamma * float64(n)),
-		temporal.Yearly:  int(a.Theta * float64(n)),
+	ratios := [temporal.NumLevels]float64{a.Alpha, a.Beta, a.Gamma, a.Theta}
+	out := make(map[temporal.Level]int, temporal.NumLevels)
+	used := 0
+	var fracs [temporal.NumLevels]struct {
+		lvl  temporal.Level
+		frac float64
 	}
+	for i, r := range ratios {
+		exact := r * float64(n)
+		base := int(exact)
+		if base > n {
+			base = n
+		}
+		lvl := temporal.Level(i)
+		out[lvl] = base
+		used += base
+		fracs[i].lvl = lvl
+		fracs[i].frac = exact - float64(base)
+	}
+	sort.SliceStable(fracs[:], func(i, j int) bool { return fracs[i].frac > fracs[j].frac })
+	for i := 0; used < n && i < len(fracs); i++ {
+		out[fracs[i].lvl]++
+		used++
+	}
+	// Ratio sums are validated to within ±0.001 of 1, so floating error can
+	// overshoot by at most one slot; trim from the smallest fractional share.
+	for i := len(fracs) - 1; used > n && i >= 0; i-- {
+		if out[fracs[i].lvl] > 0 {
+			out[fracs[i].lvl]--
+			used--
+		}
+	}
+	return out
 }
 
 // Stats is a snapshot of cache effectiveness counters.

@@ -74,6 +74,54 @@ func TestSlotsFor(t *testing.T) {
 	}
 }
 
+func TestSlotsForSum(t *testing.T) {
+	// int(ratio*n) truncation used to strand slots (n=10 assigned only 9);
+	// the largest-remainder distribution must hand out every slot.
+	allocs := []Allocation{
+		DefaultAllocation,
+		{0.25, 0.25, 0.25, 0.25},
+		{1, 0, 0, 0},
+		{0.7, 0.1, 0.1, 0.1},
+		{0.33, 0.33, 0.33, 0.01},
+	}
+	for _, alloc := range allocs {
+		for n := 1; n <= 100; n++ {
+			slots := alloc.SlotsFor(n)
+			sum := 0
+			for lvl, got := range slots {
+				if got < 0 {
+					t.Fatalf("alloc %+v n=%d: level %v got %d slots", alloc, n, lvl, got)
+				}
+				sum += got
+			}
+			if sum != n {
+				t.Errorf("alloc %+v n=%d: slots sum to %d: %v", alloc, n, sum, slots)
+			}
+		}
+	}
+}
+
+func TestSlotsForDeterministicRemainder(t *testing.T) {
+	// n=10 with the default split: floors are 4/3/2/0 leaving one slot; the
+	// weekly and yearly fractions tie at 0.5 and the daily-first tie-break
+	// hands the slot to the finer level.
+	slots := DefaultAllocation.SlotsFor(10)
+	want := map[temporal.Level]int{
+		temporal.Daily: 4, temporal.Weekly: 4, temporal.Monthly: 2, temporal.Yearly: 0,
+	}
+	for lvl, w := range want {
+		if slots[lvl] != w {
+			t.Errorf("SlotsFor(10)[%v] = %d, want %d (full: %v)", lvl, slots[lvl], w, slots)
+		}
+	}
+	// Exact ties break daily-first.
+	slots = (Allocation{0.25, 0.25, 0.25, 0.25}).SlotsFor(2)
+	if slots[temporal.Daily] != 1 || slots[temporal.Weekly] != 1 ||
+		slots[temporal.Monthly] != 0 || slots[temporal.Yearly] != 0 {
+		t.Errorf("tie-break should favor finer levels: %v", slots)
+	}
+}
+
 func TestNewValidation(t *testing.T) {
 	if _, err := New(-1, DefaultAllocation); err == nil {
 		t.Error("negative slots should fail")

@@ -93,6 +93,46 @@ func (l *LRU) Put(p temporal.Period, cb cube.Reader) {
 	}
 }
 
+// PutCold inserts a cube at the cache's cold end — a quarter of the capacity
+// up from the eviction point (InnoDB's midpoint insertion). Cubes pulled in by
+// bulk run reads enter here: a scan's pages age out by evicting each other
+// instead of displacing the hot working set, while a page the workload
+// actually revisits is promoted to the hot end by its next Get. An entry that
+// is already cached is refreshed in place without promotion.
+func (l *LRU) PutCold(p temporal.Period, cb cube.Reader) {
+	if l.capacity == 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if el, ok := l.entries[p]; ok {
+		el.Value.(*lruEntry).cb = cb
+		return
+	}
+	l.entries[p] = insertCold(l.order, l.capacity, &lruEntry{p: p, cb: cb})
+	for l.order.Len() > l.capacity {
+		victim := l.order.Back()
+		l.order.Remove(victim)
+		vp := victim.Value.(*lruEntry).p
+		delete(l.entries, vp)
+		l.met.Evictions[vp.Level].Inc()
+	}
+}
+
+// insertCold places e a quarter of the capacity up from the back of order,
+// walking at most capacity/4 links. A list shorter than that is all cold:
+// the entry goes to the back and ages out first.
+func insertCold(order *list.List, capacity int, e *lruEntry) *list.Element {
+	pos := order.Back()
+	for i := 0; i < capacity/4 && pos != nil; i++ {
+		pos = pos.Prev()
+	}
+	if pos == nil {
+		return order.PushBack(e)
+	}
+	return order.InsertAfter(e, pos)
+}
+
 // Contains reports residency without touching the counters or recency order
 // (the level optimizer uses this to cost plans).
 func (l *LRU) Contains(p temporal.Period) bool {

@@ -45,6 +45,28 @@ type Options struct {
 	// MaxQueue bounds queries waiting for admission when MaxInflight is
 	// reached; beyond it AnalyzeContext fails fast with exec.ErrRejected.
 	MaxQueue int
+	// CachePolicy selects the cube cache: "preload" (default, the paper's
+	// statically preloaded recency cache), "lru" (demand-filled, single
+	// mutex), or "sharded" (demand-filled, hash-sharded for concurrent
+	// access).
+	CachePolicy string
+	// CacheShards is the shard count per level for the "sharded" policy;
+	// 0 picks one per CPU (rounded up to a power of two).
+	CacheShards int
+	// PooledDecode decodes cache misses into pooled cubes instead of
+	// allocating a page buffer and cube per miss. Requires a demand cache
+	// policy ("lru" or "sharded"): decoded cubes are donated to the cache,
+	// which must own their lifecycle (see DESIGN.md, "Hot-path memory
+	// model").
+	PooledDecode bool
+	// CoalesceReads merges plan fetches whose pages are adjacent on disk
+	// into single multi-page reads: one syscall and one disk-latency charge
+	// per run instead of per page.
+	CoalesceReads bool
+	// ScalarKernels disables the vectorized aggregation kernels, running
+	// every cube through the scalar reference loop (the pre-optimization
+	// baseline, kept for benchmarks and cross-checks).
+	ScalarKernels bool
 }
 
 // DefaultOptions is the full RASED configuration.
@@ -58,13 +80,26 @@ func DefaultOptions() Options {
 	}
 }
 
+// demandCache is the interface the engine needs from a demand-filled cube
+// cache; *cache.LRU and *cache.Sharded both satisfy it.
+type demandCache interface {
+	Get(p temporal.Period) (cube.Reader, bool)
+	Put(p temporal.Period, cb cube.Reader)
+	PutCold(p temporal.Period, cb cube.Reader)
+	Contains(p temporal.Period) bool
+	Stats() cache.Stats
+	ResetStats()
+	Metrics() *cache.Metrics
+}
+
 // Engine answers analysis queries against a hierarchical temporal index.
 type Engine struct {
-	ix    *tindex.Index
-	reg   *geo.Registry
-	cache *cache.Cache // nil when caching is disabled
-	opts  Options
-	met   *EngineMetrics
+	ix     *tindex.Index
+	reg    *geo.Registry
+	cache  *cache.Cache // non-nil only under the "preload" policy
+	demand demandCache  // non-nil only under the "lru"/"sharded" policies
+	opts   Options
+	met    *EngineMetrics
 
 	pool   *exec.Pool       // nil: serial fetches
 	flight *exec.Group      // nil: no cross-query fetch dedup
@@ -91,19 +126,43 @@ func NewEngine(ix *tindex.Index, opts Options) (*Engine, error) {
 		opts: opts,
 		met:  newEngineMetrics(),
 	}
+	policy := opts.CachePolicy
+	if policy == "" {
+		policy = "preload"
+	}
+	if opts.PooledDecode && policy != "lru" && policy != "sharded" {
+		return nil, fmt.Errorf("core: PooledDecode requires a demand cache policy (lru or sharded), got %q", policy)
+	}
 	if opts.CacheSlots > 0 {
 		alloc := opts.Allocation
 		if alloc == (cache.Allocation{}) {
 			alloc = cache.DefaultAllocation
 		}
-		c, err := cache.New(opts.CacheSlots, alloc)
-		if err != nil {
-			return nil, err
+		switch policy {
+		case "preload":
+			c, err := cache.New(opts.CacheSlots, alloc)
+			if err != nil {
+				return nil, err
+			}
+			if err := c.Preload(ix); err != nil {
+				return nil, err
+			}
+			e.cache = c
+		case "lru":
+			l, err := cache.NewLRU(opts.CacheSlots)
+			if err != nil {
+				return nil, err
+			}
+			e.demand = l
+		case "sharded":
+			s, err := cache.NewSharded(opts.CacheSlots, alloc, opts.CacheShards)
+			if err != nil {
+				return nil, err
+			}
+			e.demand = s
+		default:
+			return nil, fmt.Errorf("core: unknown cache policy %q", opts.CachePolicy)
 		}
-		if err := c.Preload(ix); err != nil {
-			return nil, err
-		}
-		e.cache = c
 	}
 	e.pool = exec.NewPool(opts.FetchWorkers)
 	if opts.Singleflight {
@@ -116,8 +175,72 @@ func NewEngine(ix *tindex.Index, opts Options) (*Engine, error) {
 // Index returns the engine's underlying index.
 func (e *Engine) Index() *tindex.Index { return e.ix }
 
-// Cache returns the engine's cube cache, or nil when caching is disabled.
+// Cache returns the engine's preloaded cube cache, or nil when caching is
+// disabled or a demand policy is active.
 func (e *Engine) Cache() *cache.Cache { return e.cache }
+
+// CacheMetrics returns the obs instruments of whichever cache policy is
+// active, or nil when caching is disabled.
+func (e *Engine) CacheMetrics() *cache.Metrics {
+	if e.cache != nil {
+		return e.cache.Metrics()
+	}
+	if e.demand != nil {
+		return e.demand.Metrics()
+	}
+	return nil
+}
+
+// CacheStats returns hit/miss/eviction counters of the active cache; ok is
+// false when caching is disabled.
+func (e *Engine) CacheStats() (cache.Stats, bool) {
+	if e.cache != nil {
+		return e.cache.Stats(), true
+	}
+	if e.demand != nil {
+		return e.demand.Stats(), true
+	}
+	return cache.Stats{}, false
+}
+
+// cacheGet probes the active cache, counting a hit or miss.
+func (e *Engine) cacheGet(p temporal.Period) (cube.Reader, bool) {
+	if e.cache != nil {
+		return e.cache.Get(p)
+	}
+	if e.demand != nil {
+		return e.demand.Get(p)
+	}
+	return nil, false
+}
+
+// cachePut fills the demand cache; preload caches are read-only at query
+// time, so this is a no-op under the preload policy.
+func (e *Engine) cachePut(p temporal.Period, rd cube.Reader) {
+	if e.demand != nil {
+		e.demand.Put(p, rd)
+	}
+}
+
+// cachePutCold admits a run-fetched cube at the demand cache's cold end:
+// scanned pages must not displace the hot working set (see LRU.PutCold).
+func (e *Engine) cachePutCold(p temporal.Period, rd cube.Reader) {
+	if e.demand != nil {
+		e.demand.PutCold(p, rd)
+	}
+}
+
+// cacheContains reports residency in the active cache without touching the
+// hit/miss counters or recency order.
+func (e *Engine) cacheContains(p temporal.Period) bool {
+	if e.cache != nil {
+		return e.cache.Contains(p)
+	}
+	if e.demand != nil {
+		return e.demand.Contains(p)
+	}
+	return false
+}
 
 // SetNetworkSizes installs a single per-country road-network size table used
 // as the Percentage(*) denominator for every window (produced by
@@ -278,6 +401,14 @@ func (e *Engine) analyze(ctx context.Context, q Query, tb *traceBuilder) (*Resul
 		return res, nil
 	}
 
+	// Compile the aggregation once per query: filter masks are resolved and
+	// the kernel shape dispatched here, not per cube. The merge loop is
+	// serial, so one plan (with its scratch buffers) serves every period.
+	var ap *cube.AggPlan
+	if !e.opts.ScalarKernels {
+		ap = cube.CompileAgg(e.ix.Schema(), filter, gb)
+	}
+
 	groups := make(map[rowKey]uint64)
 	if q.GroupBy.Date == None {
 		endStage = tb.stage("plan")
@@ -287,7 +418,7 @@ func (e *Engine) analyze(ctx context.Context, q Query, tb *traceBuilder) (*Resul
 			return nil, err
 		}
 		endStage = tb.stage("aggregate")
-		err = e.aggregatePlan(ctx, pl, filter, gb, rowKey{}, groups, res, tb)
+		err = e.aggregatePlan(ctx, pl, filter, gb, ap, rowKey{}, groups, res, tb)
 		endStage()
 		if err != nil {
 			return nil, err
@@ -301,7 +432,7 @@ func (e *Engine) analyze(ctx context.Context, q Query, tb *traceBuilder) (*Resul
 		for _, b := range dateBuckets(lvl, lo, hi) {
 			bucket := rowKey{p: b.p, hasPeriod: true}
 			if b.lo == b.p.Start() && b.hi == b.p.End() && e.ix.Has(b.p) {
-				if err := e.aggregatePeriods(ctx, filter, gb, bucket, groups, res, tb, b.p); err != nil {
+				if err := e.aggregatePeriods(ctx, filter, gb, ap, bucket, groups, res, tb, b.p); err != nil {
 					endStage()
 					return nil, err
 				}
@@ -313,7 +444,7 @@ func (e *Engine) analyze(ctx context.Context, q Query, tb *traceBuilder) (*Resul
 				return nil, err
 			}
 			e.met.PlanPeriods.ObserveValue(float64(len(pl.Periods)))
-			if err := e.aggregatePlan(ctx, pl, filter, gb, bucket, groups, res, tb); err != nil {
+			if err := e.aggregatePlan(ctx, pl, filter, gb, ap, bucket, groups, res, tb); err != nil {
 				endStage()
 				return nil, err
 			}
@@ -376,12 +507,15 @@ func dateBuckets(lvl temporal.Level, lo, hi temporal.Day) []dateBucket {
 	return out
 }
 
-// cacheView adapts the cache for the planner; nil when caching is off.
+// cacheView adapts the active cache for the planner; nil when caching is off.
 func (e *Engine) cacheView() plan.CacheView {
-	if e.cache == nil {
-		return nil
+	if e.cache != nil {
+		return e.cache
 	}
-	return e.cache
+	if e.demand != nil {
+		return e.demand
+	}
+	return nil
 }
 
 // planWindow runs the level optimizer (or the flat plan) over [lo, hi].
@@ -415,8 +549,8 @@ func (e *Engine) maxLevelBelow(lvl temporal.Level) temporal.Level {
 // aggregatePlan fetches every period of a plan and folds it into groups under
 // the bucket's date key.
 func (e *Engine) aggregatePlan(ctx context.Context, pl *plan.Plan, f cube.Filter, gb cube.GroupBy,
-	bucket rowKey, groups map[rowKey]uint64, res *Result, tb *traceBuilder) error {
-	return e.aggregatePeriods(ctx, f, gb, bucket, groups, res, tb, pl.Periods...)
+	ap *cube.AggPlan, bucket rowKey, groups map[rowKey]uint64, res *Result, tb *traceBuilder) error {
+	return e.aggregatePeriods(ctx, f, gb, ap, bucket, groups, res, tb, pl.Periods...)
 }
 
 // fetchedCube is one resolved plan period: a readable cube plus how it was
@@ -428,19 +562,26 @@ type fetchedCube struct {
 }
 
 // aggregatePeriods resolves the periods to readable cubes — fanning uncached
-// fetches across the shared worker pool — then folds them into groups
-// serially, in plan order, so stats, metrics, and traces stay deterministic.
+// fetches across the shared worker pool, optionally coalescing page-adjacent
+// misses into single multi-page reads — then folds them into groups serially,
+// in plan order, so stats, metrics, and traces stay deterministic.
 func (e *Engine) aggregatePeriods(ctx context.Context, f cube.Filter, gb cube.GroupBy,
-	bucket rowKey, groups map[rowKey]uint64, res *Result, tb *traceBuilder, periods ...temporal.Period) error {
+	ap *cube.AggPlan, bucket rowKey, groups map[rowKey]uint64, res *Result, tb *traceBuilder,
+	periods ...temporal.Period) error {
 	fetched := make([]fetchedCube, len(periods))
-	err := e.pool.FanOut(ctx, len(periods), func(i int) error {
-		fc, err := e.fetchCube(ctx, periods[i])
-		if err != nil {
-			return err
-		}
-		fetched[i] = fc
-		return nil
-	})
+	var err error
+	if e.opts.CoalesceReads {
+		err = e.fetchCoalesced(ctx, periods, fetched)
+	} else {
+		err = e.pool.FanOut(ctx, len(periods), func(i int) error {
+			fc, err := e.fetchCube(ctx, periods[i])
+			if err != nil {
+				return err
+			}
+			fetched[i] = fc
+			return nil
+		})
+	}
 	if err != nil {
 		return err
 	}
@@ -461,7 +602,12 @@ func (e *Engine) aggregatePeriods(ctx context.Context, f cube.Filter, gb cube.Gr
 		for k := range scratch {
 			delete(scratch, k)
 		}
-		total := fc.rd.AggregateInto(f, gb, scratch)
+		var total uint64
+		if ap != nil {
+			total = fc.rd.AggregatePlanInto(ap, scratch)
+		} else {
+			total = fc.rd.AggregateInto(f, gb, scratch)
+		}
 		res.Total += total
 		for k, v := range scratch {
 			rk := bucket
@@ -472,32 +618,164 @@ func (e *Engine) aggregatePeriods(ctx context.Context, f cube.Filter, gb cube.Gr
 	return nil
 }
 
-// fetchCube resolves one period to a readable cube: the pinned in-memory cube
-// on a cache hit, otherwise a lazy page view from the index. Concurrent
-// queries needing the same uncached cube share one disk read through the
-// singleflight group; the leader fetch runs detached from this query's
-// cancellation (one page read is bounded work, and waiters with live contexts
-// still want the result), while cancellation is enforced upstream by the pool
-// not scheduling further fetches.
+// fetchCube resolves one period to a readable cube: the in-memory cube on a
+// cache hit, otherwise a disk fetch (see fetchMiss).
 func (e *Engine) fetchCube(ctx context.Context, p temporal.Period) (fetchedCube, error) {
-	if e.cache != nil {
-		if cb, ok := e.cache.Get(p); ok {
-			return fetchedCube{rd: cb, cached: true}, nil
-		}
+	if rd, ok := e.cacheGet(p); ok {
+		return fetchedCube{rd: rd, cached: true}, nil
 	}
+	return e.fetchMiss(ctx, p)
+}
+
+// fetchMiss resolves a cache miss from disk. Concurrent queries needing the
+// same uncached cube share one disk read through the singleflight group; the
+// leader fetch runs detached from this query's cancellation (one page read is
+// bounded work, and waiters with live contexts still want the result), while
+// cancellation is enforced upstream by the pool not scheduling further
+// fetches.
+func (e *Engine) fetchMiss(ctx context.Context, p temporal.Period) (fetchedCube, error) {
 	if e.flight == nil {
-		rd, err := e.ix.FetchViewCtx(ctx, p)
+		rd, err := e.fetchDisk(ctx, p)
 		return fetchedCube{rd: rd}, err
 	}
 	key := strconv.Itoa(int(p.Level)) + "/" + strconv.Itoa(p.Index)
 	lctx := context.WithoutCancel(ctx)
 	v, shared, err := e.flight.Do(key, func() (any, error) {
-		return e.ix.FetchViewCtx(lctx, p)
+		return e.fetchDisk(lctx, p)
 	})
 	if err != nil {
 		return fetchedCube{}, err
 	}
 	return fetchedCube{rd: v.(cube.Reader), shared: shared}, nil
+}
+
+// fetchDisk performs the actual page read for one period and fills the demand
+// cache. Under PooledDecode the page decodes into a pooled cube which is then
+// donated to the cache: the cache owns it from here on, and it is never
+// returned to the pool (the donation model — see DESIGN.md, "Hot-path memory
+// model").
+func (e *Engine) fetchDisk(ctx context.Context, p temporal.Period) (cube.Reader, error) {
+	if e.opts.PooledDecode {
+		cb, err := e.ix.FetchPooledCtx(ctx, p)
+		if err != nil {
+			return nil, err
+		}
+		e.cachePut(p, cb)
+		return cb, nil
+	}
+	rd, err := e.ix.FetchViewCtx(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	e.cachePut(p, rd)
+	return rd, nil
+}
+
+// fetchCoalesced resolves periods like the per-period fan-out, but groups
+// cache misses whose pages are adjacent on disk into runs, each served by one
+// multi-page read. The cache probe runs serially first (hit accounting is
+// identical to the uncoalesced path); only the runs fan out.
+func (e *Engine) fetchCoalesced(ctx context.Context, periods []temporal.Period, fetched []fetchedCube) error {
+	type miss struct{ i, page int }
+	misses := make([]miss, 0, len(periods))
+	for i, p := range periods {
+		if rd, ok := e.cacheGet(p); ok {
+			fetched[i] = fetchedCube{rd: rd, cached: true}
+			continue
+		}
+		page, ok := e.ix.PageOf(p)
+		if !ok {
+			return fmt.Errorf("core: no cube for period %v", p)
+		}
+		misses = append(misses, miss{i: i, page: page})
+	}
+	if len(misses) == 0 {
+		return nil
+	}
+	sort.Slice(misses, func(a, b int) bool { return misses[a].page < misses[b].page })
+	var runs [][]miss
+	start := 0
+	for k := 1; k <= len(misses); k++ {
+		if k == len(misses) || misses[k].page != misses[k-1].page+1 {
+			runs = append(runs, misses[start:k])
+			start = k
+		}
+	}
+	return e.pool.FanOut(ctx, len(runs), func(r int) error {
+		run := runs[r]
+		if len(run) == 1 {
+			fc, err := e.fetchMiss(ctx, periods[run[0].i])
+			if err != nil {
+				return err
+			}
+			fetched[run[0].i] = fc
+			return nil
+		}
+		ps := make([]temporal.Period, len(run))
+		for j, m := range run {
+			ps[j] = periods[m.i]
+		}
+		rds, shared, err := e.fetchRun(ctx, ps)
+		if err != nil {
+			return err
+		}
+		for j, m := range run {
+			fetched[m.i] = fetchedCube{rd: rds[j], shared: shared}
+		}
+		return nil
+	})
+}
+
+// fetchRun reads one run of page-adjacent periods with a single coalesced
+// I/O, admitting every cube at the demand cache's COLD end (PutCold): a run
+// is a scan, and inserting 30+ cold cubes per scan at the hot end would evict
+// the recency working set the dashboard's warm queries live on. Midpoint
+// admission lets scan pages age out against each other while pages the
+// workload revisits are promoted by their next hit — the same reason InnoDB
+// gives bulk scans the old sublist instead of the head of the buffer pool.
+// Overlapping queries hitting the same run share the read through the
+// singleflight group, keyed by the run's first and last periods (page
+// adjacency makes that unambiguous); pooled cubes are donated to the cache
+// exactly as in the singleton miss path.
+func (e *Engine) fetchRun(ctx context.Context, ps []temporal.Period) ([]cube.Reader, bool, error) {
+	fetch := func(ctx context.Context) ([]cube.Reader, error) {
+		if e.opts.PooledDecode {
+			cubes, err := e.ix.FetchRunPooledCtx(ctx, ps)
+			if err != nil {
+				return nil, err
+			}
+			rds := make([]cube.Reader, len(cubes))
+			for i, cb := range cubes {
+				e.cachePutCold(ps[i], cb)
+				rds[i] = cb
+			}
+			return rds, nil
+		}
+		views, err := e.ix.FetchRunCtx(ctx, ps)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range views {
+			e.cachePutCold(ps[i], v)
+		}
+		return views, nil
+	}
+	if e.flight == nil {
+		rds, err := fetch(ctx)
+		return rds, false, err
+	}
+	pk := func(p temporal.Period) string {
+		return strconv.Itoa(int(p.Level)) + "/" + strconv.Itoa(p.Index)
+	}
+	key := "run:" + pk(ps[0]) + "-" + pk(ps[len(ps)-1])
+	lctx := context.WithoutCancel(ctx)
+	v, shared, err := e.flight.Do(key, func() (any, error) {
+		return fetch(lctx)
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return v.([]cube.Reader), shared, nil
 }
 
 // buildRows converts the group map into named, sorted rows, applying the

@@ -55,7 +55,7 @@ func (e *Engine) Explain(q Query) (*Explanation, error) {
 			bp.Periods = append(bp.Periods, PeriodPlan{
 				Period: p.String(),
 				Level:  p.Level.String(),
-				Cached: e.cache != nil && e.cache.Contains(p),
+				Cached: e.cacheContains(p),
 			})
 		}
 		ex.Buckets = append(ex.Buckets, bp)
@@ -74,7 +74,7 @@ func (e *Engine) Explain(q Query) (*Explanation, error) {
 	lvl := q.GroupBy.Date.Level()
 	for _, b := range dateBuckets(lvl, lo, hi) {
 		if b.lo == b.p.Start() && b.hi == b.p.End() && e.ix.Has(b.p) {
-			cached := e.cache != nil && e.cache.Contains(b.p)
+			cached := e.cacheContains(b.p)
 			disk := 1
 			if cached {
 				disk = 0

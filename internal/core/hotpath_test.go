@@ -1,0 +1,241 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"rased/internal/cache"
+)
+
+// hotpathOptions builds the full hot-path configuration: sharded demand
+// cache, pooled decoding, coalesced reads, vectorized kernels.
+func hotpathOptions(slots int) Options {
+	o := DefaultOptions()
+	o.CacheSlots = slots
+	o.CachePolicy = "sharded"
+	o.PooledDecode = true
+	o.CoalesceReads = true
+	return o
+}
+
+func TestHotpathModesAgree(t *testing.T) {
+	// Every cache policy and fetch-path combination must return identical
+	// results; they differ only in I/O and allocation profiles.
+	f := getFixture(t)
+	queries := []Query{
+		{From: f.lo, To: f.hi},
+		{From: f.lo, To: f.hi, GroupBy: GroupBy{Country: true}},
+		{From: f.lo + 10, To: f.hi - 5, GroupBy: GroupBy{Country: true, UpdateType: true}},
+		{From: f.lo, To: f.hi, UpdateTypes: []string{"create", "geometry"}, GroupBy: GroupBy{RoadType: true}},
+		{From: f.lo + 3, To: f.hi, GroupBy: GroupBy{Date: ByWeek, Country: true}},
+	}
+	baseline := newEngine(t, f, func() Options {
+		o := DefaultOptions()
+		o.ScalarKernels = true
+		return o
+	}())
+	modes := map[string]*Engine{
+		"default-kernels":   newEngine(t, f, DefaultOptions()),
+		"lru":               newEngine(t, f, func() Options { o := DefaultOptions(); o.CachePolicy = "lru"; return o }()),
+		"sharded":           newEngine(t, f, func() Options { o := DefaultOptions(); o.CachePolicy = "sharded"; return o }()),
+		"sharded-hotpath":   newEngine(t, f, hotpathOptions(256)),
+		"lru-pooled":        newEngine(t, f, func() Options { o := hotpathOptions(256); o.CachePolicy = "lru"; return o }()),
+		"hotpath-serial":    newEngine(t, f, func() Options { o := hotpathOptions(256); o.FetchWorkers = 1; o.Singleflight = false; return o }()),
+		"coalesce-no-cache": newEngine(t, f, func() Options { o := DefaultOptions(); o.CacheSlots = 0; o.CoalesceReads = true; return o }()),
+		"coalesce-flat":     newEngine(t, f, func() Options { o := hotpathOptions(64); o.LevelOptimization = false; return o }()),
+	}
+	for qi, q := range queries {
+		want, err := baseline.Analyze(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, e := range modes {
+			// Twice: once cold, once against a warmed demand cache.
+			for pass := 0; pass < 2; pass++ {
+				got, err := e.Analyze(q)
+				if err != nil {
+					t.Fatalf("%s query %d pass %d: %v", name, qi, pass, err)
+				}
+				if got.Total != want.Total {
+					t.Fatalf("%s query %d pass %d: total %d, want %d", name, qi, pass, got.Total, want.Total)
+				}
+				if len(got.Rows) != len(want.Rows) {
+					t.Fatalf("%s query %d pass %d: %d rows, want %d", name, qi, pass, len(got.Rows), len(want.Rows))
+				}
+				for i := range want.Rows {
+					if got.Rows[i] != want.Rows[i] {
+						t.Fatalf("%s query %d pass %d: row %d = %+v, want %+v", name, qi, pass, i, got.Rows[i], want.Rows[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestHotpathPooledRequiresDemandCache(t *testing.T) {
+	f := getFixture(t)
+	o := DefaultOptions()
+	o.PooledDecode = true // preload policy: cache cannot own donated cubes
+	if _, err := NewEngine(f.ix, o); err == nil {
+		t.Error("PooledDecode with the preload policy should be rejected")
+	}
+	o.CachePolicy = "bogus"
+	o.PooledDecode = false
+	if _, err := NewEngine(f.ix, o); err == nil {
+		t.Error("unknown cache policy should be rejected")
+	}
+}
+
+func TestHotpathDemandCacheWarms(t *testing.T) {
+	f := getFixture(t)
+	// Coalescing on: run cubes enter at the cold end (PutCold) but must still
+	// serve the identical repeat query from memory once admitted.
+	e := newEngine(t, f, hotpathOptions(256))
+	q := Query{From: f.lo, To: f.hi, GroupBy: GroupBy{Country: true}}
+
+	cold, err := e.Analyze(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Stats.DiskReads == 0 {
+		t.Fatal("cold query on a demand cache should read from disk")
+	}
+	warm, err := e.Analyze(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.CacheHits != warm.Stats.CubesFetched {
+		t.Errorf("warm query: hits %d of %d fetches, want all",
+			warm.Stats.CacheHits, warm.Stats.CubesFetched)
+	}
+	if warm.Stats.DiskReads != 0 {
+		t.Errorf("warm query read %d pages from disk", warm.Stats.DiskReads)
+	}
+	st, ok := e.CacheStats()
+	if !ok {
+		t.Fatal("CacheStats should report a demand cache")
+	}
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Errorf("cache stats = %+v, want both hits and misses", st)
+	}
+	if e.CacheMetrics() == nil {
+		t.Error("CacheMetrics should be non-nil with a demand cache")
+	}
+	if e.Cache() != nil {
+		t.Error("preload accessor should be nil under a demand policy")
+	}
+}
+
+func TestHotpathCoalescedIO(t *testing.T) {
+	// A cold flat plan over consecutive daily pages must issue multi-page
+	// reads: the store's coalesced counter moves.
+	f := getFixture(t)
+	o := hotpathOptions(128)
+	o.LevelOptimization = false
+	e := newEngine(t, f, o)
+	before := f.ix.Store().Metrics().CoalescedReads.Value()
+	if _, err := e.Analyze(Query{From: f.lo, To: f.hi}); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.ix.Store().Metrics().CoalescedReads.Value() - before; got == 0 {
+		t.Error("flat cold scan should coalesce adjacent daily pages")
+	}
+	// Scan resistance: run cubes are admitted at the cold end, so a flat scan
+	// wider than the daily budget (70 days vs ~51 slots) cannot be fully
+	// cached — the repeat scan still reads from disk — yet the cold entries
+	// must evict each other rather than flushing the rest of the cache.
+	second, err := e.Analyze(Query{From: f.lo, To: f.hi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Stats.DiskReads == 0 {
+		t.Error("repeated over-budget scan should still read from disk")
+	}
+	if second.Stats.CacheHits == 0 {
+		t.Error("repeated scan should hit the cold-admitted entries that survived")
+	}
+}
+
+func TestHotpathConcurrentSharded(t *testing.T) {
+	// Hammer one hot-path engine from many goroutines (meaningful under
+	// -race): mixed hot and cold windows, all results checked against a
+	// serially computed baseline.
+	f := getFixture(t)
+	e := newEngine(t, f, hotpathOptions(64)) // small cache: constant eviction
+	baseline := newEngine(t, f, func() Options {
+		o := DefaultOptions()
+		o.ScalarKernels = true
+		return o
+	}())
+
+	queries := []Query{
+		{From: f.lo, To: f.hi, GroupBy: GroupBy{Country: true}},
+		{From: f.hi - 6, To: f.hi},
+		{From: f.lo, To: f.lo + 13, GroupBy: GroupBy{UpdateType: true}},
+		{From: f.lo + 20, To: f.hi - 20, GroupBy: GroupBy{ElementType: true}},
+	}
+	wants := make([]*Result, len(queries))
+	for i, q := range queries {
+		w, err := baseline.Analyze(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = w
+	}
+
+	const workers = 8
+	const iters = 30
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				qi := (w + it) % len(queries)
+				got, err := e.Analyze(queries[qi])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got.Total != wants[qi].Total || len(got.Rows) != len(wants[qi].Rows) {
+					errs <- errResultMismatch(qi)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st, ok := e.CacheStats()
+	if !ok || st.Hits == 0 {
+		t.Errorf("concurrent run should produce cache hits: %+v", st)
+	}
+}
+
+type errResultMismatch int
+
+func (e errResultMismatch) Error() string {
+	return "concurrent result mismatch on query " + string(rune('0'+int(e)))
+}
+
+// TestHotpathAllocationRespected pins that the demand policies still honor
+// the (α,β,γ,θ) slot split: a sharded cache sized like the preload cache
+// exposes the same per-level budgets.
+func TestHotpathAllocationRespected(t *testing.T) {
+	s, err := cache.NewSharded(512, cache.DefaultAllocation, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cache.DefaultAllocation.SlotsFor(512)
+	got := 0
+	for _, n := range want {
+		got += n
+	}
+	if s.Slots() != 512 || got != 512 {
+		t.Errorf("slot split: cache %d, alloc sum %d, want 512", s.Slots(), got)
+	}
+}

@@ -17,17 +17,45 @@ func FuzzUnmarshalPage(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		cb, p1, err1 := UnmarshalPage(s, data)
 		view, p2, err2 := UnmarshalPageView(s, data, true)
-		if (err1 == nil) != (err2 == nil) {
-			t.Fatalf("decoders disagree: eager=%v lazy=%v", err1, err2)
+		into := New(s)
+		p3, err3 := UnmarshalPageInto(s, into, data, true)
+		if (err1 == nil) != (err2 == nil) || (err1 == nil) != (err3 == nil) {
+			t.Fatalf("decoders disagree: eager=%v lazy=%v into=%v", err1, err2, err3)
 		}
 		if err1 != nil {
 			return
 		}
-		if p1 != p2 {
-			t.Fatalf("periods disagree: %v vs %v", p1, p2)
+		if p1 != p2 || p1 != p3 {
+			t.Fatalf("periods disagree: %v vs %v vs %v", p1, p2, p3)
 		}
 		if !view.Materialize().Equal(cb) {
 			t.Fatal("cells disagree between decoders")
+		}
+		if !into.Equal(cb) {
+			t.Fatal("in-place decode disagrees with eager decode")
+		}
+
+		// Whatever decoded, the vectorized kernels must be bit-identical to
+		// the scalar reference on it — totals and key presence both,
+		// including cells large enough to wrap the sums.
+		for _, g := range []GroupBy{{}, {Element: true}, {Country: true}, {RoadType: true}, {Update: true}} {
+			want := make(map[Key]uint64)
+			wantTotal := cb.AggregateInto(Filter{}, g, want)
+			ap := CompileAgg(s, Filter{}, g)
+			for _, rd := range []Reader{cb, view} {
+				got := make(map[Key]uint64)
+				if total := rd.AggregatePlanInto(ap, got); total != wantTotal {
+					t.Fatalf("%T kernel total %d != scalar %d (group %+v)", rd, total, wantTotal, g)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%T kernel keys %v != scalar %v (group %+v)", rd, got, want, g)
+				}
+				for k, v := range want {
+					if got[k] != v {
+						t.Fatalf("%T kernel[%v] = %d, want %d", rd, k, got[k], v)
+					}
+				}
+			}
 		}
 	})
 }

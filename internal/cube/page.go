@@ -1,6 +1,7 @@
 package cube
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -54,17 +55,20 @@ func MarshalPage(cb *Cube, p temporal.Period) []byte {
 	return buf
 }
 
-// UnmarshalPage deserializes a page into a fresh cube with schema s,
-// validating magic, version, schema fingerprint, and payload checksum.
-func UnmarshalPage(s *Schema, buf []byte) (*Cube, temporal.Period, error) {
+// parsePage validates a page's header against schema s — magic, version,
+// level, schema fingerprint, cell count, truncation, and (when verify is set)
+// the payload CRC — and returns the payload slice and the page's period. It
+// is the single validation path under UnmarshalPage, UnmarshalPageView, and
+// UnmarshalPageInto.
+func parsePage(s *Schema, buf []byte, verify bool) ([]byte, temporal.Period, error) {
 	var p temporal.Period
 	if len(buf) < pageHeaderSize {
 		return nil, p, fmt.Errorf("cube: page too small (%d bytes)", len(buf))
 	}
-	var m [8]byte
-	copy(m[:], buf[0:8])
-	if m != pageMagic {
-		return nil, p, fmt.Errorf("cube: bad page magic %q", m[:])
+	// Compare the magic in place: copying into a local [8]byte would force a
+	// heap allocation on every parse (the error path slices it into Errorf).
+	if !bytes.Equal(buf[0:8], pageMagic[:]) {
+		return nil, p, fmt.Errorf("cube: bad page magic %q", buf[0:8])
 	}
 	if v := binary.LittleEndian.Uint16(buf[8:]); v != pageVersion {
 		return nil, p, fmt.Errorf("cube: unsupported page version %d", v)
@@ -85,12 +89,42 @@ func UnmarshalPage(s *Schema, buf []byte) (*Cube, temporal.Period, error) {
 		return nil, p, fmt.Errorf("cube: page truncated: %d bytes for %d cells", len(buf), n)
 	}
 	payload := buf[pageHeaderSize : pageHeaderSize+8*n]
-	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(buf[36:]); got != want {
-		return nil, p, fmt.Errorf("cube: page checksum mismatch (torn page?): got %08x want %08x", got, want)
+	if verify {
+		if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(buf[36:]); got != want {
+			return nil, p, fmt.Errorf("cube: page checksum mismatch (torn page?): got %08x want %08x", got, want)
+		}
+	}
+	return payload, p, nil
+}
+
+// UnmarshalPage deserializes a page into a fresh cube with schema s,
+// validating magic, version, schema fingerprint, and payload checksum.
+func UnmarshalPage(s *Schema, buf []byte) (*Cube, temporal.Period, error) {
+	payload, p, err := parsePage(s, buf, true)
+	if err != nil {
+		return nil, p, err
 	}
 	cb := New(s)
 	for i := range cb.cells {
 		cb.cells[i] = binary.LittleEndian.Uint64(payload[8*i:])
 	}
 	return cb, p, nil
+}
+
+// UnmarshalPageInto decodes a page into dst, which must have been built for
+// a schema with the same geometry (typically a pooled scratch cube from
+// PagePool.GetCube). Every cell of dst is overwritten, so the caller need not
+// Reset it first. Unlike UnmarshalPage, nothing is allocated.
+func UnmarshalPageInto(s *Schema, dst *Cube, buf []byte, verify bool) (temporal.Period, error) {
+	payload, p, err := parsePage(s, buf, verify)
+	if err != nil {
+		return p, err
+	}
+	if len(dst.cells) != s.CellCount() {
+		return p, fmt.Errorf("cube: decode target has %d cells, schema wants %d", len(dst.cells), s.CellCount())
+	}
+	for i := range dst.cells {
+		dst.cells[i] = binary.LittleEndian.Uint64(payload[8*i:])
+	}
+	return p, nil
 }

@@ -1,0 +1,123 @@
+package cube
+
+import (
+	"sync"
+
+	"rased/internal/obs"
+)
+
+// PagePool recycles the two hot-path allocations of a cache-miss fetch: the
+// page-sized read buffer and the decoded scratch cube (~4 MB each at paper
+// scale). Both pools are keyed to one schema fingerprint at construction, so
+// a recycled cube is always geometry-compatible and a recycled buffer always
+// fits one page; values for any other schema are rejected at Put.
+//
+// Ownership rules (see DESIGN.md, "Hot-path memory model"): a pooled cube is
+// read-only after decode. A caller that keeps the cube to itself may return
+// it with PutCube when done; a caller that donates it to a cache or shares it
+// across queries must never Put it — the final owner simply drops it to the
+// garbage collector.
+type PagePool struct {
+	schema   *Schema
+	fp       uint64
+	pageSize int
+
+	bufs  sync.Pool // *[]byte, len == pageSize
+	cubes sync.Pool // *Cube with this schema
+
+	met *PoolMetrics
+}
+
+// PoolMetrics are a pool's obs instruments: get/miss/put counters per value
+// kind. hits = gets - misses.
+type PoolMetrics struct {
+	BufGets, BufMisses, BufPuts    *obs.Counter
+	CubeGets, CubeMisses, CubePuts *obs.Counter
+}
+
+func newPoolMetrics() *PoolMetrics {
+	buf := obs.L("kind", "page_buffer")
+	cb := obs.L("kind", "cube")
+	return &PoolMetrics{
+		BufGets:    obs.NewCounter("rased_pool_gets_total", "Values requested from the page pool.", buf),
+		BufMisses:  obs.NewCounter("rased_pool_misses_total", "Pool requests that had to allocate.", buf),
+		BufPuts:    obs.NewCounter("rased_pool_puts_total", "Values returned to the page pool.", buf),
+		CubeGets:   obs.NewCounter("rased_pool_gets_total", "Values requested from the page pool.", cb),
+		CubeMisses: obs.NewCounter("rased_pool_misses_total", "Pool requests that had to allocate.", cb),
+		CubePuts:   obs.NewCounter("rased_pool_puts_total", "Values returned to the page pool.", cb),
+	}
+}
+
+// All returns the instruments for registry wiring.
+func (m *PoolMetrics) All() []obs.Metric {
+	return []obs.Metric{m.BufGets, m.BufMisses, m.BufPuts, m.CubeGets, m.CubeMisses, m.CubePuts}
+}
+
+// NewPagePool returns a pool for pages and cubes of schema s.
+func NewPagePool(s *Schema) *PagePool {
+	pp := &PagePool{
+		schema:   s,
+		fp:       s.Fingerprint(),
+		pageSize: PageSize(s),
+		met:      newPoolMetrics(),
+	}
+	pp.bufs.New = func() any {
+		pp.met.BufMisses.Inc()
+		b := make([]byte, pp.pageSize)
+		return &b
+	}
+	pp.cubes.New = func() any {
+		pp.met.CubeMisses.Inc()
+		return New(pp.schema)
+	}
+	return pp
+}
+
+// Metrics returns the pool's obs instruments for registry wiring.
+func (pp *PagePool) Metrics() *PoolMetrics { return pp.met }
+
+// PageSize returns the size of the buffers the pool hands out.
+func (pp *PagePool) PageSize() int { return pp.pageSize }
+
+// Schema returns the schema the pool's cubes are built for.
+func (pp *PagePool) Schema() *Schema { return pp.schema }
+
+// GetBuf returns a page-sized read buffer. The pointer form avoids the
+// slice-header allocation a plain []byte would cost on every Put.
+func (pp *PagePool) GetBuf() *[]byte {
+	pp.met.BufGets.Inc()
+	return pp.bufs.Get().(*[]byte)
+}
+
+// PutBuf returns a buffer obtained from GetBuf. Foreign-sized buffers are
+// dropped.
+func (pp *PagePool) PutBuf(b *[]byte) {
+	if b == nil || len(*b) != pp.pageSize {
+		return
+	}
+	pp.met.BufPuts.Inc()
+	pp.bufs.Put(b)
+}
+
+// GetCube returns a scratch cube with the pool's schema. Its cells hold
+// whatever the previous use left behind; UnmarshalPageInto overwrites every
+// cell, so callers decoding a page need not Reset it.
+func (pp *PagePool) GetCube() *Cube {
+	pp.met.CubeGets.Inc()
+	return pp.cubes.Get().(*Cube)
+}
+
+// PutCube recycles a cube whose caller is its sole owner. Cubes built for a
+// different schema fingerprint are dropped.
+func (pp *PagePool) PutCube(cb *Cube) {
+	if cb == nil || len(cb.cells) != pp.schema.CellCount() {
+		return
+	}
+	// Pointer check first: pooled cubes share the pool's schema, so the
+	// fingerprint hash only runs for foreign cubes.
+	if cb.schema != pp.schema && cb.schema.Fingerprint() != pp.fp {
+		return
+	}
+	pp.met.CubePuts.Inc()
+	pp.cubes.Put(cb)
+}

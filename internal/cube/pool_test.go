@@ -1,0 +1,76 @@
+package cube
+
+import (
+	"testing"
+
+	"rased/internal/temporal"
+)
+
+func TestPagePoolBuffers(t *testing.T) {
+	s := ScaledSchema(3, 2)
+	pp := NewPagePool(s)
+	b := pp.GetBuf()
+	if len(*b) != PageSize(s) {
+		t.Fatalf("buffer len = %d, want %d", len(*b), PageSize(s))
+	}
+	pp.PutBuf(b)
+	if got := pp.GetBuf(); len(*got) != PageSize(s) {
+		t.Fatalf("recycled buffer len = %d", len(*got))
+	}
+	// Foreign-sized buffers are dropped, not pooled.
+	wrong := make([]byte, 16)
+	pp.PutBuf(&wrong)
+	pp.PutBuf(nil)
+	if m := pp.Metrics(); m.BufPuts.Value() != 1 {
+		t.Errorf("puts = %d, want 1 (foreign and nil buffers rejected)", m.BufPuts.Value())
+	}
+}
+
+func TestPagePoolCubes(t *testing.T) {
+	s := ScaledSchema(3, 2)
+	pp := NewPagePool(s)
+	page := MarshalPage(New(s), temporal.Period{Level: temporal.Daily, Index: 5})
+
+	cb := pp.GetCube()
+	if cb.Schema() != s {
+		t.Fatal("pooled cube has wrong schema")
+	}
+	// Dirty the cube, recycle it, and decode into it: UnmarshalPageInto must
+	// overwrite every cell without a Reset.
+	cb.Add(0, 0, 0, 0, 99)
+	pp.PutCube(cb)
+	got := pp.GetCube()
+	if _, err := UnmarshalPageInto(s, got, page, true); err != nil {
+		t.Fatal(err)
+	}
+	if got.Total() != 0 {
+		t.Errorf("decoded zero page into dirty cube: total = %d", got.Total())
+	}
+
+	// Cubes of a different schema are rejected.
+	foreign := New(ScaledSchema(2, 2))
+	pp.PutCube(foreign)
+	pp.PutCube(nil)
+	if m := pp.Metrics(); m.CubePuts.Value() != 1 {
+		t.Errorf("cube puts = %d, want 1", m.CubePuts.Value())
+	}
+}
+
+func TestPagePoolMetricsCount(t *testing.T) {
+	pp := NewPagePool(ScaledSchema(2, 2))
+	b1 := pp.GetBuf()
+	pp.PutBuf(b1)
+	pp.GetBuf()
+	m := pp.Metrics()
+	if m.BufGets.Value() != 2 {
+		t.Errorf("buf gets = %d, want 2", m.BufGets.Value())
+	}
+	// The first get allocates; whether the second hits depends on sync.Pool
+	// retention, so only the lower bound is stable.
+	if m.BufMisses.Value() < 1 || m.BufMisses.Value() > 2 {
+		t.Errorf("buf misses = %d, want 1 or 2", m.BufMisses.Value())
+	}
+	if len(m.All()) != 6 {
+		t.Errorf("All() returned %d instruments", len(m.All()))
+	}
+}

@@ -2,8 +2,6 @@ package cube
 
 import (
 	"encoding/binary"
-	"fmt"
-	"hash/crc32"
 
 	"rased/internal/temporal"
 )
@@ -18,6 +16,11 @@ type Reader interface {
 	// AggregateInto sums the filtered sub-cube into dst keyed by the grouped
 	// dimensions, returning the filtered total.
 	AggregateInto(f Filter, g GroupBy, dst map[Key]uint64) uint64
+	// AggregatePlanInto is AggregateInto driven by a precompiled AggPlan:
+	// filter lists are resolved once per query instead of once per cube, and
+	// common shapes dispatch to vectorized kernels. Results are bit-identical
+	// to AggregateInto with the plan's filter and grouping.
+	AggregatePlanInto(ap *AggPlan, dst map[Key]uint64) uint64
 }
 
 var (
@@ -41,38 +44,9 @@ type PageView struct {
 // period. The buffer must remain valid and unmodified for the view's
 // lifetime.
 func UnmarshalPageView(s *Schema, buf []byte, verify bool) (*PageView, temporal.Period, error) {
-	var p temporal.Period
-	if len(buf) < pageHeaderSize {
-		return nil, p, fmt.Errorf("cube: page too small (%d bytes)", len(buf))
-	}
-	var m [8]byte
-	copy(m[:], buf[0:8])
-	if m != pageMagic {
-		return nil, p, fmt.Errorf("cube: bad page magic %q", m[:])
-	}
-	if v := binary.LittleEndian.Uint16(buf[8:]); v != pageVersion {
-		return nil, p, fmt.Errorf("cube: unsupported page version %d", v)
-	}
-	p.Level = temporal.Level(buf[10])
-	if !p.Level.Valid() {
-		return nil, p, fmt.Errorf("cube: invalid page level %d", buf[10])
-	}
-	p.Index = int(int64(binary.LittleEndian.Uint64(buf[16:])))
-	if fp := binary.LittleEndian.Uint64(buf[24:]); fp != s.Fingerprint() {
-		return nil, p, fmt.Errorf("cube: page schema fingerprint %x does not match schema %x", fp, s.Fingerprint())
-	}
-	n := int(binary.LittleEndian.Uint32(buf[32:]))
-	if n != s.CellCount() {
-		return nil, p, fmt.Errorf("cube: page has %d cells, schema wants %d", n, s.CellCount())
-	}
-	if len(buf) < pageHeaderSize+8*n {
-		return nil, p, fmt.Errorf("cube: page truncated: %d bytes for %d cells", len(buf), n)
-	}
-	payload := buf[pageHeaderSize : pageHeaderSize+8*n]
-	if verify {
-		if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(buf[36:]); got != want {
-			return nil, p, fmt.Errorf("cube: page checksum mismatch (torn page?): got %08x want %08x", got, want)
-		}
+	payload, p, err := parsePage(s, buf, verify)
+	if err != nil {
+		return nil, p, err
 	}
 	_, c, r, u := s.Dims()
 	return &PageView{

@@ -2,6 +2,8 @@ package pagestore
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"sync"
@@ -191,5 +193,97 @@ func TestReadLatencyInjection(t *testing.T) {
 	s.ReadPage(0, buf)
 	if elapsed := time.Since(start); elapsed > 3*time.Millisecond {
 		t.Errorf("latency should be disabled, read took %v", elapsed)
+	}
+}
+
+func TestTypedErrors(t *testing.T) {
+	s := open(t, 1024)
+	buf := make([]byte, 1024)
+	if err := s.ReadPage(0, buf); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("empty-store read = %v, want ErrOutOfRange", err)
+	}
+	if err := s.ReadPage(0, make([]byte, 10)); !errors.Is(err, ErrShortPage) {
+		t.Errorf("short read buffer = %v, want ErrShortPage", err)
+	}
+	if err := s.WritePage(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WritePage(5, buf); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("far write = %v, want ErrOutOfRange", err)
+	}
+	if err := s.WritePage(-1, buf); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("negative write = %v, want ErrOutOfRange", err)
+	}
+	if err := s.WritePage(0, make([]byte, 10)); !errors.Is(err, ErrShortPage) {
+		t.Errorf("short write buffer = %v, want ErrShortPage", err)
+	}
+	if _, err := s.Append(make([]byte, 10)); !errors.Is(err, ErrShortPage) {
+		t.Errorf("short append buffer = %v, want ErrShortPage", err)
+	}
+	if err := s.ReadPagesCtx(context.Background(), 0, 2, make([]byte, 2*1024)); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("run past end = %v, want ErrOutOfRange", err)
+	}
+	if err := s.ReadPagesCtx(context.Background(), 0, 1, make([]byte, 10)); !errors.Is(err, ErrShortPage) {
+		t.Errorf("short run buffer = %v, want ErrShortPage", err)
+	}
+	if err := s.ReadPagesCtx(context.Background(), 0, 0, nil); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("zero-page run = %v, want ErrOutOfRange", err)
+	}
+}
+
+func TestReadPagesCoalesced(t *testing.T) {
+	s := open(t, 512)
+	for i := 0; i < 6; i++ {
+		if err := s.WritePage(i, page(512, byte(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.ResetStats()
+	buf := make([]byte, 4*512)
+	if err := s.ReadPagesCtx(context.Background(), 1, 4, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if !bytes.Equal(buf[i*512:(i+1)*512], page(512, byte(i+2))) {
+			t.Errorf("run page %d content mismatch", i)
+		}
+	}
+	if st := s.Stats(); st.Reads != 4 {
+		t.Errorf("run of 4 should count 4 page reads, got %d", st.Reads)
+	}
+	if got := s.Metrics().CoalescedReads.Value(); got != 1 {
+		t.Errorf("coalesced reads = %d, want 1", got)
+	}
+	// A single-page run degrades to ReadPageCtx: no coalesced count.
+	if err := s.ReadPagesCtx(context.Background(), 0, 1, buf[:512]); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Metrics().CoalescedReads.Value(); got != 1 {
+		t.Errorf("single-page run should not count as coalesced, got %d", got)
+	}
+}
+
+func TestReadPagesLatencyOncePerRun(t *testing.T) {
+	s := open(t, 256)
+	for i := 0; i < 8; i++ {
+		if err := s.WritePage(i, page(256, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const lat = 20 * time.Millisecond
+	s.SetReadLatency(lat)
+	buf := make([]byte, 8*256)
+	start := time.Now()
+	if err := s.ReadPagesCtx(context.Background(), 0, 8, buf); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 4*lat {
+		t.Errorf("coalesced run of 8 took %v: injected latency should be paid once, not per page", el)
+	}
+	// Cancellation mid-sleep aborts the run.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if err := s.ReadPagesCtx(ctx, 0, 8, buf); err == nil {
+		t.Error("cancelled run should fail")
 	}
 }

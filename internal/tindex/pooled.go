@@ -1,0 +1,157 @@
+package tindex
+
+import (
+	"context"
+	"fmt"
+
+	"rased/internal/cube"
+	"rased/internal/temporal"
+)
+
+// This file holds the pooled and coalesced fetch paths. Both exist to cut
+// per-miss allocation and per-page I/O on the query hot path:
+//
+//   - FetchPooledCtx decodes into a recycled cube from the index's PagePool
+//     instead of allocating a fresh page buffer plus a fresh ~cells*8-byte
+//     cube per miss.
+//   - FetchRunCtx / FetchRunPooledCtx serve a run of periods whose pages are
+//     adjacent on disk with a single pagestore.ReadPagesCtx call: one
+//     syscall and one injected-latency sleep for the whole run.
+//
+// Ownership of pooled cubes follows the donation model documented in
+// DESIGN.md ("Hot-path memory model"): the caller owns the returned cube and
+// must either hand it to exactly one long-lived owner (a cache) — after which
+// it is never returned to the pool — or release it with ReleasePooled once
+// done.
+
+// FetchPooledCtx reads the cube for period p into a pooled decode target
+// (one page I/O, no per-miss allocation in steady state). The caller owns the
+// returned cube; see ReleasePooled.
+func (ix *Index) FetchPooledCtx(ctx context.Context, p temporal.Period) (*cube.Cube, error) {
+	ix.mu.RLock()
+	page, ok := ix.pages[p]
+	verify := ix.verifyReads
+	ix.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("tindex: no cube for period %v", p)
+	}
+	pb := ix.pool.GetBuf()
+	defer ix.pool.PutBuf(pb)
+	if err := ix.store.ReadPageCtx(ctx, page, *pb); err != nil {
+		return nil, err
+	}
+	cb := ix.pool.GetCube()
+	got, err := cube.UnmarshalPageInto(ix.schema, cb, *pb, verify)
+	if err != nil {
+		ix.pool.PutCube(cb)
+		return nil, fmt.Errorf("tindex: period %v: %w", p, err)
+	}
+	if got != p {
+		ix.pool.PutCube(cb)
+		return nil, fmt.Errorf("tindex: page for %v actually holds %v (directory corruption)", p, got)
+	}
+	return cb, nil
+}
+
+// ReleasePooled returns a cube obtained from FetchPooledCtx or
+// FetchRunPooledCtx to the pool. Only the cube's sole owner may call it:
+// once a cube has been published to a cache or another goroutine, it must
+// never be released (the donation model — see DESIGN.md).
+func (ix *Index) ReleasePooled(cb *cube.Cube) {
+	ix.pool.PutCube(cb)
+}
+
+// runPages resolves ps to page ids and verifies they form one strictly
+// consecutive ascending run on disk, returning the first page id.
+func (ix *Index) runPages(ps []temporal.Period) (first int, err error) {
+	if len(ps) == 0 {
+		return 0, fmt.Errorf("tindex: empty period run")
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	for i, p := range ps {
+		page, ok := ix.pages[p]
+		if !ok {
+			return 0, fmt.Errorf("tindex: no cube for period %v", p)
+		}
+		if i == 0 {
+			first = page
+		} else if page != first+i {
+			return 0, fmt.Errorf("tindex: periods %v..%v are not page-adjacent (page %d, expected %d)",
+				ps[0], p, page, first+i)
+		}
+	}
+	return first, nil
+}
+
+// FetchRunCtx reads the cubes for a run of periods whose pages are adjacent
+// on disk with one coalesced I/O, returning zero-copy page views in period
+// order. Callers discover adjacency with PageOf; handing a non-adjacent run
+// here is an error, not a silent fallback.
+func (ix *Index) FetchRunCtx(ctx context.Context, ps []temporal.Period) ([]cube.Reader, error) {
+	first, err := ix.runPages(ps)
+	if err != nil {
+		return nil, err
+	}
+	ix.mu.RLock()
+	verify := ix.verifyReads
+	ix.mu.RUnlock()
+	pageSize := ix.store.PageSize()
+	buf := make([]byte, len(ps)*pageSize)
+	if err := ix.store.ReadPagesCtx(ctx, first, len(ps), buf); err != nil {
+		return nil, err
+	}
+	out := make([]cube.Reader, len(ps))
+	for i, p := range ps {
+		view, got, err := cube.UnmarshalPageView(ix.schema, buf[i*pageSize:(i+1)*pageSize], verify)
+		if err != nil {
+			return nil, fmt.Errorf("tindex: period %v: %w", p, err)
+		}
+		if got != p {
+			return nil, fmt.Errorf("tindex: page for %v actually holds %v (directory corruption)", p, got)
+		}
+		out[i] = view
+	}
+	return out, nil
+}
+
+// FetchRunPooledCtx is FetchRunCtx decoding into pooled cubes instead of
+// views: one coalesced I/O for the run, zero steady-state allocation per
+// cube. On success the caller owns every returned cube (see ReleasePooled);
+// on error all partially decoded cubes are returned to the pool.
+func (ix *Index) FetchRunPooledCtx(ctx context.Context, ps []temporal.Period) ([]*cube.Cube, error) {
+	first, err := ix.runPages(ps)
+	if err != nil {
+		return nil, err
+	}
+	ix.mu.RLock()
+	verify := ix.verifyReads
+	ix.mu.RUnlock()
+	pageSize := ix.store.PageSize()
+	buf := make([]byte, len(ps)*pageSize)
+	if err := ix.store.ReadPagesCtx(ctx, first, len(ps), buf); err != nil {
+		return nil, err
+	}
+	out := make([]*cube.Cube, 0, len(ps))
+	release := func() {
+		for _, cb := range out {
+			ix.pool.PutCube(cb)
+		}
+	}
+	for i, p := range ps {
+		cb := ix.pool.GetCube()
+		got, err := cube.UnmarshalPageInto(ix.schema, cb, buf[i*pageSize:(i+1)*pageSize], verify)
+		if err != nil {
+			ix.pool.PutCube(cb)
+			release()
+			return nil, fmt.Errorf("tindex: period %v: %w", p, err)
+		}
+		if got != p {
+			ix.pool.PutCube(cb)
+			release()
+			return nil, fmt.Errorf("tindex: page for %v actually holds %v (directory corruption)", p, got)
+		}
+		out = append(out, cb)
+	}
+	return out, nil
+}

@@ -39,6 +39,7 @@ type Index struct {
 	store  *pagestore.Store
 	dir    string
 	levels int
+	pool   *cube.PagePool
 
 	mu          sync.RWMutex
 	pages       map[temporal.Period]int
@@ -84,6 +85,7 @@ func Create(dir string, schema *cube.Schema, levels int) (*Index, error) {
 		store:       store,
 		dir:         dir,
 		levels:      levels,
+		pool:        cube.NewPagePool(schema),
 		pages:       make(map[temporal.Period]int),
 		empty:       true,
 		verifyReads: true,
@@ -118,6 +120,7 @@ func Open(dir string, schema *cube.Schema) (*Index, error) {
 		store:       store,
 		dir:         dir,
 		levels:      doc.Levels,
+		pool:        cube.NewPagePool(schema),
 		pages:       make(map[temporal.Period]int, len(doc.Entries)),
 		minDay:      temporal.Day(doc.MinDay),
 		maxDay:      temporal.Day(doc.MaxDay),
@@ -181,6 +184,21 @@ func (ix *Index) Periods(lvl temporal.Level) []temporal.Period {
 	sortPeriods(out)
 	return out
 }
+
+// PageOf returns the page id holding period p's cube, if any. Fetch planners
+// use it to spot runs of adjacent pages that a coalesced read can serve with
+// one I/O.
+func (ix *Index) PageOf(p temporal.Period) (int, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	page, ok := ix.pages[p]
+	return page, ok
+}
+
+// Pool returns the index's page pool: recycled page buffers and decode-target
+// cubes for the pooled fetch path. See DESIGN.md's "Hot-path memory model"
+// for the ownership rules.
+func (ix *Index) Pool() *cube.PagePool { return ix.pool }
 
 // Has reports whether the index holds a cube for period p.
 func (ix *Index) Has(p temporal.Period) bool {

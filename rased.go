@@ -309,10 +309,11 @@ func Open(dir string, opts Options) (*Deployment, error) {
 	}
 	d.Obs.MustRegister(eng.Metrics().All()...)
 	d.Obs.MustRegister(eng.ExecMetrics()...)
-	if c := eng.Cache(); c != nil {
-		d.Obs.MustRegister(c.Metrics().All()...)
+	if m := eng.CacheMetrics(); m != nil {
+		d.Obs.MustRegister(m.All()...)
 	}
 	d.Obs.MustRegister(ix.Store().Metrics().All()...)
+	d.Obs.MustRegister(ix.Pool().Metrics().All()...)
 	if d.Samples != nil {
 		d.Obs.MustRegister(d.Samples.Metrics().All()...)
 		d.Obs.MustRegister(d.Samples.Heap().Store().Metrics().All()...)
