@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check ci lint race vet bench bench-smoke bench-hotpath figures examples clean
+.PHONY: all build test check ci lint race vet chaos covergate bench bench-smoke bench-hotpath bench-faults figures examples clean
 
 all: build test
 
@@ -21,10 +21,23 @@ check: vet lint race
 
 # ci is the full pipeline a hosted runner would execute. The quick hotpath
 # sweep smoke-tests the data-plane optimisations end to end (the full sweep
-# that regenerates BENCH_hotpath.json is the bench-hotpath target).
-ci: build vet lint race
+# that regenerates BENCH_hotpath.json is the bench-hotpath target), and the
+# chaos suite certifies the degraded-mode contract at volume.
+ci: build vet lint race chaos
 	$(GO) test ./...
 	bin/rased-bench -fig hotpath -quick
+
+# chaos is the fault-injection gate: the chaos harness at full query volume
+# under the race detector (DESIGN.md "Fault model & degraded mode"), the
+# crash-consistency and fallback suites, then the coverage floor on the
+# resilient read path (scripts/covergate.sh).
+chaos:
+	RASED_CHAOS_QUERIES=10000 $(GO) test -race -count=1 ./internal/faultstore/...
+	$(GO) test -race -count=1 ./internal/tindex ./internal/core ./internal/pagestore
+	sh scripts/covergate.sh
+
+covergate:
+	sh scripts/covergate.sh
 
 # lint runs RASED's project-specific analyzers: context flow, lock-held I/O,
 # metric registration, error wrapping, determinism of the pure packages, and
@@ -52,6 +65,12 @@ bench-smoke: build
 # committed BENCH_hotpath.json.
 bench-hotpath: build
 	bin/rased-bench -fig hotpath -out BENCH_hotpath.json
+
+# Chaos availability sweep: fault rates 0 / 0.1% / 1% with degraded-mode
+# fallback on and off, through the same harness as `make chaos`. Writes the
+# committed BENCH_faults.json.
+bench-faults: build
+	bin/rased-bench -fig faults
 
 # Regenerate every figure of the paper's evaluation (EXPERIMENTS.md).
 figures: build

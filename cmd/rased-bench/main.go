@@ -10,6 +10,7 @@
 //	rased-bench -fig evict     cache policy ablation: preload vs LRU
 //	rased-bench -fig conc      concurrent clients: serial vs parallel fetches
 //	rased-bench -fig hotpath   data-plane hot path: kernels, pooling, sharding, coalescing
+//	rased-bench -fig faults    availability under injected storage faults, fallback on vs off
 //	rased-bench -fig examples  the example queries of Figures 2-5
 //	rased-bench -fig all       everything
 //
@@ -28,6 +29,7 @@ import (
 	"rased"
 	"rased/internal/benchx"
 	"rased/internal/cube"
+	"rased/internal/faultstore"
 	"rased/internal/osmgen"
 	"rased/internal/temporal"
 )
@@ -46,6 +48,7 @@ func main() {
 		workers = flag.Int("workers", 64, "fetch worker pool size for the concurrency experiment")
 		quick   = flag.Bool("quick", false, "shrink the concurrency sweep for a smoke run")
 		out     = flag.String("out", "", "also write the hotpath report as JSON to this path")
+		faults  = flag.String("faults", "", "explicit fault-injection spec for -fig faults, overriding the rate sweep (see faultstore.ParseSpec)")
 	)
 	flag.Parse()
 
@@ -90,6 +93,8 @@ func main() {
 		runConc(ws, *workers, *quick, *seed)
 	case "hotpath":
 		runHotpath(*updates, *workers, *quick, *seed, *out)
+	case "faults":
+		runFaults(*queries, *quick, *seed, *faults)
 	case "examples":
 		runExamples(*seed, *updates)
 	case "all":
@@ -110,6 +115,8 @@ func main() {
 		runConc(ws, *workers, *quick, *seed)
 		fmt.Println()
 		runHotpath(*updates, *workers, *quick, *seed, *out)
+		fmt.Println()
+		runFaults(*queries, *quick, *seed, *faults)
 		fmt.Println()
 		runExamples(*seed, *updates)
 	default:
@@ -252,6 +259,34 @@ func runHotpath(updates, workers int, quick bool, seed int64, out string) {
 		}
 		log.Printf("wrote %s", out)
 	}
+}
+
+func runFaults(queries int, quick bool, seed int64, spec string) {
+	// The chaos harness builds its own small deployment per point; the shared
+	// workspace is not used, so availability numbers come from the exact code
+	// path the -race chaos tests certify.
+	rates := []float64{0, 0.001, 0.01}
+	if quick {
+		queries = 1 // FigFaults floors this to its minimum sample size
+	}
+	var rules []faultstore.Rule
+	if spec != "" {
+		var err error
+		rules, err = faultstore.ParseSpec(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("running chaos sweep (rates %v, fallback on/off)...", rates)
+	points, err := benchx.FigFaults(context.Background(), rates, rules, spec, queries, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	benchx.PrintFigFaults(os.Stdout, points)
+	if err := benchx.WriteFaultsJSON("BENCH_faults.json", points); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote BENCH_faults.json")
 }
 
 func runExamples(seed int64, updates int) {

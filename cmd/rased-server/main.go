@@ -51,6 +51,12 @@ func main() {
 		pooledDecode = flag.Bool("pooled-decode", false, "decode cache misses into pooled cubes (requires -cache-policy=lru or sharded)")
 		coalesce     = flag.Bool("coalesce-reads", false, "read runs of adjacent cube pages with one I/O")
 		scalarAgg    = flag.Bool("scalar-agg", false, "disable the vectorized aggregation kernels (debugging)")
+
+		readRetries  = flag.Int("read-retries", 2, "retries for transient page-read errors (0 disables)")
+		retryBackoff = flag.Duration("retry-backoff", 2*time.Millisecond, "base backoff before a page-read retry (doubles per attempt, jittered)")
+		noFallback   = flag.Bool("no-fallback", false, "disable degraded-mode replanning around corrupt cube pages")
+		faults       = flag.String("faults", "", "fault-injection spec for resilience testing, e.g. 'kind=transient,prob=0.01' (see faultstore.ParseSpec)")
+		faultSeed    = flag.Int64("fault-seed", 1, "PRNG seed for -faults")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -58,7 +64,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	d, err := rased.Open(*dir, core.Options{
+	opts := core.Options{
 		CacheSlots:        *slots,
 		Allocation:        cache.Allocation{Alpha: *alpha, Beta: *beta, Gamma: *gamma, Theta: *theta},
 		LevelOptimization: !*noOpt,
@@ -71,7 +77,16 @@ func main() {
 		PooledDecode:      *pooledDecode,
 		CoalesceReads:     *coalesce,
 		ScalarKernels:     *scalarAgg,
-	})
+		ReadRetries:       *readRetries,
+		ReadRetryBackoff:  *retryBackoff,
+		DegradedFallback:  !*noFallback,
+	}
+	var oo []rased.OpenOption
+	if *faults != "" {
+		log.Printf("fault injection active: %s (seed %d)", *faults, *faultSeed)
+		oo = append(oo, rased.WithFaultSpec(*faults, *faultSeed))
+	}
+	d, err := rased.OpenWith(*dir, opts, oo...)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,241 @@
+package rules
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"rased/internal/analysis"
+)
+
+// faultRegFile is the per-package registry declaring which read paths the
+// fault-injection test suite exercises. It carries the faultreg build tag so
+// the declaration never ships in production builds; the analyzer reads it
+// straight from the package directory instead of through the type-checker.
+const faultRegFile = "faultpath_reg.go"
+
+// DefaultFaultpathScope is the set of packages whose read paths must be
+// fault-exercised: the storage layer and the index layered on it.
+var DefaultFaultpathScope = []string{
+	"rased/internal/pagestore",
+	"rased/internal/tindex",
+}
+
+// Faultpath enforces PR 5's fault-injection discipline on the resilient read
+// path:
+//
+//   - every exported Read*/Fetch* function returning an error in the scoped
+//     storage packages must be declared in the package's faultpath_reg.go
+//     registry (var FaultExercised), which the faultstore-driven tests back —
+//     a new read path cannot land without fault coverage;
+//   - the registry must carry the faultreg build tag and must not list
+//     functions that no longer exist;
+//   - a for-loop that sleeps (time.Sleep/After/NewTimer/Tick) — the retry
+//     backoff shape — must consult ctx.Err() or ctx.Done() inside the loop,
+//     so a cancelled query never keeps backing off against a failing store.
+type Faultpath struct {
+	scope map[string]bool
+}
+
+// NewFaultpath returns the faultpath analyzer; with no arguments it checks
+// DefaultFaultpathScope.
+func NewFaultpath(scope ...string) *Faultpath {
+	if len(scope) == 0 {
+		scope = DefaultFaultpathScope
+	}
+	m := make(map[string]bool, len(scope))
+	for _, p := range scope {
+		m[p] = true
+	}
+	return &Faultpath{scope: m}
+}
+
+// Name implements analysis.Analyzer.
+func (*Faultpath) Name() string { return "faultpath" }
+
+// Doc implements analysis.Analyzer.
+func (*Faultpath) Doc() string {
+	return "storage read paths must be registered as fault-exercised (faultpath_reg.go), and sleeping retry loops must consult ctx.Err()/ctx.Done()"
+}
+
+// Run implements analysis.Analyzer.
+func (fp *Faultpath) Run(pass *analysis.Pass) error {
+	if !fp.scope[pass.Pkg.Path] {
+		return nil
+	}
+	if err := fp.checkRegistry(pass); err != nil {
+		return err
+	}
+	fp.checkRetryLoops(pass)
+	return nil
+}
+
+// checkRegistry diffs the package's exported Read*/Fetch* error-returning
+// functions against the FaultExercised declaration in faultpath_reg.go.
+func (fp *Faultpath) checkRegistry(pass *analysis.Pass) error {
+	targets := map[string]token.Pos{}
+	var order []string
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !fd.Name.IsExported() {
+				continue
+			}
+			name := fd.Name.Name
+			if !strings.HasPrefix(name, "Read") && !strings.HasPrefix(name, "Fetch") {
+				continue
+			}
+			if !funcReturnsError(pass.Pkg.Info, fd) {
+				continue
+			}
+			if _, dup := targets[name]; !dup {
+				targets[name] = fd.Pos()
+				order = append(order, name)
+			}
+		}
+	}
+	if len(targets) == 0 {
+		return nil
+	}
+	// Package-level problems (missing or malformed registry, stale entries)
+	// anchor at the first file's package clause.
+	pkgPos := pass.Pkg.Files[0].Name.Pos()
+
+	path := filepath.Join(pass.Pkg.Dir, faultRegFile)
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		pass.Reportf(pkgPos, "package has %d Read*/Fetch* read paths but no %s registry; declare FaultExercised and back it with faultstore tests", len(targets), faultRegFile)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(string(raw), "//go:build faultreg") {
+		pass.Reportf(pkgPos, "%s must carry the faultreg build tag so the registry never ships in production builds", faultRegFile)
+	}
+	registered, err := parseFaultRegistry(path, raw)
+	if err != nil {
+		return err
+	}
+	if registered == nil {
+		pass.Reportf(pkgPos, "%s declares no FaultExercised []string registry", faultRegFile)
+		return nil
+	}
+	for _, name := range order {
+		if !registered[name] {
+			pass.Reportf(targets[name], "fault path %s is not declared in FaultExercised (%s); add a faultstore-driven test and register it", name, faultRegFile)
+		}
+	}
+	for name := range registered {
+		if _, ok := targets[name]; !ok {
+			pass.Reportf(pkgPos, "FaultExercised entry %q matches no exported Read*/Fetch* function returning error", name)
+		}
+	}
+	return nil
+}
+
+// parseFaultRegistry extracts the FaultExercised string set from the raw
+// registry source (parsed with its own FileSet: the file is excluded from the
+// loaded package by its build tag).
+func parseFaultRegistry(path string, raw []byte) (map[string]bool, error) {
+	f, err := parser.ParseFile(token.NewFileSet(), path, raw, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if name.Name != "FaultExercised" || i >= len(vs.Values) {
+					continue
+				}
+				cl, ok := vs.Values[i].(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				out := map[string]bool{}
+				for _, elt := range cl.Elts {
+					lit, ok := elt.(*ast.BasicLit)
+					if !ok || lit.Kind != token.STRING {
+						continue
+					}
+					if s, err := strconv.Unquote(lit.Value); err == nil {
+						out[s] = true
+					}
+				}
+				return out, nil
+			}
+		}
+	}
+	return nil, nil
+}
+
+// funcReturnsError reports whether any result of fd is the builtin error.
+func funcReturnsError(info *types.Info, fd *ast.FuncDecl) bool {
+	fn, ok := info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	results := fn.Type().(*types.Signature).Results()
+	errType := types.Universe.Lookup("error").Type()
+	for i := 0; i < results.Len(); i++ {
+		if types.Identical(results.At(i).Type(), errType) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkRetryLoops flags for-loops that sleep without consulting the context.
+func (fp *Faultpath) checkRetryLoops(pass *analysis.Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if loop, ok := n.(*ast.ForStmt); ok {
+				fp.checkLoop(pass, loop)
+			}
+			return true
+		})
+	}
+}
+
+// checkLoop inspects one loop body, excluding nested loops (they get their
+// own check) and function literals (a goroutine sleeping is not this loop's
+// backoff).
+func (fp *Faultpath) checkLoop(pass *analysis.Pass, loop *ast.ForStmt) {
+	var sleeps, consults bool
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass.Pkg.Info, n); fn != nil && pkgPath(fn) == "time" {
+				switch fn.Name() {
+				case "Sleep", "After", "NewTimer", "Tick":
+					sleeps = true
+				}
+			}
+		case *ast.SelectorExpr:
+			if n.Sel.Name == "Err" || n.Sel.Name == "Done" {
+				if tv, ok := pass.Pkg.Info.Types[n.X]; ok && isContextType(tv.Type) {
+					consults = true
+				}
+			}
+		}
+		return true
+	})
+	if sleeps && !consults {
+		pass.Reportf(loop.Pos(), "retry loop sleeps without consulting ctx.Err()/ctx.Done(); a cancelled query must not keep backing off")
+	}
+}

@@ -13,6 +13,9 @@
 //	            packages the plan-order merge depends on
 //	poolsafe    values obtained from a sync.Pool or the cube page pool are
 //	            put back, handed off, or returned — never silently dropped
+//	faultpath   storage read paths are registered as fault-exercised in the
+//	            package's faultpath_reg.go (backed by faultstore tests), and
+//	            sleeping retry loops consult ctx.Err()/ctx.Done()
 package rules
 
 import (
@@ -33,6 +36,7 @@ func All() []analysis.Analyzer {
 		NewErrWrap(),
 		NewDeterminism(DefaultPurePackages...),
 		NewPoolsafe(),
+		NewFaultpath(),
 	}
 }
 

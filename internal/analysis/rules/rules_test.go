@@ -37,6 +37,7 @@ var fixturePaths = map[string]string{
 	"errwrap":     "fix/errwrap",
 	"determinism": "rased/internal/plan",
 	"poolsafe":    "fix/poolsafe",
+	"faultpath":   "rased/internal/pagestore",
 }
 
 // loadFixture type-checks testdata/src/<name> under the mapped import path
@@ -85,7 +86,7 @@ func TestAnalyzersAgainstFixtures(t *testing.T) {
 // carries its documented rule ID, has a doc line, fires at least once on its
 // fixture, and attributes every finding to its own rule ID.
 func TestAnalyzerMetadata(t *testing.T) {
-	wantIDs := []string{"ctxflow", "lockio", "metricsreg", "errwrap", "determinism", "poolsafe"}
+	wantIDs := []string{"ctxflow", "lockio", "metricsreg", "errwrap", "determinism", "poolsafe", "faultpath"}
 	all := All()
 	if len(all) != len(wantIDs) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(wantIDs))

@@ -1,0 +1,76 @@
+// Fixture for the faultpath rule: loaded under the real import path
+// rased/internal/pagestore so the scope check applies. The registry lives in
+// faultpath_reg.go (build-tagged faultreg, read from disk by the analyzer).
+package pagestore // want "FaultExercised entry \"ReadStale\" matches no exported"
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// Store is the fixture's stand-in for the page store.
+type Store struct{}
+
+// ReadGood is registered in faultpath_reg.go: no finding.
+func (s *Store) ReadGood(buf []byte) error { return errors.New("boom") }
+
+// ReadMissing returns an error but is not registered.
+func (s *Store) ReadMissing(buf []byte) error { return errors.New("boom") } // want "fault path ReadMissing is not declared in FaultExercised"
+
+// FetchMissing is a package-level read path, also unregistered.
+func FetchMissing() error { return nil } // want "fault path FetchMissing is not declared in FaultExercised"
+
+// ReadClock returns no error, so it is outside the registry's scope.
+func (s *Store) ReadClock() time.Duration { return 0 }
+
+// retryBad backs off without ever consulting the context.
+func retryBad(ctx context.Context, do func() error) error {
+	var err error
+	for attempt := 0; attempt < 3; attempt++ { // want "retry loop sleeps without consulting"
+		if err = do(); err == nil {
+			return nil
+		}
+		time.Sleep(time.Millisecond << attempt)
+	}
+	return err
+}
+
+// retryGood consults ctx.Err inside the loop: no finding.
+func retryGood(ctx context.Context, do func() error) error {
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		if err = do(); err == nil {
+			return nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		time.Sleep(time.Millisecond << attempt)
+	}
+	return err
+}
+
+// retrySelect waits on a timer but selects on ctx.Done: no finding.
+func retrySelect(ctx context.Context, do func() error) error {
+	for {
+		if err := do(); err == nil {
+			return nil
+		}
+		t := time.NewTimer(time.Millisecond)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+	}
+}
+
+// spawner sleeps only inside a goroutine launched from the loop: the loop
+// itself never blocks, so no finding.
+func spawner(n int) {
+	for i := 0; i < n; i++ {
+		go func() { time.Sleep(time.Millisecond) }()
+	}
+}

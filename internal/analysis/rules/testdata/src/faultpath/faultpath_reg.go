@@ -1,0 +1,10 @@
+//go:build faultreg
+
+package pagestore
+
+// FaultExercised is the fixture registry: ReadGood exists and is listed,
+// ReadStale is a stale entry (no such function).
+var FaultExercised = []string{
+	"ReadGood",
+	"ReadStale",
+}

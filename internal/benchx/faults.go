@@ -1,0 +1,142 @@
+package benchx
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"rased/internal/faultstore"
+	"rased/internal/faultstore/harness"
+	"rased/internal/tindex"
+)
+
+// ---------------------------------------------------------------------------
+// Faults experiment: availability under injected storage faults, with the
+// degraded-mode fallback on versus off. Each point is one chaos run from the
+// same harness that backs the -race chaos tests (make chaos), so the
+// published availability numbers and the CI contract come from one code path.
+
+// FaultsPoint is one (fault rate, fallback mode) chaos run.
+type FaultsPoint struct {
+	// Rate is the per-page-access fault probability (split evenly between
+	// transient read errors and read-side corruption); 0 when Spec is set.
+	Rate float64 `json:"rate"`
+	// Spec is the explicit fault spec when the sweep was overridden.
+	Spec     string `json:"spec,omitempty"`
+	Fallback bool   `json:"fallback"`
+
+	Report harness.Report `json:"report"`
+
+	// Availability is the fraction of queries answered exactly (the rest
+	// failed typed; a wrong or untyped outcome fails the whole figure).
+	Availability float64 `json:"availability"`
+	// QPS is the faulted phase's aggregate throughput (retries and
+	// fallback reconstruction both cost reads, so it drops with the rate).
+	QPS float64 `json:"qps"`
+}
+
+// faultsQueriesFloor keeps availability estimates out of small-sample noise
+// even when the caller's -queries is tuned for the latency figures.
+const faultsQueriesFloor = 300
+
+// FigFaults sweeps fault rates with the degraded-mode fallback on and off.
+// rules, when non-nil, overrides the rate sweep with one explicit schedule
+// (still run in both fallback modes) and spec labels the output. Any wrong
+// answer or untyped failure aborts the figure with an error: the figure
+// reports availability only under an intact correctness contract.
+func FigFaults(ctx context.Context, rates []float64, rules []faultstore.Rule, spec string, queries int, seed int64) ([]FaultsPoint, error) {
+	if queries < faultsQueriesFloor {
+		queries = faultsQueriesFloor
+	}
+	type run struct {
+		rate     float64
+		spec     string
+		rules    []faultstore.Rule
+		ruleFunc func(*tindex.Index) []faultstore.Rule
+	}
+	var runs []run
+	if rules != nil {
+		runs = []run{{spec: spec, rules: rules}}
+	} else {
+		for _, r := range rates {
+			runs = append(runs, run{rate: r, rules: harness.RateRules(r)})
+		}
+		// The dead-sector scenario replanning exists for: every monthly
+		// rollup page persistently corrupt. Fallback on keeps every answer
+		// exact; fallback off fails queries until quarantine reroutes them.
+		runs = append(runs, run{spec: "deadmonths", ruleFunc: harness.DeadRollupRules})
+	}
+	var out []FaultsPoint
+	for _, r := range runs {
+		for _, fallback := range []bool{true, false} {
+			dir, err := os.MkdirTemp("", "rased-faults")
+			if err != nil {
+				return nil, err
+			}
+			opts := harness.DefaultEngineOptions()
+			opts.DegradedFallback = fallback
+			rep, err := harness.Run(ctx, dir, harness.Config{
+				Seed:     seed,
+				Queries:  queries,
+				Rules:    r.rules,
+				RuleFunc: r.ruleFunc,
+				Opts:     &opts,
+			})
+			os.RemoveAll(dir)
+			if err != nil {
+				return nil, fmt.Errorf("benchx: faults run (rate %g, fallback %v): %w", r.rate, fallback, err)
+			}
+			if !rep.Clean() {
+				return nil, fmt.Errorf("benchx: faults run (rate %g, fallback %v) violated the degraded-mode contract: %s",
+					r.rate, fallback, rep.FirstViolation)
+			}
+			pt := FaultsPoint{
+				Rate:         r.rate,
+				Spec:         r.spec,
+				Fallback:     fallback,
+				Report:       *rep,
+				Availability: float64(rep.Exact) / float64(rep.Queries),
+			}
+			if s := rep.Elapsed.Seconds(); s > 0 {
+				pt.QPS = float64(rep.Queries) / s
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+// WriteFaultsJSON writes the figure as pretty-printed JSON.
+func WriteFaultsJSON(path string, points []FaultsPoint) error {
+	raw, err := json.MarshalIndent(points, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchx: marshal faults figure: %w", err)
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		return fmt.Errorf("benchx: write faults figure: %w", err)
+	}
+	return nil
+}
+
+// PrintFigFaults renders the sweep: one row per (rate, fallback) run.
+func PrintFigFaults(w io.Writer, points []FaultsPoint) {
+	fmt.Fprintln(w, "Faults: availability under injected storage faults (chaos harness)")
+	fmt.Fprintf(w, "%-12s%-10s%10s%10s%10s%10s%12s%14s%10s\n",
+		"rate", "fallback", "queries", "exact", "replanned", "typed", "injected", "availability", "qps")
+	for _, p := range points {
+		label := fmt.Sprintf("%g", p.Rate)
+		if p.Spec != "" {
+			label = p.Spec
+			if len(label) > 11 {
+				label = label[:11]
+			}
+		}
+		fmt.Fprintf(w, "%-12s%-10v%10d%10d%10d%10d%12d%13.1f%%%10.0f\n",
+			label, p.Fallback, p.Report.Queries, p.Report.Exact, p.Report.Replanned,
+			p.Report.TypedFail, p.Report.Injected, 100*p.Availability, p.QPS)
+	}
+	fmt.Fprintln(w, "  (every non-exact outcome is a typed failure; wrong answers or untyped errors abort the figure)")
+}

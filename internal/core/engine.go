@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -67,6 +68,19 @@ type Options struct {
 	// every cube through the scalar reference loop (the pre-optimization
 	// baseline, kept for benchmarks and cross-checks).
 	ScalarKernels bool
+	// ReadRetries is how many extra attempts the index makes when a page
+	// read fails transiently (wrapping pagestore.ErrTransient), with
+	// jittered exponential backoff starting at ReadRetryBackoff. 0 (the
+	// zero-value default) disables retry.
+	ReadRetries int
+	// ReadRetryBackoff is the base delay before the first read retry.
+	ReadRetryBackoff time.Duration
+	// DegradedFallback replans around cubes that fail to read mid-query:
+	// a corrupt monthly cube is answered from its weekly + daily
+	// constituents (bit-identical, at extra I/O cost), and only an
+	// unreadable leaf day fails the query — with the typed ErrDegraded.
+	// Off in the zero value; on in DefaultOptions.
+	DegradedFallback bool
 }
 
 // DefaultOptions is the full RASED configuration.
@@ -77,6 +91,9 @@ func DefaultOptions() Options {
 		LevelOptimization: true,
 		FetchWorkers:      runtime.GOMAXPROCS(0),
 		Singleflight:      true,
+		ReadRetries:       2,
+		ReadRetryBackoff:  2 * time.Millisecond,
+		DegradedFallback:  true,
 	}
 }
 
@@ -130,8 +147,20 @@ func NewEngine(ix *tindex.Index, opts Options) (*Engine, error) {
 	if policy == "" {
 		policy = "preload"
 	}
-	if opts.PooledDecode && policy != "lru" && policy != "sharded" {
+	if opts.PooledDecode && (policy != "lru" && policy != "sharded") {
 		return nil, fmt.Errorf("core: PooledDecode requires a demand cache policy (lru or sharded), got %q", policy)
+	}
+	if opts.PooledDecode && opts.CacheSlots <= 0 {
+		// Pooled decode donates every decoded cube to the demand cache; with
+		// no cache there is no owner to donate to and every miss would leak
+		// its pooled scratch cube.
+		return nil, fmt.Errorf("core: PooledDecode requires CacheSlots > 0 (decoded cubes are donated to the cache)")
+	}
+	if opts.ReadRetries < 0 {
+		return nil, fmt.Errorf("core: ReadRetries must be >= 0, got %d", opts.ReadRetries)
+	}
+	if opts.ReadRetries > 0 {
+		ix.SetRetryPolicy(tindex.RetryPolicy{Attempts: opts.ReadRetries, Backoff: opts.ReadRetryBackoff})
 	}
 	if opts.CacheSlots > 0 {
 		alloc := opts.Allocation
@@ -372,6 +401,9 @@ func (e *Engine) AnalyzeContext(ctx context.Context, q Query) (*Result, error) {
 	res, err := e.analyze(ctx, q, tb)
 	if err != nil {
 		e.met.QueryErrors.Inc()
+		if errors.Is(err, ErrDegraded) {
+			e.met.DegradedQueries.Inc()
+		}
 		return nil, err
 	}
 	e.met.Queries.Inc()
@@ -438,7 +470,7 @@ func (e *Engine) analyze(ctx context.Context, q Query, tb *traceBuilder) (*Resul
 				}
 				continue
 			}
-			pl, err := plan.Optimize(b.lo, b.hi, e.maxLevelBelow(lvl), e.ix, e.cacheView())
+			pl, err := plan.Optimize(b.lo, b.hi, e.maxLevelBelow(lvl), planAvail{e.ix}, e.cacheView())
 			if err != nil {
 				endStage()
 				return nil, err
@@ -523,9 +555,9 @@ func (e *Engine) planWindow(lo, hi temporal.Day) (*plan.Plan, error) {
 	var pl *plan.Plan
 	var err error
 	if !e.opts.LevelOptimization {
-		pl, err = plan.Flat(lo, hi, e.ix, e.cacheView())
+		pl, err = plan.Flat(lo, hi, planAvail{e.ix}, e.cacheView())
 	} else {
-		pl, err = plan.Optimize(lo, hi, e.maxLevel(), e.ix, e.cacheView())
+		pl, err = plan.Optimize(lo, hi, e.maxLevel(), planAvail{e.ix}, e.cacheView())
 	}
 	if err == nil {
 		e.met.PlanPeriods.ObserveValue(float64(len(pl.Periods)))
@@ -556,9 +588,10 @@ func (e *Engine) aggregatePlan(ctx context.Context, pl *plan.Plan, f cube.Filter
 // fetchedCube is one resolved plan period: a readable cube plus how it was
 // obtained, recorded for stats and the query trace.
 type fetchedCube struct {
-	rd     cube.Reader
-	cached bool // served from the recency cache
-	shared bool // disk fetch deduplicated onto another query's read
+	rd       cube.Reader
+	cached   bool // served from the recency cache
+	shared   bool // disk fetch deduplicated onto another query's read
+	fellBack bool // reconstructed from constituent cubes (degraded mode)
 }
 
 // aggregatePeriods resolves the periods to readable cubes — fanning uncached
@@ -569,14 +602,26 @@ func (e *Engine) aggregatePeriods(ctx context.Context, f cube.Filter, gb cube.Gr
 	ap *cube.AggPlan, bucket rowKey, groups map[rowKey]uint64, res *Result, tb *traceBuilder,
 	periods ...temporal.Period) error {
 	fetched := make([]fetchedCube, len(periods))
+	// failed captures per-slot fetch failures the degraded-mode fallback may
+	// replan around, instead of cancelling the whole fan-out. Each slot is
+	// written by exactly one task (same happens-before discipline as
+	// fetched); slots stay nil when fallback is disabled.
+	var failed []error
+	if e.opts.DegradedFallback {
+		failed = make([]error, len(periods))
+	}
 	var err error
 	if e.opts.CoalesceReads {
-		err = e.fetchCoalesced(ctx, periods, fetched)
+		err = e.fetchCoalesced(ctx, periods, fetched, failed)
 	} else {
 		err = e.pool.FanOut(ctx, len(periods), func(i int) error {
-			fc, err := e.fetchCube(ctx, periods[i])
-			if err != nil {
-				return err
+			fc, ferr := e.fetchCube(ctx, periods[i])
+			if ferr != nil {
+				if failed != nil && fallbackEligible(ferr) {
+					failed[i] = ferr
+					return nil
+				}
+				return ferr
 			}
 			fetched[i] = fc
 			return nil
@@ -585,12 +630,25 @@ func (e *Engine) aggregatePeriods(ctx context.Context, f cube.Filter, gb cube.Gr
 	if err != nil {
 		return err
 	}
+	// Degraded-mode pass: replan each failed slot from its constituent
+	// cubes. Serial — replans are rare and recursion reuses the pooled
+	// fetch machinery internally.
+	for i, ferr := range failed {
+		if ferr == nil {
+			continue
+		}
+		rd, rerr := e.fetchFallback(ctx, periods[i], res)
+		if rerr != nil {
+			return rerr
+		}
+		fetched[i] = fetchedCube{rd: rd, fellBack: true}
+	}
 	scratch := make(map[cube.Key]uint64)
 	for i, p := range periods {
 		fc := fetched[i]
 		res.Stats.CubesFetched++
 		e.met.CubesRead[p.Level].Inc()
-		tb.addPeriod(bucket, p, fc.cached)
+		tb.addPeriod(bucket, p, fc.cached, fc.fellBack)
 		if fc.cached {
 			res.Stats.CacheHits++
 		} else {
@@ -674,8 +732,12 @@ func (e *Engine) fetchDisk(ctx context.Context, p temporal.Period) (cube.Reader,
 // fetchCoalesced resolves periods like the per-period fan-out, but groups
 // cache misses whose pages are adjacent on disk into runs, each served by one
 // multi-page read. The cache probe runs serially first (hit accounting is
-// identical to the uncoalesced path); only the runs fan out.
-func (e *Engine) fetchCoalesced(ctx context.Context, periods []temporal.Period, fetched []fetchedCube) error {
+// identical to the uncoalesced path); only the runs fan out. When failed is
+// non-nil (degraded fallback on), a run that fails on a bad page is retried
+// per page so one corrupt cube doesn't take out its whole run, and the
+// individually failing slots are recorded for the fallback pass instead of
+// aborting the query.
+func (e *Engine) fetchCoalesced(ctx context.Context, periods []temporal.Period, fetched []fetchedCube, failed []error) error {
 	type miss struct{ i, page int }
 	misses := make([]miss, 0, len(periods))
 	for i, p := range periods {
@@ -706,6 +768,10 @@ func (e *Engine) fetchCoalesced(ctx context.Context, periods []temporal.Period, 
 		if len(run) == 1 {
 			fc, err := e.fetchMiss(ctx, periods[run[0].i])
 			if err != nil {
+				if failed != nil && fallbackEligible(err) {
+					failed[run[0].i] = err
+					return nil
+				}
 				return err
 			}
 			fetched[run[0].i] = fc
@@ -716,11 +782,28 @@ func (e *Engine) fetchCoalesced(ctx context.Context, periods []temporal.Period, 
 			ps[j] = periods[m.i]
 		}
 		rds, shared, err := e.fetchRun(ctx, ps)
-		if err != nil {
+		if err == nil {
+			for j, m := range run {
+				fetched[m.i] = fetchedCube{rd: rds[j], shared: shared}
+			}
+			return nil
+		}
+		if failed == nil || !fallbackEligible(err) {
 			return err
 		}
-		for j, m := range run {
-			fetched[m.i] = fetchedCube{rd: rds[j], shared: shared}
+		// The coalesced read hit a bad page somewhere in the run. Refetch
+		// each member individually: healthy pages still resolve, and only
+		// the actually-broken ones go to the fallback pass.
+		for _, m := range run {
+			fc, ferr := e.fetchMiss(ctx, periods[m.i])
+			if ferr != nil {
+				if fallbackEligible(ferr) {
+					failed[m.i] = ferr
+					continue
+				}
+				return ferr
+			}
+			fetched[m.i] = fc
 		}
 		return nil
 	})

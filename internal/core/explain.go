@@ -12,6 +12,10 @@ type PeriodPlan struct {
 	Period string `json:"period"`
 	Level  string `json:"level"`
 	Cached bool   `json:"cached"`
+	// Fallback marks a cube that was unreadable and reconstructed from its
+	// constituents by degraded-mode execution (traces only; Explain plans
+	// around quarantined pages up front and never predicts a fallback).
+	Fallback bool `json:"fallback,omitempty"`
 }
 
 // BucketPlan is the plan of one date bucket (the whole window for queries
@@ -87,7 +91,7 @@ func (e *Engine) Explain(q Query) (*Explanation, error) {
 			ex.DiskReads += disk
 			continue
 		}
-		pl, err := plan.Optimize(b.lo, b.hi, e.maxLevelBelow(lvl), e.ix, e.cacheView())
+		pl, err := plan.Optimize(b.lo, b.hi, e.maxLevelBelow(lvl), planAvail{e.ix}, e.cacheView())
 		if err != nil {
 			return nil, err
 		}

@@ -14,6 +14,13 @@ type EngineMetrics struct {
 	QueryLatency *obs.Histogram
 	CubesRead    [temporal.NumLevels]*obs.Counter
 	PlanPeriods  *obs.Histogram
+
+	// Degraded-mode instruments: replans that substituted constituent cubes
+	// for an unreadable rollup, the constituent cubes those replans read, and
+	// queries that failed typed-degraded because even the leaves were gone.
+	FallbackReplans *obs.Counter
+	FallbackCubes   *obs.Counter
+	DegradedQueries *obs.Counter
 }
 
 func newEngineMetrics() *EngineMetrics {
@@ -22,6 +29,12 @@ func newEngineMetrics() *EngineMetrics {
 		QueryErrors:  obs.NewCounter("rased_query_errors_total", "Analysis queries that failed."),
 		QueryLatency: obs.NewHistogram("rased_query_latency_seconds", "End-to-end Analyze latency.", nil),
 		PlanPeriods:  obs.NewHistogram("rased_plan_periods", "Periods per optimizer plan.", obs.CountBuckets),
+		FallbackReplans: obs.NewCounter("rased_fallback_replans_total",
+			"Unreadable rollup cubes reconstructed from constituents mid-query."),
+		FallbackCubes: obs.NewCounter("rased_fallback_cubes_total",
+			"Constituent cubes read by degraded-mode replans."),
+		DegradedQueries: obs.NewCounter("rased_degraded_queries_total",
+			"Queries that failed with ErrDegraded (leaf data unreadable)."),
 	}
 	for i := 0; i < temporal.NumLevels; i++ {
 		m.CubesRead[i] = obs.NewCounter("rased_cubes_read_total", "Cubes read during query execution.",
@@ -32,7 +45,8 @@ func newEngineMetrics() *EngineMetrics {
 
 // All returns the instruments for registry wiring.
 func (m *EngineMetrics) All() []obs.Metric {
-	out := []obs.Metric{m.Queries, m.QueryErrors, m.QueryLatency, m.PlanPeriods}
+	out := []obs.Metric{m.Queries, m.QueryErrors, m.QueryLatency, m.PlanPeriods,
+		m.FallbackReplans, m.FallbackCubes, m.DegradedQueries}
 	for i := 0; i < temporal.NumLevels; i++ {
 		out = append(out, m.CubesRead[i])
 	}

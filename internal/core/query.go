@@ -118,8 +118,13 @@ type ExecStats struct {
 	// SharedFetches is how many of the DiskReads were deduplicated onto a
 	// concurrent identical fetch by the singleflight layer, costing this
 	// query no disk pass of its own.
-	SharedFetches int   `json:"shared_fetches,omitempty"`
-	ElapsedNanos  int64 `json:"elapsed_nanos"`
+	SharedFetches int `json:"shared_fetches,omitempty"`
+	// ReplannedPeriods counts planned cubes that were unreadable and answered
+	// from their constituents instead (degraded-mode fallback); FallbackCubes
+	// is how many constituent cubes those replans read.
+	ReplannedPeriods int   `json:"replanned_periods,omitempty"`
+	FallbackCubes    int   `json:"fallback_cubes,omitempty"`
+	ElapsedNanos     int64 `json:"elapsed_nanos"`
 }
 
 // Result is an executed analysis query.

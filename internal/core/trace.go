@@ -72,7 +72,7 @@ func (tb *traceBuilder) stage(name string) func() {
 }
 
 // addPeriod records one executed cube fetch under its date bucket.
-func (tb *traceBuilder) addPeriod(bucket rowKey, p temporal.Period, cached bool) {
+func (tb *traceBuilder) addPeriod(bucket rowKey, p temporal.Period, cached, fallback bool) {
 	if tb == nil {
 		return
 	}
@@ -87,9 +87,10 @@ func (tb *traceBuilder) addPeriod(bucket rowKey, p temporal.Period, cached bool)
 		tb.buckets = append(tb.buckets, BucketPlan{Bucket: label})
 	}
 	tb.buckets[i].Periods = append(tb.buckets[i].Periods, PeriodPlan{
-		Period: p.String(),
-		Level:  p.Level.String(),
-		Cached: cached,
+		Period:   p.String(),
+		Level:    p.Level.String(),
+		Cached:   cached,
+		Fallback: fallback,
 	})
 	tb.levels[p.Level.String()]++
 }

@@ -3,10 +3,24 @@ package cube
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 
 	"rased/internal/temporal"
+)
+
+// Typed page-validation sentinels. The data plane's degraded mode keys off
+// these: a checksum mismatch quarantines the page and triggers a replan to
+// constituent cubes, while a malformed header is treated the same way (the
+// page is unusable either way, only the suspected cause differs).
+var (
+	// ErrChecksum reports a payload whose CRC-32 does not match the header —
+	// a torn write or bit rot.
+	ErrChecksum = errors.New("page checksum mismatch")
+	// ErrBadPage reports a structurally invalid page: wrong magic, version,
+	// level, schema fingerprint, cell count, or a truncated buffer.
+	ErrBadPage = errors.New("malformed cube page")
 )
 
 // Page layout (little endian):
@@ -63,35 +77,35 @@ func MarshalPage(cb *Cube, p temporal.Period) []byte {
 func parsePage(s *Schema, buf []byte, verify bool) ([]byte, temporal.Period, error) {
 	var p temporal.Period
 	if len(buf) < pageHeaderSize {
-		return nil, p, fmt.Errorf("cube: page too small (%d bytes)", len(buf))
+		return nil, p, fmt.Errorf("cube: page too small (%d bytes): %w", len(buf), ErrBadPage)
 	}
 	// Compare the magic in place: copying into a local [8]byte would force a
 	// heap allocation on every parse (the error path slices it into Errorf).
 	if !bytes.Equal(buf[0:8], pageMagic[:]) {
-		return nil, p, fmt.Errorf("cube: bad page magic %q", buf[0:8])
+		return nil, p, fmt.Errorf("cube: bad page magic %q: %w", buf[0:8], ErrBadPage)
 	}
 	if v := binary.LittleEndian.Uint16(buf[8:]); v != pageVersion {
-		return nil, p, fmt.Errorf("cube: unsupported page version %d", v)
+		return nil, p, fmt.Errorf("cube: unsupported page version %d: %w", v, ErrBadPage)
 	}
 	p.Level = temporal.Level(buf[10])
 	if !p.Level.Valid() {
-		return nil, p, fmt.Errorf("cube: invalid page level %d", buf[10])
+		return nil, p, fmt.Errorf("cube: invalid page level %d: %w", buf[10], ErrBadPage)
 	}
 	p.Index = int(int64(binary.LittleEndian.Uint64(buf[16:])))
 	if fp := binary.LittleEndian.Uint64(buf[24:]); fp != s.Fingerprint() {
-		return nil, p, fmt.Errorf("cube: page schema fingerprint %x does not match schema %x", fp, s.Fingerprint())
+		return nil, p, fmt.Errorf("cube: page schema fingerprint %x does not match schema %x: %w", fp, s.Fingerprint(), ErrBadPage)
 	}
 	n := int(binary.LittleEndian.Uint32(buf[32:]))
 	if n != s.CellCount() {
-		return nil, p, fmt.Errorf("cube: page has %d cells, schema wants %d", n, s.CellCount())
+		return nil, p, fmt.Errorf("cube: page has %d cells, schema wants %d: %w", n, s.CellCount(), ErrBadPage)
 	}
 	if len(buf) < pageHeaderSize+8*n {
-		return nil, p, fmt.Errorf("cube: page truncated: %d bytes for %d cells", len(buf), n)
+		return nil, p, fmt.Errorf("cube: page truncated: %d bytes for %d cells: %w", len(buf), n, ErrBadPage)
 	}
 	payload := buf[pageHeaderSize : pageHeaderSize+8*n]
 	if verify {
 		if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(buf[36:]); got != want {
-			return nil, p, fmt.Errorf("cube: page checksum mismatch (torn page?): got %08x want %08x", got, want)
+			return nil, p, fmt.Errorf("cube: got %08x want %08x (torn page?): %w", got, want, ErrChecksum)
 		}
 	}
 	return payload, p, nil

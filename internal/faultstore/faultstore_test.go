@@ -1,0 +1,409 @@
+package faultstore
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"rased/internal/pagestore"
+)
+
+func openStore(t *testing.T, pageSize int) *pagestore.Store {
+	t.Helper()
+	ps, err := pagestore.Open(filepath.Join(t.TempDir(), "pages.db"), pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ps.Close() })
+	return ps
+}
+
+func page(pageSize int, fill byte) []byte {
+	b := make([]byte, pageSize)
+	for i := range b {
+		b[i] = fill
+	}
+	return b
+}
+
+func TestPassThrough(t *testing.T) {
+	ps := openStore(t, 128)
+	fs := New(ps, 1)
+	id, err := fs.Append(page(128, 0xAB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 128)
+	if err := fs.ReadPage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[64] != 0xAB {
+		t.Fatalf("read back %x, want ab", buf[64])
+	}
+	if got := fs.Injected(); got != 0 {
+		t.Fatalf("injected %d faults with no rules", got)
+	}
+	if fs.PageSize() != 128 || fs.NumPages() != 1 || fs.SizeBytes() != 128 {
+		t.Fatal("pass-through geometry mismatch")
+	}
+}
+
+func TestTransientTyping(t *testing.T) {
+	ps := openStore(t, 128)
+	if _, err := ps.Append(page(128, 1)); err != nil {
+		t.Fatal(err)
+	}
+	fs := New(ps, 1)
+	fs.AddRule(Rule{Op: OpRead, Kind: KindTransient, Page: -1, Count: 1})
+	buf := make([]byte, 128)
+	err := fs.ReadPage(0, buf)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if !errors.Is(err, pagestore.ErrTransient) {
+		t.Fatalf("transient fault must wrap pagestore.ErrTransient, got %v", err)
+	}
+	// Count=1: the retry succeeds.
+	if err := fs.ReadPage(0, buf); err != nil {
+		t.Fatalf("second read should pass through: %v", err)
+	}
+	if got := fs.FaultMetrics().Transient.Value(); got != 1 {
+		t.Fatalf("transient counter = %d, want 1", got)
+	}
+}
+
+func TestPermanentNotTransient(t *testing.T) {
+	ps := openStore(t, 128)
+	if _, err := ps.Append(page(128, 1)); err != nil {
+		t.Fatal(err)
+	}
+	fs := New(ps, 1)
+	fs.AddRule(Rule{Op: OpRead, Kind: KindPermanent, Page: 0})
+	buf := make([]byte, 128)
+	for i := 0; i < 3; i++ {
+		err := fs.ReadPage(0, buf)
+		if !errors.Is(err, ErrInjected) || errors.Is(err, pagestore.ErrTransient) {
+			t.Fatalf("read %d: want permanent injected error, got %v", i, err)
+		}
+	}
+}
+
+func TestPerPageTrigger(t *testing.T) {
+	ps := openStore(t, 128)
+	for i := 0; i < 3; i++ {
+		if _, err := ps.Append(page(128, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs := New(ps, 1)
+	fs.AddRule(Rule{Op: OpRead, Kind: KindPermanent, Page: 1})
+	buf := make([]byte, 128)
+	if err := fs.ReadPage(0, buf); err != nil {
+		t.Fatalf("page 0 should be clean: %v", err)
+	}
+	if err := fs.ReadPage(1, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("page 1 should fail, got %v", err)
+	}
+	if err := fs.ReadPage(2, buf); err != nil {
+		t.Fatalf("page 2 should be clean: %v", err)
+	}
+}
+
+func TestEveryAfterCount(t *testing.T) {
+	ps := openStore(t, 128)
+	if _, err := ps.Append(page(128, 1)); err != nil {
+		t.Fatal(err)
+	}
+	fs := New(ps, 1)
+	// Skip 2 ops, then fail every 2nd matching op, at most 2 times:
+	// ops 1 2 3 4 5 6 7 8 -> fires on 4, 6 (after=2 leaves 3..; every=2 hits 4, 6; count=2).
+	fs.AddRule(Rule{Op: OpRead, Kind: KindPermanent, Page: -1, AfterN: 2, EveryN: 2, Count: 2})
+	buf := make([]byte, 128)
+	var failed []int
+	for op := 1; op <= 8; op++ {
+		if err := fs.ReadPage(0, buf); err != nil {
+			failed = append(failed, op)
+		}
+	}
+	want := []int{4, 6}
+	if len(failed) != len(want) || failed[0] != want[0] || failed[1] != want[1] {
+		t.Fatalf("fired on ops %v, want %v", failed, want)
+	}
+}
+
+func TestProbDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []int {
+		ps := openStore(t, 128)
+		if _, err := ps.Append(page(128, 1)); err != nil {
+			t.Fatal(err)
+		}
+		fs := New(ps, seed)
+		fs.AddRule(Rule{Op: OpRead, Kind: KindTransient, Page: -1, Prob: 0.3})
+		buf := make([]byte, 128)
+		var failed []int
+		for op := 0; op < 200; op++ {
+			if err := fs.ReadPage(0, buf); err != nil {
+				failed = append(failed, op)
+			}
+		}
+		return failed
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different schedules: %d vs %d fires", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at fire %d: op %d vs %d", i, a[i], b[i])
+		}
+	}
+	if len(a) == 0 || len(a) == 200 {
+		t.Fatalf("prob=0.3 fired %d/200 times; draw is not probabilistic", len(a))
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestCorruptRead(t *testing.T) {
+	ps := openStore(t, 4096)
+	orig := page(4096, 0x55)
+	if _, err := ps.Append(orig); err != nil {
+		t.Fatal(err)
+	}
+	fs := New(ps, 7)
+	fs.AddRule(Rule{Op: OpRead, Kind: KindCorrupt, Page: -1, Count: 1})
+	buf := make([]byte, 4096)
+	if err := fs.ReadPage(0, buf); err != nil {
+		t.Fatalf("corrupt read must not error: %v", err)
+	}
+	diff := -1
+	for i := range buf {
+		if buf[i] != orig[i] {
+			diff = i
+			break
+		}
+	}
+	if diff < 0 {
+		t.Fatal("corrupt rule fired but buffer is pristine")
+	}
+	if diff < 48 {
+		t.Fatalf("corruption at offset %d hit the header region; want payload", diff)
+	}
+	// The page on disk is untouched: a second read is clean.
+	if err := fs.ReadPage(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		if buf[i] != orig[i] {
+			t.Fatalf("disk page mutated at %d: read-side corruption must not write back", i)
+		}
+	}
+}
+
+func TestCorruptWritePersists(t *testing.T) {
+	ps := openStore(t, 4096)
+	fs := New(ps, 7)
+	fs.AddRule(Rule{Op: OpWrite, Kind: KindCorrupt, Page: -1, Count: 1})
+	orig := page(4096, 0x55)
+	id, err := fs.Append(orig)
+	if err != nil {
+		t.Fatalf("silent corruption must report success: %v", err)
+	}
+	buf := make([]byte, 4096)
+	if err := ps.ReadPage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range buf {
+		if buf[i] != orig[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("corrupt write persisted pristine bytes")
+	}
+	// The caller's buffer must not have been mangled in place.
+	for i := range orig {
+		if orig[i] != 0x55 {
+			t.Fatal("corrupt write mutated the caller's buffer")
+		}
+	}
+}
+
+func TestTornWrite(t *testing.T) {
+	ps := openStore(t, 4096)
+	fs := New(ps, 7)
+	fs.AddRule(Rule{Op: OpWrite, Kind: KindTorn, Page: -1, Count: 1})
+	orig := page(4096, 0x55)
+	_, err := fs.Append(orig)
+	if !errors.Is(err, ErrTornWrite) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrTornWrite+ErrInjected, got %v", err)
+	}
+	// The page was still allocated — the hole a crashed extending write
+	// leaves — holding a prefix of the data and zeros beyond.
+	if ps.NumPages() != 1 {
+		t.Fatalf("torn append allocated %d pages, want 1", ps.NumPages())
+	}
+	buf := make([]byte, 4096)
+	if err := ps.ReadPage(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0x55 {
+		t.Fatal("torn write lost the page prefix")
+	}
+	if buf[4095] != 0 {
+		t.Fatal("torn write persisted the full page")
+	}
+}
+
+func TestLatencyRule(t *testing.T) {
+	ps := openStore(t, 128)
+	if _, err := ps.Append(page(128, 1)); err != nil {
+		t.Fatal(err)
+	}
+	fs := New(ps, 1)
+	fs.AddRule(Rule{Op: OpRead, Kind: KindLatency, Page: -1, Latency: 30 * time.Millisecond})
+	buf := make([]byte, 128)
+	start := time.Now()
+	if err := fs.ReadPage(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("latency rule slept only %v", d)
+	}
+	// Context cancellation aborts the injected sleep.
+	fs.ClearRules()
+	fs.AddRule(Rule{Op: OpRead, Kind: KindLatency, Page: -1, Latency: 10 * time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start = time.Now()
+	err := fs.ReadPageCtx(ctx, 0, buf)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want deadline exceeded, got %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("injected sleep ignored the context")
+	}
+}
+
+func TestCoalescedReadPerPageTriggers(t *testing.T) {
+	ps := openStore(t, 128)
+	for i := 0; i < 4; i++ {
+		if _, err := ps.Append(page(128, byte(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs := New(ps, 1)
+	fs.AddRule(Rule{Op: OpRead, Kind: KindTransient, Page: 2})
+	buf := make([]byte, 4*128)
+	err := fs.ReadPagesCtx(context.Background(), 0, 4, buf)
+	if !errors.Is(err, pagestore.ErrTransient) {
+		t.Fatalf("run covering page 2 must fail transiently, got %v", err)
+	}
+	// A run not covering page 2 passes.
+	if err := fs.ReadPagesCtx(context.Background(), 0, 2, buf[:2*128]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	rules, err := ParseSpec("op=read,kind=transient,prob=0.01; op=write,kind=torn,after=100,count=1 ;; kind=latency,latency=5ms,page=7,every=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 3 {
+		t.Fatalf("parsed %d rules, want 3", len(rules))
+	}
+	r := rules[0]
+	if r.Op != OpRead || r.Kind != KindTransient || r.Prob != 0.01 || r.Page != -1 {
+		t.Fatalf("rule 0 = %+v", r)
+	}
+	r = rules[1]
+	if r.Op != OpWrite || r.Kind != KindTorn || r.AfterN != 100 || r.Count != 1 {
+		t.Fatalf("rule 1 = %+v", r)
+	}
+	r = rules[2]
+	if r.Op != OpAny || r.Kind != KindLatency || r.Latency != 5*time.Millisecond || r.Page != 7 || r.EveryN != 3 {
+		t.Fatalf("rule 2 = %+v", r)
+	}
+
+	for _, bad := range []string{
+		"op=read",                      // no kind
+		"kind=latency",                 // latency kind without duration
+		"kind=bogus",                   // unknown kind
+		"op=sideways,kind=transient",   // unknown op
+		"kind=transient,prob=1.5",      // prob out of range
+		"kind=transient,banana=7",      // unknown key
+		"kind=transient,prob",          // not key=value
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted a bad spec", bad)
+		}
+	}
+}
+
+func TestNewFromSpec(t *testing.T) {
+	ps := openStore(t, 128)
+	if _, err := ps.Append(page(128, 1)); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := NewFromSpec(ps, "op=read,kind=permanent,count=1", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 128)
+	if err := fs.ReadPage(0, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("spec rule did not fire: %v", err)
+	}
+	if err := fs.ReadPage(0, buf); err != nil {
+		t.Fatalf("count=1 exhausted, read should pass: %v", err)
+	}
+	if _, err := NewFromSpec(ps, "kind=unknown", 5); err == nil {
+		t.Fatal("NewFromSpec accepted a bad spec")
+	}
+}
+
+func TestTornAppendLeavesRecoverableFile(t *testing.T) {
+	// The torn page must still leave the file a whole multiple of the page
+	// size so pagestore.Open accepts it on reopen (the crash-consistency
+	// contract: a torn page is a content problem, not a geometry problem).
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pages.db")
+	ps, err := pagestore.Open(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := New(ps, 3)
+	fs.AddRule(Rule{Op: OpWrite, Kind: KindTorn, Page: -1})
+	if _, err := fs.Append(page(256, 0xEE)); !errors.Is(err, ErrTornWrite) {
+		t.Fatalf("want torn write, got %v", err)
+	}
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size()%256 != 0 {
+		t.Fatalf("torn append left a %d-byte file (not page-aligned)", fi.Size())
+	}
+	if _, err := pagestore.Open(path, 256); err != nil {
+		t.Fatalf("reopen after torn append: %v", err)
+	}
+}

@@ -1,0 +1,165 @@
+package harness
+
+// The chaos suite: randomized fault schedules against mixed concurrent
+// workloads, asserting the degraded-mode contract (exact answer or typed
+// failure, never a wrong answer). CI runs this with -race and
+// RASED_CHAOS_QUERIES=10000 via `make chaos`; plain `go test` keeps the
+// query count modest.
+
+import (
+	"context"
+	"os"
+	"strconv"
+	"testing"
+
+	"rased/internal/faultstore"
+)
+
+// chaosQueries reads the run size from RASED_CHAOS_QUERIES (default def).
+func chaosQueries(t *testing.T, def int) int {
+	t.Helper()
+	s := os.Getenv("RASED_CHAOS_QUERIES")
+	if s == "" {
+		return def
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 {
+		t.Fatalf("RASED_CHAOS_QUERIES=%q is not a positive integer", s)
+	}
+	return n
+}
+
+func runChaos(t *testing.T, cfg Config) *Report {
+	t.Helper()
+	rep, err := Run(context.Background(), t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("contract violated: %d wrong answers, %d untyped errors; first: %s",
+			rep.Wrong, rep.Untyped, rep.FirstViolation)
+	}
+	if rep.Exact+rep.TypedFail != rep.Queries {
+		t.Fatalf("report does not add up: %+v", rep)
+	}
+	t.Logf("chaos: %d queries, %d exact (%d via replan), %d typed failures, %d faults injected",
+		rep.Queries, rep.Exact, rep.Replanned, rep.TypedFail, rep.Injected)
+	return rep
+}
+
+func TestChaosFaultFree(t *testing.T) {
+	rep := runChaos(t, Config{Seed: 1, Queries: chaosQueries(t, 100), Days: 90})
+	if rep.Exact != rep.Queries {
+		t.Fatalf("fault-free run must answer everything exactly: %+v", rep)
+	}
+	if rep.Injected != 0 {
+		t.Fatalf("fault-free run injected %d faults", rep.Injected)
+	}
+}
+
+// TestChaosOnePercent is the headline acceptance run: a 1% mixed fault rate
+// (transient + read corruption) under concurrent load, zero wrong answers.
+func TestChaosOnePercent(t *testing.T) {
+	rep := runChaos(t, Config{
+		Seed:    2,
+		Queries: chaosQueries(t, 300),
+		Rules:   RateRules(0.01),
+	})
+	if rep.Injected == 0 {
+		t.Fatal("1% schedule injected nothing; the run proved nothing")
+	}
+	if rep.Exact == 0 {
+		t.Fatal("no query survived a 1% fault rate; availability collapsed")
+	}
+}
+
+// TestChaosHeavyCorruption pushes the corrupt-read rate to 5%: quarantine and
+// fallback churn constantly, scrubs race the queries, and the contract must
+// still hold.
+func TestChaosHeavyCorruption(t *testing.T) {
+	rep := runChaos(t, Config{
+		Seed:    3,
+		Queries: chaosQueries(t, 200),
+		Rules: []faultstore.Rule{
+			{Op: faultstore.OpRead, Kind: faultstore.KindCorrupt, Page: -1, Prob: 0.05},
+		},
+		ScrubEveryN: 20,
+	})
+	if rep.Injected == 0 {
+		t.Fatal("5% corruption schedule injected nothing")
+	}
+}
+
+// TestChaosTransientOnly: with retries on, a purely transient fault schedule
+// should be absorbed almost entirely — and MUST stay typed when it is not.
+func TestChaosTransientOnly(t *testing.T) {
+	rep := runChaos(t, Config{
+		Seed:    4,
+		Queries: chaosQueries(t, 200),
+		Rules: []faultstore.Rule{
+			{Op: faultstore.OpRead, Kind: faultstore.KindTransient, Page: -1, Prob: 0.02},
+		},
+	})
+	if rep.Injected == 0 {
+		t.Fatal("transient schedule injected nothing")
+	}
+	if rep.Exact < rep.Queries*8/10 {
+		t.Fatalf("retries absorbed too little: only %d/%d exact", rep.Exact, rep.Queries)
+	}
+}
+
+// TestChaosFallbackOff re-runs a corrupting schedule with degraded fallback
+// disabled: availability drops (that is the point of the feature), but
+// failures must still be typed and answers exact.
+func TestChaosFallbackOff(t *testing.T) {
+	opts := DefaultEngineOptions()
+	opts.DegradedFallback = false
+	rep := runChaos(t, Config{
+		Seed:    5,
+		Queries: chaosQueries(t, 200),
+		Rules:   RateRules(0.02),
+		Opts:    &opts,
+	})
+	if rep.Replanned != 0 {
+		t.Fatalf("fallback disabled but %d queries replanned", rep.Replanned)
+	}
+}
+
+// TestChaosDeadRollups is the scenario degraded-mode replanning exists for:
+// every monthly rollup page persistently corrupt (a dead sector under a
+// rollup). With fallback on, NO query may fail — the first hit per month
+// reconstructs from constituents, the quarantine then routes plans around
+// the page — so availability stays at 100% with a dead page under every
+// month of the coverage.
+func TestChaosDeadRollups(t *testing.T) {
+	rep := runChaos(t, Config{
+		Seed:     6,
+		Queries:  chaosQueries(t, 200),
+		RuleFunc: DeadRollupRules,
+	})
+	if rep.Injected == 0 {
+		t.Fatal("dead-rollup schedule injected nothing")
+	}
+	if rep.Exact != rep.Queries {
+		t.Fatalf("dead rollups with fallback on must stay fully available: %d/%d exact (%d typed failures)",
+			rep.Exact, rep.Queries, rep.TypedFail)
+	}
+	if rep.Replanned == 0 {
+		t.Fatal("no query replanned; the dead pages were never hit")
+	}
+}
+
+func TestParseRate(t *testing.T) {
+	for _, bad := range []string{"", "x", "-0.1", "1.5"} {
+		if _, err := ParseRate(bad); err == nil {
+			t.Errorf("ParseRate(%q) accepted", bad)
+		}
+	}
+	rules, err := ParseRate("0.01")
+	if err != nil || len(rules) != 2 {
+		t.Fatalf("ParseRate(0.01) = %v, %v", rules, err)
+	}
+	if rules, err := ParseRate("0"); err != nil || rules != nil {
+		t.Fatalf("ParseRate(0) = %v, %v; want nil rules", rules, err)
+	}
+}

@@ -1,0 +1,16 @@
+//go:build faultreg
+
+package pagestore
+
+// FaultExercised declares this package's exported read paths that the
+// fault-injection suite drives through internal/faultstore: the external
+// faultpath_test.go exercises each against transient, permanent, and
+// corruption faults. The faultpath lint rule cross-checks this list against
+// the package's exported Read*/Fetch* functions, so a new read path cannot
+// land without declaring (and writing) its fault coverage. The faultreg build
+// tag keeps the registry out of production builds.
+var FaultExercised = []string{
+	"ReadPage",
+	"ReadPageCtx",
+	"ReadPagesCtx",
+}

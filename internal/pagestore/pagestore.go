@@ -29,7 +29,39 @@ var (
 	ErrShortPage = errors.New("buffer does not match page bounds")
 	// ErrOutOfRange reports a page id outside the store's current allocation.
 	ErrOutOfRange = errors.New("page id out of range")
+	// ErrTransient classifies an I/O failure as retryable: the same operation
+	// may succeed if reissued (a flaky bus, a momentary EIO, an injected
+	// fault). Real stores never return it — it exists so fault-injecting
+	// wrappers (internal/faultstore) and retry loops (tindex) agree on which
+	// failures a bounded retry is allowed to absorb. Permanent failures must
+	// NOT wrap it.
+	ErrTransient = errors.New("transient I/O error")
 )
+
+// Pager is the read/write surface of a page store. *Store implements it;
+// internal/faultstore wraps any Pager to inject deterministic faults, and
+// tindex holds its store through this interface so the wrapper can be slotted
+// in underneath the index without the index knowing.
+type Pager interface {
+	PageSize() int
+	NumPages() int
+	SizeBytes() int64
+	ReadPage(id int, buf []byte) error
+	ReadPageCtx(ctx context.Context, id int, buf []byte) error
+	ReadPagesCtx(ctx context.Context, id, n int, buf []byte) error
+	WritePage(id int, buf []byte) error
+	Append(buf []byte) (int, error)
+	Stats() Stats
+	ResetStats()
+	Sync() error
+	Close() error
+	Path() string
+	Metrics() *Metrics
+	SetReadLatency(d time.Duration)
+	ReadLatency() time.Duration
+}
+
+var _ Pager = (*Store)(nil)
 
 // Stats is a snapshot of I/O counters.
 type Stats struct {

@@ -82,6 +82,24 @@ func TestHealthz(t *testing.T) {
 	}
 }
 
+func TestHealthzDegraded(t *testing.T) {
+	s, b := newTestServer(t)
+	b.health = core.Health{Degraded: true, QuarantinedPages: 3, FallbackReplans: 12}
+	rec, body := get(t, s, "/healthz")
+	// Degraded stays 200: answers are still exact, just costlier, and load
+	// balancers must not evict the replica over it.
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if body["status"] != "degraded" {
+		t.Errorf("status field = %v, want degraded", body["status"])
+	}
+	h, ok := body["health"].(map[string]any)
+	if !ok || h["quarantined_pages"] != float64(3) || h["fallback_replans"] != float64(12) {
+		t.Errorf("health payload = %v", body["health"])
+	}
+}
+
 func TestDebugTraceParam(t *testing.T) {
 	s, b := newTestServer(t)
 	rec, _ := get(t, s, "/api/analysis?from=2021-01-01&to=2021-02-01&debug=trace")
@@ -138,6 +156,7 @@ func (b *engineBackend) ByChangeset(int64) ([]update.Record, error) { return nil
 func (b *engineBackend) Coverage() (temporal.Day, temporal.Day, bool) {
 	return b.eng.Index().Coverage()
 }
+func (b *engineBackend) Health() core.Health { return b.eng.Health() }
 
 // TestEngineMetricsThroughServer is the subsystem end to end: a real engine
 // behind the server, one shared registry, queries through the HTTP API, and

@@ -38,6 +38,7 @@ type Backend interface {
 	Sample(q warehouse.SampleQuery) ([]update.Record, error)
 	ByChangeset(id int64) ([]update.Record, error)
 	Coverage() (lo, hi temporal.Day, ok bool)
+	Health() core.Health
 }
 
 // Server is the HTTP handler set.
@@ -198,9 +199,17 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"metrics": s.reg.Snapshot()})
 }
 
-// handleHealthz reports liveness plus the served coverage window.
+// handleHealthz reports liveness plus the served coverage window and the
+// degraded-mode status. A degraded deployment still answers exactly (from
+// constituent cubes), so it stays HTTP 200 — status "degraded" with the
+// quarantine count tells the operator to scrub or rebuild, without making
+// load balancers evict a working replica.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	resp := map[string]any{"status": "ok"}
+	if h := s.backend.Health(); h.Degraded {
+		resp["status"] = "degraded"
+		resp["health"] = h
+	}
 	if lo, hi, ok := s.backend.Coverage(); ok {
 		resp["coverage_from"] = lo.String()
 		resp["coverage_to"] = hi.String()
@@ -383,13 +392,17 @@ func (s *Server) analyze(r *http.Request, q core.Query) (*core.Result, error) {
 }
 
 // writeAnalysisErr maps analysis failures to HTTP statuses: admission
-// rejections are retryable overload (503 + Retry-After), timeouts are 504, a
+// rejections are retryable overload (503 + Retry-After), a degraded result
+// (quarantined leaf pages with no substitute) is 503 too — the request was
+// fine and a rewrite or scrub may restore the page — timeouts are 504, a
 // vanished client gets the nginx-convention 499 (nobody reads it, but the
 // access log and request counters do), and anything else is a bad query.
 func writeAnalysisErr(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, exec.ErrRejected):
 		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, core.ErrDegraded):
 		writeErr(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, context.DeadlineExceeded):
 		writeErr(w, http.StatusGatewayTimeout, err)

@@ -27,6 +27,7 @@ type fakeBackend struct {
 	lastSample   warehouse.SampleQuery
 	lastDeadline time.Time
 	analyzeErr   error
+	health       core.Health
 }
 
 func (f *fakeBackend) AnalyzeContext(ctx context.Context, q core.Query) (*core.Result, error) {
@@ -59,6 +60,8 @@ func (f *fakeBackend) ByChangeset(id int64) ([]update.Record, error) {
 func (f *fakeBackend) Coverage() (temporal.Day, temporal.Day, bool) {
 	return temporal.NewDay(2021, time.January, 1), temporal.NewDay(2021, time.December, 31), true
 }
+
+func (f *fakeBackend) Health() core.Health { return f.health }
 
 func newTestServer(t *testing.T) (*Server, *fakeBackend) {
 	t.Helper()
@@ -186,6 +189,15 @@ func TestOverloadMapsTo503(t *testing.T) {
 	}
 	if ra := rec.Header().Get("Retry-After"); ra != "1" {
 		t.Errorf("Retry-After = %q, want \"1\"", ra)
+	}
+}
+
+func TestDegradedMapsTo503(t *testing.T) {
+	s, b := newTestServer(t)
+	b.analyzeErr = fmt.Errorf("core: leaf day 2021-01-03 unreadable: %w", core.ErrDegraded)
+	rec, _ := post(t, s, "/api/analysis", AnalysisRequest{From: "2021-01-01", To: "2021-02-01"})
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503", rec.Code)
 	}
 }
 

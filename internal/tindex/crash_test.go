@@ -1,0 +1,167 @@
+package tindex
+
+// Crash-consistency tests: a torn write (the process dies mid-page) must
+// leave the index either recoverable — the page was never published in the
+// directory, so re-appending the day repairs it — or detectable, failing the
+// next read with the typed corrupt-page error rather than a wrong answer.
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"rased/internal/cube"
+	"rased/internal/faultstore"
+	"rased/internal/pagestore"
+	"rased/internal/temporal"
+)
+
+// denseCube fills every cell, so its marshalled payload has nonzero bytes all
+// the way to the end — a torn tail is guaranteed to lose data.
+func denseCube(s *cube.Schema) *cube.Cube {
+	cb := cube.New(s)
+	de, dc, dr, du := s.Dims()
+	for e := 0; e < de; e++ {
+		for c := 0; c < dc; c++ {
+			for r := 0; r < dr; r++ {
+				for u := 0; u < du; u++ {
+					cb.Add(e, c, r, u, uint64(1+e+c+r+u))
+				}
+			}
+		}
+	}
+	return cb
+}
+
+// crashFaulty is createFaulty against a caller-owned dir, so the test can
+// reopen the same index after the simulated crash.
+func crashFaulty(t *testing.T, dir string, seed int64) (*Index, *faultstore.Store) {
+	t.Helper()
+	var fs *faultstore.Store
+	ix, err := Create(dir, testSchema(), 1, WithStoreWrapper(func(p pagestore.Pager) pagestore.Pager {
+		fs = faultstore.New(p, seed)
+		return fs
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, fs
+}
+
+// TestCrashTornAppendRecovers: a torn write during AppendDay errors out
+// before the day is published in the directory, so after a crash + reopen the
+// index is simply missing that day — and appending it again produces the
+// correct cube on a fresh page, with the torn page left as orphaned space.
+func TestCrashTornAppendRecovers(t *testing.T) {
+	dir := t.TempDir()
+	ix, fs := crashFaulty(t, dir, 17)
+	lo := temporal.NewDay(2021, time.January, 1)
+	appendRange(t, ix, lo, lo+4)
+	if err := ix.Sync(); err != nil { // ingest checkpoint before the crash
+		t.Fatal(err)
+	}
+	pagesBefore := ix.Store().NumPages()
+
+	fs.AddRule(faultstore.Rule{Op: faultstore.OpWrite, Kind: faultstore.KindTorn, Page: -1, Count: 1})
+	err := ix.AppendDay(lo+5, dayCube(ix.Schema(), lo+5))
+	if !errors.Is(err, faultstore.ErrTornWrite) {
+		t.Fatalf("torn append must fail typed, got %v", err)
+	}
+	if ix.Has(temporal.DayPeriod(lo + 5)) {
+		t.Fatal("torn day must not be published in the directory")
+	}
+	// Crash: drop the file handle without syncing the meta.
+	if err := ix.Store().Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir, testSchema())
+	if err != nil {
+		t.Fatalf("reopen after torn append: %v", err)
+	}
+	defer re.Close()
+	if _, hi, ok := re.Coverage(); !ok || hi != lo+4 {
+		t.Fatalf("coverage after crash = %v, want %v", hi, lo+4)
+	}
+	if re.Has(temporal.DayPeriod(lo + 5)) {
+		t.Fatal("reopened index must not see the torn day")
+	}
+	// The surviving days are intact.
+	if _, err := re.Scrub(); err != nil {
+		t.Fatalf("scrub after recovery found damage: %v", err)
+	}
+	// Recovery: re-append the lost day (the ingest pipeline replays it).
+	if err := re.AppendDay(lo+5, dayCube(re.Schema(), lo+5)); err != nil {
+		t.Fatalf("re-append after crash: %v", err)
+	}
+	cb, err := re.Fetch(temporal.DayPeriod(lo + 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cb.Equal(dayCube(re.Schema(), lo+5)) {
+		t.Fatal("recovered day cube mismatch")
+	}
+	// The torn page stays allocated but orphaned: re-append took a new one.
+	if got := re.Store().NumPages(); got != pagesBefore+2 {
+		t.Fatalf("pages after recovery = %d, want %d (torn orphan + replacement)", got, pagesBefore+2)
+	}
+}
+
+// TestCrashTornOverwriteDetected: a torn overwrite of an already-published
+// page cannot be rolled back by the directory — but the next read must fail
+// with the typed corrupt-page error (never a silently wrong cube), and a
+// rewrite of the day repairs it.
+func TestCrashTornOverwriteDetected(t *testing.T) {
+	dir := t.TempDir()
+	ix, fs := crashFaulty(t, dir, 23)
+	lo := temporal.NewDay(2021, time.January, 1)
+	appendRange(t, ix, lo, lo+6)
+	if err := ix.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	p := temporal.DayPeriod(lo + 3)
+	page, _ := ix.PageOf(p)
+	fs.AddRule(faultstore.Rule{Op: faultstore.OpWrite, Kind: faultstore.KindTorn, Page: page, Count: 1})
+	// A dense cube: a sparse one's payload tail is all zeros anyway, and a
+	// torn write that only zeroes zeros is (correctly) not corruption.
+	err := ix.ReplaceDays(map[temporal.Day]*cube.Cube{lo + 3: denseCube(ix.Schema())})
+	if !errors.Is(err, faultstore.ErrTornWrite) {
+		t.Fatalf("torn overwrite must fail typed, got %v", err)
+	}
+	if err := ix.Store().Close(); err != nil { // crash
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir, testSchema())
+	if err != nil {
+		t.Fatalf("reopen after torn overwrite: %v", err)
+	}
+	defer re.Close()
+	// The page is half old cube, half zeros: the checksum must catch it.
+	_, err = re.Fetch(p)
+	if !errors.Is(err, ErrCorruptPage) || !errors.Is(err, cube.ErrChecksum) {
+		t.Fatalf("read of torn page must fail corrupt+checksum typed, got %v", err)
+	}
+	if !re.Quarantined(p) {
+		t.Fatal("torn page must be quarantined after detection")
+	}
+	// Neighbours are untouched, and a rewrite repairs the page in place.
+	if _, err := re.Fetch(temporal.DayPeriod(lo + 2)); err != nil {
+		t.Fatalf("neighbour read: %v", err)
+	}
+	good := dayCube(re.Schema(), lo+3)
+	if err := re.ReplaceDays(map[temporal.Day]*cube.Cube{lo + 3: good}); err != nil {
+		t.Fatalf("repair rewrite: %v", err)
+	}
+	cb, err := re.Fetch(p)
+	if err != nil {
+		t.Fatalf("fetch after repair: %v", err)
+	}
+	if !cb.Equal(good) {
+		t.Fatal("repaired cube mismatch")
+	}
+	if n, err := re.Scrub(); err != nil || n != 7 {
+		t.Fatalf("final scrub = (%d, %v), want (7, nil)", n, err)
+	}
+}

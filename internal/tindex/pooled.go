@@ -28,27 +28,27 @@ import (
 // (one page I/O, no per-miss allocation in steady state). The caller owns the
 // returned cube; see ReleasePooled.
 func (ix *Index) FetchPooledCtx(ctx context.Context, p temporal.Period) (*cube.Cube, error) {
-	ix.mu.RLock()
-	page, ok := ix.pages[p]
-	verify := ix.verifyReads
-	ix.mu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("tindex: no cube for period %v", p)
+	page, verify, err := ix.lookup(p)
+	if err != nil {
+		return nil, err
 	}
 	pb := ix.pool.GetBuf()
 	defer ix.pool.PutBuf(pb)
-	if err := ix.store.ReadPageCtx(ctx, page, *pb); err != nil {
+	if err := ix.retryRead(ctx, func() error { return ix.store.ReadPageCtx(ctx, page, *pb) }); err != nil {
 		return nil, err
 	}
 	cb := ix.pool.GetCube()
 	got, err := cube.UnmarshalPageInto(ix.schema, cb, *pb, verify)
 	if err != nil {
+		// The scratch cube goes straight back to the pool: a corrupt page
+		// must not leak the pooled decode target (nor, upstream, poison any
+		// cache with a half-decoded cube).
 		ix.pool.PutCube(cb)
-		return nil, fmt.Errorf("tindex: period %v: %w", p, err)
+		return nil, ix.decodeErr(p, page, err)
 	}
 	if got != p {
 		ix.pool.PutCube(cb)
-		return nil, fmt.Errorf("tindex: page for %v actually holds %v (directory corruption)", p, got)
+		return nil, ix.mismatchErr(p, got, page)
 	}
 	return cb, nil
 }
@@ -70,9 +70,12 @@ func (ix *Index) runPages(ps []temporal.Period) (first int, err error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	for i, p := range ps {
+		if _, bad := ix.quarantined[p]; bad {
+			return 0, fmt.Errorf("tindex: period %v quarantined: %w", p, ErrCorruptPage)
+		}
 		page, ok := ix.pages[p]
 		if !ok {
-			return 0, fmt.Errorf("tindex: no cube for period %v", p)
+			return 0, fmt.Errorf("tindex: %w %v", ErrNoCube, p)
 		}
 		if i == 0 {
 			first = page
@@ -98,17 +101,17 @@ func (ix *Index) FetchRunCtx(ctx context.Context, ps []temporal.Period) ([]cube.
 	ix.mu.RUnlock()
 	pageSize := ix.store.PageSize()
 	buf := make([]byte, len(ps)*pageSize)
-	if err := ix.store.ReadPagesCtx(ctx, first, len(ps), buf); err != nil {
+	if err := ix.retryRead(ctx, func() error { return ix.store.ReadPagesCtx(ctx, first, len(ps), buf) }); err != nil {
 		return nil, err
 	}
 	out := make([]cube.Reader, len(ps))
 	for i, p := range ps {
 		view, got, err := cube.UnmarshalPageView(ix.schema, buf[i*pageSize:(i+1)*pageSize], verify)
 		if err != nil {
-			return nil, fmt.Errorf("tindex: period %v: %w", p, err)
+			return nil, ix.decodeErr(p, first+i, err)
 		}
 		if got != p {
-			return nil, fmt.Errorf("tindex: page for %v actually holds %v (directory corruption)", p, got)
+			return nil, ix.mismatchErr(p, got, first+i)
 		}
 		out[i] = view
 	}
@@ -129,7 +132,7 @@ func (ix *Index) FetchRunPooledCtx(ctx context.Context, ps []temporal.Period) ([
 	ix.mu.RUnlock()
 	pageSize := ix.store.PageSize()
 	buf := make([]byte, len(ps)*pageSize)
-	if err := ix.store.ReadPagesCtx(ctx, first, len(ps), buf); err != nil {
+	if err := ix.retryRead(ctx, func() error { return ix.store.ReadPagesCtx(ctx, first, len(ps), buf) }); err != nil {
 		return nil, err
 	}
 	out := make([]*cube.Cube, 0, len(ps))
@@ -144,12 +147,12 @@ func (ix *Index) FetchRunPooledCtx(ctx context.Context, ps []temporal.Period) ([
 		if err != nil {
 			ix.pool.PutCube(cb)
 			release()
-			return nil, fmt.Errorf("tindex: period %v: %w", p, err)
+			return nil, ix.decodeErr(p, first+i, err)
 		}
 		if got != p {
 			ix.pool.PutCube(cb)
 			release()
-			return nil, fmt.Errorf("tindex: page for %v actually holds %v (directory corruption)", p, got)
+			return nil, ix.mismatchErr(p, got, first+i)
 		}
 		out = append(out, cb)
 	}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package tindex
+
+const raceEnabled = false

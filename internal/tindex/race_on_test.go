@@ -1,0 +1,8 @@
+//go:build race
+
+package tindex
+
+// raceEnabled reports whether this test binary runs under the race detector,
+// where sync.Pool deliberately drops items to surface races and pool-miss
+// counts stop being meaningful.
+const raceEnabled = true

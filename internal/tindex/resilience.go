@@ -1,0 +1,214 @@
+package tindex
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"rased/internal/cube"
+	"rased/internal/obs"
+	"rased/internal/pagestore"
+	"rased/internal/temporal"
+)
+
+// This file holds the index's resilience machinery: the store-wrapper option
+// that lets a fault-injecting Pager be slotted underneath the index, bounded
+// retry with jittered backoff for transient read errors, and the quarantine
+// that takes corrupt pages out of the query plan instead of letting every
+// query re-hit (and re-fail on) them. The degraded-mode replan that answers
+// around a quarantined cube lives in internal/core; the typed sentinels here
+// are its interface.
+
+// Typed sentinels for the fetch paths.
+var (
+	// ErrNoCube reports a period the index simply has no cube for (the
+	// period was never built, or the index has fewer levels). It is not a
+	// failure of an existing page, so the degraded-mode fallback does not
+	// try to reconstruct around it.
+	ErrNoCube = errors.New("no cube for period")
+	// ErrCorruptPage reports a page that failed validation — checksum
+	// mismatch, malformed header, or a directory/page period disagreement.
+	// The page is quarantined: subsequent fetches fail fast with this error
+	// and Has excludes the period so new plans route around it.
+	ErrCorruptPage = errors.New("corrupt cube page")
+)
+
+// Option configures Create and Open.
+type Option func(*config)
+
+type config struct {
+	wrap func(pagestore.Pager) pagestore.Pager
+}
+
+// WithStoreWrapper interposes w between the index and its page store. The
+// chaos tooling uses it to slot a faultstore.Store underneath a real index;
+// the index itself never knows.
+func WithStoreWrapper(w func(pagestore.Pager) pagestore.Pager) Option {
+	return func(c *config) { c.wrap = w }
+}
+
+// RetryPolicy bounds the read-retry loop. Attempts is the number of extra
+// tries after the first failed read (0, the default, disables retry); Backoff
+// is the base delay before the first retry, doubled each attempt and jittered
+// to [d/2, d) so concurrent retriers don't stampede in lockstep.
+type RetryPolicy struct {
+	Attempts int
+	Backoff  time.Duration
+}
+
+// SetRetryPolicy installs the retry policy for transient read errors on the
+// fetch paths. Only errors wrapping pagestore.ErrTransient are retried —
+// checksum failures and missing pages are not I/O flakes and retrying them
+// would just burn latency.
+func (ix *Index) SetRetryPolicy(p RetryPolicy) {
+	ix.mu.Lock()
+	ix.retry = p
+	ix.mu.Unlock()
+}
+
+// RetryPolicy returns the installed retry policy.
+func (ix *Index) RetryPolicy() RetryPolicy {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.retry
+}
+
+// IndexMetrics are the index's resilience instruments.
+type IndexMetrics struct {
+	ChecksumFailures *obs.Counter
+	ReadRetries      *obs.Counter
+	Quarantined      *obs.GaugeFunc
+}
+
+// All returns the instruments for registry wiring.
+func (m *IndexMetrics) All() []obs.Metric {
+	return []obs.Metric{m.ChecksumFailures, m.ReadRetries, m.Quarantined}
+}
+
+func newIndexMetrics(ix *Index) *IndexMetrics {
+	return &IndexMetrics{
+		ChecksumFailures: obs.NewCounter("rased_tindex_checksum_failures_total", "Cube pages that failed validation on read."),
+		ReadRetries:      obs.NewCounter("rased_tindex_read_retries_total", "Transient read errors absorbed by the retry loop."),
+		Quarantined:      obs.NewGaugeFunc("rased_tindex_quarantined_pages", "Cube pages currently quarantined after failing validation.", func() float64 { return float64(ix.QuarantineCount()) }),
+	}
+}
+
+// Metrics returns the index's resilience instruments for registry wiring.
+func (ix *Index) Metrics() *IndexMetrics { return ix.met }
+
+// jitter steps the index's xorshift64 state and returns the next value. An
+// atomic PRNG (rather than a mutex-guarded rand.Rand) keeps the retry path
+// lock-free; statistical quality hardly matters for backoff jitter.
+func (ix *Index) jitter() uint64 {
+	for {
+		old := ix.rng.Load()
+		x := old
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		if ix.rng.CompareAndSwap(old, x) {
+			return x
+		}
+	}
+}
+
+// retryRead runs do, retrying transient failures per the installed policy
+// with exponential, jittered, ctx-aware backoff. Any non-transient error —
+// including ctx cancellation — returns immediately.
+func (ix *Index) retryRead(ctx context.Context, do func() error) error {
+	pol := ix.RetryPolicy()
+	for attempt := 0; ; attempt++ {
+		err := do()
+		if err == nil || attempt >= pol.Attempts || !errors.Is(err, pagestore.ErrTransient) {
+			return err
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		ix.met.ReadRetries.Inc()
+		if d := pol.Backoff << uint(attempt); d > 0 {
+			d = d/2 + time.Duration(ix.jitter()%uint64(d/2+1))
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			}
+		}
+	}
+}
+
+// lookup resolves period p to its page id, failing fast for quarantined and
+// absent periods, and snapshots the verify flag in the same critical section.
+func (ix *Index) lookup(p temporal.Period) (page int, verify bool, err error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if _, bad := ix.quarantined[p]; bad {
+		return 0, false, fmt.Errorf("tindex: period %v quarantined: %w", p, ErrCorruptPage)
+	}
+	page, ok := ix.pages[p]
+	if !ok {
+		return 0, false, fmt.Errorf("tindex: %w %v", ErrNoCube, p)
+	}
+	return page, ix.verifyReads, nil
+}
+
+// quarantinePage records that period p's page failed validation. Quarantined
+// periods vanish from Has (so the level optimizer plans around them) and
+// fail fast from the fetch paths until a rewrite or a clean Scrub clears
+// them. Re-quarantining is idempotent.
+func (ix *Index) quarantinePage(p temporal.Period, page int) {
+	ix.mu.Lock()
+	_, already := ix.quarantined[p]
+	if !already {
+		ix.quarantined[p] = page
+	}
+	ix.mu.Unlock()
+	if !already {
+		ix.met.ChecksumFailures.Inc()
+	}
+}
+
+// clearQuarantine removes p from the quarantine (after a successful rewrite
+// or a verifying scrub).
+func (ix *Index) clearQuarantine(p temporal.Period) {
+	ix.mu.Lock()
+	delete(ix.quarantined, p)
+	ix.mu.Unlock()
+}
+
+// Quarantined reports whether period p's page is currently quarantined.
+func (ix *Index) Quarantined(p temporal.Period) bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	_, bad := ix.quarantined[p]
+	return bad
+}
+
+// QuarantineCount returns the number of quarantined pages.
+func (ix *Index) QuarantineCount() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.quarantined)
+}
+
+// decodeErr classifies a page-decode failure for period p on page id:
+// validation failures quarantine the page and come back typed as
+// ErrCorruptPage; everything else passes through wrapped.
+func (ix *Index) decodeErr(p temporal.Period, page int, err error) error {
+	if errors.Is(err, cube.ErrChecksum) || errors.Is(err, cube.ErrBadPage) {
+		ix.quarantinePage(p, page)
+		return fmt.Errorf("tindex: period %v (page %d): %w: %w", p, page, ErrCorruptPage, err)
+	}
+	return fmt.Errorf("tindex: period %v: %w", p, err)
+}
+
+// mismatchErr handles a page whose decoded period disagrees with the
+// directory: the page (or the directory) is corrupt either way, so the
+// period is quarantined.
+func (ix *Index) mismatchErr(p, got temporal.Period, page int) error {
+	ix.quarantinePage(p, page)
+	return fmt.Errorf("tindex: page %d for %v actually holds %v (directory corruption): %w", page, p, got, ErrCorruptPage)
+}

@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"rased/internal/cube"
 	"rased/internal/pagestore"
@@ -33,16 +34,22 @@ const (
 	metaFile  = "index.json"
 )
 
-// Index is the on-disk hierarchical temporal index.
+// Index is the on-disk hierarchical temporal index. The page store is held
+// through the Pager interface so Create/Open options (WithStoreWrapper) can
+// interpose a fault-injecting wrapper without the index knowing.
 type Index struct {
 	schema *cube.Schema
-	store  *pagestore.Store
+	store  pagestore.Pager
 	dir    string
 	levels int
 	pool   *cube.PagePool
+	met    *IndexMetrics
+	rng    atomic.Uint64 // xorshift64 state for retry backoff jitter
 
 	mu          sync.RWMutex
 	pages       map[temporal.Period]int
+	quarantined map[temporal.Period]int // periods whose pages failed validation
+	retry       RetryPolicy
 	minDay      temporal.Day
 	maxDay      temporal.Day
 	empty       bool
@@ -64,9 +71,23 @@ type metaDoc struct {
 	Entries           []metaEntry `json:"entries"`
 }
 
+// openPager opens the cube page store for dir and applies the configured
+// wrapper, if any.
+func openPager(dir string, schema *cube.Schema, cfg *config) (pagestore.Pager, error) {
+	store, err := pagestore.Open(filepath.Join(dir, cubesFile), cube.PageSize(schema))
+	if err != nil {
+		return nil, err
+	}
+	var pager pagestore.Pager = store
+	if cfg.wrap != nil {
+		pager = cfg.wrap(pager)
+	}
+	return pager, nil
+}
+
 // Create initializes a new index in directory dir with the given schema and
 // number of levels (1..4). The directory must not already hold an index.
-func Create(dir string, schema *cube.Schema, levels int) (*Index, error) {
+func Create(dir string, schema *cube.Schema, levels int, opts ...Option) (*Index, error) {
 	if levels < 1 || levels > temporal.NumLevels {
 		return nil, fmt.Errorf("tindex: levels must be 1..%d, got %d", temporal.NumLevels, levels)
 	}
@@ -76,7 +97,11 @@ func Create(dir string, schema *cube.Schema, levels int) (*Index, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("tindex: create dir: %w", err)
 	}
-	store, err := pagestore.Open(filepath.Join(dir, cubesFile), cube.PageSize(schema))
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	store, err := openPager(dir, schema, &cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -87,9 +112,12 @@ func Create(dir string, schema *cube.Schema, levels int) (*Index, error) {
 		levels:      levels,
 		pool:        cube.NewPagePool(schema),
 		pages:       make(map[temporal.Period]int),
+		quarantined: make(map[temporal.Period]int),
 		empty:       true,
 		verifyReads: true,
 	}
+	ix.met = newIndexMetrics(ix)
+	ix.rng.Store(0x9E3779B97F4A7C15)
 	if err := ix.Sync(); err != nil {
 		store.Close()
 		return nil, err
@@ -99,7 +127,7 @@ func Create(dir string, schema *cube.Schema, levels int) (*Index, error) {
 
 // Open loads an existing index from dir. The schema must match the one the
 // index was created with.
-func Open(dir string, schema *cube.Schema) (*Index, error) {
+func Open(dir string, schema *cube.Schema, opts ...Option) (*Index, error) {
 	raw, err := os.ReadFile(filepath.Join(dir, metaFile))
 	if err != nil {
 		return nil, fmt.Errorf("tindex: open %s: %w", dir, err)
@@ -111,7 +139,11 @@ func Open(dir string, schema *cube.Schema) (*Index, error) {
 	if doc.SchemaFingerprint != schema.Fingerprint() {
 		return nil, fmt.Errorf("tindex: schema fingerprint mismatch in %s", dir)
 	}
-	store, err := pagestore.Open(filepath.Join(dir, cubesFile), cube.PageSize(schema))
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	store, err := openPager(dir, schema, &cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -122,11 +154,14 @@ func Open(dir string, schema *cube.Schema) (*Index, error) {
 		levels:      doc.Levels,
 		pool:        cube.NewPagePool(schema),
 		pages:       make(map[temporal.Period]int, len(doc.Entries)),
+		quarantined: make(map[temporal.Period]int),
 		minDay:      temporal.Day(doc.MinDay),
 		maxDay:      temporal.Day(doc.MaxDay),
 		empty:       doc.Empty,
 		verifyReads: true,
 	}
+	ix.met = newIndexMetrics(ix)
+	ix.rng.Store(0x9E3779B97F4A7C15)
 	for _, e := range doc.Entries {
 		lvl := temporal.Level(e.Level)
 		if !lvl.Valid() {
@@ -145,8 +180,9 @@ func (ix *Index) Schema() *cube.Schema { return ix.schema }
 func (ix *Index) Levels() int { return ix.levels }
 
 // Store exposes the underlying page store (for I/O stats and latency
-// injection).
-func (ix *Index) Store() *pagestore.Store { return ix.store }
+// injection). With a store wrapper installed this is the wrapper, not the
+// raw file store.
+func (ix *Index) Store() pagestore.Pager { return ix.store }
 
 // Coverage returns the inclusive day range the index covers; ok is false for
 // an empty index.
@@ -200,8 +236,24 @@ func (ix *Index) PageOf(p temporal.Period) (int, bool) {
 // for the ownership rules.
 func (ix *Index) Pool() *cube.PagePool { return ix.pool }
 
-// Has reports whether the index holds a cube for period p.
+// Has reports whether the index holds a usable cube for period p.
+// Quarantined periods are excluded: the level optimizer consults Has, so a
+// corrupt monthly cube drops out of new plans and queries route to its
+// constituents instead.
 func (ix *Index) Has(p temporal.Period) bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if _, bad := ix.quarantined[p]; bad {
+		return false
+	}
+	_, ok := ix.pages[p]
+	return ok
+}
+
+// HasCube reports whether the index's directory holds a page for p,
+// quarantined or not. Maintenance paths use it: a rollup rewrite of a
+// quarantined parent repairs the page, so quarantine must not hide it.
+func (ix *Index) HasCube(p temporal.Period) bool {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	_, ok := ix.pages[p]
@@ -210,22 +262,25 @@ func (ix *Index) Has(p temporal.Period) bool {
 
 // Fetch reads the cube for period p from disk (one page I/O).
 func (ix *Index) Fetch(p temporal.Period) (*cube.Cube, error) {
-	ix.mu.RLock()
-	page, ok := ix.pages[p]
-	ix.mu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("tindex: no cube for period %v", p)
+	return ix.FetchCtx(context.Background(), p)
+}
+
+// FetchCtx is Fetch honoring a context.
+func (ix *Index) FetchCtx(ctx context.Context, p temporal.Period) (*cube.Cube, error) {
+	page, _, err := ix.lookup(p)
+	if err != nil {
+		return nil, err
 	}
 	buf := make([]byte, ix.store.PageSize())
-	if err := ix.store.ReadPage(page, buf); err != nil {
+	if err := ix.retryRead(ctx, func() error { return ix.store.ReadPageCtx(ctx, page, buf) }); err != nil {
 		return nil, err
 	}
 	cb, got, err := cube.UnmarshalPage(ix.schema, buf)
 	if err != nil {
-		return nil, fmt.Errorf("tindex: period %v: %w", p, err)
+		return nil, ix.decodeErr(p, page, err)
 	}
 	if got != p {
-		return nil, fmt.Errorf("tindex: page for %v actually holds %v (directory corruption)", p, got)
+		return nil, ix.mismatchErr(p, got, page)
 	}
 	return cb, nil
 }
@@ -241,23 +296,20 @@ func (ix *Index) FetchView(p temporal.Period) (cube.Reader, error) {
 // read (including the store's injected disk latency) instead of completing
 // it.
 func (ix *Index) FetchViewCtx(ctx context.Context, p temporal.Period) (cube.Reader, error) {
-	ix.mu.RLock()
-	page, ok := ix.pages[p]
-	verify := ix.verifyReads
-	ix.mu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("tindex: no cube for period %v", p)
+	page, verify, err := ix.lookup(p)
+	if err != nil {
+		return nil, err
 	}
 	buf := make([]byte, ix.store.PageSize())
-	if err := ix.store.ReadPageCtx(ctx, page, buf); err != nil {
+	if err := ix.retryRead(ctx, func() error { return ix.store.ReadPageCtx(ctx, page, buf) }); err != nil {
 		return nil, err
 	}
 	view, got, err := cube.UnmarshalPageView(ix.schema, buf, verify)
 	if err != nil {
-		return nil, fmt.Errorf("tindex: period %v: %w", p, err)
+		return nil, ix.decodeErr(p, page, err)
 	}
 	if got != p {
-		return nil, fmt.Errorf("tindex: page for %v actually holds %v (directory corruption)", p, got)
+		return nil, ix.mismatchErr(p, got, page)
 	}
 	return view, nil
 }
@@ -272,8 +324,11 @@ func (ix *Index) SetVerifyReads(v bool) {
 
 // Scrub re-reads every cube page, verifying checksums and that each page
 // holds the period the directory claims. It is the maintenance counterpart
-// of disabling per-read verification on the query path. Returns the number
-// of pages checked; the error identifies the first bad page.
+// of disabling per-read verification on the query path, and it drives the
+// quarantine lifecycle both ways: a page that now verifies is released from
+// quarantine (someone rewrote it), and a page that fails is quarantined so
+// the query path stops trusting it. Returns the number of pages checked; the
+// error identifies the first bad page.
 func (ix *Index) Scrub() (checked int, err error) {
 	ix.mu.RLock()
 	dir := make(map[temporal.Period]int, len(ix.pages))
@@ -284,17 +339,29 @@ func (ix *Index) Scrub() (checked int, err error) {
 
 	buf := make([]byte, ix.store.PageSize())
 	for p, page := range dir {
-		if err := ix.store.ReadPage(page, buf); err != nil {
-			return checked, fmt.Errorf("tindex: scrub %v: %w", p, err)
+		if rerr := ix.store.ReadPage(page, buf); rerr != nil {
+			if err == nil {
+				err = fmt.Errorf("tindex: scrub %v: %w", p, rerr)
+			}
+			continue
 		}
-		if _, got, err := cube.UnmarshalPageView(ix.schema, buf, true); err != nil {
-			return checked, fmt.Errorf("tindex: scrub %v (page %d): %w", p, page, err)
+		if _, got, derr := cube.UnmarshalPageView(ix.schema, buf, true); derr != nil {
+			ix.quarantinePage(p, page)
+			if err == nil {
+				err = fmt.Errorf("tindex: scrub %v (page %d): %w: %w", p, page, ErrCorruptPage, derr)
+			}
+			continue
 		} else if got != p {
-			return checked, fmt.Errorf("tindex: scrub: page %d holds %v, directory says %v", page, got, p)
+			ix.quarantinePage(p, page)
+			if err == nil {
+				err = fmt.Errorf("tindex: scrub: page %d holds %v, directory says %v: %w", page, got, p, ErrCorruptPage)
+			}
+			continue
 		}
+		ix.clearQuarantine(p)
 		checked++
 	}
-	return checked, nil
+	return checked, err
 }
 
 // writeCube stores cb under period p, reusing the period's existing page when
@@ -317,6 +384,16 @@ func (ix *Index) writeCube(p temporal.Period, cb *cube.Cube) error {
 	return nil
 }
 
+// writeCubeRepair is writeCube plus quarantine release: a successful rewrite
+// of a period's page makes it trustworthy again.
+func (ix *Index) writeCubeRepair(p temporal.Period, cb *cube.Cube) error {
+	if err := ix.writeCube(p, cb); err != nil {
+		return err
+	}
+	ix.clearQuarantine(p)
+	return nil
+}
+
 // rollup builds the cube for period p by reading and merging its children
 // (which must all exist), then writes it.
 func (ix *Index) rollup(p temporal.Period) error {
@@ -330,7 +407,7 @@ func (ix *Index) rollup(p temporal.Period) error {
 			return fmt.Errorf("tindex: rollup %v: %w", p, err)
 		}
 	}
-	return ix.writeCube(p, sum)
+	return ix.writeCubeRepair(p, sum)
 }
 
 // AppendDay ingests one day's cube. Days must be appended in strictly
@@ -344,7 +421,7 @@ func (ix *Index) AppendDay(d temporal.Day, dayCube *cube.Cube) error {
 	if !empty && d != maxDay+1 {
 		return fmt.Errorf("tindex: non-consecutive append: have up to %v, got %v", maxDay, d)
 	}
-	if err := ix.writeCube(temporal.DayPeriod(d), dayCube); err != nil {
+	if err := ix.writeCubeRepair(temporal.DayPeriod(d), dayCube); err != nil {
 		return err
 	}
 	ix.mu.Lock()
@@ -403,7 +480,7 @@ func (ix *Index) ReplaceDays(days map[temporal.Day]*cube.Cube) error {
 		if empty || d < lo || d > hi {
 			return fmt.Errorf("tindex: ReplaceDays: day %v outside coverage", d)
 		}
-		if err := ix.writeCube(temporal.DayPeriod(d), cb); err != nil {
+		if err := ix.writeCubeRepair(temporal.DayPeriod(d), cb); err != nil {
 			return err
 		}
 		p := temporal.DayPeriod(d)
@@ -425,7 +502,9 @@ func (ix *Index) ReplaceDays(days map[temporal.Day]*cube.Cube) error {
 			if p.Level != lvl {
 				continue
 			}
-			if ix.Has(p) {
+			// HasCube, not Has: a quarantined parent must still be rebuilt —
+			// the rollup rewrite is what repairs it.
+			if ix.HasCube(p) {
 				if err := ix.rollup(p); err != nil {
 					return err
 				}

@@ -24,9 +24,11 @@ import (
 	"rased/internal/core"
 	"rased/internal/crawl"
 	"rased/internal/cube"
+	"rased/internal/faultstore"
 	"rased/internal/geo"
 	"rased/internal/obs"
 	"rased/internal/osmgen"
+	"rased/internal/pagestore"
 	"rased/internal/roads"
 	"rased/internal/temporal"
 	"rased/internal/tindex"
@@ -256,14 +258,43 @@ type Deployment struct {
 	Index   *tindex.Index
 	Engine  *core.Engine
 	Samples *warehouse.Store // nil when built with SkipWarehouse
+	// Faults is the fault-injecting store wrapper, non-nil only when the
+	// deployment was opened with WithFaultSpec (resilience testing).
+	Faults *faultstore.Store
 	// Obs aggregates the deployment's metrics: engine query counters and
-	// latency, per-level cache hits/misses, page store I/O, and warehouse
-	// sampling. The server exports it at /metrics and /api/stats.
+	// latency, per-level cache hits/misses, page store I/O, resilience
+	// counters (checksum failures, retries, quarantine, fallback replans),
+	// and warehouse sampling. The server exports it at /metrics and
+	// /api/stats.
 	Obs *obs.Registry
+}
+
+// OpenOption customizes OpenWith beyond the engine Options.
+type OpenOption func(*openConfig)
+
+type openConfig struct {
+	faultSpec string
+	faultSeed int64
+}
+
+// WithFaultSpec slots a deterministic fault-injecting wrapper between the
+// index and its page store, scripted by spec (see faultstore.ParseSpec, e.g.
+// "kind=transient,prob=0.01;kind=corrupt,prob=0.001") and seeded for
+// reproducibility. For resilience testing only — never production.
+func WithFaultSpec(spec string, seed int64) OpenOption {
+	return func(c *openConfig) {
+		c.faultSpec = spec
+		c.faultSeed = seed
+	}
 }
 
 // Open attaches an engine and the warehouse to a deployment directory.
 func Open(dir string, opts Options) (*Deployment, error) {
+	return OpenWith(dir, opts)
+}
+
+// OpenWith is Open with deployment-level options (fault injection).
+func OpenWith(dir string, opts Options, oo ...OpenOption) (*Deployment, error) {
 	var meta deploymentMeta
 	if err := readJSON(filepath.Join(dir, deploymentFile), &meta); err != nil {
 		return nil, fmt.Errorf("rased: open %s: %w", dir, err)
@@ -279,14 +310,35 @@ func Open(dir string, opts Options) (*Deployment, error) {
 	} else {
 		schema = cube.ScaledSchema(meta.Countries, meta.RoadTypes)
 	}
-	ix, err := tindex.Open(dir, schema)
+	var cfg openConfig
+	for _, o := range oo {
+		o(&cfg)
+	}
+	var ixOpts []tindex.Option
+	var faults *faultstore.Store
+	if cfg.faultSpec != "" {
+		if _, err := faultstore.ParseSpec(cfg.faultSpec); err != nil {
+			return nil, fmt.Errorf("rased: %w", err)
+		}
+		ixOpts = append(ixOpts, tindex.WithStoreWrapper(func(p pagestore.Pager) pagestore.Pager {
+			faults, _ = faultstore.NewFromSpec(p, cfg.faultSpec, cfg.faultSeed)
+			return faults
+		}))
+	}
+	ix, err := tindex.Open(dir, schema, ixOpts...)
 	if err != nil {
 		return nil, err
 	}
-	// Query-path fetches skip the per-read checksum: pages are verified when
-	// written and whenever maintenance re-reads them. (Matching PostgreSQL's
-	// default; flip with Deployment.Index.SetVerifyReads(true).)
-	ix.SetVerifyReads(false)
+	if opts.DegradedFallback {
+		// Degraded mode needs the per-read checksum: it is what detects a
+		// corrupt page mid-query, quarantines it, and triggers the replan.
+		ix.SetVerifyReads(true)
+	} else {
+		// Query-path fetches skip the per-read checksum: pages are verified
+		// when written and whenever maintenance re-reads them. (Matching
+		// PostgreSQL's default; flip with Deployment.Index.SetVerifyReads.)
+		ix.SetVerifyReads(false)
+	}
 	eng, err := core.NewEngine(ix, opts)
 	if err != nil {
 		ix.Close()
@@ -297,7 +349,7 @@ func Open(dir string, opts Options) (*Deployment, error) {
 			eng.AddNetworkSizeSnapshot(temporal.Day(s.AsOf), s.Sizes)
 		}
 	}
-	d := &Deployment{Dir: dir, Schema: schema, Index: ix, Engine: eng, Obs: obs.NewRegistry()}
+	d := &Deployment{Dir: dir, Schema: schema, Index: ix, Engine: eng, Faults: faults, Obs: obs.NewRegistry()}
 	whPath := filepath.Join(dir, warehouseFile)
 	if _, err := os.Stat(whPath); err == nil {
 		wh, err := warehouse.Open(whPath)
@@ -314,6 +366,10 @@ func Open(dir string, opts Options) (*Deployment, error) {
 	}
 	d.Obs.MustRegister(ix.Store().Metrics().All()...)
 	d.Obs.MustRegister(ix.Pool().Metrics().All()...)
+	d.Obs.MustRegister(ix.Metrics().All()...)
+	if faults != nil {
+		d.Obs.MustRegister(faults.FaultMetrics().All()...)
+	}
 	if d.Samples != nil {
 		d.Obs.MustRegister(d.Samples.Metrics().All()...)
 		d.Obs.MustRegister(d.Samples.Heap().Store().Metrics().All()...)
@@ -364,9 +420,17 @@ func (d *Deployment) Coverage() (lo, hi Day, ok bool) {
 
 // Scrub verifies every cube page's checksum and directory entry — the
 // offline maintenance that pairs with the query path's skipped per-read
-// verification. Returns the number of pages checked.
+// verification, and the repair path that releases quarantined pages whose
+// bytes verify again. Returns the number of pages checked.
 func (d *Deployment) Scrub() (int, error) {
 	return d.Index.Scrub()
+}
+
+// Health reports the deployment's degraded-mode status: whether any index
+// page is quarantined, and how often queries have replanned around or been
+// failed by unreadable data. The server surfaces it at /healthz.
+func (d *Deployment) Health() core.Health {
+	return d.Engine.Health()
 }
 
 // Close releases the deployment.

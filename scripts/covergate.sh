@@ -1,0 +1,42 @@
+#!/bin/sh
+# Coverage gate for the resilient read path (PR 5): the fault store, the
+# chaos harness, the page store, and the engine's degraded-mode fallback must
+# each stay at or above the floor. Run from the module root via `make chaos`.
+set -eu
+
+FLOOR=80
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+fail=0
+
+# gate NAME PCT — print the line and record a failure below the floor.
+gate() {
+	ok=$(awk -v p="$2" -v f="$FLOOR" 'BEGIN { print (p+0 >= f) ? 1 : 0 }')
+	printf 'covergate: %-36s %6s%% (floor %s%%)\n' "$1" "$2" "$FLOOR"
+	if [ "$ok" != 1 ]; then
+		fail=1
+	fi
+}
+
+# total PROFILE — the package's total statement coverage from cover -func.
+total() {
+	go tool cover -func="$1" | awk '/^total:/ { sub(/%/, "", $3); print $3 }'
+}
+
+for pkg in internal/faultstore internal/faultstore/harness internal/pagestore; do
+	prof="$TMP/$(echo "$pkg" | tr / _).out"
+	go test -coverprofile="$prof" "./$pkg/" >/dev/null
+	gate "$pkg" "$(total "$prof")"
+done
+
+# The degraded-mode fallback is one file inside internal/core; gate it
+# per-file from the raw profile (statement-weighted).
+go test -coverprofile="$TMP/core.out" ./internal/core/ >/dev/null
+gate internal/core/fallback.go "$(awk '/fallback\.go:/ { total += $2; if ($3 > 0) covered += $2 }
+	END { if (total == 0) print 0; else printf "%.1f", 100 * covered / total }' "$TMP/core.out")"
+
+if [ "$fail" != 0 ]; then
+	echo "covergate: FAIL — fault-path coverage fell below ${FLOOR}%" >&2
+	exit 1
+fi
+echo "covergate: ok"
