@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check ci lint race vet chaos covergate bench bench-smoke bench-hotpath bench-faults figures examples clean
+.PHONY: all build test check ci lint race vet chaos covergate bench bench-smoke bench-hotpath bench-faults bench-live figures examples clean
 
 all: build test
 
@@ -26,6 +26,7 @@ check: vet lint race
 ci: build vet lint race chaos
 	$(GO) test ./...
 	bin/rased-bench -fig hotpath -quick
+	bin/rased-bench -fig live -quick
 
 # chaos is the fault-injection gate: the chaos harness at full query volume
 # under the race detector (DESIGN.md "Fault model & degraded mode"), the
@@ -71,6 +72,13 @@ bench-hotpath: build
 # committed BENCH_faults.json.
 bench-faults: build
 	bin/rased-bench -fig faults
+
+# Live-ingest figure: sustained epoch publication under concurrent dashboard
+# load — ingest lag quantiles, QPS vs the quiesced baseline, and the
+# zero-torn-read contract. Writes the committed BENCH_live.json. The -quick
+# variant of the same figure runs inside `make ci`.
+bench-live: build
+	bin/rased-bench -fig live
 
 # Regenerate every figure of the paper's evaluation (EXPERIMENTS.md).
 figures: build

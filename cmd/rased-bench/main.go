@@ -11,6 +11,7 @@
 //	rased-bench -fig conc      concurrent clients: serial vs parallel fetches
 //	rased-bench -fig hotpath   data-plane hot path: kernels, pooling, sharding, coalescing
 //	rased-bench -fig faults    availability under injected storage faults, fallback on vs off
+//	rased-bench -fig live      live ingest: epoch publication under concurrent dashboard load
 //	rased-bench -fig examples  the example queries of Figures 2-5
 //	rased-bench -fig all       everything
 //
@@ -95,6 +96,8 @@ func main() {
 		runHotpath(*updates, *workers, *quick, *seed, *out)
 	case "faults":
 		runFaults(*queries, *quick, *seed, *faults)
+	case "live":
+		runLive(*quick, *seed)
 	case "examples":
 		runExamples(*seed, *updates)
 	case "all":
@@ -117,6 +120,8 @@ func main() {
 		runHotpath(*updates, *workers, *quick, *seed, *out)
 		fmt.Println()
 		runFaults(*queries, *quick, *seed, *faults)
+		fmt.Println()
+		runLive(*quick, *seed)
 		fmt.Println()
 		runExamples(*seed, *updates)
 	default:
@@ -287,6 +292,19 @@ func runFaults(queries int, quick bool, seed int64, spec string) {
 		log.Fatal(err)
 	}
 	log.Printf("wrote BENCH_faults.json")
+}
+
+func runLive(quick bool, seed int64) {
+	log.Printf("running live-ingest figure (quick=%v)...", quick)
+	rep, err := benchx.FigLive(context.Background(), quick, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	benchx.PrintFigLive(os.Stdout, rep)
+	if err := benchx.WriteLiveJSON("BENCH_live.json", rep); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote BENCH_live.json")
 }
 
 func runExamples(seed int64, updates int) {

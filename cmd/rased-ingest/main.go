@@ -99,6 +99,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	for _, day := range rep.SkippedPartialDays {
+		log.Printf("warning: skipped partially written day %s (diff present, changeset file missing); rerun after the downloader completes it", day)
+	}
 	fmt.Printf("deployment built in %s\n", *dir)
 	fmt.Printf("  days ingested:     %d\n", rep.Days)
 	fmt.Printf("  updates ingested:  %d\n", rep.Records)

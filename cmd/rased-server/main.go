@@ -21,7 +21,10 @@ import (
 	"rased"
 	"rased/internal/cache"
 	"rased/internal/core"
+	"rased/internal/live"
+	"rased/internal/osmgen"
 	"rased/internal/server"
+	"rased/internal/temporal"
 )
 
 func main() {
@@ -51,6 +54,11 @@ func main() {
 		pooledDecode = flag.Bool("pooled-decode", false, "decode cache misses into pooled cubes (requires -cache-policy=lru or sharded)")
 		coalesce     = flag.Bool("coalesce-reads", false, "read runs of adjacent cube pages with one I/O")
 		scalarAgg    = flag.Bool("scalar-agg", false, "disable the vectorized aggregation kernels (debugging)")
+
+		liveMode     = flag.Bool("live", false, "fold simulated OsmChange replication diffs into the index continuously")
+		diffInterval = flag.Duration("diff-interval", 2*time.Second, "replication cadence for -live (one diff per interval)")
+		diffChunks   = flag.Int("diff-chunks", 60, "diffs per simulated day for -live")
+		liveSeed     = flag.Int64("live-seed", 1, "PRNG seed for the -live edit generator")
 
 		readRetries  = flag.Int("read-retries", 2, "retries for transient page-read errors (0 disables)")
 		retryBackoff = flag.Duration("retry-backoff", 2*time.Millisecond, "base backoff before a page-read retry (doubles per attempt, jittered)")
@@ -98,6 +106,41 @@ func main() {
 		log.Printf("serving empty deployment %s on %s", *dir, *addr)
 	}
 
+	// -live folds a deterministic simulated replication stream into the
+	// serving index: the generator's first day is the day after the current
+	// coverage, so live epochs extend the batch-built history seamlessly.
+	var (
+		pipe       *live.Pipeline
+		liveCancel context.CancelFunc
+		liveDone   chan struct{}
+	)
+	if *liveMode {
+		gcfg := osmgen.DefaultConfig()
+		gcfg.Seed = *liveSeed
+		if _, hi, ok := d.Coverage(); ok {
+			gcfg.Start = hi + 1
+		} else {
+			gcfg.Start = temporal.NewDay(2020, time.January, 1)
+		}
+		pipe = live.NewPipeline(d.Index, live.Config{
+			MaxCountry: len(d.Schema.Countries),
+			MaxRoad:    len(d.Schema.RoadTypes),
+			Engine:     d.Engine,
+		})
+		d.Obs.MustRegister(pipe.Metrics().All()...)
+		src := live.NewSimSource(osmgen.NewDiffStream(gcfg, *diffChunks), *diffInterval, 0)
+		var ctx context.Context
+		ctx, liveCancel = context.WithCancel(context.Background())
+		liveDone = make(chan struct{})
+		go func() {
+			defer close(liveDone)
+			if err := pipe.Run(ctx, src); err != nil && ctx.Err() == nil {
+				log.Printf("live ingest stopped: %v", err)
+			}
+		}()
+		log.Printf("live ingest on: one diff per %v, %d diffs per simulated day (first day %s)", *diffInterval, *diffChunks, gcfg.Start)
+	}
+
 	// The server's middleware logs requests at Debug; -access-log runs the
 	// logger at that level so the lines show. Metrics are exported either
 	// way at /metrics and /api/stats.
@@ -106,11 +149,18 @@ func main() {
 		level = slog.LevelDebug
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
-	handler := http.Handler(server.New(d,
+	sopts := []server.Option{
 		server.WithRegistry(d.Obs),
 		server.WithLogger(logger),
 		server.WithQueryTimeout(*queryTimeout),
-	))
+	}
+	if pipe != nil {
+		sopts = append(sopts, server.WithLiveStatus(func() server.LiveStatus {
+			st := pipe.Status()
+			return server.LiveStatus{Epoch: st.Epoch, Day: st.Day, Folds: st.Folds, LagSecs: st.LagSecs}
+		}))
+	}
+	handler := http.Handler(server.New(d, sopts...))
 	// Transport limits: slow or stalled clients must not pin goroutines (or
 	// admission slots) forever. The write timeout bounds the whole
 	// handler+response, so it sits above any per-query timeout.
@@ -134,6 +184,12 @@ func main() {
 		log.Fatal(err)
 	case s := <-sig:
 		log.Printf("received %v, shutting down", s)
+		// Stop the live pipeline first: Run checkpoints on cancellation, so
+		// every published epoch is durable before the deployment closes.
+		if liveCancel != nil {
+			liveCancel()
+			<-liveDone
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {

@@ -56,13 +56,22 @@ type dayFiles struct {
 	day        temporal.Day
 	diffPath   string
 	changesets string
+	partial    bool // diff present but changeset file missing
 }
 
-// discoverDays scans the artifacts directory and returns the day sequence.
-func discoverDays(dir string) ([]dayFiles, error) {
+// ErrPartialDay marks a day directory whose diff was written but whose
+// changeset file is missing — the downloader died mid-publish. Trailing
+// partial days are skipped (they will complete on the next run); a partial day
+// in the middle of the sequence is unrecoverable and errors with this in the
+// chain.
+var ErrPartialDay = fmt.Errorf("rased: partially written day artifacts")
+
+// discoverDays scans the artifacts directory and returns the day sequence plus
+// the dates of trailing partially-written days it skipped.
+func discoverDays(dir string) ([]dayFiles, []string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, fmt.Errorf("rased: read artifacts dir: %w", err)
+		return nil, nil, fmt.Errorf("rased: read artifacts dir: %w", err)
 	}
 	var days []dayFiles
 	for _, e := range entries {
@@ -73,30 +82,51 @@ func discoverDays(dir string) ([]dayFiles, error) {
 		date := strings.TrimSuffix(name, ".osc")
 		d, err := temporal.ParseDay(date)
 		if err != nil {
-			return nil, fmt.Errorf("rased: artifact %q is not named <date>.osc: %w", name, err)
+			return nil, nil, fmt.Errorf("rased: artifact %q is not named <date>.osc: %w", name, err)
 		}
-		csPath := filepath.Join(dir, date+".changesets.xml")
-		if _, err := os.Stat(csPath); err != nil {
-			return nil, fmt.Errorf("rased: day %s has a diff but no changeset file: %w", date, err)
+		df := dayFiles{day: d, diffPath: filepath.Join(dir, name), changesets: filepath.Join(dir, date+".changesets.xml")}
+		if _, err := os.Stat(df.changesets); err != nil {
+			df.partial = true
 		}
-		days = append(days, dayFiles{day: d, diffPath: filepath.Join(dir, name), changesets: csPath})
+		days = append(days, df)
 	}
 	if len(days) == 0 {
-		return nil, fmt.Errorf("rased: no .osc artifacts in %s", dir)
+		return nil, nil, fmt.Errorf("rased: no .osc artifacts in %s", dir)
 	}
 	sort.Slice(days, func(a, b int) bool { return days[a].day < days[b].day })
+	// Trailing partial days are a normal crash artifact of the downloader:
+	// drop them with a warning so the complete prefix still ingests. A partial
+	// day that is NOT at the tail would leave a hole in the sequence, which no
+	// later run can repair — that stays an error.
+	var skipped []string
+	for len(days) > 0 && days[len(days)-1].partial {
+		skipped = append(skipped, days[len(days)-1].day.String())
+		days = days[:len(days)-1]
+	}
+	for i, j := 0, len(skipped)-1; i < j; i, j = i+1, j-1 {
+		skipped[i], skipped[j] = skipped[j], skipped[i] // chronological order
+	}
+	if len(days) == 0 {
+		return nil, nil, fmt.Errorf("%w: no complete days in %s (partial: %s)",
+			ErrPartialDay, dir, strings.Join(skipped, ", "))
+	}
+	for _, df := range days {
+		if df.partial {
+			return nil, nil, fmt.Errorf("%w: day %s has a diff but no changeset file", ErrPartialDay, df.day)
+		}
+	}
 	for i := 1; i < len(days); i++ {
 		if days[i].day != days[i-1].day+1 {
-			return nil, fmt.Errorf("rased: artifact days are not consecutive: %s then %s",
+			return nil, nil, fmt.Errorf("rased: artifact days are not consecutive: %s then %s",
 				days[i-1].day, days[i].day)
 		}
 	}
-	return days, nil
+	return days, skipped, nil
 }
 
 // BuildFromFiles constructs a deployment from on-disk OSM artifacts.
 func BuildFromFiles(cfg FileBuildConfig) (*BuildReport, error) {
-	days, err := discoverDays(cfg.ArtifactsDir)
+	days, skipped, err := discoverDays(cfg.ArtifactsDir)
 	if err != nil {
 		return nil, err
 	}
@@ -126,7 +156,7 @@ func BuildFromFiles(cfg FileBuildConfig) (*BuildReport, error) {
 	reg := geo.Default()
 	ing := core.NewIngestor(ix)
 	csIdx := crawl.BuildChangesetIndex(nil)
-	var rep BuildReport
+	rep := BuildReport{SkippedPartialDays: skipped}
 	maxCountry, maxRoad := len(schema.Countries), len(schema.RoadTypes)
 	if cfg.Obs != nil {
 		cfg.Obs.MustRegister(ing.Metrics().All()...)
@@ -254,7 +284,7 @@ func AppendFromFilesObs(dir, artifactsDir string, reg *obs.Registry) (*BuildRepo
 }
 
 func appendFromFiles(dir, artifactsDir string, obsReg *obs.Registry) (*BuildReport, error) {
-	days, err := discoverDays(artifactsDir)
+	days, skipped, err := discoverDays(artifactsDir)
 	if err != nil {
 		return nil, err
 	}
@@ -298,7 +328,7 @@ func appendFromFiles(dir, artifactsDir string, obsReg *obs.Registry) (*BuildRepo
 	reg := geo.Default()
 	ing := core.NewIngestor(ix)
 	csIdx := crawl.BuildChangesetIndex(nil)
-	var rep BuildReport
+	rep := BuildReport{SkippedPartialDays: skipped}
 	if obsReg != nil {
 		obsReg.MustRegister(ing.Metrics().All()...)
 		obsReg.MustRegister(ix.Store().Metrics().All()...)

@@ -1,6 +1,7 @@
 package rased
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -216,11 +217,11 @@ func TestBuildFromFilesValidation(t *testing.T) {
 		t.Error("bad artifact name should fail")
 	}
 
-	// Diff without its changeset file.
+	// Diff without its changeset file and nothing else: no complete days.
 	lonely := t.TempDir()
 	os.WriteFile(filepath.Join(lonely, "2021-01-01.osc"), []byte("x"), 0o644)
-	if _, err := BuildFromFiles(FileBuildConfig{Dir: t.TempDir(), ArtifactsDir: lonely}); err == nil {
-		t.Error("missing changeset file should fail")
+	if _, err := BuildFromFiles(FileBuildConfig{Dir: t.TempDir(), ArtifactsDir: lonely}); !errors.Is(err, ErrPartialDay) {
+		t.Errorf("all-partial dir: got %v, want ErrPartialDay", err)
 	}
 
 	// Gap in the day sequence.
@@ -237,5 +238,54 @@ func TestBuildFromFilesValidation(t *testing.T) {
 	}
 	if _, err := BuildFromFiles(FileBuildConfig{Dir: t.TempDir(), ArtifactsDir: gap}); err == nil {
 		t.Error("non-consecutive days should fail")
+	}
+}
+
+// TestBuildFromFilesSkipsTrailingPartialDay: a downloader that died after
+// writing the newest day's diff but before its changeset file used to abort
+// the whole ingest. The complete prefix must build, the partial day must be
+// reported (not silently dropped), and a partial day in the middle of the
+// sequence must still be a hard ErrPartialDay.
+func TestBuildFromFilesSkipsTrailingPartialDay(t *testing.T) {
+	cfg := fileGenConfig()
+	artDir := t.TempDir()
+	writeArtifacts(t, artDir, cfg, 4, false)
+	// Simulate the crash: day 5's diff lands, its changeset file never does.
+	partial := (cfg.Start + 4).String()
+	if err := os.WriteFile(filepath.Join(artDir, partial+".osc"), []byte("<osmChange/>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	schema := cube.ScaledSchema(geo.Default().NumValues(), 8)
+	rep, err := BuildFromFiles(FileBuildConfig{
+		Dir: t.TempDir(), ArtifactsDir: artDir, Schema: schema, SkipWarehouse: true,
+	})
+	if err != nil {
+		t.Fatalf("trailing partial day aborted the build: %v", err)
+	}
+	if rep.Days != 4 {
+		t.Errorf("ingested %d days, want 4", rep.Days)
+	}
+	if len(rep.SkippedPartialDays) != 1 || rep.SkippedPartialDays[0] != partial {
+		t.Errorf("SkippedPartialDays = %v, want [%s]", rep.SkippedPartialDays, partial)
+	}
+
+	// Append over the same directory after the day completes: the previously
+	// partial day must ingest normally.
+	// (Regenerate the world so day 5's artifacts are complete this time.)
+	fullDir := t.TempDir()
+	writeArtifacts(t, fullDir, cfg, 5, false)
+	dep := t.TempDir()
+	if _, err := BuildFromFiles(FileBuildConfig{Dir: dep, ArtifactsDir: fullDir, Schema: schema, SkipWarehouse: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mid-sequence partial: remove an interior changeset file.
+	mid := (cfg.Start + 2).String()
+	if err := os.Remove(filepath.Join(fullDir, mid+".changesets.xml")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildFromFiles(FileBuildConfig{Dir: t.TempDir(), ArtifactsDir: fullDir, Schema: schema, SkipWarehouse: true}); !errors.Is(err, ErrPartialDay) {
+		t.Errorf("mid-sequence partial day: got %v, want ErrPartialDay", err)
 	}
 }

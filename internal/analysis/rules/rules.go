@@ -16,6 +16,9 @@
 //	faultpath   storage read paths are registered as fault-exercised in the
 //	            package's faultpath_reg.go (backed by faultstore tests), and
 //	            sleeping retry loops consult ctx.Err()/ctx.Done()
+//	epochsafe   published cube pages are immutable: WritePage/Append on the
+//	            page store is allowed only in the audited swap sites
+//	            registered in the package's epochsafe_reg.go
 package rules
 
 import (
@@ -37,6 +40,7 @@ func All() []analysis.Analyzer {
 		NewDeterminism(DefaultPurePackages...),
 		NewPoolsafe(),
 		NewFaultpath(),
+		NewEpochsafe(),
 	}
 }
 

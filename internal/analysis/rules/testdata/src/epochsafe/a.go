@@ -1,0 +1,50 @@
+// Fixture for the epochsafe rule: loaded under the real import path
+// rased/internal/tindex so the scope check applies. The registry lives in
+// epochsafe_reg.go (build-tagged epochreg, read from disk by the analyzer).
+package tindex // want "EpochSwapSites entry \"ghostWriter\" matches no function"
+
+// pager is the fixture's stand-in for the page store interface.
+type pager interface {
+	WritePage(page int, buf []byte) error
+	Append(buf []byte) (int, error)
+}
+
+// Index is the fixture's stand-in for the temporal index.
+type Index struct {
+	store pager
+}
+
+// writeCube is a registered swap site: no finding.
+func (ix *Index) writeCube(page int, buf []byte) error {
+	return ix.store.WritePage(page, buf)
+}
+
+// writeScratch is a registered swap site: no finding.
+func (ix *Index) writeScratch(buf []byte) (int, error) {
+	return ix.store.Append(buf)
+}
+
+// sneakyRepair rewrites a page outside the audited swap sites.
+func (ix *Index) sneakyRepair(page int, buf []byte) error {
+	return ix.store.WritePage(page, buf) // want "sneakyRepair calls WritePage outside the audited swap sites"
+}
+
+// growUnaudited appends a page outside the audited swap sites, even though it
+// routes through a closure.
+func growUnaudited(p pager, buf []byte) (int, error) {
+	grow := func() (int, error) {
+		return p.Append(buf) // want "growUnaudited calls Append outside the audited swap sites"
+	}
+	return grow()
+}
+
+// appendDays uses the builtin append: not a page write, no finding.
+func appendDays(days []int, d int) []int {
+	return append(days, d)
+}
+
+// delegate calls a registered site without touching the store itself: the
+// rule audits direct page writes, so no finding.
+func delegate(ix *Index, buf []byte) (int, error) {
+	return ix.writeScratch(buf)
+}

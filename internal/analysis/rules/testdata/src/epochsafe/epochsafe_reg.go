@@ -1,0 +1,11 @@
+//go:build epochreg
+
+package tindex
+
+// EpochSwapSites is the fixture registry: writeCube and writeScratch exist
+// and are listed, ghostWriter is a stale entry (no such function).
+var EpochSwapSites = []string{
+	"writeCube",
+	"writeScratch",
+	"ghostWriter",
+}

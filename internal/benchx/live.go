@@ -1,0 +1,305 @@
+package benchx
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rased/internal/core"
+	"rased/internal/crawl"
+	"rased/internal/cube"
+	"rased/internal/geo"
+	"rased/internal/live"
+	"rased/internal/osmgen"
+	"rased/internal/temporal"
+	"rased/internal/tindex"
+)
+
+// ---------------------------------------------------------------------------
+// Live-ingest experiment: a batch-built deployment switches to continuous
+// replication folding while concurrent dashboard clients keep querying it.
+// The figure certifies the three acceptance properties of the live subsystem:
+// ingest lag (emission to query visibility) stays bounded, query throughput
+// under sustained epoch swaps stays close to the no-ingest baseline, and no
+// client ever observes a torn read or a counter moving backwards.
+
+// LiveReport is the figure's output.
+type LiveReport struct {
+	HistoryDays  int           `json:"history_days"`
+	LiveDays     int           `json:"live_days"`
+	ChunksPerDay int           `json:"chunks_per_day"`
+	Interval     time.Duration `json:"interval_ns"`
+	Clients      int           `json:"clients"`
+
+	Folds      int64  `json:"folds"`
+	FinalEpoch uint64 `json:"final_epoch"`
+
+	// Ingest lag quantiles in seconds, from the pipeline's own histogram.
+	P50LagSecs float64 `json:"p50_lag_seconds"`
+	P95LagSecs float64 `json:"p95_lag_seconds"`
+
+	// Query throughput with no ingest running vs during sustained folding.
+	BaselineQPS float64 `json:"baseline_qps"`
+	LiveQPS     float64 `json:"live_qps"`
+	QPSRatio    float64 `json:"qps_ratio"` // live / baseline
+
+	BaselineQueries int64 `json:"baseline_queries"`
+	LiveQueries     int64 `json:"live_queries"`
+
+	// Consistency violations observed by the clients; both must be zero.
+	ReadErrors         int64 `json:"read_errors"`
+	MonotoneViolations int64 `json:"monotone_violations"`
+}
+
+// liveParams sizes the run.
+type liveParams struct {
+	historyDays  int
+	liveDays     int
+	chunksPerDay int
+	interval     time.Duration
+	clients      int
+}
+
+func liveDefaults(quick bool) liveParams {
+	if quick {
+		return liveParams{historyDays: 14, liveDays: 2, chunksPerDay: 10, interval: 5 * time.Millisecond, clients: 4}
+	}
+	return liveParams{historyDays: 60, liveDays: 4, chunksPerDay: 30, interval: 150 * time.Millisecond, clients: 4}
+}
+
+// FigLive builds a deployment with batch history, measures a no-ingest query
+// baseline, then folds a paced replication stream while the same client mix
+// keeps querying. Any client-side read error or backwards-moving total fails
+// the figure.
+func FigLive(ctx context.Context, quick bool, seed int64) (*LiveReport, error) {
+	p := liveDefaults(quick)
+	dir, err := os.MkdirTemp("", "rased-live")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	// Batch history: whole-day artifacts through the classic crawl+append
+	// path, the state a nightly-built deployment starts the day with.
+	schema := cube.ScaledSchema(40, 10)
+	ix, err := tindex.Create(dir, schema, temporal.NumLevels)
+	if err != nil {
+		return nil, err
+	}
+	defer ix.Close()
+	histCfg := osmgen.DefaultConfig()
+	histCfg.Seed = seed
+	histCfg.UpdatesPerDay = 150
+	gen := osmgen.New(histCfg)
+	ing := core.NewIngestor(ix)
+	csIdx := crawl.ChangesetIndex{}
+	reg := geo.Default()
+	for i := 0; i < p.historyDays; i++ {
+		art := gen.NextDay()
+		csIdx.Add(art.Changesets)
+		recs, _, err := crawl.Daily(art.Change, csIdx, reg)
+		if err != nil {
+			return nil, err
+		}
+		kept := recs[:0]
+		for _, r := range recs {
+			if int(r.Country) < len(schema.Countries) && int(r.RoadType) < len(schema.RoadTypes) {
+				kept = append(kept, r)
+			}
+		}
+		if err := ing.AppendDay(art.Day, kept); err != nil {
+			return nil, err
+		}
+	}
+	if err := ix.Sync(); err != nil {
+		return nil, err
+	}
+
+	// The sharded cache is the live-serving configuration: its entries carry
+	// epoch stamps, so a republished period is re-cacheable the moment the
+	// new epoch lands (the preload cache can only refuse stale hits).
+	eng, err := core.NewEngine(ix, core.Options{
+		CacheSlots:        256,
+		CachePolicy:       "sharded",
+		LevelOptimization: true,
+		Singleflight:      true,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	lo, hi, _ := ix.Coverage()
+	rep := &LiveReport{
+		HistoryDays: p.historyDays, LiveDays: p.liveDays,
+		ChunksPerDay: p.chunksPerDay, Interval: p.interval, Clients: p.clients,
+	}
+
+	// The live stream continues the day sequence where batch history ends.
+	liveCfg := histCfg
+	liveCfg.Seed = seed + 1
+	liveCfg.Start = hi + 1
+	chunks := p.liveDays * p.chunksPerDay
+	liveDur := time.Duration(chunks) * p.interval
+
+	// Phase 1: fold the paced stream while the clients run. The pipeline
+	// goroutine owns the index's write side; clients only read.
+	pipe := live.NewPipeline(ix, live.Config{
+		MaxCountry: len(schema.Countries),
+		MaxRoad:    len(schema.RoadTypes),
+		Engine:     eng,
+	})
+	src := live.NewSimSource(osmgen.NewDiffStream(liveCfg, p.chunksPerDay), p.interval, chunks)
+	done := make(chan error, 1)
+	go func() { done <- pipe.Run(ctx, src) }()
+	liveRes, err := runLiveClients(ctx, eng, lo, hi+temporal.Day(p.liveDays), p.clients, seed+17, done, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := <-liveRes.pipeErr; err != nil {
+		return nil, fmt.Errorf("benchx: live pipeline: %w", err)
+	}
+	rep.LiveQueries = liveRes.queries
+	rep.LiveQPS = liveRes.qps
+	rep.ReadErrors = liveRes.readErrors
+	rep.MonotoneViolations = liveRes.monotone
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Phase 2: no-ingest baseline over the same deployment with the stream
+	// quiesced — identical data and engine configuration, no concurrent
+	// folding — for the same wall time, so the ratio isolates what sustained
+	// epoch publication costs the read side.
+	base, err := runLiveClients(ctx, eng, lo, hi+temporal.Day(p.liveDays), p.clients, seed, nil, liveDur)
+	if err != nil {
+		return nil, err
+	}
+	rep.BaselineQueries = base.queries
+	rep.BaselineQPS = base.qps
+	if rep.BaselineQPS > 0 {
+		rep.QPSRatio = rep.LiveQPS / rep.BaselineQPS
+	}
+
+	st := pipe.Status()
+	rep.Folds = st.Folds
+	rep.FinalEpoch = st.Epoch
+	lag := pipe.Metrics().IngestLag.Snapshot()
+	rep.P50LagSecs = lag.Quantile(0.50)
+	rep.P95LagSecs = lag.Quantile(0.95)
+
+	if rep.ReadErrors != 0 || rep.MonotoneViolations != 0 {
+		return rep, fmt.Errorf("benchx: live run violated the consistency contract: %d read errors, %d monotone violations",
+			rep.ReadErrors, rep.MonotoneViolations)
+	}
+	if want := int64(chunks); rep.Folds != want {
+		return rep, fmt.Errorf("benchx: live run folded %d chunks, want %d", rep.Folds, want)
+	}
+	return rep, nil
+}
+
+// liveClientResult aggregates one query phase.
+type liveClientResult struct {
+	queries    int64
+	qps        float64
+	readErrors int64
+	monotone   int64
+	pipeErr    chan error // the drained pipeline channel (live phase only)
+}
+
+// runLiveClients drives `clients` query goroutines until either the pipeline
+// signals completion (pipeDone != nil) or the fixed duration elapses. Each
+// client mixes recency-skewed single-cell queries with an unfiltered hot
+// query spanning the live range, whose total must never move backwards —
+// epochs are copy-on-write supersets, so a shrink is a torn or stale read.
+func runLiveClients(ctx context.Context, eng *core.Engine, lo, hiPlus temporal.Day, clients int, seed int64, pipeDone chan error, dur time.Duration) (*liveClientResult, error) {
+	var stop atomic.Bool
+	res := &liveClientResult{pipeErr: make(chan error, 1)}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(c)*7919))
+			var lastTotal uint64
+			for !stop.Load() {
+				var q core.Query
+				if rng.Intn(4) == 0 {
+					// Hot query: everything, including the day being folded.
+					q = core.Query{From: lo, To: hiPlus}
+				} else {
+					span := temporal.Day(1 + rng.Intn(90))
+					qhi := hiPlus - temporal.Day(rng.Intn(30))
+					q = core.Query{From: qhi - span, To: qhi}
+				}
+				r, err := eng.AnalyzeContext(ctx, q)
+				if err != nil {
+					atomic.AddInt64(&res.readErrors, 1)
+					continue
+				}
+				if q.From == lo && q.To == hiPlus {
+					if r.Total < lastTotal {
+						atomic.AddInt64(&res.monotone, 1)
+					} else {
+						lastTotal = r.Total
+					}
+				}
+				atomic.AddInt64(&res.queries, 1)
+			}
+		}(c)
+	}
+
+	if pipeDone != nil {
+		select {
+		case err := <-pipeDone:
+			res.pipeErr <- err
+		case <-ctx.Done():
+			res.pipeErr <- ctx.Err()
+		}
+	} else {
+		select {
+		case <-time.After(dur):
+			res.pipeErr <- nil
+		case <-ctx.Done():
+			res.pipeErr <- ctx.Err()
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if s := time.Since(start).Seconds(); s > 0 {
+		res.qps = float64(res.queries) / s
+	}
+	return res, nil
+}
+
+// WriteLiveJSON writes the figure as pretty-printed JSON.
+func WriteLiveJSON(path string, rep *LiveReport) error {
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchx: marshal live figure: %w", err)
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		return fmt.Errorf("benchx: write live figure: %w", err)
+	}
+	return nil
+}
+
+// PrintFigLive renders the run.
+func PrintFigLive(w io.Writer, rep *LiveReport) {
+	fmt.Fprintln(w, "Live ingest: epoch publication under concurrent dashboard load")
+	fmt.Fprintf(w, "  history %d days, live %d days x %d chunks at %v cadence, %d clients\n",
+		rep.HistoryDays, rep.LiveDays, rep.ChunksPerDay, rep.Interval, rep.Clients)
+	fmt.Fprintf(w, "  folds: %d (final epoch %d)\n", rep.Folds, rep.FinalEpoch)
+	fmt.Fprintf(w, "  ingest lag: p50 %.1fms, p95 %.1fms\n", 1000*rep.P50LagSecs, 1000*rep.P95LagSecs)
+	fmt.Fprintf(w, "  query throughput: %.0f qps live vs %.0f qps baseline (ratio %.2f)\n",
+		rep.LiveQPS, rep.BaselineQPS, rep.QPSRatio)
+	fmt.Fprintf(w, "  consistency: %d read errors, %d monotone violations\n",
+		rep.ReadErrors, rep.MonotoneViolations)
+}

@@ -1,0 +1,152 @@
+package cache
+
+// Epoch-aware variants of the demand-cache operations, used by live-ingest
+// deployments. The index republishes a period's cube under a new epoch each
+// time a fold lands; a cached reader decoded from the superseded page is
+// still internally consistent (pages are immutable) but stale. Callers stamp
+// each insert with the index epoch current when the page was read, and query
+// paths demand a minimum epoch for live-updated periods, turning staleness
+// into an ordinary cache miss.
+//
+// The stamp is a lower bound on content freshness: an entry stamped E holds
+// content from epoch >= E, so a conservative (low) stamp can only cause an
+// unnecessary refetch, never a stale read. The plain Put/PutCold/Get methods
+// delegate here with epoch 0, which preserves batch-mode behavior exactly.
+
+import (
+	"rased/internal/cube"
+	"rased/internal/temporal"
+)
+
+// GetAtLeast returns the cached cube for p if its stamp is at least minEpoch,
+// marking it most recently used. An entry below minEpoch counts as a miss but
+// is left in place: the caller's refetch overwrites it with fresher content.
+func (l *LRU) GetAtLeast(p temporal.Period, minEpoch uint64) (cube.Reader, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	el, ok := l.entries[p]
+	if !ok || el.Value.(*lruEntry).epoch < minEpoch {
+		l.met.Misses[p.Level].Inc()
+		return nil, false
+	}
+	l.met.Hits[p.Level].Inc()
+	l.order.MoveToFront(el)
+	return el.Value.(*lruEntry).cb, true
+}
+
+// PutEpoch is Put with a freshness stamp. An existing entry with a newer
+// stamp is promoted but not overwritten — replacing fresher content with an
+// older read would reintroduce the staleness GetAtLeast exists to prevent.
+func (l *LRU) PutEpoch(p temporal.Period, cb cube.Reader, epoch uint64) {
+	if l.capacity == 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if el, ok := l.entries[p]; ok {
+		e := el.Value.(*lruEntry)
+		if epoch >= e.epoch {
+			e.cb, e.epoch = cb, epoch
+		}
+		l.order.MoveToFront(el)
+		return
+	}
+	l.entries[p] = l.order.PushFront(&lruEntry{p: p, cb: cb, epoch: epoch})
+	l.evictOverflow()
+}
+
+// PutColdEpoch is PutCold with a freshness stamp (see PutEpoch).
+func (l *LRU) PutColdEpoch(p temporal.Period, cb cube.Reader, epoch uint64) {
+	if l.capacity == 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if el, ok := l.entries[p]; ok {
+		e := el.Value.(*lruEntry)
+		if epoch >= e.epoch {
+			e.cb, e.epoch = cb, epoch
+		}
+		return
+	}
+	l.entries[p] = insertCold(l.order, l.capacity, &lruEntry{p: p, cb: cb, epoch: epoch})
+	l.evictOverflow()
+}
+
+// evictOverflow drops least-recently-used entries beyond capacity. Callers
+// hold l.mu.
+func (l *LRU) evictOverflow() {
+	for l.order.Len() > l.capacity {
+		victim := l.order.Back()
+		l.order.Remove(victim)
+		vp := victim.Value.(*lruEntry).p
+		delete(l.entries, vp)
+		l.met.Evictions[vp.Level].Inc()
+	}
+}
+
+// GetAtLeast returns the cached cube for p if its stamp is at least minEpoch
+// (see LRU.GetAtLeast).
+func (s *Sharded) GetAtLeast(p temporal.Period, minEpoch uint64) (cube.Reader, bool) {
+	sh := s.groups[p.Level].shardFor(p.Index)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.entries[p.Index]
+	if !ok || el.Value.(*lruEntry).epoch < minEpoch {
+		sh.misses++
+		return nil, false
+	}
+	sh.hits++
+	sh.order.MoveToFront(el)
+	return el.Value.(*lruEntry).cb, true
+}
+
+// PutEpoch is Put with a freshness stamp (see LRU.PutEpoch).
+func (s *Sharded) PutEpoch(p temporal.Period, cb cube.Reader, epoch uint64) {
+	sh := s.groups[p.Level].shardFor(p.Index)
+	if sh.capacity == 0 {
+		return
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.entries[p.Index]; ok {
+		e := el.Value.(*lruEntry)
+		if epoch >= e.epoch {
+			e.cb, e.epoch = cb, epoch
+		}
+		sh.order.MoveToFront(el)
+		return
+	}
+	sh.entries[p.Index] = sh.order.PushFront(&lruEntry{p: p, cb: cb, epoch: epoch})
+	sh.evictOverflow()
+}
+
+// PutColdEpoch is PutCold with a freshness stamp (see LRU.PutEpoch).
+func (s *Sharded) PutColdEpoch(p temporal.Period, cb cube.Reader, epoch uint64) {
+	sh := s.groups[p.Level].shardFor(p.Index)
+	if sh.capacity == 0 {
+		return
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.entries[p.Index]; ok {
+		e := el.Value.(*lruEntry)
+		if epoch >= e.epoch {
+			e.cb, e.epoch = cb, epoch
+		}
+		return
+	}
+	sh.entries[p.Index] = insertCold(sh.order, sh.capacity, &lruEntry{p: p, cb: cb, epoch: epoch})
+	sh.evictOverflow()
+}
+
+// evictOverflow drops least-recently-used entries beyond the shard's
+// capacity. Callers hold sh.mu.
+func (sh *shard) evictOverflow() {
+	for sh.order.Len() > sh.capacity {
+		victim := sh.order.Back()
+		sh.order.Remove(victim)
+		delete(sh.entries, victim.Value.(*lruEntry).p.Index)
+		sh.evictions++
+	}
+}

@@ -27,6 +27,11 @@ type LRU struct {
 type lruEntry struct {
 	p  temporal.Period
 	cb cube.Reader
+	// epoch is the index epoch the cached content is known to be at least as
+	// fresh as (0 for batch deployments, where cubes never change in place).
+	// Live ingest republishes periods under new epochs; GetAtLeast treats an
+	// entry below the required epoch as a miss so a refetch replaces it.
+	epoch uint64
 }
 
 // NewLRU returns an empty LRU cache holding up to n cubes.
@@ -72,26 +77,7 @@ func (l *LRU) Get(p temporal.Period) (cube.Reader, bool) {
 
 // Put inserts a cube for p, evicting the least recently used entry when full.
 // A zero-capacity LRU stores nothing.
-func (l *LRU) Put(p temporal.Period, cb cube.Reader) {
-	if l.capacity == 0 {
-		return
-	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if el, ok := l.entries[p]; ok {
-		el.Value.(*lruEntry).cb = cb
-		l.order.MoveToFront(el)
-		return
-	}
-	l.entries[p] = l.order.PushFront(&lruEntry{p: p, cb: cb})
-	for l.order.Len() > l.capacity {
-		victim := l.order.Back()
-		l.order.Remove(victim)
-		vp := victim.Value.(*lruEntry).p
-		delete(l.entries, vp)
-		l.met.Evictions[vp.Level].Inc()
-	}
-}
+func (l *LRU) Put(p temporal.Period, cb cube.Reader) { l.PutEpoch(p, cb, 0) }
 
 // PutCold inserts a cube at the cache's cold end — a quarter of the capacity
 // up from the eviction point (InnoDB's midpoint insertion). Cubes pulled in by
@@ -99,25 +85,7 @@ func (l *LRU) Put(p temporal.Period, cb cube.Reader) {
 // instead of displacing the hot working set, while a page the workload
 // actually revisits is promoted to the hot end by its next Get. An entry that
 // is already cached is refreshed in place without promotion.
-func (l *LRU) PutCold(p temporal.Period, cb cube.Reader) {
-	if l.capacity == 0 {
-		return
-	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if el, ok := l.entries[p]; ok {
-		el.Value.(*lruEntry).cb = cb
-		return
-	}
-	l.entries[p] = insertCold(l.order, l.capacity, &lruEntry{p: p, cb: cb})
-	for l.order.Len() > l.capacity {
-		victim := l.order.Back()
-		l.order.Remove(victim)
-		vp := victim.Value.(*lruEntry).p
-		delete(l.entries, vp)
-		l.met.Evictions[vp.Level].Inc()
-	}
-}
+func (l *LRU) PutCold(p temporal.Period, cb cube.Reader) { l.PutColdEpoch(p, cb, 0) }
 
 // insertCold places e a quarter of the capacity up from the back of order,
 // walking at most capacity/4 links. A list shorter than that is all cold:

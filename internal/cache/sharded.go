@@ -157,49 +157,12 @@ func (s *Sharded) Get(p temporal.Period) (cube.Reader, bool) {
 // at capacity. Evicted readers are simply dropped: pooled cubes donated to
 // the cache are owned by it and fall to the garbage collector (see DESIGN.md,
 // "Hot-path memory model"). Levels with a zero budget store nothing.
-func (s *Sharded) Put(p temporal.Period, cb cube.Reader) {
-	sh := s.groups[p.Level].shardFor(p.Index)
-	if sh.capacity == 0 {
-		return
-	}
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if el, ok := sh.entries[p.Index]; ok {
-		el.Value.(*lruEntry).cb = cb
-		sh.order.MoveToFront(el)
-		return
-	}
-	sh.entries[p.Index] = sh.order.PushFront(&lruEntry{p: p, cb: cb})
-	for sh.order.Len() > sh.capacity {
-		victim := sh.order.Back()
-		sh.order.Remove(victim)
-		delete(sh.entries, victim.Value.(*lruEntry).p.Index)
-		sh.evictions++
-	}
-}
+func (s *Sharded) Put(p temporal.Period, cb cube.Reader) { s.PutEpoch(p, cb, 0) }
 
 // PutCold inserts a cube at its shard's cold end — midpoint insertion, see
 // LRU.PutCold. Bulk run reads admit scanned cubes through here so they evict
 // each other rather than the shard's hot working set.
-func (s *Sharded) PutCold(p temporal.Period, cb cube.Reader) {
-	sh := s.groups[p.Level].shardFor(p.Index)
-	if sh.capacity == 0 {
-		return
-	}
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if el, ok := sh.entries[p.Index]; ok {
-		el.Value.(*lruEntry).cb = cb
-		return
-	}
-	sh.entries[p.Index] = insertCold(sh.order, sh.capacity, &lruEntry{p: p, cb: cb})
-	for sh.order.Len() > sh.capacity {
-		victim := sh.order.Back()
-		sh.order.Remove(victim)
-		delete(sh.entries, victim.Value.(*lruEntry).p.Index)
-		sh.evictions++
-	}
-}
+func (s *Sharded) PutCold(p temporal.Period, cb cube.Reader) { s.PutColdEpoch(p, cb, 0) }
 
 // Contains reports residency without touching the counters or recency order
 // (the level optimizer uses this to cost plans).

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rased/internal/cache"
@@ -101,8 +102,11 @@ func DefaultOptions() Options {
 // cache; *cache.LRU and *cache.Sharded both satisfy it.
 type demandCache interface {
 	Get(p temporal.Period) (cube.Reader, bool)
+	GetAtLeast(p temporal.Period, minEpoch uint64) (cube.Reader, bool)
 	Put(p temporal.Period, cb cube.Reader)
+	PutEpoch(p temporal.Period, cb cube.Reader, epoch uint64)
 	PutCold(p temporal.Period, cb cube.Reader)
+	PutColdEpoch(p temporal.Period, cb cube.Reader, epoch uint64)
 	Contains(p temporal.Period) bool
 	Stats() cache.Stats
 	ResetStats()
@@ -124,6 +128,13 @@ type Engine struct {
 
 	mu        sync.RWMutex
 	snapshots []sizeSnapshot // network sizes over time, sorted by AsOf
+
+	// Live-ingest freshness state (see live.go). liveOn gates the per-probe
+	// map lookup so batch deployments pay one atomic load; liveReq maps each
+	// live-updated period to the minimum epoch a cache hit must carry.
+	liveOn  atomic.Bool
+	liveMu  sync.RWMutex
+	liveReq map[temporal.Period]uint64
 }
 
 // sizeSnapshot is the per-country road-network size as of one day; the
@@ -232,30 +243,42 @@ func (e *Engine) CacheStats() (cache.Stats, bool) {
 	return cache.Stats{}, false
 }
 
-// cacheGet probes the active cache, counting a hit or miss.
+// cacheGet probes the active cache, counting a hit or miss. For a period the
+// live pipeline has republished, a demand-cache hit must be at least as fresh
+// as the required epoch; a preload hit is refused outright (the preload cache
+// is read-only at query time, so it can never be refreshed — MarkLiveUpdate
+// already invalidated the entry, this guards the refill-free window).
 func (e *Engine) cacheGet(p temporal.Period) (cube.Reader, bool) {
+	req := e.requiredEpoch(p)
 	if e.cache != nil {
+		if req > 0 {
+			return nil, false
+		}
 		return e.cache.Get(p)
 	}
 	if e.demand != nil {
+		if req > 0 {
+			return e.demand.GetAtLeast(p, req)
+		}
 		return e.demand.Get(p)
 	}
 	return nil, false
 }
 
-// cachePut fills the demand cache; preload caches are read-only at query
-// time, so this is a no-op under the preload policy.
-func (e *Engine) cachePut(p temporal.Period, rd cube.Reader) {
+// cachePut fills the demand cache, stamping the entry with the index epoch
+// the content is known to be at least as fresh as; preload caches are
+// read-only at query time, so this is a no-op under the preload policy.
+func (e *Engine) cachePut(p temporal.Period, rd cube.Reader, epoch uint64) {
 	if e.demand != nil {
-		e.demand.Put(p, rd)
+		e.demand.PutEpoch(p, rd, epoch)
 	}
 }
 
 // cachePutCold admits a run-fetched cube at the demand cache's cold end:
 // scanned pages must not displace the hot working set (see LRU.PutCold).
-func (e *Engine) cachePutCold(p temporal.Period, rd cube.Reader) {
+func (e *Engine) cachePutCold(p temporal.Period, rd cube.Reader, epoch uint64) {
 	if e.demand != nil {
-		e.demand.PutCold(p, rd)
+		e.demand.PutColdEpoch(p, rd, epoch)
 	}
 }
 
@@ -697,6 +720,12 @@ func (e *Engine) fetchMiss(ctx context.Context, p temporal.Period) (fetchedCube,
 		return fetchedCube{rd: rd}, err
 	}
 	key := strconv.Itoa(int(p.Level)) + "/" + strconv.Itoa(p.Index)
+	if req := e.requiredEpoch(p); req > 0 {
+		// A flight started before a publish would hand all waiters the
+		// pre-publish content; keying by the required epoch keeps a reader
+		// that already demands fresher data off the stale flight.
+		key += "@" + strconv.FormatUint(req, 10)
+	}
 	lctx := context.WithoutCancel(ctx)
 	v, shared, err := e.flight.Do(key, func() (any, error) {
 		return e.fetchDisk(lctx, p)
@@ -713,19 +742,23 @@ func (e *Engine) fetchMiss(ctx context.Context, p temporal.Period) (fetchedCube,
 // returned to the pool (the donation model — see DESIGN.md, "Hot-path memory
 // model").
 func (e *Engine) fetchDisk(ctx context.Context, p temporal.Period) (cube.Reader, error) {
+	// The epoch stamp is loaded before the page read: the content read is at
+	// least as fresh as the directory was at this point, so the stamp is a
+	// valid lower bound (a conservative stamp only costs a refetch).
+	ep := e.ix.Epoch()
 	if e.opts.PooledDecode {
 		cb, err := e.ix.FetchPooledCtx(ctx, p)
 		if err != nil {
 			return nil, err
 		}
-		e.cachePut(p, cb)
+		e.cachePut(p, cb, ep)
 		return cb, nil
 	}
 	rd, err := e.ix.FetchViewCtx(ctx, p)
 	if err != nil {
 		return nil, err
 	}
-	e.cachePut(p, rd)
+	e.cachePut(p, rd, ep)
 	return rd, nil
 }
 
@@ -788,6 +821,23 @@ func (e *Engine) fetchCoalesced(ctx context.Context, periods []temporal.Period, 
 			}
 			return nil
 		}
+		if errors.Is(err, tindex.ErrNotAdjacent) {
+			// A live publish moved a republished period to a fresh page
+			// between the PageOf probe and the coalesced read. Per-period
+			// fetches see a consistent directory; retry the run that way.
+			for _, m := range run {
+				fc, ferr := e.fetchMiss(ctx, periods[m.i])
+				if ferr != nil {
+					if failed != nil && fallbackEligible(ferr) {
+						failed[m.i] = ferr
+						continue
+					}
+					return ferr
+				}
+				fetched[m.i] = fc
+			}
+			return nil
+		}
 		if failed == nil || !fallbackEligible(err) {
 			return err
 		}
@@ -822,6 +872,7 @@ func (e *Engine) fetchCoalesced(ctx context.Context, periods []temporal.Period, 
 // exactly as in the singleton miss path.
 func (e *Engine) fetchRun(ctx context.Context, ps []temporal.Period) ([]cube.Reader, bool, error) {
 	fetch := func(ctx context.Context) ([]cube.Reader, error) {
+		ep := e.ix.Epoch() // pre-read lower bound, as in fetchDisk
 		if e.opts.PooledDecode {
 			cubes, err := e.ix.FetchRunPooledCtx(ctx, ps)
 			if err != nil {
@@ -829,7 +880,7 @@ func (e *Engine) fetchRun(ctx context.Context, ps []temporal.Period) ([]cube.Rea
 			}
 			rds := make([]cube.Reader, len(cubes))
 			for i, cb := range cubes {
-				e.cachePutCold(ps[i], cb)
+				e.cachePutCold(ps[i], cb, ep)
 				rds[i] = cb
 			}
 			return rds, nil
@@ -839,7 +890,7 @@ func (e *Engine) fetchRun(ctx context.Context, ps []temporal.Period) ([]cube.Rea
 			return nil, err
 		}
 		for i, v := range views {
-			e.cachePutCold(ps[i], v)
+			e.cachePutCold(ps[i], v, ep)
 		}
 		return views, nil
 	}
@@ -851,6 +902,17 @@ func (e *Engine) fetchRun(ctx context.Context, ps []temporal.Period) ([]cube.Rea
 		return strconv.Itoa(int(p.Level)) + "/" + strconv.Itoa(p.Index)
 	}
 	key := "run:" + pk(ps[0]) + "-" + pk(ps[len(ps)-1])
+	if e.liveOn.Load() {
+		var req uint64
+		for _, p := range ps {
+			if r := e.requiredEpoch(p); r > req {
+				req = r
+			}
+		}
+		if req > 0 {
+			key += "@" + strconv.FormatUint(req, 10)
+		}
+	}
 	lctx := context.WithoutCancel(ctx)
 	v, shared, err := e.flight.Do(key, func() (any, error) {
 		return fetch(lctx)

@@ -1,0 +1,54 @@
+package core
+
+// Live-ingest freshness tracking. The live pipeline republishes the current
+// day's cube (and, at day close, its enclosing rollups) under a new index
+// epoch many times a minute. Cached readers decoded from superseded pages are
+// internally consistent but stale; this file is how the pipeline tells the
+// engine which periods moved and how fresh a cache hit must be to serve them.
+//
+// The map holds only live-updated periods — historical periods are immutable
+// and never appear — so the common probe is one atomic load plus, for live
+// deployments, one RLock'd lookup.
+
+import (
+	"rased/internal/temporal"
+)
+
+// MarkLiveUpdate records that the given periods were republished at epoch.
+// Demand-cache hits for them must now carry a stamp >= epoch; preload-cache
+// entries are invalidated outright (the preload cache cannot be refilled at
+// query time). Required epochs only ratchet upward, so delivery order does
+// not matter. The live pipeline calls this after every PublishEpoch.
+func (e *Engine) MarkLiveUpdate(epoch uint64, ps ...temporal.Period) {
+	if epoch == 0 || len(ps) == 0 {
+		return
+	}
+	e.liveMu.Lock()
+	if e.liveReq == nil {
+		e.liveReq = make(map[temporal.Period]uint64)
+	}
+	for _, p := range ps {
+		if e.liveReq[p] < epoch {
+			e.liveReq[p] = epoch
+		}
+	}
+	e.liveMu.Unlock()
+	e.liveOn.Store(true)
+	if e.cache != nil {
+		for _, p := range ps {
+			e.cache.Invalidate(p)
+		}
+	}
+}
+
+// requiredEpoch returns the minimum epoch a cached cube for p must carry, or
+// 0 when p has never been live-updated.
+func (e *Engine) requiredEpoch(p temporal.Period) uint64 {
+	if !e.liveOn.Load() {
+		return 0
+	}
+	e.liveMu.RLock()
+	req := e.liveReq[p]
+	e.liveMu.RUnlock()
+	return req
+}

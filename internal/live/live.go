@@ -1,0 +1,393 @@
+// Package live is the continuous ingest subsystem: it consumes sub-daily
+// OsmChange replication diffs, classifies them through the same crawl path as
+// batch ingest, folds the records into the current day's 4-D cube, and
+// publishes each fold to the serving index as a new copy-on-write epoch
+// (tindex.PublishEpoch), so a running dashboard's counters move within
+// seconds of an edit instead of waiting for the next batch rebuild.
+//
+// Ownership and immutability rules (see DESIGN.md §10):
+//
+//   - The pipeline is the index's only writer while live mode is on. The
+//     current day's accumulating cube (cur) is private to the pipeline;
+//     readers only ever see the immutable snapshots published as epochs.
+//   - Every publish goes through PublishEpoch: the fold never writes a page
+//     the directory references. Closing rollups (week/month/year containing
+//     "today") are derived on the fold path and published in the same epoch
+//     as the day's final fold, so readers never see a parent that disagrees
+//     with its children.
+//   - A checkpoint (Index.Sync) every CheckpointEvery folds and at each day
+//     close bounds replay loss: a crash mid-fold recovers to the last durable
+//     epoch exactly (the pages a synced meta references are never recycled).
+package live
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"rased/internal/core"
+	"rased/internal/crawl"
+	"rased/internal/cube"
+	"rased/internal/geo"
+	"rased/internal/obs"
+	"rased/internal/osm"
+	"rased/internal/osmgen"
+	"rased/internal/osmxml"
+	"rased/internal/temporal"
+	"rased/internal/tindex"
+	"rased/internal/update"
+)
+
+// Chunk is one replication unit entering the pipeline. Emitted is when the
+// source produced it; ingest lag is measured from Emitted to the moment the
+// chunk's epoch is published and visible to queries.
+type Chunk struct {
+	Day        temporal.Day
+	Seq        int
+	Of         int
+	Last       bool
+	Change     *osmxml.Change
+	Changesets []osm.Changeset
+	Emitted    time.Time
+}
+
+// Source yields replication chunks in order. Next blocks until the next
+// chunk is due (honoring ctx) and returns io.EOF when the stream ends.
+type Source interface {
+	Next(ctx context.Context) (*Chunk, error)
+}
+
+// SimSource adapts the deterministic osmgen diff stream into a paced Source:
+// one chunk per Interval, stamped at emission, up to Limit chunks (0 =
+// unbounded). It simulates polling a replication endpoint.
+type SimSource struct {
+	stream   *osmgen.DiffStream
+	interval time.Duration
+	limit    int
+	emitted  int
+}
+
+// NewSimSource returns a source emitting one chunk of stream every interval.
+func NewSimSource(stream *osmgen.DiffStream, interval time.Duration, limit int) *SimSource {
+	return &SimSource{stream: stream, interval: interval, limit: limit}
+}
+
+// Next waits out the cadence and emits the next chunk.
+func (s *SimSource) Next(ctx context.Context) (*Chunk, error) {
+	if s.limit > 0 && s.emitted >= s.limit {
+		return nil, io.EOF
+	}
+	if s.interval > 0 {
+		t := time.NewTimer(s.interval)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		}
+	}
+	d := s.stream.Next()
+	s.emitted++
+	return &Chunk{
+		Day:        d.Day,
+		Seq:        d.Seq,
+		Of:         d.Of,
+		Last:       d.Last,
+		Change:     d.Change,
+		Changesets: d.Changesets,
+		Emitted:    time.Now(),
+	}, nil
+}
+
+// Metrics are the pipeline's observability instruments.
+type Metrics struct {
+	Epoch     *obs.GaugeFunc
+	Folds     *obs.Counter
+	IngestLag *obs.Histogram
+}
+
+// All returns the instruments for registry wiring.
+func (m *Metrics) All() []obs.Metric {
+	return []obs.Metric{m.Epoch, m.Folds, m.IngestLag}
+}
+
+// lagBounds cover the interesting range: sub-10ms folds on an idle box up to
+// the 5 s acceptance ceiling and beyond.
+var lagBounds = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// Config parameterizes a Pipeline.
+type Config struct {
+	// MaxCountry and MaxRoad bound the records admitted to the cube schema,
+	// exactly as batch ingest's schema filter does.
+	MaxCountry, MaxRoad int
+	// CheckpointEvery syncs the index every N folds (day closes always
+	// sync). 0 means the default of 16.
+	CheckpointEvery int
+	// Engine, when set, is told which periods each epoch republished so its
+	// caches refuse stale hits. Nil is allowed (index-only tests).
+	Engine *core.Engine
+}
+
+// Status is a point-in-time snapshot of the pipeline, served by /healthz.
+type Status struct {
+	Epoch   uint64  `json:"epoch"`
+	Day     string  `json:"day,omitempty"` // day currently being folded
+	Folds   int64   `json:"folds"`
+	LagSecs float64 `json:"last_lag_seconds"`
+}
+
+// Pipeline folds replication chunks into a live index. Run drives it; all
+// exported methods are safe to call concurrently with Run.
+type Pipeline struct {
+	ix    *tindex.Index
+	ing   *core.Ingestor
+	cfg   Config
+	met   *Metrics
+	csIdx crawl.ChangesetIndex
+	reg   *geo.Registry
+
+	cur       *cube.Cube   // accumulating cube for day; private to the fold path
+	day       temporal.Day // day cur covers (valid when cur != nil)
+	sinceCkpt int
+
+	mu     sync.Mutex
+	status Status
+}
+
+// NewPipeline wires a pipeline over a live index. EnableLive is switched on
+// here: from this point the index pins epochs around reads and PublishEpoch
+// may recycle retired pages.
+func NewPipeline(ix *tindex.Index, cfg Config) *Pipeline {
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 16
+	}
+	ix.EnableLive()
+	p := &Pipeline{
+		ix:    ix,
+		ing:   core.NewIngestor(ix),
+		cfg:   cfg,
+		csIdx: crawl.ChangesetIndex{},
+		reg:   geo.Default(),
+	}
+	p.met = &Metrics{
+		Epoch:     obs.NewGaugeFunc("rased_live_epoch", "Currently published live-ingest epoch.", func() float64 { return float64(ix.Epoch()) }),
+		Folds:     obs.NewCounter("rased_live_folds_total", "Replication chunks folded into the live index."),
+		IngestLag: obs.NewHistogram("rased_live_ingest_lag_seconds", "Latency from chunk emission to its epoch being query-visible.", lagBounds),
+	}
+	return p
+}
+
+// Metrics returns the pipeline's instruments for registry wiring.
+func (p *Pipeline) Metrics() *Metrics { return p.met }
+
+// Status returns the current pipeline snapshot.
+func (p *Pipeline) Status() Status {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.status
+	s.Epoch = p.ix.Epoch()
+	return s
+}
+
+// Run consumes src until it ends (io.EOF), ctx is canceled, or a fold fails.
+// A final checkpoint runs on clean shutdown so the last published epoch is
+// durable.
+func (p *Pipeline) Run(ctx context.Context, src Source) error {
+	for {
+		c, err := src.Next(ctx)
+		if errors.Is(err, io.EOF) {
+			return p.checkpoint()
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				// Canceled: persist what was published before leaving.
+				if serr := p.checkpoint(); serr != nil {
+					return serr
+				}
+			}
+			return err
+		}
+		if err := p.FoldChunk(c); err != nil {
+			return err
+		}
+	}
+}
+
+// FoldChunk classifies one chunk, folds it into the current day's cube, and
+// publishes the result as a new epoch. On the day's last chunk the closing
+// week/month/year rollups are derived here — on the fold path, not the read
+// path — and published atomically with the final day image, followed by a
+// mandatory checkpoint.
+func (p *Pipeline) FoldChunk(c *Chunk) error {
+	if p.cur != nil && c.Day != p.day {
+		return fmt.Errorf("live: chunk for %v arrived while folding %v", c.Day, p.day)
+	}
+	if p.cur == nil {
+		if err := p.ix.Sync(); err != nil { // checkpoint the previous day before opening a new one
+			return err
+		}
+		p.cur = cube.New(p.ix.Schema())
+		p.day = c.Day
+	}
+	p.csIdx.Add(c.Changesets)
+	recs, _, err := crawl.Daily(c.Change, p.csIdx, p.reg)
+	if err != nil {
+		return fmt.Errorf("live: crawl day %v chunk %d: %w", c.Day, c.Seq, err)
+	}
+	recs = p.inSchema(recs)
+	chunkCube, err := p.ing.BuildDayCube(c.Day, recs)
+	if err != nil {
+		return fmt.Errorf("live: fold day %v chunk %d: %w", c.Day, c.Seq, err)
+	}
+	if err := p.cur.Merge(chunkCube); err != nil {
+		return fmt.Errorf("live: fold day %v chunk %d: %w", c.Day, c.Seq, err)
+	}
+
+	// Publish a snapshot of the accumulating cube. The published image must
+	// be private to the epoch (readers hold it after the next fold mutates
+	// cur), hence the clone.
+	updates := map[temporal.Period]*cube.Cube{temporal.DayPeriod(c.Day): p.cur.Clone()}
+	if c.Last {
+		if err := p.closingRollups(c.Day, updates); err != nil {
+			return err
+		}
+	}
+	epoch, err := p.ix.PublishEpoch(updates)
+	if err != nil {
+		return fmt.Errorf("live: publish day %v chunk %d: %w", c.Day, c.Seq, err)
+	}
+	if p.cfg.Engine != nil {
+		ps := make([]temporal.Period, 0, len(updates))
+		for up := range updates {
+			ps = append(ps, up)
+		}
+		p.cfg.Engine.MarkLiveUpdate(epoch, ps...)
+	}
+
+	// The fold is query-visible from here; everything after is bookkeeping.
+	lag := time.Since(c.Emitted)
+	p.met.Folds.Inc()
+	p.met.IngestLag.Observe(lag)
+	p.mu.Lock()
+	p.status.Day = c.Day.String()
+	p.status.Folds++
+	p.status.LagSecs = lag.Seconds()
+	p.mu.Unlock()
+
+	p.sinceCkpt++
+	if c.Last {
+		p.cur = nil
+		return p.checkpoint()
+	}
+	if p.sinceCkpt >= p.cfg.CheckpointEvery {
+		return p.checkpoint()
+	}
+	return nil
+}
+
+// closingRollups derives the week/month/year cubes closed by day d from
+// their children — prior days via index fetches, today from the in-memory
+// cube — and adds them to the publish batch. Mirrors tindex.maybeRollup's
+// coverage rule: a parent is only built when the index fully covers it.
+func (p *Pipeline) closingRollups(d temporal.Day, updates map[temporal.Period]*cube.Cube) error {
+	minDay, _, ok := p.ix.Coverage()
+	if !ok || d < minDay {
+		minDay = d
+	}
+	add := func(parent temporal.Period) error {
+		if parent.Start() < minDay {
+			return nil
+		}
+		sum := cube.New(p.ix.Schema())
+		for _, child := range parent.Children() {
+			var cb *cube.Cube
+			if child == temporal.DayPeriod(d) {
+				cb = updates[child] // today's final image, not yet on disk
+			} else if p.ix.HasCube(child) {
+				var err error
+				cb, err = p.ix.Fetch(child)
+				if err != nil {
+					return fmt.Errorf("live: rollup %v: %w", parent, err)
+				}
+			} else if child.Level == temporal.Daily {
+				return fmt.Errorf("live: rollup %v: missing child %v", parent, child)
+			} else {
+				// A mid-hierarchy child (week of a month) may be absent when
+				// the level is disabled; sum its days instead.
+				if err := sumDays(p, child, sum, d, updates); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := sum.Merge(cb); err != nil {
+				return fmt.Errorf("live: rollup %v: %w", parent, err)
+			}
+		}
+		updates[parent] = sum
+		return nil
+	}
+	if p.ix.Levels() >= 2 && temporal.IsEndOfWeek(d) {
+		if w, ok := temporal.WeekPeriod(d); ok {
+			if err := add(w); err != nil {
+				return err
+			}
+		}
+	}
+	if p.ix.Levels() >= 3 && temporal.IsEndOfMonth(d) {
+		if err := add(temporal.MonthPeriod(d)); err != nil {
+			return err
+		}
+	}
+	if p.ix.Levels() >= 4 && temporal.IsEndOfYear(d) {
+		if err := add(temporal.YearPeriod(d)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sumDays merges every day under period p into sum, taking today's image
+// from the publish batch.
+func sumDays(pl *Pipeline, p temporal.Period, sum *cube.Cube, today temporal.Day, updates map[temporal.Period]*cube.Cube) error {
+	for d := p.Start(); d <= p.End(); d++ {
+		dp := temporal.DayPeriod(d)
+		var cb *cube.Cube
+		if d == today {
+			cb = updates[dp]
+		} else {
+			var err error
+			cb, err = pl.ix.Fetch(dp)
+			if err != nil {
+				return fmt.Errorf("live: rollup %v: %w", p, err)
+			}
+		}
+		if err := sum.Merge(cb); err != nil {
+			return fmt.Errorf("live: rollup %v: %w", p, err)
+		}
+	}
+	return nil
+}
+
+// checkpoint syncs the index, making every published epoch durable.
+func (p *Pipeline) checkpoint() error {
+	p.sinceCkpt = 0
+	if err := p.ix.Sync(); err != nil {
+		return fmt.Errorf("live: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// inSchema drops records outside the cube's country/road bounds, mirroring
+// the batch pipeline's filter so live and batch ingest agree.
+func (p *Pipeline) inSchema(recs []update.Record) []update.Record {
+	out := recs[:0]
+	for _, r := range recs {
+		if int(r.Country) < p.cfg.MaxCountry && int(r.RoadType) < p.cfg.MaxRoad {
+			out = append(out, r)
+		}
+	}
+	return out
+}

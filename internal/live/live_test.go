@@ -1,0 +1,178 @@
+package live
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"rased/internal/core"
+	"rased/internal/crawl"
+	"rased/internal/cube"
+	"rased/internal/geo"
+	"rased/internal/osmgen"
+	"rased/internal/osmxml"
+	"rased/internal/temporal"
+	"rased/internal/tindex"
+)
+
+func testGenConfig() osmgen.Config {
+	cfg := osmgen.DefaultConfig()
+	cfg.Seed = 7
+	cfg.UpdatesPerDay = 150
+	cfg.SeedElements = 800
+	return cfg
+}
+
+func testSchema() *cube.Schema {
+	de, dr := 24, 8
+	_ = de
+	return cube.ScaledSchema(24, dr)
+}
+
+// buildOracle batch-ingests days whole-day artifacts the classic way and
+// returns the resulting index.
+func buildOracle(t *testing.T, dir string, days int) *tindex.Index {
+	t.Helper()
+	s := testSchema()
+	ix, err := tindex.Create(dir, s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing := core.NewIngestor(ix)
+	gen := osmgen.New(testGenConfig())
+	csIdx := crawl.ChangesetIndex{}
+	reg := geo.Default()
+	for i := 0; i < days; i++ {
+		art := gen.NextDay()
+		csIdx.Add(art.Changesets)
+		recs, _, err := crawl.Daily(art.Change, csIdx, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kept := recs[:0]
+		for _, r := range recs {
+			if int(r.Country) < len(s.Countries) && int(r.RoadType) < len(s.RoadTypes) {
+				kept = append(kept, r)
+			}
+		}
+		if err := ing.AppendDay(art.Day, kept); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ix
+}
+
+// TestFoldMatchesBatchOracle: folding a diff stream chunk by chunk must land
+// the index in exactly the state batch ingest reaches from the same world —
+// every day cube and every closed rollup equal, coverage equal. 16 days spans
+// two week closes, so the fold-path rollup derivation is exercised.
+func TestFoldMatchesBatchOracle(t *testing.T) {
+	const days, chunks = 16, 4
+	oracle := buildOracle(t, t.TempDir(), days)
+	defer oracle.Close()
+
+	s := testSchema()
+	ix, err := tindex.Create(t.TempDir(), s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	p := NewPipeline(ix, Config{MaxCountry: len(s.Countries), MaxRoad: len(s.RoadTypes), CheckpointEvery: 5})
+	src := NewSimSource(osmgen.NewDiffStream(testGenConfig(), chunks), 0, days*chunks)
+	if err := p.Run(context.Background(), src); err != nil {
+		t.Fatal(err)
+	}
+
+	lo, hi, ok := ix.Coverage()
+	olo, ohi, ook := oracle.Coverage()
+	if !ok || !ook || lo != olo || hi != ohi {
+		t.Fatalf("coverage mismatch: live [%v,%v,%v], oracle [%v,%v,%v]", lo, hi, ok, olo, ohi, ook)
+	}
+	for lvl := temporal.Daily; lvl <= temporal.Yearly; lvl++ {
+		want := oracle.Periods(lvl)
+		got := ix.Periods(lvl)
+		if len(got) != len(want) {
+			t.Fatalf("level %v: live has %d periods, oracle %d", lvl, len(got), len(want))
+		}
+		for _, per := range want {
+			a, err := ix.Fetch(per)
+			if err != nil {
+				t.Fatalf("live fetch %v: %v", per, err)
+			}
+			b, err := oracle.Fetch(per)
+			if err != nil {
+				t.Fatalf("oracle fetch %v: %v", per, err)
+			}
+			if !a.Equal(b) {
+				t.Fatalf("cube mismatch at %v: live total %d, oracle total %d", per, a.Total(), b.Total())
+			}
+		}
+	}
+	if e := ix.Epoch(); e != uint64(days*chunks) {
+		t.Fatalf("epoch = %d, want %d (one per fold)", e, days*chunks)
+	}
+}
+
+// TestFoldVisibilityAndStatus: each fold is query-visible immediately and the
+// status snapshot tracks it.
+func TestFoldVisibilityAndStatus(t *testing.T) {
+	s := testSchema()
+	ix, err := tindex.Create(t.TempDir(), s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	p := NewPipeline(ix, Config{MaxCountry: len(s.Countries), MaxRoad: len(s.RoadTypes)})
+	stream := osmgen.NewDiffStream(testGenConfig(), 3)
+
+	var prevTotal uint64
+	for i := 0; i < 6; i++ {
+		d := stream.Next()
+		err := p.FoldChunk(&Chunk{
+			Day: d.Day, Seq: d.Seq, Of: d.Of, Last: d.Last,
+			Change: d.Change, Changesets: d.Changesets, Emitted: time.Now(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cb, err := ix.Fetch(temporal.DayPeriod(d.Day))
+		if err != nil {
+			t.Fatalf("fold %d not visible: %v", i, err)
+		}
+		if d.Seq == 0 {
+			prevTotal = 0
+		}
+		if cb.Total() < prevTotal {
+			t.Fatalf("fold %d: day total shrank %d -> %d", i, prevTotal, cb.Total())
+		}
+		prevTotal = cb.Total()
+		st := p.Status()
+		if st.Folds != int64(i+1) || st.Epoch != uint64(i+1) {
+			t.Fatalf("status after fold %d: %+v", i, st)
+		}
+	}
+	if got := p.Metrics().Folds.Value(); got != 6 {
+		t.Fatalf("folds counter = %d, want 6", got)
+	}
+}
+
+// TestFoldRejectsInterleavedDays: a chunk for a different day while one is
+// open is a stream bug and must fail loudly, not corrupt the fold.
+func TestFoldRejectsInterleavedDays(t *testing.T) {
+	s := testSchema()
+	ix, err := tindex.Create(t.TempDir(), s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	p := NewPipeline(ix, Config{MaxCountry: len(s.Countries), MaxRoad: len(s.RoadTypes)})
+	stream := osmgen.NewDiffStream(testGenConfig(), 4)
+	d := stream.Next()
+	if err := p.FoldChunk(&Chunk{Day: d.Day, Seq: 0, Of: 4, Change: d.Change, Changesets: d.Changesets, Emitted: time.Now()}); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Chunk{Day: d.Day + 1, Seq: 1, Of: 4, Change: &osmxml.Change{}, Emitted: time.Now()}
+	if err := p.FoldChunk(bad); err == nil {
+		t.Fatal("interleaved-day chunk folded without error")
+	}
+}

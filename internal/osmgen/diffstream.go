@@ -1,0 +1,105 @@
+package osmgen
+
+// DiffStream slices each generated day's OsmChange file into sub-daily
+// replication diffs, the way planet.osm.org publishes minutely/hourly
+// sequences alongside the daily ones. The live-ingest pipeline consumes these
+// instead of whole-day artifacts, so the serving index can move many times a
+// day. The stream is a pure function of (Config, ChunksPerDay): items land in
+// the chunk covering their element timestamp's second of day, changesets ride
+// in the chunk of their first referencing item, and empty chunks are still
+// emitted so the replication cadence is uniform. Re-running the same seed
+// reproduces the byte-identical sequence, which is what the golden-file test
+// pins down.
+
+import (
+	"rased/internal/osm"
+	"rased/internal/osmxml"
+	"rased/internal/temporal"
+	"time"
+)
+
+// Diff is one sub-daily replication unit.
+type Diff struct {
+	Day        temporal.Day
+	Seq        int  // chunk index within the day, 0-based
+	Of         int  // chunks per day
+	Last       bool // final chunk of the day
+	Change     *osmxml.Change
+	Changesets []osm.Changeset
+}
+
+// DiffStream emits a day's worth of edits as Of consecutive diffs per day.
+// Not safe for concurrent use (it drives a Generator).
+type DiffStream struct {
+	gen    *Generator
+	chunks int
+	queue  []*Diff // remaining chunks of the current day
+}
+
+// NewDiffStream returns a stream over a fresh world built from cfg, cutting
+// each day into chunksPerDay diffs (minimum 1).
+func NewDiffStream(cfg Config, chunksPerDay int) *DiffStream {
+	if chunksPerDay < 1 {
+		chunksPerDay = 1
+	}
+	return &DiffStream{gen: New(cfg), chunks: chunksPerDay}
+}
+
+// Generator exposes the underlying world (network sizes, changeset history).
+func (s *DiffStream) Generator() *Generator { return s.gen }
+
+// Next returns the next diff in the replication sequence, generating the next
+// day on demand. The sequence is infinite; every call succeeds.
+func (s *DiffStream) Next() *Diff {
+	if len(s.queue) == 0 {
+		s.queue = s.sliceDay(s.gen.NextDay())
+	}
+	d := s.queue[0]
+	s.queue = s.queue[1:]
+	return d
+}
+
+// sliceDay cuts one day's artifacts into the per-chunk diffs.
+func (s *DiffStream) sliceDay(art *DayArtifacts) []*Diff {
+	out := make([]*Diff, s.chunks)
+	for i := range out {
+		out[i] = &Diff{
+			Day:    art.Day,
+			Seq:    i,
+			Of:     s.chunks,
+			Last:   i == s.chunks-1,
+			Change: &osmxml.Change{},
+		}
+	}
+	dayStart := art.Day.Time()
+	csChunk := make(map[int64]int, len(art.Changesets))
+	for _, it := range art.Change.Items {
+		k := s.chunkOf(dayStart, it.Element.Timestamp)
+		out[k].Change.Items = append(out[k].Change.Items, it)
+		if prev, seen := csChunk[it.Element.ChangesetID]; !seen || k < prev {
+			csChunk[it.Element.ChangesetID] = k
+		}
+	}
+	// A changeset travels with the earliest chunk holding any of its items so
+	// every chunk is self-locating: crawl's changeset-centroid fallback never
+	// needs a changeset from a later chunk. Changesets referenced by no
+	// surviving item default to chunk 0.
+	for _, cs := range art.Changesets {
+		out[csChunk[cs.ID]].Changesets = append(out[csChunk[cs.ID]].Changesets, cs)
+	}
+	return out
+}
+
+// chunkOf maps an element timestamp to its chunk by second of day, clamped so
+// a timestamp outside the day (which the generator never produces) still
+// lands in a valid chunk.
+func (s *DiffStream) chunkOf(dayStart, ts time.Time) int {
+	sec := int(ts.Sub(dayStart) / time.Second)
+	if sec < 0 {
+		sec = 0
+	}
+	if sec > 86399 {
+		sec = 86399
+	}
+	return sec * s.chunks / 86400
+}

@@ -1,0 +1,113 @@
+package osmgen
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rased/internal/osmxml"
+)
+
+// streamConfig is the fixed configuration the golden file pins down.
+func streamConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Seed = 42
+	cfg.UpdatesPerDay = 120
+	cfg.SeedElements = 600
+	return cfg
+}
+
+// renderDiff serializes one diff the way the golden file stores it.
+func renderDiff(t *testing.T, d *Diff) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "== day=%v seq=%d/%d last=%v items=%d changesets=%d\n",
+		d.Day, d.Seq, d.Of, d.Last, len(d.Change.Items), len(d.Changesets))
+	if err := osmxml.WriteChange(&buf, d.Change); err != nil {
+		t.Fatal(err)
+	}
+	if err := osmxml.WriteChangesets(&buf, d.Changesets); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestDiffStreamGolden pins the emitter's byte-exact output: live-ingest
+// tests and benches replay the same sequences, so any unintended change to
+// the generator or the slicer shows up here first. Regenerate with
+// OSMGEN_REGEN_GOLDEN=1 go test ./internal/osmgen -run DiffStreamGolden.
+func TestDiffStreamGolden(t *testing.T) {
+	s := NewDiffStream(streamConfig(), 4)
+	h := sha256.New()
+	// Two full days: exercises day-boundary chunking, not just one day.
+	for i := 0; i < 8; i++ {
+		h.Write(renderDiff(t, s.Next()))
+	}
+	got := hex.EncodeToString(h.Sum(nil))
+
+	golden := filepath.Join("testdata", "diffstream.golden")
+	if os.Getenv("OSMGEN_REGEN_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden file missing (regenerate with OSMGEN_REGEN_GOLDEN=1): %v", err)
+	}
+	if got != string(bytes.TrimSpace(want)) {
+		t.Fatalf("diff stream diverged from golden file:\n got %s\nwant %s", got, bytes.TrimSpace(want))
+	}
+}
+
+// TestDiffStreamDeterminism: two independent streams with the same seed emit
+// identical sequences.
+func TestDiffStreamDeterminism(t *testing.T) {
+	a, b := NewDiffStream(streamConfig(), 6), NewDiffStream(streamConfig(), 6)
+	for i := 0; i < 12; i++ {
+		da, db := a.Next(), b.Next()
+		if !bytes.Equal(renderDiff(t, da), renderDiff(t, db)) {
+			t.Fatalf("streams diverged at diff %d", i)
+		}
+	}
+}
+
+// TestDiffStreamPartitionsDay: the union of a day's chunks is exactly the
+// whole-day artifact — same items, same changesets — so folding chunk by
+// chunk must reach the same day cube as batch ingest.
+func TestDiffStreamPartitionsDay(t *testing.T) {
+	const chunks = 5
+	s := NewDiffStream(streamConfig(), chunks)
+	whole := New(streamConfig()) // parallel world, same seed
+	for day := 0; day < 3; day++ {
+		art := whole.NextDay()
+		items, sets := 0, 0
+		for i := 0; i < chunks; i++ {
+			d := s.Next()
+			if d.Day != art.Day {
+				t.Fatalf("chunk day %v, want %v", d.Day, art.Day)
+			}
+			if d.Seq != i || d.Of != chunks {
+				t.Fatalf("chunk seq %d/%d, want %d/%d", d.Seq, d.Of, i, chunks)
+			}
+			if d.Last != (i == chunks-1) {
+				t.Fatalf("chunk %d Last=%v", i, d.Last)
+			}
+			items += len(d.Change.Items)
+			sets += len(d.Changesets)
+		}
+		if items != len(art.Change.Items) {
+			t.Fatalf("day %v: chunks hold %d items, day artifact has %d", art.Day, items, len(art.Change.Items))
+		}
+		if sets != len(art.Changesets) {
+			t.Fatalf("day %v: chunks hold %d changesets, day artifact has %d", art.Day, sets, len(art.Changesets))
+		}
+	}
+}

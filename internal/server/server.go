@@ -49,9 +49,22 @@ type Server struct {
 	log          *slog.Logger
 	queryTimeout time.Duration // 0: bound only by the request context
 
+	liveStatus func() LiveStatus // nil: not a live deployment
+
 	cMu       sync.Mutex
 	reqCounts map[reqKey]*obs.Counter
 	routeHist map[string]*obs.Histogram
+}
+
+// LiveStatus is the live-ingest snapshot /healthz reports: the published
+// epoch, the day being folded, and how far ingest lags behind the feed. It
+// mirrors live.Pipeline's status without the server depending on that
+// package.
+type LiveStatus struct {
+	Epoch   uint64  `json:"epoch"`
+	Day     string  `json:"day,omitempty"`
+	Folds   int64   `json:"folds"`
+	LagSecs float64 `json:"last_lag_seconds"`
 }
 
 // Option configures a Server at construction.
@@ -79,6 +92,13 @@ func WithLogger(l *slog.Logger) Option {
 // request context (client disconnect, server write timeout).
 func WithQueryTimeout(d time.Duration) Option {
 	return func(s *Server) { s.queryTimeout = d }
+}
+
+// WithLiveStatus marks the deployment as live-ingesting: /healthz reports the
+// snapshot fn returns (current epoch, fold count, ingest lag) alongside the
+// coverage window.
+func WithLiveStatus(fn func() LiveStatus) Option {
+	return func(s *Server) { s.liveStatus = fn }
 }
 
 // New builds a server over a backend.
@@ -213,6 +233,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if lo, hi, ok := s.backend.Coverage(); ok {
 		resp["coverage_from"] = lo.String()
 		resp["coverage_to"] = hi.String()
+	}
+	if s.liveStatus != nil {
+		resp["live"] = s.liveStatus()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

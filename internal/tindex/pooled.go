@@ -2,11 +2,19 @@ package tindex
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"rased/internal/cube"
 	"rased/internal/temporal"
 )
+
+// ErrNotAdjacent reports a period run whose pages are not (or no longer)
+// consecutive on disk. Under live ingest this is an expected transient: a
+// publish between the caller's PageOf probe and the coalesced read moves the
+// republished period to a fresh page, breaking the run. Callers should fall
+// back to per-period fetches, which always see a consistent directory.
+var ErrNotAdjacent = errors.New("periods are not page-adjacent")
 
 // This file holds the pooled and coalesced fetch paths. Both exist to cut
 // per-miss allocation and per-page I/O on the query hot path:
@@ -28,6 +36,7 @@ import (
 // (one page I/O, no per-miss allocation in steady state). The caller owns the
 // returned cube; see ReleasePooled.
 func (ix *Index) FetchPooledCtx(ctx context.Context, p temporal.Period) (*cube.Cube, error) {
+	defer ix.unpinEpoch(ix.pinEpoch())
 	page, verify, err := ix.lookup(p)
 	if err != nil {
 		return nil, err
@@ -80,8 +89,8 @@ func (ix *Index) runPages(ps []temporal.Period) (first int, err error) {
 		if i == 0 {
 			first = page
 		} else if page != first+i {
-			return 0, fmt.Errorf("tindex: periods %v..%v are not page-adjacent (page %d, expected %d)",
-				ps[0], p, page, first+i)
+			return 0, fmt.Errorf("tindex: %w: %v..%v (page %d, expected %d)",
+				ErrNotAdjacent, ps[0], p, page, first+i)
 		}
 	}
 	return first, nil
@@ -92,6 +101,7 @@ func (ix *Index) runPages(ps []temporal.Period) (first int, err error) {
 // order. Callers discover adjacency with PageOf; handing a non-adjacent run
 // here is an error, not a silent fallback.
 func (ix *Index) FetchRunCtx(ctx context.Context, ps []temporal.Period) ([]cube.Reader, error) {
+	defer ix.unpinEpoch(ix.pinEpoch())
 	first, err := ix.runPages(ps)
 	if err != nil {
 		return nil, err
@@ -123,6 +133,7 @@ func (ix *Index) FetchRunCtx(ctx context.Context, ps []temporal.Period) ([]cube.
 // cube. On success the caller owns every returned cube (see ReleasePooled);
 // on error all partially decoded cubes are returned to the pool.
 func (ix *Index) FetchRunPooledCtx(ctx context.Context, ps []temporal.Period) ([]*cube.Cube, error) {
+	defer ix.unpinEpoch(ix.pinEpoch())
 	first, err := ix.runPages(ps)
 	if err != nil {
 		return nil, err

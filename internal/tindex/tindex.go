@@ -54,6 +54,18 @@ type Index struct {
 	maxDay      temporal.Day
 	empty       bool
 	verifyReads bool
+
+	// Live-ingest epoch state (see epoch.go). epoch is the published epoch
+	// counter; live gates the per-fetch pin so batch deployments pay one
+	// atomic load. lmu guards the pin/retire/free/durable bookkeeping — it is
+	// ordered after mu (mu may be held when taking lmu, never the reverse).
+	epoch     atomic.Uint64
+	live      atomic.Bool
+	lmu       sync.Mutex
+	pins      map[uint64]int // pinned epoch token (epoch+1) -> reader count
+	retired   []retiredPage
+	freePages []int
+	durable   map[int]bool // page ids referenced by the last synced meta
 }
 
 type metaEntry struct {
@@ -68,6 +80,7 @@ type metaDoc struct {
 	Empty             bool        `json:"empty"`
 	MinDay            int         `json:"min_day"`
 	MaxDay            int         `json:"max_day"`
+	Epoch             uint64      `json:"epoch,omitempty"`
 	Entries           []metaEntry `json:"entries"`
 }
 
@@ -162,6 +175,7 @@ func Open(dir string, schema *cube.Schema, opts ...Option) (*Index, error) {
 	}
 	ix.met = newIndexMetrics(ix)
 	ix.rng.Store(0x9E3779B97F4A7C15)
+	ix.epoch.Store(doc.Epoch)
 	for _, e := range doc.Entries {
 		lvl := temporal.Level(e.Level)
 		if !lvl.Valid() {
@@ -267,6 +281,7 @@ func (ix *Index) Fetch(p temporal.Period) (*cube.Cube, error) {
 
 // FetchCtx is Fetch honoring a context.
 func (ix *Index) FetchCtx(ctx context.Context, p temporal.Period) (*cube.Cube, error) {
+	defer ix.unpinEpoch(ix.pinEpoch())
 	page, _, err := ix.lookup(p)
 	if err != nil {
 		return nil, err
@@ -296,6 +311,7 @@ func (ix *Index) FetchView(p temporal.Period) (cube.Reader, error) {
 // read (including the store's injected disk latency) instead of completing
 // it.
 func (ix *Index) FetchViewCtx(ctx context.Context, p temporal.Period) (cube.Reader, error) {
+	defer ix.unpinEpoch(ix.pinEpoch())
 	page, verify, err := ix.lookup(p)
 	if err != nil {
 		return nil, err
@@ -514,7 +530,11 @@ func (ix *Index) ReplaceDays(days map[temporal.Day]*cube.Cube) error {
 	return nil
 }
 
-// Sync persists the directory and flushes the page store.
+// Sync persists the directory and flushes the page store. In live mode a
+// successful Sync also becomes the new durability checkpoint: the page ids
+// the persisted meta references are snapshotted as the durable set, and
+// PublishEpoch never recycles a durable page — so a crash between checkpoints
+// always reopens to exactly the state this Sync wrote.
 func (ix *Index) Sync() error {
 	ix.mu.RLock()
 	doc := metaDoc{
@@ -523,6 +543,7 @@ func (ix *Index) Sync() error {
 		Empty:             ix.empty,
 		MinDay:            int(ix.minDay),
 		MaxDay:            int(ix.maxDay),
+		Epoch:             ix.epoch.Load(),
 		Entries:           make([]metaEntry, 0, len(ix.pages)),
 	}
 	for p, page := range ix.pages {
@@ -540,7 +561,19 @@ func (ix *Index) Sync() error {
 	if err := os.Rename(tmp, filepath.Join(ix.dir, metaFile)); err != nil {
 		return fmt.Errorf("tindex: install meta: %w", err)
 	}
-	return ix.store.Sync()
+	if err := ix.store.Sync(); err != nil {
+		return err
+	}
+	if ix.live.Load() {
+		durable := make(map[int]bool, len(doc.Entries))
+		for _, e := range doc.Entries {
+			durable[e.Page] = true
+		}
+		ix.lmu.Lock()
+		ix.durable = durable
+		ix.lmu.Unlock()
+	}
+	return nil
 }
 
 // Close syncs and releases the index.

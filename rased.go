@@ -142,6 +142,9 @@ type BuildReport struct {
 	DroppedRecords   int
 	CubePages        int
 	IndexBytes       int64
+	// SkippedPartialDays lists trailing days (YYYY-MM-DD) whose artifacts were
+	// only partially written and were skipped by a file-based build/append.
+	SkippedPartialDays []string
 }
 
 // Build generates a synthetic OSM world, crawls it, and bulk-loads a
