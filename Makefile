@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check ci lint race vet chaos covergate bench bench-smoke bench-hotpath bench-faults bench-live figures examples clean
+.PHONY: all build test check ci lint race vet chaos covergate bench bench-smoke bench-hotpath bench-faults bench-live bench-cluster figures examples clean
 
 all: build test
 
@@ -27,6 +27,7 @@ ci: build vet lint race chaos
 	$(GO) test ./...
 	bin/rased-bench -fig hotpath -quick
 	bin/rased-bench -fig live -quick
+	bin/rased-bench -fig cluster -quick
 
 # chaos is the fault-injection gate: the chaos harness at full query volume
 # under the race detector (DESIGN.md "Fault model & degraded mode"), the
@@ -79,6 +80,13 @@ bench-faults: build
 # variant of the same figure runs inside `make ci`.
 bench-live: build
 	bin/rased-bench -fig live
+
+# Cluster scale-out figure: scatter-gather QPS at 1/4/8 shards under the
+# Zipf-skewed dashboard mix, plus hedged-vs-unhedged tail latency with
+# injected RPC hiccups. Gated (>=3x at 8 shards, hedged p99 <= 0.8x); writes
+# the committed BENCH_cluster.json. The -quick 2-shard smoke runs in `make ci`.
+bench-cluster: build
+	bin/rased-bench -fig cluster
 
 # Regenerate every figure of the paper's evaluation (EXPERIMENTS.md).
 figures: build

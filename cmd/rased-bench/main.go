@@ -12,6 +12,7 @@
 //	rased-bench -fig hotpath   data-plane hot path: kernels, pooling, sharding, coalescing
 //	rased-bench -fig faults    availability under injected storage faults, fallback on vs off
 //	rased-bench -fig live      live ingest: epoch publication under concurrent dashboard load
+//	rased-bench -fig cluster   scale-out: scatter-gather QPS 1→4→8 shards, hedged tail latency
 //	rased-bench -fig examples  the example queries of Figures 2-5
 //	rased-bench -fig all       everything
 //
@@ -98,6 +99,8 @@ func main() {
 		runFaults(*queries, *quick, *seed, *faults)
 	case "live":
 		runLive(*quick, *seed)
+	case "cluster":
+		runCluster(*quick, *seed)
 	case "examples":
 		runExamples(*seed, *updates)
 	case "all":
@@ -122,6 +125,8 @@ func main() {
 		runFaults(*queries, *quick, *seed, *faults)
 		fmt.Println()
 		runLive(*quick, *seed)
+		fmt.Println()
+		runCluster(*quick, *seed)
 		fmt.Println()
 		runExamples(*seed, *updates)
 	default:
@@ -305,6 +310,21 @@ func runLive(quick bool, seed int64) {
 		log.Fatal(err)
 	}
 	log.Printf("wrote BENCH_live.json")
+}
+
+func runCluster(quick bool, seed int64) {
+	log.Printf("running cluster scale-out figure (quick=%v)...", quick)
+	rep, err := benchx.FigCluster(context.Background(), quick, seed)
+	if rep != nil {
+		benchx.PrintFigCluster(os.Stdout, rep)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := benchx.WriteClusterJSON("BENCH_cluster.json", rep); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote BENCH_cluster.json")
 }
 
 func runExamples(seed int64, updates int) {

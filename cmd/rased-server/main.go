@@ -4,6 +4,13 @@
 // Example:
 //
 //	rased-server -dir /tmp/rased -addr :8080
+//
+// Scale-out serving splits the same binary into two roles (see DESIGN.md
+// §11): shards execute partition-restricted sub-plans over a deployment, and
+// a stateless router plans, scatters, and merges:
+//
+//	rased-server -shard -shard-id s0 -cluster-map map.json -dir /tmp/rased -addr :9090
+//	rased-server -router -cluster-map map.json -addr :8080
 package main
 
 import (
@@ -20,8 +27,10 @@ import (
 
 	"rased"
 	"rased/internal/cache"
+	"rased/internal/cluster"
 	"rased/internal/core"
 	"rased/internal/live"
+	"rased/internal/obs"
 	"rased/internal/osmgen"
 	"rased/internal/server"
 	"rased/internal/temporal"
@@ -65,8 +74,31 @@ func main() {
 		noFallback   = flag.Bool("no-fallback", false, "disable degraded-mode replanning around corrupt cube pages")
 		faults       = flag.String("faults", "", "fault-injection spec for resilience testing, e.g. 'kind=transient,prob=0.01' (see faultstore.ParseSpec)")
 		faultSeed    = flag.Int64("fault-seed", 1, "PRNG seed for -faults")
+
+		shardMode      = flag.Bool("shard", false, "serve as a cluster shard: internal RPC surface only (requires -cluster-map and -shard-id)")
+		routerMode     = flag.Bool("router", false, "serve as a cluster router: the public API planned over shards (requires -cluster-map; -dir unused)")
+		clusterMap     = flag.String("cluster-map", "", "cluster map JSON for -shard/-router")
+		shardID        = flag.String("shard-id", "", "this shard's id in the cluster map (for -shard)")
+		shardTimeout   = flag.Duration("shard-timeout", 10*time.Second, "router: per-attempt sub-plan RPC deadline")
+		hedgeDelay     = flag.Duration("hedge-delay", 0, "router: fixed hedge delay (0 adapts to a latency percentile)")
+		noHedge        = flag.Bool("no-hedge", false, "router: disable hedged requests (replica failover stays on)")
+		spreadReplicas = flag.Bool("spread-replicas", true, "router: rotate which replica a sub-plan tries first")
+		healthInterval = flag.Duration("health-interval", 5*time.Second, "router: shard health poll period")
 	)
 	flag.Parse()
+	if *shardMode && *routerMode {
+		log.Fatal("-shard and -router are mutually exclusive")
+	}
+	if *routerMode {
+		runRouter(routerParams{
+			addr: *addr, mapPath: *clusterMap, accessLog: *accessLog,
+			queryTimeout: *queryTimeout, shardTimeout: *shardTimeout,
+			hedgeDelay: *hedgeDelay, noHedge: *noHedge,
+			spreadReplicas: *spreadReplicas, healthInterval: *healthInterval,
+			dumpMetrics: *metrics,
+		})
+		return
+	}
 	if *dir == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -104,6 +136,11 @@ func main() {
 		log.Printf("serving %s (coverage %s .. %s) on %s", *dir, lo, hi, *addr)
 	} else {
 		log.Printf("serving empty deployment %s on %s", *dir, *addr)
+	}
+
+	if *shardMode {
+		runShard(d, *shardID, *clusterMap, *addr, *metrics)
+		return
 	}
 
 	// -live folds a deterministic simulated replication stream into the
@@ -197,6 +234,140 @@ func main() {
 		}
 		if *metrics {
 			d.Obs.WritePrometheus(os.Stderr)
+		}
+	}
+}
+
+// runShard serves the internal RPC surface over an open deployment. Shutdown
+// order matters for the router's graceful drain: the shard keeps answering
+// in-flight sub-plans until Shutdown's context expires, and only then does
+// the deployment close underneath it.
+func runShard(d *rased.Deployment, id, mapPath, addr string, dumpMetrics bool) {
+	if mapPath == "" || id == "" {
+		log.Fatal("-shard requires -cluster-map and -shard-id")
+	}
+	m, err := cluster.LoadMap(mapPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sh, err := cluster.NewShardServer(id, m, d.Engine, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d.Obs.MustRegister(sh.Metrics().All()...)
+	log.Printf("shard %s: map v%d, %d groups, replication %d", id, m.Version, m.Groups, m.Replication)
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           sh.Handler(d.Obs),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe() }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		log.Fatal(err)
+	case s := <-sig:
+		log.Printf("received %v, draining", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		if dumpMetrics {
+			d.Obs.WritePrometheus(os.Stderr)
+		}
+	}
+}
+
+type routerParams struct {
+	addr, mapPath  string
+	accessLog      bool
+	queryTimeout   time.Duration
+	shardTimeout   time.Duration
+	hedgeDelay     time.Duration
+	noHedge        bool
+	spreadReplicas bool
+	healthInterval time.Duration
+	dumpMetrics    bool
+}
+
+// runRouter serves the public API planned over the shard tier. The router is
+// stateless — no -dir — so it can restart or scale horizontally at will.
+func runRouter(p routerParams) {
+	if p.mapPath == "" {
+		log.Fatal("-router requires -cluster-map")
+	}
+	m, err := cluster.LoadMap(p.mapPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt, err := cluster.NewRouter(m, &cluster.HTTPTransport{}, cluster.RouterConfig{
+		ShardTimeout:   p.shardTimeout,
+		HedgeDelay:     p.hedgeDelay,
+		DisableHedging: p.noHedge,
+		SpreadReplicas: p.spreadReplicas,
+		HealthInterval: p.healthInterval,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	reg.MustRegister(rt.Metrics().All()...)
+	log.Printf("router: map v%d, %d shards, %d groups, replication %d, serving on %s",
+		m.Version, len(m.Shards), m.Groups, m.Replication, p.addr)
+
+	healthCtx, healthCancel := context.WithCancel(context.Background())
+	defer healthCancel()
+	go rt.RunHealth(healthCtx)
+
+	level := slog.LevelInfo
+	if p.accessLog {
+		level = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	handler := server.New(rt,
+		server.WithRegistry(reg),
+		server.WithLogger(logger),
+		server.WithQueryTimeout(p.queryTimeout),
+		server.WithClusterStatus(func() (string, any) {
+			snap := rt.ClusterHealth()
+			return snap.Status, snap
+		}),
+	)
+	srv := &http.Server{
+		Addr:              p.addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe() }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		log.Fatal(err)
+	case s := <-sig:
+		log.Printf("received %v, shutting down", s)
+		// Drain the public side first so in-flight scatter-gathers finish
+		// against still-serving shards; only then stop health polling.
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		if p.dumpMetrics {
+			reg.WritePrometheus(os.Stderr)
 		}
 	}
 }

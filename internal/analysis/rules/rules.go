@@ -19,6 +19,9 @@
 //	epochsafe   published cube pages are immutable: WritePage/Append on the
 //	            page store is allowed only in the audited swap sites
 //	            registered in the package's epochsafe_reg.go
+//	rpcdeadline cluster RPCs run under a context deadline (or the function is
+//	            registered in the package's rpcdeadline_reg.go) and their
+//	            transport errors are wrapped, never returned bare
 package rules
 
 import (
@@ -41,6 +44,7 @@ func All() []analysis.Analyzer {
 		NewPoolsafe(),
 		NewFaultpath(),
 		NewEpochsafe(),
+		NewRPCDeadline(),
 	}
 }
 

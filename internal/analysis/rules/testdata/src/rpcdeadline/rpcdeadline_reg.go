@@ -1,0 +1,10 @@
+//go:build rpcreg
+
+// Registry fixture: sendRegistered's callers always attach a deadline;
+// ghostCaller is a stale entry the analyzer must flag.
+package cluster
+
+var RPCDeadlineSites = []string{
+	"sendRegistered",
+	"ghostCaller",
+}

@@ -1,0 +1,457 @@
+package benchx
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rased/internal/cluster"
+	"rased/internal/core"
+	"rased/internal/exec"
+	"rased/internal/temporal"
+)
+
+// ---------------------------------------------------------------------------
+// Cluster experiment: the scatter-gather query tier under a Zipf-skewed
+// dashboard workload. Two phases over one shared deployment:
+//
+//  1. Scaling — closed-loop clients against 1, 4, and 8 shards. The skewed
+//     single-country traffic routes to single owners, so aggregate QPS should
+//     grow near-linearly with the shard count; the unfiltered dashboard
+//     queries fan out to every shard and bound the speedup from above
+//     (Amdahl on scatter width).
+//  2. Tail latency — at the widest shard count, a seeded latency hiccup is
+//     injected into the RPC fabric and the same workload runs with hedging
+//     off, then on. Hedging must cut p99 to <= 0.8x of the unhedged run.
+//
+// Throughout both phases every Nth routed answer is cross-checked against a
+// single-node oracle engine over the same index; any mismatch or untyped
+// error fails the figure (hard gate, same style as the live and fault
+// figures).
+
+// ClusterPoint is one shard-count measurement of the scaling phase.
+type ClusterPoint struct {
+	Shards      int     `json:"shards"`
+	Replication int     `json:"replication"`
+	Queries     int64   `json:"queries"`
+	Rejections  int64   `json:"rejections"`
+	QPS         float64 `json:"qps"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	SpeedupVs1  float64 `json:"speedup_vs_1"`
+}
+
+// ClusterReport is the figure's output.
+type ClusterReport struct {
+	Quick     bool  `json:"quick"`
+	Years     int   `json:"years"`
+	Countries int   `json:"countries"`
+	Groups    int   `json:"groups"`
+	Clients   int   `json:"clients"`
+	Seed      int64 `json:"seed"`
+
+	Points []ClusterPoint `json:"points"`
+
+	// Tail-latency phase, run at the widest shard count.
+	HedgeShards   int     `json:"hedge_shards"`
+	HiccupProb    float64 `json:"hiccup_prob"`
+	HiccupMs      float64 `json:"hiccup_ms"`
+	UnhedgedP50Ms float64 `json:"unhedged_p50_ms"`
+	UnhedgedP99Ms float64 `json:"unhedged_p99_ms"`
+	HedgedP50Ms   float64 `json:"hedged_p50_ms"`
+	HedgedP99Ms   float64 `json:"hedged_p99_ms"`
+	HedgeP99Ratio float64 `json:"hedge_p99_ratio"` // hedged / unhedged
+	HedgesFired   int64   `json:"hedges_fired"`
+	HedgesWon     int64   `json:"hedges_won"`
+
+	// Correctness across every run of both phases.
+	OracleChecks  int64 `json:"oracle_checks"`
+	WrongResults  int64 `json:"wrong_results"`
+	UntypedErrors int64 `json:"untyped_errors"`
+}
+
+// clusterParams sizes the run.
+type clusterParams struct {
+	years      int
+	shards     []int
+	groups     int
+	clients    int
+	scaleDur   time.Duration
+	hedgeDur   time.Duration
+	hiccupProb float64
+	hiccupDur  time.Duration
+	checkEvery int
+	gated      bool // enforce the speedup and hedge-ratio gates
+}
+
+func clusterDefaults(quick bool) clusterParams {
+	if quick {
+		// The 2-shard CI smoke: exercises the whole path (partition math,
+		// scatter, merge, hedging, oracle checks) without asserting the
+		// scaling shape a 2-point sweep cannot show.
+		return clusterParams{
+			years: 2, shards: []int{1, 2}, groups: 8, clients: 8,
+			scaleDur: 400 * time.Millisecond, hedgeDur: 700 * time.Millisecond,
+			hiccupProb: 0.03, hiccupDur: 100 * time.Millisecond,
+			checkEvery: 8, gated: false,
+		}
+	}
+	return clusterParams{
+		years: 3, shards: []int{1, 4, 8}, groups: 8, clients: 32,
+		scaleDur: 2 * time.Second, hedgeDur: 3 * time.Second,
+		hiccupProb: 0.03, hiccupDur: 100 * time.Millisecond,
+		checkEvery: 16, gated: true,
+	}
+}
+
+// clusterWorkload synthesizes the dashboard mix: 80% single-country queries
+// with Zipf-skewed country choice (hot countries hammer hot partitions), 20%
+// unfiltered whole-coverage queries that scatter to every shard.
+type clusterWorkload struct {
+	ws         *Workspace
+	countryCDF []float64
+}
+
+func newClusterWorkload(ws *Workspace) *clusterWorkload {
+	w := make([]float64, len(ws.Schema.Countries))
+	for i := range w {
+		w[i] = 1.0 / float64(i+1)
+	}
+	return &clusterWorkload{ws: ws, countryCDF: cdf(w)}
+}
+
+func (w *clusterWorkload) query(rng *rand.Rand) core.Query {
+	if rng.Float64() < 0.8 {
+		c := pickCDF(rng, w.countryCDF)
+		// A narrow span range keeps per-query work (and therefore clean RPC
+		// latency) roughly uniform, so the adaptive hedge percentile tracks
+		// the injected hiccups instead of the workload's own size variance.
+		span := temporal.Day(60 + rng.Intn(60))
+		hi := w.ws.Lo + temporal.Day(rng.Intn(int(w.ws.Hi-w.ws.Lo)+1))
+		lo := hi - span
+		if lo < w.ws.Lo {
+			lo = w.ws.Lo
+		}
+		return core.Query{
+			From: lo, To: hi,
+			Countries: []string{w.ws.Schema.Countries[c]},
+			GroupBy:   core.GroupBy{Date: core.ByMonth},
+		}
+	}
+	return core.Query{From: w.ws.Lo, To: w.ws.Hi, GroupBy: core.GroupBy{Country: true}}
+}
+
+// pickCDF draws an index from a cumulative distribution.
+func pickCDF(rng *rand.Rand, c []float64) int {
+	x := rng.Float64()
+	lo, hi := 0, len(c)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// clusterTier is one built shard tier: a router over n in-process shards.
+type clusterTier struct {
+	m  *cluster.Map
+	tr *cluster.LocalTransport
+	rt *cluster.Router
+}
+
+func buildClusterTier(ws *Workspace, n, groups int, cfg cluster.RouterConfig) (*clusterTier, error) {
+	repl := 2
+	if repl > n {
+		repl = n
+	}
+	m := &cluster.Map{
+		Version: 1, Groups: groups, Replication: repl,
+		Countries: len(ws.Schema.Countries),
+	}
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("s%d", i)
+		m.Shards = append(m.Shards, cluster.Shard{ID: id, Addr: id})
+	}
+	tr := cluster.NewLocalTransport()
+	for _, sh := range m.Shards {
+		// Per-shard admission models one process's CPU budget: MaxInflight
+		// slots of concurrently executing sub-plans, a bounded queue behind
+		// them. The scaling phase measures how capacity adds up with shards.
+		eng, err := core.NewEngine(ws.Index, core.Options{
+			LevelOptimization: true,
+			MaxInflight:       2,
+			MaxQueue:          64,
+		})
+		if err != nil {
+			return nil, err
+		}
+		srv, err := cluster.NewShardServer(sh.ID, m, eng, nil)
+		if err != nil {
+			return nil, err
+		}
+		tr.Register(sh.Addr, srv)
+	}
+	rt, err := cluster.NewRouter(m, tr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &clusterTier{m: m, tr: tr, rt: rt}, nil
+}
+
+// clusterRun aggregates one measured client phase.
+type clusterRun struct {
+	queries    int64
+	rejections int64
+	untyped    int64
+	checks     int64
+	wrong      int64
+	qps        float64
+	lats       []time.Duration
+}
+
+// runClusterClients drives closed-loop clients against the router for dur.
+// Rejections back off briefly and retry (counted, not failed); every
+// checkEvery-th success is compared against the oracle.
+func runClusterClients(ctx context.Context, rt *cluster.Router, oracle *core.Engine,
+	wl *clusterWorkload, clients int, dur time.Duration, seed int64, checkEvery int) (*clusterRun, error) {
+
+	run := &clusterRun{}
+	var mu sync.Mutex
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(c)*104729))
+			var lats []time.Duration
+			for n := 0; !stop.Load(); n++ {
+				q := wl.query(rng)
+				t0 := time.Now()
+				res, err := rt.AnalyzeContext(ctx, q)
+				took := time.Since(t0)
+				if err != nil {
+					if errors.Is(err, exec.ErrRejected) {
+						atomic.AddInt64(&run.rejections, 1)
+						time.Sleep(time.Millisecond)
+						continue
+					}
+					if ctx.Err() != nil {
+						return
+					}
+					atomic.AddInt64(&run.untyped, 1)
+					continue
+				}
+				atomic.AddInt64(&run.queries, 1)
+				lats = append(lats, took)
+				if n%checkEvery == 0 {
+					want, oerr := oracle.AnalyzeContext(ctx, q)
+					if oerr == nil {
+						atomic.AddInt64(&run.checks, 1)
+						if res.Total != want.Total || !reflect.DeepEqual(res.Rows, want.Rows) {
+							atomic.AddInt64(&run.wrong, 1)
+						}
+					}
+				}
+			}
+			mu.Lock()
+			run.lats = append(run.lats, lats...)
+			mu.Unlock()
+		}(c)
+	}
+	select {
+	case <-time.After(dur):
+	case <-ctx.Done():
+	}
+	stop.Store(true)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if s := time.Since(start).Seconds(); s > 0 {
+		run.qps = float64(run.queries) / s
+	}
+	return run, nil
+}
+
+// FigCluster builds the shared deployment and runs both phases. Gates (full
+// mode): >= 3.0x aggregate QPS at the widest shard count vs 1 shard, hedged
+// p99 <= 0.8x unhedged p99, and — in every mode — zero wrong results and zero
+// untyped errors.
+func FigCluster(ctx context.Context, quick bool, seed int64) (*ClusterReport, error) {
+	p := clusterDefaults(quick)
+	cfg := DefaultWorkspaceConfig()
+	cfg.Years = p.years
+	cfg.Seed = seed
+	// Per-page read latency is the dominant cost in this figure's service
+	// model: a shard's capacity is its admission slots over a sleep-dominated
+	// service time, so adding shards adds real capacity even on a small
+	// machine, while the CPU cost of decoding stays a minor term. The hiccup
+	// injected in phase 2 (100ms) then sits far above clean sub-plan latency
+	// (low tens of ms) — the regime hedging is built for.
+	cfg.ReadLatency = 600 * time.Microsecond
+	ws, err := NewWorkspace(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer ws.Close()
+
+	// The oracle answers the same queries single-node, with the full cache
+	// configuration, for cross-checking routed results.
+	oracle, err := core.NewEngine(ws.Index, core.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+
+	wl := newClusterWorkload(ws)
+	rep := &ClusterReport{
+		Quick: quick, Years: p.years, Countries: len(ws.Schema.Countries),
+		Groups: p.groups, Clients: p.clients, Seed: seed,
+		HiccupProb: p.hiccupProb, HiccupMs: float64(p.hiccupDur) / float64(time.Millisecond),
+	}
+
+	// Phase 1: scaling sweep, hedging off so every point measures the plain
+	// scatter-gather capacity.
+	for _, n := range p.shards {
+		tier, err := buildClusterTier(ws, n, p.groups, cluster.RouterConfig{
+			DisableHedging: true,
+			// Rotate sub-plan attempts across replicas: the Zipf-hot
+			// partitions would otherwise serialize on their primary while the
+			// replicas idle.
+			SpreadReplicas: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		run, err := runClusterClients(ctx, tier.rt, oracle, wl, p.clients, p.scaleDur, seed+int64(n), p.checkEvery)
+		if err != nil {
+			return nil, err
+		}
+		pt := ClusterPoint{
+			Shards: n, Replication: tier.m.Replication,
+			Queries: run.queries, Rejections: run.rejections, QPS: run.qps,
+			P50Ms: float64(percentileDur(run.lats, 0.50)) / float64(time.Millisecond),
+			P99Ms: float64(percentileDur(run.lats, 0.99)) / float64(time.Millisecond),
+		}
+		if len(rep.Points) > 0 && rep.Points[0].QPS > 0 {
+			pt.SpeedupVs1 = pt.QPS / rep.Points[0].QPS
+		} else if len(rep.Points) == 0 {
+			pt.SpeedupVs1 = 1
+		}
+		rep.Points = append(rep.Points, pt)
+		rep.OracleChecks += run.checks
+		rep.WrongResults += run.wrong
+		rep.UntypedErrors += run.untyped
+	}
+
+	// Phase 2: tail latency at the widest shard count under injected RPC
+	// hiccups — the latency tail hedging exists to cut. Unhedged first, then
+	// hedged with the adaptive percentile policy (p90 of observed latencies,
+	// so the estimate tracks the clean latency below the hiccup mass).
+	rep.HedgeShards = p.shards[len(p.shards)-1]
+	hedgeClients := p.clients / 4
+	if hedgeClients < 4 {
+		hedgeClients = 4
+	}
+	for _, hedged := range []bool{false, true} {
+		rcfg := cluster.RouterConfig{DisableHedging: !hedged, HedgePercentile: 0.90, SpreadReplicas: true}
+		tier, err := buildClusterTier(ws, rep.HedgeShards, p.groups, rcfg)
+		if err != nil {
+			return nil, err
+		}
+		tier.tr.SetHiccups(p.hiccupProb, p.hiccupDur, seed+101)
+		if hedged {
+			// Warm the router's latency ring so the adaptive hedge delay is
+			// live from the first measured query.
+			warm := rand.New(rand.NewSource(seed + 7))
+			for i := 0; i < 48; i++ {
+				if _, err := tier.rt.AnalyzeContext(ctx, wl.query(warm)); err != nil && ctx.Err() != nil {
+					return nil, err
+				}
+			}
+		}
+		run, err := runClusterClients(ctx, tier.rt, oracle, wl, hedgeClients, p.hedgeDur, seed+202, p.checkEvery)
+		if err != nil {
+			return nil, err
+		}
+		p50 := float64(percentileDur(run.lats, 0.50)) / float64(time.Millisecond)
+		p99 := float64(percentileDur(run.lats, 0.99)) / float64(time.Millisecond)
+		if hedged {
+			rep.HedgedP50Ms, rep.HedgedP99Ms = p50, p99
+			rep.HedgesFired = tier.rt.Metrics().HedgesFired.Value()
+			rep.HedgesWon = tier.rt.Metrics().HedgesWon.Value()
+		} else {
+			rep.UnhedgedP50Ms, rep.UnhedgedP99Ms = p50, p99
+		}
+		rep.OracleChecks += run.checks
+		rep.WrongResults += run.wrong
+		rep.UntypedErrors += run.untyped
+	}
+	if rep.UnhedgedP99Ms > 0 {
+		rep.HedgeP99Ratio = rep.HedgedP99Ms / rep.UnhedgedP99Ms
+	}
+
+	// Hard gates.
+	if rep.WrongResults != 0 || rep.UntypedErrors != 0 {
+		return rep, fmt.Errorf("benchx: cluster run violated the correctness contract: %d wrong results, %d untyped errors (%d oracle checks)",
+			rep.WrongResults, rep.UntypedErrors, rep.OracleChecks)
+	}
+	if p.gated {
+		last := rep.Points[len(rep.Points)-1]
+		if last.SpeedupVs1 < 3.0 {
+			return rep, fmt.Errorf("benchx: cluster scaling gate failed: %.2fx aggregate QPS at %d shards vs 1, want >= 3.0x",
+				last.SpeedupVs1, last.Shards)
+		}
+		if rep.HedgeP99Ratio > 0.8 {
+			return rep, fmt.Errorf("benchx: hedging gate failed: hedged p99 %.1fms / unhedged %.1fms = %.2f, want <= 0.8",
+				rep.HedgedP99Ms, rep.UnhedgedP99Ms, rep.HedgeP99Ratio)
+		}
+	}
+	return rep, nil
+}
+
+// WriteClusterJSON writes the figure as pretty-printed JSON.
+func WriteClusterJSON(path string, rep *ClusterReport) error {
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchx: marshal cluster figure: %w", err)
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		return fmt.Errorf("benchx: write cluster figure: %w", err)
+	}
+	return nil
+}
+
+// PrintFigCluster renders the run.
+func PrintFigCluster(w io.Writer, rep *ClusterReport) {
+	fmt.Fprintln(w, "Cluster scale-out: scatter-gather QPS and hedged tail latency")
+	fmt.Fprintf(w, "  %d-year deployment, %d countries in %d groups, %d closed-loop clients (seed %d)\n",
+		rep.Years, rep.Countries, rep.Groups, rep.Clients, rep.Seed)
+	fmt.Fprintf(w, "  %-7s %-5s %9s %5s %9s %9s %9s %9s\n",
+		"shards", "repl", "queries", "rej", "qps", "p50 ms", "p99 ms", "speedup")
+	for _, pt := range rep.Points {
+		fmt.Fprintf(w, "  %-7d %-5d %9d %5d %9.0f %9.2f %9.2f %8.2fx\n",
+			pt.Shards, pt.Replication, pt.Queries, pt.Rejections, pt.QPS, pt.P50Ms, pt.P99Ms, pt.SpeedupVs1)
+	}
+	fmt.Fprintf(w, "  tail latency at %d shards (hiccups: %.0f%% of RPCs +%.0fms):\n",
+		rep.HedgeShards, 100*rep.HiccupProb, rep.HiccupMs)
+	fmt.Fprintf(w, "    unhedged: p50 %.2fms  p99 %.2fms\n", rep.UnhedgedP50Ms, rep.UnhedgedP99Ms)
+	fmt.Fprintf(w, "    hedged:   p50 %.2fms  p99 %.2fms  (ratio %.2f; %d hedges fired, %d won)\n",
+		rep.HedgedP50Ms, rep.HedgedP99Ms, rep.HedgeP99Ratio, rep.HedgesFired, rep.HedgesWon)
+	fmt.Fprintf(w, "  correctness: %d oracle checks, %d wrong results, %d untyped errors\n",
+		rep.OracleChecks, rep.WrongResults, rep.UntypedErrors)
+}

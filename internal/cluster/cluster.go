@@ -1,0 +1,263 @@
+// Package cluster turns the single-node RASED engine into a shard-per-process
+// query tier: a versioned cluster map assigns (year × country-group)
+// partitions of the temporal cube to shards via rendezvous hashing, shard
+// servers execute partition-restricted sub-plans behind a compact HTTP/JSON
+// internal RPC, and a stateless router scatter-gathers sub-plans to the
+// owning shards, merges the partial aggregates deterministically in plan
+// order, fails over to replicas, and hedges slow requests after a latency
+// percentile.
+//
+// The partition math leans on one cube property: the country dimension is a
+// flat catalog of values — leaf countries AND zone rollups (continents,
+// World, sub-national zones) each own their cells — and aggregation sums the
+// cells the filter names. Splitting the catalog values into G hash groups
+// therefore splits every cube into G disjoint cell sets, so partial
+// aggregates from different groups merge by pure addition, with no double
+// counting even though a zone cell is numerically a rollup of leaf cells.
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sort"
+	"time"
+
+	"rased/internal/temporal"
+)
+
+// Shard is one serving process in the map.
+type Shard struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// Map is the versioned cluster topology: how many country-groups the catalog
+// is split into, how many replicas own each partition, and the shard set.
+// Shards can be added without renumbering — partition ownership is computed
+// by rendezvous hashing, so a new shard steals only the partitions it now
+// wins, and everything else stays where it was. The version guards split
+// brain: a shard refuses sub-plans planned against a different map version.
+type Map struct {
+	Version     int     `json:"version"`
+	Groups      int     `json:"groups"`
+	Replication int     `json:"replication"`
+	// Countries optionally pins the country catalog value count the map was
+	// computed for; a shard whose schema disagrees refuses to start. 0 skips
+	// the check (the group math depends only on Groups).
+	Countries int     `json:"countries,omitempty"`
+	Shards    []Shard `json:"shards"`
+}
+
+// Validate checks structural invariants.
+func (m *Map) Validate() error {
+	if m.Version < 1 {
+		return fmt.Errorf("cluster: map version must be >= 1, got %d", m.Version)
+	}
+	if m.Groups < 1 {
+		return fmt.Errorf("cluster: map needs >= 1 country group, got %d", m.Groups)
+	}
+	if m.Replication < 1 {
+		return fmt.Errorf("cluster: map replication must be >= 1, got %d", m.Replication)
+	}
+	if len(m.Shards) == 0 {
+		return errors.New("cluster: map has no shards")
+	}
+	seen := map[string]bool{}
+	for _, s := range m.Shards {
+		if s.ID == "" {
+			return errors.New("cluster: shard with empty id")
+		}
+		if seen[s.ID] {
+			return fmt.Errorf("cluster: duplicate shard id %q", s.ID)
+		}
+		seen[s.ID] = true
+	}
+	return nil
+}
+
+// LoadMap reads and validates a cluster map from a JSON file.
+func LoadMap(path string) (*Map, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: read map: %w", err)
+	}
+	var m Map
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("cluster: parse map %s: %w", path, err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Save writes the map as pretty-printed JSON.
+func (m *Map) Save(path string) error {
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("cluster: marshal map: %w", err)
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		return fmt.Errorf("cluster: write map: %w", err)
+	}
+	return nil
+}
+
+// Shard returns the shard with the given id.
+func (m *Map) Shard(id string) (Shard, bool) {
+	for _, s := range m.Shards {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Shard{}, false
+}
+
+// Partition is one unit of placement: the cells of one country-group across
+// one calendar year of the temporal cube (every level — a year's monthly and
+// yearly rollup cubes live with its days, so a sub-plan's level optimization
+// stays local to its shard).
+type Partition struct {
+	Year  int
+	Group int
+}
+
+// String renders the canonical partition id, e.g. "2021/g03".
+func (p Partition) String() string { return fmt.Sprintf("%04d/g%02d", p.Year, p.Group) }
+
+// ParsePartition parses the canonical id form.
+func ParsePartition(s string) (Partition, error) {
+	var p Partition
+	if _, err := fmt.Sscanf(s, "%04d/g%02d", &p.Year, &p.Group); err != nil {
+		return p, fmt.Errorf("cluster: bad partition id %q: %w", s, err)
+	}
+	return p, nil
+}
+
+// Window returns the day range the partition's year covers.
+func (p Partition) Window() (lo, hi temporal.Day) {
+	return temporal.NewDay(p.Year, time.January, 1), temporal.NewDay(p.Year, time.December, 31)
+}
+
+// GroupOf maps a country catalog value to its group. Every catalog value —
+// leaf country, continent, World, sub-national zone — hashes to exactly one
+// group, so the groups partition the cube's cells.
+func (m *Map) GroupOf(value int) int { return value % m.Groups }
+
+// GroupValues enumerates the catalog values of one group under a schema with
+// numValues country catalog values, in ascending order.
+func (m *Map) GroupValues(group, numValues int) []int {
+	if group < 0 || group >= m.Groups {
+		return nil
+	}
+	var out []int
+	for v := group; v < numValues; v += m.Groups {
+		out = append(out, v)
+	}
+	return out
+}
+
+// PartitionsFor enumerates the partitions a query touches: one per calendar
+// year overlapping [lo, hi] × each group containing a filtered country value
+// (every group when the filter is nil — an unfiltered query reads the whole
+// catalog). The enumeration is sorted (year asc, group asc), which fixes the
+// scatter plan order and therefore the merge order.
+func (m *Map) PartitionsFor(lo, hi temporal.Day, countries []int) []Partition {
+	if hi < lo {
+		return nil
+	}
+	var groups []int
+	if countries == nil {
+		groups = make([]int, m.Groups)
+		for g := range groups {
+			groups[g] = g
+		}
+	} else {
+		set := map[int]bool{}
+		for _, v := range countries {
+			set[m.GroupOf(v)] = true
+		}
+		for g := range set {
+			groups = append(groups, g)
+		}
+		sort.Ints(groups)
+	}
+	var out []Partition
+	for y := lo.Year(); y <= hi.Year(); y++ {
+		for _, g := range groups {
+			out = append(out, Partition{Year: y, Group: g})
+		}
+	}
+	return out
+}
+
+// Owners returns the partition's owner shards in rendezvous order: the first
+// is the primary, the rest are replicas, Replication entries in total (fewer
+// when the map has fewer shards). Rendezvous (highest-random-weight) hashing
+// gives every shard an independent score per partition; adding a shard only
+// moves the partitions the new shard now wins, and removing one promotes its
+// replicas without disturbing any other assignment.
+func (m *Map) Owners(p Partition) []Shard {
+	type scored struct {
+		s     Shard
+		score uint64
+	}
+	all := make([]scored, len(m.Shards))
+	pid := p.String()
+	for i, s := range m.Shards {
+		all[i] = scored{s: s, score: rendezvousScore(pid, s.ID)}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].score != all[b].score {
+			return all[a].score > all[b].score
+		}
+		return all[a].s.ID < all[b].s.ID
+	})
+	n := m.Replication
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]Shard, n)
+	for i := range out {
+		out[i] = all[i].s
+	}
+	return out
+}
+
+// Owns reports whether shard id is among the partition's owners.
+func (m *Map) Owns(id string, p Partition) bool {
+	for _, s := range m.Owners(p) {
+		if s.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// rendezvousScore is the finalized FNV-1a weight of one (partition, shard)
+// pair. The finalizer matters: shard ids typically differ in one trailing
+// byte, and a single FNV step barely stirs the last input byte — without
+// avalanching, score order correlates with the id byte itself and an added
+// shard steals far more than its 1/n share of partitions.
+func rendezvousScore(partitionID, shardID string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(partitionID))
+	h.Write([]byte{'|'})
+	h.Write([]byte(shardID))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the 64-bit avalanche finalizer (Murmur3 fmix64): every input bit
+// flips ~half the output bits.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

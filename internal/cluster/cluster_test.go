@@ -1,0 +1,467 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"rased/internal/core"
+	"rased/internal/cube"
+	"rased/internal/osm"
+	"rased/internal/temporal"
+	"rased/internal/tindex"
+	"rased/internal/update"
+)
+
+// The shared fixture: a three-year deterministic deployment small enough to
+// ingest in-process, with a country catalog that splits cleanly into the test
+// map's groups. Every test shares the index read-only; engines, shards, and
+// routers are built fresh per test so metrics and injected faults never leak
+// between cases.
+const (
+	fixCountries = 12
+	fixRoadTypes = 5
+	fixGroups    = 4
+)
+
+type clusterFixture struct {
+	dir    string
+	schema *cube.Schema
+	ix     *tindex.Index
+	lo, hi temporal.Day
+}
+
+var (
+	fixOnce sync.Once
+	fix     *clusterFixture
+	fixErr  error
+)
+
+func getClusterFixture(t *testing.T) *clusterFixture {
+	t.Helper()
+	fixOnce.Do(buildClusterFixture)
+	if fixErr != nil {
+		t.Fatal(fixErr)
+	}
+	return fix
+}
+
+// testDayRecords synthesizes one day's updates with no randomness: the record
+// mix is a pure function of the day ordinal, so every run (and every engine
+// reading the same index) sees byte-identical data.
+func testDayRecords(d temporal.Day) []update.Record {
+	ets := []osm.ElementType{osm.Node, osm.Way, osm.Relation}
+	uts := []update.Type{update.Create, update.GeometryUpdate, update.MetadataUpdate, update.Delete}
+	n := 5 + int(d)%4
+	recs := make([]update.Record, n)
+	for i := range recs {
+		recs[i] = update.Record{
+			ElementType: ets[(int(d)+i)%len(ets)],
+			Day:         d,
+			Country:     uint16((int(d)*7 + i*5) % fixCountries),
+			RoadType:    uint16((int(d) + i*3) % fixRoadTypes),
+			UpdateType:  uts[(int(d)*3+i)%len(uts)],
+			ChangesetID: int64(d)*100 + int64(i),
+		}
+	}
+	return recs
+}
+
+func buildClusterFixture() {
+	dir, err := os.MkdirTemp("", "rased-cluster-test")
+	if err != nil {
+		fixErr = err
+		return
+	}
+	schema := cube.ScaledSchema(fixCountries, fixRoadTypes)
+	ix, err := tindex.Create(dir, schema, temporal.NumLevels)
+	if err != nil {
+		fixErr = err
+		return
+	}
+	f := &clusterFixture{
+		dir:    dir,
+		schema: schema,
+		ix:     ix,
+		lo:     temporal.NewDay(2020, time.January, 1),
+		hi:     temporal.NewDay(2022, time.December, 31),
+	}
+	ing := core.NewIngestor(ix)
+	for d := f.lo; d <= f.hi; d++ {
+		if err := ing.AppendDay(d, testDayRecords(d)); err != nil {
+			fixErr = err
+			return
+		}
+	}
+	if err := ix.Sync(); err != nil {
+		fixErr = err
+		return
+	}
+	fix = f
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if fix != nil {
+		fix.ix.Close()
+		os.RemoveAll(fix.dir)
+	}
+	os.Exit(code)
+}
+
+// testSizes is the network-size table installed on every engine for
+// percentage queries; identical tables are what production deployment scripts
+// guarantee, and what keeps per-shard denominators equal.
+func testSizes() map[int]uint64 {
+	sizes := make(map[int]uint64, fixCountries)
+	for v := 0; v < fixCountries; v++ {
+		sizes[v] = uint64(1000 * (v + 1))
+	}
+	return sizes
+}
+
+func newFixtureEngine(t *testing.T, f *clusterFixture) *core.Engine {
+	t.Helper()
+	// CacheSlots 0: no cube cache, so every run of a query touches storage
+	// identically — the determinism the scatter-gather tests assert on.
+	eng, err := core.NewEngine(f.ix, core.Options{LevelOptimization: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetNetworkSizes(testSizes())
+	return eng
+}
+
+// testCluster is four shard servers over the shared fixture index behind a
+// LocalTransport, plus an oracle engine answering the same queries
+// single-node.
+type testCluster struct {
+	f      *clusterFixture
+	m      *Map
+	tr     *LocalTransport
+	rt     *Router
+	shards map[string]*ShardServer
+	oracle *core.Engine
+}
+
+func newTestCluster(t *testing.T, cfg RouterConfig) *testCluster {
+	t.Helper()
+	f := getClusterFixture(t)
+	m := &Map{
+		Version:     1,
+		Groups:      fixGroups,
+		Replication: 2,
+		Countries:   fixCountries,
+		Shards: []Shard{
+			{ID: "s0", Addr: "s0"}, {ID: "s1", Addr: "s1"},
+			{ID: "s2", Addr: "s2"}, {ID: "s3", Addr: "s3"},
+		},
+	}
+	tr := NewLocalTransport()
+	tc := &testCluster{f: f, m: m, tr: tr, shards: map[string]*ShardServer{}}
+	for _, sh := range m.Shards {
+		srv, err := NewShardServer(sh.ID, m, newFixtureEngine(t, f), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.Register(sh.Addr, srv)
+		tc.shards[sh.ID] = srv
+	}
+	tc.oracle = newFixtureEngine(t, f)
+	rt, err := NewRouter(m, tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.rt = rt
+	return tc
+}
+
+// compareResults checks a routed result against the single-node oracle: rows
+// and totals must match exactly, percentages to float tolerance (the router
+// sums per-partition percentage shares, which lands within ulps of the
+// single-node division but not bit-identically).
+func compareResults(t *testing.T, name string, got, want *core.Result) {
+	t.Helper()
+	if got.Total != want.Total {
+		t.Fatalf("%s: Total = %d, want %d", name, got.Total, want.Total)
+	}
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("%s: %d rows, want %d", name, len(got.Rows), len(want.Rows))
+	}
+	for i := range got.Rows {
+		g, w := got.Rows[i], want.Rows[i]
+		gp, wp := g.Percentage, w.Percentage
+		g.Percentage, w.Percentage = 0, 0
+		if g != w {
+			t.Fatalf("%s: row %d = %+v, want %+v", name, i, got.Rows[i], want.Rows[i])
+		}
+		if math.Abs(gp-wp) > 1e-9*(math.Abs(wp)+1) {
+			t.Fatalf("%s: row %d percentage = %v, want %v", name, i, gp, wp)
+		}
+	}
+}
+
+func TestPartitionRoundTrip(t *testing.T) {
+	p := Partition{Year: 2021, Group: 3}
+	if p.String() != "2021/g03" {
+		t.Fatalf("String = %q", p.String())
+	}
+	back, err := ParsePartition(p.String())
+	if err != nil || back != p {
+		t.Fatalf("ParsePartition(%q) = %v, %v", p.String(), back, err)
+	}
+	lo, hi := p.Window()
+	if lo != temporal.NewDay(2021, time.January, 1) || hi != temporal.NewDay(2021, time.December, 31) {
+		t.Fatalf("Window = [%v, %v]", lo, hi)
+	}
+	if _, err := ParsePartition("not-a-partition"); err == nil {
+		t.Fatal("ParsePartition accepted garbage")
+	}
+}
+
+func TestGroupValuesPartitionCatalog(t *testing.T) {
+	m := &Map{Version: 1, Groups: fixGroups, Replication: 1, Shards: []Shard{{ID: "s0"}}}
+	seen := map[int]int{}
+	for g := 0; g < m.Groups; g++ {
+		vals := m.GroupValues(g, fixCountries)
+		for _, v := range vals {
+			if m.GroupOf(v) != g {
+				t.Fatalf("value %d in group %d but GroupOf says %d", v, g, m.GroupOf(v))
+			}
+			seen[v]++
+		}
+	}
+	for v := 0; v < fixCountries; v++ {
+		if seen[v] != 1 {
+			t.Fatalf("catalog value %d covered %d times, want exactly once", v, seen[v])
+		}
+	}
+	if m.GroupValues(-1, fixCountries) != nil || m.GroupValues(m.Groups, fixCountries) != nil {
+		t.Fatal("out-of-range group returned values")
+	}
+}
+
+func TestPartitionsFor(t *testing.T) {
+	m := &Map{Version: 1, Groups: fixGroups, Replication: 1, Shards: []Shard{{ID: "s0"}}}
+	lo := temporal.NewDay(2020, time.June, 1)
+	hi := temporal.NewDay(2022, time.February, 1)
+
+	all := m.PartitionsFor(lo, hi, nil)
+	if want := 3 * fixGroups; len(all) != want {
+		t.Fatalf("unfiltered: %d partitions, want %d", len(all), want)
+	}
+	for i := 1; i < len(all); i++ {
+		a, b := all[i-1], all[i]
+		if a.Year > b.Year || (a.Year == b.Year && a.Group >= b.Group) {
+			t.Fatalf("enumeration not sorted at %d: %v then %v", i, a, b)
+		}
+	}
+
+	// Filtered: countries 2 and 6 share group 2 under Groups=4.
+	some := m.PartitionsFor(lo, hi, []int{2, 6})
+	if len(some) != 3 {
+		t.Fatalf("filtered: %d partitions, want 3", len(some))
+	}
+	for _, p := range some {
+		if p.Group != 2 {
+			t.Fatalf("filtered partition %v outside group 2", p)
+		}
+	}
+
+	if got := m.PartitionsFor(hi, lo, nil); got != nil {
+		t.Fatalf("inverted window returned %v", got)
+	}
+}
+
+func TestMapSaveLoadRoundTrip(t *testing.T) {
+	m := &Map{
+		Version: 3, Groups: 8, Replication: 2, Countries: 40,
+		Shards: []Shard{{ID: "a", Addr: "host-a:7000"}, {ID: "b", Addr: "host-b:7000"}},
+	}
+	path := filepath.Join(t.TempDir(), "map.json")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadMap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Version != m.Version || back.Groups != m.Groups || back.Replication != m.Replication ||
+		back.Countries != m.Countries || len(back.Shards) != len(m.Shards) || back.Shards[1] != m.Shards[1] {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+
+	bad := &Map{Version: 0, Groups: 1, Replication: 1, Shards: []Shard{{ID: "a"}}}
+	raw := filepath.Join(t.TempDir(), "bad.json")
+	if err := bad.Save(raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadMap(raw); err == nil {
+		t.Fatal("LoadMap accepted version 0")
+	}
+}
+
+// TestRendezvousStability is the reason the map uses rendezvous hashing:
+// adding a shard must only move partitions onto the new shard, never shuffle
+// ownership between survivors.
+func TestRendezvousStability(t *testing.T) {
+	old := &Map{Version: 1, Groups: fixGroups, Replication: 2, Shards: []Shard{
+		{ID: "s0"}, {ID: "s1"}, {ID: "s2"}, {ID: "s3"},
+	}}
+	grown := &Map{Version: 2, Groups: fixGroups, Replication: 2,
+		Shards: append(append([]Shard{}, old.Shards...), Shard{ID: "s4"})}
+
+	moved, total := 0, 0
+	for year := 2015; year <= 2030; year++ {
+		for g := 0; g < fixGroups; g++ {
+			p := Partition{Year: year, Group: g}
+			before, after := old.Owners(p), grown.Owners(p)
+			if len(before) != 2 || len(after) != 2 {
+				t.Fatalf("%v: owner counts %d/%d, want 2/2", p, len(before), len(after))
+			}
+			total++
+			if after[0].ID != before[0].ID {
+				if after[0].ID != "s4" {
+					t.Fatalf("%v: primary moved %s -> %s without involving the new shard",
+						p, before[0].ID, after[0].ID)
+				}
+				moved++
+			}
+			// Survivors keep their relative rendezvous order: stripping s4
+			// from the new ranking must reproduce the old primary.
+			if after[0].ID == "s4" && after[1].ID != before[0].ID {
+				t.Fatalf("%v: new shard displaced primary %s but left %s as replica",
+					p, before[0].ID, after[1].ID)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("adding a shard moved nothing — rendezvous not spreading")
+	}
+	if moved > total/2 {
+		t.Fatalf("adding 1 shard to 4 moved %d/%d primaries — far above the ~1/5 rendezvous predicts", moved, total)
+	}
+}
+
+// TestShardRefusals covers the typed refusal surface: non-owned partitions,
+// stale map versions, and malformed partition ids, both directly and as seen
+// through a Transport.
+func TestShardRefusals(t *testing.T) {
+	tc := newTestCluster(t, RouterConfig{})
+	ctx := context.Background()
+	srv := tc.shards["s0"]
+
+	var owned, notOwned *Partition
+	for g := 0; g < fixGroups && (owned == nil || notOwned == nil); g++ {
+		p := Partition{Year: 2021, Group: g}
+		if tc.m.Owns("s0", p) {
+			if owned == nil {
+				owned = &p
+			}
+		} else if notOwned == nil {
+			notOwned = &p
+		}
+	}
+	if owned == nil || notOwned == nil {
+		t.Fatalf("shard s0 owns all or none of year 2021: owned=%v notOwned=%v", owned, notOwned)
+	}
+
+	q := core.Query{From: temporal.NewDay(2021, time.January, 1), To: temporal.NewDay(2021, time.December, 31)}
+
+	res, err := srv.Exec(ctx, &ExecRequest{MapVersion: 1, Partitions: []string{owned.String()}, Query: q})
+	if err != nil {
+		t.Fatalf("owned partition refused: %v", err)
+	}
+	if res.Total == 0 {
+		t.Fatal("owned partition produced an empty aggregate")
+	}
+
+	_, err = srv.Exec(ctx, &ExecRequest{MapVersion: 1, Partitions: []string{notOwned.String()}, Query: q})
+	if !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("non-owned partition: err = %v, want ErrNotOwner", err)
+	}
+
+	_, err = srv.Exec(ctx, &ExecRequest{MapVersion: 2, Partitions: []string{owned.String()}, Query: q})
+	if !errors.Is(err, ErrMapVersion) {
+		t.Fatalf("stale map version: err = %v, want ErrMapVersion", err)
+	}
+
+	if _, err = srv.Exec(ctx, &ExecRequest{MapVersion: 1, Partitions: []string{"zzz"}, Query: q}); err == nil {
+		t.Fatal("malformed partition id accepted")
+	}
+
+	if got := srv.Metrics().Refused.Value(); got < 2 {
+		t.Fatalf("refused counter = %d, want >= 2", got)
+	}
+
+	// The same refusals stay typed across the transport hop.
+	_, err = tc.tr.Exec(ctx, "s0", &ExecRequest{MapVersion: 1, Partitions: []string{notOwned.String()}, Query: q})
+	if !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("transport hop lost ErrNotOwner: %v", err)
+	}
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Code != CodeNotOwner {
+		t.Fatalf("transport error = %v, want RemoteError{not_owner}", err)
+	}
+}
+
+// TestRoutedMatchesSingleNode is the tier-0 correctness property of the whole
+// subsystem: for every query shape, scatter-gather over four shards returns
+// exactly what one engine over the whole index returns.
+func TestRoutedMatchesSingleNode(t *testing.T) {
+	tc := newTestCluster(t, RouterConfig{DisableHedging: true})
+	f := tc.f
+	ctx := context.Background()
+
+	cases := []struct {
+		name string
+		q    core.Query
+	}{
+		{"unfiltered-by-country-month", core.Query{
+			From: temporal.NewDay(2020, time.June, 15), To: temporal.NewDay(2021, time.June, 15),
+			GroupBy: core.GroupBy{Country: true, Date: core.ByMonth},
+		}},
+		{"filtered-cross-year-weeks", core.Query{
+			From: temporal.NewDay(2020, time.November, 20), To: temporal.NewDay(2021, time.February, 10),
+			Countries:    []string{f.schema.Countries[3], f.schema.Countries[10]},
+			ElementTypes: []string{f.schema.ElementTypes[1]},
+			UpdateTypes:  f.schema.UpdateTypes[:2],
+			GroupBy:      core.GroupBy{Date: core.ByWeek},
+		}},
+		{"single-country-road-upd", core.Query{
+			From: temporal.NewDay(2021, time.March, 1), To: temporal.NewDay(2021, time.October, 31),
+			Countries: []string{f.schema.Countries[5]},
+			GroupBy:   core.GroupBy{RoadType: true, UpdateType: true},
+		}},
+		{"percentage-by-country-year", core.Query{
+			From: f.lo, To: f.hi,
+			Percentage: true,
+			GroupBy:    core.GroupBy{Country: true, Date: core.ByYear},
+		}},
+		{"window-beyond-coverage", core.Query{
+			From: temporal.NewDay(2019, time.May, 1), To: temporal.NewDay(2023, time.May, 1),
+			GroupBy: core.GroupBy{ElementType: true},
+		}},
+		{"aggregate-only-total", core.Query{
+			From: temporal.NewDay(2020, time.February, 2), To: temporal.NewDay(2022, time.November, 27),
+		}},
+	}
+	for _, tcase := range cases {
+		t.Run(tcase.name, func(t *testing.T) {
+			got, err := tc.rt.AnalyzeContext(ctx, tcase.q)
+			if err != nil {
+				t.Fatalf("routed: %v", err)
+			}
+			want, err := tc.oracle.AnalyzeContext(ctx, tcase.q)
+			if err != nil {
+				t.Fatalf("oracle: %v", err)
+			}
+			compareResults(t, tcase.name, got, want)
+		})
+	}
+}

@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"rased/internal/core"
+	"rased/internal/update"
+)
+
+// LocalTransport routes RPCs to in-process ShardServers — the test and
+// benchmark fabric. It models the failure surface the router must handle:
+// shards can be marked down (transport error), stalled (fixed extra latency,
+// the hedging trigger), or given random hiccups (seeded, so benchmark runs
+// are reproducible). Delays honor context cancellation, so a hedged or
+// abandoned attempt returns as soon as the router gives up on it.
+type LocalTransport struct {
+	mu      sync.Mutex
+	shards  map[string]*ShardServer
+	down    map[string]bool
+	stall   map[string]time.Duration
+	base    time.Duration
+	hiccupP float64
+	hiccupD time.Duration
+	rng     *rand.Rand
+}
+
+// NewLocalTransport returns an empty fabric.
+func NewLocalTransport() *LocalTransport {
+	return &LocalTransport{
+		shards: map[string]*ShardServer{},
+		down:   map[string]bool{},
+		stall:  map[string]time.Duration{},
+	}
+}
+
+// Register binds a shard server to an address.
+func (t *LocalTransport) Register(addr string, s *ShardServer) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.shards[addr] = s
+}
+
+// SetDown marks an address unreachable (or reachable again).
+func (t *LocalTransport) SetDown(addr string, down bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.down[addr] = down
+}
+
+// SetStall adds a fixed delay to every RPC to addr; zero clears it.
+func (t *LocalTransport) SetStall(addr string, d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if d <= 0 {
+		delete(t.stall, addr)
+	} else {
+		t.stall[addr] = d
+	}
+}
+
+// SetBaseDelay adds a fixed delay to every RPC on the fabric.
+func (t *LocalTransport) SetBaseDelay(d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.base = d
+}
+
+// SetHiccups makes each RPC stall an extra delay with probability p, drawn
+// from a seeded source — the latency tail hedging exists to cut.
+func (t *LocalTransport) SetHiccups(p float64, delay time.Duration, seed int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.hiccupP = p
+	t.hiccupD = delay
+	t.rng = rand.New(rand.NewSource(seed))
+}
+
+// enter snapshots the shard and the injected delay under the lock; the sleep
+// itself happens outside it so one stalled RPC never blocks the fabric.
+func (t *LocalTransport) enter(ctx context.Context, addr string) (*ShardServer, error) {
+	t.mu.Lock()
+	s, ok := t.shards[addr]
+	isDown := t.down[addr]
+	delay := t.base + t.stall[addr]
+	if t.rng != nil && t.hiccupP > 0 && t.rng.Float64() < t.hiccupP {
+		delay += t.hiccupD
+	}
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("cluster: no shard registered at %s", addr)
+	}
+	if delay > 0 {
+		if err := sleepCtx(ctx, delay); err != nil {
+			return nil, fmt.Errorf("cluster: rpc to %s: %w", addr, err)
+		}
+	}
+	if isDown {
+		return nil, fmt.Errorf("cluster: rpc to %s: connection refused", addr)
+	}
+	return s, nil
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Exec implements Transport.
+func (t *LocalTransport) Exec(ctx context.Context, addr string, req *ExecRequest) (*core.Result, error) {
+	s, err := t.enter(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.Exec(ctx, req)
+	if err != nil {
+		if ctx.Err() != nil {
+			// Keep context errors inspectable, as the HTTP transport would
+			// (client.Do surfaces them through its own error chain).
+			return nil, fmt.Errorf("cluster: rpc to %s: %w", addr, ctx.Err())
+		}
+		// Round-trip through the wire error model so the router sees exactly
+		// what it would over HTTP.
+		return nil, &RemoteError{Shard: addr, Code: CodeOf(err), Msg: err.Error(),
+			RetryAfter: retryAfterOf(err)}
+	}
+	return res, nil
+}
+
+// Health implements Transport.
+func (t *LocalTransport) Health(ctx context.Context, addr string) (*ShardHealth, error) {
+	s, err := t.enter(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	return s.Health(), nil
+}
+
+// Sample implements Transport.
+func (t *LocalTransport) Sample(ctx context.Context, addr string, req *SampleRequest) ([]update.Record, error) {
+	s, err := t.enter(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	if s.samples == nil {
+		return nil, &RemoteError{Shard: addr, Code: CodeBadRequest,
+			Msg: fmt.Sprintf("cluster: shard %s serves no sample warehouse", s.id)}
+	}
+	recs, err := s.samples.Sample(req.Query)
+	if err != nil {
+		return nil, &RemoteError{Shard: addr, Code: CodeOf(err), Msg: err.Error()}
+	}
+	return recs, nil
+}
+
+// Changeset implements Transport.
+func (t *LocalTransport) Changeset(ctx context.Context, addr string, id int64) ([]update.Record, error) {
+	s, err := t.enter(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	if s.samples == nil {
+		return nil, &RemoteError{Shard: addr, Code: CodeBadRequest,
+			Msg: fmt.Sprintf("cluster: shard %s serves no sample warehouse", s.id)}
+	}
+	recs, err := s.samples.ByChangeset(id)
+	if err != nil {
+		return nil, &RemoteError{Shard: addr, Code: CodeOf(err), Msg: err.Error()}
+	}
+	return recs, nil
+}

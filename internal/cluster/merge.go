@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"rased/internal/core"
+)
+
+// rowDims keys a result row by its display dimensions. Dimension names are
+// bijective with catalog values, so string keys merge exactly.
+type rowDims struct {
+	elem, country, road, upd, period string
+}
+
+// MergeResults folds partial results from disjoint partitions into one, in
+// the given order — callers pass partials in plan order, so float additions
+// (Percentage) happen in a fixed sequence and the merged result is
+// bit-identical across runs. Counts and totals sum exactly (disjoint cell
+// sets), percentages sum because every partial was computed against the same
+// query-level denominator, and stats counters sum. ElapsedNanos is the
+// maximum (partials may have executed concurrently); callers overwrite it
+// with wall time when they have one. Nil partials (empty partitions) are
+// skipped. Rows come out in the engine's canonical order via core.SortRows,
+// so a routed result is byte-for-byte the single-node result.
+func MergeResults(parts []*core.Result) *core.Result {
+	out := &core.Result{}
+	idx := map[rowDims]int{}
+	// Non-nil even when every partial is empty: the engine always returns a
+	// non-nil Rows slice, and "byte-for-byte the single-node result" includes
+	// the zero-match case.
+	rows := []core.Row{}
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		out.Total += p.Total
+		out.Stats.CubesFetched += p.Stats.CubesFetched
+		out.Stats.DiskReads += p.Stats.DiskReads
+		out.Stats.CacheHits += p.Stats.CacheHits
+		out.Stats.SharedFetches += p.Stats.SharedFetches
+		out.Stats.ReplannedPeriods += p.Stats.ReplannedPeriods
+		out.Stats.FallbackCubes += p.Stats.FallbackCubes
+		if p.Stats.ElapsedNanos > out.Stats.ElapsedNanos {
+			out.Stats.ElapsedNanos = p.Stats.ElapsedNanos
+		}
+		for _, r := range p.Rows {
+			k := rowDims{r.ElementType, r.Country, r.RoadType, r.UpdateType, r.Period}
+			if i, ok := idx[k]; ok {
+				rows[i].Count += r.Count
+				rows[i].Percentage += r.Percentage
+			} else {
+				idx[k] = len(rows)
+				rows = append(rows, r)
+			}
+		}
+	}
+	core.SortRows(rows)
+	out.Rows = rows
+	return out
+}
+
+// MergeTraces combines per-partial query traces in plan order: buckets with
+// the same label concatenate their period lists (sub-plan order within a
+// bucket is the partial order, which is deterministic), level counts and I/O
+// counters sum. Partials without traces are skipped; nil is returned when no
+// partial carried one.
+func MergeTraces(parts []*core.Result) *core.QueryTrace {
+	var out *core.QueryTrace
+	idx := map[string]int{}
+	for _, p := range parts {
+		if p == nil || p.Trace == nil {
+			continue
+		}
+		if out == nil {
+			out = &core.QueryTrace{PlanLevels: map[string]int{}}
+		}
+		t := p.Trace
+		out.CubesFetched += t.CubesFetched
+		out.CacheHits += t.CacheHits
+		out.DiskReads += t.DiskReads
+		out.PageReads += t.PageReads
+		for lvl, n := range t.PlanLevels {
+			out.PlanLevels[lvl] += n
+		}
+		for _, b := range t.Buckets {
+			i, ok := idx[b.Bucket]
+			if !ok {
+				i = len(out.Buckets)
+				idx[b.Bucket] = i
+				out.Buckets = append(out.Buckets, core.BucketPlan{Bucket: b.Bucket})
+			}
+			out.Buckets[i].Periods = append(out.Buckets[i].Periods, b.Periods...)
+		}
+	}
+	return out
+}

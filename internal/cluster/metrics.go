@@ -1,0 +1,77 @@
+package cluster
+
+import "rased/internal/obs"
+
+// ShardMetrics are a shard server's obs instruments. Engine-side instruments
+// (cache, admission, fetch pool) are the engine's own; these cover only the
+// cluster wire surface.
+type ShardMetrics struct {
+	// Execs counts sub-plan RPCs received on /internal/v1/exec.
+	Execs *obs.Counter
+	// Refused counts sub-plans refused with a typed ownership or map-version
+	// error before touching the engine.
+	Refused *obs.Counter
+}
+
+func newShardMetrics(id string) *ShardMetrics {
+	l := obs.L("shard", id)
+	return &ShardMetrics{
+		Execs:   obs.NewCounter("rased_cluster_shard_execs_total", "Sub-plan RPCs received by this shard.", l),
+		Refused: obs.NewCounter("rased_cluster_shard_refused_total", "Sub-plans refused for ownership or map-version mismatch.", l),
+	}
+}
+
+// All returns the instruments for registry wiring.
+func (m *ShardMetrics) All() []obs.Metric {
+	return []obs.Metric{m.Execs, m.Refused}
+}
+
+// RouterMetrics are the scatter-gather router's obs instruments.
+type RouterMetrics struct {
+	// Queries counts analysis queries planned by the router.
+	Queries *obs.Counter
+	// RPCs counts sub-plan RPC attempts issued, including failovers and
+	// hedges.
+	RPCs *obs.Counter
+	// RPCLatency observes the latency of completed sub-plan RPC attempts.
+	RPCLatency *obs.Histogram
+	// FanOut observes the number of sub-plans each query scattered into.
+	FanOut *obs.Histogram
+	// Failovers counts sub-plans retried on a replica after a transport error
+	// or degraded answer from the preferred owner.
+	Failovers *obs.Counter
+	// HedgesFired counts hedge RPCs launched because the primary attempt
+	// outlived the hedge delay.
+	HedgesFired *obs.Counter
+	// HedgesWon counts hedge RPCs that returned before the attempt they
+	// shadowed.
+	HedgesWon *obs.Counter
+	// Rejected counts queries that surfaced a shard admission rejection.
+	Rejected *obs.Counter
+	// DegradedResults counts queries answered degraded because every replica
+	// of some sub-plan was degraded.
+	DegradedResults *obs.Counter
+}
+
+func newRouterMetrics() *RouterMetrics {
+	return &RouterMetrics{
+		Queries: obs.NewCounter("rased_cluster_router_queries_total", "Analysis queries planned by the router."),
+		RPCs:    obs.NewCounter("rased_cluster_router_rpcs_total", "Sub-plan RPC attempts issued (including failovers and hedges)."),
+		RPCLatency: obs.NewHistogram("rased_cluster_router_rpc_seconds", "Latency of completed sub-plan RPC attempts.",
+			obs.DefLatencyBuckets),
+		FanOut: obs.NewHistogram("rased_cluster_router_fanout", "Sub-plans scattered per routed query.",
+			obs.CountBuckets),
+		Failovers:   obs.NewCounter("rased_cluster_router_failovers_total", "Sub-plans retried on a replica after a failure or degraded answer."),
+		HedgesFired: obs.NewCounter("rased_cluster_router_hedges_fired_total", "Hedge RPCs launched past the hedge delay."),
+		HedgesWon:   obs.NewCounter("rased_cluster_router_hedges_won_total", "Hedge RPCs that beat the attempt they shadowed."),
+		Rejected:    obs.NewCounter("rased_cluster_router_rejected_total", "Routed queries that propagated a shard admission rejection."),
+		DegradedResults: obs.NewCounter("rased_cluster_router_degraded_total",
+			"Routed queries answered degraded because a sub-plan had no healthy replica."),
+	}
+}
+
+// All returns the instruments for registry wiring.
+func (m *RouterMetrics) All() []obs.Metric {
+	return []obs.Metric{m.Queries, m.RPCs, m.RPCLatency, m.FanOut, m.Failovers,
+		m.HedgesFired, m.HedgesWon, m.Rejected, m.DegradedResults}
+}

@@ -1,0 +1,570 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rased/internal/core"
+	"rased/internal/exec"
+	"rased/internal/geo"
+	"rased/internal/temporal"
+	"rased/internal/update"
+	"rased/internal/warehouse"
+)
+
+// RouterConfig tunes the scatter-gather router. The zero value gets sane
+// defaults from NewRouter.
+type RouterConfig struct {
+	// ShardTimeout bounds each sub-plan RPC attempt; a shard that blows it is
+	// treated like a dead one and the sub-plan fails over to a replica.
+	ShardTimeout time.Duration
+	// HedgeDelay, when positive, fixes the wait before a slow attempt is
+	// hedged on a replica. Zero means adaptive: a percentile of recently
+	// observed RPC latencies, clamped to [HedgeMin, HedgeMax].
+	HedgeDelay time.Duration
+	// HedgePercentile picks the adaptive hedge point (default 0.95).
+	HedgePercentile float64
+	// HedgeMin and HedgeMax clamp the adaptive hedge delay.
+	HedgeMin time.Duration
+	HedgeMax time.Duration
+	// DisableHedging turns hedged requests off; failover still applies.
+	DisableHedging bool
+	// SpreadReplicas rotates which replica a sub-plan tries first, spreading
+	// hot-partition load across the replica set instead of always hammering
+	// the rendezvous winner.
+	SpreadReplicas bool
+	// HealthInterval is the shard health poll period (default 5s).
+	HealthInterval time.Duration
+}
+
+const (
+	latRingSize     = 256
+	minHedgeSamples = 32
+)
+
+// Router plans queries against the cluster map, scatters partition-grouped
+// sub-plans to shard owners, and gathers the partial aggregates into the
+// single-node answer. It is stateless apart from soft state (latency samples
+// for hedging, a polled health cache), so any number of routers can front the
+// same shard tier. Router implements internal/server.Backend — the public
+// HTTP surface is identical for single-node and clustered deployments.
+type Router struct {
+	m   *Map
+	tr  Transport
+	cfg RouterConfig
+	reg *geo.Registry
+	met *RouterMetrics
+
+	rr atomic.Uint64 // replica / sample rotation counter
+
+	latMu  sync.Mutex
+	lat    []time.Duration // ring of recent successful RPC latencies
+	latPos int
+
+	healthMu sync.Mutex
+	probes   []ShardProbe
+}
+
+// ShardProbe is one shard's last health poll result.
+type ShardProbe struct {
+	ID     string       `json:"id"`
+	Addr   string       `json:"addr"`
+	Status string       `json:"status"` // "ok", "degraded", or "unreachable"
+	Error  string       `json:"error,omitempty"`
+	Health *core.Health `json:"health,omitempty"`
+	// MapVersion the shard reported; a mismatch shows up here before queries
+	// start bouncing with ErrMapVersion.
+	MapVersion  int  `json:"map_version,omitempty"`
+	CovLo       int  `json:"-"`
+	CovHi       int  `json:"-"`
+	HasCoverage bool `json:"-"`
+}
+
+// ClusterSnapshot is the router's aggregate health view, embedded in /healthz.
+type ClusterSnapshot struct {
+	Status      string       `json:"status"` // "ok" or "degraded"
+	MapVersion  int          `json:"map_version"`
+	Groups      int          `json:"groups"`
+	Replication int          `json:"replication"`
+	Shards      []ShardProbe `json:"shards"`
+}
+
+// NewRouter builds a router over a validated cluster map and a transport.
+func NewRouter(m *Map, tr Transport, cfg RouterConfig) (*Router, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if tr == nil {
+		return nil, fmt.Errorf("cluster: router needs a transport")
+	}
+	if cfg.ShardTimeout <= 0 {
+		cfg.ShardTimeout = DefaultRPCTimeout
+	}
+	if cfg.HedgePercentile <= 0 || cfg.HedgePercentile >= 1 {
+		cfg.HedgePercentile = 0.95
+	}
+	if cfg.HedgeMin <= 0 {
+		cfg.HedgeMin = time.Millisecond
+	}
+	if cfg.HedgeMax <= 0 {
+		cfg.HedgeMax = time.Second
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = 5 * time.Second
+	}
+	return &Router{m: m, tr: tr, cfg: cfg, reg: geo.Default(), met: newRouterMetrics()}, nil
+}
+
+// Map returns the cluster map the router plans against.
+func (r *Router) Map() *Map { return r.m }
+
+// Metrics returns the router's obs instruments for registry wiring.
+func (r *Router) Metrics() *RouterMetrics { return r.met }
+
+// subPlan is the unit of scatter: every partition in it has the same owner
+// tuple, so the whole group ships to one shard (with the same failover
+// replicas). Sub-plans are built in partition order, which fixes the gather
+// merge order.
+type subPlan struct {
+	owners     []Shard
+	partitions []string
+}
+
+func (r *Router) plan(parts []Partition) []subPlan {
+	idx := map[string]int{}
+	var subs []subPlan
+	for _, p := range parts {
+		owners := r.m.Owners(p)
+		key := ""
+		for _, o := range owners {
+			key += o.ID + "|"
+		}
+		i, ok := idx[key]
+		if !ok {
+			i = len(subs)
+			idx[key] = i
+			subs = append(subs, subPlan{owners: owners})
+		}
+		subs[i].partitions = append(subs[i].partitions, p.String())
+	}
+	return subs
+}
+
+// AnalyzeContext implements server.Backend: compile (validating the query
+// exactly as a single-node engine would), plan partitions, scatter sub-plans
+// to their owners, gather and merge. Per-sub failures follow the degraded
+// routing matrix: transport failures and degraded answers fail over to
+// replicas; admission rejections propagate verbatim. When sub-plans fail in
+// different ways the loudest error wins — an untyped failure over a typed
+// degraded answer over a rejection — and multi-shard rejections carry the
+// max Retry-After across shards.
+func (r *Router) AnalyzeContext(ctx context.Context, q core.Query) (*core.Result, error) {
+	start := time.Now()
+	r.met.Queries.Inc()
+	if q.To < q.From {
+		return nil, fmt.Errorf("cluster: query window [%s, %s] is inverted", q.From, q.To)
+	}
+	filter, err := core.CompileFilter(&q, r.reg)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := q.From, q.To
+	if clo, chi, ok := r.Coverage(); ok {
+		// Clamp the partition enumeration to known coverage so a wide-open
+		// query window does not scatter sub-plans for years no shard holds.
+		if lo < clo {
+			lo = clo
+		}
+		if hi > chi {
+			hi = chi
+		}
+	}
+	if lo > hi {
+		return &core.Result{}, nil
+	}
+	subs := r.plan(r.m.PartitionsFor(lo, hi, filter.Countries))
+	r.met.FanOut.ObserveValue(float64(len(subs)))
+
+	results := make([]*core.Result, len(subs))
+	subErrs := make([]error, len(subs))
+	var wg sync.WaitGroup
+	for i := range subs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := &ExecRequest{MapVersion: r.m.Version, Partitions: subs[i].partitions, Query: q}
+			results[i], subErrs[i] = r.execSub(ctx, subs[i], req)
+		}(i)
+	}
+	wg.Wait()
+
+	var untyped, degraded, rejected error
+	var maxRetry time.Duration
+	for _, e := range subErrs {
+		switch {
+		case e == nil:
+		case errors.Is(e, exec.ErrRejected):
+			if rejected == nil {
+				rejected = e
+			}
+			if ra := exec.RetryAfter(e, time.Second); ra > maxRetry {
+				maxRetry = ra
+			}
+		case errors.Is(e, core.ErrDegraded):
+			if degraded == nil {
+				degraded = e
+			}
+		default:
+			if untyped == nil {
+				untyped = e
+			}
+		}
+	}
+	switch {
+	case untyped != nil:
+		return nil, untyped
+	case degraded != nil:
+		r.met.DegradedResults.Inc()
+		return nil, degraded
+	case rejected != nil:
+		r.met.Rejected.Inc()
+		return nil, &exec.RetryAfterError{After: maxRetry, Err: rejected}
+	}
+
+	out := MergeResults(results)
+	if q.Trace {
+		out.Trace = MergeTraces(results)
+	}
+	out.Stats.ElapsedNanos = time.Since(start).Nanoseconds()
+	return out, nil
+}
+
+// execSub runs one sub-plan against its replica chain. One attempt flies at a
+// time, except for at most one hedge: when the running attempt outlives the
+// hedge delay and an untried replica remains, the hedge launches there and
+// the first success wins. Failures advance the chain — unless typed as an
+// admission rejection, which no replica would answer differently right now,
+// so it returns immediately for the client to back off.
+func (r *Router) execSub(ctx context.Context, sub subPlan, req *ExecRequest) (*core.Result, error) {
+	owners := sub.owners
+	if r.cfg.SpreadReplicas && len(owners) > 1 {
+		k := int(r.rr.Add(1)-1) % len(owners)
+		rot := make([]Shard, len(owners))
+		for i := range owners {
+			rot[i] = owners[(i+k)%len(owners)]
+		}
+		owners = rot
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel() // reels in the losing attempt once one wins
+	type attemptDone struct {
+		res   *core.Result
+		err   error
+		hedge bool
+		took  time.Duration
+	}
+	ch := make(chan attemptDone, len(owners))
+	launch := func(i int, hedge bool) {
+		go func() {
+			r.met.RPCs.Inc()
+			actx, acancel := context.WithTimeout(sctx, r.cfg.ShardTimeout)
+			t0 := time.Now()
+			res, err := r.tr.Exec(actx, owners[i].Addr, req)
+			acancel()
+			ch <- attemptDone{res: res, err: err, hedge: hedge, took: time.Since(t0)}
+		}()
+	}
+	next, inflight := 0, 0
+	hedged := false
+	var attemptErrs []error
+	for {
+		if inflight == 0 {
+			if next >= len(owners) {
+				break
+			}
+			if next > 0 {
+				r.met.Failovers.Inc()
+			}
+			launch(next, false)
+			next++
+			inflight++
+		}
+		var hedgeC <-chan time.Time
+		var hedgeT *time.Timer
+		if !hedged && !r.cfg.DisableHedging && inflight == 1 && next < len(owners) {
+			if d := r.hedgeDelay(); d > 0 {
+				hedgeT = time.NewTimer(d)
+				hedgeC = hedgeT.C
+			}
+		}
+		select {
+		case a := <-ch:
+			if hedgeT != nil {
+				hedgeT.Stop()
+			}
+			inflight--
+			if a.err == nil {
+				r.observeLatency(a.took)
+				if a.hedge {
+					r.met.HedgesWon.Inc()
+				}
+				return a.res, nil
+			}
+			if errors.Is(a.err, exec.ErrRejected) {
+				return nil, a.err
+			}
+			attemptErrs = append(attemptErrs, a.err)
+		case <-hedgeC:
+			r.met.HedgesFired.Inc()
+			hedged = true
+			launch(next, true)
+			next++
+			inflight++
+		case <-sctx.Done():
+			if hedgeT != nil {
+				hedgeT.Stop()
+			}
+			return nil, sctx.Err()
+		}
+	}
+	// Chain exhausted. The caller's own deadline or disconnect trumps
+	// whatever the attempts died of (their errors are downstream of it).
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Surface the loudest failure — any untyped error over a uniformly
+	// degraded replica set.
+	var degraded error
+	for _, e := range attemptErrs {
+		if errors.Is(e, core.ErrDegraded) {
+			degraded = e
+			continue
+		}
+		return nil, e
+	}
+	return nil, degraded
+}
+
+// observeLatency records a successful attempt for metrics and the adaptive
+// hedge estimate.
+func (r *Router) observeLatency(d time.Duration) {
+	r.met.RPCLatency.Observe(d)
+	r.latMu.Lock()
+	if len(r.lat) < latRingSize {
+		r.lat = append(r.lat, d)
+	} else {
+		r.lat[r.latPos%latRingSize] = d
+	}
+	r.latPos++
+	r.latMu.Unlock()
+}
+
+// hedgeDelay returns how long a sub-plan waits on an attempt before hedging;
+// zero disables the hedge for this attempt (not enough signal yet).
+func (r *Router) hedgeDelay() time.Duration {
+	if r.cfg.HedgeDelay > 0 {
+		return r.cfg.HedgeDelay
+	}
+	r.latMu.Lock()
+	if len(r.lat) < minHedgeSamples {
+		r.latMu.Unlock()
+		return 0
+	}
+	tmp := make([]time.Duration, len(r.lat))
+	copy(tmp, r.lat)
+	r.latMu.Unlock()
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	d := tmp[int(r.cfg.HedgePercentile*float64(len(tmp)-1)+0.5)]
+	if d < r.cfg.HedgeMin {
+		d = r.cfg.HedgeMin
+	}
+	if d > r.cfg.HedgeMax {
+		d = r.cfg.HedgeMax
+	}
+	return d
+}
+
+// RefreshHealth polls every shard once and swaps the health cache.
+func (r *Router) RefreshHealth(ctx context.Context) {
+	probes := make([]ShardProbe, len(r.m.Shards))
+	var wg sync.WaitGroup
+	for i, sh := range r.m.Shards {
+		wg.Add(1)
+		go func(i int, sh Shard) {
+			defer wg.Done()
+			hctx, cancel := context.WithTimeout(ctx, r.cfg.ShardTimeout)
+			defer cancel()
+			p := ShardProbe{ID: sh.ID, Addr: sh.Addr}
+			h, err := r.tr.Health(hctx, sh.Addr)
+			if err != nil {
+				p.Status = "unreachable"
+				p.Error = err.Error()
+			} else {
+				p.Status = h.Status
+				hc := h.Health
+				p.Health = &hc
+				p.MapVersion = h.MapVersion
+				p.CovLo, p.CovHi, p.HasCoverage = h.CovLo, h.CovHi, h.HasCoverage
+			}
+			probes[i] = p
+		}(i, sh)
+	}
+	wg.Wait()
+	r.healthMu.Lock()
+	r.probes = probes
+	r.healthMu.Unlock()
+}
+
+// RunHealth polls shard health until ctx ends. Run it in a goroutine next to
+// the HTTP server.
+func (r *Router) RunHealth(ctx context.Context) {
+	r.RefreshHealth(ctx)
+	t := time.NewTicker(r.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			r.RefreshHealth(ctx)
+		}
+	}
+}
+
+// ClusterHealth aggregates the last health poll: degraded if any shard is
+// degraded or unreachable, with the per-shard breakdown.
+func (r *Router) ClusterHealth() ClusterSnapshot {
+	r.healthMu.Lock()
+	probes := r.probes
+	r.healthMu.Unlock()
+	snap := ClusterSnapshot{
+		Status:      "ok",
+		MapVersion:  r.m.Version,
+		Groups:      r.m.Groups,
+		Replication: r.m.Replication,
+		Shards:      probes,
+	}
+	for _, p := range probes {
+		if p.Status != "ok" {
+			snap.Status = "degraded"
+		}
+	}
+	return snap
+}
+
+// Health implements server.Backend: the fleet-wide rollup of the last health
+// poll. Degraded means some shard is degraded or unreachable — queries may
+// still be answered exactly via replicas, but the operator should look.
+func (r *Router) Health() core.Health {
+	r.healthMu.Lock()
+	probes := r.probes
+	r.healthMu.Unlock()
+	var h core.Health
+	for _, p := range probes {
+		if p.Status != "ok" {
+			h.Degraded = true
+		}
+		if p.Health != nil {
+			h.QuarantinedPages += p.Health.QuarantinedPages
+			h.FallbackReplans += p.Health.FallbackReplans
+			h.DegradedQueries += p.Health.DegradedQueries
+		}
+	}
+	return h
+}
+
+// Coverage implements server.Backend: the union of reachable shards' index
+// coverage, from the health cache.
+func (r *Router) Coverage() (lo, hi temporal.Day, ok bool) {
+	r.healthMu.Lock()
+	probes := r.probes
+	r.healthMu.Unlock()
+	for _, p := range probes {
+		if !p.HasCoverage {
+			continue
+		}
+		plo, phi := temporal.Day(p.CovLo), temporal.Day(p.CovHi)
+		if !ok || plo < lo {
+			lo = plo
+		}
+		if !ok || phi > hi {
+			hi = phi
+		}
+		ok = true
+	}
+	return lo, hi, ok
+}
+
+// sampleOrder returns the shard list rotated by the rotation counter, so
+// warehouse lookups (which any shard can answer — the sample warehouse is not
+// partitioned) spread across the fleet.
+func (r *Router) sampleOrder() []Shard {
+	n := len(r.m.Shards)
+	k := int(r.rr.Add(1)-1) % n
+	out := make([]Shard, n)
+	for i := range out {
+		out[i] = r.m.Shards[(i+k)%n]
+	}
+	return out
+}
+
+// tryShards runs call against shards in rotation order until one answers.
+// A RemoteError is authoritative (the shard handled the request; another
+// replica would say the same), transport errors fail over to the next shard.
+func (r *Router) tryShards(ctx context.Context, call func(ctx context.Context, addr string) error) error {
+	var lastErr error
+	for _, sh := range r.sampleOrder() {
+		actx, cancel := context.WithTimeout(ctx, r.cfg.ShardTimeout)
+		err := call(actx, sh.Addr)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		var re *RemoteError
+		if errors.As(err, &re) {
+			return err
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+	return lastErr
+}
+
+// SampleContext forwards a sample query to any healthy shard.
+func (r *Router) SampleContext(ctx context.Context, q warehouse.SampleQuery) ([]update.Record, error) {
+	var recs []update.Record
+	err := r.tryShards(ctx, func(ctx context.Context, addr string) error {
+		var err error
+		recs, err = r.tr.Sample(ctx, addr, &SampleRequest{Query: q})
+		return err
+	})
+	return recs, err
+}
+
+// Sample implements server.Backend.
+func (r *Router) Sample(q warehouse.SampleQuery) ([]update.Record, error) {
+	return r.SampleContext(context.Background(), q)
+}
+
+// ByChangesetContext forwards a changeset lookup to any healthy shard.
+func (r *Router) ByChangesetContext(ctx context.Context, id int64) ([]update.Record, error) {
+	var recs []update.Record
+	err := r.tryShards(ctx, func(ctx context.Context, addr string) error {
+		var err error
+		recs, err = r.tr.Changeset(ctx, addr, id)
+		return err
+	})
+	return recs, err
+}
+
+// ByChangeset implements server.Backend.
+func (r *Router) ByChangeset(id int64) ([]update.Record, error) {
+	return r.ByChangesetContext(context.Background(), id)
+}

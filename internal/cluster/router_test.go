@@ -1,0 +1,368 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"rased/internal/core"
+	"rased/internal/exec"
+	"rased/internal/server"
+	"rased/internal/temporal"
+	"rased/internal/update"
+	"rased/internal/warehouse"
+)
+
+// pickFaultShards chooses, from the owner tuples of an actual scatter plan, a
+// shard to kill and a shard to stall such that the plan is guaranteed to
+// exercise one replica failover AND one hedged request that a healthy replica
+// wins. Choosing from the plan (instead of hard-coding ids) keeps the test
+// valid under any rendezvous layout.
+func pickFaultShards(t *testing.T, m *Map, subs []subPlan) (downID, stallID string) {
+	t.Helper()
+	for _, d := range m.Shards {
+		for _, s := range m.Shards {
+			if s.ID == d.ID {
+				continue
+			}
+			okDown, okStall := false, false
+			for _, sub := range subs {
+				if len(sub.owners) < 2 {
+					continue
+				}
+				// The downed shard must be first in some tuple whose replica
+				// is not also faulted, so failover succeeds promptly.
+				if sub.owners[0].ID == d.ID && sub.owners[1].ID != s.ID {
+					okDown = true
+				}
+				// The stalled shard must be first in some tuple whose replica
+				// is healthy, so the hedge fires there and wins.
+				if sub.owners[0].ID == s.ID && sub.owners[1].ID != d.ID {
+					okStall = true
+				}
+			}
+			if okDown && okStall {
+				return d.ID, s.ID
+			}
+		}
+	}
+	t.Fatal("no (down, stall) shard pair exercises both failover and hedging under this layout")
+	return "", ""
+}
+
+// TestScatterGatherDeterminism is the -race acceptance test: a scatter-gather
+// over four in-process shards — with one shard dead (replica failover) and
+// one shard stalled (hedged request won by the replica) — produces
+// bit-identical aggregates and stable trace ordering across runs.
+func TestScatterGatherDeterminism(t *testing.T) {
+	// Fixed hedge delay (no warmup), primaries tried in rendezvous order so
+	// the attempt sequence is deterministic.
+	tc := newTestCluster(t, RouterConfig{
+		HedgeDelay:     4 * time.Millisecond,
+		SpreadReplicas: false,
+		ShardTimeout:   5 * time.Second,
+	})
+	ctx := context.Background()
+
+	q := core.Query{
+		From: temporal.NewDay(2020, time.February, 15), To: temporal.NewDay(2022, time.November, 20),
+		GroupBy: core.GroupBy{Country: true, Date: core.ByMonth},
+		Trace:   true,
+	}
+	subs := tc.rt.plan(tc.m.PartitionsFor(q.From, q.To, nil))
+	downID, stallID := pickFaultShards(t, tc.m, subs)
+	down, _ := tc.m.Shard(downID)
+	stall, _ := tc.m.Shard(stallID)
+	tc.tr.SetDown(down.Addr, true)
+	tc.tr.SetStall(stall.Addr, 60*time.Millisecond)
+
+	type snapshot struct {
+		rows  []core.Row
+		total uint64
+		trace core.QueryTrace
+	}
+	var runs []snapshot
+	for i := 0; i < 3; i++ {
+		res, err := tc.rt.AnalyzeContext(ctx, q)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if res.Trace == nil {
+			t.Fatalf("run %d: no trace", i)
+		}
+		runs = append(runs, snapshot{rows: res.Rows, total: res.Total, trace: *res.Trace})
+	}
+
+	for i := 1; i < len(runs); i++ {
+		if !reflect.DeepEqual(runs[i].rows, runs[0].rows) || runs[i].total != runs[0].total {
+			t.Fatalf("run %d aggregates differ from run 0:\n%+v\nvs\n%+v", i, runs[i].rows, runs[0].rows)
+		}
+		if !reflect.DeepEqual(runs[i].trace, runs[0].trace) {
+			t.Fatalf("run %d trace differs from run 0:\n%+v\nvs\n%+v", i, runs[i].trace, runs[0].trace)
+		}
+	}
+
+	// The merged answer is still the exact single-node answer.
+	want, err := tc.oracle.AnalyzeContext(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareResults(t, "degraded-topology", &core.Result{Rows: runs[0].rows, Total: runs[0].total}, want)
+
+	met := tc.rt.Metrics()
+	if met.Failovers.Value() < 3 {
+		t.Errorf("Failovers = %d, want >= 1 per run", met.Failovers.Value())
+	}
+	if met.HedgesFired.Value() < 3 {
+		t.Errorf("HedgesFired = %d, want >= 1 per run", met.HedgesFired.Value())
+	}
+	if met.HedgesWon.Value() < 3 {
+		t.Errorf("HedgesWon = %d, want >= 1 per run", met.HedgesWon.Value())
+	}
+}
+
+// rejectTransport refuses every sub-plan with a shard-side admission
+// rejection carrying a per-shard Retry-After hint.
+type rejectTransport struct {
+	after map[string]time.Duration
+}
+
+func (t *rejectTransport) Exec(_ context.Context, addr string, _ *ExecRequest) (*core.Result, error) {
+	return nil, &RemoteError{Shard: addr, Code: CodeRejected, Msg: "exec: query rejected", RetryAfter: t.after[addr]}
+}
+
+func (t *rejectTransport) Health(context.Context, string) (*ShardHealth, error) {
+	return &ShardHealth{Status: "ok", MapVersion: 1}, nil
+}
+
+func (t *rejectTransport) Sample(context.Context, string, *SampleRequest) ([]update.Record, error) {
+	return nil, nil
+}
+
+func (t *rejectTransport) Changeset(context.Context, string, int64) ([]update.Record, error) {
+	return nil, nil
+}
+
+// TestRejectedPropagation: a shard-side rejection propagates through the
+// router as a typed exec.ErrRejected carrying the max Retry-After across
+// shards, and through the public HTTP layer as 503 + Retry-After verbatim.
+func TestRejectedPropagation(t *testing.T) {
+	m := &Map{
+		Version: 1, Groups: fixGroups, Replication: 1,
+		Shards: []Shard{
+			{ID: "s0", Addr: "s0"}, {ID: "s1", Addr: "s1"},
+			{ID: "s2", Addr: "s2"}, {ID: "s3", Addr: "s3"},
+		},
+	}
+	tr := &rejectTransport{after: map[string]time.Duration{
+		"s0": 3 * time.Second, "s1": 7 * time.Second, "s2": 2 * time.Second, "s3": time.Second,
+	}}
+	rt, err := NewRouter(m, tr, RouterConfig{DisableHedging: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := core.Query{From: temporal.NewDay(2021, time.January, 1), To: temporal.NewDay(2021, time.December, 31)}
+
+	_, err = rt.AnalyzeContext(context.Background(), q)
+	if !errors.Is(err, exec.ErrRejected) {
+		t.Fatalf("err = %v, want ErrRejected", err)
+	}
+	if ra := exec.RetryAfter(err, time.Second); ra != 7*time.Second {
+		t.Fatalf("RetryAfter = %v, want 7s (max across shards)", ra)
+	}
+	if rt.Metrics().Rejected.Value() != 1 {
+		t.Fatalf("Rejected counter = %d, want 1", rt.Metrics().Rejected.Value())
+	}
+
+	// Same rejection through the public server: 503 with the shard's hint.
+	srv := server.New(rt)
+	body, _ := json.Marshal(map[string]any{"from": "2021-01-01", "to": "2021-12-31"})
+	req := httptest.NewRequest(http.MethodPost, "/api/analysis", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 (body: %s)", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("Retry-After"); got != "7" {
+		t.Fatalf("Retry-After = %q, want \"7\"", got)
+	}
+}
+
+// TestRouterHealthz: the router's /healthz aggregates per-shard health — any
+// shard out of service flips the top-level status to degraded (still HTTP
+// 200) with the per-shard breakdown embedded.
+func TestRouterHealthz(t *testing.T) {
+	tc := newTestCluster(t, RouterConfig{})
+	ctx := context.Background()
+
+	tc.rt.RefreshHealth(ctx)
+	if snap := tc.rt.ClusterHealth(); snap.Status != "ok" || len(snap.Shards) != 4 {
+		t.Fatalf("healthy cluster snapshot = %+v", snap)
+	}
+
+	tc.tr.SetDown("s2", true)
+	tc.rt.RefreshHealth(ctx)
+	snap := tc.rt.ClusterHealth()
+	if snap.Status != "degraded" {
+		t.Fatalf("snapshot status = %q, want degraded", snap.Status)
+	}
+	for _, p := range snap.Shards {
+		want := "ok"
+		if p.ID == "s2" {
+			want = "unreachable"
+		}
+		if p.Status != want {
+			t.Fatalf("shard %s probe status = %q, want %q", p.ID, p.Status, want)
+		}
+	}
+
+	srv := server.New(tc.rt, server.WithClusterStatus(func() (string, any) {
+		s := tc.rt.ClusterHealth()
+		return s.Status, s
+	}))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz status = %d, want 200 even when degraded", rec.Code)
+	}
+	var resp struct {
+		Status  string `json:"status"`
+		Cluster struct {
+			Status string       `json:"status"`
+			Shards []ShardProbe `json:"shards"`
+		} `json:"cluster"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != "degraded" || resp.Cluster.Status != "degraded" || len(resp.Cluster.Shards) != 4 {
+		t.Fatalf("healthz body = %s", rec.Body.String())
+	}
+}
+
+// fakeSamples is a stub warehouse for sample-routing tests.
+type fakeSamples struct{ recs []update.Record }
+
+func (f *fakeSamples) Sample(warehouse.SampleQuery) ([]update.Record, error) { return f.recs, nil }
+func (f *fakeSamples) ByChangeset(int64) ([]update.Record, error)           { return f.recs, nil }
+
+// TestSampleFailover: warehouse lookups are not partitioned, so the router
+// walks the shard rotation past dead shards until one answers.
+func TestSampleFailover(t *testing.T) {
+	f := getClusterFixture(t)
+	m := &Map{
+		Version: 1, Groups: fixGroups, Replication: 2, Countries: fixCountries,
+		Shards: []Shard{
+			{ID: "s0", Addr: "s0"}, {ID: "s1", Addr: "s1"},
+			{ID: "s2", Addr: "s2"}, {ID: "s3", Addr: "s3"},
+		},
+	}
+	tr := NewLocalTransport()
+	want := []update.Record{{Day: f.lo, Country: 1, ChangesetID: 42}}
+	for _, sh := range m.Shards {
+		srv, err := NewShardServer(sh.ID, m, newFixtureEngine(t, f), &fakeSamples{recs: want})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.Register(sh.Addr, srv)
+	}
+	rt, err := NewRouter(m, tr, RouterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.SetDown("s0", true)
+	tr.SetDown("s1", true)
+
+	// Whatever the rotation lands on, two dead shards must not surface.
+	for i := 0; i < 8; i++ {
+		recs, err := rt.SampleContext(context.Background(), warehouse.SampleQuery{})
+		if err != nil {
+			t.Fatalf("sample %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(recs, want) {
+			t.Fatalf("sample %d: got %+v", i, recs)
+		}
+		recs, err = rt.ByChangesetContext(context.Background(), 42)
+		if err != nil || !reflect.DeepEqual(recs, want) {
+			t.Fatalf("changeset %d: %+v, %v", i, recs, err)
+		}
+	}
+}
+
+// TestHTTPTransportEndToEnd runs the full wire path — router, HTTPTransport,
+// shard HTTP handlers, JSON round trip — against real listeners, and checks
+// both the exact-result property and typed-error reconstruction over HTTP.
+func TestHTTPTransportEndToEnd(t *testing.T) {
+	f := getClusterFixture(t)
+	ids := []string{"s0", "s1", "s2", "s3"}
+
+	// Addresses are only known once the listeners exist, so the map is built
+	// in two passes: placeholder addrs, then rebind.
+	m := &Map{Version: 1, Groups: fixGroups, Replication: 2, Countries: fixCountries}
+	for _, id := range ids {
+		m.Shards = append(m.Shards, Shard{ID: id, Addr: id})
+	}
+	servers := map[string]*httptest.Server{}
+	for i, id := range ids {
+		srv, err := NewShardServer(id, m, newFixtureEngine(t, f), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler(nil))
+		defer ts.Close()
+		servers[id] = ts
+		m.Shards[i].Addr = strings.TrimPrefix(ts.URL, "http://")
+	}
+
+	rt, err := NewRouter(m, &HTTPTransport{}, RouterConfig{DisableHedging: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := core.Query{
+		From: temporal.NewDay(2020, time.March, 10), To: temporal.NewDay(2022, time.April, 20),
+		GroupBy: core.GroupBy{Country: true, UpdateType: true},
+	}
+	got, err := rt.AnalyzeContext(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := newFixtureEngine(t, f)
+	want, err := oracle.AnalyzeContext(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareResults(t, "http-end-to-end", got, want)
+
+	// A typed refusal crosses the real HTTP hop intact.
+	var notOwned Partition
+	found := false
+	for g := 0; g < fixGroups; g++ {
+		p := Partition{Year: 2021, Group: g}
+		if !m.Owns("s0", p) {
+			notOwned, found = p, true
+			break
+		}
+	}
+	if !found {
+		t.Skip("shard s0 owns every group of 2021 under this layout")
+	}
+	tr := &HTTPTransport{}
+	_, err = tr.Exec(context.Background(), m.Shards[0].Addr,
+		&ExecRequest{MapVersion: 1, Partitions: []string{notOwned.String()}, Query: q})
+	if !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("HTTP hop lost ErrNotOwner: %v", err)
+	}
+	_, err = tr.Exec(context.Background(), m.Shards[0].Addr,
+		&ExecRequest{MapVersion: 9, Partitions: []string{notOwned.String()}, Query: q})
+	if !errors.Is(err, ErrMapVersion) {
+		t.Fatalf("HTTP hop lost ErrMapVersion: %v", err)
+	}
+}

@@ -1,0 +1,15 @@
+//go:build rpcreg
+
+// rpcdeadline registry (see internal/analysis/rules/rpcdeadline.go): the
+// audited list of functions that issue outbound RPCs whose request contexts
+// always arrive with a deadline already attached. The build tag keeps this
+// file out of production builds; the analyzer reads it from disk.
+//
+//   - roundTrip: only called by HTTPTransport.do, which attaches
+//     DefaultRPCTimeout to any context that lacks a deadline before building
+//     the request.
+package cluster
+
+var RPCDeadlineSites = []string{
+	"roundTrip",
+}

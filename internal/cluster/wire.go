@@ -1,0 +1,151 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"rased/internal/core"
+	"rased/internal/exec"
+	"rased/internal/warehouse"
+)
+
+// ErrNotOwner is returned (and wired as CodeNotOwner) when a shard receives a
+// sub-plan for a partition the cluster map does not assign to it — a stale
+// router map or a misrouted request; retrying the same shard cannot help.
+var ErrNotOwner = errors.New("cluster: shard does not own the requested partition")
+
+// ErrMapVersion is returned (CodeMapVersion) when router and shard disagree
+// on the cluster-map version: executing anyway could silently double-count or
+// drop partitions across a topology change, so the shard refuses.
+var ErrMapVersion = errors.New("cluster: cluster-map version mismatch")
+
+// Wire error codes. Typed errors cross the process boundary as these codes
+// and are reconstructed on the router side, so errors.Is against the local
+// sentinels (core.ErrDegraded, exec.ErrRejected, ErrNotOwner, ErrMapVersion)
+// keeps working end-to-end — the PR 5 exact-or-typed-error contract does not
+// stop at the RPC edge.
+const (
+	CodeDegraded   = "degraded"
+	CodeRejected   = "rejected"
+	CodeNotOwner   = "not_owner"
+	CodeMapVersion = "map_version"
+	CodeBadRequest = "bad_request"
+	CodeInternal   = "internal"
+)
+
+// ExecRequest is the body of POST /internal/v1/exec: the original query plus
+// the partitions this shard should execute, planned against MapVersion.
+type ExecRequest struct {
+	MapVersion int        `json:"map_version"`
+	Partitions []string   `json:"partitions"`
+	Query      core.Query `json:"query"`
+}
+
+// ExecResponse is the success body: the shard's partial aggregate.
+type ExecResponse struct {
+	Result *core.Result `json:"result"`
+}
+
+// SampleRequest is the body of POST /internal/v1/sample.
+type SampleRequest struct {
+	Query warehouse.SampleQuery `json:"query"`
+}
+
+// ShardHealth is GET /internal/v1/health: the shard's identity, degraded
+// state, coverage, and map version, aggregated by the router's /healthz.
+type ShardHealth struct {
+	ID         string      `json:"id"`
+	Status     string      `json:"status"` // "ok" or "degraded"
+	MapVersion int         `json:"map_version"`
+	Health     core.Health `json:"health"`
+	// Coverage window as day ordinals; HasCoverage is false for an empty
+	// index.
+	CovLo       int  `json:"cov_lo"`
+	CovHi       int  `json:"cov_hi"`
+	HasCoverage bool `json:"has_coverage"`
+}
+
+// wireError is the JSON error body every internal endpoint returns on
+// failure.
+type wireError struct {
+	Error          string `json:"error"`
+	Code           string `json:"code"`
+	RetryAfterSecs int    `json:"retry_after_secs,omitempty"`
+}
+
+// RemoteError is a shard-side failure reconstructed on the router: it keeps
+// the remote message and shard identity for diagnostics while Unwrap maps the
+// wire code back onto the local typed sentinel, so errors.Is sees through the
+// RPC hop.
+type RemoteError struct {
+	Shard      string
+	Code       string
+	Msg        string
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("cluster: shard %s: %s: %s", e.Shard, e.Code, e.Msg)
+}
+
+// Unwrap maps the wire code to the typed sentinel the rest of the system
+// dispatches on.
+func (e *RemoteError) Unwrap() error {
+	switch e.Code {
+	case CodeDegraded:
+		return core.ErrDegraded
+	case CodeRejected:
+		if e.RetryAfter > 0 {
+			return &exec.RetryAfterError{After: e.RetryAfter, Err: exec.ErrRejected}
+		}
+		return exec.ErrRejected
+	case CodeNotOwner:
+		return ErrNotOwner
+	case CodeMapVersion:
+		return ErrMapVersion
+	}
+	return nil
+}
+
+// retryAfterOf extracts the back-off hint to carry across the wire; zero for
+// non-rejection errors.
+func retryAfterOf(err error) time.Duration {
+	if errors.Is(err, exec.ErrRejected) {
+		return exec.RetryAfter(err, time.Second)
+	}
+	return 0
+}
+
+// CodeOf classifies a shard-side error into its wire code.
+func CodeOf(err error) string {
+	switch {
+	case errors.Is(err, exec.ErrRejected):
+		return CodeRejected
+	case errors.Is(err, core.ErrDegraded):
+		return CodeDegraded
+	case errors.Is(err, ErrNotOwner):
+		return CodeNotOwner
+	case errors.Is(err, ErrMapVersion):
+		return CodeMapVersion
+	}
+	return CodeInternal
+}
+
+// httpStatus maps a wire code to the internal RPC's HTTP status. Rejection
+// and degradation are 503 (same as the public API); ownership and version
+// conflicts are 409 — the request was well-formed but routed against the
+// wrong topology.
+func httpStatus(code string) int {
+	switch code {
+	case CodeRejected, CodeDegraded:
+		return http.StatusServiceUnavailable
+	case CodeNotOwner, CodeMapVersion:
+		return http.StatusConflict
+	case CodeBadRequest:
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}

@@ -411,6 +411,14 @@ func (e *Engine) Analyze(q Query) (*Result, error) {
 // further cube fetches and returns ctx.Err(). Admission wait is excluded from
 // the reported query latency.
 func (e *Engine) AnalyzeContext(ctx context.Context, q Query) (*Result, error) {
+	return e.analyzeAdmitted(ctx, q, nil)
+}
+
+// analyzeAdmitted is the shared body of AnalyzeContext and
+// AnalyzePartitionContext: admission, timing, query metrics, and trace
+// finalization around one analyze call. restrict is nil for whole-query
+// execution (see partition.go for the restricted form).
+func (e *Engine) analyzeAdmitted(ctx context.Context, q Query, restrict *restriction) (*Result, error) {
 	release, err := e.adm.Acquire(ctx)
 	if err != nil {
 		return nil, err
@@ -421,7 +429,7 @@ func (e *Engine) AnalyzeContext(ctx context.Context, q Query) (*Result, error) {
 	if q.Trace {
 		tb = e.newTraceBuilder()
 	}
-	res, err := e.analyze(ctx, q, tb)
+	res, err := e.analyze(ctx, q, tb, restrict)
 	if err != nil {
 		e.met.QueryErrors.Inc()
 		if errors.Is(err, ErrDegraded) {
@@ -437,8 +445,13 @@ func (e *Engine) AnalyzeContext(ctx context.Context, q Query) (*Result, error) {
 }
 
 // analyze is the Analyze body; the wrapper owns admission, timing, query
-// metrics, and trace finalization.
-func (e *Engine) analyze(ctx context.Context, q Query, tb *traceBuilder) (*Result, error) {
+// metrics, and trace finalization. A non-nil restrict intersects the compiled
+// country filter with a set of allowed catalog values and narrows the
+// executed window (partition-restricted execution) — the query itself stays
+// untouched, so Percentage denominators and their as-of snapshot day are the
+// ones the whole query would use. An empty intersection short-circuits to an
+// empty result.
+func (e *Engine) analyze(ctx context.Context, q Query, tb *traceBuilder, restrict *restriction) (*Result, error) {
 	if q.To < q.From {
 		return nil, fmt.Errorf("core: query window [%s, %s] is inverted", q.From, q.To)
 	}
@@ -448,12 +461,29 @@ func (e *Engine) analyze(ctx context.Context, q Query, tb *traceBuilder) (*Resul
 	if err != nil {
 		return nil, err
 	}
+	if restrict != nil {
+		filter.Countries = restrictCountries(filter.Countries, restrict.countries)
+		if len(filter.Countries) == 0 {
+			return &Result{}, nil
+		}
+	}
 	gb := cubeGroupBy(q.GroupBy)
 
 	res := &Result{}
 	lo, hi, ok := e.clip(q.From, q.To)
 	if !ok {
 		return res, nil
+	}
+	if restrict != nil && restrict.windowed {
+		if restrict.lo > lo {
+			lo = restrict.lo
+		}
+		if restrict.hi < hi {
+			hi = restrict.hi
+		}
+		if lo > hi {
+			return res, nil
+		}
 	}
 
 	// Compile the aggregation once per query: filter masks are resolved and

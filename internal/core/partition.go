@@ -1,0 +1,65 @@
+package core
+
+import (
+	"context"
+	"sort"
+
+	"rased/internal/temporal"
+)
+
+// restriction narrows one analyze call to a partition's slice of the cube:
+// a set of allowed country catalog values and, when windowed, a day range
+// intersected with the query window. The query itself is never rewritten, so
+// everything derived from it — Percentage denominators, their as-of snapshot
+// day, date-bucket labels — matches whole-query execution exactly, and
+// partials from disjoint restrictions merge additively into the single-node
+// answer.
+type restriction struct {
+	countries []int
+	lo, hi    temporal.Day
+	windowed  bool
+}
+
+// AnalyzePartitionContext executes q restricted to the window [lo, hi] and to
+// a set of country catalog values — a shard's partitions in a clustered
+// deployment (see internal/cluster).
+//
+// The window intersects the query window (and index coverage); the country
+// set intersects the query's compiled country filter: an unfiltered query
+// reads exactly the allowed values, a filtered one reads filter ∩ allowed,
+// and an empty intersection returns an empty result without touching the
+// index. Because every cube cell belongs to exactly one country catalog value
+// (zone rollups are themselves values with their own cells), partial results
+// produced under disjoint restrictions merge additively — including
+// Percentage rows, whose denominator and snapshot day depend only on the
+// query, never on the restriction.
+func (e *Engine) AnalyzePartitionContext(ctx context.Context, q Query, lo, hi temporal.Day, countries []int) (*Result, error) {
+	if countries == nil {
+		countries = []int{}
+	}
+	return e.analyzeAdmitted(ctx, q, &restriction{countries: countries, lo: lo, hi: hi, windowed: true})
+}
+
+// restrictCountries intersects a compiled country filter with the allowed
+// value set. A nil filter (no restriction in the query) becomes a sorted copy
+// of the allowed values; a non-nil filter keeps its own deterministic order,
+// dropping values outside the allowed set.
+func restrictCountries(filtered, allowed []int) []int {
+	if filtered == nil {
+		out := make([]int, len(allowed))
+		copy(out, allowed)
+		sort.Ints(out)
+		return out
+	}
+	set := make(map[int]bool, len(allowed))
+	for _, v := range allowed {
+		set[v] = true
+	}
+	out := make([]int, 0, len(filtered))
+	for _, v := range filtered {
+		if set[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

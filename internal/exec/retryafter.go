@@ -1,0 +1,63 @@
+package exec
+
+import (
+	"fmt"
+	"time"
+)
+
+// RetryAfterError decorates a rejection with the backoff hint the rejecting
+// side attached. Local admission control rejects with the bare ErrRejected
+// (the HTTP layer's default Retry-After is fine one hop away), but a routed
+// deployment must carry the shard's own hint across process boundaries: the
+// cluster router wraps remote rejections in a RetryAfterError so the public
+// server can propagate the shard-side Retry-After verbatim — taking the
+// maximum across shards when a multi-shard plan was partially shed.
+//
+// Unwrap exposes the underlying rejection, so errors.Is(err, ErrRejected)
+// keeps working end-to-end.
+type RetryAfterError struct {
+	After time.Duration
+	Err   error
+}
+
+// Error implements error.
+func (e *RetryAfterError) Error() string {
+	return fmt.Sprintf("%v (retry after %s)", e.Err, e.After)
+}
+
+// Unwrap exposes the wrapped rejection for errors.Is/As.
+func (e *RetryAfterError) Unwrap() error { return e.Err }
+
+// RetryAfter extracts the largest Retry-After hint attached anywhere in err's
+// wrap chain, or def when none is present. The maximum matters on scatter
+// plans: retrying before the most-loaded shard recovers would just be shed
+// again.
+func RetryAfter(err error, def time.Duration) time.Duration {
+	max := time.Duration(0)
+	walk(err, func(e error) {
+		if ra, ok := e.(*RetryAfterError); ok && ra.After > max {
+			max = ra.After
+		}
+	})
+	if max <= 0 {
+		return def
+	}
+	return max
+}
+
+// walk visits every error in err's wrap tree (both Unwrap() error and
+// Unwrap() []error forms).
+func walk(err error, fn func(error)) {
+	if err == nil {
+		return
+	}
+	fn(err)
+	switch u := err.(type) {
+	case interface{ Unwrap() error }:
+		walk(u.Unwrap(), fn)
+	case interface{ Unwrap() []error }:
+		for _, e := range u.Unwrap() {
+			walk(e, fn)
+		}
+	}
+}

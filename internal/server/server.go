@@ -49,7 +49,8 @@ type Server struct {
 	log          *slog.Logger
 	queryTimeout time.Duration // 0: bound only by the request context
 
-	liveStatus func() LiveStatus // nil: not a live deployment
+	liveStatus    func() LiveStatus    // nil: not a live deployment
+	clusterStatus func() (string, any) // nil: not a clustered deployment
 
 	cMu       sync.Mutex
 	reqCounts map[reqKey]*obs.Counter
@@ -99,6 +100,15 @@ func WithQueryTimeout(d time.Duration) Option {
 // coverage window.
 func WithLiveStatus(fn func() LiveStatus) Option {
 	return func(s *Server) { s.liveStatus = fn }
+}
+
+// WithClusterStatus marks the deployment as clustered: /healthz embeds the
+// detail fn returns (the router's per-shard breakdown) under "cluster", and a
+// returned status of "degraded" degrades the top-level status — still at HTTP
+// 200, same contract as single-node degradation: the tier may well be
+// answering exactly via replicas, but the operator should look.
+func WithClusterStatus(fn func() (status string, detail any)) Option {
+	return func(s *Server) { s.clusterStatus = fn }
 }
 
 // New builds a server over a backend.
@@ -236,6 +246,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}
 	if s.liveStatus != nil {
 		resp["live"] = s.liveStatus()
+	}
+	if s.clusterStatus != nil {
+		status, detail := s.clusterStatus()
+		resp["cluster"] = detail
+		if status == "degraded" {
+			resp["status"] = "degraded"
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -423,7 +440,13 @@ func (s *Server) analyze(r *http.Request, q core.Query) (*core.Result, error) {
 func writeAnalysisErr(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, exec.ErrRejected):
-		w.Header().Set("Retry-After", "1")
+		// The error chain may carry explicit back-off hints (a routed query
+		// aggregates the max across rejecting shards); default to 1s.
+		secs := int(exec.RetryAfter(err, time.Second).Seconds())
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
 		writeErr(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, core.ErrDegraded):
 		writeErr(w, http.StatusServiceUnavailable, err)
@@ -605,7 +628,7 @@ func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	recs, err := s.backend.Sample(q)
+	recs, err := s.sample(r, q)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
@@ -615,6 +638,33 @@ func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
 		out[i] = toSampleRecord(rec)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"samples": out})
+}
+
+// sampleContexter and changesetContexter are optional Backend upgrades: a
+// backend whose warehouse lookups cross the network (the cluster router)
+// implements them so client disconnects cancel the remote call. Local
+// backends answer from disk fast enough that plumbing ctx through them isn't
+// worth the churn.
+type sampleContexter interface {
+	SampleContext(ctx context.Context, q warehouse.SampleQuery) ([]update.Record, error)
+}
+
+type changesetContexter interface {
+	ByChangesetContext(ctx context.Context, id int64) ([]update.Record, error)
+}
+
+func (s *Server) sample(r *http.Request, q warehouse.SampleQuery) ([]update.Record, error) {
+	if sc, ok := s.backend.(sampleContexter); ok {
+		return sc.SampleContext(r.Context(), q)
+	}
+	return s.backend.Sample(q)
+}
+
+func (s *Server) byChangeset(r *http.Request, id int64) ([]update.Record, error) {
+	if cc, ok := s.backend.(changesetContexter); ok {
+		return cc.ByChangesetContext(r.Context(), id)
+	}
+	return s.backend.ByChangeset(id)
 }
 
 // TimelapseFrame is one frame of the dashboard's timelapse: the per-country
@@ -685,7 +735,7 @@ func (s *Server) handleChangeset(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad changeset id: %w", err))
 		return
 	}
-	recs, err := s.backend.ByChangeset(id)
+	recs, err := s.byChangeset(r, id)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
