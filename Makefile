@@ -22,9 +22,15 @@ check: vet lint race
 # ci is the full pipeline a hosted runner would execute. The quick hotpath
 # sweep smoke-tests the data-plane optimisations end to end (the full sweep
 # that regenerates BENCH_hotpath.json is the bench-hotpath target), and the
-# chaos suite certifies the degraded-mode contract at volume.
+# chaos suite certifies the degraded-mode contract at volume. The lint run
+# also leaves a machine-readable report at bin/lint-report.json, and the
+# analyzer suite itself (call graph, interprocedural rules, fixtures) runs
+# under the race detector explicitly so a lint-framework regression cannot
+# hide behind a cached ./... run.
 ci: build vet lint race chaos
 	$(GO) test ./...
+	$(GO) test -race -count=1 ./internal/analysis/...
+	$(GO) run ./cmd/rased-lint -json > bin/lint-report.json
 	bin/rased-bench -fig hotpath -quick
 	bin/rased-bench -fig live -quick
 	bin/rased-bench -fig cluster -quick
@@ -41,10 +47,13 @@ chaos:
 covergate:
 	sh scripts/covergate.sh
 
-# lint runs RASED's project-specific analyzers: context flow, lock-held I/O,
-# metric registration, error wrapping, determinism of the pure packages, and
-# pool-value ownership (poolsafe).
-# Audited exceptions live in .rased-lint.allow (none at the moment).
+# lint runs RASED's project-specific analyzers: the single-function rules
+# (context flow, lock-held I/O, metric registration, error wrapping,
+# determinism, pool ownership, storage fault paths, epoch immutability, RPC
+# deadlines) and the interprocedural ones (whole-program lock-order deadlock
+# detection, exact-or-typed error surfaces, compiler-verified zero-alloc hot
+# paths). Audited exceptions live in .rased-lint.allow (none at the moment);
+# `go run ./cmd/rased-lint -prune` drops entries that have gone stale.
 lint:
 	$(GO) run ./cmd/rased-lint
 

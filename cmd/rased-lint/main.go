@@ -36,6 +36,7 @@ func run() int {
 		allowFlag = flag.String("allow", "", "allowlist file of audited exceptions (default: <root>/.rased-lint.allow when present)")
 		ruleFlag  = flag.String("rules", "", "comma-separated rule IDs to run (default: all)")
 		list      = flag.Bool("list", false, "list the available rules and exit")
+		prune     = flag.Bool("prune", false, "rewrite the allowlist dropping stale entries (comments and order preserved)")
 	)
 	flag.Parse()
 
@@ -102,6 +103,22 @@ func run() int {
 	kept, suppressed, stale := allow.Filter(findings)
 	for _, e := range stale {
 		fmt.Fprintf(os.Stderr, "rased-lint: stale allowlist entry (fixed upstream? remove it): %s %s %s\n", e.Rule, e.Path, e.Match)
+	}
+	if *prune {
+		// Staleness is only meaningful for a full run: an entry for a rule or
+		// package excluded from this run suppressed nothing by construction.
+		if *ruleFlag != "" || len(flag.Args()) > 0 {
+			fmt.Fprintln(os.Stderr, "rased-lint: -prune requires a full run (no -rules, no package arguments)")
+			return 2
+		}
+		n, err := analysis.PruneFile(allowPath, stale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rased-lint: %v\n", err)
+			return 2
+		}
+		if n > 0 {
+			fmt.Fprintf(os.Stderr, "rased-lint: pruned %d stale entry(ies) from %s\n", n, allowPath)
+		}
 	}
 
 	if *jsonOut {

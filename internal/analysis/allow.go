@@ -81,6 +81,58 @@ func (al *Allowlist) Format() string {
 	return sb.String()
 }
 
+// PruneFile rewrites an allowlist file in place, dropping the lines that
+// parse to one of the stale entries while preserving comments, blank lines,
+// and the order of everything kept — the audit trail around surviving
+// exceptions must not be lost to a mechanical rewrite. It returns the number
+// of entry lines dropped. The file is only rewritten when at least one line
+// is dropped; a missing file is left untouched.
+func PruneFile(file string, stale []AllowEntry) (int, error) {
+	data, err := os.ReadFile(file)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	drop := make(map[AllowEntry]bool, len(stale))
+	for _, e := range stale {
+		drop[e] = true
+	}
+	var kept []string
+	dropped := 0
+	lines := strings.Split(string(data), "\n")
+	// Split leaves one trailing empty element for a newline-terminated file;
+	// keep it out of the loop so dropped lines don't shift the final newline.
+	if n := len(lines); n > 0 && lines[n-1] == "" {
+		lines = lines[:n-1]
+	}
+	for _, line := range lines {
+		trimmed := strings.TrimSpace(line)
+		if trimmed != "" && !strings.HasPrefix(trimmed, "#") {
+			if fields := strings.Fields(trimmed); len(fields) >= 2 {
+				e := AllowEntry{Rule: fields[0], Path: fields[1], Match: strings.Join(fields[2:], " ")}
+				if drop[e] {
+					dropped++
+					continue
+				}
+			}
+		}
+		kept = append(kept, line)
+	}
+	if dropped == 0 {
+		return 0, nil
+	}
+	out := strings.Join(kept, "\n")
+	if out != "" {
+		out += "\n"
+	}
+	if err := os.WriteFile(file, []byte(out), 0o644); err != nil {
+		return dropped, err
+	}
+	return dropped, nil
+}
+
 // allows reports whether entry e suppresses finding f.
 func (e AllowEntry) allows(f Finding) bool {
 	if e.Rule != f.Rule {

@@ -53,10 +53,13 @@ type Finisher interface {
 }
 
 // Pass carries one package through one analyzer, with a Reporter bound to the
-// analyzer's rule ID.
+// analyzer's rule ID. Prog is the whole-program call graph shared by every
+// pass of one Run — the interprocedural rules (lockorder, errsurface) compute
+// bottom-up summaries over its SCCs instead of re-walking the tree.
 type Pass struct {
 	*Reporter
-	Pkg *Package
+	Pkg  *Package
+	Prog *Program
 }
 
 // Reporter converts token positions to findings for one rule.
@@ -70,16 +73,62 @@ type Reporter struct {
 // Reportf records a finding at pos.
 func (r *Reporter) Reportf(pos token.Pos, format string, args ...any) {
 	p := r.fset.Position(pos)
-	file := p.Filename
-	if r.base != "" {
-		if rel, err := filepath.Rel(r.base, file); err == nil && !filepath.IsAbs(rel) && rel != ".." && !hasDotDotPrefix(rel) {
-			file = filepath.ToSlash(rel)
-		}
-	}
 	*r.out = append(*r.out, Finding{
-		Rule: r.rule, File: file, Line: p.Line, Col: p.Column,
+		Rule: r.rule, File: r.relFile(p.Filename), Line: p.Line, Col: p.Column,
 		Message: fmt.Sprintf(format, args...),
 	})
+}
+
+// Pos renders a position as a module-relative "file:line" string for use
+// inside finding messages (witness chains, cycle paths).
+func (r *Reporter) Pos(pos token.Pos) string {
+	p := r.fset.Position(pos)
+	return fmt.Sprintf("%s:%d", r.relFile(p.Filename), p.Line)
+}
+
+// Position exposes the full resolved position of pos, for rules that
+// correlate findings with external tool output (hotalloc diffs compiler
+// escape diagnostics against declaration line ranges).
+func (r *Reporter) Position(pos token.Pos) token.Position {
+	return r.fset.Position(pos)
+}
+
+// PosFor maps a (file, line, column) triple — typically parsed from external
+// tool output — back to a token.Pos inside the loaded file set, so findings
+// can anchor at the exact source location the tool named. Returns NoPos when
+// the file is not loaded or the line is out of range. Paths are compared
+// after Abs-normalization: tool output is often relative to some working
+// directory while loaded files may be absolute (or vice versa).
+func (r *Reporter) PosFor(file string, line, col int) token.Pos {
+	want, err := filepath.Abs(file)
+	if err != nil {
+		return token.NoPos
+	}
+	var out token.Pos
+	r.fset.Iterate(func(f *token.File) bool {
+		got, err := filepath.Abs(f.Name())
+		if err != nil || got != want {
+			return true
+		}
+		if line >= 1 && line <= f.LineCount() {
+			out = f.LineStart(line)
+			if col > 1 {
+				out += token.Pos(col - 1)
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// relFile relativizes a file path against the module root when possible.
+func (r *Reporter) relFile(file string) string {
+	if r.base != "" {
+		if rel, err := filepath.Rel(r.base, file); err == nil && !filepath.IsAbs(rel) && rel != ".." && !hasDotDotPrefix(rel) {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return file
 }
 
 func hasDotDotPrefix(rel string) bool {
@@ -91,10 +140,11 @@ func hasDotDotPrefix(rel string) bool {
 // then rule. base is the module root used to relativize file paths.
 func Run(fset *token.FileSet, pkgs []*Package, analyzers []Analyzer, base string) ([]Finding, error) {
 	var out []Finding
+	prog := NewProgram(fset, pkgs)
 	for _, a := range analyzers {
 		rep := &Reporter{fset: fset, base: base, rule: a.Name(), out: &out}
 		for _, pkg := range pkgs {
-			if err := a.Run(&Pass{Reporter: rep, Pkg: pkg}); err != nil {
+			if err := a.Run(&Pass{Reporter: rep, Pkg: pkg, Prog: prog}); err != nil {
 				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name(), pkg.Path, err)
 			}
 		}

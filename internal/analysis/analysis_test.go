@@ -64,6 +64,72 @@ func TestAllowlistFilter(t *testing.T) {
 	}
 }
 
+// TestPruneFile pins -prune's contract: stale entry lines vanish, comments
+// and blank lines survive verbatim, and the remaining entries still parse to
+// the original list minus the stale ones.
+func TestPruneFile(t *testing.T) {
+	const orig = `# audited exceptions — keep each with its justification
+lockio internal/pagestore/pagestore.go Sync
+
+# fixed in PR 7, should be pruned
+errwrap internal/*.go
+
+ctxflow   internal/benchx/conc.go
+`
+	file := filepath.Join(t.TempDir(), ".rased-lint.allow")
+	if err := os.WriteFile(file, []byte(orig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	n, err := PruneFile(file, []AllowEntry{{Rule: "errwrap", Path: "internal/*.go"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("pruned %d lines, want 1", n)
+	}
+	got, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `# audited exceptions — keep each with its justification
+lockio internal/pagestore/pagestore.go Sync
+
+# fixed in PR 7, should be pruned
+
+ctxflow   internal/benchx/conc.go
+`
+	if string(got) != want {
+		t.Fatalf("pruned file:\n%q\nwant:\n%q", got, want)
+	}
+	al, err := LoadAllowlist(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEntries := []AllowEntry{
+		{Rule: "lockio", Path: "internal/pagestore/pagestore.go", Match: "Sync"},
+		{Rule: "ctxflow", Path: "internal/benchx/conc.go"},
+	}
+	if !reflect.DeepEqual(al.Entries, wantEntries) {
+		t.Fatalf("entries after prune = %+v, want %+v", al.Entries, wantEntries)
+	}
+
+	// Nothing stale: the file must not be rewritten at all.
+	before, _ := os.Stat(file)
+	if n, err := PruneFile(file, nil); err != nil || n != 0 {
+		t.Fatalf("no-op prune: n=%d err=%v", n, err)
+	}
+	after, _ := os.Stat(file)
+	if !after.ModTime().Equal(before.ModTime()) {
+		t.Error("no-op prune rewrote the file")
+	}
+
+	// A missing file is not an error.
+	if n, err := PruneFile(filepath.Join(t.TempDir(), "nope"), wantEntries); err != nil || n != 0 {
+		t.Fatalf("missing file prune: n=%d err=%v", n, err)
+	}
+}
+
 func TestLoadMissingAllowlist(t *testing.T) {
 	al, err := LoadAllowlist(filepath.Join(t.TempDir(), "nope"))
 	if err != nil || len(al.Entries) != 0 {

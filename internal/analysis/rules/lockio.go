@@ -17,9 +17,12 @@ import (
 //   - time.Sleep;
 //   - channel sends (including select send cases).
 //
-// The walk is flow-sensitive per function: branches are merged conservatively
-// (a mutex is considered held after a branch if any surviving path holds it),
-// and a deferred Unlock keeps the mutex held to the end of the function.
+// The walk (shared with lockorder, see lockflow.go) is flow-sensitive per
+// function: branches are merged conservatively (a mutex is considered held
+// after a branch if any surviving path holds it), and a deferred Unlock keeps
+// the mutex held to the end of the function. LockIO checks the directly
+// banned operations; its interprocedural generalization — a held lock
+// reaching blocking work through any chain of calls — is the lockorder rule.
 type LockIO struct{}
 
 // NewLockIO returns the lockio analyzer.
@@ -41,261 +44,48 @@ var osFileIOMethods = map[string]bool{
 
 // Run implements analysis.Analyzer.
 func (l *LockIO) Run(pass *analysis.Pass) error {
-	w := &lockWalker{pass: pass}
 	for _, f := range pass.Pkg.Files {
 		for _, decl := range f.Decls {
-			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
-				w.pending = append(w.pending, fd.Body)
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
 			}
+			w := &lockFlow{
+				pkg: pass.Pkg,
+				key: types.ExprString,
+				ev: lockEvents{
+					onCall: func(call *ast.CallExpr, held lockSet) {
+						l.checkBannedCall(pass, call, held)
+					},
+					onSend: func(arrow token.Pos, held lockSet) {
+						if mu := held.anyHeld(); mu != "" {
+							pass.Reportf(arrow, "channel send while %s is held can block the critical section", mu)
+						}
+					},
+				},
+			}
+			w.walk(fd.Body)
 		}
-	}
-	// Each function (and each literal discovered while walking one) is
-	// analyzed with its own empty lock state: a goroutine or stored closure
-	// does not run under the spawning function's critical section.
-	for len(w.pending) > 0 {
-		body := w.pending[0]
-		w.pending = w.pending[1:]
-		w.walkStmts(body.List, lockSet{})
 	}
 	return nil
 }
 
-// lockSet maps a mutex expression (rendered as source, e.g. "s.mu") to the
-// position of the Lock call that acquired it.
-type lockSet map[string]token.Pos
-
-func (s lockSet) clone() lockSet {
-	out := make(lockSet, len(s))
-	for k, v := range s {
-		out[k] = v
-	}
-	return out
-}
-
-// anyHeld returns a deterministic representative of the held mutexes.
-func (s lockSet) anyHeld() string {
-	best := ""
-	for k := range s {
-		if best == "" || k < best {
-			best = k
-		}
-	}
-	return best
-}
-
-func union(dst lockSet, srcs ...lockSet) lockSet {
-	for _, src := range srcs {
-		for k, v := range src {
-			if _, ok := dst[k]; !ok {
-				dst[k] = v
-			}
-		}
-	}
-	return dst
-}
-
-type lockWalker struct {
-	pass    *analysis.Pass
-	pending []*ast.BlockStmt // function-literal bodies awaiting their own walk
-}
-
-// walkStmts walks a statement list threading the held-lock state through it.
-// terminated reports that control cannot fall off the end (return/branch).
-func (w *lockWalker) walkStmts(stmts []ast.Stmt, held lockSet) (out lockSet, terminated bool) {
-	for _, s := range stmts {
-		held, terminated = w.walkStmt(s, held)
-		if terminated {
-			return held, true
-		}
-	}
-	return held, false
-}
-
-func (w *lockWalker) walkStmt(s ast.Stmt, held lockSet) (lockSet, bool) {
-	switch s := s.(type) {
-	case *ast.BlockStmt:
-		return w.walkStmts(s.List, held)
-	case *ast.IfStmt:
-		w.scan(s.Init, held)
-		w.scan(s.Cond, held)
-		var outcomes []lockSet
-		if body, term := w.walkStmts(s.Body.List, held.clone()); !term {
-			outcomes = append(outcomes, body)
-		}
-		if s.Else != nil {
-			if els, term := w.walkStmt(s.Else, held.clone()); !term {
-				outcomes = append(outcomes, els)
-			}
-		} else {
-			outcomes = append(outcomes, held)
-		}
-		if len(outcomes) == 0 {
-			return held, true
-		}
-		return union(outcomes[0].clone(), outcomes...), false
-	case *ast.ForStmt:
-		w.scan(s.Init, held)
-		w.scan(s.Cond, held)
-		w.scan(s.Post, held)
-		body, _ := w.walkStmts(s.Body.List, held.clone())
-		return union(held.clone(), body), false
-	case *ast.RangeStmt:
-		w.scan(s.X, held)
-		body, _ := w.walkStmts(s.Body.List, held.clone())
-		return union(held.clone(), body), false
-	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
-		return w.walkCases(s, held)
-	case *ast.LabeledStmt:
-		return w.walkStmt(s.Stmt, held)
-	case *ast.ReturnStmt:
-		w.scan(s, held)
-		return held, true
-	case *ast.BranchStmt:
-		return held, true
-	case *ast.DeferStmt:
-		// A deferred Unlock runs at function exit: the mutex stays held for
-		// the remainder of the walk. Other deferred calls are not executed
-		// here; only their argument expressions are evaluated now.
-		if kind, _ := w.classifyLock(s.Call); kind != opNone {
-			return held, false
-		}
-		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
-			w.pending = append(w.pending, lit.Body)
-		}
-		for _, arg := range s.Call.Args {
-			w.scan(arg, held)
-		}
-		return held, false
-	case *ast.GoStmt:
-		// The spawned function runs concurrently, outside this critical
-		// section; only the call's operands are evaluated under it.
-		for _, arg := range s.Call.Args {
-			w.scan(arg, held)
-		}
-		w.scan(s.Call.Fun, held)
-		return held, false
-	default:
-		w.scan(s, held)
-		return held, false
-	}
-}
-
-// walkCases handles switch/type-switch/select: every clause starts from the
-// current state; the resulting state is the conservative union of the
-// surviving clauses (plus fallthrough past the statement).
-func (w *lockWalker) walkCases(s ast.Stmt, held lockSet) (lockSet, bool) {
-	var clauses []ast.Stmt
-	switch s := s.(type) {
-	case *ast.SwitchStmt:
-		w.scan(s.Init, held)
-		w.scan(s.Tag, held)
-		clauses = s.Body.List
-	case *ast.TypeSwitchStmt:
-		w.scan(s.Init, held)
-		w.scan(s.Assign, held)
-		clauses = s.Body.List
-	case *ast.SelectStmt:
-		clauses = s.Body.List
-	}
-	outcomes := []lockSet{held}
-	for _, cl := range clauses {
-		var body []ast.Stmt
-		sub := held.clone()
-		switch cl := cl.(type) {
-		case *ast.CaseClause:
-			for _, e := range cl.List {
-				w.scan(e, held)
-			}
-			body = cl.Body
-		case *ast.CommClause:
-			if cl.Comm != nil {
-				sub, _ = w.walkStmt(cl.Comm, sub)
-			}
-			body = cl.Body
-		}
-		if out, term := w.walkStmts(body, sub); !term {
-			outcomes = append(outcomes, out)
-		}
-	}
-	return union(outcomes[0].clone(), outcomes...), false
-}
-
-type lockOpKind int
-
-const (
-	opNone lockOpKind = iota
-	opLock
-	opUnlock
-)
-
-// classifyLock recognizes sync mutex Lock/Unlock calls (including
-// RLock/RUnlock) without touching the held state, returning the mutex's
-// source rendering as its key.
-func (w *lockWalker) classifyLock(call *ast.CallExpr) (lockOpKind, string) {
-	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !ok {
-		return opNone, ""
-	}
-	fn, ok := w.pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
-	if !ok || pkgPath(fn) != "sync" {
-		return opNone, ""
-	}
-	switch fn.Name() {
-	case "Lock", "RLock":
-		return opLock, types.ExprString(sel.X)
-	case "Unlock", "RUnlock":
-		return opUnlock, types.ExprString(sel.X)
-	}
-	return opNone, ""
-}
-
-// scan inspects one leaf statement or expression in source order, applying
-// lock transitions and reporting banned operations under a held lock.
-// Function literals are queued for an independent walk with no locks held.
-func (w *lockWalker) scan(n ast.Node, held lockSet) {
-	if n == nil {
-		return
-	}
-	ast.Inspect(n, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.FuncLit:
-			w.pending = append(w.pending, n.Body)
-			return false
-		case *ast.SendStmt:
-			if mu := held.anyHeld(); mu != "" {
-				w.pass.Reportf(n.Arrow, "channel send while %s is held can block the critical section", mu)
-			}
-		case *ast.CallExpr:
-			switch kind, key := w.classifyLock(n); kind {
-			case opLock:
-				held[key] = n.Pos()
-				return true
-			case opUnlock:
-				delete(held, key)
-				return true
-			}
-			w.checkBannedCall(n, held)
-		}
-		return true
-	})
-}
-
-func (w *lockWalker) checkBannedCall(call *ast.CallExpr, held lockSet) {
+func (l *LockIO) checkBannedCall(pass *analysis.Pass, call *ast.CallExpr, held lockSet) {
 	mu := held.anyHeld()
 	if mu == "" {
 		return
 	}
-	fn := calleeFunc(w.pass.Pkg.Info, call)
+	fn := calleeFunc(pass.Pkg.Info, call)
 	if fn == nil {
 		return
 	}
 	sig, _ := fn.Type().(*types.Signature)
 	switch path := pkgPath(fn); {
 	case path == "time" && fn.Name() == "Sleep":
-		w.pass.Reportf(call.Pos(), "time.Sleep while %s is held stalls every waiter", mu)
+		pass.Reportf(call.Pos(), "time.Sleep while %s is held stalls every waiter", mu)
 	case path == "os" && sig != nil && sig.Recv() == nil:
-		w.pass.Reportf(call.Pos(), "os.%s while %s is held performs file I/O inside the critical section", fn.Name(), mu)
+		pass.Reportf(call.Pos(), "os.%s while %s is held performs file I/O inside the critical section", fn.Name(), mu)
 	case path == "os" && sig != nil && sig.Recv() != nil && osFileIOMethods[fn.Name()]:
-		w.pass.Reportf(call.Pos(), "(*os.File).%s while %s is held performs disk I/O inside the critical section", fn.Name(), mu)
+		pass.Reportf(call.Pos(), "(*os.File).%s while %s is held performs disk I/O inside the critical section", fn.Name(), mu)
 	}
 }

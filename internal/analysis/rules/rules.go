@@ -22,6 +22,20 @@
 //	rpcdeadline cluster RPCs run under a context deadline (or the function is
 //	            registered in the package's rpcdeadline_reg.go) and their
 //	            transport errors are wrapped, never returned bare
+//	lockorder   nested mutex acquisitions — direct or through any call chain —
+//	            form one global lock-order graph; cycles (including a class
+//	            re-acquired while held) and blocking operations reachable
+//	            downstream of a held lock are potential deadlocks
+//	errsurface  errors escaping a public server handler or crossing the
+//	            cluster wire must be, or %w-wrap, a sentinel or error type
+//	            registered in the package's errsurface_reg.go
+//	hotalloc    functions registered in hotalloc_reg.go (the zero-alloc hot
+//	            paths) must produce no allocation-class escape diagnostics
+//	            under go build -gcflags=-m
+//
+// The last three are interprocedural: they share the whole-program call
+// graph built once per run (analysis.Program) and compute their summaries
+// bottom-up over its SCCs.
 package rules
 
 import (
@@ -45,6 +59,9 @@ func All() []analysis.Analyzer {
 		NewFaultpath(),
 		NewEpochsafe(),
 		NewRPCDeadline(),
+		NewLockOrder(),
+		NewErrSurface(),
+		NewHotAlloc(),
 	}
 }
 

@@ -40,6 +40,9 @@ var fixturePaths = map[string]string{
 	"faultpath":   "rased/internal/pagestore",
 	"epochsafe":   "rased/internal/tindex",
 	"rpcdeadline": "rased/internal/cluster",
+	"lockorder":   "fix/lockorder",
+	"errsurface":  "fix/errsurface",
+	"hotalloc":    "fix/hotalloc",
 }
 
 // loadFixture type-checks testdata/src/<name> under the mapped import path
@@ -88,7 +91,7 @@ func TestAnalyzersAgainstFixtures(t *testing.T) {
 // carries its documented rule ID, has a doc line, fires at least once on its
 // fixture, and attributes every finding to its own rule ID.
 func TestAnalyzerMetadata(t *testing.T) {
-	wantIDs := []string{"ctxflow", "lockio", "metricsreg", "errwrap", "determinism", "poolsafe", "faultpath", "epochsafe", "rpcdeadline"}
+	wantIDs := []string{"ctxflow", "lockio", "metricsreg", "errwrap", "determinism", "poolsafe", "faultpath", "epochsafe", "rpcdeadline", "lockorder", "errsurface", "hotalloc"}
 	all := All()
 	if len(all) != len(wantIDs) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(wantIDs))

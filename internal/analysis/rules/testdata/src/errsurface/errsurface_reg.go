@@ -1,0 +1,20 @@
+//go:build errsurfacereg
+
+package errsurfacefix
+
+// ErrSurfaceAllowed seeds one stale entry ("Gone" matches nothing).
+var ErrSurfaceAllowed = []string{
+	"fix/errsurface.ErrTemp",
+	"fix/errsurface.WireError",
+	"fix/errsurface.Gone",
+}
+
+// ErrSurfaceFuncs seeds one stale entry ("Vanished" matches nothing).
+var ErrSurfaceFuncs = []string{
+	"Export",
+	"Vanished",
+}
+
+var ErrSurfaceSinks = []string{
+	"writeErr",
+}

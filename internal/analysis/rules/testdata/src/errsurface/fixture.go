@@ -1,0 +1,95 @@
+// Package errsurfacefix seeds the untyped-error escape classes the
+// errsurface rule catches on a registered surface: errors.New and
+// fmt.Errorf-without-%w on paths reachable from a handler, wrapping an
+// unregistered sentinel, and constructing an unregistered error type. The
+// clean patterns — wrapping a registered sentinel, propagating a callee
+// error with %w, errors born in a sink's argument list, functions off the
+// surface — must stay silent. The package-clause annotation covers the
+// registry's seeded stale entries.
+package errsurfacefix // want "ErrSurfaceAllowed entry \"fix/errsurface.Gone\"" "ErrSurfaceFuncs entry \"Vanished\""
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// ErrTemp is the registered sentinel of this surface.
+var ErrTemp = errors.New("errsurfacefix: temporarily out")
+
+// ErrRogue is typed but not registered: wrapping it is flagged.
+var ErrRogue = errors.New("errsurfacefix: rogue")
+
+// WireError is the registered error type of this surface.
+type WireError struct{ Code string }
+
+func (e *WireError) Error() string { return "wire " + e.Code }
+
+// rogueError implements error but is not registered.
+type rogueError struct{}
+
+func (rogueError) Error() string { return "rogue" }
+
+func handle(w http.ResponseWriter, r *http.Request) {
+	if err := validate(r.URL.Query().Get("q")); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := construct(); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+	}
+}
+
+// validate is two hops below the handler via the call graph.
+func validate(q string) error {
+	switch q {
+	case "":
+		return errors.New("empty query") // want "errors.New creates an untyped error"
+	case "x":
+		return fmt.Errorf("bad query %q", q) // want "without %w creates an untyped error"
+	case "y":
+		return fmt.Errorf("bad query %q: %w", q, ErrRogue) // want "unregistered sentinel fix/errsurface.ErrRogue"
+	case "z":
+		return fmt.Errorf("query %q refused: %w", q, ErrTemp) // ok: registered sentinel
+	}
+	return parse(q)
+}
+
+// parse propagates a stdlib error with %w: never flagged — the origin is
+// outside this surface's packages.
+func parse(q string) error {
+	if _, err := strconv.Atoi(q); err != nil {
+		return fmt.Errorf("parsing %q: %w", q, err)
+	}
+	return nil
+}
+
+func construct() error {
+	if false {
+		return rogueError{} // want "unregistered error type fix/errsurface.rogueError"
+	}
+	return &WireError{Code: "teapot"} // ok: registered type
+}
+
+// Export is not handler-shaped; it is on the surface only because the
+// registry lists it in ErrSurfaceFuncs.
+func Export() error {
+	return errors.New("export failed") // want "errors.New creates an untyped error"
+}
+
+// writeErr is the registered sink: it takes the status explicitly, so an
+// error born directly in its argument list is already mapped.
+func writeErr(w http.ResponseWriter, status int, err error) {
+	http.Error(w, err.Error(), status)
+}
+
+func handleDirect(w http.ResponseWriter, r *http.Request) {
+	writeErr(w, http.StatusBadRequest, fmt.Errorf("bad body")) // ok: sink argument
+}
+
+// offline is unreachable from any surface root: untyped errors here are not
+// this rule's business.
+func offline() error {
+	return errors.New("not on the surface")
+}

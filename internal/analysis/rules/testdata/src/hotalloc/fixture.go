@@ -1,0 +1,47 @@
+// Package hotallocfix seeds the hotalloc rule's cases: a registered hot
+// path that allocates per call (flagged at the compiler's escape
+// diagnostic), a registered hot path that is genuinely allocation-free, a
+// registered cold-error path whose only diagnostics are fmt interface
+// boxing (excluded by design), an unregistered allocating function
+// (not the rule's business), and a stale registry entry. The package must
+// compile standalone: the rule shells out to `go build -gcflags=-m` in
+// this directory.
+package hotallocfix // want "HotPathFuncs entry \"Vanished\" matches no function"
+
+import "fmt"
+
+// sumInto is the honest hot path: it writes into caller-owned storage and
+// allocates nothing.
+func sumInto(dst *uint64, cells []uint64) {
+	var s uint64
+	for _, c := range cells {
+		s += c
+	}
+	*dst = s
+}
+
+// leakyTotals is registered but allocates its result slice on every call.
+func leakyTotals(cells []uint64, width int) []uint64 {
+	out := make([]uint64, width) // want "registered zero-alloc hot path but the compiler reports"
+	for i, c := range cells {
+		out[i%width] += c
+	}
+	return out
+}
+
+// checkWidth is registered; its only escape diagnostics are fmt boxing the
+// operands of the cold error path, which the rule excludes.
+func checkWidth(width, have int) error {
+	if width != have {
+		return fmt.Errorf("hotallocfix: width %d, have %d", width, have)
+	}
+	return nil
+}
+
+// scratchCopy allocates per call but is not registered: allocation budgets
+// off the hot path are the benchmarks' business, not this rule's.
+func scratchCopy(cells []uint64) []uint64 {
+	out := make([]uint64, len(cells))
+	copy(out, cells)
+	return out
+}

@@ -1,0 +1,11 @@
+//go:build hotallocreg
+
+package hotallocfix
+
+// HotPathFuncs seeds one stale entry ("Vanished" matches nothing).
+var HotPathFuncs = []string{
+	"sumInto",
+	"leakyTotals",
+	"checkWidth",
+	"Vanished",
+}

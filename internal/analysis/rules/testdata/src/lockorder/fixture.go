@@ -1,0 +1,122 @@
+// Package lockorderfix seeds the interprocedural deadlock classes the
+// lockorder rule detects: inverted acquisition order between two lock
+// classes, re-acquisition of one class while it is held, and a held lock
+// reaching blocking work through a call chain (including interface
+// dispatch). The clean patterns — consistent order, unlock-before-call, and
+// goroutines spawned under a lock — must stay silent.
+package lockorderfix
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type left struct{ mu sync.Mutex }
+
+type right struct{ mu sync.Mutex }
+
+var (
+	l left
+	r right
+)
+
+// lockLR takes left before right: with lockRL below this inverts, and the
+// cycle is reported once, at the lexicographically-first edge (left->right).
+func lockLR() {
+	l.mu.Lock()
+	r.mu.Lock() // want "lock-order cycle" "potential deadlock"
+	r.mu.Unlock()
+	l.mu.Unlock()
+}
+
+func lockRL() {
+	r.mu.Lock()
+	l.mu.Lock()
+	l.mu.Unlock()
+	r.mu.Unlock()
+}
+
+type counter struct{ mu sync.Mutex }
+
+// reenter re-acquires the same lock class while holding it.
+func (c *counter) reenter(other *counter) {
+	c.mu.Lock()
+	other.mu.Lock() // want "re-acquired while already held"
+	other.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func sleepy() {
+	time.Sleep(time.Millisecond)
+}
+
+func helper() {
+	sleepy()
+}
+
+type slow struct{ mu sync.Mutex }
+
+var sl slow
+
+// slowUnderLock blocks two calls deep below a held lock: the witness chain
+// goes through helper to sleepy's time.Sleep.
+func (s *slow) slowUnderLock() {
+	s.mu.Lock()
+	helper() // want "reaches time.Sleep"
+	s.mu.Unlock()
+}
+
+type flusher interface{ flush() }
+
+type diskFlusher struct{ f *os.File }
+
+func (d *diskFlusher) flush() { _ = d.f.Sync() }
+
+type guarded struct {
+	mu sync.Mutex
+	fl flusher
+}
+
+// flushUnderLock dispatches through an interface while holding the lock; the
+// only implementer in the program syncs to disk.
+func (g *guarded) flushUnderLock() {
+	g.mu.Lock()
+	g.fl.flush() // want "dynamic call" "disk I/O"
+	g.mu.Unlock()
+}
+
+// Clean patterns below: none of these may produce findings.
+
+// consistentOrder matches lockLR's left-before-right order; a second function
+// with the same order adds no cycle.
+func consistentOrder() {
+	l.mu.Lock()
+	r.mu.Lock()
+	r.mu.Unlock()
+	l.mu.Unlock()
+}
+
+// unlockFirst releases the lock before calling into blocking code.
+func (s *slow) unlockFirst() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	helper()
+}
+
+// spawnUnderLock starts the blocking work on a goroutine: it runs outside the
+// critical section and must not be attributed to it.
+func (s *slow) spawnUnderLock() {
+	s.mu.Lock()
+	go helper()
+	s.mu.Unlock()
+}
+
+// deferredFlush calls the blocking helper only after the deferred Unlock has
+// been *scheduled* — but a deferred Unlock keeps the lock held to function
+// exit, so this is a violation, same as the direct form.
+func (s *slow) deferredFlush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	helper() // want "reaches time.Sleep"
+}

@@ -1,0 +1,67 @@
+// Package callgraphfix exercises the call-graph layer: direct recursion,
+// mutual recursion, interface dispatch over multiple implementers, go/defer/
+// function-literal call sites, and calls of plain function values that the
+// graph deliberately leaves unresolved.
+package callgraphfix
+
+// fact is directly recursive: a one-node SCC with a self edge.
+func fact(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return n * fact(n-1)
+}
+
+// isEven and isOdd are mutually recursive: one two-node SCC.
+func isEven(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return isOdd(n - 1)
+}
+
+func isOdd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return isEven(n - 1)
+}
+
+// flusher has one value-receiver and one pointer-receiver implementer; a
+// dynamic call through it must resolve to both methods.
+type flusher interface{ flush() }
+
+type diskFlusher struct{}
+
+func (diskFlusher) flush() {}
+
+type memFlusher struct{ n int }
+
+func (m *memFlusher) flush() { m.n++ }
+
+func flushAll(fs []flusher) {
+	for _, f := range fs {
+		f.flush()
+	}
+}
+
+func run() {
+	_ = fact(3)
+	_ = isEven(2)
+	flushAll(nil)
+	go spawned()
+	defer cleanup()
+	apply(func() { inLiteral() })
+	fn := unresolvedTarget
+	fn()
+}
+
+func spawned() {}
+
+func cleanup() {}
+
+func inLiteral() {}
+
+func unresolvedTarget() {}
+
+func apply(f func()) { f() }

@@ -91,7 +91,7 @@ func (t *LocalTransport) enter(ctx context.Context, addr string) (*ShardServer, 
 	}
 	t.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("cluster: no shard registered at %s", addr)
+		return nil, fmt.Errorf("cluster: no shard registered at %s: %w", addr, core.ErrUnavailable)
 	}
 	if delay > 0 {
 		if err := sleepCtx(ctx, delay); err != nil {
@@ -99,7 +99,7 @@ func (t *LocalTransport) enter(ctx context.Context, addr string) (*ShardServer, 
 		}
 	}
 	if isDown {
-		return nil, fmt.Errorf("cluster: rpc to %s: connection refused", addr)
+		return nil, fmt.Errorf("cluster: rpc to %s: connection refused: %w", addr, core.ErrUnavailable)
 	}
 	return s, nil
 }

@@ -167,7 +167,7 @@ func (r *Router) AnalyzeContext(ctx context.Context, q core.Query) (*core.Result
 	start := time.Now()
 	r.met.Queries.Inc()
 	if q.To < q.From {
-		return nil, fmt.Errorf("cluster: query window [%s, %s] is inverted", q.From, q.To)
+		return nil, fmt.Errorf("cluster: query window [%s, %s] is inverted: %w", q.From, q.To, core.ErrBadQuery)
 	}
 	filter, err := core.CompileFilter(&q, r.reg)
 	if err != nil {

@@ -112,7 +112,7 @@ func (s *ShardServer) Exec(ctx context.Context, req *ExecRequest) (*core.Result,
 			return nil, err
 		}
 		if p.Group < 0 || p.Group >= s.m.Groups {
-			return nil, fmt.Errorf("cluster: partition %s names group %d of %d", id, p.Group, s.m.Groups)
+			return nil, fmt.Errorf("cluster: partition %s names group %d of %d: %w", id, p.Group, s.m.Groups, core.ErrBadQuery)
 		}
 		if !s.m.Owns(s.id, p) {
 			s.met.Refused.Inc()

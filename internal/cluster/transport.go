@@ -125,7 +125,11 @@ func (t *HTTPTransport) do(ctx context.Context, addr, path string, in, out any) 
 func (t *HTTPTransport) roundTrip(req *http.Request, addr, path string, out any) error {
 	resp, err := t.client().Do(req)
 	if err != nil {
-		return fmt.Errorf("cluster: rpc %s to %s: %w", path, addr, err)
+		// Both wraps survive into the chain: the transport error keeps
+		// context.DeadlineExceeded inspectable (504 at the public surface)
+		// while ErrUnavailable types a plain connection failure as an
+		// infrastructure 503 instead of an untyped client-blamed 400.
+		return fmt.Errorf("cluster: rpc %s to %s: %w (%w)", path, addr, err, core.ErrUnavailable)
 	}
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
@@ -142,7 +146,7 @@ func (t *HTTPTransport) roundTrip(req *http.Request, addr, path string, out any)
 				RetryAfter: time.Duration(we.RetryAfterSecs) * time.Second,
 			}
 		}
-		return fmt.Errorf("cluster: rpc %s to %s: unexpected status %d", path, addr, resp.StatusCode)
+		return fmt.Errorf("cluster: rpc %s to %s: unexpected status %d: %w", path, addr, resp.StatusCode, core.ErrUnavailable)
 	}
 	if err := json.Unmarshal(raw, out); err != nil {
 		return fmt.Errorf("cluster: decode %s response from %s: %w", path, addr, err)

@@ -106,6 +106,8 @@ func (e *RemoteError) Unwrap() error {
 		return ErrNotOwner
 	case CodeMapVersion:
 		return ErrMapVersion
+	case CodeBadRequest:
+		return core.ErrBadQuery
 	}
 	return nil
 }
@@ -130,6 +132,8 @@ func CodeOf(err error) string {
 		return CodeNotOwner
 	case errors.Is(err, ErrMapVersion):
 		return CodeMapVersion
+	case errors.Is(err, core.ErrBadQuery):
+		return CodeBadRequest
 	}
 	return CodeInternal
 }

@@ -1,0 +1,20 @@
+package core
+
+import "errors"
+
+// ErrBadQuery marks a request the engine (or a routing tier in front of it)
+// rejected as malformed before execution: an unknown column, group, or
+// granularity, an inverted time window, a partition naming a group outside
+// the cluster map. Wrapping it keeps the human-readable detail while giving
+// HTTP handlers and the cluster wire one sentinel to dispatch 400 /
+// bad_request on — part of the exact-or-typed error contract the errsurface
+// lint rule enforces statically.
+var ErrBadQuery = errors.New("core: bad query")
+
+// ErrUnavailable marks a failure to reach a backend at all: a shard with no
+// transport endpoint, a refused connection, an uninterpretable RPC response.
+// Distinct from ErrDegraded (the backend answered, inexactly) — nothing
+// answered. HTTP surfaces map it to 503; without the sentinel these
+// infrastructure failures fell through error precedence as untyped and were
+// blamed on the client as 400s.
+var ErrUnavailable = errors.New("core: backend unavailable")

@@ -347,7 +347,7 @@ func sortRowsBy(rows []core.Row, orderBy string) error {
 	case "period":
 		key = func(r core.Row) (string, float64, bool) { return r.Period, 0, false }
 	default:
-		return fmt.Errorf("unknown order_by column %q", col)
+		return fmt.Errorf("unknown order_by column %q: %w", col, core.ErrBadQuery)
 	}
 	sort.SliceStable(rows, func(a, b int) bool {
 		sa, na, numeric := key(rows[a])
@@ -392,7 +392,7 @@ func (r *AnalysisRequest) ToQuery() (core.Query, error) {
 		case "update_type":
 			q.GroupBy.UpdateType = true
 		default:
-			return q, fmt.Errorf("unknown group_by %q", g)
+			return q, fmt.Errorf("unknown group_by %q: %w", g, core.ErrBadQuery)
 		}
 	}
 	switch r.Granularity {
@@ -407,14 +407,14 @@ func (r *AnalysisRequest) ToQuery() (core.Query, error) {
 	case "year":
 		q.GroupBy.Date = core.ByYear
 	default:
-		return q, fmt.Errorf("unknown granularity %q", r.Granularity)
+		return q, fmt.Errorf("unknown granularity %q: %w", r.Granularity, core.ErrBadQuery)
 	}
 	switch r.Debug {
 	case "", "none":
 	case "trace":
 		q.Trace = true
 	default:
-		return q, fmt.Errorf("unknown debug mode %q", r.Debug)
+		return q, fmt.Errorf("unknown debug mode %q: %w", r.Debug, core.ErrBadQuery)
 	}
 	return q, nil
 }
@@ -434,9 +434,12 @@ func (s *Server) analyze(r *http.Request, q core.Query) (*core.Result, error) {
 // writeAnalysisErr maps analysis failures to HTTP statuses: admission
 // rejections are retryable overload (503 + Retry-After), a degraded result
 // (quarantined leaf pages with no substitute) is 503 too — the request was
-// fine and a rewrite or scrub may restore the page — timeouts are 504, a
-// vanished client gets the nginx-convention 499 (nobody reads it, but the
-// access log and request counters do), and anything else is a bad query.
+// fine and a rewrite or scrub may restore the page — an unreachable backend
+// tier is 503 as well, timeouts are 504, a vanished client gets the
+// nginx-convention 499 (nobody reads it, but the access log and request
+// counters do), and a query typed ErrBadQuery (or anything untyped) is a bad
+// query. Deadline and cancellation outrank ErrUnavailable: a transport error
+// downstream of an expired context is reported as the timeout it is.
 func writeAnalysisErr(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, exec.ErrRejected):
@@ -454,6 +457,8 @@ func writeAnalysisErr(w http.ResponseWriter, err error) {
 		writeErr(w, http.StatusGatewayTimeout, err)
 	case errors.Is(err, context.Canceled):
 		writeErr(w, 499, err)
+	case errors.Is(err, core.ErrUnavailable):
+		writeErr(w, http.StatusServiceUnavailable, err)
 	default:
 		writeErr(w, http.StatusBadRequest, err)
 	}
@@ -601,14 +606,14 @@ func (r *SampleRequest) ToQuery() (warehouse.SampleQuery, error) {
 	for _, n := range r.RoadTypes {
 		v, ok := roads.ByName(n)
 		if !ok {
-			return q, fmt.Errorf("unknown road type %q", n)
+			return q, fmt.Errorf("unknown road type %q: %w", n, core.ErrBadQuery)
 		}
 		q.RoadTypes = append(q.RoadTypes, v)
 	}
 	for _, n := range r.Countries {
 		v, ok := geo.Default().ByName(n)
 		if !ok {
-			return q, fmt.Errorf("unknown country %q", n)
+			return q, fmt.Errorf("unknown country %q: %w", n, core.ErrBadQuery)
 		}
 		q.Countries = append(q.Countries, v)
 	}
