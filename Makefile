@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check ci lint race vet chaos covergate bench bench-smoke bench-hotpath bench-faults bench-live bench-cluster figures examples clean
+.PHONY: all build test check ci lint race vet chaos covergate bench bench-smoke bench-hotpath bench-faults bench-footprint bench-live bench-cluster figures examples clean
 
 all: build test
 
@@ -32,6 +32,7 @@ ci: build vet lint race chaos
 	$(GO) test -race -count=1 ./internal/analysis/...
 	$(GO) run ./cmd/rased-lint -json > bin/lint-report.json
 	bin/rased-bench -fig hotpath -quick
+	bin/rased-bench -fig footprint -quick
 	bin/rased-bench -fig live -quick
 	bin/rased-bench -fig cluster -quick
 
@@ -82,6 +83,14 @@ bench-hotpath: build
 # committed BENCH_faults.json.
 bench-faults: build
 	bin/rased-bench -fig faults
+
+# Footprint figure: compressed cold tier vs dense v1 pages at 1x and 10x
+# load — index bytes per update, cache entries a 1 GiB budget holds, and
+# p50/p99 latency through each tier. Gated (>=5x bytes/update reduction at
+# 10x, cold p99 <= 1.2x dense); writes the committed BENCH_footprint.json.
+# The -quick variant runs inside `make ci`.
+bench-footprint: build
+	bin/rased-bench -fig footprint
 
 # Live-ingest figure: sustained epoch publication under concurrent dashboard
 # load — ingest lag quantiles, QPS vs the quiesced baseline, and the

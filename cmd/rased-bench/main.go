@@ -11,6 +11,7 @@
 //	rased-bench -fig conc      concurrent clients: serial vs parallel fetches
 //	rased-bench -fig hotpath   data-plane hot path: kernels, pooling, sharding, coalescing
 //	rased-bench -fig faults    availability under injected storage faults, fallback on vs off
+//	rased-bench -fig footprint compressed cold tier vs dense pages: bytes/update, cache density, latency
 //	rased-bench -fig live      live ingest: epoch publication under concurrent dashboard load
 //	rased-bench -fig cluster   scale-out: scatter-gather QPS 1→4→8 shards, hedged tail latency
 //	rased-bench -fig examples  the example queries of Figures 2-5
@@ -97,6 +98,8 @@ func main() {
 		runHotpath(*updates, *workers, *quick, *seed, *out)
 	case "faults":
 		runFaults(*queries, *quick, *seed, *faults)
+	case "footprint":
+		runFootprint(*quick, *seed)
 	case "live":
 		runLive(*quick, *seed)
 	case "cluster":
@@ -123,6 +126,8 @@ func main() {
 		runHotpath(*updates, *workers, *quick, *seed, *out)
 		fmt.Println()
 		runFaults(*queries, *quick, *seed, *faults)
+		fmt.Println()
+		runFootprint(*quick, *seed)
 		fmt.Println()
 		runLive(*quick, *seed)
 		fmt.Println()
@@ -297,6 +302,19 @@ func runFaults(queries int, quick bool, seed int64, spec string) {
 		log.Fatal(err)
 	}
 	log.Printf("wrote BENCH_faults.json")
+}
+
+func runFootprint(quick bool, seed int64) {
+	log.Printf("running footprint figure (quick=%v)...", quick)
+	rep, err := benchx.FigFootprint(context.Background(), quick, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	benchx.PrintFigFootprint(os.Stdout, rep)
+	if err := benchx.WriteFootprintJSON("BENCH_footprint.json", rep); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote BENCH_footprint.json")
 }
 
 func runLive(quick bool, seed int64) {

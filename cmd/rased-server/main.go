@@ -60,14 +60,20 @@ func main() {
 
 		cachePolicy  = flag.String("cache-policy", "preload", "cube cache policy: preload, lru, or sharded")
 		cacheShards  = flag.Int("cache-shards", 0, "shard count for -cache-policy=sharded (0 picks from GOMAXPROCS, rounded to a power of two)")
+		cacheBytes   = flag.Int64("cache-bytes", 0, "byte budget for the demand cube cache (0 = slots only; requires -cache-policy=lru or sharded)")
 		pooledDecode = flag.Bool("pooled-decode", false, "decode cache misses into pooled cubes (requires -cache-policy=lru or sharded)")
 		coalesce     = flag.Bool("coalesce-reads", false, "read runs of adjacent cube pages with one I/O")
 		scalarAgg    = flag.Bool("scalar-agg", false, "disable the vectorized aggregation kernels (debugging)")
+
+		compact         = flag.Bool("compact", false, "run a background compactor migrating cold periods into compressed extents")
+		compactInterval = flag.Duration("compact-interval", time.Hour, "sweep period for -compact")
+		compactKeepDays = flag.Int("compact-keep-days", 7, "trailing days -compact leaves in the hot tier")
 
 		liveMode     = flag.Bool("live", false, "fold simulated OsmChange replication diffs into the index continuously")
 		diffInterval = flag.Duration("diff-interval", 2*time.Second, "replication cadence for -live (one diff per interval)")
 		diffChunks   = flag.Int("diff-chunks", 60, "diffs per simulated day for -live")
 		liveSeed     = flag.Int64("live-seed", 1, "PRNG seed for the -live edit generator")
+		liveCompress = flag.Bool("compress-closed", false, "compact each simulated day (and its closed rollups) into the cold tier as it closes (with -live)")
 
 		readRetries  = flag.Int("read-retries", 2, "retries for transient page-read errors (0 disables)")
 		retryBackoff = flag.Duration("retry-backoff", 2*time.Millisecond, "base backoff before a page-read retry (doubles per attempt, jittered)")
@@ -114,6 +120,7 @@ func main() {
 		MaxQueue:          *queue,
 		CachePolicy:       *cachePolicy,
 		CacheShards:       *cacheShards,
+		CacheBytes:        *cacheBytes,
 		PooledDecode:      *pooledDecode,
 		CoalesceReads:     *coalesce,
 		ScalarKernels:     *scalarAgg,
@@ -160,9 +167,10 @@ func main() {
 			gcfg.Start = temporal.NewDay(2020, time.January, 1)
 		}
 		pipe = live.NewPipeline(d.Index, live.Config{
-			MaxCountry: len(d.Schema.Countries),
-			MaxRoad:    len(d.Schema.RoadTypes),
-			Engine:     d.Engine,
+			MaxCountry:     len(d.Schema.Countries),
+			MaxRoad:        len(d.Schema.RoadTypes),
+			Engine:         d.Engine,
+			CompressClosed: *liveCompress,
 		})
 		d.Obs.MustRegister(pipe.Metrics().All()...)
 		src := live.NewSimSource(osmgen.NewDiffStream(gcfg, *diffChunks), *diffInterval, 0)
@@ -176,6 +184,47 @@ func main() {
 			}
 		}()
 		log.Printf("live ingest on: one diff per %v, %d diffs per simulated day (first day %s)", *diffInterval, *diffChunks, gcfg.Start)
+	}
+
+	// -compact sweeps settled history into the compressed cold tier off the
+	// query path, keeping the trailing -compact-keep-days hot (those are the
+	// periods a live writer still republishes; compacting them early wastes
+	// the encode on the next pull-back). The sweep coordinates with readers
+	// and the fold path through the index's epoch machinery — no lock is held
+	// across its I/O — so queries keep serving while history shrinks.
+	var (
+		compactCancel context.CancelFunc
+		compactDone   chan struct{}
+	)
+	if *compact {
+		var ctx context.Context
+		ctx, compactCancel = context.WithCancel(context.Background())
+		compactDone = make(chan struct{})
+		keep := temporal.Day(*compactKeepDays)
+		go func() {
+			defer close(compactDone)
+			tick := time.NewTicker(*compactInterval)
+			defer tick.Stop()
+			for {
+				if _, hi, ok := d.Coverage(); ok {
+					st, err := d.Index.CompactBefore(ctx, hi+1-keep)
+					switch {
+					case err != nil && ctx.Err() == nil:
+						log.Printf("compactor: %v", err)
+					case st.Compacted > 0:
+						ts := d.Index.Tiers()
+						log.Printf("compactor: %d periods -> cold (freed %d hot B, wrote %d cold B); tiers now %d hot / %d cold pages",
+							st.Compacted, st.HotBytesFreed, st.ColdBytes, ts.HotPages, ts.ColdPages)
+					}
+				}
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+				}
+			}
+		}()
+		log.Printf("background compactor on: every %v, keeping %d trailing days hot", *compactInterval, *compactKeepDays)
 	}
 
 	// The server's middleware logs requests at Debug; -access-log runs the
@@ -226,6 +275,10 @@ func main() {
 		if liveCancel != nil {
 			liveCancel()
 			<-liveDone
+		}
+		if compactCancel != nil {
+			compactCancel()
+			<-compactDone
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()

@@ -24,14 +24,15 @@ var DefaultEpochsafeScope = []string{
 }
 
 // Epochsafe enforces the live-ingest copy-on-write contract: a published
-// page is immutable, so the only code allowed to call WritePage or Append on
-// the page store is the audited set of swap sites — the batch write path
-// (no concurrent readers by contract) and the scratch-staging path (target
-// pages unreachable from the directory until the epoch swap). Concretely:
+// page is immutable, so the only code allowed to call WritePage, Append,
+// WriteExtent, or AppendExtent on a page store is the audited set of swap
+// sites — the batch write path (no concurrent readers by contract) and the
+// scratch-staging paths (target pages and extents unreachable from the
+// directory until the epoch swap). Concretely:
 //
-//   - every function in the scoped package that calls a WritePage or Append
-//     method must be declared in the package's epochsafe_reg.go registry
-//     (var EpochSwapSites);
+//   - every function in the scoped package that calls a WritePage, Append,
+//     WriteExtent, or AppendExtent method must be declared in the package's
+//     epochsafe_reg.go registry (var EpochSwapSites);
 //   - the registry must carry the epochreg build tag and must not list
 //     functions that no longer exist.
 //
@@ -59,7 +60,7 @@ func (*Epochsafe) Name() string { return "epochsafe" }
 
 // Doc implements analysis.Analyzer.
 func (*Epochsafe) Doc() string {
-	return "published cube pages are immutable: page-store WritePage/Append calls are allowed only in the audited swap sites registered in epochsafe_reg.go"
+	return "published cube pages are immutable: page-store WritePage/Append/WriteExtent/AppendExtent calls are allowed only in the audited swap sites registered in epochsafe_reg.go"
 }
 
 // Run implements analysis.Analyzer.
@@ -98,7 +99,7 @@ func (es *Epochsafe) Run(pass *analysis.Pass) error {
 				if !ok {
 					return true
 				}
-				if name := sel.Sel.Name; name == "WritePage" || name == "Append" {
+				if name := sel.Sel.Name; name == "WritePage" || name == "Append" || name == "WriteExtent" || name == "AppendExtent" {
 					sites = append(sites, site{fn: fd.Name.Name, pos: call.Pos(), sel: name})
 				}
 				return true

@@ -46,12 +46,17 @@ func (l *LRU) PutEpoch(p temporal.Period, cb cube.Reader, epoch uint64) {
 	if el, ok := l.entries[p]; ok {
 		e := el.Value.(*lruEntry)
 		if epoch >= e.epoch {
-			e.cb, e.epoch = cb, epoch
+			sz := int64(cube.ReaderBytes(cb))
+			l.bytes += sz - e.size
+			e.cb, e.epoch, e.size = cb, epoch, sz
 		}
 		l.order.MoveToFront(el)
+		l.evictOverflow()
 		return
 	}
-	l.entries[p] = l.order.PushFront(&lruEntry{p: p, cb: cb, epoch: epoch})
+	e := &lruEntry{p: p, cb: cb, epoch: epoch, size: int64(cube.ReaderBytes(cb))}
+	l.bytes += e.size
+	l.entries[p] = l.order.PushFront(e)
 	l.evictOverflow()
 }
 
@@ -65,23 +70,30 @@ func (l *LRU) PutColdEpoch(p temporal.Period, cb cube.Reader, epoch uint64) {
 	if el, ok := l.entries[p]; ok {
 		e := el.Value.(*lruEntry)
 		if epoch >= e.epoch {
-			e.cb, e.epoch = cb, epoch
+			sz := int64(cube.ReaderBytes(cb))
+			l.bytes += sz - e.size
+			e.cb, e.epoch, e.size = cb, epoch, sz
 		}
+		l.evictOverflow()
 		return
 	}
-	l.entries[p] = insertCold(l.order, l.capacity, &lruEntry{p: p, cb: cb, epoch: epoch})
+	e := &lruEntry{p: p, cb: cb, epoch: epoch, size: int64(cube.ReaderBytes(cb))}
+	l.bytes += e.size
+	l.entries[p] = insertCold(l.order, l.capacity, e)
 	l.evictOverflow()
 }
 
-// evictOverflow drops least-recently-used entries beyond capacity. Callers
-// hold l.mu.
+// evictOverflow drops least-recently-used entries while the cache exceeds
+// its slot capacity or its byte budget. Callers hold l.mu.
 func (l *LRU) evictOverflow() {
-	for l.order.Len() > l.capacity {
+	for l.order.Len() > 0 &&
+		(l.order.Len() > l.capacity || (l.byteBudget > 0 && l.bytes > l.byteBudget)) {
 		victim := l.order.Back()
 		l.order.Remove(victim)
-		vp := victim.Value.(*lruEntry).p
-		delete(l.entries, vp)
-		l.met.Evictions[vp.Level].Inc()
+		ve := victim.Value.(*lruEntry)
+		delete(l.entries, ve.p)
+		l.bytes -= ve.size
+		l.met.Evictions[ve.p.Level].Inc()
 	}
 }
 
@@ -112,12 +124,17 @@ func (s *Sharded) PutEpoch(p temporal.Period, cb cube.Reader, epoch uint64) {
 	if el, ok := sh.entries[p.Index]; ok {
 		e := el.Value.(*lruEntry)
 		if epoch >= e.epoch {
-			e.cb, e.epoch = cb, epoch
+			sz := int64(cube.ReaderBytes(cb))
+			sh.bytes += sz - e.size
+			e.cb, e.epoch, e.size = cb, epoch, sz
 		}
 		sh.order.MoveToFront(el)
+		sh.evictOverflow()
 		return
 	}
-	sh.entries[p.Index] = sh.order.PushFront(&lruEntry{p: p, cb: cb, epoch: epoch})
+	e := &lruEntry{p: p, cb: cb, epoch: epoch, size: int64(cube.ReaderBytes(cb))}
+	sh.bytes += e.size
+	sh.entries[p.Index] = sh.order.PushFront(e)
 	sh.evictOverflow()
 }
 
@@ -132,21 +149,29 @@ func (s *Sharded) PutColdEpoch(p temporal.Period, cb cube.Reader, epoch uint64) 
 	if el, ok := sh.entries[p.Index]; ok {
 		e := el.Value.(*lruEntry)
 		if epoch >= e.epoch {
-			e.cb, e.epoch = cb, epoch
+			sz := int64(cube.ReaderBytes(cb))
+			sh.bytes += sz - e.size
+			e.cb, e.epoch, e.size = cb, epoch, sz
 		}
+		sh.evictOverflow()
 		return
 	}
-	sh.entries[p.Index] = insertCold(sh.order, sh.capacity, &lruEntry{p: p, cb: cb, epoch: epoch})
+	e := &lruEntry{p: p, cb: cb, epoch: epoch, size: int64(cube.ReaderBytes(cb))}
+	sh.bytes += e.size
+	sh.entries[p.Index] = insertCold(sh.order, sh.capacity, e)
 	sh.evictOverflow()
 }
 
-// evictOverflow drops least-recently-used entries beyond the shard's
-// capacity. Callers hold sh.mu.
+// evictOverflow drops least-recently-used entries while the shard exceeds
+// its slot capacity or its byte budget. Callers hold sh.mu.
 func (sh *shard) evictOverflow() {
-	for sh.order.Len() > sh.capacity {
+	for sh.order.Len() > 0 &&
+		(sh.order.Len() > sh.capacity || (sh.byteBudget > 0 && sh.bytes > sh.byteBudget)) {
 		victim := sh.order.Back()
 		sh.order.Remove(victim)
-		delete(sh.entries, victim.Value.(*lruEntry).p.Index)
+		ve := victim.Value.(*lruEntry)
+		delete(sh.entries, ve.p.Index)
+		sh.bytes -= ve.size
 		sh.evictions++
 	}
 }

@@ -20,6 +20,12 @@ type LRU struct {
 	mu      sync.Mutex
 	order   *list.List // front = most recently used; values are *lruEntry
 	entries map[temporal.Period]*list.Element
+	// byteBudget caps the resident cube bytes (0 = unlimited); bytes is the
+	// current total of entry sizes. Compressed cold readers are far smaller
+	// than dense cubes, so a byte budget — unlike the slot capacity — lets a
+	// fixed memory envelope hold more compacted history.
+	byteBudget int64
+	bytes      int64
 
 	met *Metrics
 }
@@ -32,6 +38,9 @@ type lruEntry struct {
 	// Live ingest republishes periods under new epochs; GetAtLeast treats an
 	// entry below the required epoch as a miss so a refetch replaces it.
 	epoch uint64
+	// size is the reader's resident footprint (cube.ReaderBytes) at insert
+	// time, charged against the byte budget.
+	size int64
 }
 
 // NewLRU returns an empty LRU cache holding up to n cubes.
@@ -53,6 +62,22 @@ func (l *LRU) Metrics() *Metrics { return l.met }
 
 // Slots returns the cache capacity in cubes.
 func (l *LRU) Slots() int { return l.capacity }
+
+// SetByteBudget caps the resident cube bytes (0 = unlimited, the default).
+// Shrinking below the current footprint evicts immediately from the LRU end.
+func (l *LRU) SetByteBudget(n int64) {
+	l.mu.Lock()
+	l.byteBudget = n
+	l.evictOverflow()
+	l.mu.Unlock()
+}
+
+// Bytes returns the resident cube bytes currently charged to the cache.
+func (l *LRU) Bytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytes
+}
 
 // Len returns the number of cubes currently held.
 func (l *LRU) Len() int {

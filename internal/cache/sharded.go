@@ -46,6 +46,10 @@ type shard struct {
 	mu      sync.Mutex
 	order   *list.List // front = most recently used; values are *lruEntry
 	entries map[int]*list.Element
+	// byteBudget caps this shard's resident cube bytes (0 = unlimited);
+	// bytes is the current total of entry sizes (see LRU).
+	byteBudget int64
+	bytes      int64
 
 	// Pending stat deltas, merged into the obs counters at snapshot time.
 	hits, misses, evictions int64
@@ -136,6 +140,51 @@ func (s *Sharded) Slots() int { return s.slots }
 
 // Allocation returns the level split in use.
 func (s *Sharded) Allocation() Allocation { return s.alloc }
+
+// SetByteBudget caps the cache's resident cube bytes (0 = unlimited, the
+// default). The budget splits across levels by the same (α, β, γ, θ)
+// allocation as the slot capacity and evenly across each level's shards;
+// shards already over their share evict immediately from the LRU end.
+func (s *Sharded) SetByteBudget(n int64) {
+	var budgets map[temporal.Level]int
+	if n > 0 {
+		budgets = s.alloc.SlotsFor(int(n))
+	}
+	for lvl := range s.groups {
+		g := &s.groups[lvl]
+		count := int64(len(g.shards))
+		var levelBudget int64
+		if n > 0 {
+			levelBudget = int64(budgets[temporal.Level(lvl)])
+		}
+		for i, sh := range g.shards {
+			per := int64(0)
+			if n > 0 {
+				per = levelBudget / count
+				if int64(i) < levelBudget%count {
+					per++
+				}
+			}
+			sh.mu.Lock()
+			sh.byteBudget = per
+			sh.evictOverflow()
+			sh.mu.Unlock()
+		}
+	}
+}
+
+// Bytes returns the resident cube bytes currently charged across all shards.
+func (s *Sharded) Bytes() int64 {
+	var n int64
+	for lvl := range s.groups {
+		for _, sh := range s.groups[lvl].shards {
+			sh.mu.Lock()
+			n += sh.bytes
+			sh.mu.Unlock()
+		}
+	}
+	return n
+}
 
 // Get returns the cached cube for p, marking it most recently used within
 // its shard and recording a hit or miss.

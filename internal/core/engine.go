@@ -55,6 +55,11 @@ type Options struct {
 	// CacheShards is the shard count per level for the "sharded" policy;
 	// 0 picks one per CPU (rounded up to a power of two).
 	CacheShards int
+	// CacheBytes caps the demand cache's resident cube bytes (0 = no byte
+	// cap; slots alone bound the cache). Compressed cold-tier readers are far
+	// smaller than dense cubes, so a byte budget lets the same memory
+	// envelope hold much more compacted history. Demand policies only.
+	CacheBytes int64
 	// PooledDecode decodes cache misses into pooled cubes instead of
 	// allocating a page buffer and cube per miss. Requires a demand cache
 	// policy ("lru" or "sharded"): decoded cubes are donated to the cache,
@@ -170,6 +175,12 @@ func NewEngine(ix *tindex.Index, opts Options) (*Engine, error) {
 	if opts.ReadRetries < 0 {
 		return nil, fmt.Errorf("core: ReadRetries must be >= 0, got %d", opts.ReadRetries)
 	}
+	if opts.CacheBytes < 0 {
+		return nil, fmt.Errorf("core: CacheBytes must be >= 0, got %d", opts.CacheBytes)
+	}
+	if opts.CacheBytes > 0 && (policy == "preload" || opts.CacheSlots <= 0) {
+		return nil, fmt.Errorf("core: CacheBytes requires a demand cache policy (lru or sharded) with CacheSlots > 0")
+	}
 	if opts.ReadRetries > 0 {
 		ix.SetRetryPolicy(tindex.RetryPolicy{Attempts: opts.ReadRetries, Backoff: opts.ReadRetryBackoff})
 	}
@@ -193,11 +204,17 @@ func NewEngine(ix *tindex.Index, opts Options) (*Engine, error) {
 			if err != nil {
 				return nil, err
 			}
+			if opts.CacheBytes > 0 {
+				l.SetByteBudget(opts.CacheBytes)
+			}
 			e.demand = l
 		case "sharded":
 			s, err := cache.NewSharded(opts.CacheSlots, alloc, opts.CacheShards)
 			if err != nil {
 				return nil, err
+			}
+			if opts.CacheBytes > 0 {
+				s.SetByteBudget(opts.CacheBytes)
 			}
 			e.demand = s
 		default:
@@ -709,6 +726,11 @@ func (e *Engine) aggregatePeriods(ctx context.Context, f cube.Filter, gb cube.Gr
 			if fc.shared {
 				res.Stats.SharedFetches++
 			}
+			if tb != nil && !fc.fellBack {
+				if _, slots, _, ok := e.ix.ExtentOf(p); ok {
+					tb.addPages(slots)
+				}
+			}
 		}
 		for k := range scratch {
 			delete(scratch, k)
@@ -801,27 +823,40 @@ func (e *Engine) fetchDisk(ctx context.Context, p temporal.Period) (cube.Reader,
 // individually failing slots are recorded for the fallback pass instead of
 // aborting the query.
 func (e *Engine) fetchCoalesced(ctx context.Context, periods []temporal.Period, fetched []fetchedCube, failed []error) error {
-	type miss struct{ i, page int }
+	// Misses carry their tier: hot pages and cold extents live in separate
+	// files, so a run never crosses tiers. Within a tier, adjacency means
+	// the next page starts where the previous one ends — a stride of one
+	// fixed page in the hot store, `slots` 4 KiB slots in the cold store.
+	type miss struct {
+		i, page, slots int
+		cold           bool
+	}
 	misses := make([]miss, 0, len(periods))
 	for i, p := range periods {
 		if rd, ok := e.cacheGet(p); ok {
 			fetched[i] = fetchedCube{rd: rd, cached: true}
 			continue
 		}
-		page, ok := e.ix.PageOf(p)
+		page, slots, cold, ok := e.ix.ExtentOf(p)
 		if !ok {
 			return fmt.Errorf("core: no cube for period %v", p)
 		}
-		misses = append(misses, miss{i: i, page: page})
+		misses = append(misses, miss{i: i, page: page, slots: slots, cold: cold})
 	}
 	if len(misses) == 0 {
 		return nil
 	}
-	sort.Slice(misses, func(a, b int) bool { return misses[a].page < misses[b].page })
+	sort.Slice(misses, func(a, b int) bool {
+		if misses[a].cold != misses[b].cold {
+			return !misses[a].cold // hot runs first; the order is arbitrary
+		}
+		return misses[a].page < misses[b].page
+	})
 	var runs [][]miss
 	start := 0
 	for k := 1; k <= len(misses); k++ {
-		if k == len(misses) || misses[k].page != misses[k-1].page+1 {
+		if k == len(misses) || misses[k].cold != misses[k-1].cold ||
+			misses[k].page != misses[k-1].page+misses[k-1].slots {
 			runs = append(runs, misses[start:k])
 			start = k
 		}

@@ -19,9 +19,13 @@ type QueryTrace struct {
 	CubesFetched int            `json:"cubes_fetched"`
 	CacheHits    int            `json:"cache_hits"`
 	DiskReads    int            `json:"disk_reads"`
-	// PageReads is the index store's page counter delta across the query.
-	// Under concurrent Analyze calls it includes pages read by overlapping
-	// queries; it is exact when queries run one at a time (tests, CLI).
+	// PageReads is the number of store pages read on behalf of this query:
+	// one per hot-tier cube, the extent's slot count per cold-tier cube. A
+	// read shared with an overlapping query through the singleflight group
+	// counts for every query that consumed it, so the figure is stable
+	// across identical runs regardless of what else is in flight. Pages read
+	// while reconstructing a cube in degraded mode are not included (the
+	// period is marked Fallback in its bucket instead).
 	PageReads  int64       `json:"page_reads"`
 	Stages     []obs.Stage `json:"stages,omitempty"`
 	TotalNanos int64       `json:"total_nanos"`
@@ -47,19 +51,18 @@ func (t *QueryTrace) Print(w io.Writer) {
 // builder (tracing off) makes every method a no-op, so the execution path
 // threads it unconditionally.
 type traceBuilder struct {
-	tr          *obs.Trace
-	pagesBefore int64
-	buckets     []BucketPlan
-	bucketIdx   map[string]int
-	levels      map[string]int
+	tr        *obs.Trace
+	pages     int64
+	buckets   []BucketPlan
+	bucketIdx map[string]int
+	levels    map[string]int
 }
 
 func (e *Engine) newTraceBuilder() *traceBuilder {
 	return &traceBuilder{
-		tr:          obs.NewTrace(),
-		pagesBefore: e.ix.Store().Stats().Reads,
-		bucketIdx:   make(map[string]int),
-		levels:      make(map[string]int),
+		tr:        obs.NewTrace(),
+		bucketIdx: make(map[string]int),
+		levels:    make(map[string]int),
 	}
 }
 
@@ -95,6 +98,14 @@ func (tb *traceBuilder) addPeriod(bucket rowKey, p temporal.Period, cached, fall
 	tb.levels[p.Level.String()]++
 }
 
+// addPages credits n store pages to the query's read tally.
+func (tb *traceBuilder) addPages(n int) {
+	if tb == nil {
+		return
+	}
+	tb.pages += int64(n)
+}
+
 // finish attaches the completed trace to the result. Call after Stats (and
 // ElapsedNanos) are final.
 func (tb *traceBuilder) finish(e *Engine, res *Result) {
@@ -107,7 +118,7 @@ func (tb *traceBuilder) finish(e *Engine, res *Result) {
 		CubesFetched: res.Stats.CubesFetched,
 		CacheHits:    res.Stats.CacheHits,
 		DiskReads:    res.Stats.DiskReads,
-		PageReads:    e.ix.Store().Stats().Reads - tb.pagesBefore,
+		PageReads:    tb.pages,
 		Stages:       tb.tr.Stages(),
 		TotalNanos:   res.Stats.ElapsedNanos,
 	}

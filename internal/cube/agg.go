@@ -30,6 +30,12 @@ type AggPlan struct {
 	shape          aggShape
 
 	partial, ors []uint64 // strided-kernel scratch, sized to the grouped dim
+
+	// Per-dimension multiplicity masks, sized to the schema dims: cntE[e] is
+	// how many times e appears in the resolved element list (an explicit
+	// filter may repeat a value; the scalar loop honors each repetition).
+	// SparseCube's single-pass kernel uses them to weight each stored cell.
+	cntE, cntC, cntR, cntU []uint32
 }
 
 type aggShape int
@@ -56,6 +62,10 @@ func CompileAgg(s *Schema, f Filter, g GroupBy) *AggPlan {
 	ap.cs = values(f.Countries, dc, nil)
 	ap.rs = values(f.RoadTypes, dr, nil)
 	ap.us = values(f.UpdateTypes, du, nil)
+	ap.cntE = dimCounts(ap.es, de)
+	ap.cntC = dimCounts(ap.cs, dc)
+	ap.cntR = dimCounts(ap.rs, dr)
+	ap.cntU = dimCounts(ap.us, du)
 
 	// A nil filter list means the full dimension; an explicit list — even an
 	// exhaustive one — keeps the general path so list order is honored
@@ -93,6 +103,16 @@ func CompileAgg(s *Schema, f Filter, g GroupBy) *AggPlan {
 		ap.shape = aggGeneral
 	}
 	return ap
+}
+
+// dimCounts tallies how many times each in-range dimension value appears in
+// the resolved filter list.
+func dimCounts(list []int, dim int) []uint32 {
+	cnt := make([]uint32, dim)
+	for _, v := range list {
+		cnt[v]++
+	}
+	return cnt
 }
 
 // resetScratch zeroes the strided-kernel accumulators.

@@ -20,4 +20,10 @@ var HotPathFuncs = []string{
 	"(*PageView).aggregateLists",
 	"parsePage",
 	"UnmarshalPageInto",
+	"decodePayloadInto",
+	"decodeSparseInto",
+	"decodeDeltaInto",
+	"(*SparseCube).AggregatePlanInto",
+	"MarshalPageInto",
+	"MarshalPageV2Into",
 }

@@ -2,6 +2,7 @@ package cube
 
 import (
 	"encoding/binary"
+	"fmt"
 
 	"rased/internal/temporal"
 )
@@ -42,12 +43,24 @@ type PageView struct {
 // UnmarshalPageView validates a page's header (and, when verify is set, its
 // checksum — a full-payload scan) and returns a lazy view plus the page's
 // period. The buffer must remain valid and unmodified for the view's
-// lifetime.
+// lifetime. Only dense payloads (all v1 pages, and v2 pages whose encoder
+// chose EncDense) can be viewed in place; compressed payloads return an
+// error that is deliberately NOT ErrBadPage — the page is valid, this entry
+// point just cannot serve it. Use UnmarshalPageReader for encoding-agnostic
+// decoding.
 func UnmarshalPageView(s *Schema, buf []byte, verify bool) (*PageView, temporal.Period, error) {
-	payload, p, err := parsePage(s, buf, verify)
+	payload, enc, p, err := parsePage(s, buf, verify)
 	if err != nil {
 		return nil, p, err
 	}
+	if enc != EncDense {
+		return nil, p, fmt.Errorf("cube: page payload encoding %d cannot be viewed in place", enc)
+	}
+	return newPageView(s, payload), p, nil
+}
+
+// newPageView wraps a validated dense payload in a lazy view.
+func newPageView(s *Schema, payload []byte) *PageView {
 	_, c, r, u := s.Dims()
 	return &PageView{
 		schema:  s,
@@ -55,7 +68,7 @@ func UnmarshalPageView(s *Schema, buf []byte, verify bool) (*PageView, temporal.
 		se:      c * r * u,
 		sc:      r * u,
 		sr:      u,
-	}, p, nil
+	}
 }
 
 // Schema returns the view's schema.

@@ -1,0 +1,113 @@
+package faultstore
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"rased/internal/pagestore"
+)
+
+// extent builds a multi-slot buffer with distinct per-slot fills.
+func extent(pageSize, slots int, fill byte) []byte {
+	b := make([]byte, 0, slots*pageSize)
+	for i := 0; i < slots; i++ {
+		b = append(b, page(pageSize, fill+byte(i))...)
+	}
+	return b
+}
+
+// TestExtentPassThroughAndDelegation: with no rules the extent methods and
+// the remaining Pager surface forward to the wrapped store unchanged.
+func TestExtentPassThroughAndDelegation(t *testing.T) {
+	ps := openStore(t, 128)
+	fs := New(ps, 1)
+	if fs.Under() != ps {
+		t.Fatal("Under() is not the wrapped store")
+	}
+	id, slots, err := fs.AppendExtent(extent(128, 3, 0x40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slots != 3 {
+		t.Fatalf("appended %d slots, want 3", slots)
+	}
+	if err := fs.WriteExtent(id, extent(128, 3, 0x50)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 3*128)
+	if err := fs.ReadPagesCtx(context.Background(), id, slots, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, extent(128, 3, 0x50)) {
+		t.Error("extent content did not round-trip through the wrapper")
+	}
+
+	if st := fs.Stats(); st != ps.Stats() {
+		t.Error("Stats() does not delegate")
+	}
+	fs.ResetStats()
+	if st := fs.Stats(); st.Reads != 0 || st.Writes != 0 {
+		t.Errorf("stats after reset = %+v", st)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Path() != ps.Path() || fs.Metrics() != ps.Metrics() {
+		t.Error("Path/Metrics do not delegate")
+	}
+	fs.SetReadLatency(3 * time.Millisecond)
+	if fs.ReadLatency() != 3*time.Millisecond {
+		t.Errorf("ReadLatency = %v", fs.ReadLatency())
+	}
+	fs.SetReadLatency(0)
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExtentWriteFaults: extent writes obey the same rule schedule as page
+// writes — a transient rule fails the operation with both sentinels, and a
+// torn append still occupies its slots while reporting ErrTornWrite, so the
+// caller's directory never references the hole.
+func TestExtentWriteFaults(t *testing.T) {
+	ps := openStore(t, 128)
+	fs := New(ps, 1)
+	fs.AddRule(Rule{Op: OpWrite, Kind: KindTransient, Page: -1, Count: 1})
+	if _, _, err := fs.AppendExtent(extent(128, 2, 1)); !errors.Is(err, ErrInjected) || !errors.Is(err, pagestore.ErrTransient) {
+		t.Fatalf("transient extent append: err = %v", err)
+	}
+	// The rule is spent: the retry lands.
+	id, _, err := fs.AppendExtent(extent(128, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fs.AddRule(Rule{Op: OpWrite, Kind: KindTransient, Page: -1, Count: 1})
+	if err := fs.WriteExtent(id, extent(128, 2, 2)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("transient extent write: err = %v", err)
+	}
+
+	before := fs.NumPages()
+	fs.AddRule(Rule{Op: OpWrite, Kind: KindTorn, Page: -1, Count: 1})
+	if _, _, err := fs.AppendExtent(extent(128, 3, 7)); !errors.Is(err, ErrTornWrite) {
+		t.Fatalf("torn extent append: err = %v", err)
+	}
+	if fs.NumPages() != before+3 {
+		t.Fatalf("torn extent left %d pages, want %d (hole must stay allocated)", fs.NumPages(), before+3)
+	}
+	// The surviving prefix is on disk, the tail zeroed: exactly the state a
+	// crash mid-extent leaves.
+	buf := make([]byte, 3*128)
+	if err := fs.ReadPagesCtx(context.Background(), before, 3, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 7 {
+		t.Error("torn extent lost its leading bytes")
+	}
+	if tail := buf[len(buf)-1]; tail != 0 {
+		t.Errorf("torn extent tail = %x, want 0", tail)
+	}
+}

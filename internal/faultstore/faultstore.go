@@ -423,19 +423,43 @@ func (s *Store) Append(buf []byte) (int, error) {
 	return got, err
 }
 
+// WriteExtent implements pagestore.Pager. Rules target the extent's first
+// slot, so a page-targeted schedule hits an extent landing on that slot the
+// same way it would hit a single-page write there.
+func (s *Store) WriteExtent(id int, buf []byte) error {
+	acts := s.decide(OpWrite, id)
+	return s.applyWrite(acts, id, buf, func(b []byte) error {
+		return s.under.WriteExtent(id, b)
+	})
+}
+
+// AppendExtent implements pagestore.Pager. Like Append, a torn extent still
+// occupies its slots (the hole a crashed extending write leaves) but reports
+// failure, so the caller's directory never references it.
+func (s *Store) AppendExtent(buf []byte) (int, int, error) {
+	acts := s.decide(OpWrite, s.under.NumPages())
+	var gotID, gotSlots int
+	err := s.applyWrite(acts, -1, buf, func(b []byte) error {
+		var werr error
+		gotID, gotSlots, werr = s.under.AppendExtent(b)
+		return werr
+	})
+	return gotID, gotSlots, err
+}
+
 // The remaining Pager methods pass straight through.
 
-func (s *Store) PageSize() int                     { return s.under.PageSize() }
-func (s *Store) NumPages() int                     { return s.under.NumPages() }
-func (s *Store) SizeBytes() int64                  { return s.under.SizeBytes() }
-func (s *Store) Stats() pagestore.Stats            { return s.under.Stats() }
-func (s *Store) ResetStats()                       { s.under.ResetStats() }
-func (s *Store) Sync() error                       { return s.under.Sync() }
-func (s *Store) Close() error                      { return s.under.Close() }
-func (s *Store) Path() string                      { return s.under.Path() }
-func (s *Store) Metrics() *pagestore.Metrics       { return s.under.Metrics() }
-func (s *Store) SetReadLatency(d time.Duration)    { s.under.SetReadLatency(d) }
-func (s *Store) ReadLatency() time.Duration        { return s.under.ReadLatency() }
+func (s *Store) PageSize() int                  { return s.under.PageSize() }
+func (s *Store) NumPages() int                  { return s.under.NumPages() }
+func (s *Store) SizeBytes() int64               { return s.under.SizeBytes() }
+func (s *Store) Stats() pagestore.Stats         { return s.under.Stats() }
+func (s *Store) ResetStats()                    { s.under.ResetStats() }
+func (s *Store) Sync() error                    { return s.under.Sync() }
+func (s *Store) Close() error                   { return s.under.Close() }
+func (s *Store) Path() string                   { return s.under.Path() }
+func (s *Store) Metrics() *pagestore.Metrics    { return s.under.Metrics() }
+func (s *Store) SetReadLatency(d time.Duration) { s.under.SetReadLatency(d) }
+func (s *Store) ReadLatency() time.Duration     { return s.under.ReadLatency() }
 
 // ParseSpec parses a fault schedule from its flag syntax: rules separated by
 // ';', each rule a comma-separated list of key=value fields:

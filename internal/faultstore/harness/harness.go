@@ -284,7 +284,7 @@ func Run(ctx context.Context, dir string, cfg Config) (*Report, error) {
 					// Maintenance interleaved with queries: the scrub itself
 					// reads through the fault store, so it may fail or even
 					// quarantine further pages — both are legitimate.
-					ix.Scrub()
+					ix.ScrubCtx(ctx)
 				}
 				oi := rng.Intn(len(oracles))
 				o := &oracles[oi]

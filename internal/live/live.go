@@ -126,6 +126,13 @@ type Config struct {
 	// CheckpointEvery syncs the index every N folds (day closes always
 	// sync). 0 means the default of 16.
 	CheckpointEvery int
+	// CompressClosed compacts each day — and the rollups it closes — into
+	// the index's compressed cold tier right after the day-close checkpoint.
+	// A closed period is immutable history on the fold path, so compressing
+	// it costs one re-encode per period while the footprint win compounds
+	// daily. Off by default: batch-style deployments may prefer to compact
+	// on their own schedule (tindex.CompactBefore).
+	CompressClosed bool
 	// Engine, when set, is told which periods each epoch republished so its
 	// caches refuse stale hits. Nil is allowed (index-only tests).
 	Engine *core.Engine
@@ -210,7 +217,7 @@ func (p *Pipeline) Run(ctx context.Context, src Source) error {
 			}
 			return err
 		}
-		if err := p.FoldChunk(c); err != nil {
+		if err := p.FoldChunkCtx(ctx, c); err != nil {
 			return err
 		}
 	}
@@ -220,8 +227,14 @@ func (p *Pipeline) Run(ctx context.Context, src Source) error {
 // publishes the result as a new epoch. On the day's last chunk the closing
 // week/month/year rollups are derived here — on the fold path, not the read
 // path — and published atomically with the final day image, followed by a
-// mandatory checkpoint.
+// mandatory checkpoint (and, with CompressClosed, compaction of the closed
+// periods into the cold tier).
 func (p *Pipeline) FoldChunk(c *Chunk) error {
+	return p.FoldChunkCtx(context.Background(), c)
+}
+
+// FoldChunkCtx is FoldChunk honoring a context.
+func (p *Pipeline) FoldChunkCtx(ctx context.Context, c *Chunk) error {
 	if p.cur != nil && c.Day != p.day {
 		return fmt.Errorf("live: chunk for %v arrived while folding %v", c.Day, p.day)
 	}
@@ -280,7 +293,22 @@ func (p *Pipeline) FoldChunk(c *Chunk) error {
 	p.sinceCkpt++
 	if c.Last {
 		p.cur = nil
-		return p.checkpoint()
+		if err := p.checkpoint(); err != nil {
+			return err
+		}
+		if p.cfg.CompressClosed {
+			// The day and its closing rollups are immutable from here: fold
+			// them into the cold tier. The compactor's staleness check makes
+			// this safe even if a republish were to race it.
+			ps := make([]temporal.Period, 0, len(updates))
+			for up := range updates {
+				ps = append(ps, up)
+			}
+			if _, err := p.ix.CompactPeriods(ctx, ps); err != nil {
+				return fmt.Errorf("live: compress closed %v: %w", c.Day, err)
+			}
+		}
+		return nil
 	}
 	if p.sinceCkpt >= p.cfg.CheckpointEvery {
 		return p.checkpoint()

@@ -156,6 +156,55 @@ func TestFoldVisibilityAndStatus(t *testing.T) {
 	}
 }
 
+// TestCompressClosedFoldsToColdTier: with CompressClosed, every closed day
+// and every rollup that closed with it migrates to the compressed cold tier
+// as part of the fold path, while still-open rollups stay hot — and every
+// cube read back through the cold tier is bit-identical to the batch oracle.
+func TestCompressClosedFoldsToColdTier(t *testing.T) {
+	const days, chunks = 16, 4
+	oracle := buildOracle(t, t.TempDir(), days)
+	defer oracle.Close()
+
+	s := testSchema()
+	ix, err := tindex.Create(t.TempDir(), s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	p := NewPipeline(ix, Config{
+		MaxCountry: len(s.Countries), MaxRoad: len(s.RoadTypes),
+		CheckpointEvery: 5, CompressClosed: true,
+	})
+	src := NewSimSource(osmgen.NewDiffStream(testGenConfig(), chunks), 0, days*chunks)
+	if err := p.Run(context.Background(), src); err != nil {
+		t.Fatal(err)
+	}
+
+	_, hi, ok := ix.Coverage()
+	if !ok {
+		t.Fatal("no coverage after run")
+	}
+	for lvl := temporal.Daily; lvl <= temporal.Yearly; lvl++ {
+		for _, per := range ix.Periods(lvl) {
+			wantCold := per.End() <= hi // closed with some day's last chunk
+			if got := ix.IsCold(per); got != wantCold {
+				t.Errorf("%v (ends %v): cold=%v, want %v", per, per.End(), got, wantCold)
+			}
+			a, err := ix.Fetch(per)
+			if err != nil {
+				t.Fatalf("fetch %v: %v", per, err)
+			}
+			b, err := oracle.Fetch(per)
+			if err != nil {
+				t.Fatalf("oracle fetch %v: %v", per, err)
+			}
+			if !a.Equal(b) {
+				t.Fatalf("cube mismatch at %v: live total %d, oracle total %d", per, a.Total(), b.Total())
+			}
+		}
+	}
+}
+
 // TestFoldRejectsInterleavedDays: a chunk for a different day while one is
 // open is a stream bug and must fail loudly, not corrupt the fold.
 func TestFoldRejectsInterleavedDays(t *testing.T) {

@@ -1,0 +1,150 @@
+package pagestore
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// extent builds a multi-slot buffer whose slots carry distinct fills, so a
+// coalesced read-back proves slot order as well as content.
+func extent(pageSize, slots int, fill byte) []byte {
+	b := make([]byte, 0, slots*pageSize)
+	for i := 0; i < slots; i++ {
+		b = append(b, page(pageSize, fill+byte(i))...)
+	}
+	return b
+}
+
+func TestExtentAppendReadRoundTrip(t *testing.T) {
+	s := open(t, 4096)
+	type ref struct {
+		id, slots int
+		fill      byte
+	}
+	var refs []ref
+	for i, slots := range []int{1, 3, 2} {
+		id, n, err := s.AppendExtent(extent(4096, slots, byte(0x10*(i+1))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != slots {
+			t.Fatalf("extent %d: %d slots, want %d", i, n, slots)
+		}
+		refs = append(refs, ref{id, n, byte(0x10 * (i + 1))})
+	}
+	if s.NumPages() != 6 {
+		t.Fatalf("NumPages = %d, want 6", s.NumPages())
+	}
+	for _, r := range refs {
+		buf := make([]byte, r.slots*4096)
+		if err := s.ReadPagesCtx(context.Background(), r.id, r.slots, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, extent(4096, r.slots, r.fill)) {
+			t.Errorf("extent at %d read back wrong content", r.id)
+		}
+	}
+}
+
+func TestExtentWriteInPlaceAndExtend(t *testing.T) {
+	s := open(t, 4096)
+	id, slots, err := s.AppendExtent(extent(4096, 3, 0xA0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite the extent in place (the recycled-extent path).
+	if err := s.WriteExtent(id, extent(4096, 3, 0xB0)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 3*4096)
+	if err := s.ReadPagesCtx(context.Background(), id, slots, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, extent(4096, 3, 0xB0)) {
+		t.Error("in-place extent rewrite not visible")
+	}
+	// An extent starting exactly at the end extends the file, like WritePage.
+	if err := s.WriteExtent(s.NumPages(), extent(4096, 2, 0xC0)); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumPages() != 5 {
+		t.Errorf("NumPages = %d, want 5", s.NumPages())
+	}
+}
+
+func TestExtentBoundsAndTypedErrors(t *testing.T) {
+	s := open(t, 4096)
+	if _, _, err := s.AppendExtent(extent(4096, 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// A buffer that is empty or not a slot multiple is ErrShortPage.
+	for _, n := range []int{0, 100, 4095, 4097} {
+		if err := s.WriteExtent(0, make([]byte, n)); !errors.Is(err, ErrShortPage) {
+			t.Errorf("WriteExtent(%d B): err = %v, want ErrShortPage", n, err)
+		}
+		if _, _, err := s.AppendExtent(make([]byte, n)); !errors.Is(err, ErrShortPage) {
+			t.Errorf("AppendExtent(%d B): err = %v, want ErrShortPage", n, err)
+		}
+	}
+	// An extent reaching past the end from inside the file would allocate an
+	// unreachable hole; negative and past-the-end starts are equally out.
+	for _, id := range []int{-1, 1, 3} {
+		if err := s.WriteExtent(id, extent(4096, 2, 9)); !errors.Is(err, ErrOutOfRange) {
+			t.Errorf("WriteExtent at %d: err = %v, want ErrOutOfRange", id, err)
+		}
+	}
+}
+
+func TestExtentConcurrentAppendsNeverOverlap(t *testing.T) {
+	s := open(t, 4096)
+	const writers, perWriter = 8, 20
+	var wg sync.WaitGroup
+	ids := make([][]int, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				slots := 1 + (w+i)%3
+				id, n, err := s.AppendExtent(extent(4096, slots, byte(w)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				ids[w] = append(ids[w], id, n)
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Every reserved slot range must be disjoint: total slots == NumPages.
+	total := 0
+	seen := map[int]bool{}
+	for w := 0; w < writers; w++ {
+		for i := 0; i < len(ids[w]); i += 2 {
+			id, n := ids[w][i], ids[w][i+1]
+			for p := id; p < id+n; p++ {
+				if seen[p] {
+					t.Fatalf("slot %d reserved twice", p)
+				}
+				seen[p] = true
+			}
+			total += n
+		}
+	}
+	if total != s.NumPages() {
+		t.Fatalf("reserved %d slots, store has %d pages", total, s.NumPages())
+	}
+}
+
+func TestMetricsAllAndPath(t *testing.T) {
+	s := open(t, 4096)
+	if got := len(s.Metrics().All()); got != 5 {
+		t.Errorf("Metrics().All() has %d instruments", got)
+	}
+	if s.Path() == "" {
+		t.Error("Path() is empty")
+	}
+}

@@ -51,6 +51,8 @@ type Pager interface {
 	ReadPagesCtx(ctx context.Context, id, n int, buf []byte) error
 	WritePage(id int, buf []byte) error
 	Append(buf []byte) (int, error)
+	WriteExtent(id int, buf []byte) error
+	AppendExtent(buf []byte) (id, slots int, err error)
 	Stats() Stats
 	ResetStats()
 	Sync() error
@@ -294,6 +296,62 @@ func (s *Store) Append(buf []byte) (int, error) {
 	}
 	s.met.Writes.Inc()
 	return id, nil
+}
+
+// WriteExtent writes buf — a positive multiple of the page size — to the
+// consecutive slots starting at page id. Like WritePage, an extent starting
+// exactly at NumPages() extends the file; an extent reaching beyond the end
+// from inside is an error (it would silently allocate unreachable holes).
+// Slot reservation happens under the mutex, the write outside it.
+func (s *Store) WriteExtent(id int, buf []byte) error {
+	slots, err := s.extentSlots(buf)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if id < 0 || id > s.nPages || (id < s.nPages && id+slots > s.nPages) {
+		n := s.nPages
+		s.mu.Unlock()
+		return fmt.Errorf("pagestore: write extent [%d,%d) out of range [0,%d]: %w", id, id+slots, n, ErrOutOfRange)
+	}
+	if id == s.nPages {
+		s.nPages += slots
+	}
+	s.mu.Unlock()
+	if _, err := s.f.WriteAt(buf, int64(id)*int64(s.pageSize)); err != nil {
+		return fmt.Errorf("pagestore: write extent [%d,%d): %w", id, id+slots, err)
+	}
+	s.met.Writes.Add(int64(slots))
+	return nil
+}
+
+// AppendExtent writes buf — a positive multiple of the page size — as a new
+// extent at the end of the file and returns its first slot id and slot count.
+// The slots are reserved under the mutex, so concurrent appends never
+// overlap; the write itself runs outside it. Extents are read back with
+// ReadPagesCtx(id, slots, buf).
+func (s *Store) AppendExtent(buf []byte) (int, int, error) {
+	slots, err := s.extentSlots(buf)
+	if err != nil {
+		return 0, 0, err
+	}
+	s.mu.Lock()
+	id := s.nPages
+	s.nPages += slots
+	s.mu.Unlock()
+	if _, err := s.f.WriteAt(buf, int64(id)*int64(s.pageSize)); err != nil {
+		return 0, 0, fmt.Errorf("pagestore: write extent [%d,%d): %w", id, id+slots, err)
+	}
+	s.met.Writes.Add(int64(slots))
+	return id, slots, nil
+}
+
+// extentSlots validates an extent buffer and returns its slot count.
+func (s *Store) extentSlots(buf []byte) (int, error) {
+	if len(buf) == 0 || len(buf)%s.pageSize != 0 {
+		return 0, fmt.Errorf("pagestore: extent buffer is %d bytes, not a positive multiple of page size %d: %w", len(buf), s.pageSize, ErrShortPage)
+	}
+	return len(buf) / s.pageSize, nil
 }
 
 // Stats returns a snapshot of the I/O counters.

@@ -37,12 +37,14 @@ import (
 	"rased/internal/temporal"
 )
 
-// retiredPage is a page superseded by a publish. It still backs the previous
-// epoch's view, so it may only be recycled once every pinned reader started
-// at or after the epoch that superseded it (and the page is not part of the
-// last durable checkpoint).
+// retiredPage is a hot page or cold extent superseded by a publish, a tier
+// migration, or a pull-back. It still backs the previous epoch's view, so it
+// may only be recycled once every pinned reader started at or after the epoch
+// that superseded it (and it is not part of the last durable checkpoint).
+// slots == 0 marks a hot page; slots > 0 a cold extent of that many slots.
 type retiredPage struct {
 	page  int
+	slots int
 	epoch uint64
 }
 
@@ -58,6 +60,10 @@ func (ix *Index) EnableLive() {
 	for _, pg := range ix.pages {
 		snap[pg] = true
 	}
+	snapCold := make(map[int]bool, len(ix.extents))
+	for _, e := range ix.extents {
+		snapCold[e.id] = true
+	}
 	ix.mu.RUnlock()
 	ix.lmu.Lock()
 	if ix.pins == nil {
@@ -65,6 +71,9 @@ func (ix *Index) EnableLive() {
 	}
 	if ix.durable == nil {
 		ix.durable = snap
+	}
+	if ix.durableCold == nil {
+		ix.durableCold = snapCold
 	}
 	ix.lmu.Unlock()
 	ix.live.Store(true)
@@ -105,8 +114,9 @@ func (ix *Index) unpinEpoch(tok uint64) {
 	ix.lmu.Unlock()
 }
 
-// reclaimRetired moves retired pages that no reader can still reference — and
-// that the last durable checkpoint does not depend on — to the free list.
+// reclaimRetired moves retired pages and extents that no reader can still
+// reference — and that the last durable checkpoint does not depend on — to
+// the tier-matching free list.
 func (ix *Index) reclaimRetired() {
 	ix.lmu.Lock()
 	defer ix.lmu.Unlock()
@@ -118,13 +128,35 @@ func (ix *Index) reclaimRetired() {
 	}
 	keep := ix.retired[:0]
 	for _, r := range ix.retired {
-		if minPin >= r.epoch && !ix.durable[r.page] {
-			ix.freePages = append(ix.freePages, r.page)
-		} else {
+		switch {
+		case minPin < r.epoch:
 			keep = append(keep, r)
+		case r.slots > 0:
+			if ix.durableCold[r.page] {
+				keep = append(keep, r)
+			} else {
+				ix.freeExtents = append(ix.freeExtents, extentRef{id: r.page, slots: r.slots})
+			}
+		default:
+			if ix.durable[r.page] {
+				keep = append(keep, r)
+			} else {
+				ix.freePages = append(ix.freePages, r.page)
+			}
 		}
 	}
 	ix.retired = keep
+}
+
+// retireExtent queues a superseded cold extent for epoch-safe reclamation: it
+// becomes recyclable only once every reader pinned before the *next* epoch
+// has drained (and the last durable checkpoint no longer references it). The
+// conservative next-epoch bound covers callers that swap the directory
+// without bumping the epoch themselves (the batch pull-back path).
+func (ix *Index) retireExtent(ext extentRef) {
+	ix.lmu.Lock()
+	ix.retired = append(ix.retired, retiredPage{page: ext.id, slots: ext.slots, epoch: ix.epoch.Load() + 1})
+	ix.lmu.Unlock()
 }
 
 // writeScratch writes buf to a page unreachable from the directory: a
@@ -160,6 +192,19 @@ func (ix *Index) recycleScratch(pages []int) {
 	}
 	ix.lmu.Lock()
 	ix.freePages = append(ix.freePages, pages...)
+	ix.lmu.Unlock()
+}
+
+// recycleExtents returns staged-but-unpublished cold extents to the extent
+// free list after a failed or stale compaction. Like recycleScratch, the
+// extents were never reachable from the directory, so no epoch or durability
+// accounting applies.
+func (ix *Index) recycleExtents(exts []extentRef) {
+	if len(exts) == 0 {
+		return
+	}
+	ix.lmu.Lock()
+	ix.freeExtents = append(ix.freeExtents, exts...)
 	ix.lmu.Unlock()
 }
 
@@ -222,14 +267,19 @@ func (ix *Index) PublishEpoch(updates map[temporal.Period]*cube.Cube) (uint64, e
 	ix.reclaimRetired()
 
 	newPages := make([]int, 0, len(ps))
+	pb := ix.pool.GetBuf()
+	defer ix.pool.PutBuf(pb)
 	for _, p := range ps {
-		buf := cube.MarshalPage(updates[p], p)
-		page, err := ix.writeScratch(buf)
-		if err != nil {
-			ix.recycleScratch(newPages)
-			return 0, fmt.Errorf("tindex: publish %v: %w", p, err)
+		buf, err := cube.MarshalPageInto(*pb, updates[p], p)
+		if err == nil {
+			var page int
+			if page, err = ix.writeScratch(buf); err == nil {
+				newPages = append(newPages, page)
+				continue
+			}
 		}
-		newPages = append(newPages, page)
+		ix.recycleScratch(newPages)
+		return 0, fmt.Errorf("tindex: publish %v: %w", p, err)
 	}
 
 	ix.mu.Lock()
@@ -238,6 +288,13 @@ func (ix *Index) PublishEpoch(updates map[temporal.Period]*cube.Cube) (uint64, e
 	for i, p := range ps {
 		if old, ok := ix.pages[p]; ok && old != newPages[i] {
 			retiredNow = append(retiredNow, retiredPage{page: old, epoch: newEpoch})
+		}
+		// A republished cold period migrates back to the hot tier: drop the
+		// extent mapping in the same critical section so readers never see
+		// both, and retire the extent under the new epoch.
+		if e, wasCold := ix.extents[p]; wasCold {
+			delete(ix.extents, p)
+			retiredNow = append(retiredNow, retiredPage{page: e.id, slots: e.slots, epoch: newEpoch})
 		}
 		ix.pages[p] = newPages[i]
 		delete(ix.quarantined, p)

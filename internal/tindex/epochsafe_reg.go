@@ -4,13 +4,17 @@ package tindex
 
 // EpochSwapSites is the audited registry of functions allowed to write cube
 // pages. The epochsafe lint rule fails the build when any other function in
-// this package calls WritePage or Append on the page store: published pages
-// are immutable under the live-ingest epoch protocol, so every page write
-// must go through either the batch path (writeCube, which assumes no
-// concurrent readers) or the copy-on-write scratch path (writeScratch, whose
-// target pages are unreachable from the directory). The build tag keeps this
-// registry out of normal builds; the lint rule parses the file directly.
+// this package calls WritePage, Append, WriteExtent, or AppendExtent on a
+// page store: published pages are immutable under the live-ingest epoch
+// protocol, so every page write must go through the batch path (writeCube,
+// which assumes no concurrent readers), the copy-on-write scratch path
+// (writeScratch, whose target pages are unreachable from the directory), or
+// the compactor's extent-staging path (writeExtentScratch, whose target
+// extents are likewise unreachable until the tier swap). The build tag keeps
+// this registry out of normal builds; the lint rule parses the file
+// directly.
 var EpochSwapSites = []string{
 	"writeCube",
 	"writeScratch",
+	"writeExtentScratch",
 }

@@ -12,8 +12,9 @@ import (
 // ErrNotAdjacent reports a period run whose pages are not (or no longer)
 // consecutive on disk. Under live ingest this is an expected transient: a
 // publish between the caller's PageOf probe and the coalesced read moves the
-// republished period to a fresh page, breaking the run. Callers should fall
-// back to per-period fetches, which always see a consistent directory.
+// republished period to a fresh page, breaking the run. A compaction has the
+// same effect (the period migrates tiers). Callers should fall back to
+// per-period fetches, which always see a consistent directory.
 var ErrNotAdjacent = errors.New("periods are not page-adjacent")
 
 // This file holds the pooled and coalesced fetch paths. Both exist to cut
@@ -22,9 +23,14 @@ var ErrNotAdjacent = errors.New("periods are not page-adjacent")
 //   - FetchPooledCtx decodes into a recycled cube from the index's PagePool
 //     instead of allocating a fresh page buffer plus a fresh ~cells*8-byte
 //     cube per miss.
-//   - FetchRunCtx / FetchRunPooledCtx serve a run of periods whose pages are
-//     adjacent on disk with a single pagestore.ReadPagesCtx call: one
-//     syscall and one injected-latency sleep for the whole run.
+//   - FetchRunCtx / FetchRunPooledCtx serve a run of periods whose pages (or
+//     cold extents) are adjacent on disk with a single pagestore.ReadPagesCtx
+//     call: one syscall and one injected-latency sleep for the whole run.
+//
+// Both run paths are tier-aware: a run must live entirely in one tier (all
+// hot pages or all cold extents) — the tiers are separate files, so a mixed
+// run cannot be one I/O and comes back ErrNotAdjacent. Cold adjacency means
+// each extent starts exactly where the previous one ends (id + slots).
 //
 // Ownership of pooled cubes follows the donation model documented in
 // DESIGN.md ("Hot-path memory model"): the caller owns the returned cube and
@@ -33,31 +39,34 @@ var ErrNotAdjacent = errors.New("periods are not page-adjacent")
 // done.
 
 // FetchPooledCtx reads the cube for period p into a pooled decode target
-// (one page I/O, no per-miss allocation in steady state). The caller owns the
-// returned cube; see ReleasePooled.
+// (one page or extent I/O, no per-miss allocation in steady state). The
+// caller owns the returned cube; see ReleasePooled. Works on both tiers: a
+// pooled PageSize buffer always fits a cold extent because the v2 encoder
+// never chooses a payload larger than the dense layout.
 func (ix *Index) FetchPooledCtx(ctx context.Context, p temporal.Period) (*cube.Cube, error) {
 	defer ix.unpinEpoch(ix.pinEpoch())
-	page, verify, err := ix.lookup(p)
+	ref, verify, err := ix.lookup(p)
 	if err != nil {
 		return nil, err
 	}
 	pb := ix.pool.GetBuf()
 	defer ix.pool.PutBuf(pb)
-	if err := ix.retryRead(ctx, func() error { return ix.store.ReadPageCtx(ctx, page, *pb) }); err != nil {
+	buf := (*pb)[:ix.refLen(ref)]
+	if err := ix.retryRead(ctx, func() error { return ix.readRef(ctx, ref, buf) }); err != nil {
 		return nil, err
 	}
 	cb := ix.pool.GetCube()
-	got, err := cube.UnmarshalPageInto(ix.schema, cb, *pb, verify)
+	got, err := cube.UnmarshalPageInto(ix.schema, cb, buf, verify)
 	if err != nil {
 		// The scratch cube goes straight back to the pool: a corrupt page
 		// must not leak the pooled decode target (nor, upstream, poison any
 		// cache with a half-decoded cube).
 		ix.pool.PutCube(cb)
-		return nil, ix.decodeErr(p, page, err)
+		return nil, ix.decodeErr(p, ref.id, err)
 	}
 	if got != p {
 		ix.pool.PutCube(cb)
-		return nil, ix.mismatchErr(p, got, page)
+		return nil, ix.mismatchErr(p, got, ref.id)
 	}
 	return cb, nil
 }
@@ -70,60 +79,97 @@ func (ix *Index) ReleasePooled(cb *cube.Cube) {
 	ix.pool.PutCube(cb)
 }
 
-// runPages resolves ps to page ids and verifies they form one strictly
-// consecutive ascending run on disk, returning the first page id.
-func (ix *Index) runPages(ps []temporal.Period) (first int, err error) {
+// runRefs resolves ps to storage references and verifies they form one
+// strictly consecutive run in a single tier: hot pages must be consecutive
+// ids, cold extents must each start where the previous one ends. The verify
+// flag is snapshotted in the same critical section.
+func (ix *Index) runRefs(ps []temporal.Period) (refs []pageRef, verify bool, err error) {
 	if len(ps) == 0 {
-		return 0, fmt.Errorf("tindex: empty period run")
+		return nil, false, fmt.Errorf("tindex: empty period run")
 	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
+	refs = make([]pageRef, len(ps))
 	for i, p := range ps {
 		if _, bad := ix.quarantined[p]; bad {
-			return 0, fmt.Errorf("tindex: period %v quarantined: %w", p, ErrCorruptPage)
+			return nil, false, fmt.Errorf("tindex: period %v quarantined: %w", p, ErrCorruptPage)
 		}
-		page, ok := ix.pages[p]
-		if !ok {
-			return 0, fmt.Errorf("tindex: %w %v", ErrNoCube, p)
+		var ref pageRef
+		if page, ok := ix.pages[p]; ok {
+			ref = pageRef{id: page}
+		} else if e, ok := ix.extents[p]; ok {
+			ref = pageRef{id: e.id, slots: e.slots, cold: true}
+		} else {
+			return nil, false, fmt.Errorf("tindex: %w %v", ErrNoCube, p)
 		}
-		if i == 0 {
-			first = page
-		} else if page != first+i {
-			return 0, fmt.Errorf("tindex: %w: %v..%v (page %d, expected %d)",
-				ErrNotAdjacent, ps[0], p, page, first+i)
+		if i > 0 {
+			prev := refs[i-1]
+			stride := 1 // hot pages occupy one slot each
+			if prev.cold {
+				stride = prev.slots
+			}
+			if ref.cold != prev.cold || ref.id != prev.id+stride {
+				return nil, false, fmt.Errorf("tindex: %w: %v..%v (page %d after %d)",
+					ErrNotAdjacent, ps[0], p, ref.id, prev.id)
+			}
 		}
+		refs[i] = ref
 	}
-	return first, nil
+	return refs, ix.verifyReads, nil
 }
 
-// FetchRunCtx reads the cubes for a run of periods whose pages are adjacent
-// on disk with one coalesced I/O, returning zero-copy page views in period
-// order. Callers discover adjacency with PageOf; handing a non-adjacent run
-// here is an error, not a silent fallback.
+// readRun issues the single coalesced read for a validated run and returns
+// the backing buffer. Hot runs read len(refs) fixed-size pages; cold runs
+// read the summed extent slots.
+func (ix *Index) readRun(ctx context.Context, refs []pageRef, buf []byte) error {
+	if refs[0].cold {
+		slots := 0
+		for _, r := range refs {
+			slots += r.slots
+		}
+		return ix.retryRead(ctx, func() error { return ix.cold.ReadPagesCtx(ctx, refs[0].id, slots, buf) })
+	}
+	return ix.retryRead(ctx, func() error { return ix.store.ReadPagesCtx(ctx, refs[0].id, len(refs), buf) })
+}
+
+// runLen returns the total byte length of a validated run.
+func (ix *Index) runLen(refs []pageRef) int {
+	n := 0
+	for _, r := range refs {
+		n += ix.refLen(r)
+	}
+	return n
+}
+
+// FetchRunCtx reads the cubes for a run of periods whose pages (or extents)
+// are adjacent on disk with one coalesced I/O, returning zero-copy readers in
+// period order: dense pages come back as in-place views, compressed cold
+// pages as their decoded compact forms. Callers discover adjacency with
+// PageOf/ExtentOf; handing a non-adjacent run here is an error, not a silent
+// fallback.
 func (ix *Index) FetchRunCtx(ctx context.Context, ps []temporal.Period) ([]cube.Reader, error) {
 	defer ix.unpinEpoch(ix.pinEpoch())
-	first, err := ix.runPages(ps)
+	refs, verify, err := ix.runRefs(ps)
 	if err != nil {
 		return nil, err
 	}
-	ix.mu.RLock()
-	verify := ix.verifyReads
-	ix.mu.RUnlock()
-	pageSize := ix.store.PageSize()
-	buf := make([]byte, len(ps)*pageSize)
-	if err := ix.retryRead(ctx, func() error { return ix.store.ReadPagesCtx(ctx, first, len(ps), buf) }); err != nil {
+	buf := make([]byte, ix.runLen(refs))
+	if err := ix.readRun(ctx, refs, buf); err != nil {
 		return nil, err
 	}
 	out := make([]cube.Reader, len(ps))
+	off := 0
 	for i, p := range ps {
-		view, got, err := cube.UnmarshalPageView(ix.schema, buf[i*pageSize:(i+1)*pageSize], verify)
+		n := ix.refLen(refs[i])
+		rd, got, err := cube.UnmarshalPageReader(ix.schema, buf[off:off+n], verify)
+		off += n
 		if err != nil {
-			return nil, ix.decodeErr(p, first+i, err)
+			return nil, ix.decodeErr(p, refs[i].id, err)
 		}
 		if got != p {
-			return nil, ix.mismatchErr(p, got, first+i)
+			return nil, ix.mismatchErr(p, got, refs[i].id)
 		}
-		out[i] = view
+		out[i] = rd
 	}
 	return out, nil
 }
@@ -134,16 +180,12 @@ func (ix *Index) FetchRunCtx(ctx context.Context, ps []temporal.Period) ([]cube.
 // on error all partially decoded cubes are returned to the pool.
 func (ix *Index) FetchRunPooledCtx(ctx context.Context, ps []temporal.Period) ([]*cube.Cube, error) {
 	defer ix.unpinEpoch(ix.pinEpoch())
-	first, err := ix.runPages(ps)
+	refs, verify, err := ix.runRefs(ps)
 	if err != nil {
 		return nil, err
 	}
-	ix.mu.RLock()
-	verify := ix.verifyReads
-	ix.mu.RUnlock()
-	pageSize := ix.store.PageSize()
-	buf := make([]byte, len(ps)*pageSize)
-	if err := ix.retryRead(ctx, func() error { return ix.store.ReadPagesCtx(ctx, first, len(ps), buf) }); err != nil {
+	buf := make([]byte, ix.runLen(refs))
+	if err := ix.readRun(ctx, refs, buf); err != nil {
 		return nil, err
 	}
 	out := make([]*cube.Cube, 0, len(ps))
@@ -152,18 +194,21 @@ func (ix *Index) FetchRunPooledCtx(ctx context.Context, ps []temporal.Period) ([
 			ix.pool.PutCube(cb)
 		}
 	}
+	off := 0
 	for i, p := range ps {
+		n := ix.refLen(refs[i])
 		cb := ix.pool.GetCube()
-		got, err := cube.UnmarshalPageInto(ix.schema, cb, buf[i*pageSize:(i+1)*pageSize], verify)
+		got, err := cube.UnmarshalPageInto(ix.schema, cb, buf[off:off+n], verify)
+		off += n
 		if err != nil {
 			ix.pool.PutCube(cb)
 			release()
-			return nil, ix.decodeErr(p, first+i, err)
+			return nil, ix.decodeErr(p, refs[i].id, err)
 		}
 		if got != p {
 			ix.pool.PutCube(cb)
 			release()
-			return nil, ix.mismatchErr(p, got, first+i)
+			return nil, ix.mismatchErr(p, got, refs[i].id)
 		}
 		out = append(out, cb)
 	}

@@ -38,14 +38,24 @@ var (
 type Option func(*config)
 
 type config struct {
-	wrap func(pagestore.Pager) pagestore.Pager
+	wrap     func(pagestore.Pager) pagestore.Pager
+	wrapCold func(pagestore.Pager) pagestore.Pager
 }
 
-// WithStoreWrapper interposes w between the index and its page store. The
+// WithStoreWrapper interposes w between the index and its hot page store. The
 // chaos tooling uses it to slot a faultstore.Store underneath a real index;
-// the index itself never knows.
+// the index itself never knows. The cold extent store is a separate file with
+// its own wrapper (WithColdStoreWrapper) so a test capturing the wrapped
+// store gets exactly the tier it asked for.
 func WithStoreWrapper(w func(pagestore.Pager) pagestore.Pager) Option {
 	return func(c *config) { c.wrap = w }
+}
+
+// WithColdStoreWrapper interposes w between the index and its cold extent
+// store, the compressed tier written by the compactor. Compaction chaos tests
+// use it to inject faults into extent reads without disturbing the hot tier.
+func WithColdStoreWrapper(w func(pagestore.Pager) pagestore.Pager) Option {
+	return func(c *config) { c.wrapCold = w }
 }
 
 // RetryPolicy bounds the read-retry loop. Attempts is the number of extra
@@ -140,19 +150,22 @@ func (ix *Index) retryRead(ctx context.Context, do func() error) error {
 	}
 }
 
-// lookup resolves period p to its page id, failing fast for quarantined and
-// absent periods, and snapshots the verify flag in the same critical section.
-func (ix *Index) lookup(p temporal.Period) (page int, verify bool, err error) {
+// lookup resolves period p to its tiered storage reference, failing fast for
+// quarantined and absent periods, and snapshots the verify flag in the same
+// critical section.
+func (ix *Index) lookup(p temporal.Period) (ref pageRef, verify bool, err error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	if _, bad := ix.quarantined[p]; bad {
-		return 0, false, fmt.Errorf("tindex: period %v quarantined: %w", p, ErrCorruptPage)
+		return pageRef{}, false, fmt.Errorf("tindex: period %v quarantined: %w", p, ErrCorruptPage)
 	}
-	page, ok := ix.pages[p]
-	if !ok {
-		return 0, false, fmt.Errorf("tindex: %w %v", ErrNoCube, p)
+	if page, ok := ix.pages[p]; ok {
+		return pageRef{id: page}, ix.verifyReads, nil
 	}
-	return page, ix.verifyReads, nil
+	if e, ok := ix.extents[p]; ok {
+		return pageRef{id: e.id, slots: e.slots, cold: true}, ix.verifyReads, nil
+	}
+	return pageRef{}, false, fmt.Errorf("tindex: %w %v", ErrNoCube, p)
 }
 
 // quarantinePage records that period p's page failed validation. Quarantined

@@ -30,16 +30,31 @@ func sortPeriods(ps []temporal.Period) {
 }
 
 const (
-	cubesFile = "cubes.db"
-	metaFile  = "index.json"
+	cubesFile     = "cubes.db"
+	coldCubesFile = "cubes_cold.db"
+	metaFile      = "index.json"
 )
 
-// Index is the on-disk hierarchical temporal index. The page store is held
+// extentRef locates one compressed cube in the cold store: its first 4 KiB
+// slot and how many consecutive slots it occupies.
+type extentRef struct {
+	id    int
+	slots int
+}
+
+// Index is the on-disk hierarchical temporal index. The page stores are held
 // through the Pager interface so Create/Open options (WithStoreWrapper) can
 // interpose a fault-injecting wrapper without the index knowing.
+//
+// Storage is tiered: the hot store (cubes.db) holds fixed-size dense v1
+// pages, one per period, written by the batch and live ingest paths; the cold
+// store (cubes_cold.db) holds variable-length compressed v2 extents in 4 KiB
+// slots, written only by the compactor (compact.go). A period lives in
+// exactly one tier; the fetch paths resolve either transparently.
 type Index struct {
 	schema *cube.Schema
-	store  pagestore.Pager
+	store  pagestore.Pager // hot tier: fixed PageSize(schema) pages
+	cold   pagestore.Pager // cold tier: compressed extents in PageAlign slots
 	dir    string
 	levels int
 	pool   *cube.PagePool
@@ -47,8 +62,9 @@ type Index struct {
 	rng    atomic.Uint64 // xorshift64 state for retry backoff jitter
 
 	mu          sync.RWMutex
-	pages       map[temporal.Period]int
-	quarantined map[temporal.Period]int // periods whose pages failed validation
+	pages       map[temporal.Period]int       // hot tier directory
+	extents     map[temporal.Period]extentRef // cold tier directory
+	quarantined map[temporal.Period]int       // periods whose pages failed validation
 	retry       RetryPolicy
 	minDay      temporal.Day
 	maxDay      temporal.Day
@@ -59,19 +75,31 @@ type Index struct {
 	// counter; live gates the per-fetch pin so batch deployments pay one
 	// atomic load. lmu guards the pin/retire/free/durable bookkeeping — it is
 	// ordered after mu (mu may be held when taking lmu, never the reverse).
-	epoch     atomic.Uint64
-	live      atomic.Bool
-	lmu       sync.Mutex
-	pins      map[uint64]int // pinned epoch token (epoch+1) -> reader count
-	retired   []retiredPage
-	freePages []int
-	durable   map[int]bool // page ids referenced by the last synced meta
+	epoch       atomic.Uint64
+	live        atomic.Bool
+	lmu         sync.Mutex
+	pins        map[uint64]int // pinned epoch token (epoch+1) -> reader count
+	retired     []retiredPage
+	freePages   []int
+	freeExtents []extentRef
+	durable     map[int]bool // hot page ids referenced by the last synced meta
+	durableCold map[int]bool // cold extent ids referenced by the last synced meta
+}
+
+// pageRef locates one period's cube in either tier: a hot page (slots == 0)
+// or a cold extent of `slots` PageAlign slots.
+type pageRef struct {
+	id    int
+	slots int
+	cold  bool
 }
 
 type metaEntry struct {
-	Level int `json:"level"`
-	Index int `json:"index"`
-	Page  int `json:"page"`
+	Level int  `json:"level"`
+	Index int  `json:"index"`
+	Page  int  `json:"page"`
+	Slots int  `json:"slots,omitempty"`
+	Cold  bool `json:"cold,omitempty"`
 }
 
 type metaDoc struct {
@@ -84,7 +112,7 @@ type metaDoc struct {
 	Entries           []metaEntry `json:"entries"`
 }
 
-// openPager opens the cube page store for dir and applies the configured
+// openPager opens the hot cube page store for dir and applies the configured
 // wrapper, if any.
 func openPager(dir string, schema *cube.Schema, cfg *config) (pagestore.Pager, error) {
 	store, err := pagestore.Open(filepath.Join(dir, cubesFile), cube.PageSize(schema))
@@ -94,6 +122,21 @@ func openPager(dir string, schema *cube.Schema, cfg *config) (pagestore.Pager, e
 	var pager pagestore.Pager = store
 	if cfg.wrap != nil {
 		pager = cfg.wrap(pager)
+	}
+	return pager, nil
+}
+
+// openColdPager opens the cold extent store for dir — slot size PageAlign,
+// extents spanning ceil(encoded/PageAlign) slots — wrapped through its own
+// option so fault injection can target either tier independently.
+func openColdPager(dir string, cfg *config) (pagestore.Pager, error) {
+	store, err := pagestore.Open(filepath.Join(dir, coldCubesFile), cube.PageAlign)
+	if err != nil {
+		return nil, err
+	}
+	var pager pagestore.Pager = store
+	if cfg.wrapCold != nil {
+		pager = cfg.wrapCold(pager)
 	}
 	return pager, nil
 }
@@ -118,13 +161,20 @@ func Create(dir string, schema *cube.Schema, levels int, opts ...Option) (*Index
 	if err != nil {
 		return nil, err
 	}
+	cold, err := openColdPager(dir, &cfg)
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
 	ix := &Index{
 		schema:      schema,
 		store:       store,
+		cold:        cold,
 		dir:         dir,
 		levels:      levels,
 		pool:        cube.NewPagePool(schema),
 		pages:       make(map[temporal.Period]int),
+		extents:     make(map[temporal.Period]extentRef),
 		quarantined: make(map[temporal.Period]int),
 		empty:       true,
 		verifyReads: true,
@@ -133,6 +183,7 @@ func Create(dir string, schema *cube.Schema, levels int, opts ...Option) (*Index
 	ix.rng.Store(0x9E3779B97F4A7C15)
 	if err := ix.Sync(); err != nil {
 		store.Close()
+		cold.Close()
 		return nil, err
 	}
 	return ix, nil
@@ -160,13 +211,20 @@ func Open(dir string, schema *cube.Schema, opts ...Option) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	cold, err := openColdPager(dir, &cfg)
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
 	ix := &Index{
 		schema:      schema,
 		store:       store,
+		cold:        cold,
 		dir:         dir,
 		levels:      doc.Levels,
 		pool:        cube.NewPagePool(schema),
 		pages:       make(map[temporal.Period]int, len(doc.Entries)),
+		extents:     make(map[temporal.Period]extentRef),
 		quarantined: make(map[temporal.Period]int),
 		minDay:      temporal.Day(doc.MinDay),
 		maxDay:      temporal.Day(doc.MaxDay),
@@ -180,9 +238,20 @@ func Open(dir string, schema *cube.Schema, opts ...Option) (*Index, error) {
 		lvl := temporal.Level(e.Level)
 		if !lvl.Valid() {
 			store.Close()
+			cold.Close()
 			return nil, fmt.Errorf("tindex: corrupt meta: level %d", e.Level)
 		}
-		ix.pages[temporal.Period{Level: lvl, Index: e.Index}] = e.Page
+		p := temporal.Period{Level: lvl, Index: e.Index}
+		if e.Cold {
+			if e.Slots < 1 {
+				store.Close()
+				cold.Close()
+				return nil, fmt.Errorf("tindex: corrupt meta: cold entry %v has %d slots", p, e.Slots)
+			}
+			ix.extents[p] = extentRef{id: e.Page, slots: e.Slots}
+			continue
+		}
+		ix.pages[p] = e.Page
 	}
 	return ix, nil
 }
@@ -193,10 +262,13 @@ func (ix *Index) Schema() *cube.Schema { return ix.schema }
 // Levels returns the number of hierarchy levels in use.
 func (ix *Index) Levels() int { return ix.levels }
 
-// Store exposes the underlying page store (for I/O stats and latency
+// Store exposes the underlying hot page store (for I/O stats and latency
 // injection). With a store wrapper installed this is the wrapper, not the
 // raw file store.
 func (ix *Index) Store() pagestore.Pager { return ix.store }
+
+// ColdStore exposes the underlying cold extent store.
+func (ix *Index) ColdStore() pagestore.Pager { return ix.cold }
 
 // Coverage returns the inclusive day range the index covers; ok is false for
 // an empty index.
@@ -209,7 +281,7 @@ func (ix *Index) Coverage() (lo, hi temporal.Day, ok bool) {
 	return ix.minDay, ix.maxDay, true
 }
 
-// NumCubes returns the number of cube pages per level.
+// NumCubes returns the number of cubes per level, across both tiers.
 func (ix *Index) NumCubes() map[temporal.Level]int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
@@ -217,15 +289,23 @@ func (ix *Index) NumCubes() map[temporal.Level]int {
 	for p := range ix.pages {
 		out[p.Level]++
 	}
+	for p := range ix.extents {
+		out[p.Level]++
+	}
 	return out
 }
 
-// Periods returns every period of the given level that has a cube, in
-// chronological order.
+// Periods returns every period of the given level that has a cube (in either
+// tier), in chronological order.
 func (ix *Index) Periods(lvl temporal.Level) []temporal.Period {
 	ix.mu.RLock()
 	out := make([]temporal.Period, 0, 64)
 	for p := range ix.pages {
+		if p.Level == lvl {
+			out = append(out, p)
+		}
+	}
+	for p := range ix.extents {
 		if p.Level == lvl {
 			out = append(out, p)
 		}
@@ -235,14 +315,33 @@ func (ix *Index) Periods(lvl temporal.Level) []temporal.Period {
 	return out
 }
 
-// PageOf returns the page id holding period p's cube, if any. Fetch planners
-// use it to spot runs of adjacent pages that a coalesced read can serve with
-// one I/O.
+// PageOf returns the hot page id holding period p's cube, if any. Fetch
+// planners use it to spot runs of adjacent pages that a coalesced read can
+// serve with one I/O; compacted (cold) periods report false — use ExtentOf
+// for tier-aware planning.
 func (ix *Index) PageOf(p temporal.Period) (int, bool) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	page, ok := ix.pages[p]
 	return page, ok
+}
+
+// ExtentOf reports where period p's cube lives: its first slot id, slot
+// count, and tier. A hot page is one slot of the hot store (slot unit =
+// PageSize); a cold extent spans `slots` PageAlign-sized slots of the cold
+// store. Two same-tier periods are adjacent on disk — servable by one
+// coalesced read — exactly when next.id == prev.id + prev.slots with hot
+// slots counted as 1. Ids of different tiers are unrelated address spaces.
+func (ix *Index) ExtentOf(p temporal.Period) (id, slots int, cold, ok bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if page, hot := ix.pages[p]; hot {
+		return page, 1, false, true
+	}
+	if e, c := ix.extents[p]; c {
+		return e.id, e.slots, true, true
+	}
+	return 0, 0, false, false
 }
 
 // Pool returns the index's page pool: recycled page buffers and decode-target
@@ -260,7 +359,10 @@ func (ix *Index) Has(p temporal.Period) bool {
 	if _, bad := ix.quarantined[p]; bad {
 		return false
 	}
-	_, ok := ix.pages[p]
+	if _, ok := ix.pages[p]; ok {
+		return true
+	}
+	_, ok := ix.extents[p]
 	return ok
 }
 
@@ -270,11 +372,33 @@ func (ix *Index) Has(p temporal.Period) bool {
 func (ix *Index) HasCube(p temporal.Period) bool {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	_, ok := ix.pages[p]
+	if _, ok := ix.pages[p]; ok {
+		return true
+	}
+	_, ok := ix.extents[p]
 	return ok
 }
 
-// Fetch reads the cube for period p from disk (one page I/O).
+// refLen returns the read-buffer length for one tiered reference. A cold
+// extent never exceeds the hot page size (the v2 dense encoding is the v1
+// payload), so a pooled page buffer always fits either tier.
+func (ix *Index) refLen(ref pageRef) int {
+	if ref.cold {
+		return ref.slots * cube.PageAlign
+	}
+	return ix.store.PageSize()
+}
+
+// readRef reads the page or extent behind ref into buf, whose length must be
+// refLen(ref).
+func (ix *Index) readRef(ctx context.Context, ref pageRef, buf []byte) error {
+	if ref.cold {
+		return ix.cold.ReadPagesCtx(ctx, ref.id, ref.slots, buf)
+	}
+	return ix.store.ReadPageCtx(ctx, ref.id, buf)
+}
+
+// Fetch reads the cube for period p from disk (one page or extent I/O).
 func (ix *Index) Fetch(p temporal.Period) (*cube.Cube, error) {
 	return ix.FetchCtx(context.Background(), p)
 }
@@ -282,27 +406,28 @@ func (ix *Index) Fetch(p temporal.Period) (*cube.Cube, error) {
 // FetchCtx is Fetch honoring a context.
 func (ix *Index) FetchCtx(ctx context.Context, p temporal.Period) (*cube.Cube, error) {
 	defer ix.unpinEpoch(ix.pinEpoch())
-	page, _, err := ix.lookup(p)
+	ref, _, err := ix.lookup(p)
 	if err != nil {
 		return nil, err
 	}
-	buf := make([]byte, ix.store.PageSize())
-	if err := ix.retryRead(ctx, func() error { return ix.store.ReadPageCtx(ctx, page, buf) }); err != nil {
+	buf := make([]byte, ix.refLen(ref))
+	if err := ix.retryRead(ctx, func() error { return ix.readRef(ctx, ref, buf) }); err != nil {
 		return nil, err
 	}
 	cb, got, err := cube.UnmarshalPage(ix.schema, buf)
 	if err != nil {
-		return nil, ix.decodeErr(p, page, err)
+		return nil, ix.decodeErr(p, ref.id, err)
 	}
 	if got != p {
-		return nil, ix.mismatchErr(p, got, page)
+		return nil, ix.mismatchErr(p, got, ref.id)
 	}
 	return cb, nil
 }
 
-// FetchView reads the cube for period p as a lazy page view (one page I/O,
-// no full cell decode): the query path's fetch. The page checksum is always
-// verified unless disabled with SetVerifyReads.
+// FetchView reads the cube for period p as a cheap reader (one page or
+// extent I/O): a lazy page view over dense payloads (no full cell decode), a
+// compact sparse cube or a materialized cube for compressed cold payloads.
+// The page checksum is always verified unless disabled with SetVerifyReads.
 func (ix *Index) FetchView(p temporal.Period) (cube.Reader, error) {
 	return ix.FetchViewCtx(context.Background(), p)
 }
@@ -312,20 +437,20 @@ func (ix *Index) FetchView(p temporal.Period) (cube.Reader, error) {
 // it.
 func (ix *Index) FetchViewCtx(ctx context.Context, p temporal.Period) (cube.Reader, error) {
 	defer ix.unpinEpoch(ix.pinEpoch())
-	page, verify, err := ix.lookup(p)
+	ref, verify, err := ix.lookup(p)
 	if err != nil {
 		return nil, err
 	}
-	buf := make([]byte, ix.store.PageSize())
-	if err := ix.retryRead(ctx, func() error { return ix.store.ReadPageCtx(ctx, page, buf) }); err != nil {
+	buf := make([]byte, ix.refLen(ref))
+	if err := ix.retryRead(ctx, func() error { return ix.readRef(ctx, ref, buf) }); err != nil {
 		return nil, err
 	}
-	view, got, err := cube.UnmarshalPageView(ix.schema, buf, verify)
+	view, got, err := cube.UnmarshalPageReader(ix.schema, buf, verify)
 	if err != nil {
-		return nil, ix.decodeErr(p, page, err)
+		return nil, ix.decodeErr(p, ref.id, err)
 	}
 	if got != p {
-		return nil, ix.mismatchErr(p, got, page)
+		return nil, ix.mismatchErr(p, got, ref.id)
 	}
 	return view, nil
 }
@@ -338,39 +463,48 @@ func (ix *Index) SetVerifyReads(v bool) {
 	ix.mu.Unlock()
 }
 
-// Scrub re-reads every cube page, verifying checksums and that each page
-// holds the period the directory claims. It is the maintenance counterpart
-// of disabling per-read verification on the query path, and it drives the
-// quarantine lifecycle both ways: a page that now verifies is released from
-// quarantine (someone rewrote it), and a page that fails is quarantined so
-// the query path stops trusting it. Returns the number of pages checked; the
-// error identifies the first bad page.
+// Scrub re-reads every cube page and cold extent, verifying checksums and
+// that each holds the period the directory claims. It is the maintenance
+// counterpart of disabling per-read verification on the query path, and it
+// drives the quarantine lifecycle both ways: a page that now verifies is
+// released from quarantine (someone rewrote it), and a page that fails is
+// quarantined so the query path stops trusting it. Returns the number of
+// pages checked; the error identifies the first bad page.
 func (ix *Index) Scrub() (checked int, err error) {
+	return ix.ScrubCtx(context.Background())
+}
+
+// ScrubCtx is Scrub honoring a context.
+func (ix *Index) ScrubCtx(ctx context.Context) (checked int, err error) {
 	ix.mu.RLock()
-	dir := make(map[temporal.Period]int, len(ix.pages))
+	dir := make(map[temporal.Period]pageRef, len(ix.pages)+len(ix.extents))
 	for p, page := range ix.pages {
-		dir[p] = page
+		dir[p] = pageRef{id: page}
+	}
+	for p, e := range ix.extents {
+		dir[p] = pageRef{id: e.id, slots: e.slots, cold: true}
 	}
 	ix.mu.RUnlock()
 
 	buf := make([]byte, ix.store.PageSize())
-	for p, page := range dir {
-		if rerr := ix.store.ReadPage(page, buf); rerr != nil {
+	for p, ref := range dir {
+		rb := buf[:ix.refLen(ref)]
+		if rerr := ix.readRef(ctx, ref, rb); rerr != nil {
 			if err == nil {
 				err = fmt.Errorf("tindex: scrub %v: %w", p, rerr)
 			}
 			continue
 		}
-		if _, got, derr := cube.UnmarshalPageView(ix.schema, buf, true); derr != nil {
-			ix.quarantinePage(p, page)
+		if _, got, derr := cube.UnmarshalPageReader(ix.schema, rb, true); derr != nil {
+			ix.quarantinePage(p, ref.id)
 			if err == nil {
-				err = fmt.Errorf("tindex: scrub %v (page %d): %w: %w", p, page, ErrCorruptPage, derr)
+				err = fmt.Errorf("tindex: scrub %v (page %d): %w: %w", p, ref.id, ErrCorruptPage, derr)
 			}
 			continue
 		} else if got != p {
-			ix.quarantinePage(p, page)
+			ix.quarantinePage(p, ref.id)
 			if err == nil {
-				err = fmt.Errorf("tindex: scrub: page %d holds %v, directory says %v: %w", page, got, p, ErrCorruptPage)
+				err = fmt.Errorf("tindex: scrub: page %d holds %v, directory says %v: %w", ref.id, got, p, ErrCorruptPage)
 			}
 			continue
 		}
@@ -380,23 +514,38 @@ func (ix *Index) Scrub() (checked int, err error) {
 	return checked, err
 }
 
-// writeCube stores cb under period p, reusing the period's existing page when
-// present and appending a new page otherwise.
+// writeCube stores cb under period p in the hot tier, reusing the period's
+// existing hot page when present and appending a new page otherwise. The
+// page image is marshaled into a pooled buffer — the ingest path calls this
+// for every day and rollup, and a fresh full-page allocation per call was
+// measurable garbage. A period previously compacted cold is pulled back hot
+// (a batch rewrite means it is no longer immutable history); its extent is
+// retired through the epoch machinery so pinned readers drain first.
 func (ix *Index) writeCube(p temporal.Period, cb *cube.Cube) error {
-	buf := cube.MarshalPage(cb, p)
+	pb := ix.pool.GetBuf()
+	defer ix.pool.PutBuf(pb)
+	buf, err := cube.MarshalPageInto(*pb, cb, p)
+	if err != nil {
+		return err
+	}
 	ix.mu.Lock()
 	page, exists := ix.pages[p]
 	ix.mu.Unlock()
 	if exists {
 		return ix.store.WritePage(page, buf)
 	}
-	page, err := ix.store.Append(buf)
+	page, err = ix.store.Append(buf)
 	if err != nil {
 		return err
 	}
 	ix.mu.Lock()
 	ix.pages[p] = page
+	ext, wasCold := ix.extents[p]
+	delete(ix.extents, p)
 	ix.mu.Unlock()
+	if wasCold {
+		ix.retireExtent(ext)
+	}
 	return nil
 }
 
@@ -530,11 +679,12 @@ func (ix *Index) ReplaceDays(days map[temporal.Day]*cube.Cube) error {
 	return nil
 }
 
-// Sync persists the directory and flushes the page store. In live mode a
-// successful Sync also becomes the new durability checkpoint: the page ids
-// the persisted meta references are snapshotted as the durable set, and
-// PublishEpoch never recycles a durable page — so a crash between checkpoints
-// always reopens to exactly the state this Sync wrote.
+// Sync persists the directory and flushes both page stores. In live mode a
+// successful Sync also becomes the new durability checkpoint: the page and
+// extent ids the persisted meta references are snapshotted as the durable
+// sets, and neither PublishEpoch nor the compactor ever recycles a durable
+// page — so a crash between checkpoints always reopens to exactly the state
+// this Sync wrote.
 func (ix *Index) Sync() error {
 	ix.mu.RLock()
 	doc := metaDoc{
@@ -544,10 +694,13 @@ func (ix *Index) Sync() error {
 		MinDay:            int(ix.minDay),
 		MaxDay:            int(ix.maxDay),
 		Epoch:             ix.epoch.Load(),
-		Entries:           make([]metaEntry, 0, len(ix.pages)),
+		Entries:           make([]metaEntry, 0, len(ix.pages)+len(ix.extents)),
 	}
 	for p, page := range ix.pages {
 		doc.Entries = append(doc.Entries, metaEntry{Level: int(p.Level), Index: p.Index, Page: page})
+	}
+	for p, e := range ix.extents {
+		doc.Entries = append(doc.Entries, metaEntry{Level: int(p.Level), Index: p.Index, Page: e.id, Slots: e.slots, Cold: true})
 	}
 	ix.mu.RUnlock()
 	raw, err := json.Marshal(&doc)
@@ -564,13 +717,22 @@ func (ix *Index) Sync() error {
 	if err := ix.store.Sync(); err != nil {
 		return err
 	}
+	if err := ix.cold.Sync(); err != nil {
+		return err
+	}
 	if ix.live.Load() {
 		durable := make(map[int]bool, len(doc.Entries))
+		durableCold := make(map[int]bool)
 		for _, e := range doc.Entries {
-			durable[e.Page] = true
+			if e.Cold {
+				durableCold[e.Page] = true
+			} else {
+				durable[e.Page] = true
+			}
 		}
 		ix.lmu.Lock()
 		ix.durable = durable
+		ix.durableCold = durableCold
 		ix.lmu.Unlock()
 	}
 	return nil
@@ -580,7 +742,12 @@ func (ix *Index) Sync() error {
 func (ix *Index) Close() error {
 	if err := ix.Sync(); err != nil {
 		ix.store.Close()
+		ix.cold.Close()
 		return err
 	}
-	return ix.store.Close()
+	err := ix.store.Close()
+	if cerr := ix.cold.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -35,6 +35,18 @@ go test -coverprofile="$TMP/core.out" ./internal/core/ >/dev/null
 gate internal/core/fallback.go "$(awk '/fallback\.go:/ { total += $2; if ($3 > 0) covered += $2 }
 	END { if (total == 0) print 0; else printf "%.1f", 100 * covered / total }' "$TMP/core.out")"
 
+# The cold-tier compactor rewrites pages while readers and the live writer
+# run, and the v2 codec is the format under every cold extent; their
+# swap/staleness/recycling and encoding branches must stay exercised (PR 9).
+perfile() {
+	awk -v f="$2:" 'index($0, f) { total += $2; if ($3 > 0) covered += $2 }
+		END { if (total == 0) print 0; else printf "%.1f", 100 * covered / total }' "$1"
+}
+go test -coverprofile="$TMP/tindex.out" ./internal/tindex/ >/dev/null
+gate internal/tindex/compact.go "$(perfile "$TMP/tindex.out" compact.go)"
+go test -coverprofile="$TMP/cube.out" ./internal/cube/ >/dev/null
+gate internal/cube/pagev2.go "$(perfile "$TMP/cube.out" pagev2.go)"
+
 if [ "$fail" != 0 ]; then
 	echo "covergate: FAIL — fault-path coverage fell below ${FLOOR}%" >&2
 	exit 1
