@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check ci lint race vet chaos covergate bench bench-smoke bench-hotpath bench-faults bench-footprint bench-live bench-cluster figures examples clean
+.PHONY: all build test check ci lint race vet chaos covergate bench bench-smoke bench-hotpath bench-faults bench-footprint bench-live bench-cluster bench-qos figures examples clean
 
 all: build test
 
@@ -35,6 +35,7 @@ ci: build vet lint race chaos
 	bin/rased-bench -fig footprint -quick
 	bin/rased-bench -fig live -quick
 	bin/rased-bench -fig cluster -quick
+	bin/rased-bench -fig qos -quick
 
 # chaos is the fault-injection gate: the chaos harness at full query volume
 # under the race detector (DESIGN.md "Fault model & degraded mode"), the
@@ -105,6 +106,15 @@ bench-live: build
 # the committed BENCH_cluster.json. The -quick 2-shard smoke runs in `make ci`.
 bench-cluster: build
 	bin/rased-bench -fig cluster
+
+# Multi-tenant QoS figure: the deterministic dashboard-traffic model replayed
+# under priority vs FIFO admission, the result-cache hit share, and the
+# composed chaos run (overload + faults + live folds at once). Gated
+# (interactive p99 under bulk <= 2x uncontended, no starved tenant, cache
+# hits > 30%, composed run 0 wrong / 0 untyped); writes the committed
+# BENCH_qos.json. The -quick variant runs inside `make ci`.
+bench-qos: build
+	bin/rased-bench -fig qos
 
 # Regenerate every figure of the paper's evaluation (EXPERIMENTS.md).
 figures: build

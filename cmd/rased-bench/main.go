@@ -14,6 +14,7 @@
 //	rased-bench -fig footprint compressed cold tier vs dense pages: bytes/update, cache density, latency
 //	rased-bench -fig live      live ingest: epoch publication under concurrent dashboard load
 //	rased-bench -fig cluster   scale-out: scatter-gather QPS 1→4→8 shards, hedged tail latency
+//	rased-bench -fig qos       multi-tenant QoS: priority admission, result cache, composed chaos
 //	rased-bench -fig examples  the example queries of Figures 2-5
 //	rased-bench -fig all       everything
 //
@@ -104,6 +105,8 @@ func main() {
 		runLive(*quick, *seed)
 	case "cluster":
 		runCluster(*quick, *seed)
+	case "qos":
+		runQoS(*quick, *seed)
 	case "examples":
 		runExamples(*seed, *updates)
 	case "all":
@@ -132,6 +135,8 @@ func main() {
 		runLive(*quick, *seed)
 		fmt.Println()
 		runCluster(*quick, *seed)
+		fmt.Println()
+		runQoS(*quick, *seed)
 		fmt.Println()
 		runExamples(*seed, *updates)
 	default:
@@ -343,6 +348,21 @@ func runCluster(quick bool, seed int64) {
 		log.Fatal(err)
 	}
 	log.Printf("wrote BENCH_cluster.json")
+}
+
+func runQoS(quick bool, seed int64) {
+	log.Printf("running multi-tenant QoS figure (quick=%v)...", quick)
+	rep, err := benchx.FigQoS(context.Background(), quick, seed)
+	if rep != nil {
+		benchx.PrintFigQoS(os.Stdout, rep)
+		if werr := benchx.WriteQoSJSON("BENCH_qos.json", rep); werr != nil {
+			log.Fatal(werr)
+		}
+		log.Printf("wrote BENCH_qos.json")
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
 }
 
 func runExamples(seed int64, updates int) {

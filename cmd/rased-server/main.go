@@ -75,6 +75,13 @@ func main() {
 		liveSeed     = flag.Int64("live-seed", 1, "PRNG seed for the -live edit generator")
 		liveCompress = flag.Bool("compress-closed", false, "compact each simulated day (and its closed rollups) into the cold tier as it closes (with -live)")
 
+		qos             = flag.Bool("qos", false, "class-priority admission + tenant/class extraction from request headers")
+		tenantHeader    = flag.String("tenant-header", server.DefaultTenantHeader, "header naming the tenant for -qos (missing header = the anonymous tenant)")
+		tenantRate      = flag.Float64("tenant-rate", 0, "per-tenant admission budget in queries/sec (0 disables; over-budget tenants get 429)")
+		tenantBurst     = flag.Float64("tenant-burst", 0, "per-tenant token-bucket burst for -tenant-rate (0 picks a default from the rate)")
+		resultCacheTTL  = flag.Duration("result-cache-ttl", 0, "epoch-stamped whole-result cache TTL (0 disables; live folds invalidate regardless)")
+		resultCacheSlot = flag.Int("result-cache-slots", 4096, "result cache entry bound for -result-cache-ttl")
+
 		readRetries  = flag.Int("read-retries", 2, "retries for transient page-read errors (0 disables)")
 		retryBackoff = flag.Duration("retry-backoff", 2*time.Millisecond, "base backoff before a page-read retry (doubles per attempt, jittered)")
 		noFallback   = flag.Bool("no-fallback", false, "disable degraded-mode replanning around corrupt cube pages")
@@ -110,6 +117,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Priority admission needs a slot bound to schedule against; -qos with
+	// the unlimited default would be rejected by the engine, so pick one.
+	if *qos && *maxInflight == 0 {
+		*maxInflight = 2 * runtime.GOMAXPROCS(0)
+		if *queue == 0 {
+			*queue = 16 * *maxInflight
+		}
+		log.Printf("-qos defaulted -max-inflight to %d and -queue to %d", *maxInflight, *queue)
+	}
 	opts := core.Options{
 		CacheSlots:        *slots,
 		Allocation:        cache.Allocation{Alpha: *alpha, Beta: *beta, Gamma: *gamma, Theta: *theta},
@@ -127,6 +143,11 @@ func main() {
 		ReadRetries:       *readRetries,
 		ReadRetryBackoff:  *retryBackoff,
 		DegradedFallback:  !*noFallback,
+		QoSPriority:       *qos,
+		TenantRate:        *tenantRate,
+		TenantBurst:       *tenantBurst,
+		ResultCacheTTL:    *resultCacheTTL,
+		ResultCacheSlots:  *resultCacheSlot,
 	}
 	var oo []rased.OpenOption
 	if *faults != "" {
@@ -239,6 +260,11 @@ func main() {
 		server.WithRegistry(d.Obs),
 		server.WithLogger(logger),
 		server.WithQueryTimeout(*queryTimeout),
+	}
+	if *qos {
+		sopts = append(sopts, server.WithQoS(*tenantHeader))
+		log.Printf("qos on: priority admission, tenant header %s, tenant rate %.4g/s, result cache ttl %v",
+			*tenantHeader, *tenantRate, *resultCacheTTL)
 	}
 	if pipe != nil {
 		sopts = append(sopts, server.WithLiveStatus(func() server.LiveStatus {

@@ -48,3 +48,15 @@ func badName() *obs.Counter {
 func dynamicName(name string) *obs.Counter {
 	return obs.NewCounter(name, "Uniqueness unauditable.") // want "not a constant"
 }
+
+// labeledFamily is the per-class family idiom of the QoS admission metrics:
+// one construction site looping over label values is a single series
+// identity, not a duplicate — metricsreg must stay silent on it. The label
+// value set is a closed enum (bounded cardinality), which is what keeps the
+// family registrable; a per-tenant label would be unbounded and is hashed
+// into fixed buckets before it ever reaches a metric name.
+func labeledFamily(r *obs.Registry, classes []string) {
+	for _, c := range classes {
+		r.MustRegister(obs.NewCounter("rased_fix_admitted_total", "Admitted, by class.", obs.L("class", c)))
+	}
+}

@@ -1,0 +1,366 @@
+package benchx
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"rased/internal/core"
+	"rased/internal/exec"
+	"rased/internal/faultstore/harness"
+	wl "rased/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// QoS experiment: multi-tenant quality of service under the deterministic
+// dashboard-traffic model (internal/workload). Four measurements share one
+// index and one trace:
+//
+//  1. Interactive latency uncontended — the interactive slice of the trace
+//     replayed alone.
+//  2. The full trace under priority admission — interactive tiles compete
+//     with API pollers and bulk exports for the same execution slots.
+//  3. The same full trace under plain FIFO admission — the ablation that
+//     shows what class priority buys.
+//  4. A composed chaos run — the same QoS stack under overload AND a 1%
+//     fault schedule AND live epoch publication at once (harness.RunComposed).
+//
+// The figure hard-gates its own output: interactive p99 under contention at
+// most double uncontended, no tenant starved, the result cache absorbing
+// >30% of the replay, and the composed run upholding both chaos oracles.
+// A violated gate fails the figure with an error, exactly as FigFaults
+// fails on a contract violation.
+
+// QoSGateP99Ratio is the contended/uncontended interactive p99 ceiling.
+const QoSGateP99Ratio = 2.0
+
+// QoSGateHitRate is the minimum result-cache hit share on the full replay.
+const QoSGateHitRate = 0.30
+
+// QoSClassStat is one traffic class's latency profile in a replay.
+type QoSClassStat struct {
+	Events    int           `json:"events"`
+	Completed int           `json:"completed"`
+	P50       time.Duration `json:"p50_ns"`
+	P99       time.Duration `json:"p99_ns"`
+}
+
+// QoSGates records the pass/fail state of each hard gate.
+type QoSGates struct {
+	P99RatioLE2   bool `json:"interactive_p99_ratio_le_2"`
+	NoStarvation  bool `json:"every_tenant_completed"`
+	CacheHitGT30  bool `json:"cache_hit_rate_gt_30pct"`
+	ComposedClean bool `json:"composed_zero_wrong_zero_untyped"`
+}
+
+// Pass reports whether every gate held.
+func (g QoSGates) Pass() bool {
+	return g.P99RatioLE2 && g.NoStarvation && g.CacheHitGT30 && g.ComposedClean
+}
+
+// QoSReport is the full figure, written as BENCH_qos.json.
+type QoSReport struct {
+	Sessions int `json:"sessions"`
+	Events   int `json:"events"`
+	Tenants  int `json:"tenants"`
+
+	// UncontendedP99 is interactive p99 with no competing classes;
+	// ContendedP99 the same queries' p99 while API and bulk traffic shares
+	// the execution tier under priority admission; FIFOP99 the ablation
+	// with arrival-order admission.
+	UncontendedP99 time.Duration `json:"uncontended_interactive_p99_ns"`
+	ContendedP99   time.Duration `json:"contended_interactive_p99_ns"`
+	FIFOP99        time.Duration `json:"fifo_interactive_p99_ns"`
+	P99Ratio       float64       `json:"p99_ratio"`
+	FIFORatio      float64       `json:"fifo_p99_ratio"`
+
+	// ByClass is the contended (priority) replay broken down per class.
+	ByClass map[string]QoSClassStat `json:"by_class"`
+
+	// StarvedTenants counts tenants that issued at least one query and
+	// completed none in the contended replay (gate: zero).
+	StarvedTenants int `json:"starved_tenants"`
+	// CacheHitRate is result-cache hits over completed queries in the
+	// contended replay.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	Shed         int     `json:"shed"`
+
+	Composed harness.ComposedReport `json:"composed"`
+
+	Gates QoSGates `json:"gates"`
+}
+
+// qosEngineOptions is the serving configuration all replay phases share:
+// enough slots that the tier is busy but not collapsing, priority admission
+// toggled per phase, the result cache on with a TTL far beyond the replay.
+func qosEngineOptions(priority bool) core.Options {
+	o := harness.DefaultEngineOptions()
+	o.MaxInflight = 6
+	o.MaxQueue = 256
+	o.QoSPriority = priority
+	o.ResultCacheTTL = time.Minute
+	o.ResultCacheSlots = 8192
+	return o
+}
+
+// replayStats is what one trace replay yields.
+type replayStats struct {
+	latsByClass [exec.NumClasses][]time.Duration
+	events      [exec.NumClasses]int
+	completed   [exec.NumClasses]int
+	hits        int
+	shed        int
+	issuedBy    map[string]int
+	completedBy map[string]int
+}
+
+// replayTrace replays events over eng from `workers` closed-loop goroutines
+// (worker w takes events w, w+workers, ...), recording wall-clock latency —
+// admission wait included; the queue is the thing being measured — per
+// class, result-cache hits, shed queries, and per-tenant completion.
+func replayTrace(ctx context.Context, eng *core.Engine, events []wl.Event, workers int) (*replayStats, error) {
+	st := &replayStats{issuedBy: map[string]int{}, completedBy: map[string]int{}}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(events); i += workers {
+				ev := events[i]
+				qctx := exec.WithClass(exec.WithTenant(ctx, ev.Tenant), ev.Class)
+				start := time.Now()
+				res, err := eng.AnalyzeContext(qctx, ev.Query)
+				lat := time.Since(start)
+				mu.Lock()
+				st.events[ev.Class]++
+				st.issuedBy[ev.Tenant]++
+				switch {
+				case err == nil:
+					st.completed[ev.Class]++
+					st.completedBy[ev.Tenant]++
+					st.latsByClass[ev.Class] = append(st.latsByClass[ev.Class], lat)
+					if res.Stats.ResultCacheHit {
+						st.hits++
+					}
+				case errors.Is(err, exec.ErrRejected), errors.Is(err, exec.ErrThrottled):
+					st.shed++
+				default:
+					if firstErr == nil {
+						firstErr = fmt.Errorf("benchx: qos replay event %d: %w", i, err)
+					}
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return st, nil
+}
+
+// FigQoS runs the QoS figure. quick shrinks the trace and the composed run
+// for the CI smoke pass; the gates apply in both modes.
+func FigQoS(ctx context.Context, quick bool, seed int64) (*QoSReport, error) {
+	days, sessions := 120, 200
+	composedSessions := 120
+	if quick {
+		days, sessions = 60, 80
+		composedSessions = 60
+	}
+	dir, err := os.MkdirTemp("", "rased-qos")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	ix, _, err := harness.Build(dir, days, seed)
+	if err != nil {
+		return nil, err
+	}
+	defer ix.Close()
+	// The production disk model: without injected per-page latency every
+	// query completes in microseconds and the admission tier is never
+	// contended — the ratios would measure scheduler noise, not policy.
+	ix.Store().SetReadLatency(200 * time.Microsecond)
+	lo, hi, ok := ix.Coverage()
+	if !ok {
+		return nil, fmt.Errorf("benchx: qos index empty after build")
+	}
+
+	wcfg := wl.Defaults(lo, hi, harness.Schema().Countries[:4])
+	wcfg.Seed = seed
+	wcfg.Sessions = sessions
+	tr, err := wl.Generate(wcfg)
+	if err != nil {
+		return nil, err
+	}
+	var interactive []wl.Event
+	tenants := map[string]bool{}
+	for _, ev := range tr.Events {
+		if ev.Class == exec.ClassInteractive {
+			interactive = append(interactive, ev)
+		}
+		tenants[ev.Tenant] = true
+	}
+	rep := &QoSReport{Sessions: sessions, Events: len(tr.Events), Tenants: len(tenants)}
+
+	// Warmup: one full replay on a throwaway engine, so the OS page cache is
+	// equally warm for every measured phase — without it the first phase
+	// pays all the cold reads and the ratios compare storage tiers, not
+	// admission policies.
+	const workers = 12
+	engW, err := core.NewEngine(ix, qosEngineOptions(true))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := replayTrace(ctx, engW, tr.Events, workers); err != nil {
+		return nil, err
+	}
+
+	// Phase 1: interactive alone. Same worker count as the contended phases
+	// so self-queueing is identical and the measured delta is purely the
+	// presence of the other classes.
+	engU, err := core.NewEngine(ix, qosEngineOptions(true))
+	if err != nil {
+		return nil, err
+	}
+	stU, err := replayTrace(ctx, engU, interactive, workers)
+	if err != nil {
+		return nil, err
+	}
+	rep.UncontendedP99 = percentileDur(stU.latsByClass[exec.ClassInteractive], 0.99)
+
+	// Phase 2: the full trace under priority admission.
+	engP, err := core.NewEngine(ix, qosEngineOptions(true))
+	if err != nil {
+		return nil, err
+	}
+	stP, err := replayTrace(ctx, engP, tr.Events, workers)
+	if err != nil {
+		return nil, err
+	}
+	rep.ContendedP99 = percentileDur(stP.latsByClass[exec.ClassInteractive], 0.99)
+
+	// Phase 3: the ablation — same load, FIFO admission.
+	engF, err := core.NewEngine(ix, qosEngineOptions(false))
+	if err != nil {
+		return nil, err
+	}
+	stF, err := replayTrace(ctx, engF, tr.Events, workers)
+	if err != nil {
+		return nil, err
+	}
+	rep.FIFOP99 = percentileDur(stF.latsByClass[exec.ClassInteractive], 0.99)
+
+	if rep.UncontendedP99 > 0 {
+		rep.P99Ratio = float64(rep.ContendedP99) / float64(rep.UncontendedP99)
+		rep.FIFORatio = float64(rep.FIFOP99) / float64(rep.UncontendedP99)
+	}
+	rep.ByClass = map[string]QoSClassStat{}
+	var completedTotal int
+	for cl := exec.ClassInteractive; cl < exec.NumClasses; cl++ {
+		lats := stP.latsByClass[cl]
+		rep.ByClass[cl.String()] = QoSClassStat{
+			Events:    stP.events[cl],
+			Completed: stP.completed[cl],
+			P50:       percentileDur(lats, 0.50),
+			P99:       percentileDur(lats, 0.99),
+		}
+		completedTotal += stP.completed[cl]
+	}
+	for tnt, issued := range stP.issuedBy {
+		if issued > 0 && stP.completedBy[tnt] == 0 {
+			rep.StarvedTenants++
+		}
+	}
+	if completedTotal > 0 {
+		rep.CacheHitRate = float64(stP.hits) / float64(completedTotal)
+	}
+	rep.Shed = stP.shed
+
+	// Phase 4: the composed run — overload, 1% faults, and live epoch
+	// publication at once, on its own deployment (it mutates coverage).
+	cdir, err := os.MkdirTemp("", "rased-qos-composed")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(cdir)
+	copts := harness.DefaultQoSEngineOptions()
+	copts.MaxInflight = 2
+	copts.MaxQueue = 4
+	copts.TenantRate = 50
+	copts.TenantBurst = 10
+	crep, err := harness.RunComposed(ctx, cdir, harness.ComposedConfig{
+		Seed:     seed,
+		Days:     days,
+		Workers:  24,
+		Sessions: composedSessions,
+		Rules:    harness.RateRules(0.01),
+		Opts:     &copts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Composed = *crep
+
+	rep.Gates = QoSGates{
+		P99RatioLE2:   rep.P99Ratio > 0 && rep.P99Ratio <= QoSGateP99Ratio,
+		NoStarvation:  rep.StarvedTenants == 0,
+		CacheHitGT30:  rep.CacheHitRate > QoSGateHitRate,
+		ComposedClean: crep.Clean(),
+	}
+	if !rep.Gates.Pass() {
+		return rep, fmt.Errorf("benchx: qos gates failed: %+v (ratio %.2f, hit rate %.2f, starved %d, composed %d wrong / %d untyped)",
+			rep.Gates, rep.P99Ratio, rep.CacheHitRate, rep.StarvedTenants, crep.Wrong, crep.Untyped)
+	}
+	return rep, nil
+}
+
+// WriteQoSJSON writes the figure as pretty-printed JSON.
+func WriteQoSJSON(path string, rep *QoSReport) error {
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchx: marshal qos figure: %w", err)
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		return fmt.Errorf("benchx: write qos figure: %w", err)
+	}
+	return nil
+}
+
+// PrintFigQoS renders the figure.
+func PrintFigQoS(w io.Writer, rep *QoSReport) {
+	fmt.Fprintln(w, "QoS: multi-tenant serving under realistic dashboard traffic")
+	fmt.Fprintf(w, "  trace: %d sessions, %d events, %d tenants\n", rep.Sessions, rep.Events, rep.Tenants)
+	fmt.Fprintf(w, "  interactive p99: %.3f ms alone, %.3f ms contended (priority, %.2fx), %.3f ms contended (FIFO, %.2fx)\n",
+		float64(rep.UncontendedP99)/1e6, float64(rep.ContendedP99)/1e6, rep.P99Ratio,
+		float64(rep.FIFOP99)/1e6, rep.FIFORatio)
+	fmt.Fprintf(w, "  %-14s%10s%12s%12s%12s\n", "class", "events", "completed", "p50 ms", "p99 ms")
+	classes := make([]string, 0, len(rep.ByClass))
+	for name := range rep.ByClass {
+		classes = append(classes, name)
+	}
+	sort.Strings(classes)
+	for _, name := range classes {
+		s := rep.ByClass[name]
+		fmt.Fprintf(w, "  %-14s%10d%12d%12.3f%12.3f\n",
+			name, s.Events, s.Completed, float64(s.P50)/1e6, float64(s.P99)/1e6)
+	}
+	fmt.Fprintf(w, "  cache hit rate %.1f%%, shed %d, starved tenants %d\n",
+		100*rep.CacheHitRate, rep.Shed, rep.StarvedTenants)
+	c := rep.Composed
+	fmt.Fprintf(w, "  composed (overload + 1%% faults + live folds): %d queries, %d exact, %d live-ok, %d shed, %d typed, %d wrong, %d untyped, %d epochs\n",
+		c.Queries, c.Exact, c.LiveOK, c.Shed, c.TypedFail, c.Wrong, c.Untyped, c.Epochs)
+	fmt.Fprintf(w, "  gates: p99<=2x %v, no starvation %v, cache>30%% %v, composed clean %v\n",
+		rep.Gates.P99RatioLE2, rep.Gates.NoStarvation, rep.Gates.CacheHitGT30, rep.Gates.ComposedClean)
+}

@@ -197,7 +197,8 @@ func (r *Router) AnalyzeContext(ctx context.Context, q core.Query) (*core.Result
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			req := &ExecRequest{MapVersion: r.m.Version, Partitions: subs[i].partitions, Query: q}
+			req := &ExecRequest{MapVersion: r.m.Version, Partitions: subs[i].partitions, Query: q,
+				Tenant: exec.TenantFrom(ctx), Class: exec.ClassFrom(ctx).String()}
 			results[i], subErrs[i] = r.execSub(ctx, subs[i], req)
 		}(i)
 	}
@@ -208,7 +209,7 @@ func (r *Router) AnalyzeContext(ctx context.Context, q core.Query) (*core.Result
 	for _, e := range subErrs {
 		switch {
 		case e == nil:
-		case errors.Is(e, exec.ErrRejected):
+		case errors.Is(e, exec.ErrRejected), errors.Is(e, exec.ErrThrottled):
 			if rejected == nil {
 				rejected = e
 			}
@@ -315,7 +316,10 @@ func (r *Router) execSub(ctx context.Context, sub subPlan, req *ExecRequest) (*c
 				}
 				return a.res, nil
 			}
-			if errors.Is(a.err, exec.ErrRejected) {
+			if errors.Is(a.err, exec.ErrRejected) || errors.Is(a.err, exec.ErrThrottled) {
+				// No replica would answer differently right now: rejection
+				// means fleet-wide back-pressure, throttling means this
+				// tenant is over budget everywhere.
 				return nil, a.err
 			}
 			attemptErrs = append(attemptErrs, a.err)

@@ -100,6 +100,14 @@ type execRun struct {
 // and version conflicts — surface unchanged for the wire layer to encode.
 func (s *ShardServer) Exec(ctx context.Context, req *ExecRequest) (*core.Result, error) {
 	s.met.Execs.Inc()
+	// Re-install the router-side QoS attributes so shard-local admission
+	// schedules this sub-plan at the class the public tier assigned it.
+	if req.Tenant != "" {
+		ctx = exec.WithTenant(ctx, req.Tenant)
+	}
+	if class, ok := exec.ParseClass(req.Class); ok {
+		ctx = exec.WithClass(ctx, class)
+	}
 	if req.MapVersion != s.m.Version {
 		s.met.Refused.Inc()
 		return nil, fmt.Errorf("cluster: request planned against map version %d, shard runs %d: %w",

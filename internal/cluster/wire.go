@@ -29,6 +29,7 @@ var ErrMapVersion = errors.New("cluster: cluster-map version mismatch")
 const (
 	CodeDegraded   = "degraded"
 	CodeRejected   = "rejected"
+	CodeThrottled  = "throttled"
 	CodeNotOwner   = "not_owner"
 	CodeMapVersion = "map_version"
 	CodeBadRequest = "bad_request"
@@ -41,6 +42,12 @@ type ExecRequest struct {
 	MapVersion int        `json:"map_version"`
 	Partitions []string   `json:"partitions"`
 	Query      core.Query `json:"query"`
+	// Tenant and Class carry the router-side QoS attributes so shard-local
+	// accounting and priority admission see the same caller the public tier
+	// saw: class priority survives the RPC hop. Empty values mean anonymous
+	// at the default class, exactly as on the public surface.
+	Tenant string `json:"tenant,omitempty"`
+	Class  string `json:"class,omitempty"`
 }
 
 // ExecResponse is the success body: the shard's partial aggregate.
@@ -102,6 +109,11 @@ func (e *RemoteError) Unwrap() error {
 			return &exec.RetryAfterError{After: e.RetryAfter, Err: exec.ErrRejected}
 		}
 		return exec.ErrRejected
+	case CodeThrottled:
+		if e.RetryAfter > 0 {
+			return &exec.RetryAfterError{After: e.RetryAfter, Err: exec.ErrThrottled}
+		}
+		return exec.ErrThrottled
 	case CodeNotOwner:
 		return ErrNotOwner
 	case CodeMapVersion:
@@ -115,7 +127,7 @@ func (e *RemoteError) Unwrap() error {
 // retryAfterOf extracts the back-off hint to carry across the wire; zero for
 // non-rejection errors.
 func retryAfterOf(err error) time.Duration {
-	if errors.Is(err, exec.ErrRejected) {
+	if errors.Is(err, exec.ErrRejected) || errors.Is(err, exec.ErrThrottled) {
 		return exec.RetryAfter(err, time.Second)
 	}
 	return 0
@@ -124,6 +136,8 @@ func retryAfterOf(err error) time.Duration {
 // CodeOf classifies a shard-side error into its wire code.
 func CodeOf(err error) string {
 	switch {
+	case errors.Is(err, exec.ErrThrottled):
+		return CodeThrottled
 	case errors.Is(err, exec.ErrRejected):
 		return CodeRejected
 	case errors.Is(err, core.ErrDegraded):
@@ -144,6 +158,8 @@ func CodeOf(err error) string {
 // wrong topology.
 func httpStatus(code string) int {
 	switch code {
+	case CodeThrottled:
+		return http.StatusTooManyRequests
 	case CodeRejected, CodeDegraded:
 		return http.StatusServiceUnavailable
 	case CodeNotOwner, CodeMapVersion:

@@ -87,6 +87,26 @@ type Options struct {
 	// unreadable leaf day fails the query — with the typed ErrDegraded.
 	// Off in the zero value; on in DefaultOptions.
 	DegradedFallback bool
+	// QoSPriority switches admission control to the class-priority
+	// discipline: freed slots go to the highest-priority waiting traffic
+	// class (interactive > api > bulk, read from the query context) instead
+	// of arrival order. Requires MaxInflight > 0.
+	QoSPriority bool
+	// TenantRate enables per-tenant token-bucket rate limiting at this many
+	// queries per second per tenant (burst TenantBurst); 0 disables. Over-
+	// limit queries fail fast with exec.ErrThrottled before consuming an
+	// admission slot.
+	TenantRate  float64
+	TenantBurst float64
+	// TenantMaxTracked bounds the limiter's per-tenant state (0 = default).
+	TenantMaxTracked int
+	// ResultCacheTTL enables the epoch-stamped whole-result cache: identical
+	// queries repeated within the TTL (and the same index epoch) are served
+	// without execution. 0 disables. See exec.ResultCache for the live-fold
+	// invalidation contract.
+	ResultCacheTTL time.Duration
+	// ResultCacheSlots bounds the result cache's entry count.
+	ResultCacheSlots int
 }
 
 // DefaultOptions is the full RASED configuration.
@@ -127,9 +147,11 @@ type Engine struct {
 	opts   Options
 	met    *EngineMetrics
 
-	pool   *exec.Pool       // nil: serial fetches
-	flight *exec.Group      // nil: no cross-query fetch dedup
-	adm    *exec.Controller // nil: admit everything
+	pool    *exec.Pool          // nil: serial fetches
+	flight  *exec.Group         // nil: no cross-query fetch dedup
+	adm     *exec.Controller    // nil: admit everything
+	limiter *exec.TenantLimiter // nil: no per-tenant rate limit
+	rcache  *exec.ResultCache   // nil: no whole-result caching
 
 	mu        sync.RWMutex
 	snapshots []sizeSnapshot // network sizes over time, sorted by AsOf
@@ -225,7 +247,16 @@ func NewEngine(ix *tindex.Index, opts Options) (*Engine, error) {
 	if opts.Singleflight {
 		e.flight = exec.NewGroup()
 	}
-	e.adm = exec.NewController(opts.MaxInflight, opts.MaxQueue)
+	if opts.QoSPriority {
+		if opts.MaxInflight < 1 {
+			return nil, fmt.Errorf("core: QoSPriority requires MaxInflight > 0 (priority needs a bound to schedule against)")
+		}
+		e.adm = exec.NewPriorityController(opts.MaxInflight, opts.MaxQueue)
+	} else {
+		e.adm = exec.NewController(opts.MaxInflight, opts.MaxQueue)
+	}
+	e.limiter = exec.NewTenantLimiter(opts.TenantRate, opts.TenantBurst, opts.TenantMaxTracked)
+	e.rcache = exec.NewResultCache(opts.ResultCacheTTL, opts.ResultCacheSlots)
 	return e, nil
 }
 
@@ -436,6 +467,25 @@ func (e *Engine) AnalyzeContext(ctx context.Context, q Query) (*Result, error) {
 // finalization around one analyze call. restrict is nil for whole-query
 // execution (see partition.go for the restricted form).
 func (e *Engine) analyzeAdmitted(ctx context.Context, q Query, restrict *restriction) (*Result, error) {
+	// Per-tenant rate limit first: an over-budget tenant is shed before it
+	// can touch the result cache or an admission slot.
+	if err := e.limiter.Allow(exec.TenantFrom(ctx)); err != nil {
+		return nil, err
+	}
+	// Result-cache probe before admission: identical-query repeats must not
+	// queue behind the executions they would duplicate. The epoch is loaded
+	// once here — it is both the hit-freshness floor and, after a miss, the
+	// conservative stamp for the computed result (loaded before execution,
+	// as in fetchDisk).
+	ckey, cacheable := e.resultCacheKey(q, restrict)
+	var epoch uint64
+	if cacheable {
+		epoch = e.ix.Epoch()
+		if v, ok := e.rcache.Get(ckey, epoch); ok {
+			e.met.Queries.Inc()
+			return cachedResult(v.(*Result)), nil
+		}
+	}
 	release, err := e.adm.Acquire(ctx)
 	if err != nil {
 		return nil, err
@@ -458,6 +508,9 @@ func (e *Engine) analyzeAdmitted(ctx context.Context, q Query, restrict *restric
 	res.Stats.ElapsedNanos = time.Since(start).Nanoseconds()
 	e.met.QueryLatency.Observe(time.Duration(res.Stats.ElapsedNanos))
 	tb.finish(e, res)
+	if cacheable {
+		e.storeResult(ckey, epoch, res)
+	}
 	return res, nil
 }
 

@@ -70,5 +70,14 @@ func (e *Engine) ExecMetrics() []obs.Metric {
 	if m := e.adm.Metrics(); m != nil {
 		out = append(out, m.All()...)
 	}
+	if m := e.adm.QoSMetrics(); m != nil {
+		out = append(out, m.All()...)
+	}
+	if m := e.limiter.Metrics(); m != nil {
+		out = append(out, m.All()...)
+	}
+	if m := e.rcache.Metrics(); m != nil {
+		out = append(out, m.All()...)
+	}
 	return out
 }

@@ -125,6 +125,9 @@ type ExecStats struct {
 	ReplannedPeriods int   `json:"replanned_periods,omitempty"`
 	FallbackCubes    int   `json:"fallback_cubes,omitempty"`
 	ElapsedNanos     int64 `json:"elapsed_nanos"`
+	// ResultCacheHit marks a result served whole from the QoS result cache
+	// (no execution ran; the other counters describe the original execution).
+	ResultCacheHit bool `json:"result_cache_hit,omitempty"`
 }
 
 // Result is an executed analysis query.

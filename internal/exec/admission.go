@@ -3,7 +3,9 @@ package exec
 import (
 	"context"
 	"errors"
+	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ErrRejected is returned when admission control sheds a query: the in-flight
@@ -17,32 +19,101 @@ var ErrRejected = errors.New("exec: query rejected by admission control")
 // whose context expires leaves the queue and is counted as shed load — so
 // overload degrades into fast 503s with bounded accepted-query latency
 // instead of a collapse where every request times out.
+//
+// Two admission disciplines exist. The default (NewController) is a FIFO
+// channel: all waiters are equal, arrival order wins. The QoS discipline
+// (NewPriorityController) keeps one wait queue per traffic class and hands
+// each freed slot to the highest-priority class with a live waiter, so
+// interactive dashboard queries overtake queued bulk exports without
+// preempting executions already in flight. Both disciplines share the same
+// bounds, the same rejection semantics, and the same metrics; the priority
+// path additionally guarantees FIFO order within a class.
 type Controller struct {
-	slots    chan struct{}
-	maxQueue int64
-	queued   atomic.Int64
-	met      *AdmissionMetrics
+	inflightCap int
+	maxQueue    int64
+	queued      atomic.Int64
+	queuedBy    [NumClasses]atomic.Int64
+	met         *AdmissionMetrics
+	qmet        *QoSAdmissionMetrics
+
+	// FIFO discipline: a buffered channel is the slot pool.
+	slots chan struct{}
+
+	// Priority discipline: explicit free count and per-class waiter queues
+	// under mu. A released slot is handed directly to a waiter (granted
+	// flag) rather than returned to a pool, so wakeup order is ours to pick.
+	prio  bool
+	mu    sync.Mutex
+	free  int
+	waitq [NumClasses][]*waiter
 }
 
-// NewController returns a controller admitting maxInflight concurrent
+// waiter is one queued acquisition in the priority discipline. granted and
+// abandoned resolve the race between a releasing query handing over the slot
+// and the waiter's context expiring: whichever side takes mu first wins, and
+// the loser either passes the slot on (grant after abandon is impossible —
+// grants skip abandoned waiters) or re-releases it (cancel after grant).
+type waiter struct {
+	ch        chan struct{}
+	abandoned bool
+	granted   bool
+}
+
+// NewController returns a FIFO controller admitting maxInflight concurrent
 // queries with a wait queue of maxQueue. maxInflight < 1 returns nil: a nil
 // controller admits everything.
 func NewController(maxInflight, maxQueue int) *Controller {
 	if maxInflight < 1 {
 		return nil
 	}
+	c := newController(maxInflight, maxQueue)
+	c.slots = make(chan struct{}, maxInflight)
+	return c
+}
+
+// NewPriorityController returns a class-priority controller with the same
+// bounds and rejection behavior as NewController, but freed slots go to the
+// highest-priority waiting class (FIFO within a class). maxInflight < 1
+// returns nil.
+func NewPriorityController(maxInflight, maxQueue int) *Controller {
+	if maxInflight < 1 {
+		return nil
+	}
+	c := newController(maxInflight, maxQueue)
+	c.prio = true
+	c.free = maxInflight
+	return c
+}
+
+func newController(maxInflight, maxQueue int) *Controller {
 	if maxQueue < 0 {
 		maxQueue = 0
 	}
 	c := &Controller{
-		slots:    make(chan struct{}, maxInflight),
-		maxQueue: int64(maxQueue),
+		inflightCap: maxInflight,
+		maxQueue:    int64(maxQueue),
 	}
 	c.met = newAdmissionMetrics(
-		func() float64 { return float64(len(c.slots)) },
+		func() float64 { return float64(c.inflight()) },
 		func() float64 { return float64(c.queued.Load()) },
 	)
+	var depth [NumClasses]func() float64
+	for cl := range depth {
+		cl := cl
+		depth[cl] = func() float64 { return float64(c.queuedBy[cl].Load()) }
+	}
+	c.qmet = newQoSAdmissionMetrics(depth)
 	return c
+}
+
+// inflight returns the number of admitted queries currently holding a slot.
+func (c *Controller) inflight() int {
+	if c.prio {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.inflightCap - c.free
+	}
+	return len(c.slots)
 }
 
 // MaxInflight returns the in-flight bound (0 for a nil controller).
@@ -50,7 +121,7 @@ func (c *Controller) MaxInflight() int {
 	if c == nil {
 		return 0
 	}
-	return cap(c.slots)
+	return c.inflightCap
 }
 
 // MaxQueue returns the wait-queue bound.
@@ -70,34 +141,54 @@ func (c *Controller) Metrics() *AdmissionMetrics {
 	return c.met
 }
 
+// QoSMetrics returns the class-labeled admission instruments (nil for a nil
+// controller).
+func (c *Controller) QoSMetrics() *QoSAdmissionMetrics {
+	if c == nil {
+		return nil
+	}
+	return c.qmet
+}
+
 // Acquire admits one query, returning the release to defer. A nil controller
-// admits immediately. Errors: ErrRejected when the queue is full, ctx.Err()
-// when the caller's context ends while queued (counted as shed load either
-// way).
+// admits immediately. The query's traffic class is read from ctx (ClassAPI
+// when absent); under the priority discipline it decides wakeup order, under
+// FIFO it only labels the metrics. Errors: ErrRejected when the queue is
+// full, ctx.Err() when the caller's context ends while queued (counted as
+// shed load either way).
 func (c *Controller) Acquire(ctx context.Context) (release func(), err error) {
 	if c == nil {
 		return func() {}, nil
 	}
+	class := ClassFrom(ctx)
 	if err := ctx.Err(); err != nil {
 		c.met.Cancelled.Inc()
 		return nil, err
 	}
+	if c.prio {
+		return c.acquirePrio(ctx, class)
+	}
 	// Fast path: a free slot admits without queueing.
 	select {
 	case c.slots <- struct{}{}:
-		c.met.Admitted.Inc()
+		c.admitted(class, 0)
 		return c.release, nil
 	default:
 	}
 	if c.queued.Add(1) > c.maxQueue {
 		c.queued.Add(-1)
-		c.met.Rejected.Inc()
+		c.rejected(class)
 		return nil, ErrRejected
 	}
-	defer c.queued.Add(-1)
+	c.queuedBy[class].Add(1)
+	start := time.Now()
+	defer func() {
+		c.queued.Add(-1)
+		c.queuedBy[class].Add(-1)
+	}()
 	select {
 	case c.slots <- struct{}{}:
-		c.met.Admitted.Inc()
+		c.admitted(class, time.Since(start))
 		return c.release, nil
 	case <-ctx.Done():
 		c.met.Cancelled.Inc()
@@ -106,3 +197,90 @@ func (c *Controller) Acquire(ctx context.Context) (release func(), err error) {
 }
 
 func (c *Controller) release() { <-c.slots }
+
+// acquirePrio is Acquire under the priority discipline.
+func (c *Controller) acquirePrio(ctx context.Context, class Class) (func(), error) {
+	c.mu.Lock()
+	if c.free > 0 {
+		c.free--
+		c.mu.Unlock()
+		c.admitted(class, 0)
+		return c.releasePrio, nil
+	}
+	if c.queued.Load() >= c.maxQueue {
+		c.mu.Unlock()
+		c.rejected(class)
+		return nil, ErrRejected
+	}
+	w := &waiter{ch: make(chan struct{})}
+	c.waitq[class] = append(c.waitq[class], w)
+	c.queued.Add(1)
+	c.queuedBy[class].Add(1)
+	c.mu.Unlock()
+
+	start := time.Now()
+	select {
+	case <-w.ch:
+		c.admitted(class, time.Since(start))
+		return c.releasePrio, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		if w.granted {
+			// A release handed us the slot just as our context ended; we
+			// still refuse admission, so pass the slot straight on.
+			c.grantLocked()
+		} else {
+			w.abandoned = true
+			c.queued.Add(-1)
+			c.queuedBy[class].Add(-1)
+		}
+		c.mu.Unlock()
+		c.met.Cancelled.Inc()
+		return nil, ctx.Err()
+	}
+}
+
+func (c *Controller) releasePrio() {
+	c.mu.Lock()
+	c.grantLocked()
+	c.mu.Unlock()
+}
+
+// grantLocked hands one freed slot to the oldest waiter of the
+// highest-priority class, or returns it to the free pool when nobody waits.
+// Abandoned waiters (context ended while queued; their queue accounting is
+// already settled) are discarded in passing. Caller holds mu.
+func (c *Controller) grantLocked() {
+	for cl := ClassInteractive; cl < NumClasses; cl++ {
+		q := c.waitq[cl]
+		for len(q) > 0 {
+			w := q[0]
+			q = q[1:]
+			if w.abandoned {
+				continue
+			}
+			c.waitq[cl] = q
+			w.granted = true
+			c.queued.Add(-1)
+			c.queuedBy[cl].Add(-1)
+			close(w.ch)
+			return
+		}
+		c.waitq[cl] = q
+	}
+	c.free++
+}
+
+// admitted records an admission in both the unlabeled and class-labeled
+// instruments, with the time the query spent queued.
+func (c *Controller) admitted(class Class, wait time.Duration) {
+	c.met.Admitted.Inc()
+	c.qmet.Admitted[class].Inc()
+	c.qmet.Wait[class].Observe(wait)
+}
+
+// rejected records a queue-full shed in both instrument families.
+func (c *Controller) rejected(class Class) {
+	c.met.Rejected.Inc()
+	c.qmet.Rejected[class].Inc()
+}

@@ -1,0 +1,232 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fillSlots acquires every slot of c and returns the releases.
+func fillSlots(t *testing.T, c *Controller) []func() {
+	t.Helper()
+	rel := make([]func(), 0, c.MaxInflight())
+	for i := 0; i < c.MaxInflight(); i++ {
+		r, err := c.Acquire(context.Background())
+		if err != nil {
+			t.Fatalf("fill acquire %d: %v", i, err)
+		}
+		rel = append(rel, r)
+	}
+	return rel
+}
+
+// enqueue starts an Acquire of class cl in a goroutine and waits until the
+// controller has it queued, returning a channel with the outcome.
+func enqueue(t *testing.T, c *Controller, cl Class) chan error {
+	t.Helper()
+	before := c.queuedBy[cl].Load()
+	done := make(chan error, 1)
+	go func() {
+		rel, err := c.Acquire(WithClass(context.Background(), cl))
+		if err == nil {
+			defer rel()
+		}
+		done <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.queuedBy[cl].Load() == before {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return done
+}
+
+func TestPriorityAdmissionOrdersClasses(t *testing.T) {
+	c := NewPriorityController(1, 10)
+	rel := fillSlots(t, c)
+
+	bulk := enqueue(t, c, ClassBulk)
+	api := enqueue(t, c, ClassAPI)
+	inter := enqueue(t, c, ClassInteractive)
+
+	// Releasing the slot must admit interactive first, then api, then bulk —
+	// the reverse of arrival order.
+	rel[0]()
+	if err := <-inter; err != nil {
+		t.Fatalf("interactive: %v", err)
+	}
+	if err := <-api; err != nil {
+		t.Fatalf("api: %v", err)
+	}
+	if err := <-bulk; err != nil {
+		t.Fatalf("bulk: %v", err)
+	}
+	if got := c.QoSMetrics().Admitted[ClassInteractive].Value(); got != 1 {
+		t.Fatalf("interactive admissions = %d, want 1", got)
+	}
+}
+
+func TestPriorityAdmissionFIFOWithinClass(t *testing.T) {
+	c := NewPriorityController(1, 10)
+	rel := fillSlots(t, c)
+
+	order := make(chan int, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		i := i
+		before := c.queuedBy[ClassAPI].Load()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := c.Acquire(WithClass(context.Background(), ClassAPI))
+			if err != nil {
+				t.Errorf("acquire %d: %v", i, err)
+				return
+			}
+			order <- i
+			r()
+		}()
+		deadline := time.Now().Add(5 * time.Second)
+		for c.queuedBy[ClassAPI].Load() == before {
+			if time.Now().After(deadline) {
+				t.Fatal("waiter never queued")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	rel[0]()
+	wg.Wait()
+	if first := <-order; first != 0 {
+		t.Fatalf("second arrival admitted first — class queue is not FIFO")
+	}
+}
+
+func TestPriorityAdmissionRejectsAndCancels(t *testing.T) {
+	c := NewPriorityController(1, 1)
+	rel := fillSlots(t, c)
+
+	done := enqueue(t, c, ClassBulk) // fills the queue
+	// Queue full: next acquisition sheds.
+	if _, err := c.Acquire(context.Background()); !errors.Is(err, ErrRejected) {
+		t.Fatalf("over-queue acquire: %v, want ErrRejected", err)
+	}
+	if got := c.QoSMetrics().Rejected[ClassAPI].Value(); got != 1 {
+		t.Fatalf("api rejections = %d, want 1", got)
+	}
+	// A pre-cancelled context never queues.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled acquire: %v", err)
+	}
+	// Releasing the slot admits the queued waiter (which releases in its
+	// goroutine), leaving the controller fully drained.
+	rel[0]()
+	if err := <-done; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+	r, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("re-acquire: %v", err)
+	}
+	r()
+	if got := c.queued.Load(); got != 0 {
+		t.Fatalf("queued = %d after drain, want 0", got)
+	}
+}
+
+func TestPriorityAdmissionCancelWhileQueued(t *testing.T) {
+	c := NewPriorityController(1, 5)
+	rel := fillSlots(t, c)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		r, err := c.Acquire(WithClass(ctx, ClassInteractive))
+		if err == nil {
+			r()
+		}
+		done <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.queuedBy[ClassInteractive].Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter: %v", err)
+	}
+	// The abandoned waiter must not absorb the next grant: a release puts
+	// the slot back in the free pool and a fresh acquire gets it instantly.
+	rel[0]()
+	acqCtx, acqCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer acqCancel()
+	r, err := c.Acquire(acqCtx)
+	if err != nil {
+		t.Fatalf("post-abandon acquire: %v", err)
+	}
+	r()
+	if got := c.queued.Load(); got != 0 {
+		t.Fatalf("queued = %d, want 0", got)
+	}
+}
+
+func TestPriorityAdmissionStress(t *testing.T) {
+	c := NewPriorityController(4, 64)
+	var wg sync.WaitGroup
+	for i := 0; i < 200; i++ {
+		cl := Class(i % int(NumClasses))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(WithClass(context.Background(), cl), 2*time.Second)
+			defer cancel()
+			rel, err := c.Acquire(ctx)
+			if err != nil {
+				return // rejected or timed out: fine, accounting checked below
+			}
+			time.Sleep(time.Millisecond)
+			rel()
+		}()
+	}
+	wg.Wait()
+	if got := c.queued.Load(); got != 0 {
+		t.Fatalf("queued = %d after drain, want 0", got)
+	}
+	for cl := ClassInteractive; cl < NumClasses; cl++ {
+		if got := c.queuedBy[cl].Load(); got != 0 {
+			t.Fatalf("queuedBy[%v] = %d after drain, want 0", cl, got)
+		}
+	}
+	if got := c.inflight(); got != 0 {
+		t.Fatalf("inflight = %d after drain, want 0", got)
+	}
+}
+
+func TestLegacyControllerClassMetrics(t *testing.T) {
+	c := NewController(1, 0)
+	rel, err := c.Acquire(WithClass(context.Background(), ClassInteractive))
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	if _, err := c.Acquire(WithClass(context.Background(), ClassBulk)); !errors.Is(err, ErrRejected) {
+		t.Fatalf("want ErrRejected, got %v", err)
+	}
+	rel()
+	if got := c.QoSMetrics().Admitted[ClassInteractive].Value(); got != 1 {
+		t.Fatalf("interactive admitted = %d, want 1", got)
+	}
+	if got := c.QoSMetrics().Rejected[ClassBulk].Value(); got != 1 {
+		t.Fatalf("bulk rejected = %d, want 1", got)
+	}
+	if got := len(c.QoSMetrics().All()); got != 4*int(NumClasses) {
+		t.Fatalf("QoS All() = %d instruments, want %d", got, 4*int(NumClasses))
+	}
+}

@@ -77,3 +77,46 @@ func newAdmissionMetrics(inflight, queued func() float64) *AdmissionMetrics {
 func (m *AdmissionMetrics) All() []obs.Metric {
 	return []obs.Metric{m.InFlight, m.QueueDepth, m.Admitted, m.Rejected, m.Cancelled}
 }
+
+// QoSAdmissionMetrics are the class-labeled admission instruments. Every
+// array is indexed by Class and sized by NumClasses — the bounded-cardinality
+// rule: traffic classes are a closed compile-time enum, so the label space is
+// fixed at three values per family and can never grow with traffic. (Tenants,
+// an open set, are bucketed instead — see TenantMetrics.)
+type QoSAdmissionMetrics struct {
+	// Wait observes how long each admitted query spent in the wait queue,
+	// by class. Shed fairness shows up here: under the priority discipline
+	// interactive wait stays near zero while bulk absorbs the queueing.
+	Wait [NumClasses]*obs.Histogram
+	// Admitted counts admissions by class.
+	Admitted [NumClasses]*obs.Counter
+	// Rejected counts queue-full sheds by class.
+	Rejected [NumClasses]*obs.Counter
+	// QueueDepth is the number of queries waiting for admission, by class.
+	QueueDepth [NumClasses]*obs.GaugeFunc
+}
+
+func newQoSAdmissionMetrics(depth [NumClasses]func() float64) *QoSAdmissionMetrics {
+	m := &QoSAdmissionMetrics{}
+	for cl := ClassInteractive; cl < NumClasses; cl++ {
+		lbl := obs.L("class", cl.String())
+		m.Wait[cl] = obs.NewHistogram("rased_qos_admission_wait_seconds",
+			"Time admitted queries spent queued for admission, by class.", obs.DefLatencyBuckets, lbl)
+		m.Admitted[cl] = obs.NewCounter("rased_qos_admitted_total",
+			"Queries admitted for execution, by class.", lbl)
+		m.Rejected[cl] = obs.NewCounter("rased_qos_rejected_total",
+			"Queries rejected by admission control, by class.", lbl)
+		m.QueueDepth[cl] = obs.NewGaugeFunc("rased_qos_queue_depth",
+			"Queries waiting for admission, by class.", depth[cl], lbl)
+	}
+	return m
+}
+
+// All returns the instruments for registry wiring.
+func (m *QoSAdmissionMetrics) All() []obs.Metric {
+	var out []obs.Metric
+	for cl := ClassInteractive; cl < NumClasses; cl++ {
+		out = append(out, m.Wait[cl], m.Admitted[cl], m.Rejected[cl], m.QueueDepth[cl])
+	}
+	return out
+}

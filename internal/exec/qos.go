@@ -1,0 +1,313 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"hash/fnv"
+	"strconv"
+	"sync"
+	"time"
+
+	"rased/internal/obs"
+)
+
+// Multi-tenant QoS primitives: the query class taxonomy, the per-request
+// tenant/class context carriage, and the per-tenant token-bucket rate
+// limiter. Together with the class-priority admission mode of Controller and
+// the epoch-stamped ResultCache they make the server survive realistic
+// dashboard overload — identical-query storms, drill-down sessions, and bulk
+// exports arriving concurrently from a Zipf-skewed tenant population — by
+// shedding the right load instead of collapsing under all of it.
+
+// Class is a query's traffic class. It is a CLOSED enum: classes are metric
+// labels, and the bounded-cardinality rule (see DESIGN.md §13) requires every
+// label set to be finite and known at compile time. Unknown class strings
+// parse to the default, they never mint new labels.
+type Class uint8
+
+// Traffic classes, in descending admission priority. Interactive queries are
+// a human waiting on a dashboard tile; API queries are programmatic callers
+// with retry loops; bulk queries are exports and backfills that tolerate
+// queueing. The admission queue hands freed slots to the highest class with
+// waiters, so a bulk scan storm cannot starve the dashboard.
+const (
+	ClassInteractive Class = iota
+	ClassAPI
+	ClassBulk
+	NumClasses // closed-enum bound; also the metric label cardinality
+)
+
+// String returns the class label.
+func (c Class) String() string {
+	switch c {
+	case ClassInteractive:
+		return "interactive"
+	case ClassAPI:
+		return "api"
+	case ClassBulk:
+		return "bulk"
+	default:
+		return "interactive"
+	}
+}
+
+// ParseClass maps a wire string to a class. Unknown or empty strings are
+// ClassAPI (the conservative middle priority: never lets an unlabeled caller
+// preempt the dashboard, never dumps it behind bulk exports), ok reports
+// whether s named a real class.
+func ParseClass(s string) (Class, bool) {
+	switch s {
+	case "interactive":
+		return ClassInteractive, true
+	case "api":
+		return ClassAPI, true
+	case "bulk":
+		return ClassBulk, true
+	}
+	return ClassAPI, false
+}
+
+// ctxKey keys the QoS request attributes in a context.
+type ctxKey int
+
+const (
+	tenantKey ctxKey = iota
+	classKey
+)
+
+// WithTenant returns ctx carrying the tenant identity the request belongs to.
+// The HTTP layer extracts it (header or remote address); the cluster router
+// forwards it in ExecRequest so shard-side accounting sees the same tenant.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	if tenant == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, tenantKey, tenant)
+}
+
+// TenantFrom returns the tenant carried by ctx ("" for anonymous callers).
+func TenantFrom(ctx context.Context) string {
+	t, _ := ctx.Value(tenantKey).(string)
+	return t
+}
+
+// WithClass returns ctx carrying the request's traffic class.
+func WithClass(ctx context.Context, c Class) context.Context {
+	return context.WithValue(ctx, classKey, c)
+}
+
+// ClassFrom returns the class carried by ctx, defaulting to ClassAPI for
+// contexts that never passed through extraction (internal callers, tests).
+func ClassFrom(ctx context.Context) Class {
+	if c, ok := ctx.Value(classKey).(Class); ok {
+		return c
+	}
+	return ClassAPI
+}
+
+// ErrThrottled is returned when a tenant exhausts its token bucket: THIS
+// caller is over its per-tenant rate, independent of server load. HTTP
+// handlers map it to 429 (ErrRejected stays 503 — the server is busy, the
+// caller did nothing wrong). It carries no tenant identity; the metrics do,
+// bucketed.
+var ErrThrottled = errors.New("exec: tenant rate limit exceeded")
+
+// tenantBuckets is the fixed tenant metric cardinality: tenants are an open
+// set (anything a client puts in a header), so per-tenant series would grow
+// without bound. Tenants hash into this many buckets for observability; exact
+// per-tenant state lives only in the limiter's bounded map.
+const tenantBuckets = 8
+
+// tenantBucket hashes a tenant id onto its metric bucket.
+func tenantBucket(tenant string) int {
+	h := fnv.New32a()
+	h.Write([]byte(tenant))
+	return int(h.Sum32() % tenantBuckets)
+}
+
+// TenantLimiter is a per-tenant token-bucket rate limiter. Each tenant gets
+// an independent bucket of Burst tokens refilling at Rate tokens/second; a
+// query costs one token. Buckets are created on first sight and the map is
+// bounded: beyond maxTenants the least-recently-active tenant's bucket is
+// dropped (it re-creates full on next sight — a forgotten tenant is briefly
+// under-limited, never over-limited into starvation).
+//
+// The clock is injectable so the deterministic workload harness can drive
+// refills from simulated time.
+type TenantLimiter struct {
+	rate       float64 // tokens per second
+	burst      float64
+	maxTenants int
+	now        func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	lru     bucketList
+	met     *TenantMetrics
+}
+
+// bucket is one tenant's token state, linked into the recency list.
+type bucket struct {
+	tenant     string
+	tokens     float64
+	last       time.Time
+	prev, next *bucket
+}
+
+// bucketList is an intrusive doubly-linked recency list (front = most
+// recently active).
+type bucketList struct {
+	head, tail *bucket
+}
+
+func (l *bucketList) pushFront(b *bucket) {
+	b.prev, b.next = nil, l.head
+	if l.head != nil {
+		l.head.prev = b
+	}
+	l.head = b
+	if l.tail == nil {
+		l.tail = b
+	}
+}
+
+func (l *bucketList) remove(b *bucket) {
+	if b.prev != nil {
+		b.prev.next = b.next
+	} else {
+		l.head = b.next
+	}
+	if b.next != nil {
+		b.next.prev = b.prev
+	} else {
+		l.tail = b.prev
+	}
+	b.prev, b.next = nil, nil
+}
+
+// NewTenantLimiter returns a limiter granting each tenant burst tokens
+// refilled at rate per second. rate <= 0 returns nil: a nil limiter allows
+// everything. maxTenants <= 0 defaults to 4096 tracked tenants.
+func NewTenantLimiter(rate, burst float64, maxTenants int) *TenantLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	if maxTenants <= 0 {
+		maxTenants = 4096
+	}
+	l := &TenantLimiter{
+		rate:       rate,
+		burst:      burst,
+		maxTenants: maxTenants,
+		now:        time.Now,
+		buckets:    make(map[string]*bucket),
+	}
+	l.met = newTenantMetrics(func() float64 {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		return float64(len(l.buckets))
+	})
+	return l
+}
+
+// SetClock overrides the limiter's time source (deterministic harnesses
+// only; not safe to change while Allow is being called concurrently).
+func (l *TenantLimiter) SetClock(now func() time.Time) {
+	if l != nil {
+		l.now = now
+	}
+}
+
+// Metrics returns the limiter's obs instruments for registry wiring (nil for
+// a nil limiter).
+func (l *TenantLimiter) Metrics() *TenantMetrics {
+	if l == nil {
+		return nil
+	}
+	return l.met
+}
+
+// Allow spends one token from tenant's bucket, returning ErrThrottled (with a
+// Retry-After hint covering the refill time of one token) when the bucket is
+// empty. A nil limiter, or the anonymous tenant "", always allows: rate
+// limiting applies to identified tenants; anonymous traffic is bounded by
+// admission control instead.
+func (l *TenantLimiter) Allow(tenant string) error {
+	if l == nil || tenant == "" {
+		return nil
+	}
+	now := l.now()
+	l.mu.Lock()
+	b, ok := l.buckets[tenant]
+	if !ok {
+		if len(l.buckets) >= l.maxTenants {
+			if victim := l.lru.tail; victim != nil {
+				l.lru.remove(victim)
+				delete(l.buckets, victim.tenant)
+				l.met.Evicted.Inc()
+			}
+		}
+		b = &bucket{tenant: tenant, tokens: l.burst, last: now}
+		l.buckets[tenant] = b
+		l.lru.pushFront(b)
+	} else {
+		l.lru.remove(b)
+		l.lru.pushFront(b)
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			b.tokens += dt * l.rate
+			if b.tokens > l.burst {
+				b.tokens = l.burst
+			}
+			b.last = now
+		}
+	}
+	if b.tokens < 1 {
+		wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+		l.met.Throttled[tenantBucket(tenant)].Inc()
+		l.mu.Unlock()
+		return &RetryAfterError{After: wait, Err: ErrThrottled}
+	}
+	b.tokens--
+	l.mu.Unlock()
+	return nil
+}
+
+// TenantMetrics are the tenant limiter's obs instruments. Throttles are
+// labeled by tenant hash bucket, not tenant id — the bounded-cardinality
+// rule: tenants are an open set, so the label space is a fixed-size hash
+// partition that still localizes "who is being shed" to 1/8 of the
+// population.
+type TenantMetrics struct {
+	// Throttled counts queries rejected by a tenant's token bucket, by tenant
+	// hash bucket.
+	Throttled [tenantBuckets]*obs.Counter
+	// Tracked is the number of tenants with live bucket state.
+	Tracked *obs.GaugeFunc
+	// Evicted counts tenant buckets dropped by the recency bound.
+	Evicted *obs.Counter
+}
+
+func newTenantMetrics(tracked func() float64) *TenantMetrics {
+	m := &TenantMetrics{
+		Tracked: obs.NewGaugeFunc("rased_qos_tenants_tracked", "Tenants with live token-bucket state.", tracked),
+		Evicted: obs.NewCounter("rased_qos_tenant_buckets_evicted_total", "Tenant buckets dropped by the recency bound."),
+	}
+	for i := range m.Throttled {
+		m.Throttled[i] = obs.NewCounter("rased_qos_tenant_throttled_total",
+			"Queries rejected by per-tenant token buckets, by tenant hash bucket.",
+			obs.L("bucket", strconv.Itoa(i)))
+	}
+	return m
+}
+
+// All returns the instruments for registry wiring.
+func (m *TenantMetrics) All() []obs.Metric {
+	out := []obs.Metric{m.Tracked, m.Evicted}
+	for i := range m.Throttled {
+		out = append(out, m.Throttled[i])
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestClassRoundTrip(t *testing.T) {
+	for cl := ClassInteractive; cl < NumClasses; cl++ {
+		got, ok := ParseClass(cl.String())
+		if !ok || got != cl {
+			t.Fatalf("ParseClass(%q) = %v, %v", cl.String(), got, ok)
+		}
+	}
+	if got, ok := ParseClass("export"); ok || got != ClassAPI {
+		t.Fatalf("unknown class parsed to %v, ok=%v; want ClassAPI, false", got, ok)
+	}
+	if got, ok := ParseClass(""); ok || got != ClassAPI {
+		t.Fatalf("empty class parsed to %v, ok=%v; want ClassAPI, false", got, ok)
+	}
+}
+
+func TestContextCarriage(t *testing.T) {
+	ctx := context.Background()
+	if TenantFrom(ctx) != "" {
+		t.Fatal("fresh context has a tenant")
+	}
+	if ClassFrom(ctx) != ClassAPI {
+		t.Fatal("fresh context class is not the ClassAPI default")
+	}
+	ctx = WithTenant(WithClass(ctx, ClassBulk), "acme")
+	if TenantFrom(ctx) != "acme" || ClassFrom(ctx) != ClassBulk {
+		t.Fatalf("carriage lost: tenant=%q class=%v", TenantFrom(ctx), ClassFrom(ctx))
+	}
+	// Empty tenant is not stored.
+	if TenantFrom(WithTenant(context.Background(), "")) != "" {
+		t.Fatal("empty tenant stored")
+	}
+}
+
+// fakeClock is a manually advanced time source.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestTenantLimiterBurstAndRefill(t *testing.T) {
+	l := NewTenantLimiter(1, 2, 0) // 1 token/s, burst 2
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	l.SetClock(clk.now)
+
+	for i := 0; i < 2; i++ {
+		if err := l.Allow("a"); err != nil {
+			t.Fatalf("burst query %d throttled: %v", i, err)
+		}
+	}
+	err := l.Allow("a")
+	if !errors.Is(err, ErrThrottled) {
+		t.Fatalf("over-burst query not throttled: %v", err)
+	}
+	// The rejection carries a refill hint.
+	if ra := RetryAfter(err, 0); ra <= 0 || ra > 2*time.Second {
+		t.Fatalf("Retry-After hint = %v, want (0, 2s]", ra)
+	}
+	// Another tenant has its own bucket.
+	if err := l.Allow("b"); err != nil {
+		t.Fatalf("tenant b throttled by tenant a's bucket: %v", err)
+	}
+	// A second of refill buys one more token.
+	clk.advance(time.Second)
+	if err := l.Allow("a"); err != nil {
+		t.Fatalf("refilled query throttled: %v", err)
+	}
+	if err := l.Allow("a"); !errors.Is(err, ErrThrottled) {
+		t.Fatalf("want throttle after spending the refill, got %v", err)
+	}
+}
+
+func TestTenantLimiterNilAndAnonymous(t *testing.T) {
+	var l *TenantLimiter
+	if err := l.Allow("a"); err != nil {
+		t.Fatalf("nil limiter throttled: %v", err)
+	}
+	if NewTenantLimiter(0, 5, 0) != nil {
+		t.Fatal("rate 0 should disable the limiter")
+	}
+	l = NewTenantLimiter(0.001, 1, 0)
+	if err := l.Allow(""); err != nil {
+		t.Fatalf("anonymous tenant throttled: %v", err)
+	}
+	if err := l.Allow(""); err != nil {
+		t.Fatalf("anonymous tenant throttled on repeat: %v", err)
+	}
+}
+
+func TestTenantLimiterBound(t *testing.T) {
+	l := NewTenantLimiter(0.0001, 1, 2)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	l.SetClock(clk.now)
+
+	// Exhaust tenant a, then push it out of the bounded map via b and c.
+	l.Allow("a")
+	if err := l.Allow("a"); !errors.Is(err, ErrThrottled) {
+		t.Fatalf("tenant a not exhausted: %v", err)
+	}
+	l.Allow("b")
+	l.Allow("c") // evicts a (least recently active)
+	if got := l.Metrics().Evicted.Value(); got != 1 {
+		t.Fatalf("evictions = %v, want 1", got)
+	}
+	// a returns with a fresh (full) bucket: briefly under-limited, by design.
+	if err := l.Allow("a"); err != nil {
+		t.Fatalf("re-created bucket not full: %v", err)
+	}
+}
+
+func TestTenantLimiterMetrics(t *testing.T) {
+	l := NewTenantLimiter(0.0001, 1, 0)
+	l.Allow("a")
+	l.Allow("a")
+	var throttled int64
+	for i := range l.Metrics().Throttled {
+		throttled += l.Metrics().Throttled[i].Value()
+	}
+	if throttled != 1 {
+		t.Fatalf("throttled total = %v, want 1", throttled)
+	}
+	if got := l.Metrics().Tracked.Value(); got != 1 {
+		t.Fatalf("tracked = %v, want 1", got)
+	}
+	if got := len(l.Metrics().All()); got != 2+tenantBuckets {
+		t.Fatalf("All() returned %d instruments, want %d", got, 2+tenantBuckets)
+	}
+}

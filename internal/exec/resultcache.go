@@ -1,0 +1,229 @@
+package exec
+
+import (
+	"sync"
+	"time"
+
+	"rased/internal/obs"
+)
+
+// ResultCache is a short-TTL cache for whole query results, keyed by the
+// caller's normalized query string and stamped with the index epoch the
+// result was computed against. It catches the identical-query repeats that
+// singleflight's concurrent-only dedup misses: a dashboard tile refreshed by
+// fifty tenants over a few seconds is one execution, not fifty.
+//
+// Correctness under live ingest rests on two rules:
+//
+//   - Entries are stamped with the epoch loaded BEFORE execution began (a
+//     conservative lower bound on the data the result reflects, matching the
+//     engine's fetch-path convention).
+//   - Get(key, epoch) only hits when the entry's stamp is >= the caller's
+//     current epoch. A live fold that advances the epoch therefore silently
+//     invalidates every older entry — a cached result can never travel
+//     backwards in epoch time, so the PR 6 monotone-read oracle holds across
+//     cache hits.
+//
+// The cache stores values as `any` and never inspects them; callers must
+// treat returned values as immutable (copy before mutating).
+type ResultCache struct {
+	ttl        time.Duration
+	maxEntries int
+	now        func() time.Time
+
+	mu      sync.Mutex
+	entries map[string]*rcEntry
+	lru     rcList
+	met     *ResultCacheMetrics
+}
+
+// rcEntry is one cached result, linked into the recency list.
+type rcEntry struct {
+	key        string
+	val        any
+	epoch      uint64
+	expires    time.Time
+	prev, next *rcEntry
+}
+
+// rcList is an intrusive doubly-linked recency list (front = most recently
+// used).
+type rcList struct {
+	head, tail *rcEntry
+}
+
+func (l *rcList) pushFront(e *rcEntry) {
+	e.prev, e.next = nil, l.head
+	if l.head != nil {
+		l.head.prev = e
+	}
+	l.head = e
+	if l.tail == nil {
+		l.tail = e
+	}
+}
+
+func (l *rcList) remove(e *rcEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		l.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// NewResultCache returns a cache holding up to maxEntries results for at most
+// ttl each. ttl <= 0 or maxEntries <= 0 returns nil: a nil cache misses every
+// Get and drops every Put, so callers need no enabled-check.
+func NewResultCache(ttl time.Duration, maxEntries int) *ResultCache {
+	if ttl <= 0 || maxEntries <= 0 {
+		return nil
+	}
+	c := &ResultCache{
+		ttl:        ttl,
+		maxEntries: maxEntries,
+		now:        time.Now,
+		entries:    make(map[string]*rcEntry),
+	}
+	c.met = newResultCacheMetrics(func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(len(c.entries))
+	})
+	return c
+}
+
+// SetClock overrides the cache's time source (deterministic tests only; not
+// safe to change while the cache is in use).
+func (c *ResultCache) SetClock(now func() time.Time) {
+	if c != nil {
+		c.now = now
+	}
+}
+
+// Metrics returns the cache's obs instruments for registry wiring (nil for a
+// nil cache).
+func (c *ResultCache) Metrics() *ResultCacheMetrics {
+	if c == nil {
+		return nil
+	}
+	return c.met
+}
+
+// Get returns the cached value for key if it is fresh: unexpired AND stamped
+// at or after the caller's current epoch. A stale-epoch entry (cached before
+// a live fold the caller has already observed) is deleted on sight, never
+// returned — serving it would be a backwards read.
+func (c *ResultCache) Get(key string, epoch uint64) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.met.Misses.Inc()
+		return nil, false
+	}
+	if e.epoch < epoch {
+		c.lru.remove(e)
+		delete(c.entries, key)
+		c.met.StaleEpoch.Inc()
+		c.met.Misses.Inc()
+		return nil, false
+	}
+	if c.now().After(e.expires) {
+		c.lru.remove(e)
+		delete(c.entries, key)
+		c.met.Expired.Inc()
+		c.met.Misses.Inc()
+		return nil, false
+	}
+	c.lru.remove(e)
+	c.lru.pushFront(e)
+	c.met.Hits.Inc()
+	return e.val, true
+}
+
+// Put stores val for key stamped with the epoch it was computed against.
+// Callers must only Put successful results — typed errors and degraded
+// results are never cached (a fault must not outlive its cause, and a
+// transient rejection must not be replayed to later callers). An existing
+// entry with a newer epoch wins over the incoming one: late-finishing stale
+// executions cannot clobber a fresher result.
+func (c *ResultCache) Put(key string, epoch uint64, val any) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		if e.epoch > epoch {
+			return
+		}
+		e.val = val
+		e.epoch = epoch
+		e.expires = c.now().Add(c.ttl)
+		c.lru.remove(e)
+		c.lru.pushFront(e)
+		return
+	}
+	if len(c.entries) >= c.maxEntries {
+		if victim := c.lru.tail; victim != nil {
+			c.lru.remove(victim)
+			delete(c.entries, victim.key)
+			c.met.Evicted.Inc()
+		}
+	}
+	e := &rcEntry{key: key, val: val, epoch: epoch, expires: c.now().Add(c.ttl)}
+	c.entries[key] = e
+	c.lru.pushFront(e)
+}
+
+// Len returns the number of live entries (0 for a nil cache).
+func (c *ResultCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// ResultCacheMetrics are the result cache's obs instruments.
+type ResultCacheMetrics struct {
+	// Hits counts Gets served from cache.
+	Hits *obs.Counter
+	// Misses counts Gets that fell through to execution.
+	Misses *obs.Counter
+	// StaleEpoch counts entries dropped because a live fold retired their
+	// epoch — the invalidation path of the epoch contract.
+	StaleEpoch *obs.Counter
+	// Expired counts entries dropped at Get time by the TTL.
+	Expired *obs.Counter
+	// Evicted counts entries dropped by the capacity bound.
+	Evicted *obs.Counter
+	// Entries is the number of live cached results.
+	Entries *obs.GaugeFunc
+}
+
+func newResultCacheMetrics(entries func() float64) *ResultCacheMetrics {
+	return &ResultCacheMetrics{
+		Hits:       obs.NewCounter("rased_qos_result_cache_hits_total", "Query results served from the result cache."),
+		Misses:     obs.NewCounter("rased_qos_result_cache_misses_total", "Result-cache lookups that fell through to execution."),
+		StaleEpoch: obs.NewCounter("rased_qos_result_cache_stale_epoch_total", "Cached results invalidated by a live epoch advance."),
+		Expired:    obs.NewCounter("rased_qos_result_cache_expired_total", "Cached results dropped by TTL expiry."),
+		Evicted:    obs.NewCounter("rased_qos_result_cache_evicted_total", "Cached results dropped by the capacity bound."),
+		Entries:    obs.NewGaugeFunc("rased_qos_result_cache_entries", "Live result-cache entries.", entries),
+	}
+}
+
+// All returns the instruments for registry wiring.
+func (m *ResultCacheMetrics) All() []obs.Metric {
+	return []obs.Metric{m.Hits, m.Misses, m.StaleEpoch, m.Expired, m.Evicted, m.Entries}
+}

@@ -1,0 +1,101 @@
+package exec
+
+import (
+	"testing"
+	"time"
+)
+
+func TestResultCacheHitAndEpochInvalidation(t *testing.T) {
+	c := NewResultCache(time.Minute, 8)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c.SetClock(clk.now)
+
+	c.Put("q1", 5, "r5")
+	if v, ok := c.Get("q1", 5); !ok || v != "r5" {
+		t.Fatalf("same-epoch get = %v, %v", v, ok)
+	}
+	// An older current epoch still hits: the entry is at least as fresh.
+	if v, ok := c.Get("q1", 4); !ok || v != "r5" {
+		t.Fatalf("older-epoch get = %v, %v", v, ok)
+	}
+	// A live fold advances the epoch past the stamp: the entry must die.
+	if _, ok := c.Get("q1", 6); ok {
+		t.Fatal("stale-epoch entry served — backwards read")
+	}
+	if got := c.Metrics().StaleEpoch.Value(); got != 1 {
+		t.Fatalf("stale-epoch drops = %v, want 1", got)
+	}
+	// And it is gone, not resurrectable at the old epoch.
+	if _, ok := c.Get("q1", 5); ok {
+		t.Fatal("dropped entry still present")
+	}
+}
+
+func TestResultCacheTTL(t *testing.T) {
+	c := NewResultCache(10*time.Second, 8)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c.SetClock(clk.now)
+
+	c.Put("q", 1, "r")
+	clk.advance(9 * time.Second)
+	if _, ok := c.Get("q", 1); !ok {
+		t.Fatal("entry expired before TTL")
+	}
+	clk.advance(2 * time.Second)
+	if _, ok := c.Get("q", 1); ok {
+		t.Fatal("entry served after TTL")
+	}
+	if got := c.Metrics().Expired.Value(); got != 1 {
+		t.Fatalf("expired drops = %v, want 1", got)
+	}
+}
+
+func TestResultCacheEviction(t *testing.T) {
+	c := NewResultCache(time.Minute, 2)
+	c.Put("a", 1, 1)
+	c.Put("b", 1, 2)
+	c.Get("a", 1) // a is now most recently used
+	c.Put("c", 1, 3)
+	if _, ok := c.Get("b", 1); ok {
+		t.Fatal("LRU victim b survived")
+	}
+	if _, ok := c.Get("a", 1); !ok {
+		t.Fatal("recently used a evicted")
+	}
+	if got := c.Metrics().Evicted.Value(); got != 1 {
+		t.Fatalf("evictions = %v, want 1", got)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+}
+
+func TestResultCachePutEpochRace(t *testing.T) {
+	c := NewResultCache(time.Minute, 8)
+	c.Put("q", 7, "fresh")
+	// A slow execution that started before the fold finishes late and tries
+	// to write its stale result over the fresh one: it must lose.
+	c.Put("q", 3, "stale")
+	if v, ok := c.Get("q", 7); !ok || v != "fresh" {
+		t.Fatalf("stale late Put clobbered fresh entry: %v, %v", v, ok)
+	}
+	// Same-or-newer epoch replaces.
+	c.Put("q", 8, "fresher")
+	if v, _ := c.Get("q", 8); v != "fresher" {
+		t.Fatalf("newer Put did not replace: %v", v)
+	}
+}
+
+func TestResultCacheNil(t *testing.T) {
+	var c *ResultCache
+	c.Put("q", 1, "r")
+	if _, ok := c.Get("q", 1); ok {
+		t.Fatal("nil cache hit")
+	}
+	if c.Len() != 0 || c.Metrics() != nil {
+		t.Fatal("nil cache leaked state")
+	}
+	if NewResultCache(0, 8) != nil || NewResultCache(time.Second, 0) != nil {
+		t.Fatal("disabled configurations should return nil")
+	}
+}

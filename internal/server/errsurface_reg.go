@@ -14,6 +14,7 @@ var ErrSurfaceAllowed = []string{
 	"rased/internal/core.ErrDegraded",
 	"rased/internal/core.ErrUnavailable",
 	"rased/internal/exec.ErrRejected",
+	"rased/internal/exec.ErrThrottled",
 }
 
 // ErrSurfaceSinks take the HTTP status explicitly next to the error: an

@@ -1,0 +1,56 @@
+package server
+
+import (
+	"net"
+	"net/http"
+
+	"rased/internal/exec"
+)
+
+// ClassHeader names the request's traffic class: "interactive", "api", or
+// "bulk". Unlike the tenant header it is not configurable — the values are a
+// closed enum and dashboards ship the header name in static JS.
+const ClassHeader = "X-Rased-Class"
+
+// DefaultTenantHeader is the tenant identity header when WithQoS is given an
+// empty name.
+const DefaultTenantHeader = "X-Rased-Tenant"
+
+// WithQoS enables multi-tenant QoS extraction: every analysis request's
+// context carries a tenant identity (from tenantHeader, falling back to the
+// client IP so unlabeled callers still rate-limit per source) and a traffic
+// class (from X-Rased-Class; absent or unknown values become the api class).
+// The backend's limiter, priority admission, and result cache key off these;
+// without this option requests run anonymous at api priority, exactly as
+// before.
+func WithQoS(tenantHeader string) Option {
+	return func(s *Server) {
+		s.qosOn = true
+		if tenantHeader == "" {
+			tenantHeader = DefaultTenantHeader
+		}
+		s.tenantHeader = tenantHeader
+	}
+}
+
+// qosContext installs the request's tenant and class into its context.
+func (s *Server) qosContext(r *http.Request) *http.Request {
+	if !s.qosOn {
+		return r
+	}
+	tenant := r.Header.Get(s.tenantHeader)
+	if tenant == "" {
+		// Per-source fallback: strip the port so one client is one tenant
+		// across connections.
+		if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+			tenant = host
+		} else {
+			tenant = r.RemoteAddr
+		}
+	}
+	ctx := exec.WithTenant(r.Context(), tenant)
+	if class, ok := exec.ParseClass(r.Header.Get(ClassHeader)); ok {
+		ctx = exec.WithClass(ctx, class)
+	}
+	return r.WithContext(ctx)
+}

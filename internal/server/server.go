@@ -52,6 +52,10 @@ type Server struct {
 	liveStatus    func() LiveStatus    // nil: not a live deployment
 	clusterStatus func() (string, any) // nil: not a clustered deployment
 
+	// Multi-tenant QoS extraction (see WithQoS): off by default.
+	qosOn        bool
+	tenantHeader string
+
 	cMu       sync.Mutex
 	reqCounts map[reqKey]*obs.Counter
 	routeHist map[string]*obs.Histogram
@@ -420,8 +424,9 @@ func (r *AnalysisRequest) ToQuery() (core.Query, error) {
 }
 
 // analyze runs one query under the request context, bounded by the configured
-// query timeout.
+// query timeout and carrying the request's tenant and class when QoS is on.
 func (s *Server) analyze(r *http.Request, q core.Query) (*core.Result, error) {
+	r = s.qosContext(r)
 	ctx := r.Context()
 	if s.queryTimeout > 0 {
 		var cancel context.CancelFunc
@@ -431,7 +436,8 @@ func (s *Server) analyze(r *http.Request, q core.Query) (*core.Result, error) {
 	return s.backend.AnalyzeContext(ctx, q)
 }
 
-// writeAnalysisErr maps analysis failures to HTTP statuses: admission
+// writeAnalysisErr maps analysis failures to HTTP statuses: a tenant over its
+// own rate budget is 429 + Retry-After (the caller's fault), admission
 // rejections are retryable overload (503 + Retry-After), a degraded result
 // (quarantined leaf pages with no substitute) is 503 too — the request was
 // fine and a rewrite or scrub may restore the page — an unreachable backend
@@ -442,6 +448,16 @@ func (s *Server) analyze(r *http.Request, q core.Query) (*core.Result, error) {
 // downstream of an expired context is reported as the timeout it is.
 func writeAnalysisErr(w http.ResponseWriter, err error) {
 	switch {
+	case errors.Is(err, exec.ErrThrottled):
+		// The tenant is over its own rate budget — 429, not 503: the server
+		// is fine, this caller must slow down. The limiter attaches the
+		// token-refill time as the back-off hint.
+		secs := int(exec.RetryAfter(err, time.Second).Seconds())
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeErr(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, exec.ErrRejected):
 		// The error chain may carry explicit back-off hints (a routed query
 		// aggregates the max across rejecting shards); default to 1s.

@@ -1,0 +1,362 @@
+// Package workload is a deterministic, seeded model of realistic dashboard
+// traffic. Real RASED users do not issue uniform random queries: a few
+// tenants dominate (Zipf's law over dashboard popularity), a user's
+// successive queries are correlated (an overview leads to a zoom-in leads to
+// a drill-down over the same region), dashboards re-issue identical queries
+// on refresh, and interactive tiles share the serving tier with programmatic
+// API callers and bulk exports. The generator reproduces that structure from
+// a single seed: the same seed yields a byte-identical trace, so benchmark
+// figures and chaos runs built on it are exactly reproducible.
+//
+// The model has three layers:
+//
+//   - Population: tenants drawn from a Zipf distribution, so tenant 0
+//     appears in far more sessions than tenant 40.
+//   - Sessions: Markov state machines per class. Interactive sessions walk
+//     overview → zoom → drill → refresh; API sessions repeat one query on a
+//     fixed period; bulk sessions issue a few full-coverage scans.
+//   - Arrivals: every event carries a simulated arrival offset; interactive
+//     steps follow short exponential think times, API steps a fixed period,
+//     bulk steps long gaps. Session starts spread uniformly over the trace
+//     duration.
+//
+// Queries draw windows from a small palette of anchors and spans, so the
+// popular-query overlap a real dashboard exhibits (many tenants looking at
+// "the last month") emerges naturally — that overlap is what the QoS result
+// cache exists to exploit.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"rased/internal/core"
+	"rased/internal/exec"
+	"rased/internal/temporal"
+)
+
+// Config parameterizes a trace. The zero value is invalid; use Defaults and
+// override.
+type Config struct {
+	// Seed fixes every random choice in the trace.
+	Seed int64
+	// Tenants is the population size; session tenants are drawn Zipf(S, V)
+	// over [0, Tenants).
+	Tenants int
+	ZipfS   float64
+	ZipfV   float64
+	// Sessions is how many sessions the trace contains.
+	Sessions int
+	// Duration is the simulated wall-clock span session starts spread over.
+	Duration time.Duration
+	// CovLo and CovHi bound every query window (the index coverage the
+	// trace will run against).
+	CovLo, CovHi temporal.Day
+	// Countries is the catalog of country names drill-downs filter on.
+	Countries []string
+	// InteractiveShare and APIShare split sessions across classes; the
+	// remainder is bulk. Shares must sum to <= 1.
+	InteractiveShare, APIShare float64
+}
+
+// Defaults returns the standard trace configuration over the given coverage
+// window: 40 tenants with strong skew, a 60/30/10 interactive/api/bulk
+// session mix, over one simulated minute.
+func Defaults(covLo, covHi temporal.Day, countries []string) Config {
+	return Config{
+		Seed:             1,
+		Tenants:          40,
+		ZipfS:            1.4,
+		ZipfV:            1,
+		Sessions:         120,
+		Duration:         time.Minute,
+		CovLo:            covLo,
+		CovHi:            covHi,
+		Countries:        countries,
+		InteractiveShare: 0.6,
+		APIShare:         0.3,
+	}
+}
+
+// Event is one query arrival in the trace.
+type Event struct {
+	// At is the simulated arrival offset from trace start.
+	At time.Duration
+	// Tenant identifies the simulated caller ("t<n>").
+	Tenant string
+	// Class is the event's traffic class.
+	Class exec.Class
+	// Session and Step locate the event in its session (Step counts from 0).
+	Session, Step int
+	// Query is the analysis query to execute.
+	Query core.Query
+}
+
+// Trace is a generated workload: events sorted by arrival time (ties broken
+// by session then step, so the order is total and deterministic).
+type Trace struct {
+	Events []Event
+}
+
+// Generate builds the trace for cfg. Identical configs produce identical
+// traces — every choice flows from cfg.Seed through one rand stream, and no
+// map iteration or wall clock is involved.
+func Generate(cfg Config) (*Trace, error) {
+	if cfg.Tenants < 1 || cfg.Sessions < 1 {
+		return nil, fmt.Errorf("workload: Tenants and Sessions must be >= 1")
+	}
+	if cfg.CovHi < cfg.CovLo {
+		return nil, fmt.Errorf("workload: coverage window [%s, %s] is inverted", cfg.CovLo, cfg.CovHi)
+	}
+	if cfg.ZipfS <= 1 || cfg.ZipfV < 1 {
+		return nil, fmt.Errorf("workload: Zipf requires S > 1 and V >= 1 (got S=%v V=%v)", cfg.ZipfS, cfg.ZipfV)
+	}
+	if cfg.InteractiveShare < 0 || cfg.APIShare < 0 || cfg.InteractiveShare+cfg.APIShare > 1 {
+		return nil, fmt.Errorf("workload: class shares must be non-negative and sum to <= 1")
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Minute
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, cfg.ZipfS, cfg.ZipfV, uint64(cfg.Tenants-1))
+
+	g := &generator{cfg: cfg, rng: rng}
+	var events []Event
+	for s := 0; s < cfg.Sessions; s++ {
+		tenant := "t" + strconv.FormatUint(zipf.Uint64(), 10)
+		class := g.sessionClass(s)
+		start := time.Duration(rng.Int63n(int64(cfg.Duration)))
+		events = append(events, g.session(s, tenant, class, start)...)
+	}
+	sort.Slice(events, func(a, b int) bool {
+		if events[a].At != events[b].At {
+			return events[a].At < events[b].At
+		}
+		if events[a].Session != events[b].Session {
+			return events[a].Session < events[b].Session
+		}
+		return events[a].Step < events[b].Step
+	})
+	return &Trace{Events: events}, nil
+}
+
+// generator holds the shared rand stream during one Generate call.
+type generator struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// sessionClass assigns a class by position in a repeating cycle of ten
+// sessions: the shares are deterministic quotas rather than per-session coin
+// flips, so small traces still contain every class, and the classes
+// interleave instead of clustering at one end of the sequence.
+func (g *generator) sessionClass(s int) exec.Class {
+	nInter := int(10*g.cfg.InteractiveShare + 0.5)
+	nAPI := int(10*g.cfg.APIShare + 0.5)
+	switch pos := s % 10; {
+	case pos < nInter:
+		return exec.ClassInteractive
+	case pos < nInter+nAPI:
+		return exec.ClassAPI
+	default:
+		return exec.ClassBulk
+	}
+}
+
+// session generates one session's events.
+func (g *generator) session(id int, tenant string, class exec.Class, start time.Duration) []Event {
+	switch class {
+	case exec.ClassInteractive:
+		return g.interactiveSession(id, tenant, start)
+	case exec.ClassAPI:
+		return g.apiSession(id, tenant, start)
+	default:
+		return g.bulkSession(id, tenant, start)
+	}
+}
+
+// windowSpans are the day-lengths the window palette draws from.
+var windowSpans = []int{7, 14, 30, 60, 90}
+
+// anchorSlots quantizes window starts: a coverage range has this many anchor
+// positions, so many sessions land on identical windows — the popular-query
+// overlap the result cache feeds on.
+const anchorSlots = 8
+
+// window picks a query window from the palette: an anchored start plus a
+// span, clipped to coverage.
+func (g *generator) window() (lo, hi temporal.Day) {
+	covLo, covHi := g.cfg.CovLo, g.cfg.CovHi
+	covDays := int(covHi-covLo) + 1
+	span := windowSpans[g.rng.Intn(len(windowSpans))]
+	if span > covDays {
+		span = covDays
+	}
+	slot := g.rng.Intn(anchorSlots)
+	maxStart := covDays - span
+	start := 0
+	if maxStart > 0 {
+		start = maxStart * slot / (anchorSlots - 1)
+	}
+	lo = covLo + temporal.Day(start)
+	hi = lo + temporal.Day(span-1)
+	if hi > covHi {
+		hi = covHi
+	}
+	return lo, hi
+}
+
+// zoom halves a window around a deterministic pivot, snapping to whole weeks
+// so zoomed windows also repeat across sessions.
+func (g *generator) zoom(lo, hi temporal.Day) (temporal.Day, temporal.Day) {
+	days := int(hi-lo) + 1
+	if days <= 7 {
+		return lo, hi
+	}
+	half := days / 2
+	half -= half % 7 // snap to weeks
+	if half < 7 {
+		half = 7
+	}
+	if g.rng.Intn(2) == 0 {
+		return lo, lo + temporal.Day(half-1)
+	}
+	return hi - temporal.Day(half-1), hi
+}
+
+// interactiveSession is the dashboard walk: overview, then a Markov mix of
+// zoom-in (narrow the window), drill-down (add a country filter and regroup),
+// refresh (repeat the previous query verbatim), and fresh overviews.
+func (g *generator) interactiveSession(id int, tenant string, start time.Duration) []Event {
+	lo, hi := g.window()
+	q := core.Query{From: lo, To: hi, GroupBy: core.GroupBy{Country: true}}
+	steps := 4 + g.rng.Intn(8)
+	at := start
+	events := make([]Event, 0, steps)
+	for i := 0; i < steps; i++ {
+		events = append(events, Event{At: at, Tenant: tenant, Class: exec.ClassInteractive, Session: id, Step: i, Query: q})
+		// Exponential think time, mean 200ms.
+		at += time.Duration(g.rng.ExpFloat64() * float64(200*time.Millisecond))
+		switch r := g.rng.Float64(); {
+		case r < 0.35: // zoom-in: same filters, narrower window
+			q.From, q.To = g.zoom(q.From, q.To)
+		case r < 0.60: // drill-down: focus one country, regroup by element
+			if len(g.cfg.Countries) > 0 {
+				q.Countries = []string{g.cfg.Countries[g.rng.Intn(len(g.cfg.Countries))]}
+			}
+			q.GroupBy = core.GroupBy{ElementType: true, Date: core.ByWeek}
+		case r < 0.85: // refresh: identical query (dashboard tile reload)
+		default: // new view: fresh overview with a monthly series
+			nlo, nhi := g.window()
+			q = core.Query{From: nlo, To: nhi, GroupBy: core.GroupBy{Country: true, Date: core.ByMonth}}
+		}
+	}
+	return events
+}
+
+// apiSession is a programmatic caller polling one fixed query on a period —
+// the pure identical-repeat load.
+func (g *generator) apiSession(id int, tenant string, start time.Duration) []Event {
+	lo, hi := g.window()
+	q := core.Query{From: lo, To: hi, GroupBy: core.GroupBy{Country: true, Date: core.ByDay}}
+	reps := 3 + g.rng.Intn(6)
+	period := time.Duration(500+g.rng.Intn(1500)) * time.Millisecond
+	events := make([]Event, 0, reps)
+	for i := 0; i < reps; i++ {
+		events = append(events, Event{At: start + time.Duration(i)*period, Tenant: tenant,
+			Class: exec.ClassAPI, Session: id, Step: i, Query: q})
+	}
+	return events
+}
+
+// bulkSession is an export: one or two full-coverage scans at daily
+// granularity with a wide group-by — the expensive queries priority admission
+// must keep out of the interactive path.
+func (g *generator) bulkSession(id int, tenant string, start time.Duration) []Event {
+	q := core.Query{
+		From: g.cfg.CovLo, To: g.cfg.CovHi,
+		GroupBy: core.GroupBy{Country: true, ElementType: true, Date: core.ByWeek},
+	}
+	n := 1 + g.rng.Intn(2)
+	events := make([]Event, 0, n)
+	at := start
+	for i := 0; i < n; i++ {
+		events = append(events, Event{At: at, Tenant: tenant, Class: exec.ClassBulk, Session: id, Step: i, Query: q})
+		at += time.Duration(g.rng.ExpFloat64() * float64(5*time.Second))
+	}
+	return events
+}
+
+// String serializes the trace canonically, one event per line: the golden
+// format the determinism test compares byte-for-byte. Query identity uses
+// core.QueryKey, the same normalization the result cache keys on.
+func (t *Trace) String() string {
+	var b strings.Builder
+	for _, e := range t.Events {
+		b.WriteString("t=")
+		b.WriteString(strconv.FormatInt(e.At.Microseconds(), 10))
+		b.WriteString(" tenant=")
+		b.WriteString(e.Tenant)
+		b.WriteString(" class=")
+		b.WriteString(e.Class.String())
+		b.WriteString(" s=")
+		b.WriteString(strconv.Itoa(e.Session))
+		b.WriteString(" i=")
+		b.WriteString(strconv.Itoa(e.Step))
+		b.WriteString(" q=")
+		b.WriteString(core.QueryKey(e.Query))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TenantCounts returns how many events each tenant issued, as a sorted list
+// of (tenant, count) with the most active first — the empirical popularity
+// distribution the Zipf sanity test checks.
+type TenantCount struct {
+	Tenant string
+	Count  int
+}
+
+// TenantCounts ranks tenants by event count, descending (ties by name so the
+// ranking is deterministic).
+func (t *Trace) TenantCounts() []TenantCount {
+	counts := map[string]int{}
+	for _, e := range t.Events {
+		counts[e.Tenant]++
+	}
+	out := make([]TenantCount, 0, len(counts))
+	for tenant, n := range counts {
+		out = append(out, TenantCount{Tenant: tenant, Count: n})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Count != out[b].Count {
+			return out[a].Count > out[b].Count
+		}
+		return out[a].Tenant < out[b].Tenant
+	})
+	return out
+}
+
+// RepeatShare is the fraction of events whose query identity already
+// appeared earlier in the trace — an upper bound on the result-cache hit
+// rate an infinite-TTL cache could reach on this trace.
+func (t *Trace) RepeatShare() float64 {
+	if len(t.Events) == 0 {
+		return 0
+	}
+	seen := map[string]bool{}
+	repeats := 0
+	for _, e := range t.Events {
+		k := core.QueryKey(e.Query)
+		if seen[k] {
+			repeats++
+		}
+		seen[k] = true
+	}
+	return float64(repeats) / float64(len(t.Events))
+}

@@ -23,7 +23,7 @@ total() {
 	go tool cover -func="$1" | awk '/^total:/ { sub(/%/, "", $3); print $3 }'
 }
 
-for pkg in internal/faultstore internal/faultstore/harness internal/pagestore; do
+for pkg in internal/faultstore internal/faultstore/harness internal/pagestore internal/workload; do
 	prof="$TMP/$(echo "$pkg" | tr / _).out"
 	go test -coverprofile="$prof" "./$pkg/" >/dev/null
 	gate "$pkg" "$(total "$prof")"
@@ -42,6 +42,13 @@ perfile() {
 	awk -v f="$2:" 'index($0, f) { total += $2; if ($3 > 0) covered += $2 }
 		END { if (total == 0) print 0; else printf "%.1f", 100 * covered / total }' "$1"
 }
+# The QoS admission path (PR 10): the per-tenant limiter and the
+# epoch-stamped result cache stand between every query and the execution
+# tier; their shed/expiry/invalidation branches must stay exercised.
+go test -coverprofile="$TMP/exec.out" ./internal/exec/ >/dev/null
+gate internal/exec/qos.go "$(perfile "$TMP/exec.out" qos.go)"
+gate internal/exec/resultcache.go "$(perfile "$TMP/exec.out" resultcache.go)"
+
 go test -coverprofile="$TMP/tindex.out" ./internal/tindex/ >/dev/null
 gate internal/tindex/compact.go "$(perfile "$TMP/tindex.out" compact.go)"
 go test -coverprofile="$TMP/cube.out" ./internal/cube/ >/dev/null
